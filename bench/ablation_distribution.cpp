@@ -1,0 +1,44 @@
+// Ablation: data distribution (1D Cyclic / 1D Block / 1D Range) on the
+// triangle case study — extending the paper's two-way comparison with the
+// natural third option and the load-balance metrics ActorProf exposes.
+// (The paper's conclusion: "try more distributions".)
+#include <cstdio>
+
+#include "case_study.hpp"
+
+int main() {
+  using namespace ap;
+  bench::CaseConfig base;
+  base.nodes = 2;
+  const graph::Csr lower = bench::build_lower(base);
+  const std::int64_t expected = graph::count_triangles_serial(lower);
+
+  std::printf(
+      "[Ablation] distribution sweep — triangle counting, 2 nodes x 16 "
+      "PEs\n%12s %12s %14s %14s %14s %16s %12s\n",
+      "dist", "msgs", "send_imbal", "recv_imbal", "ins_imbal",
+      "mean_cycles/PE", "lower_tri");
+
+  for (const auto kind : {graph::DistKind::Cyclic1D, graph::DistKind::Block1D,
+                          graph::DistKind::Range1D}) {
+    bench::CaseConfig cfg = base;
+    cfg.dist = kind;
+    const auto r = bench::run_case_study(cfg, lower, expected);
+    std::uint64_t total = 0;
+    for (const auto& o : r.overall) total += o.t_total;
+    std::printf("%12s %12llu %14.2f %14.2f %14.2f %16.0f %12s\n",
+                graph::to_string(kind).c_str(),
+                static_cast<unsigned long long>(r.total_sends),
+                prof::imbalance_factor(r.logical.row_sums()),
+                prof::imbalance_factor(r.logical.col_sums()),
+                prof::imbalance_factor(r.papi_tot_ins),
+                static_cast<double>(total) /
+                    static_cast<double>(r.overall.size()),
+                r.logical.is_lower_triangular() ? "yes" : "no");
+  }
+  std::printf(
+      "\nExpected: Range balances sends best (equal #nnz) but keeps recv\n"
+      "imbalance; Block behaves like Range without nnz-awareness (worse\n"
+      "send balance on power-law inputs); Cyclic is worst on both.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation: conveyor routing topology (1D linear vs 2D mesh vs 3D cube)
+// on the same multi-node workload. The 2D mesh trades direct transfers
+// for re-aggregation at intermediate hops: far fewer inter-node
+// (nonblock) transfers at the cost of extra intra-node (local) ones and
+// forwarded items — the core Conveyors design decision.
+#include <cstdio>
+
+#include "actor/selector.hpp"
+#include "core/profiler.hpp"
+#include "runtime/finish.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+using namespace ap;
+
+struct Result {
+  std::uint64_t local_sends = 0, nbi_sends = 0, progress = 0, forwarded = 0;
+  std::uint64_t mean_cycles = 0;
+};
+
+Result run(convey::RouteKind route, int pes, int ppn, std::size_t msgs) {
+  prof::Config pc = prof::Config::all_enabled();
+  pc.keep_logical_events = pc.keep_physical_events = false;
+  prof::Profiler profiler(pc);
+  Result res;
+  rt::LaunchConfig lc;
+  lc.num_pes = pes;
+  lc.pes_per_node = ppn;
+  shmem::run(lc, [&] {
+    convey::Options o;
+    o.buffer_bytes = 4096;
+    o.route = route;
+    std::int64_t sink = 0;
+    actor::Actor<std::int64_t> a{o};
+    a.mb[0].process = [&sink](std::int64_t v, int) { sink += v; };
+    profiler.epoch_begin();
+    hclib::finish([&] {
+      a.start();
+      const int me = shmem::my_pe();
+      for (std::size_t i = 0; i < msgs; ++i)
+        a.send(1, static_cast<int>((me * 17 + i * 13) %
+                                   static_cast<std::size_t>(pes)));
+      a.done(0);
+    });
+    profiler.epoch_end();
+    shmem::barrier_all();
+    if (shmem::my_pe() == 0) {
+      const auto t = a.conveyor(0).total_stats();
+      res.local_sends = t.local_sends;
+      res.nbi_sends = t.nonblock_sends;
+      res.progress = t.progress_calls;
+      res.forwarded = t.forwarded;
+    }
+    shmem::barrier_all();
+  });
+  std::uint64_t total = 0;
+  for (const auto& r : profiler.overall()) total += r.t_total;
+  res.mean_cycles = total / static_cast<std::uint64_t>(pes);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ap;
+  const int pes = 24, ppn = 4;  // 6 nodes (2x3 grid for the cube)
+  const struct {
+    convey::RouteKind k;
+    const char* name;
+  } kinds[] = {{convey::RouteKind::Linear1D, "1D linear"},
+               {convey::RouteKind::Mesh2D, "2D mesh"},
+               {convey::RouteKind::Cube3D, "3D cube"}};
+  const struct {
+    const char* label;
+    std::size_t msgs;
+  } regimes[] = {
+      // Sparse: few messages per destination pair — direct buffers leave
+      // mostly empty; multi-hop re-aggregation is what Conveyors is FOR.
+      {"sparse (2000 msgs/PE, aggregation-bound)", 2000},
+      // Dense: buffers fill regardless; direct routing wins on hop count.
+      {"dense (30000 msgs/PE, bandwidth-bound)", 30000},
+  };
+  for (const auto& regime : regimes) {
+    std::printf(
+        "[Ablation] routing topology — uniform all-to-all, %d PEs on %d "
+        "nodes, %s\n%10s %14s %14s %12s %12s %16s\n",
+        pes, pes / ppn, regime.label, "topology", "local_sends", "nbi_sends",
+        "progress", "forwarded", "mean_cycles/PE");
+    for (const auto& [k, name] : kinds) {
+      const Result r = run(k, pes, ppn, regime.msgs);
+      std::printf("%10s %14llu %14llu %12llu %12llu %16llu\n", name,
+                  static_cast<unsigned long long>(r.local_sends),
+                  static_cast<unsigned long long>(r.nbi_sends),
+                  static_cast<unsigned long long>(r.progress),
+                  static_cast<unsigned long long>(r.forwarded),
+                  static_cast<unsigned long long>(r.mean_cycles));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected: in the sparse regime the mesh/cube cut inter-node (nbi)\n"
+      "transfers by re-aggregating at row hops; in the dense regime buffers\n"
+      "fill either way and 1D linear's single hop is cheapest.\n");
+  return 0;
+}

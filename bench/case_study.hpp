@@ -1,0 +1,131 @@
+// Shared driver for the paper's case study (§IV): distributed triangle
+// counting on an R-MAT graph, profiled with ActorProf.
+//
+// Every figure bench calls run_case_study() with the paper's setups
+// (1 node/16 PEs, 2 nodes/32 PEs; 1D Cyclic vs 1D Range) and renders its
+// own plot from the returned aggregates. Environment knobs:
+//   AP_SCALE   R-MAT scale          (default 12; paper uses 16)
+//   AP_EF      edge factor          (default 16, the paper's value)
+//   AP_PPN     PEs per node         (default 16, the paper's value)
+//   AP_BUFFER  conveyor buffer size (default 1024 bytes)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/triangle.hpp"
+#include "core/profiler.hpp"
+#include "graph/distribution.hpp"
+#include "graph/rmat.hpp"
+#include "shmem/shmem.hpp"
+
+namespace ap::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+struct CaseConfig {
+  int nodes = 1;
+  int pes_per_node = env_int("AP_PPN", 16);
+  int scale = env_int("AP_SCALE", 12);
+  int edge_factor = env_int("AP_EF", 16);
+  std::size_t buffer_bytes =
+      static_cast<std::size_t>(env_int("AP_BUFFER", 1024));
+  graph::DistKind dist = graph::DistKind::Cyclic1D;
+  std::uint64_t seed = 0x5EED5EED;
+
+  [[nodiscard]] int num_pes() const { return nodes * pes_per_node; }
+  [[nodiscard]] std::string label() const {
+    return graph::to_string(dist) + ", " + std::to_string(nodes) +
+           " node(s) x " + std::to_string(pes_per_node) + " PEs, scale " +
+           std::to_string(scale);
+  }
+};
+
+struct CaseResult {
+  prof::CommMatrix logical;
+  prof::CommMatrix phys_local;
+  prof::CommMatrix phys_nbi;
+  prof::CommMatrix phys_progress;
+  prof::CommMatrix phys_all;
+  std::vector<prof::OverallRecord> overall;
+  std::vector<std::uint64_t> papi_tot_ins;
+  std::vector<std::uint64_t> papi_lst_ins;
+  std::int64_t triangles = 0;
+  std::int64_t expected = 0;
+  std::uint64_t total_sends = 0;
+};
+
+/// Build the input graph once per config (deterministic for a seed).
+/// Vertex ids are NOT permuted: the paper's heatmaps (PE0 hot under 1D
+/// Cyclic, Figure 6's ownership ranges) only arise when R-MAT's natural
+/// id<->degree correlation is preserved, i.e. on the raw Kronecker
+/// ordering of the adjacency matrix.
+inline graph::Csr build_lower(const CaseConfig& c) {
+  graph::RmatParams p;
+  p.scale = c.scale;
+  p.edge_factor = c.edge_factor;
+  p.seed = c.seed;
+  p.permute_vertices = false;
+  const auto edges = graph::rmat_edges(p);
+  return graph::Csr::from_edges(graph::Vertex{1} << c.scale, edges, true);
+}
+
+/// Run the profiled kernel; validates the triangle count like the paper
+/// ("we have validated the experiments by using assertion").
+inline CaseResult run_case_study(const CaseConfig& c,
+                                 const graph::Csr& lower,
+                                 std::int64_t expected) {
+  prof::Config pc = prof::Config::all_enabled();
+  // Aggregates only: per-event logs are unnecessary for the figures and
+  // can reach GBs at scale 16 (the paper's §VI discusses this exact
+  // problem).
+  pc.keep_logical_events = false;
+  pc.keep_physical_events = false;
+  prof::Profiler profiler(pc);
+
+  CaseResult r;
+  r.expected = expected;
+
+  rt::LaunchConfig lc;
+  lc.num_pes = c.num_pes();
+  lc.pes_per_node = c.pes_per_node;
+  lc.symm_heap_bytes = 64 << 20;
+  shmem::run(lc, [&] {
+    const auto dist =
+        graph::make_distribution(c.dist, shmem::n_pes(), lower);
+    convey::Options opts;
+    opts.buffer_bytes = c.buffer_bytes;
+    const auto res =
+        apps::count_triangles_actor(lower, *dist, opts, &profiler);
+    if (shmem::my_pe() == 0) {
+      r.triangles = res.triangles;
+      if (res.triangles != expected)
+        throw std::runtime_error("triangle validation FAILED: got " +
+                                 std::to_string(res.triangles) +
+                                 ", expected " + std::to_string(expected));
+    }
+  });
+
+  r.logical = profiler.logical_matrix();
+  r.phys_local = profiler.physical_matrix(convey::SendType::local_send);
+  r.phys_nbi = profiler.physical_matrix(convey::SendType::nonblock_send);
+  r.phys_progress =
+      profiler.physical_matrix(convey::SendType::nonblock_progress);
+  r.phys_all = profiler.physical_matrix();
+  r.overall = profiler.overall();
+  r.papi_tot_ins = profiler.papi_totals(papi::Event::TOT_INS);
+  r.papi_lst_ins = profiler.papi_totals(papi::Event::LST_INS);
+  r.total_sends = r.logical.total();
+  return r;
+}
+
+inline CaseResult run_case_study(const CaseConfig& c) {
+  const graph::Csr lower = build_lower(c);
+  return run_case_study(c, lower, graph::count_triangles_serial(lower));
+}
+
+}  // namespace ap::bench

@@ -1,0 +1,39 @@
+// Figure 3: Logical Trace Heatmap for 1 node (LHS: 1D Cyclic, RHS: 1D
+// Range). Expected shape (paper §IV-D): under 1D Cyclic, PE0 communicates
+// heavily with a few PEs; under 1D Range the matrix is lower-triangular
+// (the "(L) observation") and recv totals decrease monotonically with PE
+// id.
+#include <cstdio>
+#include <iostream>
+
+#include "case_study.hpp"
+#include "core/aggregate.hpp"
+#include "viz/render.hpp"
+
+int main() {
+  using namespace ap;
+  bench::CaseConfig cfg;
+  cfg.nodes = 1;
+
+  const graph::Csr lower = bench::build_lower(cfg);
+  const std::int64_t expected = graph::count_triangles_serial(lower);
+
+  for (const auto kind :
+       {graph::DistKind::Cyclic1D, graph::DistKind::Range1D}) {
+    cfg.dist = kind;
+    const auto r = bench::run_case_study(cfg, lower, expected);
+    viz::HeatmapOptions ho;
+    ho.title = "[Fig 3] Logical Trace Heatmap — " + cfg.label();
+    std::cout << viz::render_heatmap(r.logical, ho);
+    const auto sends = r.logical.row_sums();
+    const auto recvs = r.logical.col_sums();
+    std::printf(
+        "triangles=%lld (validated)  total msgs=%llu  "
+        "send imbalance=%.2fx  recv imbalance=%.2fx  lower_triangular=%s\n\n",
+        static_cast<long long>(r.triangles),
+        static_cast<unsigned long long>(r.total_sends),
+        prof::imbalance_factor(sends), prof::imbalance_factor(recvs),
+        r.logical.is_lower_triangular() ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 5: Violin plot for the Logical Trace (LHS: 1 node, RHS: 2 nodes).
+// Four violins per node count: Cyclic sends/recvs, Range sends/recvs.
+// Expected shape (paper §IV-D): 1D Cyclic's maximum sends are far above
+// 1D Range's (paper: up to ~6x sends, ~2x recvs), i.e. Cyclic violins have
+// tall outliers while Range is more compact.
+#include <cstdio>
+#include <iostream>
+
+#include "case_study.hpp"
+#include "viz/render.hpp"
+
+int main() {
+  using namespace ap;
+  for (int nodes : {1, 2}) {
+    bench::CaseConfig cfg;
+    cfg.nodes = nodes;
+    const graph::Csr lower = bench::build_lower(cfg);
+    const std::int64_t expected = graph::count_triangles_serial(lower);
+
+    cfg.dist = graph::DistKind::Cyclic1D;
+    const auto cyc = bench::run_case_study(cfg, lower, expected);
+    cfg.dist = graph::DistKind::Range1D;
+    const auto rng = bench::run_case_study(cfg, lower, expected);
+
+    viz::ViolinOptions vo;
+    vo.title = "[Fig 5] Logical Trace Violin — " + std::to_string(nodes) +
+               " node(s), total sends/recvs per PE";
+    vo.width = 25;
+    std::cout << viz::render_violins(
+        {"cyclic send", "cyclic recv", "range send", "range recv"},
+        {cyc.logical.row_sums(), cyc.logical.col_sums(),
+         rng.logical.row_sums(), rng.logical.col_sums()},
+        vo);
+
+    const auto qc = prof::quartiles_u64(cyc.logical.row_sums());
+    const auto qr = prof::quartiles_u64(rng.logical.row_sums());
+    const auto qcr = prof::quartiles_u64(cyc.logical.col_sums());
+    const auto qrr = prof::quartiles_u64(rng.logical.col_sums());
+    std::printf(
+        "cyclic-vs-range max sends ratio = %.2fx   max recvs ratio = %.2fx "
+        "(paper: ~6x and ~2x)\n\n",
+        qc.max / qr.max, qcr.max / qrr.max);
+  }
+  return 0;
+}

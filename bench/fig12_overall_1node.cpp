@@ -1,0 +1,63 @@
+// Figure 12: Overall Profiling for 1 node (LHS: 1D Cyclic, RHS: 1D
+// Range) — stacked MAIN/COMM/PROC bars, absolute and relative. Expected
+// shape (paper §IV-D): COMM dominates both distributions; Range's total
+// is ~2x better than Cyclic's; MAIN <= 5%; PROC <= 5% for Cyclic vs
+// ~20-24% for Range; MAIN+PROC <= ~33%.
+#include <cstdio>
+#include <iostream>
+
+#include "case_study.hpp"
+#include "viz/render.hpp"
+
+namespace {
+void report(const ap::bench::CaseResult& r, const std::string& label,
+            double* avg_total) {
+  using namespace ap;
+  std::uint64_t tm = 0, tc = 0, tp = 0, tt = 0;
+  for (const auto& rec : r.overall) {
+    tm += rec.t_main;
+    tc += rec.t_comm();
+    tp += rec.t_proc;
+    tt += rec.t_total;
+  }
+  *avg_total = static_cast<double>(tt) / static_cast<double>(r.overall.size());
+  std::printf(
+      "%s: mean cycles/PE = %.0f   MAIN %.1f%%  COMM %.1f%%  PROC %.1f%%\n",
+      label.c_str(), *avg_total, 100.0 * tm / tt, 100.0 * tc / tt,
+      100.0 * tp / tt);
+}
+}  // namespace
+
+int main() {
+  using namespace ap;
+  bench::CaseConfig cfg;
+  cfg.nodes = 1;
+  const graph::Csr lower = bench::build_lower(cfg);
+  const std::int64_t expected = graph::count_triangles_serial(lower);
+
+  cfg.dist = graph::DistKind::Cyclic1D;
+  const auto cyc = bench::run_case_study(cfg, lower, expected);
+  cfg.dist = graph::DistKind::Range1D;
+  const auto rng = bench::run_case_study(cfg, lower, expected);
+
+  viz::StackedBarOptions so;
+  so.title = "[Fig 12] Overall Profiling (absolute) — 1D Cyclic, 1 node";
+  std::cout << viz::render_overall_stacked(cyc.overall, so) << "\n";
+  so.relative = true;
+  so.title = "[Fig 12] Overall Profiling (relative) — 1D Cyclic, 1 node";
+  std::cout << viz::render_overall_stacked(cyc.overall, so) << "\n";
+  so.relative = false;
+  so.title = "[Fig 12] Overall Profiling (absolute) — 1D Range, 1 node";
+  std::cout << viz::render_overall_stacked(rng.overall, so) << "\n";
+  so.relative = true;
+  so.title = "[Fig 12] Overall Profiling (relative) — 1D Range, 1 node";
+  std::cout << viz::render_overall_stacked(rng.overall, so) << "\n";
+
+  double cyc_total = 0, rng_total = 0;
+  report(cyc, "1D Cyclic", &cyc_total);
+  report(rng, "1D Range ", &rng_total);
+  std::printf(
+      "total-time ratio Cyclic/Range = %.2fx  (paper: ~2x, COMM-driven)\n",
+      cyc_total / rng_total);
+  return 0;
+}

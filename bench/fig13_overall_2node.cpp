@@ -1,0 +1,45 @@
+// Figure 13: Overall Profiling for 2 nodes / 32 PEs (LHS: 1D Cyclic,
+// RHS: 1D Range). Same analysis as Figure 12 with inter-node transfers in
+// the mix.
+#include <cstdio>
+#include <iostream>
+
+#include "case_study.hpp"
+#include "viz/render.hpp"
+
+int main() {
+  using namespace ap;
+  bench::CaseConfig cfg;
+  cfg.nodes = 2;
+  const graph::Csr lower = bench::build_lower(cfg);
+  const std::int64_t expected = graph::count_triangles_serial(lower);
+
+  double totals[2] = {0, 0};
+  int idx = 0;
+  for (const auto kind :
+       {graph::DistKind::Cyclic1D, graph::DistKind::Range1D}) {
+    cfg.dist = kind;
+    const auto r = bench::run_case_study(cfg, lower, expected);
+    viz::StackedBarOptions so;
+    so.title = "[Fig 13] Overall Profiling (absolute) — " + cfg.label();
+    std::cout << viz::render_overall_stacked(r.overall, so) << "\n";
+    so.relative = true;
+    so.title = "[Fig 13] Overall Profiling (relative) — " + cfg.label();
+    std::cout << viz::render_overall_stacked(r.overall, so) << "\n";
+
+    std::uint64_t tm = 0, tc = 0, tp = 0, tt = 0;
+    for (const auto& rec : r.overall) {
+      tm += rec.t_main;
+      tc += rec.t_comm();
+      tp += rec.t_proc;
+      tt += rec.t_total;
+    }
+    totals[idx++] = static_cast<double>(tt);
+    std::printf("%s: MAIN %.1f%%  COMM %.1f%%  PROC %.1f%%\n\n",
+                cfg.label().c_str(), 100.0 * tm / tt, 100.0 * tc / tt,
+                100.0 * tp / tt);
+  }
+  std::printf("total-time ratio Cyclic/Range = %.2fx (paper: ~2x)\n",
+              totals[0] / totals[1]);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Microbenchmarks of the Conveyors reimplementation: aggregation
+// throughput across buffer sizes and topologies, plus the self-send
+// memcpy count the paper's §IV-D note discusses (real Conveyors can incur
+// up to six copies for one self-send; ours are observable via stats).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "conveyor/conveyor.hpp"
+#include "runtime/scheduler.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+using namespace ap;
+
+void drive(convey::Conveyor& c, std::size_t msgs, int n_pes) {
+  std::size_t i = 0;
+  bool done = false;
+  const int me = shmem::my_pe();
+  while (c.advance(done)) {
+    for (; i < msgs; ++i) {
+      const std::int64_t v = static_cast<std::int64_t>(i);
+      if (!c.push(&v, static_cast<int>((me + i) % static_cast<std::size_t>(n_pes))))
+        break;
+    }
+    std::int64_t item;
+    int from;
+    while (c.pull(&item, &from)) benchmark::DoNotOptimize(item);
+    done = (i == msgs);
+    rt::yield();
+  }
+}
+
+void BM_ConveyorThroughput(benchmark::State& state) {
+  const int pes = static_cast<int>(state.range(0));
+  const int ppn = static_cast<int>(state.range(1));
+  const auto buffer = static_cast<std::size_t>(state.range(2));
+  const std::size_t msgs = 20000;
+  for (auto _ : state) {
+    rt::LaunchConfig lc;
+    lc.num_pes = pes;
+    lc.pes_per_node = ppn;
+    shmem::run(lc, [&] {
+      convey::Options o;
+      o.buffer_bytes = buffer;
+      auto c = convey::Conveyor::create(o);
+      drive(*c, msgs, pes);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msgs) * pes);
+  state.SetLabel(std::to_string(pes) + "pes/" + std::to_string(ppn) +
+                 "ppn/" + std::to_string(buffer) + "B");
+}
+
+BENCHMARK(BM_ConveyorThroughput)
+    ->Args({8, 8, 256})
+    ->Args({8, 8, 1024})
+    ->Args({8, 8, 8192})
+    ->Args({8, 4, 256})
+    ->Args({8, 4, 1024})
+    ->Args({8, 4, 8192})
+    ->Args({16, 16, 1024})
+    ->Args({16, 8, 1024})
+    ->Unit(benchmark::kMillisecond);
+
+/// Self-send cost: the per-item copy count through the full stack.
+void BM_ConveyorSelfSendCopies(benchmark::State& state) {
+  std::uint64_t copies_per_item = 0;
+  for (auto _ : state) {
+    rt::LaunchConfig lc;
+    lc.num_pes = 1;
+    shmem::run(lc, [&] {
+      convey::Options o;
+      o.buffer_bytes = 1024;
+      auto c = convey::Conveyor::create(o);
+      const std::size_t msgs = 10000;
+      std::size_t i = 0;
+      bool done = false;
+      while (c->advance(done)) {
+        for (; i < msgs; ++i) {
+          const std::int64_t v = static_cast<std::int64_t>(i);
+          if (!c->push(&v, 0)) break;
+        }
+        std::int64_t item;
+        int from;
+        while (c->pull(&item, &from)) benchmark::DoNotOptimize(item);
+        done = (i == msgs);
+      }
+      copies_per_item = c->stats().memcpys / msgs;
+    });
+  }
+  state.counters["memcpys_per_self_send"] =
+      static_cast<double>(copies_per_item);
+  // Paper note: Conveyors can incur up to 6 memcpys per self-send because
+  // no bypass is possible without risking out-of-order delivery.
+}
+BENCHMARK(BM_ConveyorSelfSendCopies)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

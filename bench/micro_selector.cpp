@@ -1,0 +1,107 @@
+// Microbenchmarks of the HClib-Actor Selector: end-to-end message rate
+// through the full FA-BSP stack (send -> aggregate -> transfer -> handler),
+// with and without an installed profiler.
+#include <benchmark/benchmark.h>
+
+#include "actor/selector.hpp"
+#include "core/profiler.hpp"
+#include "runtime/finish.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+using namespace ap;
+
+void run_ping_all(std::size_t msgs_per_pe, int pes, int ppn) {
+  rt::LaunchConfig lc;
+  lc.num_pes = pes;
+  lc.pes_per_node = ppn;
+  shmem::run(lc, [msgs_per_pe] {
+    std::int64_t sink = 0;
+    actor::Actor<std::int64_t> a;
+    a.mb[0].process = [&sink](std::int64_t v, int) { sink += v; };
+    hclib::finish([&] {
+      a.start();
+      const int n = shmem::n_pes();
+      for (std::size_t i = 0; i < msgs_per_pe; ++i)
+        a.send(1, static_cast<int>(i % static_cast<std::size_t>(n)));
+      a.done(0);
+    });
+    benchmark::DoNotOptimize(sink);
+  });
+}
+
+void BM_SelectorMessageRate(benchmark::State& state) {
+  const int pes = static_cast<int>(state.range(0));
+  const int ppn = static_cast<int>(state.range(1));
+  const std::size_t msgs = 20000;
+  for (auto _ : state) run_ping_all(msgs, pes, ppn);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msgs) * pes);
+  state.SetLabel(std::to_string(pes) + "pes/" + std::to_string(ppn) + "ppn");
+}
+BENCHMARK(BM_SelectorMessageRate)
+    ->Args({2, 2})
+    ->Args({8, 8})
+    ->Args({8, 4})
+    ->Args({16, 16})
+    ->Args({32, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SelectorWithProfiler(benchmark::State& state) {
+  const std::size_t msgs = 20000;
+  for (auto _ : state) {
+    prof::Config c = prof::Config::all_enabled();
+    c.keep_logical_events = c.keep_physical_events = false;
+    prof::Profiler profiler(c);
+    rt::LaunchConfig lc;
+    lc.num_pes = 8;
+    lc.pes_per_node = 4;
+    shmem::run(lc, [&] {
+      std::int64_t sink = 0;
+      actor::Actor<std::int64_t> a;
+      a.mb[0].process = [&sink](std::int64_t v, int) { sink += v; };
+      profiler.epoch_begin();
+      hclib::finish([&] {
+        a.start();
+        for (std::size_t i = 0; i < msgs; ++i)
+          a.send(1, static_cast<int>(i % 8));
+        a.done(0);
+      });
+      profiler.epoch_end();
+      benchmark::DoNotOptimize(sink);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msgs) * 8);
+}
+BENCHMARK(BM_SelectorWithProfiler)->Unit(benchmark::kMillisecond);
+
+void BM_TwoMailboxRequestReply(benchmark::State& state) {
+  const std::size_t reqs = 10000;
+  for (auto _ : state) {
+    rt::LaunchConfig lc;
+    lc.num_pes = 8;
+    lc.pes_per_node = 4;
+    shmem::run(lc, [] {
+      std::int64_t sink = 0;
+      actor::Selector<2, std::int64_t> s;
+      s.mb[0].process = [&s](std::int64_t v, int from) { s.send(1, v, from); };
+      s.mb[1].process = [&sink](std::int64_t v, int) { sink += v; };
+      hclib::finish([&] {
+        s.start();
+        for (std::size_t i = 0; i < reqs; ++i)
+          s.send(0, 1, static_cast<int>(i % 8));
+        s.done(0);
+      });
+      benchmark::DoNotOptimize(sink);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(reqs) * 8 * 2);
+}
+BENCHMARK(BM_TwoMailboxRequestReply)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

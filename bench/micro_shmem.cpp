@@ -1,0 +1,97 @@
+// Microbenchmarks of the minishmem substrate: RMA and collective costs.
+#include <benchmark/benchmark.h>
+
+#include "shmem/shmem.hpp"
+
+namespace {
+
+using namespace ap;
+
+void BM_ShmemPut(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    rt::LaunchConfig lc;
+    lc.num_pes = 2;
+    shmem::run(lc, [bytes] {
+      shmem::SymmArray<unsigned char> buf(bytes);
+      std::vector<unsigned char> src(bytes, 0xAB);
+      shmem::barrier_all();
+      for (int i = 0; i < 1000; ++i)
+        shmem::put(buf.data(), src.data(), bytes, 1 - shmem::my_pe());
+      shmem::barrier_all();
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000 * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ShmemPut)->Arg(8)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_ShmemNbiPutQuiet(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::LaunchConfig lc;
+    lc.num_pes = 2;
+    shmem::run(lc, [batch] {
+      shmem::SymmArray<std::int64_t> buf(static_cast<std::size_t>(batch));
+      std::vector<std::int64_t> src(static_cast<std::size_t>(batch), 7);
+      shmem::barrier_all();
+      for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < batch; ++i)
+          shmem::putmem_nbi(&buf[static_cast<std::size_t>(i)],
+                            &src[static_cast<std::size_t>(i)],
+                            sizeof(std::int64_t), 1 - shmem::my_pe());
+        shmem::quiet();
+      }
+      shmem::barrier_all();
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 400 *
+                          batch);
+}
+BENCHMARK(BM_ShmemNbiPutQuiet)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ShmemBarrier(benchmark::State& state) {
+  const int pes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::LaunchConfig lc;
+    lc.num_pes = pes;
+    shmem::run(lc, [] {
+      for (int i = 0; i < 100; ++i) shmem::barrier_all();
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_ShmemBarrier)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_ShmemReduce(benchmark::State& state) {
+  const int pes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::LaunchConfig lc;
+    lc.num_pes = pes;
+    shmem::run(lc, [] {
+      std::int64_t acc = 0;
+      for (int i = 0; i < 100; ++i)
+        acc += shmem::sum_reduce(static_cast<std::int64_t>(i));
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_ShmemReduce)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_FiberContextSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    rt::LaunchConfig lc;
+    lc.num_pes = 2;
+    rt::launch(lc, [] {
+      for (int i = 0; i < 10000; ++i) rt::yield();
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          20000);
+}
+BENCHMARK(BM_FiberContextSwitch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

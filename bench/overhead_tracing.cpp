@@ -1,0 +1,78 @@
+// §IV-E: Overhead of ActorProf tracing. Runs the same FA-BSP histogram
+// kernel with profiling disabled, each trace kind alone, and everything
+// enabled, and reports wall time per configuration (google-benchmark).
+// The paper's claim to check: software tracing adds modest overhead, and
+// the rdtsc-based overall profile is the cheapest kind.
+#include <benchmark/benchmark.h>
+
+#include "apps/histogram.hpp"
+#include "core/profiler.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+using namespace ap;
+
+constexpr std::size_t kUpdates = 20000;
+constexpr int kPes = 8;
+
+prof::Config config_for(const std::string& mode) {
+  prof::Config c;
+  c.logical = c.papi = c.overall = c.physical = false;
+  c.keep_logical_events = c.keep_physical_events = false;
+  if (mode == "logical" || mode == "all") c.logical = true;
+  if (mode == "papi" || mode == "all") c.papi = true;
+  if (mode == "overall" || mode == "all") c.overall = true;
+  if (mode == "physical" || mode == "all") c.physical = true;
+  return c;
+}
+
+void run_histogram(prof::Profiler* profiler) {
+  rt::LaunchConfig lc;
+  lc.num_pes = kPes;
+  lc.pes_per_node = kPes / 2;
+  shmem::run(lc, [profiler] {
+    const auto r = apps::histogram_actor(256, kUpdates, 1234, profiler);
+    benchmark::DoNotOptimize(r.global_updates);
+  });
+}
+
+void BM_TracingOverhead(benchmark::State& state, const std::string& mode) {
+  for (auto _ : state) {
+    if (mode == "off") {
+      run_histogram(nullptr);
+    } else {
+      prof::Profiler profiler(config_for(mode));
+      run_histogram(&profiler);
+      benchmark::DoNotOptimize(profiler.num_pes());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kUpdates * kPes);
+}
+
+BENCHMARK_CAPTURE(BM_TracingOverhead, off, std::string("off"));
+BENCHMARK_CAPTURE(BM_TracingOverhead, overall_only, std::string("overall"));
+BENCHMARK_CAPTURE(BM_TracingOverhead, logical_only, std::string("logical"));
+BENCHMARK_CAPTURE(BM_TracingOverhead, papi_only, std::string("papi"));
+BENCHMARK_CAPTURE(BM_TracingOverhead, physical_only, std::string("physical"));
+BENCHMARK_CAPTURE(BM_TracingOverhead, all, std::string("all"));
+
+/// Per-event retention (what the paper's §VI trace-size worry is about):
+/// keeping every logical record vs aggregation only.
+void BM_TracingOverhead_KeepEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    prof::Config c = config_for("logical");
+    c.keep_logical_events = true;
+    prof::Profiler profiler(c);
+    run_histogram(&profiler);
+    benchmark::DoNotOptimize(profiler.logical_events(0).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kUpdates * kPes);
+}
+BENCHMARK(BM_TracingOverhead_KeepEvents);
+
+}  // namespace
+
+BENCHMARK_MAIN();

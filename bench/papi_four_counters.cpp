@@ -1,0 +1,70 @@
+// Four PAPI counters in one run — the paper's "-lp ... bar graph for four
+// PAPI counters in one run" and the PAPI four-event hardware limit
+// (§III-A). Profiles the triangle kernel recording PAPI_TOT_INS,
+// PAPI_LST_INS, PAPI_L1_DCM and PAPI_BR_MSP simultaneously, and prints
+// one bar graph per counter.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/triangle.hpp"
+#include "core/profiler.hpp"
+#include "graph/distribution.hpp"
+#include "graph/rmat.hpp"
+#include "shmem/shmem.hpp"
+#include "viz/render.hpp"
+
+int main() {
+  using namespace ap;
+  const int scale = [] {
+    const char* v = std::getenv("AP_SCALE");
+    return v != nullptr ? std::atoi(v) : 11;
+  }();
+
+  graph::RmatParams gp;
+  gp.scale = scale;
+  gp.edge_factor = 16;
+  gp.permute_vertices = false;
+  const auto edges = graph::rmat_edges(gp);
+  const auto L =
+      graph::Csr::from_edges(graph::Vertex{1} << scale, edges, true);
+
+  prof::Config pc = prof::Config::all_enabled();
+  pc.keep_logical_events = pc.keep_physical_events = false;
+  pc.papi_events = {papi::Event::TOT_INS, papi::Event::LST_INS,
+                    papi::Event::L1_DCM, papi::Event::BR_MSP};
+  prof::Profiler profiler(pc);
+
+  rt::LaunchConfig lc;
+  lc.num_pes = 16;
+  lc.pes_per_node = 16;
+  lc.symm_heap_bytes = 64 << 20;
+  shmem::run(lc, [&] {
+    graph::CyclicDistribution dist(shmem::n_pes());
+    apps::count_triangles_actor(L, dist, &profiler);
+  });
+
+  std::printf(
+      "[PAPI] four concurrent counters over MAIN+PROC segments — triangle "
+      "counting, 1D Cyclic, scale %d\n\n",
+      scale);
+  for (papi::Event e : {papi::Event::TOT_INS, papi::Event::LST_INS,
+                        papi::Event::L1_DCM, papi::Event::BR_MSP}) {
+    const auto totals = profiler.papi_totals(e);
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (std::size_t pe = 0; pe < totals.size(); ++pe) {
+      labels.push_back("PE" + std::to_string(pe));
+      values.push_back(static_cast<double>(totals[pe]));
+    }
+    viz::BarOptions bo;
+    bo.title = std::string(papi::name(e)) + " per PE";
+    std::cout << viz::render_bars(labels, values, bo);
+    std::printf("imbalance (max/mean) = %.2fx\n\n",
+                prof::imbalance_factor(totals));
+  }
+  std::printf(
+      "All four counters skew together at the hot PE: memory (LST/L1_DCM)\n"
+      "and branch (BR_MSP) pressure follow the instruction imbalance, the\n"
+      "inference pattern §III-A describes for HPC run-time designers.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Jaccard similarity over vertex neighborhoods — the workload of the
+// genome-comparison paper the authors profile with ActorProf (§IV-A).
+// Computes J(u,v) for every edge of an R-MAT graph with a two-mailbox
+// wedge-query selector, validates against the serial reference, and
+// shows where the time goes.
+//
+//   $ ./examples/jaccard_similarity [scale] [pes]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/jaccard.hpp"
+#include "core/profiler.hpp"
+#include "graph/rmat.hpp"
+#include "shmem/shmem.hpp"
+#include "viz/render.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ap;
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int pes = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  graph::RmatParams gp;
+  gp.scale = scale;
+  gp.edge_factor = 8;
+  const auto edges = graph::rmat_edges(gp);
+  const auto lower =
+      graph::Csr::from_edges(graph::Vertex{1} << scale, edges, true);
+  const auto serial = apps::jaccard_serial(lower);
+
+  prof::Config pc = prof::Config::all_enabled();
+  pc.keep_logical_events = pc.keep_physical_events = false;
+  prof::Profiler profiler(pc);
+
+  bool ok = true;
+  double top = 0;
+  std::uint64_t msgs = 0;
+  rt::LaunchConfig lc;
+  lc.num_pes = pes;
+  lc.pes_per_node = pes / 2 > 0 ? pes / 2 : pes;
+  shmem::run(lc, [&] {
+    graph::CyclicDistribution dist(shmem::n_pes());
+    const auto r = apps::jaccard_actor(lower, dist, &profiler);
+    // Spot-validate this PE's edges against the serial order.
+    std::size_t local_idx = 0, global_idx = 0;
+    for (graph::Vertex i = 0; i < lower.num_vertices(); ++i) {
+      for (std::size_t a = 0; a < lower.degree(i); ++a, ++global_idx) {
+        if (dist.owner(i) != shmem::my_pe()) continue;
+        if (r.local_similarity[local_idx] != serial[global_idx]) ok = false;
+        ++local_idx;
+      }
+    }
+    double local_top = 0;
+    for (double s : r.local_similarity) local_top = std::max(local_top, s);
+    const double t = shmem::sum_reduce(local_top);  // crude max proxy
+    const std::int64_t m = shmem::sum_reduce(
+        static_cast<std::int64_t>(r.wedge_messages));
+    shmem::barrier_all();
+    if (shmem::my_pe() == 0) {
+      top = t;
+      msgs = static_cast<std::uint64_t>(m);
+    }
+  });
+
+  std::printf(
+      "Jaccard over %zu edges, %llu wedge queries — %s (sum of per-PE max "
+      "J = %.3f)\n\n",
+      serial.size(), static_cast<unsigned long long>(msgs),
+      ok ? "VALIDATED against serial" : "MISMATCH!", top);
+
+  viz::StackedBarOptions so;
+  so.title = "Jaccard overall breakdown";
+  so.relative = true;
+  std::cout << viz::render_overall_stacked(profiler.overall(), so);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Toposort (bale kernel): recover the hidden upper-triangular structure
+// of a scrambled matrix by asynchronously peeling degree-1 rows. Shows a
+// data-dependent, multi-wave FA-BSP computation whose message volume is
+// discovered at run time — and what its profile looks like.
+//
+//   $ ./examples/toposort_peel [n] [pes]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/toposort.hpp"
+#include "core/profiler.hpp"
+#include "shmem/shmem.hpp"
+#include "viz/render.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ap;
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 2000;
+  const int pes = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  const auto m = apps::make_morally_triangular(n, 4.0, 0xBADD1CE);
+  std::printf("scrambled matrix: n=%lld, nnz=%zu\n",
+              static_cast<long long>(n), m.nnz());
+
+  prof::Config pc = prof::Config::all_enabled();
+  pc.keep_logical_events = pc.keep_physical_events = false;
+  prof::Profiler profiler(pc);
+
+  bool ok = false;
+  std::int64_t waves = 0;
+  std::uint64_t msgs = 0;
+  rt::LaunchConfig lc;
+  lc.num_pes = pes;
+  lc.pes_per_node = pes / 2 > 0 ? pes / 2 : pes;
+  lc.symm_heap_bytes = 64 << 20;
+  shmem::run(lc, [&] {
+    const auto res = apps::toposort_actor(m, &profiler);
+    shmem::barrier_all();
+    if (shmem::my_pe() == 0) {
+      ok = apps::toposort_valid(m, res);
+      waves = res.waves;
+      msgs = res.decrement_messages;
+    }
+    shmem::barrier_all();
+  });
+
+  std::printf(
+      "toposort: %lld waves, %llu decrement messages — %s\n\n",
+      static_cast<long long>(waves), static_cast<unsigned long long>(msgs),
+      ok ? "permutations VALIDATED (upper triangular restored)"
+         : "INVALID result!");
+
+  viz::StackedBarOptions so;
+  so.title = "toposort overall breakdown (all waves)";
+  so.relative = true;
+  std::cout << viz::render_overall_stacked(profiler.overall(), so);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+#include "actor/observer.hpp"
+
+namespace ap::actor {
+
+namespace {
+thread_local ActorObserver* g_observer = nullptr;
+}
+
+void set_actor_observer(ActorObserver* obs) { g_observer = obs; }
+ActorObserver* actor_observer() { return g_observer; }
+
+}  // namespace ap::actor

@@ -1,0 +1,35 @@
+// Instrumentation seam between HClib-Actor and ActorProf.
+//
+// The Selector reports application-level events: every send() *before*
+// aggregation (the logical trace of §III-A), handler entry/exit (the PROC
+// region), and entry/exit of the communication internals (the COMM region
+// used to derive T_COMM in §III-B). A null observer costs one branch.
+#pragma once
+
+#include <cstddef>
+
+namespace ap::actor {
+
+class ActorObserver {
+ public:
+  virtual ~ActorObserver() = default;
+
+  /// An application send of `bytes` payload to `dst_pe` on mailbox `mb`
+  /// (fires before the message enters any aggregation buffer).
+  virtual void on_send(int mb, int dst_pe, std::size_t bytes) = 0;
+
+  /// The user message handler for mailbox `mb` is about to run / just ran
+  /// for a message of `bytes` payload from `src_pe`.
+  virtual void on_handler_begin(int mb, int src_pe, std::size_t bytes) = 0;
+  virtual void on_handler_end(int mb) = 0;
+
+  /// The runtime entered/left conveyor progress work (advance, flush,
+  /// delivery, termination detection) on the current PE.
+  virtual void on_comm_begin() = 0;
+  virtual void on_comm_end() = 0;
+};
+
+void set_actor_observer(ActorObserver* obs);
+ActorObserver* actor_observer();
+
+}  // namespace ap::actor

@@ -1,0 +1,330 @@
+// HClib-Actor: actors and selectors for FA-BSP programming (paper §II-A).
+//
+// A Selector is an actor with NMB guarded mailboxes. Each mailbox carries
+// fixed-type messages over its own Conveyor, so sends aggregate
+// automatically and handlers run one message at a time on the owning PE —
+// no atomics are ever needed in user handlers (each PE is single-threaded).
+//
+// The canonical program shape is the paper's Listing 1/2:
+//
+//   class MyActor : public ap::actor::Selector<1, int> {
+//     int* larray;
+//     void process(int idx, int sender) { larray[idx] += 1; }
+//    public:
+//     explicit MyActor(int* a) : larray(a) {
+//       mb[0].process = [this](int idx, int s) { process(idx, s); };
+//     }
+//   };
+//   ...
+//   ap::hclib::finish([&] {
+//     actor->start();
+//     for (...) actor->send(i, dst);
+//     actor->done(0);
+//   });
+//
+// done(k) declares that this PE pushes no more messages into mailbox k.
+// When mailbox k terminates globally, done(k+1) fires automatically on
+// every PE (HClib-Actor's dependent-mailbox chaining), which is what makes
+// request/reply patterns across mailboxes terminate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+
+#include "actor/observer.hpp"
+#include "conveyor/conveyor.hpp"
+#include "papi/papi.hpp"
+#include "runtime/finish.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace ap::actor {
+
+/// Safety valve: a Selector whose pump spins this many rounds without any
+/// global progress aborts with a diagnostic — the usual cause is a missing
+/// done() on some PE, which would otherwise livelock silently.
+inline constexpr std::uint64_t kStallLimit = 5'000'000;
+
+namespace detail {
+/// RAII COMM-region marker around runtime internals.
+class CommRegion {
+ public:
+  CommRegion() {
+    if (ActorObserver* o = actor_observer()) o->on_comm_begin();
+  }
+  ~CommRegion() {
+    if (ActorObserver* o = actor_observer()) o->on_comm_end();
+  }
+  CommRegion(const CommRegion&) = delete;
+  CommRegion& operator=(const CommRegion&) = delete;
+};
+}  // namespace detail
+
+template <int NMB = 1, typename MsgT = std::int64_t>
+class Selector {
+  static_assert(NMB >= 1, "Selector needs at least one mailbox");
+  static_assert(std::is_trivially_copyable_v<MsgT>,
+                "Selector messages travel by memcpy; MsgT must be "
+                "trivially copyable");
+
+ public:
+  struct Mailbox {
+    /// User handler: (message, sender PE). Runs on the owning PE, one
+    /// message at a time.
+    std::function<void(MsgT, int)> process;
+  };
+
+  /// The guarded mailboxes; assign mb[k].process before start().
+  std::array<Mailbox, NMB> mb;
+
+  Selector() : Selector(default_options()) {}
+
+  explicit Selector(const convey::Options& conveyor_options)
+      : opts_(conveyor_options) {
+    opts_.item_bytes = sizeof(MsgT);
+  }
+
+  virtual ~Selector() = default;
+  Selector(const Selector&) = delete;
+  Selector& operator=(const Selector&) = delete;
+
+  /// Collective: create the conveyors and register this selector's worker
+  /// with the innermost finish scope. Must be called inside hclib::finish
+  /// by every PE.
+  void start() {
+    if (started_) throw std::logic_error("Selector::start called twice");
+    for (int k = 0; k < NMB; ++k) {
+      if (!mb[static_cast<std::size_t>(k)].process)
+        throw std::logic_error(
+            "Selector::start: every mailbox needs a process handler");
+    }
+    {
+      detail::CommRegion comm;
+      for (int k = 0; k < NMB; ++k)
+        state_[static_cast<std::size_t>(k)].conveyor =
+            convey::Conveyor::create(opts_);
+    }
+    started_ = true;
+    auto* scope = hclib::FinishScope::current();
+    if (scope == nullptr)
+      throw std::logic_error("Selector::start must run inside hclib::finish");
+    scope->register_pump([this] { return pump(); });
+  }
+
+  /// Asynchronously send `msg` to mailbox `mb_id` of the actor on `dst_pe`.
+  /// May pump communication (and run local handlers) while aggregation
+  /// buffers are full — that interleaving IS the FA-BSP model.
+  void send(int mb_id, const MsgT& msg, int dst_pe) {
+    check_mailbox(mb_id);
+    if (!started_) throw std::logic_error("Selector::send before start()");
+    MailboxState& st = state_[static_cast<std::size_t>(mb_id)];
+    if (st.user_done)
+      throw std::logic_error("Selector::send after done() on this mailbox");
+
+    if (ActorObserver* o = actor_observer())
+      o->on_send(mb_id, dst_pe, sizeof(MsgT));
+    papi::account_message_construct(sizeof(MsgT));
+
+    while (!st.conveyor->push(&msg, dst_pe)) {
+      {
+        detail::CommRegion comm;
+        // Progress EVERY mailbox, not just the blocked one: a peer may be
+        // stuck inside a handler pushing to another mailbox of ours, and
+        // only our advance() on that conveyor acks its ring slots. (A
+        // request/reply selector livelocks otherwise.)
+        for (MailboxState& other : state_) {
+          if (other.conveyor && !other.complete)
+            (void)other.conveyor->advance(false);
+        }
+        papi::sync_virtual_clock();  // back-pressure wait == COMM
+      }
+      drain_handlers();  // FA-BSP: process incoming while we send
+      rt::yield();       // let peers consume what we flushed
+    }
+    // Periodically deliver + run handlers even when sends never block, so
+    // message processing interleaves with the send loop (Figure 1's RED
+    // segments inside the BLUE one) and receive queues stay small.
+    if (++sends_since_poll_ >= kPollInterval) {
+      sends_since_poll_ = 0;
+      {
+        detail::CommRegion comm;
+        (void)st.conveyor->advance(false);
+      }
+      drain_handlers();
+    }
+  }
+
+  /// Single-mailbox convenience (the paper's actor_ptr->send(msg, dst)).
+  void send(const MsgT& msg, int dst_pe) { send(0, msg, dst_pe); }
+
+  /// Declare that this PE sends no more messages to mailbox `mb_id`.
+  void done(int mb_id) {
+    check_mailbox(mb_id);
+    if (!started_) throw std::logic_error("Selector::done before start()");
+    state_[static_cast<std::size_t>(mb_id)].user_done = true;
+  }
+
+  /// True once every mailbox's conveyor has globally terminated.
+  [[nodiscard]] bool terminated() const {
+    for (const MailboxState& st : state_)
+      if (!st.complete) return false;
+    return true;
+  }
+
+  /// The conveyor backing mailbox `mb_id` (stats / tests).
+  [[nodiscard]] const convey::Conveyor& conveyor(int mb_id = 0) const {
+    check_mailbox(mb_id);
+    return *state_[static_cast<std::size_t>(mb_id)].conveyor;
+  }
+
+  /// Messages this PE handled per mailbox.
+  [[nodiscard]] std::uint64_t handled(int mb_id = 0) const {
+    check_mailbox(mb_id);
+    return state_[static_cast<std::size_t>(mb_id)].handled;
+  }
+
+ private:
+  struct MailboxState {
+    std::shared_ptr<convey::Conveyor> conveyor;
+    bool user_done = false;
+    bool done_passed = false;  // done flag already handed to advance()
+    bool complete = false;     // conveyor terminated globally
+    std::uint64_t handled = 0;
+  };
+
+  static convey::Options default_options() {
+    convey::Options o;
+    o.item_bytes = sizeof(MsgT);
+    return o;
+  }
+
+  void check_mailbox(int mb_id) const {
+    if (mb_id < 0 || mb_id >= NMB)
+      throw std::out_of_range("Selector: mailbox id out of range");
+  }
+
+  /// One progress round over all mailboxes; returns true when the whole
+  /// selector has terminated. Registered as the finish-scope pump.
+  bool pump() {
+    bool all_complete = true;
+    std::uint64_t progress_stamp = 0;
+    for (int k = 0; k < NMB; ++k) {
+      MailboxState& st = state_[static_cast<std::size_t>(k)];
+      if (st.complete) continue;
+      bool still_running;
+      {
+        detail::CommRegion comm;
+        still_running = st.conveyor->advance(st.user_done);
+        st.done_passed = st.user_done;
+      }
+      // Drain everything delivered this round; handlers may send() to
+      // other mailboxes of this selector (or other selectors).
+      if (!in_dispatch_) {
+        MsgT msg;
+        int from = -1;
+        for (;;) {
+          bool have;
+          {
+            detail::CommRegion comm;
+            have = st.conveyor->pull(&msg, &from);
+          }
+          if (!have) break;
+          dispatch(k, msg, from);
+        }
+      }
+      if (!still_running) {
+        st.complete = true;
+        // Dependent-mailbox chaining: termination of mailbox k is the
+        // runtime's signal that no handler can feed mailbox k+1 anymore.
+        if (k + 1 < NMB) state_[static_cast<std::size_t>(k + 1)].user_done = true;
+      } else {
+        all_complete = false;
+      }
+      progress_stamp += st.conveyor->total_stats().pushed +
+                        st.conveyor->total_stats().pulled;
+    }
+    if (all_complete) return true;
+
+    // Still waiting on peers: on a real cluster this PE would be burning
+    // wall-clock polling the network; advance the virtual clock to the
+    // fleet maximum so the overall profile sees the wait as COMM.
+    {
+      detail::CommRegion comm;
+      papi::sync_virtual_clock();
+    }
+
+    // Livelock guard (missing done() somewhere).
+    for (const MailboxState& st : state_) {
+      if (!st.complete) progress_stamp += st.user_done ? 1u : 0u;
+    }
+    if (progress_stamp == last_progress_stamp_) {
+      if (++stalled_rounds_ > kStallLimit)
+        throw std::runtime_error(
+            "Selector: no progress for too long — did every PE call done() "
+            "on every mailbox?");
+    } else {
+      stalled_rounds_ = 0;
+      last_progress_stamp_ = progress_stamp;
+    }
+    return false;
+  }
+
+  /// Run handlers for everything already delivered, unless we are already
+  /// inside a handler (keeps handler recursion depth at one).
+  void drain_handlers() {
+    if (in_dispatch_) return;
+    for (int k = 0; k < NMB; ++k) {
+      MailboxState& st = state_[static_cast<std::size_t>(k)];
+      if (!st.conveyor) continue;
+      MsgT msg;
+      int from = -1;
+      for (;;) {
+        bool have;
+        {
+          detail::CommRegion comm;
+          have = st.conveyor->pull(&msg, &from);
+        }
+        if (!have) break;
+        dispatch(k, msg, from);
+      }
+    }
+  }
+
+  void dispatch(int mb_id, const MsgT& msg, int from) {
+    MailboxState& st = state_[static_cast<std::size_t>(mb_id)];
+    if (ActorObserver* o = actor_observer())
+      o->on_handler_begin(mb_id, from, sizeof(MsgT));
+    papi::account_message_handle(sizeof(MsgT));
+    in_dispatch_ = true;
+    try {
+      mb[static_cast<std::size_t>(mb_id)].process(msg, from);
+    } catch (...) {
+      in_dispatch_ = false;
+      if (ActorObserver* o = actor_observer()) o->on_handler_end(mb_id);
+      throw;
+    }
+    in_dispatch_ = false;
+    ++st.handled;
+    if (ActorObserver* o = actor_observer()) o->on_handler_end(mb_id);
+  }
+
+  /// How many uncontended sends may pass before we poll for incoming work.
+  static constexpr int kPollInterval = 32;
+
+  convey::Options opts_;
+  std::array<MailboxState, NMB> state_{};
+  bool started_ = false;
+  bool in_dispatch_ = false;
+  int sends_since_poll_ = 0;
+  std::uint64_t last_progress_stamp_ = 0;
+  std::uint64_t stalled_rounds_ = 0;
+};
+
+/// A plain actor is a selector with one mailbox (paper terminology).
+template <typename MsgT = std::int64_t>
+using Actor = Selector<1, MsgT>;
+
+}  // namespace ap::actor

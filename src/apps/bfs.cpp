@@ -1,0 +1,103 @@
+#include "apps/bfs.hpp"
+
+#include <deque>
+
+#include "actor/selector.hpp"
+#include "core/profiler.hpp"
+#include "papi/papi.hpp"
+#include "runtime/finish.hpp"
+#include "shmem/shmem.hpp"
+
+namespace ap::apps {
+
+std::vector<std::int64_t> bfs_serial(const graph::Csr& adj,
+                                     graph::Vertex root) {
+  std::vector<std::int64_t> level(
+      static_cast<std::size_t>(adj.num_vertices()), -1);
+  std::deque<graph::Vertex> q;
+  level[static_cast<std::size_t>(root)] = 0;
+  q.push_back(root);
+  while (!q.empty()) {
+    const graph::Vertex u = q.front();
+    q.pop_front();
+    for (graph::Vertex v : adj.neighbors(u)) {
+      if (level[static_cast<std::size_t>(v)] < 0) {
+        level[static_cast<std::size_t>(v)] =
+            level[static_cast<std::size_t>(u)] + 1;
+        q.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+BfsResult bfs_actor(const graph::Csr& adj, graph::Vertex root,
+                    prof::Profiler* profiler) {
+  const int me = shmem::my_pe();
+  const int n = shmem::n_pes();
+  const graph::Vertex nv = adj.num_vertices();
+  const std::size_t local_slots =
+      static_cast<std::size_t>((nv - me + n - 1) / n);
+
+  BfsResult r;
+  r.local_level.assign(local_slots, -1);
+  std::vector<graph::Vertex> frontier;
+
+  auto owner = [n](graph::Vertex v) { return static_cast<int>(v % n); };
+  auto slot = [n](graph::Vertex v) {
+    return static_cast<std::size_t>(v / n);
+  };
+
+  if (owner(root) == me) {
+    r.local_level[slot(root)] = 0;
+    frontier.push_back(root);
+  }
+
+  shmem::barrier_all();
+  if (profiler != nullptr) profiler->epoch_begin();
+
+  std::int64_t level = 0;
+  for (;;) {
+    std::vector<graph::Vertex> next;
+    // One FA-BSP superstep: expand the frontier.
+    actor::Actor<std::int64_t> visit;
+    visit.mb[0].process = [&](std::int64_t v64, int) {
+      const auto v = static_cast<graph::Vertex>(v64);
+      if (r.local_level[slot(v)] < 0) {
+        r.local_level[slot(v)] = level + 1;
+        next.push_back(v);
+      }
+    };
+    hclib::finish([&] {
+      visit.start();
+      for (graph::Vertex u : frontier) {
+        papi::account_loop_iters(adj.degree(u));
+        for (graph::Vertex v : adj.neighbors(u))
+          visit.send(static_cast<std::int64_t>(v), owner(v));
+      }
+      visit.done(0);
+    });
+    frontier = std::move(next);
+    const std::int64_t frontier_total =
+        shmem::sum_reduce(static_cast<std::int64_t>(frontier.size()));
+    ++level;
+    if (frontier_total == 0) break;
+  }
+
+  if (profiler != nullptr) profiler->epoch_end();
+  shmem::barrier_all();
+
+  std::int64_t reached_local = 0;
+  std::int64_t max_level_local = -1;
+  for (std::int64_t l : r.local_level) {
+    if (l >= 0) {
+      ++reached_local;
+      max_level_local = std::max(max_level_local, l);
+    }
+  }
+  r.reached = shmem::sum_reduce(reached_local);
+  r.levels = shmem::max_reduce(max_level_local) + 1;
+  return r;
+}
+
+}  // namespace ap::apps

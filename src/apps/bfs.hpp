@@ -1,0 +1,37 @@
+// Level-synchronous distributed BFS with actors — one of the irregular
+// applications the paper's introduction motivates (graph500-style).
+//
+// Vertices are distributed 1D-cyclic. Each level is one FA-BSP superstep:
+// frontier owners push "visit v" messages to the owners of the neighbors;
+// handlers claim unvisited vertices (no atomics — handlers are serial per
+// PE) and build the next frontier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace ap::prof {
+class Profiler;
+}
+
+namespace ap::apps {
+
+struct BfsResult {
+  /// level[v] for vertices owned by this PE (cyclic: v % n_pes == my_pe);
+  /// -1 for unreachable. Indexed by local slot v / n_pes.
+  std::vector<std::int64_t> local_level;
+  std::int64_t reached = 0;  // global number of reached vertices
+  std::int64_t levels = 0;   // eccentricity of the root + 1
+};
+
+/// SPMD. `adj` must be the full symmetric adjacency.
+BfsResult bfs_actor(const graph::Csr& adj, graph::Vertex root,
+                    prof::Profiler* profiler = nullptr);
+
+/// Serial reference BFS levels (ground truth).
+std::vector<std::int64_t> bfs_serial(const graph::Csr& adj,
+                                     graph::Vertex root);
+
+}  // namespace ap::apps

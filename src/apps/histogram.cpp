@@ -1,0 +1,64 @@
+#include "apps/histogram.hpp"
+
+#include "actor/selector.hpp"
+#include "core/profiler.hpp"
+#include "graph/rmat.hpp"  // SplitMix64
+#include "runtime/finish.hpp"
+#include "shmem/shmem.hpp"
+
+namespace ap::apps {
+
+namespace {
+/// The MyActor of Listing 2.
+class HistoActor final : public actor::Actor<std::int64_t> {
+ public:
+  explicit HistoActor(std::vector<std::int64_t>* larray) : larray_(larray) {
+    mb[0].process = [this](std::int64_t idx, int sender_rank) {
+      (void)sender_rank;
+      (*larray_)[static_cast<std::size_t>(idx)] += 1;  // no atomics
+    };
+  }
+
+ private:
+  std::vector<std::int64_t>* larray_;
+};
+}  // namespace
+
+HistogramResult histogram_actor(std::size_t buckets_per_pe,
+                                std::size_t updates_per_pe,
+                                std::uint64_t seed,
+                                prof::Profiler* profiler) {
+  const int me = shmem::my_pe();
+  const int n = shmem::n_pes();
+  HistogramResult r;
+  r.local_buckets.assign(buckets_per_pe, 0);
+
+  HistoActor actor_obj(&r.local_buckets);
+  graph::SplitMix64 rng(seed + static_cast<std::uint64_t>(me) * 0x9E37ull);
+
+  shmem::barrier_all();
+  if (profiler != nullptr) profiler->epoch_begin();
+  hclib::finish([&] {
+    actor_obj.start();
+    const std::uint64_t global_buckets =
+        static_cast<std::uint64_t>(n) * buckets_per_pe;
+    for (std::size_t i = 0; i < updates_per_pe; ++i) {
+      const std::uint64_t g = rng.next_below(global_buckets);
+      const int dst = static_cast<int>(g % static_cast<std::uint64_t>(n));
+      const std::int64_t idx =
+          static_cast<std::int64_t>(g / static_cast<std::uint64_t>(n));
+      actor_obj.send(idx, dst);
+    }
+    actor_obj.done(0);
+  });
+  if (profiler != nullptr) profiler->epoch_end();
+  shmem::barrier_all();
+
+  r.sends = actor_obj.conveyor(0).stats().pushed;
+  std::int64_t local = 0;
+  for (std::int64_t b : r.local_buckets) local += b;
+  r.global_updates = shmem::sum_reduce(local);
+  return r;
+}
+
+}  // namespace ap::apps

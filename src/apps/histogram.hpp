@@ -1,0 +1,31 @@
+// Distributed histogram — the paper's Listing 1/2 program and bale's
+// classic "histo" kernel: every PE fires random increments at remote
+// array slots; handlers bump local counters without atomics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ap::prof {
+class Profiler;
+}
+
+namespace ap::apps {
+
+struct HistogramResult {
+  /// This PE's local bucket array after the run.
+  std::vector<std::int64_t> local_buckets;
+  std::uint64_t sends = 0;
+  /// Sum over all PEs of all buckets (== total updates globally).
+  std::int64_t global_updates = 0;
+};
+
+/// SPMD: each PE sends `updates_per_pe` increments to pseudo-random
+/// (seeded, deterministic) global bucket indices; bucket g lives on
+/// PE g % n_pes at slot g / n_pes.
+HistogramResult histogram_actor(std::size_t buckets_per_pe,
+                                std::size_t updates_per_pe,
+                                std::uint64_t seed = 0xB16B00B5,
+                                prof::Profiler* profiler = nullptr);
+
+}  // namespace ap::apps

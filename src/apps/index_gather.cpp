@@ -1,0 +1,83 @@
+#include "apps/index_gather.hpp"
+
+#include "actor/selector.hpp"
+#include "core/profiler.hpp"
+#include "graph/rmat.hpp"  // SplitMix64
+#include "runtime/finish.hpp"
+#include "shmem/shmem.hpp"
+
+namespace ap::apps {
+
+namespace {
+
+struct IgMsg {
+  std::int64_t payload;  // request: local table slot; reply: value
+  std::int32_t slot;     // requester-side result slot
+  std::int32_t pad = 0;
+};
+
+/// mb0 = requests (handled by the table owner), mb1 = replies.
+class IgSelector final : public actor::Selector<2, IgMsg> {
+ public:
+  IgSelector(const std::vector<std::int64_t>& table,
+             std::vector<std::int64_t>* results)
+      : table_(table), results_(results) {
+    mb[0].process = [this](IgMsg m, int sender_rank) {
+      const std::int64_t value =
+          table_[static_cast<std::size_t>(m.payload)];
+      send(1, IgMsg{value, m.slot}, sender_rank);
+    };
+    mb[1].process = [this](IgMsg m, int) {
+      (*results_)[static_cast<std::size_t>(m.slot)] = m.payload;
+    };
+  }
+
+ private:
+  const std::vector<std::int64_t>& table_;
+  std::vector<std::int64_t>* results_;
+};
+
+}  // namespace
+
+IndexGatherResult index_gather_actor(std::size_t table_per_pe,
+                                     std::size_t requests_per_pe,
+                                     std::uint64_t seed,
+                                     prof::Profiler* profiler) {
+  const int me = shmem::my_pe();
+  const int n = shmem::n_pes();
+
+  // Local slice of the table: global entry g = me + n*slot, value 3g+1.
+  std::vector<std::int64_t> table(table_per_pe);
+  for (std::size_t s = 0; s < table_per_pe; ++s)
+    table[s] = 3 * (static_cast<std::int64_t>(s) * n + me) + 1;
+
+  IndexGatherResult r;
+  r.values.assign(requests_per_pe, -1);
+
+  IgSelector sel(table, &r.values);
+  graph::SplitMix64 rng(seed ^ (static_cast<std::uint64_t>(me) << 32));
+
+  shmem::barrier_all();
+  if (profiler != nullptr) profiler->epoch_begin();
+  hclib::finish([&] {
+    sel.start();
+    const std::uint64_t global = static_cast<std::uint64_t>(n) * table_per_pe;
+    for (std::size_t i = 0; i < requests_per_pe; ++i) {
+      const std::uint64_t g = rng.next_below(global);
+      const int owner = static_cast<int>(g % static_cast<std::uint64_t>(n));
+      const std::int64_t slot_on_owner =
+          static_cast<std::int64_t>(g / static_cast<std::uint64_t>(n));
+      sel.send(0, IgMsg{slot_on_owner, static_cast<std::int32_t>(i)}, owner);
+    }
+    sel.done(0);
+    // done(1) fires automatically when mailbox 0 terminates globally.
+  });
+  if (profiler != nullptr) profiler->epoch_end();
+  shmem::barrier_all();
+
+  r.requests = sel.conveyor(0).stats().pushed;
+  r.replies = sel.handled(1);
+  return r;
+}
+
+}  // namespace ap::apps

@@ -1,0 +1,31 @@
+// Index-gather ("ig") — the second classic bale kernel: each PE holds a
+// table slice and a list of random global indices; for every index it asks
+// the owner (mailbox 0) and the owner replies with the value (mailbox 1).
+// A two-mailbox request/reply Selector — the pattern that exercises
+// dependent-mailbox termination chaining.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ap::prof {
+class Profiler;
+}
+
+namespace ap::apps {
+
+struct IndexGatherResult {
+  /// Gathered values, one per requested index, in request order.
+  std::vector<std::int64_t> values;
+  std::uint64_t requests = 0;
+  std::uint64_t replies = 0;
+};
+
+/// SPMD. The global table has n_pes * table_per_pe entries; entry g holds
+/// the value 3*g+1 (bale's convention) and lives on PE g % n_pes.
+IndexGatherResult index_gather_actor(std::size_t table_per_pe,
+                                     std::size_t requests_per_pe,
+                                     std::uint64_t seed = 0xDEC0DE,
+                                     prof::Profiler* profiler = nullptr);
+
+}  // namespace ap::apps

@@ -1,0 +1,120 @@
+#include "apps/influence_max.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "actor/selector.hpp"
+#include "core/profiler.hpp"
+#include "runtime/finish.hpp"
+#include "shmem/shmem.hpp"
+
+namespace ap::apps {
+
+namespace {
+
+/// Discounted degree of DegreeDiscount: dd = d - 2t - (d - t) * t * p.
+double discounted_degree(std::size_t degree, std::int64_t t, double p) {
+  const double d = static_cast<double>(degree);
+  const double td = static_cast<double>(t);
+  return d - 2.0 * td - (d - td) * td * p;
+}
+
+/// Pack (dd, vertex) into one int64 for deterministic max-reduction:
+/// higher dd wins; ties break toward the smaller vertex id.
+std::int64_t pack_candidate(double dd, graph::Vertex v,
+                            graph::Vertex num_vertices) {
+  // dd is bounded by the max degree; scale to keep 3 fractional digits.
+  const auto scaled =
+      static_cast<std::int64_t>(std::llround(dd * 1000.0)) + (1ll << 40);
+  return scaled * (num_vertices + 1) + (num_vertices - v);
+}
+
+graph::Vertex unpack_vertex(std::int64_t packed,
+                            graph::Vertex num_vertices) {
+  return num_vertices - packed % (num_vertices + 1);
+}
+
+}  // namespace
+
+std::vector<graph::Vertex> influence_max_serial(
+    const graph::Csr& adj, const InfluenceMaxOptions& opts) {
+  const graph::Vertex n = adj.num_vertices();
+  std::vector<std::int64_t> t(static_cast<std::size_t>(n), 0);
+  std::vector<bool> selected(static_cast<std::size_t>(n), false);
+  std::vector<graph::Vertex> seeds;
+  const int k = std::min<std::int64_t>(opts.seeds, n);
+  for (int round = 0; round < k; ++round) {
+    std::int64_t best = INT64_MIN;
+    for (graph::Vertex v = 0; v < n; ++v) {
+      if (selected[static_cast<std::size_t>(v)]) continue;
+      const double dd = discounted_degree(
+          adj.degree(v), t[static_cast<std::size_t>(v)], opts.propagation);
+      best = std::max(best, pack_candidate(dd, v, n));
+    }
+    const graph::Vertex s = unpack_vertex(best, n);
+    selected[static_cast<std::size_t>(s)] = true;
+    seeds.push_back(s);
+    for (graph::Vertex u : adj.neighbors(s))
+      if (!selected[static_cast<std::size_t>(u)])
+        t[static_cast<std::size_t>(u)]++;
+  }
+  return seeds;
+}
+
+InfluenceMaxResult influence_max_actor(const graph::Csr& adj,
+                                       const InfluenceMaxOptions& opts,
+                                       prof::Profiler* profiler) {
+  const int me = shmem::my_pe();
+  const int n_ranks = shmem::n_pes();
+  const graph::Vertex n = adj.num_vertices();
+  auto owner = [n_ranks](graph::Vertex v) {
+    return static_cast<int>(v % n_ranks);
+  };
+
+  std::vector<std::int64_t> t(static_cast<std::size_t>(n), 0);  // local rows only
+  std::vector<bool> selected(static_cast<std::size_t>(n), false);
+
+  InfluenceMaxResult res;
+  shmem::barrier_all();
+  if (profiler != nullptr) profiler->epoch_begin();
+
+  const int k = static_cast<int>(std::min<std::int64_t>(opts.seeds, n));
+  for (int round = 0; round < k; ++round) {
+    // Local best over owned, unselected vertices.
+    std::int64_t local_best = INT64_MIN;
+    for (graph::Vertex v = me; v < n; v += n_ranks) {
+      if (selected[static_cast<std::size_t>(v)]) continue;
+      const double dd = discounted_degree(
+          adj.degree(v), t[static_cast<std::size_t>(v)], opts.propagation);
+      local_best = std::max(local_best, pack_candidate(dd, v, n));
+    }
+    const std::int64_t global_best = shmem::max_reduce(local_best);
+    const graph::Vertex s = unpack_vertex(global_best, n);
+    selected[static_cast<std::size_t>(s)] = true;
+    res.seeds.push_back(s);
+
+    // The winner's owner fans out discount updates to neighbor owners.
+    actor::Actor<std::int64_t> discount;
+    discount.mb[0].process = [&](std::int64_t v64, int) {
+      const auto v = static_cast<graph::Vertex>(v64);
+      if (!selected[static_cast<std::size_t>(v)])
+        t[static_cast<std::size_t>(v)]++;
+    };
+    hclib::finish([&] {
+      discount.start();
+      if (owner(s) == me) {
+        for (graph::Vertex u : adj.neighbors(s)) {
+          discount.send(static_cast<std::int64_t>(u), owner(u));
+          ++res.discount_messages;
+        }
+      }
+      discount.done(0);
+    });
+  }
+
+  if (profiler != nullptr) profiler->epoch_end();
+  shmem::barrier_all();
+  return res;
+}
+
+}  // namespace ap::apps

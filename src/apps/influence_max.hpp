@@ -1,0 +1,42 @@
+// Influence maximization — the other workload the paper reports profiling
+// with ActorProf (§IV-A, citing the authors' SC'24 IM paper [19]).
+//
+// We implement the classic DegreeDiscount heuristic (Chen et al., KDD'09)
+// distributed over actors: vertices are 1D-cyclic; each of the k rounds
+// picks the globally best discounted degree (deterministic tie-break on
+// vertex id), and the winner's owner sends discount updates to the owners
+// of its neighbors — exactly the small-message fan-out FA-BSP aggregates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace ap::prof {
+class Profiler;
+}
+
+namespace ap::apps {
+
+struct InfluenceMaxOptions {
+  int seeds = 10;            ///< k
+  double propagation = 0.01;  ///< IC-model edge probability p
+};
+
+struct InfluenceMaxResult {
+  /// Selected seed vertices in selection order (identical on every PE).
+  std::vector<graph::Vertex> seeds;
+  std::uint64_t discount_messages = 0;
+};
+
+/// SPMD; `adj` is the full symmetric adjacency.
+InfluenceMaxResult influence_max_actor(const graph::Csr& adj,
+                                       const InfluenceMaxOptions& opts = {},
+                                       prof::Profiler* profiler = nullptr);
+
+/// Serial reference (identical arithmetic and tie-breaking).
+std::vector<graph::Vertex> influence_max_serial(
+    const graph::Csr& adj, const InfluenceMaxOptions& opts = {});
+
+}  // namespace ap::apps

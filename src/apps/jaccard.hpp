@@ -1,0 +1,42 @@
+// Distributed Jaccard similarity with actors — one of the workloads the
+// paper reports using ActorProf on (§IV-A, citing the ISC'24 genome-
+// comparison paper [7]).
+//
+// For every edge {u, v} of the lower-triangular matrix, compute
+//   J(u, v) = |N(u) ∩ N(v)| / |N(u) ∪ N(v)|
+// over the *lower* neighborhoods, with the same wedge-message pattern as
+// triangle counting: the owner of row j receives (j, k, edge-slot) and
+// checks l_jk, accumulating common-neighbor counts per edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/distribution.hpp"
+
+namespace ap::prof {
+class Profiler;
+}
+
+namespace ap::apps {
+
+struct JaccardResult {
+  /// One similarity per locally-owned edge, ordered as (row-major) within
+  /// this PE's rows of L.
+  std::vector<double> local_similarity;
+  std::uint64_t wedge_messages = 0;
+};
+
+/// SPMD; every PE passes the same lower-triangular matrix and
+/// distribution. Row ownership (dist) decides both which edges a PE
+/// reports and who answers wedge queries.
+JaccardResult jaccard_actor(const graph::Csr& lower,
+                            const graph::Distribution& dist,
+                            prof::Profiler* profiler = nullptr);
+
+/// Serial reference, same edge order as the distributed kernel produces
+/// when concatenating PEs' edges by row.
+std::vector<double> jaccard_serial(const graph::Csr& lower);
+
+}  // namespace ap::apps

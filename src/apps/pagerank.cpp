@@ -1,0 +1,109 @@
+#include "apps/pagerank.hpp"
+
+#include "actor/selector.hpp"
+#include "core/profiler.hpp"
+#include "runtime/finish.hpp"
+#include "shmem/shmem.hpp"
+
+namespace ap::apps {
+
+std::vector<double> pagerank_serial(const graph::Csr& adj,
+                                    const PageRankOptions& opts) {
+  const auto n = static_cast<std::size_t>(adj.num_vertices());
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int it = 0; it < opts.iterations; ++it) {
+    double dangling = 0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto deg = adj.degree(static_cast<graph::Vertex>(u));
+      if (deg == 0) {
+        dangling += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(deg);
+      for (graph::Vertex v : adj.neighbors(static_cast<graph::Vertex>(u)))
+        next[static_cast<std::size_t>(v)] += share;
+    }
+    const double base =
+        (1.0 - opts.damping) / static_cast<double>(n) +
+        opts.damping * dangling / static_cast<double>(n);
+    for (std::size_t v = 0; v < n; ++v)
+      next[v] = base + opts.damping * next[v];
+    rank.swap(next);
+  }
+  return rank;
+}
+
+PageRankResult pagerank_actor(const graph::Csr& adj,
+                              const PageRankOptions& opts,
+                              prof::Profiler* profiler) {
+  const int me = shmem::my_pe();
+  const int n_ranks = shmem::n_pes();
+  const graph::Vertex nv = adj.num_vertices();
+  const std::size_t slots =
+      me < nv ? static_cast<std::size_t>((nv - me + n_ranks - 1) / n_ranks)
+              : 0;
+
+  auto owner = [n_ranks](graph::Vertex v) {
+    return static_cast<int>(v % n_ranks);
+  };
+  auto slot = [n_ranks](graph::Vertex v) {
+    return static_cast<std::size_t>(v / n_ranks);
+  };
+
+  PageRankResult r;
+  r.local_rank.assign(slots, 1.0 / static_cast<double>(nv));
+  std::vector<double> accum(slots, 0.0);
+
+  struct Contribution {
+    std::int64_t v;
+    double share;
+  };
+
+  shmem::barrier_all();
+  if (profiler != nullptr) profiler->epoch_begin();
+
+  for (int it = 0; it < opts.iterations; ++it) {
+    std::fill(accum.begin(), accum.end(), 0.0);
+    double dangling_local = 0;
+
+    actor::Actor<Contribution> push;
+    push.mb[0].process = [&](Contribution c, int) {
+      accum[slot(static_cast<graph::Vertex>(c.v))] += c.share;
+    };
+    hclib::finish([&] {
+      push.start();
+      for (graph::Vertex u = me; u < nv; u += n_ranks) {
+        const auto deg = adj.degree(u);
+        const double ru = r.local_rank[slot(u)];
+        if (deg == 0) {
+          dangling_local += ru;
+          continue;
+        }
+        const double share = ru / static_cast<double>(deg);
+        for (graph::Vertex v : adj.neighbors(u))
+          push.send(Contribution{static_cast<std::int64_t>(v), share},
+                    owner(v));
+      }
+      push.done(0);
+    });
+
+    const double dangling = shmem::sum_reduce(dangling_local);
+    const double base =
+        (1.0 - opts.damping) / static_cast<double>(nv) +
+        opts.damping * dangling / static_cast<double>(nv);
+    for (std::size_t s = 0; s < slots; ++s)
+      r.local_rank[s] = base + opts.damping * accum[s];
+  }
+
+  if (profiler != nullptr) profiler->epoch_end();
+  shmem::barrier_all();
+
+  double local_sum = 0;
+  for (double x : r.local_rank) local_sum += x;
+  r.global_sum = shmem::sum_reduce(local_sum);
+  return r;
+}
+
+}  // namespace ap::apps

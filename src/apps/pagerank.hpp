@@ -1,0 +1,42 @@
+// Distributed PageRank with actors (push-style power iteration).
+//
+// Vertices are 1D-cyclic. Each iteration is one FA-BSP superstep: every
+// owner pushes rank(u)/outdeg(u) contributions to the owners of u's
+// neighbors; handlers accumulate into the next-rank vector (serial per PE,
+// no atomics). Dangling mass and the damping factor follow the standard
+// formulation, so the result matches a serial reference to floating-point
+// tolerance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace ap::prof {
+class Profiler;
+}
+
+namespace ap::apps {
+
+struct PageRankOptions {
+  int iterations = 20;
+  double damping = 0.85;
+};
+
+struct PageRankResult {
+  /// rank[slot] for locally-owned vertices (v % n_pes == my_pe).
+  std::vector<double> local_rank;
+  double global_sum = 0;  // should stay ~1.0
+};
+
+/// SPMD. `adj` is the full symmetric adjacency (directed both ways).
+PageRankResult pagerank_actor(const graph::Csr& adj,
+                              const PageRankOptions& opts = {},
+                              prof::Profiler* profiler = nullptr);
+
+/// Serial reference with identical iteration count.
+std::vector<double> pagerank_serial(const graph::Csr& adj,
+                                    const PageRankOptions& opts = {});
+
+}  // namespace ap::apps

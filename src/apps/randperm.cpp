@@ -1,0 +1,77 @@
+#include "apps/randperm.hpp"
+
+#include "actor/selector.hpp"
+#include "core/profiler.hpp"
+#include "graph/rmat.hpp"  // SplitMix64
+#include "runtime/finish.hpp"
+#include "shmem/shmem.hpp"
+
+namespace ap::apps {
+
+namespace {
+struct Dart {
+  std::int64_t value;
+  std::int64_t slot;  // global board slot
+};
+}  // namespace
+
+RandPermResult random_permutation_actor(std::size_t per_pe,
+                                        std::uint64_t seed,
+                                        prof::Profiler* profiler) {
+  const int me = shmem::my_pe();
+  const int n = shmem::n_pes();
+  const std::int64_t board_size =
+      static_cast<std::int64_t>(per_pe) * static_cast<std::int64_t>(n);
+
+  RandPermResult r;
+  r.local_perm.assign(per_pe, -1);  // board slice: slot t lives at t/n on t%n
+
+  // The values this PE must place (cyclic ownership of the value space).
+  std::vector<std::int64_t> pending;
+  for (std::int64_t v = me; v < board_size; v += n) pending.push_back(v);
+
+  graph::SplitMix64 rng(seed ^ (static_cast<std::uint64_t>(me) * 0x51ED270Bull));
+
+  shmem::barrier_all();
+  if (profiler != nullptr) profiler->epoch_begin();
+
+  // Round-based dart throwing: each round is one FA-BSP superstep; darts
+  // rejected (slot already taken) are re-thrown next round.
+  for (;;) {
+    const std::int64_t remaining =
+        shmem::sum_reduce(static_cast<std::int64_t>(pending.size()));
+    if (remaining == 0) break;
+
+    std::vector<std::int64_t> rejected;
+    actor::Selector<2, Dart> sel;
+    sel.mb[0].process = [&](Dart d, int sender_rank) {
+      const auto idx = static_cast<std::size_t>(d.slot / n);
+      if (r.local_perm[idx] < 0) {
+        r.local_perm[idx] = d.value;  // dart sticks
+      } else {
+        sel.send(1, d, sender_rank);  // bounce it back
+      }
+    };
+    sel.mb[1].process = [&](Dart d, int) {
+      rejected.push_back(d.value);
+      ++r.rejections;
+    };
+    hclib::finish([&] {
+      sel.start();
+      for (std::int64_t v : pending) {
+        const auto t = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(board_size)));
+        sel.send(0, Dart{v, t}, static_cast<int>(t % n));
+        ++r.darts_thrown;
+      }
+      sel.done(0);
+    });
+    pending = std::move(rejected);
+  }
+
+  if (profiler != nullptr) profiler->epoch_end();
+  shmem::barrier_all();
+  return r;
+}
+
+}  // namespace ap::apps

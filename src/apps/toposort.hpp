@@ -1,0 +1,65 @@
+// Distributed toposort — the third classic bale kernel (paper ref [22]):
+// given a "morally upper-triangular" sparse matrix (an upper-triangular
+// matrix with unit diagonal whose rows and columns were scrambled by
+// unknown permutations), find row/column permutations that restore the
+// upper-triangular form.
+//
+// The algorithm peels degree-1 rows: such a row's single remaining column
+// is paired with it and both get the next position from a global counter
+// (shmem atomic); eliminating the column decrements the counts of every
+// row that uses it — those decrements are the asynchronous messages — and
+// rows that reach degree 1 form the next wave. The classic row_sum trick
+// (keep the sum of remaining column indices) identifies the last column
+// without storing per-row column sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/rmat.hpp"
+
+namespace ap::prof {
+class Profiler;
+}
+
+namespace ap::apps {
+
+/// A sparse 0/1 matrix as row-major coordinate lists (row -> columns).
+struct SparseMatrix {
+  std::int64_t n = 0;
+  std::vector<std::vector<std::int64_t>> rows;
+
+  [[nodiscard]] std::size_t nnz() const {
+    std::size_t t = 0;
+    for (const auto& r : rows) t += r.size();
+    return t;
+  }
+};
+
+/// Build an upper-triangular matrix with unit diagonal and ~extra random
+/// entries per row, then scramble it with random row/col permutations.
+/// Deterministic for a seed.
+SparseMatrix make_morally_triangular(std::int64_t n, double extra_per_row,
+                                     std::uint64_t seed);
+
+struct TopoResult {
+  /// rperm[r] / cperm[c]: the position assigned to row r / column c
+  /// (gathered on every PE for convenience; the kernel itself is
+  /// distributed). Applying them makes the matrix upper triangular.
+  std::vector<std::int64_t> rperm;
+  std::vector<std::int64_t> cperm;
+  std::int64_t waves = 0;
+  std::uint64_t decrement_messages = 0;
+};
+
+/// SPMD: every PE passes the same matrix; rows and columns are owned
+/// cyclically. Throws if the matrix is not morally upper-triangular.
+TopoResult toposort_actor(const SparseMatrix& m,
+                          prof::Profiler* profiler = nullptr);
+
+/// Check the result: rperm/cperm are permutations and every nonzero
+/// (r, c) satisfies rperm[r] <= cperm[c] (upper triangular after
+/// permutation).
+bool toposort_valid(const SparseMatrix& m, const TopoResult& res);
+
+}  // namespace ap::apps

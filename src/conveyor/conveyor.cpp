@@ -1,0 +1,485 @@
+#include "conveyor/conveyor.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "papi/papi.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace ap::convey {
+
+namespace {
+thread_local TransferObserver* g_observer = nullptr;
+
+void notify(SendType t, std::size_t bytes, int src, int dst) {
+  if (g_observer != nullptr) g_observer->on_transfer(t, bytes, src, dst);
+}
+}  // namespace
+
+void set_transfer_observer(TransferObserver* obs) { g_observer = obs; }
+TransferObserver* transfer_observer() { return g_observer; }
+
+// ---------------------------------------------------------------------------
+// Wire format: every item travels as a fixed-size record
+//   [int32 final_dst][int32 orig_src][payload item_bytes]
+// so intermediate hops can re-aggregate without understanding the payload.
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kRecordHeader = 2 * sizeof(std::int32_t);
+
+struct RecordView {
+  std::int32_t dst;
+  std::int32_t src;
+  const std::byte* payload;
+};
+}  // namespace
+
+/// Outgoing aggregation buffer toward one next-hop PE. User pushes are
+/// back-pressured at one buffer's worth; forwarded items may overflow
+/// (they must never be dropped or the route deadlocks).
+struct OutBuf {
+  std::vector<std::byte> bytes;
+  std::size_t head = 0;
+
+  [[nodiscard]] std::size_t pending() const { return bytes.size() - head; }
+  void compact() {
+    if (head == bytes.size()) {
+      bytes.clear();
+      head = 0;
+    }
+  }
+};
+
+struct Conveyor::Endpoint {
+  int pe = -1;
+
+  // --- symmetric-heap communication state --------------------------------
+  /// Landing rings: slots * n_pes buffers, indexed [src][slot].
+  std::byte* ring = nullptr;
+  /// published_from[s]: number of buffers PE s has made visible to me.
+  std::int64_t* published_from = nullptr;
+  /// acked_by[r]: number of my buffers PE r has consumed (r writes it here).
+  std::int64_t* acked_by = nullptr;
+
+  // --- plain per-PE state --------------------------------------------------
+  std::vector<OutBuf> out;                 // per next-hop
+  std::vector<std::int64_t> seq_flushed;   // buffers flushed toward hop
+  std::vector<std::int64_t> seq_published; // buffers published toward hop
+  std::vector<std::vector<std::byte>> staging;  // nbi source stability, per hop*slot
+  std::vector<std::int64_t> consumed_from; // buffers consumed per source
+  std::vector<std::byte> recv;             // delivered records (src+payload)
+  std::size_t recv_head = 0;
+  bool done_reported = false;
+  ConveyorStats stats;
+};
+
+struct Conveyor::Group {
+  Options opts;
+  shmem::Topology topo;
+  Router router;
+  std::size_t record_bytes;
+  std::size_t records_per_buffer;
+  std::size_t slot_stride;  // 8-byte length header + payload capacity
+
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  int done_count = 0;
+  std::vector<Endpoint*> endpoints;  // registered per PE (for stats)
+
+  Group(const Options& o, const shmem::Topology& t)
+      : opts(o),
+        topo(t),
+        router(t, o.route),
+        record_bytes(kRecordHeader + o.item_bytes),
+        records_per_buffer(o.buffer_bytes / record_bytes),
+        slot_stride(sizeof(std::int64_t) +
+                    (o.buffer_bytes / record_bytes) * record_bytes) {
+    if (o.item_bytes == 0)
+      throw std::invalid_argument("Conveyor: item_bytes must be > 0");
+    if (o.slots < 1)
+      throw std::invalid_argument("Conveyor: slots must be >= 1");
+    if (records_per_buffer == 0)
+      throw std::invalid_argument(
+          "Conveyor: buffer_bytes too small for even one record");
+    endpoints.assign(static_cast<std::size_t>(t.num_pes()), nullptr);
+  }
+
+  [[nodiscard]] std::size_t payload_capacity() const {
+    return records_per_buffer * record_bytes;
+  }
+};
+
+std::shared_ptr<Conveyor> Conveyor::create(const Options& opts) {
+  const shmem::Topology& topo = shmem::topology();
+  auto group = rt::collective<Group>(
+      [&] { return std::make_shared<Group>(opts, topo); });
+  if (group->opts.item_bytes != opts.item_bytes ||
+      group->opts.buffer_bytes != opts.buffer_bytes ||
+      group->opts.slots != opts.slots)
+    throw std::logic_error("Conveyor::create: PEs disagree on options");
+  return std::shared_ptr<Conveyor>(new Conveyor(group, shmem::my_pe()));
+}
+
+Conveyor::Conveyor(std::shared_ptr<Group> group, int pe)
+    : group_(std::move(group)), self_(std::make_unique<Endpoint>()) {
+  Group& g = *group_;
+  const int n = g.topo.num_pes();
+  Endpoint& e = *self_;
+  e.pe = pe;
+
+  const std::size_t ring_bytes =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(g.opts.slots) *
+      g.slot_stride;
+  e.ring = static_cast<std::byte*>(shmem::symm_malloc(ring_bytes));
+  e.published_from = shmem::calloc_n<std::int64_t>(static_cast<std::size_t>(n));
+  e.acked_by = shmem::calloc_n<std::int64_t>(static_cast<std::size_t>(n));
+
+  e.out.resize(static_cast<std::size_t>(n));
+  e.seq_flushed.assign(static_cast<std::size_t>(n), 0);
+  e.seq_published.assign(static_cast<std::size_t>(n), 0);
+  e.staging.resize(static_cast<std::size_t>(n) *
+                   static_cast<std::size_t>(g.opts.slots));
+  e.consumed_from.assign(static_cast<std::size_t>(n), 0);
+
+  g.endpoints[static_cast<std::size_t>(pe)] = &e;
+  // Everyone must see everyone's rings allocated before any transfer.
+  shmem::barrier_all();
+}
+
+Conveyor::~Conveyor() {
+  Endpoint& e = *self_;
+  if (group_ && e.pe >= 0 &&
+      static_cast<std::size_t>(e.pe) < group_->endpoints.size())
+    group_->endpoints[static_cast<std::size_t>(e.pe)] = nullptr;
+  // Frees must run on the owning PE's fiber while the world is alive; the
+  // SPMD structure of HClib-Actor programs guarantees that.
+  if (rt::in_spmd_region()) {
+    shmem::symm_free(e.ring);
+    shmem::symm_free(e.published_from);
+    shmem::symm_free(e.acked_by);
+  }
+}
+
+const Options& Conveyor::options() const { return group_->opts; }
+const ConveyorStats& Conveyor::stats() const { return self_->stats; }
+const Router& Conveyor::router() const { return group_->router; }
+
+ConveyorStats Conveyor::total_stats() const {
+  ConveyorStats t;
+  for (const Endpoint* e : group_->endpoints) {
+    if (e == nullptr) continue;
+    t.pushed += e->stats.pushed;
+    t.pulled += e->stats.pulled;
+    t.forwarded += e->stats.forwarded;
+    t.local_sends += e->stats.local_sends;
+    t.nonblock_sends += e->stats.nonblock_sends;
+    t.progress_calls += e->stats.progress_calls;
+    t.local_send_bytes += e->stats.local_send_bytes;
+    t.nonblock_send_bytes += e->stats.nonblock_send_bytes;
+    t.memcpys += e->stats.memcpys;
+  }
+  return t;
+}
+
+std::uint64_t Conveyor::items_in_flight() const {
+  return group_->injected - group_->delivered;
+}
+
+// --------------------------------------------------------------------- push
+
+bool Conveyor::route_into_buffer(const void* record, int dst_pe,
+                                 bool is_forward) {
+  Group& g = *group_;
+  Endpoint& e = *self_;
+  const int hop = g.router.next_hop(e.pe, dst_pe);
+  OutBuf& ob = e.out[static_cast<std::size_t>(hop)];
+
+  // Back-pressure: a user push never flushes — appending is MAIN-region
+  // work (paper §III-B); all buffer movement happens inside advance(),
+  // which the runtime attributes to COMM. Forwarded items may exceed the
+  // capacity (dropping them would deadlock the route); advance drains them.
+  if (!is_forward && ob.pending() >= g.payload_capacity()) return false;
+
+  const std::byte* rec = static_cast<const std::byte*>(record);
+  ob.bytes.insert(ob.bytes.end(), rec, rec + g.record_bytes);
+  e.stats.memcpys++;
+  if (is_forward) {
+    e.stats.forwarded++;
+    if (ob.pending() >= g.payload_capacity())
+      (void)try_flush(hop);  // opportunistic; failure is fine, advance retries
+  }
+  return true;
+}
+
+bool Conveyor::push(const void* item, int dst_pe) {
+  Group& g = *group_;
+  Endpoint& e = *self_;
+  if (e.done_reported)
+    throw std::logic_error("Conveyor::push after done was declared");
+  if (dst_pe < 0 || dst_pe >= g.topo.num_pes())
+    throw std::out_of_range("Conveyor::push: destination PE out of range");
+
+  // Build the record in a small stack buffer (item sizes are tiny by
+  // design: the whole point of aggregation is 8..64-byte messages).
+  std::byte local[512];
+  std::vector<std::byte> heap;
+  std::byte* rec = local;
+  if (g.record_bytes > sizeof(local)) {
+    heap.resize(g.record_bytes);
+    rec = heap.data();
+  }
+  const std::int32_t dst32 = dst_pe;
+  const std::int32_t src32 = e.pe;
+  std::memcpy(rec, &dst32, sizeof dst32);
+  std::memcpy(rec + sizeof dst32, &src32, sizeof src32);
+  std::memcpy(rec + kRecordHeader, item, g.opts.item_bytes);
+
+  if (!route_into_buffer(rec, dst_pe, /*is_forward=*/false)) return false;
+  e.stats.pushed++;
+  g.injected++;
+  return true;
+}
+
+// --------------------------------------------------------------------- flush
+
+bool Conveyor::try_flush(int next_hop) {
+  Group& g = *group_;
+  Endpoint& e = *self_;
+  OutBuf& ob = e.out[static_cast<std::size_t>(next_hop)];
+  ob.compact();
+  if (ob.pending() == 0) return true;
+
+  const auto hop_idx = static_cast<std::size_t>(next_hop);
+  // Free ring slot available? Double buffering: with `slots` buffers per
+  // pair, the (slots+1)-th flush needs the oldest one acked.
+  if (e.seq_flushed[hop_idx] - e.acked_by[hop_idx] >=
+      static_cast<std::int64_t>(g.opts.slots)) {
+    // Unpublished nbi buffers can never be acked: run the progress
+    // protocol (quiet + signal) and re-check — this is exactly the
+    // "second buffer full triggers shmem_quiet" behaviour from the paper.
+    if (e.seq_published[hop_idx] < e.seq_flushed[hop_idx]) {
+      progress_pending();
+      if (e.seq_flushed[hop_idx] - e.acked_by[hop_idx] >=
+          static_cast<std::int64_t>(g.opts.slots))
+        return false;
+    } else {
+      return false;  // receiver has not consumed yet; retry later
+    }
+  }
+
+  const std::size_t chunk = std::min(ob.pending(), g.payload_capacity());
+  // Never split a record across buffers.
+  assert(chunk % g.record_bytes == 0);
+
+  const std::int64_t seq = e.seq_flushed[hop_idx];  // 0-based buffer index
+  const std::size_t slot =
+      static_cast<std::size_t>(seq % g.opts.slots);
+  // The landing slot inside the *receiver's* ring for source `e.pe`:
+  const std::size_t slot_off =
+      (static_cast<std::size_t>(e.pe) * static_cast<std::size_t>(g.opts.slots) +
+       slot) *
+      g.slot_stride;
+
+  const bool intra_node = g.topo.same_node(e.pe, next_hop);
+  if (intra_node) {
+    // local_send: direct memcpy through shmem_ptr, immediately published.
+    auto* dst = static_cast<std::byte*>(
+        shmem::ptr(static_cast<void*>(e.ring + slot_off), next_hop));
+    assert(dst != nullptr);
+    const std::int64_t len = static_cast<std::int64_t>(chunk);
+    std::memcpy(dst, &len, sizeof len);
+    std::memcpy(dst + sizeof len, ob.bytes.data() + ob.head, chunk);
+    e.stats.memcpys++;
+    papi::account_buffer_copy(chunk);
+    papi::account_local_flush(chunk);
+    // Publish instantly (shared memory): bump receiver's published_from[me].
+    auto* pub = static_cast<std::int64_t*>(shmem::ptr(
+        static_cast<void*>(e.published_from + e.pe), next_hop));
+    *pub = seq + 1;
+    e.seq_flushed[hop_idx] = seq + 1;
+    e.seq_published[hop_idx] = seq + 1;
+    e.stats.local_sends++;
+    e.stats.local_send_bytes += chunk;
+    notify(SendType::local_send, chunk, e.pe, next_hop);
+  } else {
+    // nonblock_send: stage (nbi source must stay stable until quiet), then
+    // shmem_putmem_nbi into the receiver's ring. NOT visible until the
+    // nonblock_progress below publishes it.
+    auto& stage = e.staging[hop_idx * static_cast<std::size_t>(g.opts.slots) +
+                            slot];
+    stage.resize(sizeof(std::int64_t) + chunk);
+    const std::int64_t len = static_cast<std::int64_t>(chunk);
+    std::memcpy(stage.data(), &len, sizeof len);
+    std::memcpy(stage.data() + sizeof len, ob.bytes.data() + ob.head, chunk);
+    e.stats.memcpys++;
+    papi::account_buffer_copy(chunk);
+    shmem::putmem_nbi(static_cast<void*>(e.ring + slot_off), stage.data(),
+                      stage.size(), next_hop);
+    papi::account_remote_put(chunk);
+    e.seq_flushed[hop_idx] = seq + 1;
+    e.stats.nonblock_sends++;
+    e.stats.nonblock_send_bytes += chunk;
+    notify(SendType::nonblock_send, chunk, e.pe, next_hop);
+  }
+
+  ob.head += chunk;
+  ob.compact();
+  return true;
+}
+
+void Conveyor::flush_all() {
+  const int n = group_->topo.num_pes();
+  for (int hop = 0; hop < n; ++hop) {
+    // Flush as much as slot availability allows toward each hop.
+    while (self_->out[static_cast<std::size_t>(hop)].pending() > 0) {
+      if (!try_flush(hop)) break;
+    }
+  }
+}
+
+void Conveyor::progress_pending() {
+  Group& g = *group_;
+  Endpoint& e = *self_;
+  bool any = false;
+  const int n = g.topo.num_pes();
+  for (int hop = 0; hop < n; ++hop) {
+    if (e.seq_published[static_cast<std::size_t>(hop)] <
+        e.seq_flushed[static_cast<std::size_t>(hop)]) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+
+  // nonblock_progress: one quiet completes *all* outstanding puts of this
+  // PE (that is what the OpenSHMEM semantics mandate — see the paper's
+  // SKaMPI discussion), then each destination gets a signal put.
+  const std::size_t outstanding = shmem::pending_nbi_puts();
+  shmem::quiet();
+  papi::account_quiet(outstanding);
+  e.stats.progress_calls++;
+  for (int hop = 0; hop < n; ++hop) {
+    const auto h = static_cast<std::size_t>(hop);
+    if (e.seq_published[h] >= e.seq_flushed[h]) continue;
+    const std::int64_t pub = e.seq_flushed[h];
+    shmem::put(static_cast<void*>(e.published_from + e.pe), &pub, sizeof pub,
+               hop);
+    papi::account_signal_put();
+    e.seq_published[h] = pub;
+    notify(SendType::nonblock_progress, sizeof pub, e.pe, hop);
+  }
+}
+
+// ------------------------------------------------------------------- deliver
+
+void Conveyor::deliver_incoming() {
+  Group& g = *group_;
+  Endpoint& e = *self_;
+  const int n = g.topo.num_pes();
+  for (int src = 0; src < n; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    const std::int64_t pub = e.published_from[s];
+    bool consumed_any = false;
+    while (e.consumed_from[s] < pub) {
+      const std::int64_t seq = e.consumed_from[s];
+      const std::size_t slot = static_cast<std::size_t>(seq % g.opts.slots);
+      const std::byte* base =
+          e.ring +
+          (s * static_cast<std::size_t>(g.opts.slots) + slot) * g.slot_stride;
+      std::int64_t len = 0;
+      std::memcpy(&len, base, sizeof len);
+      const std::byte* data = base + sizeof len;
+      papi::account_buffer_copy(static_cast<std::size_t>(len));
+      assert(len >= 0 &&
+             static_cast<std::size_t>(len) % g.record_bytes == 0);
+      for (std::size_t off = 0; off < static_cast<std::size_t>(len);
+           off += g.record_bytes) {
+        std::int32_t dst32 = 0;
+        std::memcpy(&dst32, data + off, sizeof dst32);
+        if (dst32 == e.pe) {
+          // Final destination: move [src|payload] into the recv queue.
+          e.recv.insert(e.recv.end(), data + off + sizeof(std::int32_t),
+                        data + off + g.record_bytes);
+          e.stats.memcpys++;
+          g.delivered++;
+        } else {
+          // Intermediate hop: re-aggregate toward the next hop.
+          (void)route_into_buffer(data + off, dst32, /*is_forward=*/true);
+        }
+      }
+      e.consumed_from[s] = seq + 1;
+      consumed_any = true;
+    }
+    if (consumed_any) {
+      // Ack so the sender can reuse its ring slots. acked_by[r] on the
+      // sender holds what receiver r consumed; we are r, the sender is src.
+      const std::int64_t acked = e.consumed_from[s];
+      shmem::put(static_cast<void*>(e.acked_by + e.pe), &acked, sizeof acked,
+                 src);
+    }
+  }
+}
+
+// -------------------------------------------------------------------- pull
+
+bool Conveyor::pull(void* item, int* from_pe) {
+  Group& g = *group_;
+  Endpoint& e = *self_;
+  const std::size_t rec = sizeof(std::int32_t) + g.opts.item_bytes;
+  if (e.recv.size() - e.recv_head < rec) {
+    if (e.recv_head == e.recv.size()) {
+      e.recv.clear();
+      e.recv_head = 0;
+    }
+    return false;
+  }
+  std::int32_t src32 = 0;
+  std::memcpy(&src32, e.recv.data() + e.recv_head, sizeof src32);
+  std::memcpy(item, e.recv.data() + e.recv_head + sizeof src32,
+              g.opts.item_bytes);
+  e.stats.memcpys++;
+  e.recv_head += rec;
+  if (e.recv_head == e.recv.size()) {
+    e.recv.clear();
+    e.recv_head = 0;
+  }
+  if (from_pe != nullptr) *from_pe = src32;
+  e.stats.pulled++;
+  return true;
+}
+
+// ------------------------------------------------------------------ advance
+
+bool Conveyor::advance(bool done) {
+  Group& g = *group_;
+  Endpoint& e = *self_;
+
+  papi::account_poll();
+  deliver_incoming();
+
+  if (done && !e.done_reported) {
+    e.done_reported = true;
+    g.done_count++;
+  }
+
+  if (e.done_reported) {
+    // Endgame: drain partial buffers and publish everything (the lazy-send
+    // policy only defers while more pushes may come).
+    flush_all();
+    progress_pending();
+  } else {
+    // Steady state: move out any full buffers that back-pressure left.
+    flush_all();
+  }
+
+  deliver_incoming();
+
+  const bool globally_done =
+      g.done_count == g.topo.num_pes() && g.injected == g.delivered;
+  const bool locally_drained = e.recv.size() == e.recv_head;
+  return !(globally_done && locally_drained);
+}
+
+}  // namespace ap::convey

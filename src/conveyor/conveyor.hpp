@@ -1,0 +1,111 @@
+// Conveyors-style message aggregation over minishmem (paper §II-B, [4]).
+//
+// A Conveyor moves fixed-size items between PEs with push-style
+// aggregation: items headed for the same next hop are packed into a
+// buffer; full buffers travel as one transfer (intra-node: memcpy through
+// shmem_ptr; inter-node: shmem_putmem_nbi with double buffering, published
+// by shmem_quiet + a signal put). Multi-hop routes (2D mesh / 3D cube)
+// re-aggregate at intermediate PEs.
+//
+// Steady-state usage is the classic Conveyors loop — identical to the real
+// library's:
+//
+//   auto c = Conveyor::create(opts);           // collective
+//   std::size_t i = 0;
+//   bool done = false;
+//   while (c->advance(done)) {
+//     for (; i < n; ++i)
+//       if (!c->push(&items[i], dest_of(i))) break;
+//     T item; int from;
+//     while (c->pull(&item, &from)) handle(item, from);
+//     done = (i == n);
+//     ap::rt::yield();                          // let other PEs progress
+//   }
+//
+// push() may refuse (buffer/back-pressure); the caller must then advance().
+// advance(done) keeps returning true until *every* PE passed done=true and
+// every in-flight item has been pulled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "conveyor/observer.hpp"
+#include "conveyor/routing.hpp"
+#include "shmem/shmem.hpp"
+
+namespace ap::convey {
+
+struct Options {
+  /// Size of one item in bytes (fixed per conveyor, like convey_begin).
+  std::size_t item_bytes = 8;
+  /// Payload capacity of one aggregation buffer (one ring slot).
+  std::size_t buffer_bytes = 4096;
+  RouteKind route = RouteKind::Auto;
+  /// Ring slots per directed pair; 2 == the double buffering the paper
+  /// describes (quiet fires when the second buffer is needed again).
+  int slots = 2;
+};
+
+/// Per-endpoint statistics (this PE's view).
+struct ConveyorStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t pulled = 0;
+  std::uint64_t forwarded = 0;       // items re-aggregated at this hop
+  std::uint64_t local_sends = 0;
+  std::uint64_t nonblock_sends = 0;
+  std::uint64_t progress_calls = 0;  // quiet+signal rounds
+  std::uint64_t local_send_bytes = 0;
+  std::uint64_t nonblock_send_bytes = 0;
+  std::uint64_t memcpys = 0;         // per-item copies incl. self-sends
+};
+
+class Conveyor {
+ public:
+  /// Collective construction: every PE must call with identical options.
+  static std::shared_ptr<Conveyor> create(const Options& opts);
+
+  ~Conveyor();
+  Conveyor(const Conveyor&) = delete;
+  Conveyor& operator=(const Conveyor&) = delete;
+
+  /// Try to enqueue one item for PE `dst`. Returns false when aggregation
+  /// buffers are full and back-pressure requires an advance() first.
+  bool push(const void* item, int dst_pe);
+
+  /// Dequeue one delivered item. Returns false when none is available
+  /// right now. `from_pe` receives the original sender.
+  bool pull(void* item, int* from_pe);
+
+  /// Make communication progress. `done` declares that this PE will push
+  /// no more items. Returns false once the conveyor is globally complete.
+  bool advance(bool done);
+
+  [[nodiscard]] const Options& options() const;
+  [[nodiscard]] const ConveyorStats& stats() const;
+  [[nodiscard]] const Router& router() const;
+  /// Sum of stats over all PEs (any PE may call).
+  [[nodiscard]] ConveyorStats total_stats() const;
+  /// Items pushed but not yet pulled anywhere (global).
+  [[nodiscard]] std::uint64_t items_in_flight() const;
+
+ private:
+  struct Group;     // state shared by all endpoints
+  struct Endpoint;  // this PE's state
+
+  Conveyor(std::shared_ptr<Group> group, int pe);
+
+  void deliver_incoming();
+  bool try_flush(int next_hop);
+  void flush_all();
+  void progress_pending();
+  bool route_into_buffer(const void* record, int dst_pe, bool is_forward);
+
+  std::shared_ptr<Group> group_;
+  std::unique_ptr<Endpoint> self_;
+};
+
+}  // namespace ap::convey

@@ -1,0 +1,117 @@
+#include "conveyor/elastic.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "runtime/scheduler.hpp"
+#include "shmem/shmem.hpp"
+
+namespace ap::convey {
+
+/// Wire record carried by the fixed-size transport underneath. `used` is
+/// the number of payload bytes valid in this fragment; `remaining` is the
+/// total bytes of the message still expected *including* this fragment,
+/// so the receiver knows both the message boundary and the end.
+struct ElasticConveyor::Fragment {
+  std::uint32_t used;
+  std::uint32_t remaining;
+  // payload bytes follow (frag_payload_ of them, trailing part unused)
+};
+
+std::shared_ptr<ElasticConveyor> ElasticConveyor::create(
+    const Options& base, std::size_t fragment_payload) {
+  if (fragment_payload == 0)
+    throw std::invalid_argument("ElasticConveyor: fragment_payload == 0");
+  Options o = base;
+  o.item_bytes = sizeof(Fragment) + fragment_payload;
+  if (o.buffer_bytes < o.item_bytes + 2 * sizeof(std::int32_t))
+    o.buffer_bytes = 4 * (o.item_bytes + 2 * sizeof(std::int32_t));
+  auto inner = Conveyor::create(o);
+  return std::shared_ptr<ElasticConveyor>(
+      new ElasticConveyor(std::move(inner), fragment_payload));
+}
+
+ElasticConveyor::ElasticConveyor(std::shared_ptr<Conveyor> inner,
+                                 std::size_t frag_payload)
+    : inner_(std::move(inner)), frag_payload_(frag_payload) {
+  partial_.resize(static_cast<std::size_t>(shmem::n_pes()));
+}
+
+bool ElasticConveyor::epush(const void* data, std::size_t len, int dst_pe) {
+  const auto* bytes = static_cast<const std::byte*>(data);
+  std::vector<std::byte> record(sizeof(Fragment) + frag_payload_);
+
+  std::size_t off = 0;
+  bool first = true;
+  while (off < len || (len == 0 && first)) {
+    const std::size_t chunk = std::min(frag_payload_, len - off);
+    Fragment h;
+    h.used = static_cast<std::uint32_t>(chunk);
+    h.remaining = static_cast<std::uint32_t>(len - off);
+    std::memcpy(record.data(), &h, sizeof h);
+    if (chunk > 0)
+      std::memcpy(record.data() + sizeof h, bytes + off, chunk);
+
+    if (!inner_->push(record.data(), dst_pe)) {
+      if (first) return false;  // clean refusal, nothing committed
+      // Mid-message: we must finish (fragments of one message have to be
+      // contiguous per pair). Make progress until the transport accepts.
+      while (!inner_->push(record.data(), dst_pe)) {
+        (void)inner_->advance(false);
+        drain_transport();
+        rt::yield();
+      }
+    }
+    first = false;
+    off += chunk;
+    if (len == 0) break;  // zero-length message: single empty fragment
+  }
+  return true;
+}
+
+void ElasticConveyor::drain_transport() {
+  std::vector<std::byte> record(sizeof(Fragment) + frag_payload_);
+  int from = -1;
+  while (inner_->pull(record.data(), &from)) {
+    Fragment h;
+    std::memcpy(&h, record.data(), sizeof h);
+    Partial& p = partial_[static_cast<std::size_t>(from)];
+    if (p.expected == 0) p.expected = h.remaining;  // message start
+    p.data.insert(p.data.end(), record.data() + sizeof h,
+                  record.data() + sizeof h + h.used);
+    if (h.remaining == h.used) {
+      ready_.push_back(Ready{std::move(p.data), from});
+      p.data.clear();
+      p.expected = 0;
+    } else {
+      p.expected -= h.used;
+    }
+  }
+}
+
+bool ElasticConveyor::epull(std::vector<std::byte>& out, int* from_pe) {
+  drain_transport();
+  if (ready_head_ >= ready_.size()) {
+    ready_.clear();
+    ready_head_ = 0;
+    return false;
+  }
+  out = std::move(ready_[ready_head_].data);
+  if (from_pe != nullptr) *from_pe = ready_[ready_head_].from;
+  ++ready_head_;
+  if (ready_head_ >= ready_.size()) {
+    ready_.clear();
+    ready_head_ = 0;
+  }
+  return true;
+}
+
+bool ElasticConveyor::advance(bool done) {
+  const bool running = inner_->advance(done);
+  drain_transport();
+  // The inner conveyor drains its recv queue into our reassembly buffers,
+  // so "locally drained" must also account for assembled messages.
+  return running || ready_head_ < ready_.size();
+}
+
+}  // namespace ap::convey

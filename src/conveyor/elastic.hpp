@@ -1,0 +1,69 @@
+// Elastic conveyors: variable-length messages (the convey_epush /
+// convey_epull half of the real Conveyors API [4]).
+//
+// Variable-length payloads are fragmented into fixed-size records and
+// reassembled at the destination. Because the underlying conveyor delivers
+// per-(source, destination) FIFO, the fragments of one message arrive in
+// order and contiguously relative to other messages from the same source,
+// so reassembly needs only one partial buffer per source.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "conveyor/conveyor.hpp"
+
+namespace ap::convey {
+
+class ElasticConveyor {
+ public:
+  /// Collective construction (like Conveyor::create). `base.item_bytes`
+  /// is ignored; `fragment_payload` sets the payload bytes carried per
+  /// fragment (the fixed record size of the transport underneath).
+  static std::shared_ptr<ElasticConveyor> create(
+      const Options& base = Options{}, std::size_t fragment_payload = 56);
+
+  /// Try to enqueue a variable-length message. Returns false — with no
+  /// side effects — when back-pressure refuses the first fragment; the
+  /// caller must advance() and retry. Once the first fragment is in, the
+  /// rest are pushed with internal progress (like Selector::send).
+  bool epush(const void* data, std::size_t len, int dst_pe);
+
+  /// Dequeue one complete message; false when none is fully assembled.
+  bool epull(std::vector<std::byte>& out, int* from_pe);
+
+  /// Progress + termination, exactly like Conveyor::advance.
+  bool advance(bool done);
+
+  [[nodiscard]] const Conveyor& transport() const { return *inner_; }
+  [[nodiscard]] std::size_t fragment_payload() const { return frag_payload_; }
+  /// Messages fully assembled and waiting for epull on this PE.
+  [[nodiscard]] std::size_t assembled_pending() const {
+    return ready_.size();
+  }
+
+ private:
+  struct Fragment;  // wire record
+
+  ElasticConveyor(std::shared_ptr<Conveyor> inner, std::size_t frag_payload);
+  void drain_transport();
+
+  std::shared_ptr<Conveyor> inner_;
+  std::size_t frag_payload_;
+  /// Per-source partial reassembly: expected remaining bytes + data.
+  struct Partial {
+    std::vector<std::byte> data;
+    std::size_t expected = 0;
+  };
+  std::vector<Partial> partial_;  // indexed by source PE
+  struct Ready {
+    std::vector<std::byte> data;
+    int from;
+  };
+  std::vector<Ready> ready_;
+  std::size_t ready_head_ = 0;
+};
+
+}  // namespace ap::convey

@@ -1,0 +1,39 @@
+// Instrumentation seam between Conveyors and ActorProf (physical trace).
+//
+// The conveyor calls the registered observer at exactly the three transfer
+// sites the paper instruments (§III-C): local_send (intra-node memcpy via
+// shmem_ptr), nonblock_send (shmem_putmem_nbi), and nonblock_progress
+// (shmem_quiet + signal put). No profiling logic lives in the conveyor —
+// a null observer means zero work beyond one branch.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace ap::convey {
+
+enum class SendType { local_send, nonblock_send, nonblock_progress };
+
+[[nodiscard]] constexpr std::string_view to_string(SendType t) {
+  switch (t) {
+    case SendType::local_send: return "local_send";
+    case SendType::nonblock_send: return "nonblock_send";
+    case SendType::nonblock_progress: return "nonblock_progress";
+  }
+  return "unknown";
+}
+
+class TransferObserver {
+ public:
+  virtual ~TransferObserver() = default;
+  /// A network-level transfer of `buffer_bytes` from `src_pe` to `dst_pe`.
+  virtual void on_transfer(SendType type, std::size_t buffer_bytes,
+                           int src_pe, int dst_pe) = 0;
+};
+
+/// Install/read the process-wide (per-thread) observer. The profiler owns
+/// the registration; nullptr disables physical tracing.
+void set_transfer_observer(TransferObserver* obs);
+TransferObserver* transfer_observer();
+
+}  // namespace ap::convey

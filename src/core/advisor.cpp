@@ -1,0 +1,235 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/profiler.hpp"
+
+namespace ap::prof {
+
+namespace {
+
+int argmax(const std::vector<std::uint64_t>& v) {
+  if (v.empty()) return -1;
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+std::string fmt(double x, int prec = 2) {
+  std::ostringstream os;
+  os.precision(prec);
+  os << std::fixed << x;
+  return os.str();
+}
+
+void add_imbalance_finding(Report& rep, const std::vector<std::uint64_t>& per_pe,
+                           Finding::Kind kind, const char* what,
+                           const char* recommendation,
+                           const AdvisorOptions& opts) {
+  const double f = imbalance_factor(per_pe);
+  if (f < opts.imbalance_notice) return;
+  Finding fin;
+  fin.kind = kind;
+  fin.severity = f >= opts.imbalance_warning ? Finding::Severity::warning
+                                             : Finding::Severity::notice;
+  fin.metric = f;
+  fin.subject = argmax(per_pe);
+  fin.message = std::string(what) + " imbalance: PE" +
+                std::to_string(fin.subject) + " carries " + fmt(f) +
+                "x the mean";
+  fin.recommendation = recommendation;
+  rep.findings.push_back(std::move(fin));
+}
+
+}  // namespace
+
+CommMatrix collapse_to_nodes(const CommMatrix& m,
+                             const shmem::Topology& topo) {
+  CommMatrix out(topo.num_nodes());
+  for (int s = 0; s < m.size(); ++s)
+    for (int d = 0; d < m.size(); ++d)
+      if (m.at(s, d) > 0) out.add(topo.node_of(s), topo.node_of(d), m.at(s, d));
+  return out;
+}
+
+Report advise(const CommMatrix& logical, const CommMatrix& physical,
+              const std::vector<OverallRecord>& overall,
+              const std::vector<std::uint64_t>& papi_tot_ins,
+              const shmem::Topology& topo, const AdvisorOptions& opts) {
+  Report rep;
+
+  // ---- logical trace: load balance & shape (paper §IV-D heatmap reads).
+  if (logical.size() > 0 && logical.total() > 0) {
+    add_imbalance_finding(
+        rep, logical.row_sums(), Finding::Kind::SendImbalance, "send",
+        "experiment with data distributions (the paper's own advice): "
+        "1D Range balances #nnz; also consider Edge Cut or Cartesian "
+        "Vertex-Cut partitionings",
+        opts);
+    add_imbalance_finding(
+        rep, logical.col_sums(), Finding::Kind::RecvImbalance, "recv",
+        "receive-side hotspots persist even under 1D Range; consider "
+        "distributions that split hot rows, or two-sided work stealing",
+        opts);
+    if (logical.is_lower_triangular() && logical.size() > 1) {
+      Finding f;
+      f.kind = Finding::Kind::LowerTriangularShape;
+      f.severity = Finding::Severity::info;
+      f.metric = 1.0;
+      f.message =
+          "communication matrix is lower-triangular — the \"(L) "
+          "observation\" of a range-style (contiguous, nnz-balanced) "
+          "distribution on a triangular input";
+      f.recommendation =
+          "expected for 1D Range on lower-triangular inputs; low-rank PEs "
+          "will dominate receives";
+      rep.findings.push_back(std::move(f));
+    }
+    // Self traffic.
+    std::uint64_t self = 0;
+    for (int p = 0; p < logical.size(); ++p) self += logical.at(p, p);
+    const double self_share =
+        static_cast<double>(self) / static_cast<double>(logical.total());
+    if (self_share > 0.25) {
+      Finding f;
+      f.kind = Finding::Kind::HeavySelfTraffic;
+      f.severity = Finding::Severity::notice;
+      f.metric = self_share;
+      f.message = "self-sends are " + fmt(100 * self_share, 1) +
+                  "% of all messages and still pay the full conveyor "
+                  "copy chain (no bypass, to preserve ordering)";
+      f.recommendation =
+          "handle locally-owned destinations before send() where message "
+          "ordering allows it";
+      rep.findings.push_back(std::move(f));
+    }
+  }
+
+  // ---- physical trace: node hotspots & aggregation efficiency.
+  if (physical.size() > 0 && physical.total() > 0) {
+    const CommMatrix nodes = collapse_to_nodes(physical, topo);
+    if (nodes.size() > 1) {
+      const auto node_out = nodes.row_sums();
+      const double f = imbalance_factor(node_out);
+      if (f >= opts.imbalance_notice) {
+        Finding fin;
+        fin.kind = Finding::Kind::NodeHotspot;
+        fin.severity = f >= opts.imbalance_warning
+                           ? Finding::Severity::warning
+                           : Finding::Severity::notice;
+        fin.metric = f;
+        fin.subject = argmax(node_out);
+        fin.message = "node " + std::to_string(fin.subject) + " sources " +
+                      fmt(f) + "x the mean network buffers";
+        fin.recommendation =
+            "rebalance ownership across nodes or widen the node's share of "
+            "the routing grid";
+        rep.findings.push_back(std::move(fin));
+      }
+    }
+    if (logical.total() > 0) {
+      const double per_buffer = static_cast<double>(logical.total()) /
+                                static_cast<double>(physical.total());
+      if (per_buffer < opts.thrash_msgs_per_buffer) {
+        Finding f;
+        f.kind = Finding::Kind::SmallBufferThrash;
+        f.severity = Finding::Severity::warning;
+        f.metric = per_buffer;
+        f.message = "only " + fmt(per_buffer, 1) +
+                    " messages per transferred buffer — aggregation is "
+                    "barely paying for itself";
+        f.recommendation =
+            "increase the conveyor buffer size, or batch sends per "
+            "destination";
+        rep.findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  // ---- overall profile: what is the program bound by? (paper Fig 12/13)
+  if (!overall.empty()) {
+    std::uint64_t tm = 0, tc = 0, tp = 0, tt = 0;
+    for (const OverallRecord& r : overall) {
+      tm += r.t_main;
+      tc += r.t_comm();
+      tp += r.t_proc;
+      tt += r.t_total;
+    }
+    if (tt > 0) {
+      const double main_share = static_cast<double>(tm) / static_cast<double>(tt);
+      const double comm_share = static_cast<double>(tc) / static_cast<double>(tt);
+      const double proc_share = static_cast<double>(tp) / static_cast<double>(tt);
+      auto bound = [&](Finding::Kind k, double share, const char* name,
+                       const char* reco) {
+        if (share < opts.bound_threshold) return;
+        Finding f;
+        f.kind = k;
+        f.severity = Finding::Severity::notice;
+        f.metric = share;
+        f.message = std::string(name) + " accounts for " +
+                    fmt(100 * share, 1) + "% of the profiled cycles";
+        f.recommendation = reco;
+        rep.findings.push_back(std::move(f));
+      };
+      bound(Finding::Kind::CommBound, comm_share, "COMM",
+            "the kernel is communication-bound: exploit more overlap "
+            "between computation and communication, try better data "
+            "distributions, or raise aggregation buffer sizes");
+      bound(Finding::Kind::ProcBound, proc_share, "PROC",
+            "message handlers dominate: optimize the handler body (it runs "
+            "once per message) or reduce message counts algorithmically");
+      bound(Finding::Kind::MainBound, main_share, "MAIN",
+            "local computation dominates: profile the MAIN segments with "
+            "PAPI counters to find the hot loops");
+    }
+  }
+
+  // ---- PAPI totals.
+  if (!papi_tot_ins.empty()) {
+    add_imbalance_finding(
+        rep, papi_tot_ins, Finding::Kind::InstructionImbalance,
+        "instruction (PAPI_TOT_INS)",
+        "the skewed PE executes disproportionate user code in its send/recv "
+        "segments; rebalance the data it owns",
+        opts);
+  }
+
+  // Most severe first, then by metric.
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.severity != b.severity)
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     return a.metric > b.metric;
+                   });
+  return rep;
+}
+
+Report advise(const Profiler& prof, const AdvisorOptions& opts) {
+  std::vector<std::uint64_t> ins;
+  try {
+    ins = prof.papi_totals(papi::Event::TOT_INS);
+  } catch (const std::invalid_argument&) {
+    // TOT_INS not configured; proceed without instruction findings.
+  }
+  return advise(prof.logical_matrix(), prof.physical_matrix(), prof.overall(),
+                ins, prof.topo(), opts);
+}
+
+std::string format_report(const Report& report) {
+  std::ostringstream os;
+  if (report.findings.empty()) {
+    os << "ActorProf advisor: no findings — the profile looks balanced.\n";
+    return os.str();
+  }
+  os << "ActorProf advisor — " << report.findings.size() << " finding(s):\n";
+  for (const Finding& f : report.findings) {
+    const char* sev = f.severity == Finding::Severity::warning ? "WARNING"
+                      : f.severity == Finding::Severity::notice ? "notice "
+                                                                : "info   ";
+    os << "  [" << sev << "] " << f.message << "\n            -> "
+       << f.recommendation << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ap::prof

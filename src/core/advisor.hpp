@@ -1,0 +1,91 @@
+// Bottleneck advisor: turns ActorProf's aggregates into the inferences the
+// paper walks through by hand in §IV — load imbalance and hot PEs from the
+// logical trace, node hotspots from the physical trace, the MAIN/COMM/PROC
+// classification from the overall profile, "(L)"-shape detection, and the
+// paper's own recommendations ("experimenting with data-distributions",
+// "exploit more overlap between computation and communication").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hpp"
+#include "core/records.hpp"
+#include "shmem/topology.hpp"
+
+namespace ap::prof {
+
+class Profiler;
+
+/// One diagnostic finding with a severity and a recommendation.
+struct Finding {
+  enum class Severity { info, notice, warning };
+  enum class Kind {
+    SendImbalance,      ///< per-PE send totals are skewed
+    RecvImbalance,      ///< per-PE recv totals are skewed
+    InstructionImbalance,  ///< PAPI_TOT_INS skewed across PEs
+    CommBound,          ///< T_COMM dominates the overall profile
+    ProcBound,          ///< T_PROC dominates
+    MainBound,          ///< T_MAIN dominates (rare for FA-BSP programs)
+    LowerTriangularShape,  ///< the "(L) observation" (range-style dist)
+    NodeHotspot,        ///< one node sources/sinks most network traffic
+    HeavySelfTraffic,   ///< self-sends dominate (conveyor still pays copies)
+    SmallBufferThrash   ///< many tiny physical transfers per message
+  };
+  Kind kind;
+  Severity severity;
+  /// Human-readable statement with the numbers filled in.
+  std::string message;
+  /// What to try, in the paper's spirit.
+  std::string recommendation;
+  /// Primary quantitative evidence (ratio / percentage, kind-specific).
+  double metric = 0.0;
+  /// PE or node the finding points at, -1 when global.
+  int subject = -1;
+};
+
+struct AdvisorOptions {
+  /// max/mean factor above which an imbalance is worth reporting.
+  double imbalance_notice = 1.5;
+  double imbalance_warning = 3.0;
+  /// Region share above which the profile counts as bound by it.
+  double bound_threshold = 0.5;
+  /// Average messages per physical buffer below which aggregation is
+  /// considered ineffective.
+  double thrash_msgs_per_buffer = 4.0;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  [[nodiscard]] bool has(Finding::Kind k) const {
+    for (const Finding& f : findings)
+      if (f.kind == k) return true;
+    return false;
+  }
+  [[nodiscard]] const Finding* find(Finding::Kind k) const {
+    for (const Finding& f : findings)
+      if (f.kind == k) return &f;
+    return nullptr;
+  }
+};
+
+/// Analyze collected traces. Any of the inputs may be empty (disabled
+/// trace kinds simply produce no findings of that family).
+Report advise(const CommMatrix& logical, const CommMatrix& physical,
+              const std::vector<OverallRecord>& overall,
+              const std::vector<std::uint64_t>& papi_tot_ins,
+              const shmem::Topology& topo,
+              const AdvisorOptions& opts = {});
+
+/// Convenience overload pulling everything from a profiler.
+Report advise(const Profiler& prof, const AdvisorOptions& opts = {});
+
+/// Render a report as terminal text.
+std::string format_report(const Report& report);
+
+/// Collapse a PE-level matrix to node granularity (the paper's "hotspots
+/// of node from the network sends").
+CommMatrix collapse_to_nodes(const CommMatrix& m, const shmem::Topology& topo);
+
+}  // namespace ap::prof

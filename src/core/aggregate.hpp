@@ -1,0 +1,70 @@
+// In-memory aggregation of traces: communication matrices, per-PE totals,
+// and the quartile statistics behind the paper's violin plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ap::prof {
+
+/// A dense src-by-dst counting matrix, the data behind every heatmap in the
+/// paper. The "last row / last column" of the rendered heatmaps (total
+/// recv per destination / total send per source) are the column/row sums.
+class CommMatrix {
+ public:
+  CommMatrix() = default;
+  explicit CommMatrix(int n) : n_(n), counts_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0) {}
+
+  [[nodiscard]] int size() const { return n_; }
+
+  void add(int src, int dst, std::uint64_t k = 1) {
+    counts_[index(src, dst)] += k;
+  }
+  [[nodiscard]] std::uint64_t at(int src, int dst) const {
+    return counts_[index(src, dst)];
+  }
+
+  /// Total sends per source PE (heatmap's last column).
+  [[nodiscard]] std::vector<std::uint64_t> row_sums() const;
+  /// Total recvs per destination PE (heatmap's last row).
+  [[nodiscard]] std::vector<std::uint64_t> col_sums() const;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t max_cell() const;
+
+  CommMatrix& operator+=(const CommMatrix& other);
+  friend bool operator==(const CommMatrix&, const CommMatrix&) = default;
+
+  /// True when every non-zero entry (src,dst) satisfies dst <= src — the
+  /// paper's "(L) observation" for the 1D Range distribution (self-sends
+  /// and the diagonal included).
+  [[nodiscard]] bool is_lower_triangular() const;
+
+ private:
+  [[nodiscard]] std::size_t index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+  int n_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Five-number summary + mean, the quartile content of a violin plot.
+struct QuartileStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+  std::size_t n = 0;
+};
+
+/// Compute quartiles of a sample (linear interpolation between ranks).
+QuartileStats quartiles(std::vector<double> values);
+QuartileStats quartiles_u64(const std::vector<std::uint64_t>& values);
+
+/// Max/mean imbalance factor of a per-PE load vector (1.0 == perfectly
+/// balanced); the number behind "PE0 suffers up to ~5x" statements.
+double imbalance_factor(const std::vector<std::uint64_t>& per_pe);
+
+/// Downsample an n-by-n matrix to at most `target` rows/cols by summing
+/// contiguous PE buckets — keeps terminal heatmaps readable at hundreds
+/// of PEs (part of the paper's §VI large-trace agenda).
+CommMatrix bucket_matrix(const CommMatrix& m, int target);
+
+}  // namespace ap::prof

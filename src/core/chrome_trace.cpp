@@ -1,0 +1,106 @@
+#include "core/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/profiler.hpp"
+
+namespace ap::prof {
+
+namespace {
+
+/// Timestamps are exported in microseconds (the trace-event unit). The
+/// virtual-cycle source maps 1000 cycles -> 1 us for readable timelines.
+double to_us(std::uint64_t cycles, std::uint64_t t0) {
+  return static_cast<double>(cycles - t0) / 1000.0;
+}
+
+void duration_event(std::ostream& os, bool& first, const char* name,
+                    char phase, double ts, int pid, int tid) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"name":")" << name << R"(","ph":")" << phase
+     << R"(","ts":)" << ts << R"(,"pid":)" << pid << R"(,"tid":)" << tid
+     << '}';
+}
+
+void instant_event(std::ostream& os, bool& first, const char* name,
+                   double ts, int pid, int tid, int dst, int bytes) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"name":")" << name << R"(","ph":"i","s":"t","ts":)" << ts
+     << R"(,"pid":)" << pid << R"(,"tid":)" << tid << R"(,"args":{"dst_pe":)"
+     << dst << R"(,"bytes":)" << bytes << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Profiler& prof) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Common origin so all PEs share the time axis.
+  std::uint64_t t0 = UINT64_MAX;
+  for (int pe = 0; pe < prof.num_pes(); ++pe) {
+    const auto& tl = prof.timeline(pe);
+    if (!tl.empty()) t0 = std::min(t0, tl.front().ts);
+  }
+  if (t0 == UINT64_MAX) t0 = 0;
+
+  for (int pe = 0; pe < prof.num_pes(); ++pe) {
+    const int node = prof.topo().node_of(pe);
+    for (const TimelineEvent& e : prof.timeline(pe)) {
+      const double ts = to_us(e.ts, t0);
+      switch (e.kind) {
+        case TimelineEvent::Kind::BeginMain:
+          duration_event(os, first, "MAIN", 'B', ts, node, pe);
+          break;
+        case TimelineEvent::Kind::EndMain:
+          duration_event(os, first, "MAIN", 'E', ts, node, pe);
+          break;
+        case TimelineEvent::Kind::BeginProc:
+          duration_event(os, first, "PROC", 'B', ts, node, pe);
+          break;
+        case TimelineEvent::Kind::EndProc:
+          duration_event(os, first, "PROC", 'E', ts, node, pe);
+          break;
+        case TimelineEvent::Kind::BeginComm:
+          duration_event(os, first, "COMM", 'B', ts, node, pe);
+          break;
+        case TimelineEvent::Kind::EndComm:
+          duration_event(os, first, "COMM", 'E', ts, node, pe);
+          break;
+        case TimelineEvent::Kind::Send:
+          instant_event(os, first, "send", ts, node, pe, e.arg0, e.arg1);
+          break;
+        case TimelineEvent::Kind::Transfer:
+          instant_event(os, first, "transfer", ts, node, pe, e.arg0, e.arg1);
+          break;
+      }
+    }
+  }
+
+  // Thread names so Perfetto labels rows nicely.
+  for (int pe = 0; pe < prof.num_pes(); ++pe) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"name":"thread_name","ph":"M","pid":)"
+       << prof.topo().node_of(pe) << R"(,"tid":)" << pe
+       << R"(,"args":{"name":"PE)" << pe << R"("}})";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace_file(const std::filesystem::path& path,
+                             const Profiler& prof) {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("write_chrome_trace_file: cannot open " +
+                             path.string());
+  write_chrome_trace(os, prof);
+}
+
+}  // namespace ap::prof

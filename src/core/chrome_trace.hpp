@@ -1,0 +1,45 @@
+// Google Trace Events export (paper §VI future work: "adoption of OTF and
+// Google Trace Events format is currently being investigated").
+//
+// When Config::timeline is on, the profiler records a per-PE timeline of
+// region transitions (MAIN/PROC/COMM as nested duration events) plus
+// instant events for logical sends and physical transfers. This module
+// serializes that timeline to the Chrome trace-event JSON format, viewable
+// in chrome://tracing or Perfetto: pid = simulated node, tid = PE.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ap::prof {
+
+class Profiler;
+
+/// One entry of a PE's recorded timeline.
+struct TimelineEvent {
+  enum class Kind {
+    BeginMain,   ///< epoch start (top-level MAIN)
+    EndMain,     ///< epoch end
+    BeginProc,   ///< handler entry
+    EndProc,     ///< handler exit
+    BeginComm,   ///< runtime communication work begins
+    EndComm,     ///< ... ends
+    Send,        ///< instant: application send (arg = dst PE)
+    Transfer     ///< instant: physical transfer (arg = dst PE, bytes)
+  };
+  Kind kind;
+  std::uint64_t ts;   ///< virtual cycles (or rdtsc) at the event
+  std::int32_t arg0 = 0;  ///< dst PE for Send/Transfer; mailbox otherwise
+  std::int32_t arg1 = 0;  ///< bytes for Transfer; 0 otherwise
+};
+
+/// Serialize the timelines of every PE to trace-event JSON.
+void write_chrome_trace(std::ostream& os, const Profiler& prof);
+/// Convenience: write to a file (parents created).
+void write_chrome_trace_file(const std::filesystem::path& path,
+                             const Profiler& prof);
+
+}  // namespace ap::prof

@@ -1,0 +1,89 @@
+// ActorProf configuration.
+//
+// The paper enables each trace kind with a compile-time flag
+// (-DENABLE_TRACE, -DENABLE_TCOMM_PROFILING, -DENABLE_TRACE_PHYSICAL). We
+// honor those macros as defaults but also expose run-time toggles, so one
+// build can run every experiment; disabled paths cost a single branch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "papi/papi.hpp"
+
+namespace ap::prof {
+
+struct Config {
+  /// Logical trace (paper §III-A): PEi_send.csv + the in-memory comm matrix.
+#ifdef ENABLE_TRACE
+  bool logical = true;
+#else
+  bool logical = false;
+#endif
+  /// PAPI segment trace (part of §III-A): PEi_PAPI.csv.
+#ifdef ENABLE_TRACE
+  bool papi = true;
+#else
+  bool papi = false;
+#endif
+  /// Overall MAIN/COMM/PROC breakdown (§III-B): overall.txt.
+#ifdef ENABLE_TCOMM_PROFILING
+  bool overall = true;
+#else
+  bool overall = false;
+#endif
+  /// Physical trace (§III-C): physical.txt.
+#ifdef ENABLE_TRACE_PHYSICAL
+  bool physical = true;
+#else
+  bool physical = false;
+#endif
+
+  /// Where write_traces() puts the files.
+  std::filesystem::path trace_dir = "actorprof_trace";
+
+  /// Keep individual records in memory (needed to write per-event files).
+  /// The aggregated comm matrices are always maintained; disabling this
+  /// bounds memory on runs with billions of sends (paper §IV-E / §VI).
+  bool keep_logical_events = true;
+  bool keep_physical_events = true;
+  /// Hard cap on retained per-event records per PE (0 = unlimited).
+  std::size_t max_events_per_pe = 0;
+  /// Keep only every k-th per-event record (1 = all). Aggregated matrices
+  /// always see every event — this is the §VI "intelligent sampling"
+  /// mitigation for traces that would otherwise reach 100s of GB.
+  std::size_t sample_every = 1;
+
+  /// Record per-PE timelines (region transitions + instant send/transfer
+  /// events) for Google Trace Events export (§VI future work).
+  bool timeline = false;
+
+  /// The PAPI events recorded per segment (≤ 4 — the PAPI limitation the
+  /// paper calls out). The case study uses PAPI_TOT_INS + PAPI_LST_INS.
+  std::array<papi::Event, papi::kMaxEventsPerSet> papi_events{
+      papi::Event::TOT_INS, papi::Event::LST_INS, papi::Event::kCount,
+      papi::Event::kCount};
+
+  [[nodiscard]] int num_papi_events() const {
+    int n = 0;
+    for (papi::Event e : papi_events)
+      if (e != papi::Event::kCount) ++n;
+    return n;
+  }
+
+  /// Convenience: everything on.
+  static Config all_enabled() {
+    Config c;
+    c.logical = c.papi = c.overall = c.physical = true;
+    return c;
+  }
+
+  /// Defaults from the compile-time macros, then environment overrides:
+  /// ACTORPROF_TRACE, ACTORPROF_PAPI, ACTORPROF_TCOMM_PROFILING,
+  /// ACTORPROF_TRACE_PHYSICAL (0/1), ACTORPROF_TRACE_DIR (path).
+  static Config from_env();
+};
+
+}  // namespace ap::prof

@@ -1,0 +1,419 @@
+#include "core/profiler.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/trace_io.hpp"
+#include "papi/cycles.hpp"
+#include "runtime/scheduler.hpp"
+#include "shmem/shmem.hpp"
+
+namespace ap::prof {
+
+namespace {
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return v[0] != '0' && v[0] != '\0';
+}
+}  // namespace
+
+Config Config::from_env() {
+  Config c;
+  c.logical = env_flag("ACTORPROF_TRACE", c.logical);
+  c.papi = env_flag("ACTORPROF_PAPI", c.papi);
+  c.overall = env_flag("ACTORPROF_TCOMM_PROFILING", c.overall);
+  c.physical = env_flag("ACTORPROF_TRACE_PHYSICAL", c.physical);
+  if (const char* dir = std::getenv("ACTORPROF_TRACE_DIR")) c.trace_dir = dir;
+  return c;
+}
+
+Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {
+  prev_actor_obs_ = actor::actor_observer();
+  prev_transfer_obs_ = convey::transfer_observer();
+  actor::set_actor_observer(this);
+  convey::set_transfer_observer(this);
+}
+
+Profiler::~Profiler() {
+  actor::set_actor_observer(prev_actor_obs_);
+  convey::set_transfer_observer(prev_transfer_obs_);
+}
+
+void Profiler::ensure_world() {
+  if (!topo_known_) {
+    topo_ = shmem::topology();
+    topo_known_ = true;
+    pes_.clear();
+    pes_.resize(static_cast<std::size_t>(topo_.num_pes()));
+  }
+}
+
+Profiler::PeData& Profiler::pe_data() {
+  const int pe = rt::my_pe();
+  if (pe < 0)
+    throw std::logic_error("Profiler: PE context required (inside shmem::run)");
+  ensure_world();
+  return pes_[static_cast<std::size_t>(pe)];
+}
+
+const Profiler::PeData& Profiler::pe_data(int pe) const {
+  if (pe < 0 || static_cast<std::size_t>(pe) >= pes_.size())
+    throw std::out_of_range("Profiler: PE index out of range");
+  return pes_[static_cast<std::size_t>(pe)];
+}
+
+int Profiler::num_pes() const { return static_cast<int>(pes_.size()); }
+
+// ------------------------------------------------------------------ epochs
+
+void Profiler::epoch_begin() {
+  PeData& d = pe_data();
+  if (d.in_epoch)
+    throw std::logic_error("Profiler::epoch_begin: epoch already active");
+  // Repeated epochs accumulate (e.g. one epoch per BFS level or solver
+  // iteration); clear() starts a fresh experiment.
+  d.in_epoch = true;
+  d.region_stack.assign(1, Region::Main);
+  d.t0 = d.last_cycles = papi::cycles_now();
+  if (cfg_.timeline)
+    d.events.push_back(
+        TimelineEvent{TimelineEvent::Kind::BeginMain, d.t0, 0, 0});
+  d.last_papi = papi::snapshot();
+  const auto n = static_cast<std::size_t>(topo_.num_pes());
+  if (d.logical_row.size() != n) {
+    d.logical_row.assign(n, 0);
+    d.phys_row_local.assign(n, 0);
+    d.phys_row_nbi.assign(n, 0);
+    d.phys_row_prog.assign(n, 0);
+  }
+}
+
+void Profiler::epoch_end() {
+  PeData& d = pe_data();
+  if (!d.in_epoch)
+    throw std::logic_error("Profiler::epoch_end: no epoch active");
+  fold(d);
+  d.t_total += d.last_cycles - d.t0;
+  if (cfg_.timeline)
+    d.events.push_back(
+        TimelineEvent{TimelineEvent::Kind::EndMain, d.last_cycles, 0, 0});
+  d.in_epoch = false;
+}
+
+bool Profiler::epoch_active() const {
+  const int pe = rt::my_pe();
+  if (pe < 0 || static_cast<std::size_t>(pe) >= pes_.size()) return false;
+  return pes_[static_cast<std::size_t>(pe)].in_epoch;
+}
+
+// --------------------------------------------------------------- the fold
+
+void Profiler::fold(PeData& d) {
+  const std::uint64_t now = papi::cycles_now();
+  const std::uint64_t dt = now - d.last_cycles;
+  d.last_cycles = now;
+
+  const Region r = d.region_stack.back();
+  if (cfg_.overall) {
+    switch (r) {
+      case Region::Main: d.t_main += dt; break;
+      case Region::Proc: d.t_proc += dt; break;
+      case Region::Comm: d.t_comm += dt; break;
+    }
+  }
+
+  if (cfg_.papi) {
+    const auto now_papi = papi::snapshot();
+    std::array<std::uint64_t, papi::kMaxEventsPerSet> delta{};
+    for (int i = 0; i < cfg_.num_papi_events(); ++i) {
+      const auto ev = static_cast<std::size_t>(
+          cfg_.papi_events[static_cast<std::size_t>(i)]);
+      delta[static_cast<std::size_t>(i)] = now_papi[ev] - d.last_papi[ev];
+    }
+    d.last_papi = now_papi;
+    // COMM deltas are intentionally discarded: the paper instruments only
+    // user code and "excludes the Conveyors and HClib-Actor system".
+    if (r == Region::Main && d.have_pending_main) {
+      RowAgg& row = d.main_rows[d.pending_main];
+      for (int i = 0; i < cfg_.num_papi_events(); ++i)
+        row.counters[static_cast<std::size_t>(i)] +=
+            delta[static_cast<std::size_t>(i)];
+    } else if (r == Region::Proc && d.cur_handler_mb >= 0) {
+      RowAgg& row = d.proc_rows[d.cur_handler_mb];
+      for (int i = 0; i < cfg_.num_papi_events(); ++i)
+        row.counters[static_cast<std::size_t>(i)] +=
+            delta[static_cast<std::size_t>(i)];
+    }
+  } else {
+    d.last_papi = papi::snapshot();
+  }
+}
+
+// ----------------------------------------------------------- ActorObserver
+
+void Profiler::on_send(int mb, int dst_pe, std::size_t bytes) {
+  if (!rt::in_spmd_region()) return;
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  fold(d);
+
+  const int me = rt::my_pe();
+  if (cfg_.logical) {
+    d.logical_row[static_cast<std::size_t>(dst_pe)]++;
+    const bool sampled =
+        cfg_.sample_every <= 1 || d.logical_seen % cfg_.sample_every == 0;
+    ++d.logical_seen;
+    if (cfg_.keep_logical_events && sampled &&
+        (cfg_.max_events_per_pe == 0 ||
+         d.logical_events.size() < cfg_.max_events_per_pe)) {
+      d.logical_events.push_back(LogicalSendRecord{
+          topo_.node_of(me), me, topo_.node_of(dst_pe), dst_pe,
+          static_cast<std::uint32_t>(bytes)});
+    }
+  }
+  if (cfg_.timeline &&
+      (cfg_.max_events_per_pe == 0 ||
+       d.events.size() < cfg_.max_events_per_pe)) {
+    d.events.push_back(TimelineEvent{TimelineEvent::Kind::Send,
+                                     d.last_cycles, dst_pe,
+                                     static_cast<std::int32_t>(bytes)});
+  }
+  if (cfg_.papi && d.region_stack.back() == Region::Main) {
+    d.pending_main = MainRowKey{mb, dst_pe};
+    d.have_pending_main = true;
+    RowAgg& row = d.main_rows[d.pending_main];
+    row.num++;
+    row.pkt_bytes = static_cast<std::uint32_t>(bytes);
+  } else if (cfg_.papi) {
+    // A send from inside a handler: counted, but its cost stays in PROC.
+    RowAgg& row = d.main_rows[MainRowKey{mb, dst_pe}];
+    row.num++;
+    row.pkt_bytes = static_cast<std::uint32_t>(bytes);
+  }
+}
+
+void Profiler::on_handler_begin(int mb, int src_pe, std::size_t bytes) {
+  (void)src_pe;
+  if (!rt::in_spmd_region()) return;
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  fold(d);
+  d.region_stack.push_back(Region::Proc);
+  d.cur_handler_mb = mb;
+  if (cfg_.papi) {
+    RowAgg& row = d.proc_rows[mb];
+    row.num++;
+    row.pkt_bytes = static_cast<std::uint32_t>(bytes);
+  }
+  if (cfg_.timeline &&
+      (cfg_.max_events_per_pe == 0 ||
+       d.events.size() < cfg_.max_events_per_pe))
+    d.events.push_back(
+        TimelineEvent{TimelineEvent::Kind::BeginProc, d.last_cycles, mb, 0});
+}
+
+void Profiler::on_handler_end(int mb) {
+  (void)mb;
+  if (!rt::in_spmd_region()) return;
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  fold(d);
+  if (d.region_stack.size() > 1 && d.region_stack.back() == Region::Proc)
+    d.region_stack.pop_back();
+  d.cur_handler_mb = -1;
+  if (cfg_.timeline &&
+      (cfg_.max_events_per_pe == 0 ||
+       d.events.size() < cfg_.max_events_per_pe))
+    d.events.push_back(
+        TimelineEvent{TimelineEvent::Kind::EndProc, d.last_cycles, mb, 0});
+}
+
+void Profiler::on_comm_begin() {
+  if (!rt::in_spmd_region()) return;
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  fold(d);
+  d.region_stack.push_back(Region::Comm);
+  if (cfg_.timeline &&
+      (cfg_.max_events_per_pe == 0 ||
+       d.events.size() < cfg_.max_events_per_pe))
+    d.events.push_back(
+        TimelineEvent{TimelineEvent::Kind::BeginComm, d.last_cycles, 0, 0});
+}
+
+void Profiler::on_comm_end() {
+  if (!rt::in_spmd_region()) return;
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  fold(d);
+  if (d.region_stack.size() > 1 && d.region_stack.back() == Region::Comm)
+    d.region_stack.pop_back();
+  if (cfg_.timeline &&
+      (cfg_.max_events_per_pe == 0 ||
+       d.events.size() < cfg_.max_events_per_pe))
+    d.events.push_back(
+        TimelineEvent{TimelineEvent::Kind::EndComm, d.last_cycles, 0, 0});
+}
+
+// -------------------------------------------------------- TransferObserver
+
+void Profiler::on_transfer(convey::SendType type, std::size_t buffer_bytes,
+                           int src_pe, int dst_pe) {
+  if (!cfg_.physical && !cfg_.timeline) return;
+  if (!rt::in_spmd_region()) return;
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  if (cfg_.physical) {
+    switch (type) {
+      case convey::SendType::local_send:
+        d.phys_row_local[static_cast<std::size_t>(dst_pe)]++;
+        break;
+      case convey::SendType::nonblock_send:
+        d.phys_row_nbi[static_cast<std::size_t>(dst_pe)]++;
+        break;
+      case convey::SendType::nonblock_progress:
+        d.phys_row_prog[static_cast<std::size_t>(dst_pe)]++;
+        break;
+    }
+    const bool sampled =
+        cfg_.sample_every <= 1 || d.physical_seen % cfg_.sample_every == 0;
+    ++d.physical_seen;
+    if (cfg_.keep_physical_events && sampled &&
+        (cfg_.max_events_per_pe == 0 ||
+         d.physical_events.size() < cfg_.max_events_per_pe)) {
+      d.physical_events.push_back(PhysicalRecord{
+          type, static_cast<std::uint64_t>(buffer_bytes), src_pe, dst_pe});
+    }
+  }
+  if (cfg_.timeline &&
+      (cfg_.max_events_per_pe == 0 ||
+       d.events.size() < cfg_.max_events_per_pe)) {
+    d.events.push_back(TimelineEvent{
+        TimelineEvent::Kind::Transfer, papi::cycles_now(), dst_pe,
+        static_cast<std::int32_t>(buffer_bytes)});
+  }
+}
+
+// ------------------------------------------------------------------ results
+
+CommMatrix Profiler::logical_matrix() const {
+  CommMatrix m(num_pes());
+  for (int s = 0; s < num_pes(); ++s) {
+    const PeData& d = pe_data(s);
+    for (std::size_t dst = 0; dst < d.logical_row.size(); ++dst)
+      m.add(s, static_cast<int>(dst), d.logical_row[dst]);
+  }
+  return m;
+}
+
+CommMatrix Profiler::physical_matrix() const {
+  CommMatrix m = physical_matrix(convey::SendType::local_send);
+  m += physical_matrix(convey::SendType::nonblock_send);
+  return m;
+}
+
+CommMatrix Profiler::physical_matrix(convey::SendType type) const {
+  CommMatrix m(num_pes());
+  for (int s = 0; s < num_pes(); ++s) {
+    const PeData& d = pe_data(s);
+    const std::vector<std::uint64_t>* row = nullptr;
+    switch (type) {
+      case convey::SendType::local_send: row = &d.phys_row_local; break;
+      case convey::SendType::nonblock_send: row = &d.phys_row_nbi; break;
+      case convey::SendType::nonblock_progress: row = &d.phys_row_prog; break;
+    }
+    for (std::size_t dst = 0; dst < row->size(); ++dst)
+      m.add(s, static_cast<int>(dst), (*row)[dst]);
+  }
+  return m;
+}
+
+std::vector<OverallRecord> Profiler::overall() const {
+  std::vector<OverallRecord> out;
+  out.reserve(static_cast<std::size_t>(num_pes()));
+  for (int pe = 0; pe < num_pes(); ++pe) {
+    const PeData& d = pe_data(pe);
+    OverallRecord r;
+    r.pe = pe;
+    r.t_main = d.t_main;
+    r.t_proc = d.t_proc;
+    r.t_total = d.t_total;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Profiler::papi_totals(papi::Event e) const {
+  int slot = -1;
+  for (int i = 0; i < cfg_.num_papi_events(); ++i)
+    if (cfg_.papi_events[static_cast<std::size_t>(i)] == e) slot = i;
+  if (slot < 0)
+    throw std::invalid_argument(
+        "Profiler::papi_totals: event was not configured for recording");
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(num_pes()), 0);
+  for (int pe = 0; pe < num_pes(); ++pe) {
+    const PeData& d = pe_data(pe);
+    for (const auto& [key, row] : d.main_rows)
+      out[static_cast<std::size_t>(pe)] +=
+          row.counters[static_cast<std::size_t>(slot)];
+    for (const auto& [mb, row] : d.proc_rows)
+      out[static_cast<std::size_t>(pe)] +=
+          row.counters[static_cast<std::size_t>(slot)];
+  }
+  return out;
+}
+
+const std::vector<LogicalSendRecord>& Profiler::logical_events(int pe) const {
+  return pe_data(pe).logical_events;
+}
+
+const std::vector<PhysicalRecord>& Profiler::physical_events(int pe) const {
+  return pe_data(pe).physical_events;
+}
+
+const std::vector<TimelineEvent>& Profiler::timeline(int pe) const {
+  return pe_data(pe).events;
+}
+
+std::vector<PapiSegmentRecord> Profiler::papi_segments(int pe) const {
+  const PeData& d = pe_data(pe);
+  std::vector<PapiSegmentRecord> out;
+  const int me_node = topo_known_ ? topo_.node_of(pe) : 0;
+  for (const auto& [key, row] : d.main_rows) {
+    PapiSegmentRecord r;
+    r.src_node = me_node;
+    r.src_pe = pe;
+    r.dst_node = topo_known_ ? topo_.node_of(key.dst) : 0;
+    r.dst_pe = key.dst;
+    r.mailbox_id = key.mb;
+    r.pkt_bytes = row.pkt_bytes;
+    r.num_sends = row.num;
+    r.counters = row.counters;
+    r.is_proc = false;
+    out.push_back(r);
+  }
+  for (const auto& [mb, row] : d.proc_rows) {
+    PapiSegmentRecord r;
+    r.src_node = me_node;
+    r.src_pe = pe;
+    r.dst_node = me_node;
+    r.dst_pe = pe;  // handler rows are self-rows
+    r.mailbox_id = mb;
+    r.pkt_bytes = row.pkt_bytes;
+    r.num_sends = row.num;
+    r.counters = row.counters;
+    r.is_proc = true;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void Profiler::write_traces() const { io::write_all(*this, cfg_); }
+
+void Profiler::clear() {
+  pes_.clear();
+  topo_known_ = false;
+}
+
+}  // namespace ap::prof

@@ -1,0 +1,165 @@
+// The ActorProf profiler (paper §III, Figure 2).
+//
+// One Profiler instance observes a whole SPMD launch. It implements the
+// two instrumentation seams of the stack —
+//   * actor::ActorObserver   : logical sends, MAIN/PROC/COMM regions,
+//                              per-segment PAPI deltas,
+//   * convey::TransferObserver: physical transfers
+// — and accumulates, per PE:
+//   1. the logical trace (§III-A)            -> PEi_send.csv
+//   2. PAPI segment records (§III-A)         -> PEi_PAPI.csv
+//   3. the overall rdtsc breakdown (§III-B)  -> overall.txt
+//   4. the physical trace (§III-C)           -> physical.txt
+//
+// Usage (SPMD):
+//   ap::prof::Profiler prof(cfg);        // installs observers
+//   ap::shmem::run(launch_cfg, [&] {
+//     ... build inputs ...
+//     prof.epoch_begin();                // start of the profiled kernel
+//     ap::hclib::finish([&] { ... actor program ... });
+//     prof.epoch_end();
+//     ap::shmem::barrier_all();
+//     if (ap::shmem::my_pe() == 0) prof.write_traces();
+//   });
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "actor/observer.hpp"
+#include "conveyor/observer.hpp"
+#include "core/aggregate.hpp"
+#include "core/chrome_trace.hpp"
+#include "core/config.hpp"
+#include "core/records.hpp"
+#include "shmem/topology.hpp"
+
+namespace ap::prof {
+
+class Profiler final : public actor::ActorObserver,
+                       public convey::TransferObserver {
+ public:
+  explicit Profiler(Config cfg = Config::from_env());
+  ~Profiler() override;
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Mark the start/end of the profiled kernel on the calling PE. Only
+  /// work inside the epoch is traced (the paper profiles the triangle-
+  /// counting kernel and excludes graph reading and validation).
+  void epoch_begin();
+  void epoch_end();
+  [[nodiscard]] bool epoch_active() const;
+
+  /// RAII epoch guard.
+  class Epoch {
+   public:
+    explicit Epoch(Profiler& p) : p_(p) { p_.epoch_begin(); }
+    ~Epoch() { p_.epoch_end(); }
+    Epoch(const Epoch&) = delete;
+    Epoch& operator=(const Epoch&) = delete;
+
+   private:
+    Profiler& p_;
+  };
+
+  // ---- ActorObserver ------------------------------------------------------
+  void on_send(int mb, int dst_pe, std::size_t bytes) override;
+  void on_handler_begin(int mb, int src_pe, std::size_t bytes) override;
+  void on_handler_end(int mb) override;
+  void on_comm_begin() override;
+  void on_comm_end() override;
+
+  // ---- TransferObserver ---------------------------------------------------
+  void on_transfer(convey::SendType type, std::size_t buffer_bytes,
+                   int src_pe, int dst_pe) override;
+
+  // ---- results ------------------------------------------------------------
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] int num_pes() const;
+
+  /// Messages sent src->dst before aggregation (Fig. 3/4 heatmap data).
+  [[nodiscard]] CommMatrix logical_matrix() const;
+  /// Buffers transferred src->dst (Fig. 8/9), optionally by type.
+  [[nodiscard]] CommMatrix physical_matrix() const;
+  [[nodiscard]] CommMatrix physical_matrix(convey::SendType type) const;
+  /// Per-PE MAIN/PROC/COMM cycle breakdown (Fig. 12/13).
+  [[nodiscard]] std::vector<OverallRecord> overall() const;
+  /// Per-PE total of one configured PAPI event over the MAIN and PROC
+  /// segments (Fig. 10/11 bar-graph data).
+  [[nodiscard]] std::vector<std::uint64_t> papi_totals(papi::Event e) const;
+
+  [[nodiscard]] const std::vector<LogicalSendRecord>& logical_events(
+      int pe) const;
+  [[nodiscard]] const std::vector<PhysicalRecord>& physical_events(
+      int pe) const;
+  [[nodiscard]] std::vector<PapiSegmentRecord> papi_segments(int pe) const;
+  /// Per-PE timeline (empty unless Config::timeline).
+  [[nodiscard]] const std::vector<TimelineEvent>& timeline(int pe) const;
+  /// Topology captured at the first epoch (node ids for exports).
+  [[nodiscard]] const shmem::Topology& topo() const { return topo_; }
+
+  /// Write every enabled trace file into cfg.trace_dir (single process
+  /// holds all PEs' data, so any PE — or post-run code — may call this).
+  void write_traces() const;
+
+  /// Drop all collected data (between experiments).
+  void clear();
+
+ private:
+  enum class Region { Main, Proc, Comm };
+
+  struct MainRowKey {
+    int mb;
+    int dst;
+    auto operator<=>(const MainRowKey&) const = default;
+  };
+  struct RowAgg {
+    std::uint64_t num = 0;
+    std::uint32_t pkt_bytes = 0;
+    std::array<std::uint64_t, papi::kMaxEventsPerSet> counters{};
+  };
+
+  struct PeData {
+    bool in_epoch = false;
+    std::vector<Region> region_stack;
+    std::uint64_t last_cycles = 0;
+    std::array<std::uint64_t, static_cast<std::size_t>(papi::Event::kCount)>
+        last_papi{};
+    std::uint64_t t_main = 0, t_proc = 0, t_comm = 0, t0 = 0, t_total = 0;
+
+    // PAPI segment attribution.
+    bool have_pending_main = false;
+    MainRowKey pending_main{};
+    std::map<MainRowKey, RowAgg> main_rows;
+    std::map<int, RowAgg> proc_rows;  // mailbox -> handler aggregate
+    int cur_handler_mb = -1;
+
+    std::vector<LogicalSendRecord> logical_events;
+    std::vector<std::uint64_t> logical_row;  // per-dst counts
+    std::uint64_t logical_seen = 0;          // for sampling
+    std::vector<PhysicalRecord> physical_events;
+    std::uint64_t physical_seen = 0;
+    std::vector<std::uint64_t> phys_row_local, phys_row_nbi, phys_row_prog;
+    std::vector<TimelineEvent> events;  // timeline (Config::timeline)
+  };
+
+  PeData& pe_data();
+  const PeData& pe_data(int pe) const;
+  /// Fold cycle + PAPI deltas since the last boundary into the buckets of
+  /// the current region, then re-stamp.
+  void fold(PeData& d);
+  void ensure_world();
+
+  Config cfg_;
+  shmem::Topology topo_;
+  bool topo_known_ = false;
+  std::vector<PeData> pes_;
+  actor::ActorObserver* prev_actor_obs_ = nullptr;
+  convey::TransferObserver* prev_transfer_obs_ = nullptr;
+};
+
+}  // namespace ap::prof

@@ -1,0 +1,87 @@
+// Trace record types — the rows of the four files ActorProf emits
+// (paper §III-A/B/C implementation notes).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "conveyor/observer.hpp"
+#include "papi/papi.hpp"
+
+namespace ap::prof {
+
+/// One application-level send before aggregation (a line of PEi_send.csv):
+///   source node, source PE, destination node, destination PE, message size
+struct LogicalSendRecord {
+  int src_node = 0;
+  int src_pe = 0;
+  int dst_node = 0;
+  int dst_pe = 0;
+  std::uint32_t msg_bytes = 0;
+
+  friend bool operator==(const LogicalSendRecord&,
+                         const LogicalSendRecord&) = default;
+};
+
+/// One PAPI segment row (a line of PEi_PAPI.csv):
+///   source node, source PE, dst node, dst PE, pkt size, MAILBOXID,
+///   NUM_SENDS, <counter values...>
+/// MAIN rows aggregate the sends of one mailbox toward one destination;
+/// PROC rows (dst == src) aggregate that mailbox's handler executions.
+struct PapiSegmentRecord {
+  int src_node = 0;
+  int src_pe = 0;
+  int dst_node = 0;
+  int dst_pe = 0;
+  std::uint32_t pkt_bytes = 0;
+  int mailbox_id = 0;
+  std::uint64_t num_sends = 0;
+  /// Values of the configured events (papi::kMaxEventsPerSet at most),
+  /// in configuration order; unused slots are zero.
+  std::array<std::uint64_t, papi::kMaxEventsPerSet> counters{};
+  /// True for a PROC (handler) row, false for a MAIN (send) row.
+  bool is_proc = false;
+
+  friend bool operator==(const PapiSegmentRecord&,
+                         const PapiSegmentRecord&) = default;
+};
+
+/// One network-level transfer (a line of physical.txt):
+///   send type, buffer (network-packet) size, source PE, destination PE
+struct PhysicalRecord {
+  convey::SendType type = convey::SendType::local_send;
+  std::uint64_t buffer_bytes = 0;
+  int src_pe = 0;
+  int dst_pe = 0;
+
+  friend bool operator==(const PhysicalRecord&,
+                         const PhysicalRecord&) = default;
+};
+
+/// Per-PE overall breakdown (two lines of overall.txt: Absolute, Relative).
+/// T_COMM is derived: T_TOTAL - T_MAIN - T_PROC (paper §III-B).
+struct OverallRecord {
+  int pe = 0;
+  std::uint64_t t_main = 0;
+  std::uint64_t t_proc = 0;
+  std::uint64_t t_total = 0;
+
+  [[nodiscard]] std::uint64_t t_comm() const {
+    const std::uint64_t used = t_main + t_proc;
+    return t_total > used ? t_total - used : 0;
+  }
+  [[nodiscard]] double rel_main() const {
+    return t_total == 0 ? 0.0 : static_cast<double>(t_main) / static_cast<double>(t_total);
+  }
+  [[nodiscard]] double rel_proc() const {
+    return t_total == 0 ? 0.0 : static_cast<double>(t_proc) / static_cast<double>(t_total);
+  }
+  [[nodiscard]] double rel_comm() const {
+    return t_total == 0 ? 0.0 : static_cast<double>(t_comm()) / static_cast<double>(t_total);
+  }
+
+  friend bool operator==(const OverallRecord&, const OverallRecord&) = default;
+};
+
+}  // namespace ap::prof

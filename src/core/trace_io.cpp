@@ -1,0 +1,296 @@
+#include "core/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/profiler.hpp"
+
+namespace ap::prof::io {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& line,
+                             const char* what) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line_no) + " (" + what +
+                           "): " + line);
+}
+
+/// Split a CSV line into trimmed fields.
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    const auto a = field.find_first_not_of(" \t");
+    const auto b = field.find_last_not_of(" \t\r");
+    out.push_back(a == std::string::npos ? std::string{}
+                                         : field.substr(a, b - a + 1));
+  }
+  return out;
+}
+
+template <class T>
+T to_num(const std::string& s, std::size_t line_no, const std::string& line) {
+  T value{};
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || p != s.data() + s.size())
+    parse_fail(line_no, line, "bad number");
+  return value;
+}
+
+bool skippable(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;  // blank
+}
+
+convey::SendType parse_send_type(const std::string& s, std::size_t line_no,
+                                 const std::string& line) {
+  if (s == "local_send") return convey::SendType::local_send;
+  if (s == "nonblock_send") return convey::SendType::nonblock_send;
+  if (s == "nonblock_progress") return convey::SendType::nonblock_progress;
+  parse_fail(line_no, line, "unknown send type");
+}
+
+}  // namespace
+
+std::string logical_file_name(int pe) {
+  return "PE" + std::to_string(pe) + "_send.csv";
+}
+
+std::string papi_file_name(int pe) {
+  return "PE" + std::to_string(pe) + "_PAPI.csv";
+}
+
+// ------------------------------------------------------------------ writers
+
+void write_logical(std::ostream& os,
+                   const std::vector<LogicalSendRecord>& events) {
+  os << "# source node, source PE, destination node, destination PE, "
+        "message size\n";
+  for (const LogicalSendRecord& r : events) {
+    os << r.src_node << ',' << r.src_pe << ',' << r.dst_node << ','
+       << r.dst_pe << ',' << r.msg_bytes << '\n';
+  }
+}
+
+void write_papi(std::ostream& os, const std::vector<PapiSegmentRecord>& rows,
+                const Config& cfg) {
+  os << "# source node, source PE, dst node, dst PE, pkt size, MAILBOXID, "
+        "NUM_SENDS";
+  for (int i = 0; i < cfg.num_papi_events(); ++i)
+    os << ", " << papi::name(cfg.papi_events[static_cast<std::size_t>(i)]);
+  os << ", REGION\n";
+  for (const PapiSegmentRecord& r : rows) {
+    os << r.src_node << ',' << r.src_pe << ',' << r.dst_node << ','
+       << r.dst_pe << ',' << r.pkt_bytes << ',' << r.mailbox_id << ','
+       << r.num_sends;
+    for (int i = 0; i < cfg.num_papi_events(); ++i)
+      os << ',' << r.counters[static_cast<std::size_t>(i)];
+    os << ',' << (r.is_proc ? "PROC" : "MAIN") << '\n';
+  }
+}
+
+void write_overall(std::ostream& os, const std::vector<OverallRecord>& recs) {
+  for (const OverallRecord& r : recs) {
+    os << "Absolute [PE" << r.pe
+       << "] TCOMM_PROFILING (T_MAIN, T_COMM, T_PROC) = (" << r.t_main << ", "
+       << r.t_comm() << ", " << r.t_proc << ")\n";
+    os << "Relative [PE" << r.pe
+       << "] TCOMM_PROFILING (T_MAIN/T_TOTAL, T_COMM/T_TOTAL, "
+          "T_PROC/T_TOTAL) = ("
+       << r.rel_main() << ", " << r.rel_comm() << ", " << r.rel_proc()
+       << ")\n";
+  }
+}
+
+void write_physical(std::ostream& os,
+                    const std::vector<PhysicalRecord>& events) {
+  os << "# send type, buffer size, source PE, destination PE\n";
+  for (const PhysicalRecord& r : events) {
+    os << convey::to_string(r.type) << ',' << r.buffer_bytes << ',' << r.src_pe
+       << ',' << r.dst_pe << '\n';
+  }
+}
+
+void write_all(const Profiler& prof, const Config& cfg) {
+  namespace fs = std::filesystem;
+  fs::create_directories(cfg.trace_dir);
+  const int n = prof.num_pes();
+
+  if (cfg.logical && cfg.keep_logical_events) {
+    for (int pe = 0; pe < n; ++pe) {
+      std::ofstream os(cfg.trace_dir / logical_file_name(pe));
+      write_logical(os, prof.logical_events(pe));
+    }
+  }
+  if (cfg.papi) {
+    for (int pe = 0; pe < n; ++pe) {
+      std::ofstream os(cfg.trace_dir / papi_file_name(pe));
+      write_papi(os, prof.papi_segments(pe), cfg);
+    }
+  }
+  if (cfg.overall) {
+    std::ofstream os(cfg.trace_dir / kOverallFile);
+    write_overall(os, prof.overall());
+  }
+  if (cfg.physical && cfg.keep_physical_events) {
+    std::ofstream os(cfg.trace_dir / kPhysicalFile);
+    std::vector<PhysicalRecord> merged;
+    for (int pe = 0; pe < n; ++pe) {
+      const auto& evs = prof.physical_events(pe);
+      merged.insert(merged.end(), evs.begin(), evs.end());
+    }
+    write_physical(os, merged);
+  }
+}
+
+// ------------------------------------------------------------------ parsers
+
+std::vector<LogicalSendRecord> parse_logical(std::istream& is) {
+  std::vector<LogicalSendRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (skippable(line)) continue;
+    const auto f = split_csv(line);
+    if (f.size() != 5) parse_fail(line_no, line, "expected 5 fields");
+    LogicalSendRecord r;
+    r.src_node = to_num<int>(f[0], line_no, line);
+    r.src_pe = to_num<int>(f[1], line_no, line);
+    r.dst_node = to_num<int>(f[2], line_no, line);
+    r.dst_pe = to_num<int>(f[3], line_no, line);
+    r.msg_bytes = to_num<std::uint32_t>(f[4], line_no, line);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<PapiSegmentRecord> parse_papi(std::istream& is) {
+  std::vector<PapiSegmentRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (skippable(line)) continue;
+    const auto f = split_csv(line);
+    if (f.size() < 8) parse_fail(line_no, line, "expected >= 8 fields");
+    PapiSegmentRecord r;
+    r.src_node = to_num<int>(f[0], line_no, line);
+    r.src_pe = to_num<int>(f[1], line_no, line);
+    r.dst_node = to_num<int>(f[2], line_no, line);
+    r.dst_pe = to_num<int>(f[3], line_no, line);
+    r.pkt_bytes = to_num<std::uint32_t>(f[4], line_no, line);
+    r.mailbox_id = to_num<int>(f[5], line_no, line);
+    r.num_sends = to_num<std::uint64_t>(f[6], line_no, line);
+    std::size_t k = 7;
+    int slot = 0;
+    for (; k < f.size(); ++k) {
+      if (f[k] == "MAIN" || f[k] == "PROC") {
+        r.is_proc = (f[k] == "PROC");
+        break;
+      }
+      if (slot < papi::kMaxEventsPerSet)
+        r.counters[static_cast<std::size_t>(slot++)] =
+            to_num<std::uint64_t>(f[k], line_no, line);
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<OverallRecord> parse_overall(std::istream& is) {
+  std::vector<OverallRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (skippable(line)) continue;
+    if (line.rfind("Absolute", 0) != 0) continue;  // Relative lines derived
+    // Absolute [PE3] TCOMM_PROFILING (T_MAIN, T_COMM, T_PROC) = (a, b, c)
+    const auto pe_open = line.find("[PE");
+    const auto pe_close = line.find(']', pe_open);
+    const auto eq = line.find('=', pe_close);
+    const auto paren = line.find('(', eq);
+    const auto paren_close = line.find(')', paren);
+    if (pe_open == std::string::npos || pe_close == std::string::npos ||
+        eq == std::string::npos || paren == std::string::npos ||
+        paren_close == std::string::npos)
+      parse_fail(line_no, line, "malformed Absolute line");
+    OverallRecord r;
+    r.pe = to_num<int>(line.substr(pe_open + 3, pe_close - pe_open - 3),
+                       line_no, line);
+    const auto nums =
+        split_csv(line.substr(paren + 1, paren_close - paren - 1));
+    if (nums.size() != 3) parse_fail(line_no, line, "expected 3 numbers");
+    r.t_main = to_num<std::uint64_t>(nums[0], line_no, line);
+    const auto t_comm = to_num<std::uint64_t>(nums[1], line_no, line);
+    r.t_proc = to_num<std::uint64_t>(nums[2], line_no, line);
+    r.t_total = r.t_main + t_comm + r.t_proc;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<PhysicalRecord> parse_physical(std::istream& is) {
+  std::vector<PhysicalRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (skippable(line)) continue;
+    const auto f = split_csv(line);
+    if (f.size() != 4) parse_fail(line_no, line, "expected 4 fields");
+    PhysicalRecord r;
+    r.type = parse_send_type(f[0], line_no, line);
+    r.buffer_bytes = to_num<std::uint64_t>(f[1], line_no, line);
+    r.src_pe = to_num<int>(f[2], line_no, line);
+    r.dst_pe = to_num<int>(f[3], line_no, line);
+    out.push_back(r);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- TraceDir
+
+CommMatrix TraceDir::logical_matrix() const {
+  CommMatrix m(num_pes);
+  for (const auto& per_pe : logical)
+    for (const LogicalSendRecord& r : per_pe) m.add(r.src_pe, r.dst_pe);
+  return m;
+}
+
+CommMatrix TraceDir::physical_matrix(bool include_progress) const {
+  CommMatrix m(num_pes);
+  for (const PhysicalRecord& r : physical) {
+    if (!include_progress && r.type == convey::SendType::nonblock_progress)
+      continue;
+    m.add(r.src_pe, r.dst_pe);
+  }
+  return m;
+}
+
+TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes) {
+  TraceDir t;
+  t.num_pes = num_pes;
+  t.logical.resize(static_cast<std::size_t>(num_pes));
+  t.papi.resize(static_cast<std::size_t>(num_pes));
+  for (int pe = 0; pe < num_pes; ++pe) {
+    if (std::ifstream is{dir / logical_file_name(pe)}; is)
+      t.logical[static_cast<std::size_t>(pe)] = parse_logical(is);
+    if (std::ifstream is{dir / papi_file_name(pe)}; is)
+      t.papi[static_cast<std::size_t>(pe)] = parse_papi(is);
+  }
+  if (std::ifstream is{dir / kOverallFile}; is) t.overall = parse_overall(is);
+  if (std::ifstream is{dir / kPhysicalFile}; is)
+    t.physical = parse_physical(is);
+  return t;
+}
+
+}  // namespace ap::prof::io

@@ -1,0 +1,71 @@
+// Writers and parsers for ActorProf's trace files (paper §III):
+//   PEi_send.csv  — logical trace, one line per application send
+//   PEi_PAPI.csv  — PAPI segment rows
+//   overall.txt   — Absolute/Relative TCOMM_PROFILING lines per PE
+//   physical.txt  — network transfers of all PEs
+// The visualization CLI consumes these files only, so it also works on
+// traces produced by other builds of the tool.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hpp"
+#include "core/config.hpp"
+#include "core/records.hpp"
+
+namespace ap::prof {
+class Profiler;
+}
+
+namespace ap::prof::io {
+
+/// File-name helpers (exactly the names the paper lists).
+std::string logical_file_name(int pe);   // "PE<i>_send.csv"
+std::string papi_file_name(int pe);      // "PE<i>_PAPI.csv"
+inline constexpr const char* kOverallFile = "overall.txt";
+inline constexpr const char* kPhysicalFile = "physical.txt";
+
+// ---- writers ---------------------------------------------------------------
+
+void write_logical(std::ostream& os,
+                   const std::vector<LogicalSendRecord>& events);
+void write_papi(std::ostream& os, const std::vector<PapiSegmentRecord>& rows,
+                const Config& cfg);
+void write_overall(std::ostream& os, const std::vector<OverallRecord>& recs);
+void write_physical(std::ostream& os,
+                    const std::vector<PhysicalRecord>& events);
+
+/// Write every enabled trace of `prof` into cfg.trace_dir (created if
+/// missing). Called by Profiler::write_traces().
+void write_all(const Profiler& prof, const Config& cfg);
+
+// ---- parsers ---------------------------------------------------------------
+// All parsers skip blank lines and '#' comments and throw std::runtime_error
+// with a line number on malformed input.
+
+std::vector<LogicalSendRecord> parse_logical(std::istream& is);
+std::vector<PapiSegmentRecord> parse_papi(std::istream& is);
+std::vector<OverallRecord> parse_overall(std::istream& is);
+std::vector<PhysicalRecord> parse_physical(std::istream& is);
+
+/// Load a whole trace directory produced by write_all.
+struct TraceDir {
+  int num_pes = 0;
+  std::vector<std::vector<LogicalSendRecord>> logical;  // per PE (may be empty)
+  std::vector<std::vector<PapiSegmentRecord>> papi;     // per PE
+  std::vector<OverallRecord> overall;
+  std::vector<PhysicalRecord> physical;
+
+  /// Aggregate the logical events into a src-by-dst matrix.
+  [[nodiscard]] CommMatrix logical_matrix() const;
+  /// Aggregate physical transfers (excluding progress signals by default,
+  /// matching the paper's buffer heatmaps).
+  [[nodiscard]] CommMatrix physical_matrix(bool include_progress = false) const;
+};
+
+TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes);
+
+}  // namespace ap::prof::io

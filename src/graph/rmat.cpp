@@ -1,0 +1,75 @@
+#include "graph/rmat.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ap::graph {
+
+std::vector<Edge> rmat_edges(const RmatParams& p) {
+  if (p.scale < 0 || p.scale > 30)
+    throw std::invalid_argument("rmat_edges: scale out of range [0, 30]");
+  if (p.edge_factor <= 0)
+    throw std::invalid_argument("rmat_edges: edge_factor must be positive");
+  const double d = 1.0 - p.a - p.b - p.c;
+  if (p.a < 0 || p.b < 0 || p.c < 0 || d < -1e-9)
+    throw std::invalid_argument("rmat_edges: probabilities must sum to <= 1");
+
+  const Vertex n = Vertex{1} << p.scale;
+  const std::size_t m = static_cast<std::size_t>(p.edge_factor) *
+                        static_cast<std::size_t>(n);
+  SplitMix64 rng(p.seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    Vertex u = 0, v = 0;
+    // Recursive quadrant descent with the classic noise-free R-MAT rule.
+    for (int level = 0; level < p.scale; ++level) {
+      const double r = rng.next_unit();
+      const Vertex bit = Vertex{1} << (p.scale - 1 - level);
+      if (r < p.a) {
+        // top-left: no bits set
+      } else if (r < p.a + p.b) {
+        v |= bit;  // top-right
+      } else if (r < p.a + p.b + p.c) {
+        u |= bit;  // bottom-left
+      } else {
+        u |= bit;  // bottom-right
+        v |= bit;
+      }
+    }
+    edges.push_back(Edge{u, v});
+  }
+
+  if (p.permute_vertices) {
+    // graph500 relabeling: random permutation of vertex ids removes the
+    // correlation between id and degree that raw R-MAT produces.
+    std::vector<Vertex> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), Vertex{0});
+    SplitMix64 prng(p.seed ^ 0xFEEDFACEull);
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(prng.next_below(i));
+      std::swap(perm[i - 1], perm[j]);
+    }
+    for (Edge& e : edges) {
+      e.u = perm[static_cast<std::size_t>(e.u)];
+      e.v = perm[static_cast<std::size_t>(e.v)];
+    }
+  }
+
+  if (p.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
+  }
+
+  if (p.dedup) {
+    for (Edge& e : edges)
+      if (e.u < e.v) std::swap(e.u, e.v);  // canonical: u >= v
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  return edges;
+}
+
+}  // namespace ap::graph

@@ -1,0 +1,64 @@
+// R-MAT / graph500-style graph generation (paper §IV-C).
+//
+// The case-study input is "a lower triangular undirected, unweighted matrix
+// generated on a scale of 16 with R-MAT parameters A=57.0, B=C=19.0, D=5.0
+// and an edge factor of 16, following graph500 benchmark standards". This
+// module reproduces that generator: 2^scale vertices, edge_factor*2^scale
+// edge insertions, recursive quadrant descent with the given probabilities,
+// vertex relabeling (permutation) to avoid locality artifacts, and optional
+// deduplication/self-loop removal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ap::graph {
+
+using Vertex = std::int64_t;
+
+struct Edge {
+  Vertex u = 0;
+  Vertex v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+struct RmatParams {
+  int scale = 12;                     // 2^scale vertices
+  int edge_factor = 16;               // edges ~= edge_factor * 2^scale
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c = 0.05
+  std::uint64_t seed = 0xC0FFEE;
+  bool permute_vertices = true;       // graph500 vertex relabeling
+  bool remove_self_loops = true;
+  bool dedup = true;                  // keep one copy of each {u,v}
+};
+
+/// Generate the edge list (undirected; each edge appears once with
+/// unordered endpoints as produced by the generator).
+std::vector<Edge> rmat_edges(const RmatParams& p);
+
+/// Small deterministic xorshift-based RNG used across the repo (keeps all
+/// experiments reproducible without <random> distribution variance).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ap::graph

@@ -1,0 +1,17 @@
+#include "papi/cycles.hpp"
+
+namespace ap::papi {
+
+namespace {
+thread_local CycleSource g_source = CycleSource::virtual_;
+}
+
+CycleSource cycle_source() { return g_source; }
+void set_cycle_source(CycleSource s) { g_source = s; }
+
+std::uint64_t cycles_now() {
+  if (g_source == CycleSource::rdtsc) return rdtsc_now();
+  return counter_value(Event::TOT_CYC);
+}
+
+}  // namespace ap::papi

@@ -1,0 +1,176 @@
+// sim-PAPI: a PAPI-compatible hardware-performance-counter substrate.
+//
+// The paper reads real PAPI counters (PAPI_TOT_INS, PAPI_LST_INS, ...)
+// around the MAIN and PROC segments of an HClib-Actor program. This box has
+// no PAPI and no perf counters exposed, so — per the substitution rule in
+// DESIGN.md — we provide the same *API surface* (event sets, a maximum of
+// four concurrently-recorded events, start/stop/read/accum/reset) backed by
+// a deterministic software cost model. The runtime and the applications
+// feed the model through the account_* functions; every counter is
+// per-PE. Absolute values are model units; relative per-PE shapes (what
+// Figures 10–11 plot) are preserved because the model is linear in the
+// work each PE actually performs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ap::papi {
+
+/// The preset events the model maintains (names match PAPI's).
+enum class Event : int {
+  TOT_INS,  ///< total instructions completed
+  TOT_CYC,  ///< total cycles (derived: instructions + memory penalties)
+  LST_INS,  ///< load/store instructions (LD_INS + SR_INS)
+  LD_INS,   ///< load instructions
+  SR_INS,   ///< store instructions
+  L1_DCM,   ///< level-1 data-cache misses
+  L2_DCM,   ///< level-2 data-cache misses
+  BR_INS,   ///< branch instructions
+  BR_MSP,   ///< mispredicted branches
+  kCount
+};
+
+inline constexpr int kNumEvents = static_cast<int>(Event::kCount);
+
+/// "PAPI_TOT_INS"-style canonical name.
+std::string_view name(Event e);
+/// Parse a canonical name; nullopt for unknown events.
+std::optional<Event> parse(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Software cost model. All account_* calls charge the *current PE* (the PE
+// executing when called; a process-global slot is used outside any launch so
+// the module is testable standalone).
+// ---------------------------------------------------------------------------
+
+/// Tunable instruction/miss costs of the abstract operations. The defaults
+/// approximate a superscalar x86 core; they only need to be *fixed*, not
+/// exact, for the paper's relative analyses to hold.
+struct CostModel {
+  std::uint64_t ins_per_message_construct = 12;
+  std::uint64_t ins_per_message_handle = 28;
+  std::uint64_t ins_per_payload_byte_num = 1;   // +bytes/8 instructions
+  std::uint64_t ins_per_payload_byte_den = 8;
+  std::uint64_t branches_per_message = 4;
+  /// Branch misprediction rate in 1/1024 units (2% ≈ 20).
+  std::uint64_t br_msp_per_1024 = 20;
+  /// L1 miss rate (per access, 1/1024) once a random-access footprint
+  /// exceeds the L1 / L2 sizes below.
+  std::uint64_t l1_miss_per_1024_beyond_l1 = 600;
+  std::uint64_t l2_miss_per_1024_beyond_l2 = 700;
+  std::size_t l1_bytes = 32 * 1024;
+  std::size_t l2_bytes = 1024 * 1024;
+  /// Cycle accounting: cycles = ins/ipc + l1_dcm*l1_penalty + l2_dcm*...
+  std::uint64_t ipc_x16 = 32;  // IPC = 2.0 in 1/16 units
+  std::uint64_t l1_penalty_cycles = 12;
+  std::uint64_t l2_penalty_cycles = 60;
+  /// Network model (cycles charged on the initiating PE; these dominate
+  /// T_COMM exactly as the real interconnect does — paper Fig. 12/13):
+  std::uint64_t net_local_flush_cycles = 350;       // shmem_ptr memcpy path
+  std::uint64_t net_put_fixed_cycles = 1400;        // putmem_nbi injection
+  std::uint64_t net_put_cycles_per_byte_x16 = 8;    // bytes/2 cycles
+  std::uint64_t net_quiet_fixed_cycles = 2600;      // fabric round trip
+  std::uint64_t net_quiet_cycles_per_put = 900;     // completion per put
+  std::uint64_t net_signal_put_cycles = 700;        // 8-byte signal
+  /// One conveyor progress round (advance): polling rings, checking acks.
+  /// This is what makes *waiting* visible — a PE stalled on a straggler
+  /// keeps polling, accruing COMM cycles, exactly like the idle time the
+  /// paper's rdtsc measurements capture on a real cluster.
+  std::uint64_t net_poll_cycles = 150;
+};
+
+const CostModel& cost_model();
+/// Replace the model (tests/ablation); affects subsequent accounting only.
+void set_cost_model(const CostModel& m);
+
+/// Raw accounting: add `n` to one event of the current PE.
+void account(Event e, std::uint64_t n);
+
+/// A message of `bytes` payload is marshalled and appended to a mailbox.
+void account_message_construct(std::size_t bytes);
+/// A received message of `bytes` payload is handled by user code.
+void account_message_handle(std::size_t bytes);
+/// Bulk memcpy of `bytes` (buffer aggregation and delivery).
+void account_buffer_copy(std::size_t bytes);
+/// `n` iterations of scalar loop work.
+void account_loop_iters(std::uint64_t n);
+/// `n` data-dependent accesses into a structure of `footprint` bytes
+/// (models cache behaviour of irregular access).
+void account_random_access(std::size_t footprint, std::uint64_t n);
+/// Intra-node buffer flush of `bytes` through shmem_ptr (local_send).
+void account_local_flush(std::size_t bytes);
+/// Inter-node shmem_putmem_nbi of `bytes` (nonblock_send).
+void account_remote_put(std::size_t bytes);
+/// shmem_quiet completing `outstanding_puts` non-blocking puts.
+void account_quiet(std::size_t outstanding_puts);
+/// An 8-byte signal/ack put.
+void account_signal_put();
+/// One conveyor progress/poll round (advance call).
+void account_poll();
+
+/// Virtual-time synchronization (virtual cycle source only; no-op under
+/// rdtsc). Sets the calling PE's TOT_CYC to the maximum across all PEs:
+/// a PE that polls while a straggler works "spends" that time waiting, so
+/// its overall profile accrues the wait in whatever region it polls from
+/// (COMM) — exactly how wall-clock rdtsc behaves on a real cluster where
+/// every PE leaves the epoch together.
+void sync_virtual_clock();
+
+/// Current PE's raw counter (monotone within a launch).
+std::uint64_t counter_value(Event e);
+/// Snapshot of all raw counters of the current PE.
+std::array<std::uint64_t, static_cast<std::size_t>(Event::kCount)> snapshot();
+/// Zero every counter of every PE and drop all event sets (between runs).
+void reset_all();
+
+// ---------------------------------------------------------------------------
+// PAPI-compatible event-set API (per PE, like PAPI's per-thread sets).
+// Return codes follow PAPI conventions: 0 == PAPI_OK, negative == error.
+// ---------------------------------------------------------------------------
+
+inline constexpr int PAPI_OK = 0;
+inline constexpr int PAPI_EINVAL = -1;
+inline constexpr int PAPI_ECNFLCT = -11;
+inline constexpr int PAPI_EISRUN = -10;
+inline constexpr int PAPI_ENOTRUN = -9;
+inline constexpr int PAPI_ENOEVNT = -7;
+
+/// Hardware limit the paper calls out: at most four concurrent events.
+inline constexpr int kMaxEventsPerSet = 4;
+
+int library_init();
+/// Create an event set for the current PE; writes its handle into *set.
+int create_eventset(int* set);
+int add_event(int set, Event e);
+int num_events(int set);
+int start(int set);
+/// Stop counting; if `values` non-null, writes one long long per added
+/// event, in insertion order.
+int stop(int set, long long* values);
+/// Read without stopping.
+int read(int set, long long* values);
+/// Zero the running deltas.
+int reset(int set);
+int cleanup_eventset(int set);
+int destroy_eventset(int* set);
+
+/// RAII convenience: counts the given events for the lifetime of the guard.
+class ScopedCounting {
+ public:
+  explicit ScopedCounting(std::initializer_list<Event> events);
+  ~ScopedCounting();
+  ScopedCounting(const ScopedCounting&) = delete;
+  ScopedCounting& operator=(const ScopedCounting&) = delete;
+
+  /// Values so far (ordered as the constructor's list).
+  [[nodiscard]] std::array<long long, kMaxEventsPerSet> values() const;
+
+ private:
+  int set_ = -1;
+  int n_ = 0;
+};
+
+}  // namespace ap::papi

@@ -1,0 +1,76 @@
+#include "runtime/fiber.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace ap::rt {
+
+namespace {
+// The fiber currently running on this thread. The whole runtime is
+// single-threaded by design (see DESIGN.md: determinism), but thread_local
+// keeps independent launches on different threads from interfering.
+thread_local Fiber* g_current_fiber = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)),
+      stack_(new unsigned char[stack_bytes]),
+      stack_bytes_(stack_bytes) {
+  if (!entry_) throw std::invalid_argument("Fiber: entry function is empty");
+  if (stack_bytes_ < 16 * 1024)
+    throw std::invalid_argument("Fiber: stack too small (< 16 KiB)");
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr);
+  try {
+    self->entry_();
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->state_ = State::Finished;
+  // Fall off the end: makecontext's uc_link returns to return_context_.
+}
+
+void Fiber::resume() {
+  if (state_ == State::Finished)
+    throw std::logic_error("Fiber::resume: fiber already finished");
+  if (state_ == State::Running)
+    throw std::logic_error("Fiber::resume: fiber already running");
+
+  if (state_ == State::Created) {
+    if (getcontext(&context_) != 0)
+      throw std::runtime_error("Fiber: getcontext failed");
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_bytes_;
+    context_.uc_link = &return_context_;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 0);
+  }
+
+  Fiber* previous = g_current_fiber;
+  g_current_fiber = this;
+  state_ = State::Running;
+  swapcontext(&return_context_, &context_);
+  g_current_fiber = previous;
+  if (state_ == State::Running) state_ = State::Runnable;
+
+  if (pending_exception_) {
+    std::exception_ptr ex = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(ex);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr && "Fiber::yield called outside any fiber");
+  swapcontext(&self->context_, &self->return_context_);
+}
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+}  // namespace ap::rt

@@ -1,0 +1,66 @@
+// Stackful cooperative fibers built on POSIX ucontext.
+//
+// A Fiber owns a private stack and a user entry function. Control moves
+// strictly between a fiber and the scheduler context that resumed it:
+// resume() enters the fiber, Fiber::yield() (called from inside the fiber)
+// returns to the resumer. There is no preemption; this is the substrate for
+// the deterministic SPMD scheduler in scheduler.hpp, where one fiber plays
+// the role of one OpenSHMEM processing element (PE).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+
+namespace ap::rt {
+
+/// One cooperative stackful coroutine.
+///
+/// Lifecycle: Created -> (resume/yield)* -> Finished. A fiber that threw is
+/// Finished as well; the exception is captured and rethrown from resume() in
+/// the resumer's context so errors propagate out of launch().
+class Fiber {
+ public:
+  enum class State { Created, Runnable, Running, Finished };
+
+  static constexpr std::size_t kDefaultStackBytes = 1u << 20;  // 1 MiB
+
+  explicit Fiber(std::function<void()> entry,
+                 std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Transfer control into the fiber until it yields or finishes.
+  /// Must not be called from inside any fiber owned by the same thread
+  /// unless that fiber is the scheduler itself. Rethrows any exception the
+  /// fiber's entry function escaped with.
+  void resume();
+
+  /// Called from inside a running fiber: suspend and return control to
+  /// whoever called resume(). Undefined behaviour if no fiber is running.
+  static void yield();
+
+  /// The fiber currently executing on this thread, or nullptr when running
+  /// in the scheduler/main context.
+  static Fiber* current();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool finished() const { return state_ == State::Finished; }
+
+ private:
+  static void trampoline();
+
+  std::function<void()> entry_;
+  std::unique_ptr<unsigned char[]> stack_;
+  std::size_t stack_bytes_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  std::exception_ptr pending_exception_;
+  State state_ = State::Created;
+};
+
+}  // namespace ap::rt

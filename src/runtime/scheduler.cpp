@@ -1,0 +1,147 @@
+#include "runtime/scheduler.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+namespace ap::rt {
+
+namespace {
+thread_local Scheduler* g_scheduler = nullptr;
+}  // namespace
+
+Scheduler::Scheduler(LaunchConfig cfg, std::function<void(int)> body)
+    : cfg_(cfg), body_(std::move(body)) {
+  if (cfg_.num_pes <= 0)
+    throw std::invalid_argument("LaunchConfig: num_pes must be positive");
+  if (cfg_.pes_per_node < 0)
+    throw std::invalid_argument("LaunchConfig: pes_per_node must be >= 0");
+  if (!body_) throw std::invalid_argument("launch: body is empty");
+  pes_.resize(static_cast<std::size_t>(cfg_.num_pes));
+  next_collective_index_.assign(static_cast<std::size_t>(cfg_.num_pes), 0);
+}
+
+Scheduler::~Scheduler() = default;
+
+Scheduler* Scheduler::instance() { return g_scheduler; }
+
+void Scheduler::run() {
+  if (g_scheduler != nullptr)
+    throw std::logic_error("launch(): launches cannot nest on one thread");
+  g_scheduler = this;
+
+  for (int pe = 0; pe < cfg_.num_pes; ++pe) {
+    pes_[static_cast<std::size_t>(pe)].fiber = std::make_unique<Fiber>(
+        [this, pe] { body_(pe); }, cfg_.stack_bytes);
+  }
+
+  std::exception_ptr failure;
+  bool all_done = false;
+  while (!all_done && !failure) {
+    bool progressed = false;
+    all_done = true;
+    for (int pe = 0; pe < cfg_.num_pes && !failure; ++pe) {
+      PeSlot& slot = pes_[static_cast<std::size_t>(pe)];
+      if (slot.fiber->finished()) continue;
+      all_done = false;
+      if (slot.blocked_on) {
+        bool ready = false;
+        try {
+          ready = slot.blocked_on();
+        } catch (...) {
+          failure = std::current_exception();
+          break;
+        }
+        if (!ready) continue;
+        slot.blocked_on = nullptr;
+      }
+      current_pe_ = pe;
+      try {
+        slot.fiber->resume();
+      } catch (...) {
+        failure = std::current_exception();
+      }
+      current_pe_ = -1;
+      progressed = true;
+      if (slot.fiber->finished()) {
+        // A finished PE must not leave a blocked-on predicate behind.
+        slot.blocked_on = nullptr;
+      }
+    }
+    if (!all_done && !progressed && !failure) {
+      std::ostringstream msg;
+      msg << "deadlock: all unfinished PEs are blocked (";
+      for (int pe = 0; pe < cfg_.num_pes; ++pe) {
+        const PeSlot& slot = pes_[static_cast<std::size_t>(pe)];
+        if (!slot.fiber->finished()) msg << " PE" << pe;
+      }
+      msg << " )";
+      failure = std::make_exception_ptr(DeadlockError(msg.str()));
+    }
+  }
+
+  g_scheduler = nullptr;
+  if (failure) std::rethrow_exception(failure);
+}
+
+void Scheduler::yield_current() {
+  assert(current_pe_ >= 0 && "yield() outside an SPMD region");
+  Fiber::yield();
+}
+
+void Scheduler::wait_until(std::function<bool()> pred) {
+  assert(current_pe_ >= 0 && "wait_until() outside an SPMD region");
+  if (pred()) return;
+  PeSlot& slot = pes_[static_cast<std::size_t>(current_pe_)];
+  slot.blocked_on = std::move(pred);
+  Fiber::yield();
+  // The scheduler only resumes us once the predicate held; nothing can have
+  // invalidated it since (single-threaded), so no re-check loop is needed.
+}
+
+void launch(const LaunchConfig& cfg, const std::function<void(int)>& body) {
+  Scheduler sched(cfg, body);
+  sched.run();
+}
+
+void launch(const LaunchConfig& cfg, const std::function<void()>& body) {
+  launch(cfg, [&body](int) { body(); });
+}
+
+int my_pe() {
+  Scheduler* s = Scheduler::instance();
+  return s == nullptr ? -1 : s->current_pe();
+}
+
+int n_pes() {
+  Scheduler* s = Scheduler::instance();
+  if (s == nullptr) throw std::logic_error("n_pes() outside an SPMD launch");
+  return s->num_pes();
+}
+
+const LaunchConfig& launch_config() {
+  Scheduler* s = Scheduler::instance();
+  if (s == nullptr)
+    throw std::logic_error("launch_config() outside an SPMD launch");
+  return s->config();
+}
+
+bool in_spmd_region() {
+  Scheduler* s = Scheduler::instance();
+  return s != nullptr && s->current_pe() >= 0;
+}
+
+void yield() {
+  Scheduler* s = Scheduler::instance();
+  if (s == nullptr) throw std::logic_error("yield() outside an SPMD launch");
+  s->yield_current();
+}
+
+void wait_until(std::function<bool()> pred) {
+  Scheduler* s = Scheduler::instance();
+  if (s == nullptr)
+    throw std::logic_error("wait_until() outside an SPMD launch");
+  s->wait_until(std::move(pred));
+}
+
+}  // namespace ap::rt

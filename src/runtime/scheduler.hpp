@@ -1,0 +1,149 @@
+// Deterministic cooperative SPMD scheduler.
+//
+// launch(cfg, body) runs `body` once per simulated processing element (PE),
+// each on its own fiber, scheduled round-robin on the calling thread. PEs
+// interact only through shared memory owned by higher layers (minishmem);
+// they yield control at well-defined points (barriers, conveyor advance,
+// shmem quiet, finish-wait). Because scheduling is round-robin and
+// single-threaded, every run is bit-for-bit reproducible — this is the
+// simulated "multi-node cluster" substrate described in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "runtime/fiber.hpp"
+
+namespace ap::rt {
+
+/// Parameters of one SPMD launch (the simulated cluster shape).
+struct LaunchConfig {
+  int num_pes = 4;
+  /// PEs per simulated cluster node; 0 means "all PEs on one node".
+  int pes_per_node = 0;
+  std::size_t stack_bytes = Fiber::kDefaultStackBytes;
+  /// Per-PE symmetric heap capacity (used by minishmem).
+  std::size_t symm_heap_bytes = std::size_t{64} << 20;
+  /// Seed for any runtime-level pseudo-randomness (kept for determinism).
+  std::uint64_t seed = 0xA5A5F00Dull;
+
+  [[nodiscard]] int effective_pes_per_node() const {
+    return pes_per_node > 0 ? pes_per_node : num_pes;
+  }
+  [[nodiscard]] int num_nodes() const {
+    const int ppn = effective_pes_per_node();
+    return (num_pes + ppn - 1) / ppn;
+  }
+};
+
+/// Thrown when every unfinished PE is blocked on a predicate that cannot
+/// become true — a genuine distributed deadlock in the simulated program.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The per-launch scheduler. Created by launch(); user code reaches it
+/// through the free functions below rather than directly.
+class Scheduler {
+ public:
+  Scheduler(LaunchConfig cfg, std::function<void(int)> body);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Run all PE fibers to completion. Throws DeadlockError on deadlock and
+  /// rethrows the first exception escaping any PE body.
+  void run();
+
+  [[nodiscard]] const LaunchConfig& config() const { return cfg_; }
+  [[nodiscard]] int num_pes() const { return cfg_.num_pes; }
+
+  /// Rank of the PE currently executing; -1 outside any PE fiber.
+  [[nodiscard]] int current_pe() const { return current_pe_; }
+
+  /// Cooperatively yield to the next runnable PE.
+  void yield_current();
+
+  /// Block the current PE until `pred()` is true, yielding in between.
+  /// `pred` must be made true by the action of some other PE (or already
+  /// be true); otherwise the launch ends with DeadlockError.
+  void wait_until(std::function<bool()> pred);
+
+  /// Collective-object registry: every PE must call collective<T>() in the
+  /// same program order with the same T. The first PE to reach call-site
+  /// index k constructs the object; the rest receive the shared instance.
+  /// This mirrors how OpenSHMEM/Conveyors objects are collectively created.
+  template <class T, class Factory>
+  std::shared_ptr<T> collective(Factory&& make) {
+    const int pe = current_pe_;
+    if (pe < 0)
+      throw std::logic_error("collective() called outside an SPMD region");
+    const std::size_t idx = next_collective_index_[static_cast<std::size_t>(pe)]++;
+    if (idx == collectives_.size()) {
+      collectives_.push_back(Entry{std::type_index(typeid(T)),
+                                   std::shared_ptr<void>(make())});
+    } else if (idx > collectives_.size()) {
+      throw std::logic_error("collective(): registry out of sync");
+    }
+    Entry& e = collectives_[idx];
+    if (e.type != std::type_index(typeid(T)))
+      throw std::logic_error(
+          "collective(): PEs disagree on collective object type at index " +
+          std::to_string(idx));
+    return std::static_pointer_cast<T>(e.object);
+  }
+
+  /// The scheduler of the launch currently running on this thread.
+  static Scheduler* instance();
+
+ private:
+  struct PeSlot {
+    std::unique_ptr<Fiber> fiber;
+    std::function<bool()> blocked_on;  // empty => runnable
+  };
+  struct Entry {
+    std::type_index type;
+    std::shared_ptr<void> object;
+  };
+
+  LaunchConfig cfg_;
+  std::function<void(int)> body_;
+  std::vector<PeSlot> pes_;
+  std::vector<std::size_t> next_collective_index_;
+  std::vector<Entry> collectives_;
+  int current_pe_ = -1;
+};
+
+/// Run `body` as an SPMD program over cfg.num_pes cooperative PEs.
+void launch(const LaunchConfig& cfg, const std::function<void()>& body);
+
+/// Variant receiving the PE rank as an argument.
+void launch(const LaunchConfig& cfg, const std::function<void(int)>& body);
+
+/// SPMD context queries; only valid inside a launch.
+int my_pe();
+int n_pes();
+const LaunchConfig& launch_config();
+bool in_spmd_region();
+
+/// Cooperative scheduling primitives for substrate layers.
+void yield();
+void wait_until(std::function<bool()> pred);
+
+/// See Scheduler::collective.
+template <class T, class Factory>
+std::shared_ptr<T> collective(Factory&& make) {
+  Scheduler* s = Scheduler::instance();
+  if (s == nullptr)
+    throw std::logic_error("collective() called outside an SPMD launch");
+  return s->collective<T>(std::forward<Factory>(make));
+}
+
+}  // namespace ap::rt

@@ -1,0 +1,12 @@
+#include "shmem/profiling_interface.hpp"
+
+namespace ap::shmem {
+
+namespace {
+thread_local RmaObserver* g_rma_observer = nullptr;
+}
+
+void set_rma_observer(RmaObserver* obs) { g_rma_observer = obs; }
+RmaObserver* rma_observer() { return g_rma_observer; }
+
+}  // namespace ap::shmem

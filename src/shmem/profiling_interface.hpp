@@ -1,0 +1,65 @@
+// OpenSHMEM profiling interface (paper §V-B).
+//
+// The paper observes that no established profiler captures OpenSHMEM
+// *non-blocking* routines (shmem_putmem_nbi) — score-p and TAU exclude
+// them, CrayPat does not show them, VTune's fabric profiler only sees
+// shmem_put — and suggests "a wrapper function for non-blocking routines"
+// analogous to MPI's PMPI. minishmem provides exactly that seam: every
+// RMA/synchronization routine reports to the registered RmaObserver
+// *including* putmem_nbi and quiet, so a tool built on this interface can
+// account for Conveyors traffic without instrumenting Conveyors itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ap::shmem {
+
+class RmaObserver {
+ public:
+  virtual ~RmaObserver() = default;
+
+  /// Blocking put of `bytes` to `target_pe`.
+  virtual void on_put(int target_pe, std::size_t bytes) = 0;
+  /// NON-BLOCKING put — the routine existing profilers cannot capture.
+  virtual void on_put_nbi(int target_pe, std::size_t bytes) = 0;
+  virtual void on_get(int target_pe, std::size_t bytes) = 0;
+  /// quiet() completed `outstanding_puts` staged non-blocking puts.
+  virtual void on_quiet(std::size_t outstanding_puts) = 0;
+  virtual void on_barrier() = 0;
+  virtual void on_atomic(int target_pe) = 0;
+};
+
+/// Install/read the process-wide (per-thread) observer; nullptr disables.
+void set_rma_observer(RmaObserver* obs);
+RmaObserver* rma_observer();
+
+/// Convenience observer that just counts calls (per instance).
+class CountingRmaObserver final : public RmaObserver {
+ public:
+  void on_put(int, std::size_t bytes) override {
+    ++puts;
+    put_bytes += bytes;
+  }
+  void on_put_nbi(int, std::size_t bytes) override {
+    ++nbi_puts;
+    nbi_bytes += bytes;
+  }
+  void on_get(int, std::size_t bytes) override {
+    ++gets;
+    get_bytes += bytes;
+  }
+  void on_quiet(std::size_t outstanding) override {
+    ++quiets;
+    completed_by_quiet += outstanding;
+  }
+  void on_barrier() override { ++barriers; }
+  void on_atomic(int) override { ++atomics; }
+
+  std::uint64_t puts = 0, nbi_puts = 0, gets = 0, quiets = 0, barriers = 0,
+                atomics = 0;
+  std::uint64_t put_bytes = 0, nbi_bytes = 0, get_bytes = 0,
+                completed_by_quiet = 0;
+};
+
+}  // namespace ap::shmem

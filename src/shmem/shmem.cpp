@@ -1,0 +1,411 @@
+#include "shmem/shmem.hpp"
+
+#include "papi/papi.hpp"
+#include "shmem/profiling_interface.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace ap::shmem {
+
+namespace {
+
+/// One staged non-blocking put. The source pointer is recorded, not copied:
+/// like real OpenSHMEM, the caller must keep `src` stable until quiet().
+struct PendingPut {
+  int dst_pe;
+  std::size_t dst_offset;
+  const void* src;
+  std::size_t nbytes;
+};
+
+/// Shared state for barrier/reduce/broadcast. All collectives are rounds of
+/// this one object; OpenSHMEM already requires identical collective call
+/// order on every PE, so a single arrival counter suffices.
+struct CollectiveState {
+  int arrived = 0;
+  std::uint64_t gen = 0;
+  std::vector<unsigned char> contrib;                 // npes * elem_bytes
+  std::array<std::vector<unsigned char>, 2> result;   // double-buffered
+};
+
+struct World {
+  explicit World(const rt::LaunchConfig& cfg)
+      : topo(cfg.num_pes, cfg.pes_per_node) {
+    heaps.reserve(static_cast<std::size_t>(cfg.num_pes));
+    for (int i = 0; i < cfg.num_pes; ++i)
+      heaps.emplace_back(cfg.symm_heap_bytes);
+    pending.resize(static_cast<std::size_t>(cfg.num_pes));
+    stats.resize(static_cast<std::size_t>(cfg.num_pes));
+  }
+
+  Topology topo;
+  std::vector<SymmetricHeap> heaps;
+  std::vector<std::vector<PendingPut>> pending;  // per source PE
+  std::vector<PeStats> stats;
+  CollectiveState coll;
+};
+
+thread_local World* g_world = nullptr;
+
+World& world() {
+  if (g_world == nullptr)
+    throw std::logic_error("minishmem: call outside shmem::run()");
+  return *g_world;
+}
+
+int require_pe() {
+  const int pe = rt::my_pe();
+  if (pe < 0)
+    throw std::logic_error("minishmem: call outside an SPMD region");
+  return pe;
+}
+
+SymmetricHeap& my_heap() {
+  return world().heaps[static_cast<std::size_t>(require_pe())];
+}
+
+PeStats& my_stats() {
+  return world().stats[static_cast<std::size_t>(require_pe())];
+}
+
+/// Resolve a local symmetric address to the same offset on `pe`.
+unsigned char* translate(const void* local_sym_addr, int pe) {
+  World& w = world();
+  if (pe < 0 || pe >= w.topo.num_pes())
+    throw std::out_of_range("minishmem: target PE out of range");
+  SymmetricHeap& mine = w.heaps[static_cast<std::size_t>(require_pe())];
+  const std::size_t off = mine.offset_of(local_sym_addr);
+  return w.heaps[static_cast<std::size_t>(pe)].base() + off;
+}
+
+void apply_pending(int src_pe) {
+  World& w = world();
+  auto& queue = w.pending[static_cast<std::size_t>(src_pe)];
+  for (const PendingPut& p : queue) {
+    unsigned char* dst =
+        w.heaps[static_cast<std::size_t>(p.dst_pe)].base() + p.dst_offset;
+    std::memcpy(dst, p.src, p.nbytes);
+  }
+  queue.clear();
+}
+
+/// Generic round of the shared collective: every PE contributes
+/// `elem_bytes` at contrib[me]; the last arriver runs `combine` which must
+/// fill result-slot bytes; every PE then copies the result out.
+void collective_round(const void* contribution, std::size_t elem_bytes,
+                      void* out, std::size_t out_bytes,
+                      const std::function<void(CollectiveState&)>& combine) {
+  World& w = world();
+  CollectiveState& c = w.coll;
+  const int me = require_pe();
+  const int n = w.topo.num_pes();
+  const std::uint64_t g = c.gen;
+
+  if (elem_bytes > 0) {
+    if (c.contrib.size() < static_cast<std::size_t>(n) * elem_bytes)
+      c.contrib.resize(static_cast<std::size_t>(n) * elem_bytes);
+    std::memcpy(c.contrib.data() + static_cast<std::size_t>(me) * elem_bytes,
+                contribution, elem_bytes);
+  }
+  if (++c.arrived == n) {
+    if (combine) {
+      auto& slot = c.result[g % 2];
+      slot.assign(out_bytes, 0);
+      combine(c);
+    }
+    c.arrived = 0;
+    ++c.gen;
+  } else {
+    rt::wait_until([&c, g] { return c.gen != g; });
+  }
+  if (out != nullptr && out_bytes > 0) {
+    const auto& slot = c.result[g % 2];
+    if (slot.size() < out_bytes)
+      throw std::logic_error("minishmem: collective result size mismatch");
+    std::memcpy(out, slot.data(), out_bytes);
+  }
+}
+
+template <class T, class Op>
+T reduce_impl(T value, Op op, T identity) {
+  World& w = world();
+  const int n = w.topo.num_pes();
+  T out{};
+  collective_round(
+      &value, sizeof(T), &out, sizeof(T),
+      [n, op, identity](CollectiveState& c) {
+        T acc = identity;
+        for (int i = 0; i < n; ++i) {
+          T v;
+          std::memcpy(&v, c.contrib.data() + static_cast<std::size_t>(i) *
+                                                 sizeof(T),
+                      sizeof(T));
+          acc = op(acc, v);
+        }
+        auto& slot = c.result[c.gen % 2];
+        slot.resize(sizeof(T));
+        std::memcpy(slot.data(), &acc, sizeof(T));
+      });
+  return out;
+}
+
+}  // namespace
+
+void run(const rt::LaunchConfig& cfg, const std::function<void()>& body) {
+  if (g_world != nullptr)
+    throw std::logic_error("minishmem: shmem::run() cannot nest");
+  // Fresh virtual counters per SPMD run: the fleet-max clock sync must see
+  // launch-relative values, or back-to-back runs in one process would
+  // attribute waiting differently (and trace files would stop being
+  // byte-reproducible).
+  papi::reset_all();
+  World w(cfg);
+  g_world = &w;
+  try {
+    rt::launch(cfg, body);
+  } catch (...) {
+    g_world = nullptr;
+    throw;
+  }
+  g_world = nullptr;
+}
+
+int my_pe() { return require_pe(); }
+int n_pes() { return world().topo.num_pes(); }
+const Topology& topology() { return world().topo; }
+int node_of(int pe) { return world().topo.node_of(pe); }
+int local_rank(int pe) { return world().topo.local_rank(pe); }
+int n_nodes() { return world().topo.num_nodes(); }
+
+void* symm_malloc(std::size_t bytes) {
+  void* p = my_heap().allocate(bytes);
+  std::memset(p, 0, bytes);
+  return p;
+}
+
+void symm_free(void* p) {
+  if (p == nullptr) return;
+  my_heap().deallocate(p);
+}
+
+void* ptr(void* target, int pe) {
+  World& w = world();
+  const int me = require_pe();
+  if (!w.topo.same_node(me, pe)) return nullptr;
+  return translate(target, pe);
+}
+
+void put(void* dest, const void* src, std::size_t nbytes, int pe) {
+  if (nbytes == 0) return;
+  unsigned char* remote = translate(dest, pe);
+  std::memcpy(remote, src, nbytes);
+  PeStats& s = my_stats();
+  ++s.puts;
+  s.put_bytes += nbytes;
+  if (RmaObserver* o = rma_observer()) o->on_put(pe, nbytes);
+}
+
+void get(void* dest, const void* src, std::size_t nbytes, int pe) {
+  if (nbytes == 0) return;
+  const unsigned char* remote = translate(src, pe);
+  std::memcpy(dest, remote, nbytes);
+  PeStats& s = my_stats();
+  ++s.gets;
+  s.get_bytes += nbytes;
+  if (RmaObserver* o = rma_observer()) o->on_get(pe, nbytes);
+}
+
+void putmem_nbi(void* dest, const void* src, std::size_t nbytes, int pe) {
+  if (nbytes == 0) return;
+  World& w = world();
+  const int me = require_pe();
+  SymmetricHeap& mine = w.heaps[static_cast<std::size_t>(me)];
+  const std::size_t off = mine.offset_of(dest);
+  if (pe < 0 || pe >= w.topo.num_pes())
+    throw std::out_of_range("putmem_nbi: target PE out of range");
+  w.pending[static_cast<std::size_t>(me)].push_back(
+      PendingPut{pe, off, src, nbytes});
+  PeStats& s = my_stats();
+  ++s.nbi_puts;
+  s.nbi_put_bytes += nbytes;
+  if (RmaObserver* o = rma_observer()) o->on_put_nbi(pe, nbytes);
+}
+
+void quiet() {
+  const int me = require_pe();
+  const std::size_t outstanding =
+      world().pending[static_cast<std::size_t>(me)].size();
+  apply_pending(me);
+  ++my_stats().quiets;
+  if (RmaObserver* o = rma_observer()) o->on_quiet(outstanding);
+}
+
+void fence() { quiet(); }
+
+std::size_t pending_nbi_puts() {
+  return world().pending[static_cast<std::size_t>(require_pe())].size();
+}
+
+void put_signal(void* dest, const void* src, std::size_t nbytes,
+                std::int64_t* sig_addr, std::int64_t signal, int pe) {
+  // Our blocking put is immediately visible, so data-then-signal ordering
+  // holds trivially (real implementations fence between the two).
+  put(dest, src, nbytes, pe);
+  put(sig_addr, &signal, sizeof signal, pe);
+}
+
+void wait_until(std::int64_t* ivar, Cmp cmp, std::int64_t value) {
+  (void)require_pe();
+  // Validate the address once (same check a real symmetric-wait has).
+  (void)translate(ivar, require_pe());
+  rt::wait_until([ivar, cmp, value] {
+    const std::int64_t v = *ivar;
+    switch (cmp) {
+      case Cmp::eq: return v == value;
+      case Cmp::ne: return v != value;
+      case Cmp::gt: return v > value;
+      case Cmp::ge: return v >= value;
+      case Cmp::lt: return v < value;
+      case Cmp::le: return v <= value;
+    }
+    return false;
+  });
+}
+
+std::int64_t atomic_fetch_add(std::int64_t* target, std::int64_t value,
+                              int pe) {
+  auto* remote = reinterpret_cast<std::int64_t*>(translate(target, pe));
+  ++my_stats().atomics;
+  if (RmaObserver* o = rma_observer()) o->on_atomic(pe);
+  const std::int64_t old = *remote;
+  *remote = old + value;
+  return old;
+}
+
+void atomic_add(std::int64_t* target, std::int64_t value, int pe) {
+  (void)atomic_fetch_add(target, value, pe);
+}
+
+void atomic_inc(std::int64_t* target, int pe) { atomic_add(target, 1, pe); }
+
+std::int64_t atomic_fetch(const std::int64_t* target, int pe) {
+  const auto* remote = reinterpret_cast<const std::int64_t*>(
+      translate(const_cast<std::int64_t*>(target), pe));
+  ++my_stats().atomics;
+  return *remote;
+}
+
+void atomic_set(std::int64_t* target, std::int64_t value, int pe) {
+  auto* remote = reinterpret_cast<std::int64_t*>(translate(target, pe));
+  ++my_stats().atomics;
+  *remote = value;
+}
+
+std::int64_t atomic_compare_swap(std::int64_t* target, std::int64_t cond,
+                                 std::int64_t value, int pe) {
+  auto* remote = reinterpret_cast<std::int64_t*>(translate(target, pe));
+  ++my_stats().atomics;
+  const std::int64_t old = *remote;
+  if (old == cond) *remote = value;
+  return old;
+}
+
+void barrier_all() {
+  quiet();  // shmem_barrier_all completes outstanding puts first
+  collective_round(nullptr, 0, nullptr, 0, nullptr);
+  ++my_stats().barriers;
+  if (RmaObserver* o = rma_observer()) o->on_barrier();
+}
+
+void sync_all() {
+  collective_round(nullptr, 0, nullptr, 0, nullptr);
+  ++my_stats().barriers;
+}
+
+std::int64_t sum_reduce(std::int64_t value) {
+  return reduce_impl<std::int64_t>(
+      value, [](std::int64_t a, std::int64_t b) { return a + b; }, 0);
+}
+
+std::int64_t max_reduce(std::int64_t value) {
+  return reduce_impl<std::int64_t>(
+      value, [](std::int64_t a, std::int64_t b) { return a > b ? a : b; },
+      INT64_MIN);
+}
+
+std::int64_t min_reduce(std::int64_t value) {
+  return reduce_impl<std::int64_t>(
+      value, [](std::int64_t a, std::int64_t b) { return a < b ? a : b; },
+      INT64_MAX);
+}
+
+double sum_reduce(double value) {
+  return reduce_impl<double>(
+      value, [](double a, double b) { return a + b; }, 0.0);
+}
+
+void broadcast(void* buf, std::size_t nbytes, int root) {
+  World& w = world();
+  CollectiveState& c = w.coll;
+  const int me = require_pe();
+  const int n = w.topo.num_pes();
+  if (root < 0 || root >= n)
+    throw std::out_of_range("broadcast: root out of range");
+  const std::uint64_t g = c.gen;
+  if (me == root) {
+    // The root publishes into the round's result slot before arriving, so
+    // the bytes are there by the time the generation advances.
+    auto& slot = c.result[g % 2];
+    slot.resize(nbytes);
+    std::memcpy(slot.data(), buf, nbytes);
+  }
+  if (++c.arrived == n) {
+    c.arrived = 0;
+    ++c.gen;
+  } else {
+    rt::wait_until([&c, g] { return c.gen != g; });
+  }
+  const auto& slot = c.result[g % 2];
+  if (slot.size() < nbytes)
+    throw std::logic_error("broadcast: PEs disagree on message size");
+  std::memcpy(buf, slot.data(), nbytes);
+}
+
+void alltoall64(std::int64_t* dest, const std::int64_t* source,
+                std::size_t nelems) {
+  World& w = world();
+  const int me = require_pe();
+  const int n = w.topo.num_pes();
+  for (int j = 0; j < n; ++j) {
+    // My j-th source block lands in PE j's dest at block index `me`.
+    put(dest + static_cast<std::size_t>(me) * nelems,
+        source + static_cast<std::size_t>(j) * nelems,
+        nelems * sizeof(std::int64_t), j);
+  }
+  barrier_all();
+}
+
+const PeStats& stats() {
+  return world().stats[static_cast<std::size_t>(require_pe())];
+}
+
+PeStats total_stats() {
+  World& w = world();
+  PeStats t;
+  for (const PeStats& s : w.stats) {
+    t.puts += s.puts;
+    t.put_bytes += s.put_bytes;
+    t.nbi_puts += s.nbi_puts;
+    t.nbi_put_bytes += s.nbi_put_bytes;
+    t.gets += s.gets;
+    t.get_bytes += s.get_bytes;
+    t.quiets += s.quiets;
+    t.barriers += s.barriers;
+    t.atomics += s.atomics;
+  }
+  return t;
+}
+
+}  // namespace ap::shmem

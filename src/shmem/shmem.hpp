@@ -1,0 +1,156 @@
+// minishmem: an in-process OpenSHMEM-compatible substrate.
+//
+// This is the simulated "cluster" layer described in DESIGN.md. It provides
+// the subset of OpenSHMEM 1.4/1.5 that Conveyors and HClib-Actor use:
+// symmetric allocation, blocking and non-blocking puts, quiet/fence,
+// shmem_ptr (intra-node direct load/store), atomics, barriers and
+// reductions. Non-blocking puts are *staged*: the data only becomes visible
+// at the target after the initiating PE calls quiet() (or a routine that
+// implies it). This is a legal OpenSHMEM behaviour and it is exactly the
+// property ActorProf's physical trace depends on — see paper §III-C.
+//
+// Usage:
+//   ap::shmem::run(cfg, [] {
+//     long* x = ap::shmem::calloc_n<long>(8);   // symmetric
+//     ap::shmem::barrier_all();
+//     ap::shmem::put(&x[0], &v, sizeof v, (my_pe()+1) % n_pes());
+//     ...
+//   });
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "shmem/symmetric_heap.hpp"
+#include "shmem/topology.hpp"
+
+namespace ap::shmem {
+
+/// Per-PE communication statistics maintained by the substrate itself
+/// (independent of ActorProf; used by tests and micro-benchmarks).
+struct PeStats {
+  std::uint64_t puts = 0;
+  std::uint64_t put_bytes = 0;
+  std::uint64_t nbi_puts = 0;
+  std::uint64_t nbi_put_bytes = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t get_bytes = 0;
+  std::uint64_t quiets = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t atomics = 0;
+};
+
+/// Run `body` as an SPMD program with a live minishmem world.
+/// Equivalent to shmem_init()/shmem_finalize() around every PE's body.
+void run(const rt::LaunchConfig& cfg, const std::function<void()>& body);
+
+/// ---- Queries (valid only inside run()) -----------------------------------
+int my_pe();
+int n_pes();
+const Topology& topology();
+/// Node that hosts `pe` and the rank of `pe` within that node.
+int node_of(int pe);
+int local_rank(int pe);
+int n_nodes();
+
+/// ---- Symmetric memory -----------------------------------------------------
+/// Collective in the OpenSHMEM sense: every PE must perform the same
+/// allocation sequence. Memory is zero-initialized (like shmem_calloc).
+void* symm_malloc(std::size_t bytes);
+void symm_free(void* p);
+
+template <class T>
+T* calloc_n(std::size_t n) {
+  return static_cast<T*>(symm_malloc(n * sizeof(T)));
+}
+
+/// shmem_ptr: a direct pointer to `target` (a symmetric address in the
+/// caller's address space) as it exists on `pe`. Returns nullptr when `pe`
+/// is on a different node — matching real shmem_ptr, which only works over
+/// shared memory.
+void* ptr(void* target, int pe);
+template <class T>
+T* ptr(T* target, int pe) {
+  return static_cast<T*>(ptr(static_cast<void*>(target), pe));
+}
+
+/// ---- RMA -------------------------------------------------------------------
+/// Blocking put: visible at the target when the call returns.
+void put(void* dest, const void* src, std::size_t nbytes, int pe);
+/// Blocking get.
+void get(void* dest, const void* src, std::size_t nbytes, int pe);
+/// Non-blocking put: `src` must stay valid & unmodified until quiet().
+/// Data is NOT visible at the target before the initiator's quiet().
+void putmem_nbi(void* dest, const void* src, std::size_t nbytes, int pe);
+/// Complete all outstanding non-blocking puts from this PE.
+void quiet();
+/// Order puts from this PE to each destination (our model: implies quiet).
+void fence();
+/// Number of this PE's staged-but-incomplete nbi puts (testing aid).
+std::size_t pending_nbi_puts();
+
+/// shmem_put_signal (OpenSHMEM 1.5): deliver `nbytes` to `dest` on `pe`,
+/// then set the 8-byte `sig_addr` there to `signal` — both visible
+/// together at the target. The receiver pairs this with wait_until.
+void put_signal(void* dest, const void* src, std::size_t nbytes,
+                std::int64_t* sig_addr, std::int64_t signal, int pe);
+
+/// Comparison operators for wait_until (shmem_wait_until).
+enum class Cmp { eq, ne, gt, ge, lt, le };
+
+/// Block the calling PE (cooperatively yielding) until `*ivar cmp value`
+/// holds. `ivar` is a local symmetric address some other PE writes.
+void wait_until(std::int64_t* ivar, Cmp cmp, std::int64_t value);
+
+/// ---- Atomics (target-side, any PE) ----------------------------------------
+std::int64_t atomic_fetch_add(std::int64_t* target, std::int64_t value, int pe);
+void atomic_add(std::int64_t* target, std::int64_t value, int pe);
+void atomic_inc(std::int64_t* target, int pe);
+std::int64_t atomic_fetch(const std::int64_t* target, int pe);
+void atomic_set(std::int64_t* target, std::int64_t value, int pe);
+std::int64_t atomic_compare_swap(std::int64_t* target, std::int64_t cond,
+                                 std::int64_t value, int pe);
+
+/// ---- Collectives ------------------------------------------------------------
+/// All collectives must be called by every PE in the same program order.
+void barrier_all();  // implies quiet()
+void sync_all();     // synchronization only, no quiet
+std::int64_t sum_reduce(std::int64_t value);
+std::int64_t max_reduce(std::int64_t value);
+std::int64_t min_reduce(std::int64_t value);
+double sum_reduce(double value);
+/// Root's buffer contents are copied into every PE's `buf`.
+void broadcast(void* buf, std::size_t nbytes, int root);
+/// Classic alltoall64: `dest`/`source` are symmetric, nelems per pair.
+void alltoall64(std::int64_t* dest, const std::int64_t* source,
+                std::size_t nelems);
+
+/// Per-PE statistics of the calling PE.
+const PeStats& stats();
+/// Aggregate statistics across all PEs (callable inside run()).
+PeStats total_stats();
+
+/// RAII helper for a symmetric array of trivially-copyable T.
+template <class T>
+class SymmArray {
+ public:
+  explicit SymmArray(std::size_t n) : n_(n), data_(calloc_n<T>(n)) {}
+  ~SymmArray() { symm_free(data_); }
+  SymmArray(const SymmArray&) = delete;
+  SymmArray& operator=(const SymmArray&) = delete;
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  std::size_t n_;
+  T* data_;
+};
+
+}  // namespace ap::shmem

@@ -1,0 +1,81 @@
+#include "shmem/symmetric_heap.hpp"
+
+#include <new>
+#include <stdexcept>
+
+namespace ap::shmem {
+
+namespace {
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+}  // namespace
+
+SymmetricHeap::SymmetricHeap(std::size_t capacity_bytes)
+    : capacity_(round_up(capacity_bytes, kAlignment)),
+      arena_(new unsigned char[capacity_ > 0 ? capacity_ : kAlignment]) {
+  if (capacity_ == 0) capacity_ = kAlignment;
+  free_blocks_.emplace(0, capacity_);
+}
+
+void* SymmetricHeap::allocate(std::size_t bytes) {
+  const std::size_t need = round_up(bytes == 0 ? 1 : bytes, kAlignment);
+  // First fit: deterministic and identical across PEs given identical
+  // allocation sequences.
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    const auto [offset, size] = *it;
+    if (size < need) continue;
+    free_blocks_.erase(it);
+    if (size > need) free_blocks_.emplace(offset + need, size - need);
+    allocated_.emplace(offset, need);
+    in_use_ += need;
+    return arena_.get() + offset;
+  }
+  throw std::bad_alloc();
+}
+
+void SymmetricHeap::deallocate(void* p) {
+  if (p == nullptr) return;
+  if (!contains(p))
+    throw std::invalid_argument("SymmetricHeap: foreign pointer in deallocate");
+  const std::size_t offset = offset_of(p);
+  auto it = allocated_.find(offset);
+  if (it == allocated_.end())
+    throw std::invalid_argument(
+        "SymmetricHeap: pointer is not a live allocation (double free?)");
+  std::size_t block_off = it->first;
+  std::size_t block_size = it->second;
+  allocated_.erase(it);
+  in_use_ -= block_size;
+
+  // Coalesce with the following free block.
+  auto next = free_blocks_.lower_bound(block_off);
+  if (next != free_blocks_.end() && block_off + block_size == next->first) {
+    block_size += next->second;
+    next = free_blocks_.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  if (next != free_blocks_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == block_off) {
+      block_off = prev->first;
+      block_size += prev->second;
+      free_blocks_.erase(prev);
+    }
+  }
+  free_blocks_.emplace(block_off, block_size);
+}
+
+bool SymmetricHeap::contains(const void* p) const {
+  const auto* b = static_cast<const unsigned char*>(p);
+  return b >= arena_.get() && b < arena_.get() + capacity_;
+}
+
+std::size_t SymmetricHeap::offset_of(const void* p) const {
+  if (!contains(p))
+    throw std::invalid_argument("SymmetricHeap: pointer outside arena");
+  return static_cast<std::size_t>(static_cast<const unsigned char*>(p) -
+                                  arena_.get());
+}
+
+}  // namespace ap::shmem

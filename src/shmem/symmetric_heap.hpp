@@ -1,0 +1,60 @@
+// Per-PE symmetric heap.
+//
+// Every PE owns one arena of identical capacity. Because SPMD programs make
+// the same sequence of symmetric allocations on every PE (an OpenSHMEM
+// requirement), the first-fit allocator on every PE evolves identically and
+// a symmetric object lives at the same *offset* in every arena. Remote
+// addressing is therefore (remote base + local offset).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+namespace ap::shmem {
+
+/// One PE's arena plus its (deterministic, per-PE) allocator state.
+class SymmetricHeap {
+ public:
+  static constexpr std::size_t kAlignment = 16;
+
+  explicit SymmetricHeap(std::size_t capacity_bytes);
+
+  SymmetricHeap(const SymmetricHeap&) = delete;
+  SymmetricHeap& operator=(const SymmetricHeap&) = delete;
+  SymmetricHeap(SymmetricHeap&&) = default;
+  SymmetricHeap& operator=(SymmetricHeap&&) = default;
+
+  /// Allocate `bytes` (rounded up to kAlignment); throws std::bad_alloc when
+  /// the arena is exhausted. Zero-size allocations get a distinct non-null
+  /// address of size kAlignment.
+  void* allocate(std::size_t bytes);
+
+  /// Release a block previously returned by allocate(); coalesces with
+  /// adjacent free blocks. Throws std::invalid_argument for foreign or
+  /// double-freed pointers.
+  void deallocate(void* p);
+
+  [[nodiscard]] unsigned char* base() { return arena_.get(); }
+  [[nodiscard]] const unsigned char* base() const { return arena_.get(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t bytes_in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t live_allocations() const {
+    return allocated_.size();
+  }
+
+  /// True if `p` points into this arena (not necessarily to a block start).
+  [[nodiscard]] bool contains(const void* p) const;
+  /// Offset of `p` from the arena base; throws if `p` is foreign.
+  [[nodiscard]] std::size_t offset_of(const void* p) const;
+
+ private:
+  std::size_t capacity_;
+  std::unique_ptr<unsigned char[]> arena_;
+  std::map<std::size_t, std::size_t> free_blocks_;  // offset -> size
+  std::map<std::size_t, std::size_t> allocated_;    // offset -> size
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace ap::shmem

@@ -1,0 +1,249 @@
+// actorprof_viz — the visualization CLI of ActorProf (paper §III-D).
+//
+// Run-time flags follow the paper:
+//   -l   logical-trace heatmap   (from PEi_send.csv)
+//   -lp  PAPI bar graphs         (from PEi_PAPI.csv, up to 4 counters)
+//   -s   overall stacked bars    (from overall.txt, absolute + relative)
+//   -p   physical-trace heatmap  (from physical.txt)
+// plus:
+//   --violin       also render quartile violin plots (Fig. 5/7 style)
+//   --svg PREFIX   additionally write PREFIX_<plot>.svg files
+//   --linear       linear color ramp instead of log
+//   --num-pes N    number of PEs the trace was collected with (required)
+// The trace directory is the positional argument, as in the paper's
+// python scripts.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/trace_io.hpp"
+#include "shmem/topology.hpp"
+#include "viz/render.hpp"
+#include "viz/svg.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr
+      << "Usage: " << argv0
+      << " [-l] [-lp] [-s] [-p] [--violin] [--advise] [--by-node]\n"
+         "       [--ppn N] [--svg PREFIX] [--linear] --num-pes N <trace_dir>\n"
+         "  -l        logical trace heatmap (PEi_send.csv)\n"
+         "  -lp       PAPI counter bar graphs (PEi_PAPI.csv)\n"
+         "  -s        overall MAIN/COMM/PROC stacked bars (overall.txt)\n"
+         "  -p        physical trace heatmap (physical.txt)\n"
+         "  --violin  add quartile violin plots of send/recv totals\n"
+         "  --advise  run the bottleneck advisor over the loaded traces\n"
+         "  --by-node collapse heatmaps to node granularity\n"
+         "  --ppn N   PEs per node (for --by-node/--advise; default: all "
+         "on one node)\n"
+         "  --svg P   also write SVG files with prefix P\n"
+         "  --linear  linear (not log) color scale\n"
+         "  --num-pes total number of PEs in the trace (required)\n";
+}
+
+struct Args {
+  bool logical = false, papi = false, overall = false, physical = false;
+  bool violin = false, linear = false, advise = false, by_node = false;
+  std::string svg_prefix;
+  int num_pes = 0;
+  int ppn = 0;
+  std::string dir;
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-l") {
+      a.logical = true;
+    } else if (arg == "-lp") {
+      a.papi = true;
+    } else if (arg == "-s") {
+      a.overall = true;
+    } else if (arg == "-p") {
+      a.physical = true;
+    } else if (arg == "--violin") {
+      a.violin = true;
+    } else if (arg == "--advise") {
+      a.advise = true;
+    } else if (arg == "--by-node") {
+      a.by_node = true;
+    } else if (arg == "--ppn") {
+      if (++i >= argc) return false;
+      a.ppn = std::atoi(argv[i]);
+    } else if (arg == "--linear") {
+      a.linear = true;
+    } else if (arg == "--svg") {
+      if (++i >= argc) return false;
+      a.svg_prefix = argv[i];
+    } else if (arg == "--num-pes") {
+      if (++i >= argc) return false;
+      a.num_pes = std::atoi(argv[i]);
+    } else if (arg == "-h" || arg == "--help") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return false;
+    } else {
+      a.dir = arg;
+    }
+  }
+  if (!a.logical && !a.papi && !a.overall && !a.physical && !a.advise)
+    return false;
+  return a.num_pes > 0 && !a.dir.empty();
+}
+
+void maybe_svg(const Args& a, const std::string& name,
+               const std::string& svg) {
+  if (a.svg_prefix.empty()) return;
+  const std::string path = a.svg_prefix + "_" + name + ".svg";
+  ap::viz::write_svg_file(path, svg);
+  std::cout << "[svg] wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, a)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  ap::prof::io::TraceDir trace;
+  try {
+    trace = ap::prof::io::load_trace_dir(a.dir, a.num_pes);
+  } catch (const std::exception& e) {
+    std::cerr << "error loading traces from " << a.dir << ": " << e.what()
+              << "\n";
+    return 1;
+  }
+
+  const bool log_scale = !a.linear;
+  const ap::shmem::Topology topo(a.num_pes,
+                                 a.ppn > 0 ? a.ppn : a.num_pes);
+  const auto maybe_by_node = [&](ap::prof::CommMatrix m) {
+    return a.by_node ? ap::prof::collapse_to_nodes(m, topo) : m;
+  };
+
+  if (a.logical) {
+    const auto m = maybe_by_node(trace.logical_matrix());
+    if (m.total() == 0)
+      std::cerr << "warning: no logical events found (PEi_send.csv missing "
+                   "or empty)\n";
+    ap::viz::HeatmapOptions ho;
+    ho.title = "Logical Trace Heatmap (messages before aggregation)";
+    ho.log_scale = log_scale;
+    std::cout << ap::viz::render_heatmap(m, ho) << "\n";
+    maybe_svg(a, "logical_heatmap",
+              ap::viz::svg_heatmap(m, ho.title, log_scale));
+    if (a.violin) {
+      ap::viz::ViolinOptions vo;
+      vo.title = "Logical Trace Violin (total send/recv per PE)";
+      const std::string v =
+          ap::viz::render_violins({"sends", "recvs"},
+                                  {m.row_sums(), m.col_sums()}, vo);
+      std::cout << v << "\n";
+      maybe_svg(a, "logical_violin",
+                ap::viz::svg_violins({"sends", "recvs"},
+                                     {m.row_sums(), m.col_sums()}, vo.title));
+    }
+  }
+
+  if (a.papi) {
+    // One bar graph per recorded counter (up to four in one run, matching
+    // the paper's "-lp ... four PAPI counters in one run").
+    std::vector<std::string> counter_names;
+    {
+      // Counter columns are positional; recover names from any header-free
+      // data by numbering, or read them from the profiler default order.
+      counter_names = {"PAPI_TOT_INS", "PAPI_LST_INS", "counter2", "counter3"};
+    }
+    std::vector<std::string> labels;
+    for (int pe = 0; pe < a.num_pes; ++pe)
+      labels.push_back("PE" + std::to_string(pe));
+    bool any = false;
+    for (int c = 0; c < 4; ++c) {
+      std::vector<double> totals(static_cast<std::size_t>(a.num_pes), 0);
+      bool nonzero = false;
+      for (int pe = 0; pe < a.num_pes; ++pe) {
+        for (const auto& row : trace.papi[static_cast<std::size_t>(pe)]) {
+          const double v = static_cast<double>(
+              row.counters[static_cast<std::size_t>(c)]);
+          totals[static_cast<std::size_t>(pe)] += v;
+          if (v > 0) nonzero = true;
+        }
+      }
+      if (!nonzero) continue;
+      any = true;
+      ap::viz::BarOptions bo;
+      bo.title = counter_names[static_cast<std::size_t>(c)] +
+                 " per PE (MAIN+PROC segments)";
+      std::cout << ap::viz::render_bars(labels, totals, bo) << "\n";
+      maybe_svg(a, "papi_" + std::to_string(c),
+                ap::viz::svg_bars(labels, totals, bo.title));
+    }
+    if (!any)
+      std::cerr << "warning: no PAPI rows found (PEi_PAPI.csv missing?)\n";
+  }
+
+  if (a.overall) {
+    if (trace.overall.empty()) {
+      std::cerr << "warning: overall.txt missing or empty\n";
+    } else {
+      ap::viz::StackedBarOptions so;
+      so.title = "Overall Profiling (absolute rdtsc cycles)";
+      so.relative = false;
+      std::cout << ap::viz::render_overall_stacked(trace.overall, so) << "\n";
+      maybe_svg(a, "overall_absolute",
+                ap::viz::svg_overall_stacked(trace.overall, so.title, false));
+      so.title = "Overall Profiling (relative)";
+      so.relative = true;
+      std::cout << ap::viz::render_overall_stacked(trace.overall, so) << "\n";
+      maybe_svg(a, "overall_relative",
+                ap::viz::svg_overall_stacked(trace.overall, so.title, true));
+    }
+  }
+
+  if (a.physical) {
+    const auto m = maybe_by_node(trace.physical_matrix());
+    if (m.total() == 0)
+      std::cerr << "warning: no physical events found (physical.txt "
+                   "missing or empty)\n";
+    ap::viz::HeatmapOptions ho;
+    ho.title =
+        "Physical Trace Heatmap (aggregated buffers: local_send + "
+        "nonblock_send)";
+    ho.log_scale = log_scale;
+    std::cout << ap::viz::render_heatmap(m, ho) << "\n";
+    maybe_svg(a, "physical_heatmap",
+              ap::viz::svg_heatmap(m, ho.title, log_scale));
+    if (a.violin) {
+      ap::viz::ViolinOptions vo;
+      vo.title = "Physical Trace Violin (total buffers per PE)";
+      std::cout << ap::viz::render_violins({"sends", "recvs"},
+                                           {m.row_sums(), m.col_sums()}, vo)
+                << "\n";
+      maybe_svg(a, "physical_violin",
+                ap::viz::svg_violins({"sends", "recvs"},
+                                     {m.row_sums(), m.col_sums()}, vo.title));
+    }
+  }
+
+  if (a.advise) {
+    std::vector<std::uint64_t> ins(static_cast<std::size_t>(a.num_pes), 0);
+    for (int pe = 0; pe < a.num_pes; ++pe)
+      for (const auto& row : trace.papi[static_cast<std::size_t>(pe)])
+        ins[static_cast<std::size_t>(pe)] += row.counters[0];
+    bool any_ins = false;
+    for (auto v : ins) any_ins |= (v != 0);
+    const auto report = ap::prof::advise(
+        trace.logical_matrix(), trace.physical_matrix(), trace.overall,
+        any_ins ? ins : std::vector<std::uint64_t>{}, topo);
+    std::cout << ap::prof::format_report(report);
+  }
+
+  return 0;
+}

@@ -1,0 +1,266 @@
+#include "viz/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ap::viz {
+
+namespace {
+
+/// Simple perceptual-ish ramp: dark blue -> teal -> yellow (viridis-like).
+std::string heat_color(double x01) {
+  x01 = std::clamp(x01, 0.0, 1.0);
+  const double r = std::clamp(x01 * 2.0 - 0.8, 0.0, 1.0);
+  const double g = std::clamp(0.1 + 0.9 * x01, 0.0, 1.0);
+  const double b = std::clamp(0.45 - 0.4 * x01 + 0.2 * (1 - x01), 0.0, 1.0);
+  std::ostringstream os;
+  os << "rgb(" << static_cast<int>(40 + 215 * r) << ','
+     << static_cast<int>(40 + 200 * g) << ','
+     << static_cast<int>(60 + 180 * b) << ')';
+  return os.str();
+}
+
+double scale01(std::uint64_t v, std::uint64_t max, bool log_scale) {
+  if (v == 0 || max == 0) return 0;
+  if (!log_scale) return static_cast<double>(v) / static_cast<double>(max);
+  return std::log1p(static_cast<double>(v)) /
+         std::log1p(static_cast<double>(max));
+}
+
+std::string header(int w, int h, const std::string& title) {
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w << "' height='"
+     << h << "' viewBox='0 0 " << w << ' ' << h << "'>\n"
+     << "<rect width='100%' height='100%' fill='white'/>\n"
+     << "<text x='10' y='18' font-family='sans-serif' font-size='14' "
+        "font-weight='bold'>"
+     << title << "</text>\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string svg_heatmap(const prof::CommMatrix& m, const std::string& title,
+                        bool log_scale) {
+  const int n = m.size();
+  const int cell = std::max(6, 420 / std::max(1, n));
+  const int ox = 50, oy = 40;
+  const int w = ox + (n + 2) * cell + 60;
+  const int h = oy + (n + 2) * cell + 30;
+  const std::uint64_t max = m.max_cell();
+  const auto sends = m.row_sums();
+  const auto recvs = m.col_sums();
+  std::uint64_t tmax = 0;
+  for (auto v : sends) tmax = std::max(tmax, v);
+  for (auto v : recvs) tmax = std::max(tmax, v);
+
+  std::ostringstream os;
+  os << header(w, h, title);
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      os << "<rect x='" << ox + d * cell << "' y='" << oy + s * cell
+         << "' width='" << cell << "' height='" << cell << "' fill='"
+         << heat_color(scale01(m.at(s, d), max, log_scale)) << "'/>\n";
+    }
+    // totals column (send per source).
+    os << "<rect x='" << ox + (n + 1) * cell << "' y='" << oy + s * cell
+       << "' width='" << cell << "' height='" << cell << "' fill='"
+       << heat_color(scale01(sends[static_cast<std::size_t>(s)], tmax,
+                             log_scale))
+       << "'/>\n";
+  }
+  for (int d = 0; d < n; ++d) {
+    // totals row (recv per destination).
+    os << "<rect x='" << ox + d * cell << "' y='" << oy + (n + 1) * cell
+       << "' width='" << cell << "' height='" << cell << "' fill='"
+       << heat_color(scale01(recvs[static_cast<std::size_t>(d)], tmax,
+                             log_scale))
+       << "'/>\n";
+  }
+  os << "<text x='" << ox << "' y='" << oy - 8
+     << "' font-family='sans-serif' font-size='10'>destination PE &#8594; "
+        "(last row = total recv, last col = total send; max cell = "
+     << max << ")</text>\n";
+  os << "<text x='12' y='" << oy + n * cell / 2
+     << "' font-family='sans-serif' font-size='10' transform='rotate(-90 12 "
+     << oy + n * cell / 2 << ")'>source PE</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string svg_bars(const std::vector<std::string>& labels,
+                     const std::vector<double>& values,
+                     const std::string& title) {
+  const int n = static_cast<int>(values.size());
+  const int row_h = 18, ox = 90, oy = 36;
+  const int w = 560, h = oy + n * row_h + 20;
+  double max = 0;
+  for (double v : values) max = std::max(max, v);
+  std::ostringstream os;
+  os << header(w, h, title);
+  for (int i = 0; i < n; ++i) {
+    const double frac = max > 0 ? values[static_cast<std::size_t>(i)] / max : 0;
+    const int bw = static_cast<int>(frac * (w - ox - 90));
+    os << "<text x='" << ox - 6 << "' y='" << oy + i * row_h + 12
+       << "' font-family='sans-serif' font-size='11' text-anchor='end'>"
+       << (i < static_cast<int>(labels.size())
+               ? labels[static_cast<std::size_t>(i)]
+               : "")
+       << "</text>\n"
+       << "<rect x='" << ox << "' y='" << oy + i * row_h << "' width='"
+       << std::max(1, bw) << "' height='" << row_h - 4
+       << "' fill='#4878a8'/>\n"
+       << "<text x='" << ox + bw + 4 << "' y='" << oy + i * row_h + 12
+       << "' font-family='sans-serif' font-size='10'>"
+       << values[static_cast<std::size_t>(i)] << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string svg_overall_stacked(const std::vector<prof::OverallRecord>& recs,
+                                const std::string& title, bool relative) {
+  const int n = static_cast<int>(recs.size());
+  const int row_h = 18, ox = 60, oy = 50;
+  const int w = 620, h = oy + n * row_h + 20;
+  std::uint64_t max_total = 0;
+  for (const auto& r : recs) max_total = std::max(max_total, r.t_total);
+  std::ostringstream os;
+  os << header(w, h, title);
+  os << "<text x='10' y='34' font-family='sans-serif' font-size='10'>"
+        "<tspan fill='#2a6f3c'>T_MAIN</tspan>  "
+        "<tspan fill='#a84848'>T_COMM</tspan>  "
+        "<tspan fill='#4878a8'>T_PROC</tspan>  ("
+     << (relative ? "relative" : "absolute") << ")</text>\n";
+  const int span = w - ox - 120;
+  for (int i = 0; i < n; ++i) {
+    const auto& r = recs[static_cast<std::size_t>(i)];
+    const double denom = relative ? static_cast<double>(r.t_total)
+                                  : static_cast<double>(max_total);
+    auto seg_w = [&](std::uint64_t v) {
+      return denom > 0 ? static_cast<int>(static_cast<double>(v) / denom * span)
+                       : 0;
+    };
+    const int y = oy + i * row_h;
+    int x = ox;
+    os << "<text x='" << ox - 6 << "' y='" << y + 12
+       << "' font-family='sans-serif' font-size='11' text-anchor='end'>PE"
+       << r.pe << "</text>\n";
+    const struct {
+      std::uint64_t v;
+      const char* color;
+    } segs[] = {{r.t_main, "#2a6f3c"}, {r.t_comm(), "#a84848"},
+                {r.t_proc, "#4878a8"}};
+    for (const auto& s : segs) {
+      const int sw = seg_w(s.v);
+      os << "<rect x='" << x << "' y='" << y << "' width='" << std::max(0, sw)
+         << "' height='" << row_h - 4 << "' fill='" << s.color << "'/>\n";
+      x += sw;
+    }
+    os << "<text x='" << x + 4 << "' y='" << y + 12
+       << "' font-family='sans-serif' font-size='9'>" << r.t_total
+       << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string svg_violins(
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<std::uint64_t>>& sample_sets,
+    const std::string& title) {
+  const int k = static_cast<int>(sample_sets.size());
+  const int vw = 120, vh = 220, ox = 60, oy = 40;
+  const int w = ox + k * vw + 30, h = oy + vh + 50;
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (const auto& s : sample_sets)
+    for (std::uint64_t v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  if (lo == UINT64_MAX) lo = hi = 0;
+  const double span = hi > lo ? static_cast<double>(hi - lo) : 1.0;
+  const int bins = 24;
+
+  std::ostringstream os;
+  os << header(w, h, title);
+  os << "<text x='" << ox - 44 << "' y='" << oy + 8
+     << "' font-family='sans-serif' font-size='9'>" << hi << "</text>\n";
+  os << "<text x='" << ox - 44 << "' y='" << oy + vh
+     << "' font-family='sans-serif' font-size='9'>" << lo << "</text>\n";
+
+  for (int i = 0; i < k; ++i) {
+    const auto& s = sample_sets[static_cast<std::size_t>(i)];
+    std::vector<int> hist(bins, 0);
+    for (std::uint64_t v : s) {
+      const int b = std::clamp(
+          static_cast<int>((static_cast<double>(v) - static_cast<double>(lo)) /
+                           span * (bins - 1)),
+          0, bins - 1);
+      hist[static_cast<std::size_t>(b)]++;
+    }
+    const int maxb = std::max(1, *std::max_element(hist.begin(), hist.end()));
+    const int cx = ox + i * vw + vw / 2;
+    // Density polygon (mirrored).
+    std::ostringstream left, right;
+    for (int b = 0; b < bins; ++b) {
+      const double y = oy + vh - static_cast<double>(b) / (bins - 1) * vh;
+      const double hw =
+          static_cast<double>(hist[static_cast<std::size_t>(b)]) / maxb *
+          (vw / 2.0 - 10);
+      right << (b == 0 ? "M" : "L") << cx + hw << ',' << y << ' ';
+      left << 'L' << cx - hw << ',' << y << ' ';
+    }
+    // Close the polygon by walking back down the left side.
+    std::string left_rev;
+    {
+      std::vector<std::string> parts;
+      std::string tmp = left.str();
+      std::stringstream ss(tmp);
+      std::string tok;
+      while (std::getline(ss, tok, 'L'))
+        if (!tok.empty()) parts.push_back(tok);
+      std::ostringstream back;
+      for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+        back << 'L' << *it << ' ';
+      left_rev = back.str();
+    }
+    os << "<path d='" << right.str() << left_rev
+       << "Z' fill='#7aa8d2' stroke='#30507a' stroke-width='1' "
+          "fill-opacity='0.8'/>\n";
+    const auto q = prof::quartiles_u64(s);
+    auto ypix = [&](double v) {
+      return oy + vh - (v - static_cast<double>(lo)) / span * vh;
+    };
+    os << "<line x1='" << cx - 6 << "' y1='" << ypix(q.q1) << "' x2='"
+       << cx + 6 << "' y2='" << ypix(q.q1)
+       << "' stroke='#222' stroke-width='1'/>\n";
+    os << "<line x1='" << cx - 6 << "' y1='" << ypix(q.q3) << "' x2='"
+       << cx + 6 << "' y2='" << ypix(q.q3)
+       << "' stroke='#222' stroke-width='1'/>\n";
+    os << "<circle cx='" << cx << "' cy='" << ypix(q.median)
+       << "' r='3.5' fill='white' stroke='#222'/>\n";
+    os << "<text x='" << cx << "' y='" << oy + vh + 16
+       << "' font-family='sans-serif' font-size='10' text-anchor='middle'>"
+       << (i < static_cast<int>(labels.size())
+               ? labels[static_cast<std::size_t>(i)]
+               : "")
+       << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_svg_file(const std::string& path, const std::string& svg) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os(p);
+  if (!os) throw std::runtime_error("write_svg_file: cannot open " + path);
+  os << svg;
+}
+
+}  // namespace ap::viz

@@ -1,0 +1,32 @@
+// Standalone SVG output for the same plot families as render.hpp — the
+// graphical counterpart of the paper's matplotlib figures. No external
+// dependencies; each function returns a complete <svg> document.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hpp"
+#include "core/records.hpp"
+
+namespace ap::viz {
+
+std::string svg_heatmap(const prof::CommMatrix& m, const std::string& title,
+                        bool log_scale = true);
+
+std::string svg_bars(const std::vector<std::string>& labels,
+                     const std::vector<double>& values,
+                     const std::string& title);
+
+std::string svg_overall_stacked(const std::vector<prof::OverallRecord>& recs,
+                                const std::string& title, bool relative);
+
+std::string svg_violins(
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<std::uint64_t>>& sample_sets,
+    const std::string& title);
+
+/// Write `svg` to `path` (parent directories created). Throws on I/O error.
+void write_svg_file(const std::string& path, const std::string& svg);
+
+}  // namespace ap::viz

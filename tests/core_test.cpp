@@ -1,0 +1,451 @@
+// Tests for the ActorProf core: region accounting, logical/physical
+// matrices, PAPI segment attribution, overall breakdown, aggregation
+// helpers, and trace-file round trips.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "actor/selector.hpp"
+#include "apps/histogram.hpp"
+#include "apps/triangle.hpp"
+#include "core/aggregate.hpp"
+#include "core/profiler.hpp"
+#include "core/trace_io.hpp"
+#include "graph/distribution.hpp"
+#include "graph/rmat.hpp"
+#include "papi/papi.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace shmem = ap::shmem;
+using namespace ap::prof;
+
+ap::rt::LaunchConfig cfg_of(int pes, int ppn = 0) {
+  ap::rt::LaunchConfig cfg;
+  cfg.num_pes = pes;
+  cfg.pes_per_node = ppn;
+  cfg.symm_heap_bytes = 16 << 20;
+  return cfg;
+}
+
+Config all_on() {
+  Config c = Config::all_enabled();
+  c.trace_dir = ::testing::TempDir();
+  return c;
+}
+
+// ------------------------------------------------------------- aggregates
+
+TEST(CommMatrix, SumsAndTotals) {
+  CommMatrix m(3);
+  m.add(0, 1, 5);
+  m.add(0, 2, 3);
+  m.add(2, 0, 7);
+  EXPECT_EQ(m.total(), 15u);
+  EXPECT_EQ(m.max_cell(), 7u);
+  EXPECT_EQ(m.row_sums(), (std::vector<std::uint64_t>{8, 0, 7}));
+  EXPECT_EQ(m.col_sums(), (std::vector<std::uint64_t>{7, 5, 3}));
+}
+
+TEST(CommMatrix, LowerTriangularDetection) {
+  CommMatrix m(3);
+  m.add(2, 0);
+  m.add(1, 1);  // diagonal allowed
+  EXPECT_TRUE(m.is_lower_triangular());
+  m.add(0, 2);
+  EXPECT_FALSE(m.is_lower_triangular());
+}
+
+TEST(CommMatrix, PlusEquals) {
+  CommMatrix a(2), b(2);
+  a.add(0, 1, 2);
+  b.add(0, 1, 3);
+  b.add(1, 0, 1);
+  a += b;
+  EXPECT_EQ(a.at(0, 1), 5u);
+  EXPECT_EQ(a.at(1, 0), 1u);
+  CommMatrix c(3);
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(Quartiles, KnownValues) {
+  const auto q = quartiles({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(q.min, 1);
+  EXPECT_DOUBLE_EQ(q.q1, 2);
+  EXPECT_DOUBLE_EQ(q.median, 3);
+  EXPECT_DOUBLE_EQ(q.q3, 4);
+  EXPECT_DOUBLE_EQ(q.max, 5);
+  EXPECT_DOUBLE_EQ(q.mean, 3);
+  EXPECT_EQ(q.n, 5u);
+}
+
+TEST(Quartiles, InterpolatesAndHandlesEdgeCases) {
+  const auto q = quartiles({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(q.median, 2.5);
+  const auto single = quartiles({7});
+  EXPECT_DOUBLE_EQ(single.min, 7);
+  EXPECT_DOUBLE_EQ(single.max, 7);
+  const auto empty = quartiles({});
+  EXPECT_EQ(empty.n, 0u);
+}
+
+TEST(Imbalance, Factor) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({10, 10, 10, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance_factor({40, 0, 0, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(imbalance_factor({}), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance_factor({0, 0}), 1.0);
+}
+
+// --------------------------------------------------------------- profiler
+
+TEST(Profiler, LogicalMatrixCountsEverySend) {
+  Profiler prof(all_on());
+  shmem::run(cfg_of(4, 2), [] {
+    ap::actor::Actor<std::int64_t> a;
+    a.mb[0].process = [](std::int64_t, int) {};
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    ASSERT_NE(p, nullptr);
+    p->epoch_begin();
+    ap::hclib::finish([&] {
+      a.start();
+      // PE me sends exactly me+1 messages to each destination.
+      for (int d = 0; d < shmem::n_pes(); ++d)
+        for (int k = 0; k <= shmem::my_pe(); ++k) a.send(1, d);
+      a.done(0);
+    });
+    p->epoch_end();
+  });
+  const CommMatrix m = prof.logical_matrix();
+  ASSERT_EQ(m.size(), 4);
+  for (int s = 0; s < 4; ++s)
+    for (int d = 0; d < 4; ++d)
+      EXPECT_EQ(m.at(s, d), static_cast<std::uint64_t>(s + 1))
+          << s << "->" << d;
+  EXPECT_EQ(m.total(), (1u + 2u + 3u + 4u) * 4u);
+}
+
+TEST(Profiler, LogicalEventsCarryNodeIds) {
+  Profiler prof(all_on());
+  shmem::run(cfg_of(4, 2), [] {
+    ap::actor::Actor<std::int64_t> a;
+    a.mb[0].process = [](std::int64_t, int) {};
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    p->epoch_begin();
+    ap::hclib::finish([&] {
+      a.start();
+      if (shmem::my_pe() == 0) a.send(1, 3);
+      a.done(0);
+    });
+    p->epoch_end();
+  });
+  const auto& evs = prof.logical_events(0);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].src_node, 0);
+  EXPECT_EQ(evs[0].src_pe, 0);
+  EXPECT_EQ(evs[0].dst_node, 1);  // PE 3 with ppn=2 lives on node 1
+  EXPECT_EQ(evs[0].dst_pe, 3);
+  EXPECT_EQ(evs[0].msg_bytes, sizeof(std::int64_t));
+}
+
+TEST(Profiler, OverallPartitionIsExact) {
+  Profiler prof(all_on());
+  shmem::run(cfg_of(4, 2), [] {
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    p->epoch_begin();
+    const auto r = ap::apps::histogram_actor(64, 2000);
+    (void)r;
+    p->epoch_end();
+  });
+  // histogram_actor ran its own barriers inside our epoch; totals still
+  // partition exactly because COMM absorbs everything outside MAIN/PROC.
+  for (const OverallRecord& r : prof.overall()) {
+    EXPECT_EQ(r.t_main + r.t_proc + r.t_comm(), r.t_total) << "PE " << r.pe;
+    EXPECT_GT(r.t_total, 0u);
+    EXPECT_GT(r.t_main, 0u);
+    EXPECT_GT(r.t_proc, 0u);
+    EXPECT_NEAR(r.rel_main() + r.rel_proc() + r.rel_comm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Profiler, PapiTotalsReflectWorkImbalance) {
+  Profiler prof(all_on());
+  shmem::run(cfg_of(4, 4), [] {
+    ap::actor::Actor<std::int64_t> a;
+    a.mb[0].process = [](std::int64_t, int) {};
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    p->epoch_begin();
+    ap::hclib::finish([&] {
+      a.start();
+      // PE0 does 50x the work of everyone else (self-sends, so both the
+      // construct and the handle cost stay on the sender).
+      const int k = shmem::my_pe() == 0 ? 5000 : 100;
+      for (int i = 0; i < k; ++i) a.send(1, shmem::my_pe());
+      a.done(0);
+    });
+    p->epoch_end();
+  });
+  const auto totals = prof.papi_totals(ap::papi::Event::TOT_INS);
+  ASSERT_EQ(totals.size(), 4u);
+  for (int pe = 1; pe < 4; ++pe) {
+    EXPECT_GT(totals[0], 3 * totals[static_cast<std::size_t>(pe)])
+        << "PE0 must dominate instruction counts";
+  }
+  EXPECT_THROW(prof.papi_totals(ap::papi::Event::L2_DCM),
+               std::invalid_argument);
+}
+
+TEST(Profiler, PapiSegmentsSeparateMainAndProc) {
+  Profiler prof(all_on());
+  shmem::run(cfg_of(2, 2), [] {
+    ap::actor::Actor<std::int64_t> a;
+    a.mb[0].process = [](std::int64_t, int) {};
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    p->epoch_begin();
+    ap::hclib::finish([&] {
+      a.start();
+      for (int i = 0; i < 100; ++i) a.send(1, 1 - shmem::my_pe());
+      a.done(0);
+    });
+    p->epoch_end();
+  });
+  const auto rows = prof.papi_segments(0);
+  std::uint64_t main_sends = 0, proc_handles = 0;
+  bool saw_main = false, saw_proc = false;
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.src_pe, 0);
+    if (r.is_proc) {
+      saw_proc = true;
+      proc_handles += r.num_sends;
+      EXPECT_EQ(r.dst_pe, 0);  // handler rows are self rows
+    } else {
+      saw_main = true;
+      main_sends += r.num_sends;
+      EXPECT_EQ(r.dst_pe, 1);
+    }
+    EXPECT_EQ(r.pkt_bytes, sizeof(std::int64_t));
+  }
+  EXPECT_TRUE(saw_main);
+  EXPECT_TRUE(saw_proc);
+  EXPECT_EQ(main_sends, 100u);
+  EXPECT_EQ(proc_handles, 100u);  // PE0 handles PE1's 100 sends
+}
+
+TEST(Profiler, PhysicalMatrixMatchesTopology) {
+  Profiler prof(all_on());
+  shmem::run(cfg_of(4, 2), [] {
+    ap::convey::Options o;
+    o.buffer_bytes = 64;
+    ap::actor::Actor<std::int64_t> a{o};
+    a.mb[0].process = [](std::int64_t, int) {};
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    p->epoch_begin();
+    ap::hclib::finish([&] {
+      a.start();
+      for (int i = 0; i < 400; ++i) a.send(1, i % 4);
+      a.done(0);
+    });
+    p->epoch_end();
+  });
+  const CommMatrix local = prof.physical_matrix(ap::convey::SendType::local_send);
+  const CommMatrix nbi = prof.physical_matrix(ap::convey::SendType::nonblock_send);
+  ap::shmem::Topology topo(4, 2);
+  EXPECT_GT(local.total(), 0u);
+  EXPECT_GT(nbi.total(), 0u);
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      if (local.at(s, d) > 0) {
+        EXPECT_TRUE(topo.same_node(s, d));
+      }
+      if (nbi.at(s, d) > 0) {
+        EXPECT_FALSE(topo.same_node(s, d));
+        EXPECT_EQ(topo.local_rank(s), topo.local_rank(d));  // column hop
+      }
+    }
+  }
+}
+
+TEST(Profiler, DisabledConfigCollectsNothing) {
+  Config c;  // everything off (no macros in the test build)
+  c.logical = c.papi = c.overall = c.physical = false;
+  Profiler prof(c);
+  shmem::run(cfg_of(2, 2), [] {
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    p->epoch_begin();
+    ap::apps::histogram_actor(16, 200);
+    p->epoch_end();
+  });
+  EXPECT_EQ(prof.logical_matrix().total(), 0u);
+  EXPECT_EQ(prof.physical_matrix().total(), 0u);
+  for (const auto& r : prof.overall()) {
+    EXPECT_EQ(r.t_main, 0u);
+    EXPECT_EQ(r.t_proc, 0u);
+  }
+}
+
+TEST(Profiler, EpochMisuseThrows) {
+  Profiler prof(all_on());
+  shmem::run(cfg_of(1), [] {
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    EXPECT_THROW(p->epoch_end(), std::logic_error);
+    p->epoch_begin();
+    EXPECT_THROW(p->epoch_begin(), std::logic_error);
+    p->epoch_end();
+    EXPECT_THROW(p->epoch_end(), std::logic_error);
+    p->clear();
+  });
+}
+
+TEST(Profiler, RepeatedEpochsAccumulate) {
+  Profiler prof(all_on());
+  shmem::run(cfg_of(2, 2), [] {
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    for (int round = 0; round < 3; ++round) {
+      ap::actor::Actor<std::int64_t> a;
+      a.mb[0].process = [](std::int64_t, int) {};
+      p->epoch_begin();
+      ap::hclib::finish([&] {
+        a.start();
+        for (int i = 0; i < 10; ++i) a.send(1, 1 - shmem::my_pe());
+        a.done(0);
+      });
+      p->epoch_end();
+    }
+  });
+  EXPECT_EQ(prof.logical_matrix().total(), 2u * 3u * 10u);
+  for (const auto& r : prof.overall()) EXPECT_GT(r.t_total, 0u);
+}
+
+TEST(Profiler, MaxEventsCapBoundsMemoryButNotMatrix) {
+  Config c = all_on();
+  c.max_events_per_pe = 10;
+  Profiler prof(c);
+  shmem::run(cfg_of(2, 2), [] {
+    ap::actor::Actor<std::int64_t> a;
+    a.mb[0].process = [](std::int64_t, int) {};
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    p->epoch_begin();
+    ap::hclib::finish([&] {
+      a.start();
+      for (int i = 0; i < 100; ++i) a.send(1, 1 - shmem::my_pe());
+      a.done(0);
+    });
+    p->epoch_end();
+  });
+  EXPECT_EQ(prof.logical_events(0).size(), 10u);     // capped
+  EXPECT_EQ(prof.logical_matrix().row_sums()[0], 100u);  // not capped
+}
+
+// ----------------------------------------------------------- trace files
+
+TEST(TraceIo, LogicalRoundTrip) {
+  std::vector<LogicalSendRecord> evs{{0, 1, 1, 3, 8}, {0, 0, 0, 1, 16}};
+  std::stringstream ss;
+  io::write_logical(ss, evs);
+  EXPECT_EQ(io::parse_logical(ss), evs);
+}
+
+TEST(TraceIo, PhysicalRoundTrip) {
+  std::vector<PhysicalRecord> evs{
+      {ap::convey::SendType::local_send, 4096, 0, 1},
+      {ap::convey::SendType::nonblock_send, 2048, 1, 5},
+      {ap::convey::SendType::nonblock_progress, 8, 1, 5}};
+  std::stringstream ss;
+  io::write_physical(ss, evs);
+  EXPECT_EQ(io::parse_physical(ss), evs);
+}
+
+TEST(TraceIo, OverallRoundTrip) {
+  std::vector<OverallRecord> recs;
+  recs.push_back(OverallRecord{0, 100, 300, 1000});
+  recs.push_back(OverallRecord{1, 50, 150, 400});
+  std::stringstream ss;
+  io::write_overall(ss, recs);
+  const auto parsed = io::parse_overall(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], recs[0]);
+  EXPECT_EQ(parsed[1], recs[1]);
+  EXPECT_EQ(parsed[0].t_comm(), 600u);
+}
+
+TEST(TraceIo, PapiRoundTrip) {
+  Config cfg = Config::all_enabled();
+  std::vector<PapiSegmentRecord> rows(2);
+  rows[0] = {0, 1, 0, 2, 8, 0, 42, {1000, 500, 0, 0}, false};
+  rows[1] = {0, 1, 0, 1, 8, 1, 13, {99, 7, 0, 0}, true};
+  std::stringstream ss;
+  io::write_papi(ss, rows, cfg);
+  const auto parsed = io::parse_papi(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], rows[0]);
+  EXPECT_EQ(parsed[1], rows[1]);
+}
+
+TEST(TraceIo, MalformedInputThrowsWithLineNumber) {
+  std::stringstream ss("1,2,3\n");
+  try {
+    io::parse_logical(ss);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  std::stringstream bad_phys("weird_send,1,0,0\n");
+  EXPECT_THROW(io::parse_physical(bad_phys), std::runtime_error);
+  std::stringstream bad_num("a,b,c,d,e\n");
+  EXPECT_THROW(io::parse_logical(bad_num), std::runtime_error);
+}
+
+TEST(TraceIo, FullDirectoryRoundTrip) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "actorprof_trace_roundtrip";
+  fs::remove_all(dir);
+  Config c = Config::all_enabled();
+  c.trace_dir = dir;
+  Profiler prof(c);
+  shmem::run(cfg_of(4, 2), [] {
+    const auto edges = ap::graph::rmat_edges([] {
+      ap::graph::RmatParams p;
+      p.scale = 6;
+      p.edge_factor = 6;
+      return p;
+    }());
+    const auto L = ap::graph::Csr::from_edges(1 << 6, edges, true);
+    ap::graph::CyclicDistribution dist(shmem::n_pes());
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    ap::apps::count_triangles_actor(L, dist, p);
+  });
+  prof.write_traces();
+
+  ASSERT_TRUE(fs::exists(dir / "PE0_send.csv"));
+  ASSERT_TRUE(fs::exists(dir / "PE3_PAPI.csv"));
+  ASSERT_TRUE(fs::exists(dir / "overall.txt"));
+  ASSERT_TRUE(fs::exists(dir / "physical.txt"));
+
+  const io::TraceDir t = io::load_trace_dir(dir, 4);
+  EXPECT_EQ(t.logical_matrix(), prof.logical_matrix());
+  EXPECT_EQ(t.physical_matrix(), prof.physical_matrix());
+  ASSERT_EQ(t.overall.size(), 4u);
+  const auto mem = prof.overall();
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(t.overall[static_cast<std::size_t>(pe)].t_main,
+              mem[static_cast<std::size_t>(pe)].t_main);
+    EXPECT_EQ(t.overall[static_cast<std::size_t>(pe)].t_comm(),
+              mem[static_cast<std::size_t>(pe)].t_comm());
+  }
+}
+
+TEST(ConfigTest, EnvOverrides) {
+  setenv("ACTORPROF_TRACE", "1", 1);
+  setenv("ACTORPROF_TRACE_DIR", "/tmp/xyz_trace", 1);
+  const Config c = Config::from_env();
+  EXPECT_TRUE(c.logical);
+  EXPECT_EQ(c.trace_dir, fs::path("/tmp/xyz_trace"));
+  unsetenv("ACTORPROF_TRACE");
+  unsetenv("ACTORPROF_TRACE_DIR");
+  EXPECT_EQ(Config::all_enabled().num_papi_events(), 2);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tests for elastic conveyors (variable-length epush/epull).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "conveyor/elastic.hpp"
+#include "graph/rmat.hpp"  // SplitMix64
+#include "runtime/scheduler.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+namespace shmem = ap::shmem;
+namespace convey = ap::convey;
+using ap::graph::SplitMix64;
+
+ap::rt::LaunchConfig cfg_of(int pes, int ppn = 0) {
+  ap::rt::LaunchConfig cfg;
+  cfg.num_pes = pes;
+  cfg.pes_per_node = ppn;
+  cfg.symm_heap_bytes = 32 << 20;
+  return cfg;
+}
+
+std::string bytes_to_string(const std::vector<std::byte>& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+TEST(Elastic, StringsOfManySizesRoundTrip) {
+  shmem::run(cfg_of(4, 2), [] {
+    auto c = convey::ElasticConveyor::create({}, 16);
+    const int me = shmem::my_pe();
+    // Sizes straddling the 16-byte fragment boundary, incl. 0 and multi-KB.
+    const std::size_t sizes[] = {0, 1, 15, 16, 17, 100, 3000};
+    std::size_t sent = 0;
+    std::map<std::size_t, int> seen;  // size -> count
+    bool done = false;
+    while (c->advance(done)) {
+      for (; sent < std::size(sizes); ++sent) {
+        std::string msg(sizes[sent], static_cast<char>('a' + me));
+        if (!c->epush(msg.data(), msg.size(), (me + 1) % shmem::n_pes())) {
+          break;
+        }
+      }
+      std::vector<std::byte> out;
+      int from;
+      while (c->epull(out, &from)) {
+        const std::string s = bytes_to_string(out);
+        seen[s.size()]++;
+        const char expect = static_cast<char>(
+            'a' + (me + shmem::n_pes() - 1) % shmem::n_pes());
+        for (char ch : s) EXPECT_EQ(ch, expect);
+      }
+      done = (sent == std::size(sizes));
+      ap::rt::yield();
+    }
+    for (std::size_t sz : sizes) EXPECT_EQ(seen[sz], 1) << "size " << sz;
+  });
+}
+
+TEST(Elastic, RandomLengthsConserveBytes) {
+  shmem::run(cfg_of(8, 4), [] {
+    convey::Options base;
+    base.buffer_bytes = 256;
+    auto c = convey::ElasticConveyor::create(base, 24);
+    const int me = shmem::my_pe();
+    SplitMix64 rng(0xE1A5 + static_cast<std::uint64_t>(me));
+    const std::size_t kMsgs = 300;
+    std::uint64_t sent_bytes = 0, recv_bytes = 0;
+    std::int64_t recv_count = 0;
+    std::size_t i = 0;
+    bool done = false;
+    while (c->advance(done)) {
+      for (; i < kMsgs; ++i) {
+        const std::size_t len = rng.next_below(200);
+        std::vector<char> payload(len, static_cast<char>(len % 251));
+        if (!c->epush(payload.data(), len,
+                      static_cast<int>(rng.next_below(8)))) {
+          break;
+        }
+        sent_bytes += len;
+      }
+      std::vector<std::byte> out;
+      int from;
+      while (c->epull(out, &from)) {
+        ++recv_count;
+        recv_bytes += out.size();
+        for (std::byte b : out)
+          EXPECT_EQ(static_cast<char>(b), static_cast<char>(out.size() % 251));
+      }
+      done = (i == kMsgs);
+      ap::rt::yield();
+    }
+    EXPECT_EQ(shmem::sum_reduce(recv_count),
+              static_cast<std::int64_t>(kMsgs) * 8);
+    EXPECT_EQ(shmem::sum_reduce(static_cast<std::int64_t>(recv_bytes)),
+              shmem::sum_reduce(static_cast<std::int64_t>(sent_bytes)));
+  });
+}
+
+TEST(Elastic, MessageLargerThanWholeBuffer) {
+  shmem::run(cfg_of(2, 1), [] {  // inter-node: fragments via nbi path
+    convey::Options base;
+    base.buffer_bytes = 128;
+    auto c = convey::ElasticConveyor::create(base, 16);
+    const int me = shmem::my_pe();
+    std::string big(5000, static_cast<char>('A' + me));
+    bool pushed = false;
+    bool got = false;
+    bool done = false;
+    while (c->advance(done)) {
+      if (!pushed) pushed = c->epush(big.data(), big.size(), 1 - me);
+      std::vector<std::byte> out;
+      int from;
+      while (c->epull(out, &from)) {
+        got = true;
+        EXPECT_EQ(out.size(), 5000u);
+        EXPECT_EQ(static_cast<char>(out[0]), 'A' + (1 - me));
+        EXPECT_EQ(static_cast<char>(out[4999]), 'A' + (1 - me));
+      }
+      done = pushed;
+      ap::rt::yield();
+    }
+    EXPECT_TRUE(got);
+  });
+}
+
+TEST(Elastic, InterleavedSourcesReassembleIndependently) {
+  // Several senders stream multi-fragment messages to one receiver; the
+  // per-source reassembly must never mix fragments.
+  shmem::run(cfg_of(4, 4), [] {
+    auto c = convey::ElasticConveyor::create({}, 8);
+    const int me = shmem::my_pe();
+    const std::size_t kMsgs = 50;
+    std::size_t i = 0;
+    int received = 0;
+    bool done = false;
+    while (c->advance(done)) {
+      for (; i < kMsgs; ++i) {
+        // 30-byte message spelling out the sender id repeatedly.
+        std::string msg(30, static_cast<char>('0' + me));
+        if (me != 0) {
+          if (!c->epush(msg.data(), msg.size(), 0)) break;
+        }
+      }
+      std::vector<std::byte> out;
+      int from;
+      while (c->epull(out, &from)) {
+        ++received;
+        ASSERT_EQ(out.size(), 30u);
+        for (std::byte b : out)
+          EXPECT_EQ(static_cast<char>(b), '0' + from) << "mixed fragments!";
+      }
+      done = (me == 0) || (i == kMsgs);
+      ap::rt::yield();
+    }
+    if (me == 0) {
+      EXPECT_EQ(received, 3 * static_cast<int>(kMsgs));
+    } else {
+      EXPECT_EQ(received, 0);
+    }
+  });
+}
+
+TEST(Elastic, RejectsZeroFragmentPayload) {
+  shmem::run(cfg_of(1), [] {
+    EXPECT_THROW(convey::ElasticConveyor::create({}, 0),
+                 std::invalid_argument);
+  });
+}
+
+}  // namespace

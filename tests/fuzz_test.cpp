@@ -1,0 +1,135 @@
+// Seeded randomized property tests ("fuzz"): random traffic patterns,
+// message sizes, topologies and buffer sizes hammer the conveyor/selector
+// stack; the invariants (conservation, checksum, FIFO per pair,
+// termination) must hold for every seed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "actor/selector.hpp"
+#include "conveyor/conveyor.hpp"
+#include "graph/rmat.hpp"  // SplitMix64
+#include "runtime/finish.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+namespace shmem = ap::shmem;
+namespace convey = ap::convey;
+using ap::graph::SplitMix64;
+
+ap::rt::LaunchConfig cfg_of(int pes, int ppn) {
+  ap::rt::LaunchConfig cfg;
+  cfg.num_pes = pes;
+  cfg.pes_per_node = ppn;
+  cfg.symm_heap_bytes = 32 << 20;
+  return cfg;
+}
+
+class ConveyorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConveyorFuzz, RandomTrafficConservesEverything) {
+  const std::uint64_t seed = GetParam();
+  SplitMix64 shape_rng(seed);
+  // Random shape: 1..32 PEs, random nodes, random buffers & slots.
+  const int pes = 1 + static_cast<int>(shape_rng.next_below(32));
+  const int ppn = 1 + static_cast<int>(shape_rng.next_below(
+                          static_cast<std::uint64_t>(pes)));
+  const std::size_t buffer =
+      32 + shape_rng.next_below(2048);
+  const int slots = 1 + static_cast<int>(shape_rng.next_below(4));
+  const std::size_t msgs = 50 + shape_rng.next_below(2000);
+  const auto route = static_cast<convey::RouteKind>(
+      1 + shape_rng.next_below(3));  // Linear1D / Mesh2D / Cube3D
+
+  shmem::run(cfg_of(pes, ppn), [&] {
+    convey::Options o;
+    o.item_bytes = sizeof(std::int64_t);
+    o.buffer_bytes = buffer;
+    o.slots = slots;
+    o.route = route;
+    auto c = convey::Conveyor::create(o);
+
+    SplitMix64 rng(seed ^ (static_cast<std::uint64_t>(shmem::my_pe()) << 40));
+    std::int64_t sent_sum = 0, recv_sum = 0, recv_count = 0;
+    std::size_t i = 0;
+    bool done = false;
+    while (c->advance(done)) {
+      // Random-length push bursts, random destinations.
+      const std::size_t burst = rng.next_below(64);
+      for (std::size_t b = 0; b < burst && i < msgs; ++b) {
+        const std::int64_t v = static_cast<std::int64_t>(rng.next() >> 8);
+        const int dst = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(pes)));
+        if (!c->push(&v, dst)) break;  // retry item i next round
+        sent_sum += v;
+        ++i;
+      }
+      std::int64_t item;
+      int from;
+      while (c->pull(&item, &from)) {
+        recv_sum += item;
+        ++recv_count;
+      }
+      done = (i == msgs);
+      ap::rt::yield();
+    }
+    EXPECT_EQ(shmem::sum_reduce(recv_count),
+              static_cast<std::int64_t>(msgs) * pes)
+        << "pes=" << pes << " ppn=" << ppn << " buf=" << buffer
+        << " slots=" << slots;
+    EXPECT_EQ(shmem::sum_reduce(sent_sum), shmem::sum_reduce(recv_sum));
+    EXPECT_EQ(c->items_in_flight(), 0u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConveyorFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class SelectorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectorFuzz, RandomRequestReplyWorkloads) {
+  const std::uint64_t seed = GetParam();
+  SplitMix64 shape_rng(seed * 0x9E3779B97F4A7C15ull);
+  const int pes = 2 + static_cast<int>(shape_rng.next_below(15));
+  const int ppn = 1 + static_cast<int>(shape_rng.next_below(
+                          static_cast<std::uint64_t>(pes)));
+  const std::size_t buffer = 48 + shape_rng.next_below(512);
+  const std::size_t reqs = 20 + shape_rng.next_below(800);
+
+  shmem::run(cfg_of(pes, ppn), [&] {
+    ap::convey::Options o;
+    o.buffer_bytes = buffer;
+    std::int64_t replies_received = 0, requests_handled = 0;
+    ap::actor::Selector<2, std::int64_t> sel{o};
+    sel.mb[0].process = [&](std::int64_t v, int from) {
+      ++requests_handled;
+      sel.send(1, v * 2, from);
+    };
+    sel.mb[1].process = [&](std::int64_t v, int) {
+      EXPECT_EQ(v % 2, 0);
+      ++replies_received;
+    };
+    SplitMix64 rng(seed + static_cast<std::uint64_t>(shmem::my_pe()));
+    ap::hclib::finish([&] {
+      sel.start();
+      for (std::size_t i = 0; i < reqs; ++i) {
+        sel.send(0, static_cast<std::int64_t>(rng.next_below(1 << 20)),
+                 static_cast<int>(rng.next_below(
+                     static_cast<std::uint64_t>(pes))));
+      }
+      sel.done(0);
+    });
+    EXPECT_EQ(replies_received, static_cast<std::int64_t>(reqs))
+        << "pes=" << pes << " ppn=" << ppn << " buf=" << buffer;
+    EXPECT_EQ(shmem::sum_reduce(requests_handled),
+              static_cast<std::int64_t>(reqs) * pes);
+    EXPECT_TRUE(sel.terminated());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectorFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace

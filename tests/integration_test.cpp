@@ -1,0 +1,181 @@
+// Full-pipeline integration tests: run a profiled FA-BSP application,
+// write the paper's trace files, then (a) reload and cross-check them and
+// (b) drive the actorprof_viz CLI binary on them like a user would.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "apps/triangle.hpp"
+#include "core/profiler.hpp"
+#include "core/trace_io.hpp"
+#include "graph/distribution.hpp"
+#include "graph/rmat.hpp"
+#include "shmem/shmem.hpp"
+#include "viz/render.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace ap;
+
+constexpr int kPes = 8;
+constexpr int kPpn = 4;
+
+/// Runs the §IV pipeline into `dir` and returns the in-memory profiler
+/// results for cross-checking.
+struct PipelineResult {
+  prof::CommMatrix logical;
+  prof::CommMatrix physical;
+  std::vector<prof::OverallRecord> overall;
+  std::int64_t triangles = 0;
+  std::int64_t expected = 0;
+};
+
+PipelineResult run_pipeline(const fs::path& dir, graph::DistKind kind) {
+  fs::remove_all(dir);
+  graph::RmatParams gp;
+  gp.scale = 8;
+  gp.edge_factor = 8;
+  gp.permute_vertices = false;
+  const auto edges = graph::rmat_edges(gp);
+  const auto lower =
+      graph::Csr::from_edges(graph::Vertex{1} << gp.scale, edges, true);
+
+  prof::Config pc = prof::Config::all_enabled();
+  pc.trace_dir = dir;
+  prof::Profiler profiler(pc);
+
+  PipelineResult r;
+  r.expected = graph::count_triangles_serial(lower);
+
+  rt::LaunchConfig lc;
+  lc.num_pes = kPes;
+  lc.pes_per_node = kPpn;
+  shmem::run(lc, [&] {
+    const auto dist = graph::make_distribution(kind, shmem::n_pes(), lower);
+    const auto res = apps::count_triangles_actor(lower, *dist, &profiler);
+    if (shmem::my_pe() == 0) r.triangles = res.triangles;
+  });
+  profiler.write_traces();
+
+  r.logical = profiler.logical_matrix();
+  r.physical = profiler.physical_matrix();
+  r.overall = profiler.overall();
+  return r;
+}
+
+TEST(Integration, TraceFilesRoundTripAndValidate) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "integration_cyclic";
+  const auto r = run_pipeline(dir, graph::DistKind::Cyclic1D);
+  EXPECT_EQ(r.triangles, r.expected);
+
+  const auto t = prof::io::load_trace_dir(dir, kPes);
+  EXPECT_EQ(t.logical_matrix(), r.logical);
+  EXPECT_EQ(t.physical_matrix(), r.physical);
+  ASSERT_EQ(t.overall.size(), static_cast<std::size_t>(kPes));
+  for (int pe = 0; pe < kPes; ++pe) {
+    const auto& disk = t.overall[static_cast<std::size_t>(pe)];
+    const auto& mem = r.overall[static_cast<std::size_t>(pe)];
+    EXPECT_EQ(disk.t_main, mem.t_main);
+    EXPECT_EQ(disk.t_proc, mem.t_proc);
+    EXPECT_EQ(disk.t_comm(), mem.t_comm());
+  }
+  // Logical row sums on disk equal the per-PE send counts.
+  const auto sums = t.logical_matrix().row_sums();
+  for (int pe = 0; pe < kPes; ++pe) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(pe)],
+              t.logical[static_cast<std::size_t>(pe)].size());
+  }
+}
+
+TEST(Integration, RangeTraceShowsLObservationOnDisk) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "integration_range";
+  const auto r = run_pipeline(dir, graph::DistKind::Range1D);
+  EXPECT_EQ(r.triangles, r.expected);
+  const auto t = prof::io::load_trace_dir(dir, kPes);
+  EXPECT_TRUE(t.logical_matrix().is_lower_triangular());
+  // Monotone-decreasing recvs.
+  const auto recvs = t.logical_matrix().col_sums();
+  int inversions = 0;
+  for (std::size_t i = 1; i < recvs.size(); ++i)
+    if (recvs[i] > recvs[i - 1]) ++inversions;
+  EXPECT_LE(inversions, 1);
+}
+
+#ifdef ACTORPROF_VIZ_BIN
+int run_cli(const std::string& args, const fs::path& out) {
+  const std::string cmd = std::string(ACTORPROF_VIZ_BIN) + " " + args + " > " +
+                          out.string() + " 2>&1";
+  return std::system(cmd.c_str());
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(Integration, CliRendersAllPlotKinds) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "integration_cli";
+  const auto r = run_pipeline(dir, graph::DistKind::Cyclic1D);
+  ASSERT_EQ(r.triangles, r.expected);
+
+  const fs::path out = fs::path(::testing::TempDir()) / "cli_out.txt";
+  const fs::path svg_prefix = fs::path(::testing::TempDir()) / "cli_svg";
+  const int rc = run_cli("-l -lp -s -p --violin --svg " +
+                             svg_prefix.string() + " --num-pes " +
+                             std::to_string(kPes) + " " + dir.string(),
+                         out);
+  ASSERT_EQ(rc, 0) << slurp(out);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("Logical Trace Heatmap"), std::string::npos);
+  EXPECT_NE(text.find("Physical Trace Heatmap"), std::string::npos);
+  EXPECT_NE(text.find("Overall Profiling"), std::string::npos);
+  EXPECT_NE(text.find("PAPI_TOT_INS"), std::string::npos);
+  EXPECT_NE(text.find("T_MAIN"), std::string::npos);
+  EXPECT_TRUE(fs::exists(svg_prefix.string() + "_logical_heatmap.svg"));
+  EXPECT_TRUE(fs::exists(svg_prefix.string() + "_overall_relative.svg"));
+  EXPECT_TRUE(fs::exists(svg_prefix.string() + "_physical_heatmap.svg"));
+}
+
+TEST(Integration, CliAdvisorAndByNodeViews) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "integration_advise";
+  const auto r = run_pipeline(dir, graph::DistKind::Cyclic1D);
+  ASSERT_EQ(r.triangles, r.expected);
+  const fs::path out = fs::path(::testing::TempDir()) / "cli_advise.txt";
+  const int rc = run_cli("--advise -p --by-node --ppn " +
+                             std::to_string(kPpn) + " --num-pes " +
+                             std::to_string(kPes) + " " + dir.string(),
+                         out);
+  ASSERT_EQ(rc, 0) << slurp(out);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("ActorProf advisor"), std::string::npos);
+  EXPECT_NE(text.find("COMM accounts for"), std::string::npos);
+  // By-node physical heatmap has 2 rows (2 nodes), not 8.
+  EXPECT_NE(text.find("max cell"), std::string::npos);
+  EXPECT_EQ(text.find("PE7"), std::string::npos)
+      << "per-PE rows should not appear in a by-node heatmap";
+}
+
+TEST(Integration, CliUsageErrors) {
+  const fs::path out = fs::path(::testing::TempDir()) / "cli_err.txt";
+  EXPECT_NE(run_cli("", out), 0);                       // no flags
+  EXPECT_NE(run_cli("-l /nonexistent", out), 0);        // missing num-pes
+  EXPECT_NE(run_cli("--bogus -l --num-pes 4 x", out), 0);  // unknown flag
+}
+#endif
+
+TEST(Integration, HeatmapRenderOfRealTraceIsStable) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "integration_render";
+  const auto r1 = run_pipeline(dir, graph::DistKind::Cyclic1D);
+  const std::string a = viz::render_heatmap(r1.logical);
+  const auto r2 = run_pipeline(dir, graph::DistKind::Cyclic1D);
+  const std::string b = viz::render_heatmap(r2.logical);
+  EXPECT_EQ(a, b);  // full determinism across identical runs
+}
+
+}  // namespace

@@ -1,0 +1,280 @@
+// Tests for sim-PAPI: event naming, the cost model, per-PE isolation, and
+// the PAPI-compatible event-set API (including the 4-event limit).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "papi/cycles.hpp"
+#include "papi/papi.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace {
+
+namespace papi = ap::papi;
+using papi::Event;
+
+class PapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override { papi::reset_all(); }
+  void TearDown() override { papi::reset_all(); }
+};
+
+TEST_F(PapiTest, NamesRoundTrip) {
+  for (int i = 0; i < papi::kNumEvents; ++i) {
+    const Event e = static_cast<Event>(i);
+    const auto parsed = papi::parse(papi::name(e));
+    ASSERT_TRUE(parsed.has_value()) << papi::name(e);
+    EXPECT_EQ(*parsed, e);
+  }
+  EXPECT_FALSE(papi::parse("PAPI_NOPE").has_value());
+  EXPECT_EQ(papi::name(Event::TOT_INS), "PAPI_TOT_INS");
+}
+
+TEST_F(PapiTest, AccountRawCounter) {
+  EXPECT_EQ(papi::counter_value(Event::TOT_INS), 0u);
+  papi::account(Event::TOT_INS, 100);
+  EXPECT_EQ(papi::counter_value(Event::TOT_INS), 100u);
+}
+
+TEST_F(PapiTest, MessageConstructChargesInstructionsAndStores) {
+  papi::account_message_construct(8);
+  EXPECT_GT(papi::counter_value(Event::TOT_INS), 0u);
+  EXPECT_GT(papi::counter_value(Event::SR_INS), 0u);
+  EXPECT_EQ(papi::counter_value(Event::LST_INS),
+            papi::counter_value(Event::LD_INS) +
+                papi::counter_value(Event::SR_INS));
+}
+
+TEST_F(PapiTest, CostIsLinearInMessageCount) {
+  papi::account_message_construct(8);
+  const auto one = papi::counter_value(Event::TOT_INS);
+  for (int i = 0; i < 9; ++i) papi::account_message_construct(8);
+  EXPECT_EQ(papi::counter_value(Event::TOT_INS), 10 * one);
+}
+
+TEST_F(PapiTest, BiggerPayloadCostsMore) {
+  papi::account_message_construct(8);
+  const auto small = papi::counter_value(Event::TOT_INS);
+  papi::reset_all();
+  papi::account_message_construct(256);
+  EXPECT_GT(papi::counter_value(Event::TOT_INS), small);
+}
+
+TEST_F(PapiTest, RandomAccessMissesDependOnFootprint) {
+  papi::account_random_access(16 * 1024, 1000);  // fits in L1
+  EXPECT_EQ(papi::counter_value(Event::L1_DCM), 0u);
+  papi::account_random_access(64 * 1024, 1000);  // beyond L1
+  EXPECT_GT(papi::counter_value(Event::L1_DCM), 0u);
+  EXPECT_EQ(papi::counter_value(Event::L2_DCM), 0u);
+  papi::account_random_access(16u << 20, 1000);  // beyond L2
+  EXPECT_GT(papi::counter_value(Event::L2_DCM), 0u);
+}
+
+TEST_F(PapiTest, CyclesGrowWithWork) {
+  const auto c0 = papi::counter_value(Event::TOT_CYC);
+  papi::account_message_handle(8);
+  EXPECT_GT(papi::counter_value(Event::TOT_CYC), c0);
+}
+
+TEST_F(PapiTest, CostModelIsConfigurable) {
+  papi::CostModel m;
+  m.ins_per_message_construct = 1000;
+  papi::set_cost_model(m);
+  papi::account_message_construct(0);
+  EXPECT_GE(papi::counter_value(Event::TOT_INS), 1000u);
+  papi::set_cost_model(papi::CostModel{});
+}
+
+TEST_F(PapiTest, CountersArePerPe) {
+  ap::rt::LaunchConfig cfg;
+  cfg.num_pes = 4;
+  std::vector<std::uint64_t> per_pe(4);
+  ap::rt::launch(cfg, [&per_pe] {
+    const int me = ap::rt::my_pe();
+    for (int i = 0; i <= me; ++i) papi::account_message_construct(8);
+    per_pe[static_cast<std::size_t>(me)] =
+        papi::counter_value(Event::TOT_INS);
+  });
+  EXPECT_GT(per_pe[0], 0u);
+  for (int i = 1; i < 4; ++i)
+    EXPECT_EQ(per_pe[static_cast<std::size_t>(i)],
+              per_pe[0] * static_cast<std::uint64_t>(i + 1));
+}
+
+// ----------------------------------------------------------- event sets
+
+TEST_F(PapiTest, EventSetLifecycle) {
+  EXPECT_EQ(papi::library_init(), papi::PAPI_OK);
+  int set = -1;
+  ASSERT_EQ(papi::create_eventset(&set), papi::PAPI_OK);
+  EXPECT_EQ(papi::add_event(set, Event::TOT_INS), papi::PAPI_OK);
+  EXPECT_EQ(papi::add_event(set, Event::LST_INS), papi::PAPI_OK);
+  EXPECT_EQ(papi::num_events(set), 2);
+  ASSERT_EQ(papi::start(set), papi::PAPI_OK);
+  papi::account_message_construct(8);
+  long long vals[2] = {};
+  ASSERT_EQ(papi::stop(set, vals), papi::PAPI_OK);
+  EXPECT_GT(vals[0], 0);
+  EXPECT_GT(vals[1], 0);
+  EXPECT_EQ(papi::destroy_eventset(&set), papi::PAPI_OK);
+  EXPECT_EQ(set, -1);
+}
+
+TEST_F(PapiTest, StartStopDeltaExcludesOutsideWork) {
+  papi::account_message_construct(8);  // before counting
+  int set = -1;
+  ASSERT_EQ(papi::create_eventset(&set), papi::PAPI_OK);
+  ASSERT_EQ(papi::add_event(set, Event::TOT_INS), papi::PAPI_OK);
+  ASSERT_EQ(papi::start(set), papi::PAPI_OK);
+  long long vals[1] = {};
+  ASSERT_EQ(papi::stop(set, vals), papi::PAPI_OK);
+  EXPECT_EQ(vals[0], 0);  // nothing happened while counting
+  ASSERT_EQ(papi::destroy_eventset(&set), papi::PAPI_OK);
+}
+
+TEST_F(PapiTest, ReadWithoutStopping) {
+  int set = -1;
+  ASSERT_EQ(papi::create_eventset(&set), papi::PAPI_OK);
+  ASSERT_EQ(papi::add_event(set, Event::TOT_INS), papi::PAPI_OK);
+  ASSERT_EQ(papi::start(set), papi::PAPI_OK);
+  papi::account(Event::TOT_INS, 5);
+  long long v = 0;
+  ASSERT_EQ(papi::read(set, &v), papi::PAPI_OK);
+  EXPECT_EQ(v, 5);
+  papi::account(Event::TOT_INS, 5);
+  ASSERT_EQ(papi::read(set, &v), papi::PAPI_OK);
+  EXPECT_EQ(v, 10);
+  ASSERT_EQ(papi::stop(set, &v), papi::PAPI_OK);
+  EXPECT_EQ(v, 10);
+  ASSERT_EQ(papi::destroy_eventset(&set), papi::PAPI_OK);
+}
+
+TEST_F(PapiTest, ResetZeroesRunningDelta) {
+  int set = -1;
+  ASSERT_EQ(papi::create_eventset(&set), papi::PAPI_OK);
+  ASSERT_EQ(papi::add_event(set, Event::TOT_INS), papi::PAPI_OK);
+  ASSERT_EQ(papi::start(set), papi::PAPI_OK);
+  papi::account(Event::TOT_INS, 7);
+  ASSERT_EQ(papi::reset(set), papi::PAPI_OK);
+  long long v = -1;
+  ASSERT_EQ(papi::read(set, &v), papi::PAPI_OK);
+  EXPECT_EQ(v, 0);
+  ASSERT_EQ(papi::stop(set, &v), papi::PAPI_OK);
+  ASSERT_EQ(papi::destroy_eventset(&set), papi::PAPI_OK);
+}
+
+TEST_F(PapiTest, FourEventLimitEnforced) {
+  int set = -1;
+  ASSERT_EQ(papi::create_eventset(&set), papi::PAPI_OK);
+  EXPECT_EQ(papi::add_event(set, Event::TOT_INS), papi::PAPI_OK);
+  EXPECT_EQ(papi::add_event(set, Event::LST_INS), papi::PAPI_OK);
+  EXPECT_EQ(papi::add_event(set, Event::L1_DCM), papi::PAPI_OK);
+  EXPECT_EQ(papi::add_event(set, Event::BR_MSP), papi::PAPI_OK);
+  // The fifth concurrent event is what real PAPI hardware refuses.
+  EXPECT_EQ(papi::add_event(set, Event::TOT_CYC), papi::PAPI_ECNFLCT);
+  ASSERT_EQ(papi::destroy_eventset(&set), papi::PAPI_OK);
+}
+
+TEST_F(PapiTest, FourEventLimitSpansSets) {
+  int s1 = -1, s2 = -1;
+  ASSERT_EQ(papi::create_eventset(&s1), papi::PAPI_OK);
+  ASSERT_EQ(papi::create_eventset(&s2), papi::PAPI_OK);
+  for (Event e : {Event::TOT_INS, Event::LST_INS, Event::L1_DCM})
+    ASSERT_EQ(papi::add_event(s1, e), papi::PAPI_OK);
+  for (Event e : {Event::BR_MSP, Event::TOT_CYC})
+    ASSERT_EQ(papi::add_event(s2, e), papi::PAPI_OK);
+  ASSERT_EQ(papi::start(s1), papi::PAPI_OK);
+  EXPECT_EQ(papi::start(s2), papi::PAPI_ECNFLCT);  // 3 + 2 > 4
+  long long vals[4];
+  ASSERT_EQ(papi::stop(s1, vals), papi::PAPI_OK);
+  EXPECT_EQ(papi::start(s2), papi::PAPI_OK);  // fine once s1 stopped
+  ASSERT_EQ(papi::stop(s2, vals), papi::PAPI_OK);
+  papi::destroy_eventset(&s1);
+  papi::destroy_eventset(&s2);
+}
+
+TEST_F(PapiTest, ApiMisuseReturnsErrors) {
+  EXPECT_EQ(papi::create_eventset(nullptr), papi::PAPI_EINVAL);
+  EXPECT_EQ(papi::add_event(99, Event::TOT_INS), papi::PAPI_EINVAL);
+  EXPECT_EQ(papi::start(99), papi::PAPI_EINVAL);
+  int set = -1;
+  ASSERT_EQ(papi::create_eventset(&set), papi::PAPI_OK);
+  long long v;
+  EXPECT_EQ(papi::stop(set, &v), papi::PAPI_ENOTRUN);
+  ASSERT_EQ(papi::add_event(set, Event::TOT_INS), papi::PAPI_OK);
+  EXPECT_EQ(papi::add_event(set, Event::TOT_INS), papi::PAPI_ECNFLCT);
+  ASSERT_EQ(papi::start(set), papi::PAPI_OK);
+  EXPECT_EQ(papi::start(set), papi::PAPI_EISRUN);
+  EXPECT_EQ(papi::add_event(set, Event::LST_INS), papi::PAPI_EISRUN);
+  EXPECT_EQ(papi::destroy_eventset(&set), papi::PAPI_EISRUN);
+  ASSERT_EQ(papi::stop(set, &v), papi::PAPI_OK);
+  ASSERT_EQ(papi::destroy_eventset(&set), papi::PAPI_OK);
+  EXPECT_EQ(papi::destroy_eventset(&set), papi::PAPI_EINVAL);
+}
+
+TEST_F(PapiTest, ScopedCountingGuard) {
+  {
+    papi::ScopedCounting guard{Event::TOT_INS, Event::SR_INS};
+    papi::account_message_construct(8);
+    const auto vals = guard.values();
+    EXPECT_GT(vals[0], 0);
+    EXPECT_GT(vals[1], 0);
+  }
+  // Guard released its slots: four new events may start.
+  papi::ScopedCounting guard{Event::TOT_INS, Event::LST_INS, Event::L1_DCM,
+                             Event::BR_MSP};
+}
+
+TEST_F(PapiTest, EventSetsArePerPe) {
+  ap::rt::LaunchConfig cfg;
+  cfg.num_pes = 2;
+  ap::rt::launch(cfg, [] {
+    int set = -1;
+    ASSERT_EQ(papi::create_eventset(&set), papi::PAPI_OK);
+    ASSERT_EQ(papi::add_event(set, Event::TOT_INS), papi::PAPI_OK);
+    ASSERT_EQ(papi::start(set), papi::PAPI_OK);
+    // Each PE does a different amount of work.
+    for (int i = 0; i <= ap::rt::my_pe(); ++i) papi::account(Event::TOT_INS, 10);
+    ap::rt::yield();  // interleave with the other PE
+    long long v = 0;
+    ASSERT_EQ(papi::stop(set, &v), papi::PAPI_OK);
+    EXPECT_EQ(v, 10 * (ap::rt::my_pe() + 1));
+    papi::destroy_eventset(&set);
+  });
+}
+
+// ------------------------------------------------------------- cycles
+
+TEST_F(PapiTest, VirtualCyclesAreDeterministic) {
+  papi::set_cycle_source(papi::CycleSource::virtual_);
+  const auto a0 = papi::cycles_now();
+  papi::account_message_construct(8);
+  const auto a1 = papi::cycles_now();
+  EXPECT_GT(a1, a0);
+  papi::reset_all();
+  const auto b0 = papi::cycles_now();
+  papi::account_message_construct(8);
+  const auto b1 = papi::cycles_now();
+  EXPECT_EQ(a1 - a0, b1 - b0);
+}
+
+TEST_F(PapiTest, RdtscAdvances) {
+  papi::set_cycle_source(papi::CycleSource::rdtsc);
+  const auto t0 = papi::cycles_now();
+  volatile int sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  const auto t1 = papi::cycles_now();
+  EXPECT_GT(t1, t0);
+  papi::set_cycle_source(papi::CycleSource::virtual_);
+}
+
+}  // namespace
+
+TEST_F(PapiTest, SingleAccessMissesAccumulateViaResidue) {
+  // 1024 one-access calls over an L1-exceeding footprint must produce
+  // ~600 misses (rate 600/1024), not zero (per-call truncation bug).
+  for (int i = 0; i < 1024; ++i) papi::account_random_access(64 * 1024, 1);
+  const auto misses = papi::counter_value(Event::L1_DCM);
+  EXPECT_GE(misses, 599u);
+  EXPECT_LE(misses, 601u);
+}

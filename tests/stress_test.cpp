@@ -1,0 +1,268 @@
+// Stress and edge-case tests across the stack: multi-mailbox chains,
+// many concurrent selectors, pure receivers, exception paths, large
+// configurations, and pathological traffic patterns.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "actor/selector.hpp"
+#include "conveyor/conveyor.hpp"
+#include "runtime/finish.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+namespace shmem = ap::shmem;
+namespace actor = ap::actor;
+namespace convey = ap::convey;
+
+ap::rt::LaunchConfig cfg_of(int pes, int ppn = 0) {
+  ap::rt::LaunchConfig cfg;
+  cfg.num_pes = pes;
+  cfg.pes_per_node = ppn;
+  cfg.symm_heap_bytes = 32 << 20;
+  return cfg;
+}
+
+TEST(Stress, ThreeMailboxPipelineChainsTermination) {
+  // mb0 -> mb1 -> mb2 pipeline; only done(0) is ever called explicitly.
+  shmem::run(cfg_of(4, 2), [] {
+    std::int64_t final_sum = 0;
+    class Pipe : public actor::Selector<3, std::int64_t> {
+     public:
+      explicit Pipe(std::int64_t* out) {
+        mb[0].process = [this](std::int64_t v, int) {
+          send(1, v + 1, (shmem::my_pe() + 1) % shmem::n_pes());
+        };
+        mb[1].process = [this](std::int64_t v, int) {
+          send(2, v + 1, (shmem::my_pe() + 1) % shmem::n_pes());
+        };
+        mb[2].process = [out](std::int64_t v, int) { *out += v; };
+      }
+    };
+    Pipe pipe(&final_sum);
+    ap::hclib::finish([&] {
+      pipe.start();
+      for (int i = 0; i < 200; ++i) pipe.send(0, 0, i % shmem::n_pes());
+      pipe.done(0);
+    });
+    // Every message gains +1 at mb0 and +1 at mb1 => lands as 2 at mb2.
+    EXPECT_EQ(shmem::sum_reduce(final_sum), 4 * 200 * 2);
+    EXPECT_TRUE(pipe.terminated());
+  });
+}
+
+TEST(Stress, ManySelectorsConcurrently) {
+  shmem::run(cfg_of(4, 2), [] {
+    constexpr int kActors = 6;
+    std::array<std::int64_t, kActors> counts{};
+    std::vector<std::unique_ptr<actor::Actor<std::int64_t>>> actors;
+    for (int a = 0; a < kActors; ++a) {
+      actors.push_back(std::make_unique<actor::Actor<std::int64_t>>());
+      actors.back()->mb[0].process =
+          [&counts, a](std::int64_t, int) { counts[static_cast<std::size_t>(a)]++; };
+    }
+    ap::hclib::finish([&] {
+      for (auto& a : actors) a->start();
+      for (int i = 0; i < 100; ++i)
+        for (auto& a : actors) a->send(1, i % shmem::n_pes());
+      for (auto& a : actors) a->done(0);
+    });
+    for (int a = 0; a < kActors; ++a)
+      EXPECT_EQ(shmem::sum_reduce(counts[static_cast<std::size_t>(a)]),
+                4 * 100)
+          << "actor " << a;
+  });
+}
+
+TEST(Stress, PureReceiversAndPureSenders) {
+  // PEs 0-1 only send; PEs 2-3 only receive. Everyone still participates
+  // in the conveyor protocol (advance via the finish pump).
+  shmem::run(cfg_of(4, 2), [] {
+    std::int64_t got = 0;
+    actor::Actor<std::int64_t> a;
+    a.mb[0].process = [&got](std::int64_t, int) { ++got; };
+    ap::hclib::finish([&] {
+      a.start();
+      if (shmem::my_pe() < 2) {
+        for (int i = 0; i < 500; ++i) a.send(1, 2 + (i % 2));
+      }
+      a.done(0);
+    });
+    if (shmem::my_pe() >= 2) {
+      EXPECT_EQ(got, 500);
+    } else {
+      EXPECT_EQ(got, 0);
+    }
+  });
+}
+
+TEST(Stress, HandlerExceptionPropagatesOutOfLaunch) {
+  EXPECT_THROW(
+      shmem::run(cfg_of(2, 2),
+                 [] {
+                   actor::Actor<std::int64_t> a;
+                   a.mb[0].process = [](std::int64_t v, int) {
+                     if (v == 13) throw std::runtime_error("unlucky");
+                   };
+                   ap::hclib::finish([&] {
+                     a.start();
+                     for (int i = 0; i < 20; ++i) a.send(i, 1 - shmem::my_pe());
+                     a.done(0);
+                   });
+                 }),
+      std::runtime_error);
+}
+
+TEST(Stress, SixtyFourPEsAcrossFourNodes) {
+  shmem::run(cfg_of(64, 16), [] {
+    std::int64_t got = 0;
+    actor::Actor<std::int64_t> a;
+    a.mb[0].process = [&got](std::int64_t, int) { ++got; };
+    ap::hclib::finish([&] {
+      a.start();
+      const int me = shmem::my_pe();
+      for (int i = 0; i < 64; ++i) a.send(1, (me + i) % 64);
+      a.done(0);
+    });
+    EXPECT_EQ(got, 64);  // exactly one from each PE
+  });
+}
+
+TEST(Stress, AllTrafficToOnePe) {
+  // Worst-case congestion: every PE floods PE0.
+  shmem::run(cfg_of(8, 4), [] {
+    std::int64_t got = 0;
+    convey::Options o;
+    o.buffer_bytes = 64;
+    actor::Actor<std::int64_t> a{o};
+    a.mb[0].process = [&got](std::int64_t, int) { ++got; };
+    ap::hclib::finish([&] {
+      a.start();
+      for (int i = 0; i < 1000; ++i) a.send(1, 0);
+      a.done(0);
+    });
+    shmem::barrier_all();
+    if (shmem::my_pe() == 0) {
+      EXPECT_EQ(got, 8 * 1000);
+    } else {
+      EXPECT_EQ(got, 0);
+    }
+  });
+}
+
+TEST(Stress, SelfSendsOnly) {
+  shmem::run(cfg_of(4, 2), [] {
+    std::int64_t got = 0;
+    actor::Actor<std::int64_t> a;
+    a.mb[0].process = [&got](std::int64_t v, int from) {
+      EXPECT_EQ(from, shmem::my_pe());
+      got += v;
+    };
+    ap::hclib::finish([&] {
+      a.start();
+      for (int i = 0; i < 300; ++i) a.send(1, shmem::my_pe());
+      a.done(0);
+    });
+    EXPECT_EQ(got, 300);
+  });
+}
+
+TEST(Stress, RepeatedEpochsOfActorsInOneLaunch) {
+  // A new actor per phase (like BFS levels): conveyor creation/destruction
+  // must stay collective-consistent across many rounds.
+  shmem::run(cfg_of(4, 2), [] {
+    std::int64_t total = 0;
+    for (int round = 0; round < 20; ++round) {
+      actor::Actor<std::int64_t> a;
+      a.mb[0].process = [&total](std::int64_t, int) { ++total; };
+      ap::hclib::finish([&] {
+        a.start();
+        for (int i = 0; i < 25; ++i)
+          a.send(1, (shmem::my_pe() + i + round) % shmem::n_pes());
+        a.done(0);
+      });
+    }
+    EXPECT_EQ(shmem::sum_reduce(total), 4 * 20 * 25);
+  });
+}
+
+TEST(Stress, BackToBackLaunches) {
+  for (int i = 0; i < 10; ++i) {
+    shmem::run(cfg_of(3, 3), [] {
+      shmem::SymmArray<std::int64_t> x(4);
+      shmem::barrier_all();
+      const std::int64_t v = shmem::my_pe();
+      shmem::put(&x[0], &v, sizeof v, (shmem::my_pe() + 1) % 3);
+      shmem::barrier_all();
+      EXPECT_EQ(x[0], (shmem::my_pe() + 2) % 3);
+    });
+  }
+}
+
+TEST(Stress, ConveyorWithPureRouterPes) {
+  // In a 2D mesh, some PEs only forward traffic between others. Pattern:
+  // only column-mismatched cross-node pairs communicate, so intermediate
+  // row PEs act purely as routers.
+  shmem::run(cfg_of(8, 4), [] {
+    convey::Options o;
+    o.buffer_bytes = 64;
+    o.route = convey::RouteKind::Mesh2D;
+    auto c = convey::Conveyor::create(o);
+    const int me = shmem::my_pe();
+    // PE0 -> PE7 and PE4 -> PE3 only (two-hop routes through PE3 and PE7).
+    const bool sender = (me == 0 || me == 4);
+    const int dst = me == 0 ? 7 : 3;
+    std::size_t sent = 0;
+    std::int64_t got = 0;
+    bool done = false;
+    while (c->advance(done)) {
+      if (sender) {
+        for (; sent < 400; ++sent) {
+          const std::int64_t v = static_cast<std::int64_t>(sent);
+          if (!c->push(&v, dst)) break;
+        }
+      }
+      std::int64_t item;
+      int from;
+      while (c->pull(&item, &from)) ++got;
+      done = !sender || sent == 400;
+      ap::rt::yield();
+    }
+    if (me == 7 || me == 3) {
+      EXPECT_EQ(got, 400);
+    } else {
+      EXPECT_EQ(got, 0);
+    }
+    // The intermediates saw forwarded items.
+    const auto total = c->total_stats();
+    EXPECT_EQ(total.forwarded, 800u);
+    shmem::barrier_all();
+  });
+}
+
+TEST(Stress, MessageOrderingPerPairIsFifo) {
+  // Conveyors guarantees ordering per (src, dst) pair (paper §IV-E).
+  shmem::run(cfg_of(4, 2), [] {
+    std::vector<std::int64_t> seen_from(4, -1);
+    convey::Options o;
+    o.buffer_bytes = 48;
+    actor::Actor<std::int64_t> a{o};
+    a.mb[0].process = [&seen_from](std::int64_t v, int from) {
+      EXPECT_GT(v, seen_from[static_cast<std::size_t>(from)])
+          << "out-of-order delivery from PE" << from;
+      seen_from[static_cast<std::size_t>(from)] = v;
+    };
+    ap::hclib::finish([&] {
+      a.start();
+      for (int i = 0; i < 600; ++i)
+        for (int d = 0; d < shmem::n_pes(); ++d) a.send(i, d);
+      a.done(0);
+    });
+    for (int from = 0; from < 4; ++from)
+      EXPECT_EQ(seen_from[static_cast<std::size_t>(from)], 599);
+  });
+}
+
+}  // namespace
