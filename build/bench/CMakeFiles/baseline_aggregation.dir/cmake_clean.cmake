@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_aggregation.dir/baseline_aggregation.cpp.o"
+  "CMakeFiles/baseline_aggregation.dir/baseline_aggregation.cpp.o.d"
+  "baseline_aggregation"
+  "baseline_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_logical_heatmap_1node.dir/fig03_logical_heatmap_1node.cpp.o"
+  "CMakeFiles/fig03_logical_heatmap_1node.dir/fig03_logical_heatmap_1node.cpp.o.d"
+  "fig03_logical_heatmap_1node"
+  "fig03_logical_heatmap_1node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_logical_heatmap_1node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

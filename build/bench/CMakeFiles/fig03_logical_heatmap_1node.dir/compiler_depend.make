@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_logical_heatmap_1node.
+# This may be replaced when dependencies are built.

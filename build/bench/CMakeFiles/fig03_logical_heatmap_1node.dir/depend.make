@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_logical_heatmap_1node.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_logical_heatmap_2node.dir/fig04_logical_heatmap_2node.cpp.o"
+  "CMakeFiles/fig04_logical_heatmap_2node.dir/fig04_logical_heatmap_2node.cpp.o.d"
+  "fig04_logical_heatmap_2node"
+  "fig04_logical_heatmap_2node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_logical_heatmap_2node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

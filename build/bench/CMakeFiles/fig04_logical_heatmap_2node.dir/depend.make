@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_logical_heatmap_2node.
+# This may be replaced when dependencies are built.

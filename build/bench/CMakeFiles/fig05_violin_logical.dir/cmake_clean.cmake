@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_violin_logical.dir/fig05_violin_logical.cpp.o"
+  "CMakeFiles/fig05_violin_logical.dir/fig05_violin_logical.cpp.o.d"
+  "fig05_violin_logical"
+  "fig05_violin_logical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_violin_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_L_observation.dir/fig06_L_observation.cpp.o"
+  "CMakeFiles/fig06_L_observation.dir/fig06_L_observation.cpp.o.d"
+  "fig06_L_observation"
+  "fig06_L_observation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_L_observation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

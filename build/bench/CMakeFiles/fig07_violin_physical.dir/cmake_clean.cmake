@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_violin_physical.dir/fig07_violin_physical.cpp.o"
+  "CMakeFiles/fig07_violin_physical.dir/fig07_violin_physical.cpp.o.d"
+  "fig07_violin_physical"
+  "fig07_violin_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_violin_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_physical_heatmap_1node.dir/fig08_physical_heatmap_1node.cpp.o"
+  "CMakeFiles/fig08_physical_heatmap_1node.dir/fig08_physical_heatmap_1node.cpp.o.d"
+  "fig08_physical_heatmap_1node"
+  "fig08_physical_heatmap_1node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_physical_heatmap_1node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_physical_heatmap_2node.dir/fig09_physical_heatmap_2node.cpp.o"
+  "CMakeFiles/fig09_physical_heatmap_2node.dir/fig09_physical_heatmap_2node.cpp.o.d"
+  "fig09_physical_heatmap_2node"
+  "fig09_physical_heatmap_2node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_physical_heatmap_2node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_physical_heatmap_2node.
+# This may be replaced when dependencies are built.

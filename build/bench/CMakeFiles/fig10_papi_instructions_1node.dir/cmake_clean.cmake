@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_papi_instructions_1node.dir/fig10_papi_instructions_1node.cpp.o"
+  "CMakeFiles/fig10_papi_instructions_1node.dir/fig10_papi_instructions_1node.cpp.o.d"
+  "fig10_papi_instructions_1node"
+  "fig10_papi_instructions_1node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_papi_instructions_1node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

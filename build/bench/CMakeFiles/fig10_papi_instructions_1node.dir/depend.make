@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_papi_instructions_1node.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_papi_instructions_2node.dir/fig11_papi_instructions_2node.cpp.o"
+  "CMakeFiles/fig11_papi_instructions_2node.dir/fig11_papi_instructions_2node.cpp.o.d"
+  "fig11_papi_instructions_2node"
+  "fig11_papi_instructions_2node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_papi_instructions_2node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_overall_1node.dir/fig12_overall_1node.cpp.o"
+  "CMakeFiles/fig12_overall_1node.dir/fig12_overall_1node.cpp.o.d"
+  "fig12_overall_1node"
+  "fig12_overall_1node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_overall_1node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_overall_2node.dir/fig13_overall_2node.cpp.o"
+  "CMakeFiles/fig13_overall_2node.dir/fig13_overall_2node.cpp.o.d"
+  "fig13_overall_2node"
+  "fig13_overall_2node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overall_2node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_conveyor.dir/micro_conveyor.cpp.o"
+  "CMakeFiles/micro_conveyor.dir/micro_conveyor.cpp.o.d"
+  "micro_conveyor"
+  "micro_conveyor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_conveyor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_shmem.dir/micro_shmem.cpp.o"
+  "CMakeFiles/micro_shmem.dir/micro_shmem.cpp.o.d"
+  "micro_shmem"
+  "micro_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_tracing.dir/overhead_tracing.cpp.o"
+  "CMakeFiles/overhead_tracing.dir/overhead_tracing.cpp.o.d"
+  "overhead_tracing"
+  "overhead_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papi_four_counters.dir/papi_four_counters.cpp.o"
+  "CMakeFiles/papi_four_counters.dir/papi_four_counters.cpp.o.d"
+  "papi_four_counters"
+  "papi_four_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papi_four_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_triangle.dir/scaling_triangle.cpp.o"
+  "CMakeFiles/scaling_triangle.dir/scaling_triangle.cpp.o.d"
+  "scaling_triangle"
+  "scaling_triangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

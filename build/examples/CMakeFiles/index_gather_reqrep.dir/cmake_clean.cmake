@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_gather_reqrep.dir/index_gather_reqrep.cpp.o"
+  "CMakeFiles/index_gather_reqrep.dir/index_gather_reqrep.cpp.o.d"
+  "index_gather_reqrep"
+  "index_gather_reqrep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_gather_reqrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccard_similarity.dir/jaccard_similarity.cpp.o"
+  "CMakeFiles/jaccard_similarity.dir/jaccard_similarity.cpp.o.d"
+  "jaccard_similarity"
+  "jaccard_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccard_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_push.dir/pagerank_push.cpp.o"
+  "CMakeFiles/pagerank_push.dir/pagerank_push.cpp.o.d"
+  "pagerank_push"
+  "pagerank_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/toposort_peel.cpp" "examples/CMakeFiles/toposort_peel.dir/toposort_peel.cpp.o" "gcc" "examples/CMakeFiles/toposort_peel.dir/toposort_peel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/actorprof_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fabsp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fabsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/actorprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/hclib_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/conveyor/CMakeFiles/conveyor.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/minishmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/papi/CMakeFiles/sim_papi.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fabsp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

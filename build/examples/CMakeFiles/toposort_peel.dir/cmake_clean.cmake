@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toposort_peel.dir/toposort_peel.cpp.o"
+  "CMakeFiles/toposort_peel.dir/toposort_peel.cpp.o.d"
+  "toposort_peel"
+  "toposort_peel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toposort_peel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

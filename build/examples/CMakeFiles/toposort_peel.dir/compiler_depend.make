@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for toposort_peel.
+# This may be replaced when dependencies are built.

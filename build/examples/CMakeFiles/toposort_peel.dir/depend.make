@@ -1,0 +1,2 @@
+# Empty dependencies file for toposort_peel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_case_study.dir/triangle_case_study.cpp.o"
+  "CMakeFiles/triangle_case_study.dir/triangle_case_study.cpp.o.d"
+  "triangle_case_study"
+  "triangle_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

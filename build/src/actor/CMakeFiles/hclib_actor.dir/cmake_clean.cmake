@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hclib_actor.dir/observer.cpp.o"
+  "CMakeFiles/hclib_actor.dir/observer.cpp.o.d"
+  "libhclib_actor.a"
+  "libhclib_actor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hclib_actor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

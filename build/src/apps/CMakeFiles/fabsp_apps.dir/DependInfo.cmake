@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bfs.cpp" "src/apps/CMakeFiles/fabsp_apps.dir/bfs.cpp.o" "gcc" "src/apps/CMakeFiles/fabsp_apps.dir/bfs.cpp.o.d"
+  "/root/repo/src/apps/histogram.cpp" "src/apps/CMakeFiles/fabsp_apps.dir/histogram.cpp.o" "gcc" "src/apps/CMakeFiles/fabsp_apps.dir/histogram.cpp.o.d"
+  "/root/repo/src/apps/index_gather.cpp" "src/apps/CMakeFiles/fabsp_apps.dir/index_gather.cpp.o" "gcc" "src/apps/CMakeFiles/fabsp_apps.dir/index_gather.cpp.o.d"
+  "/root/repo/src/apps/influence_max.cpp" "src/apps/CMakeFiles/fabsp_apps.dir/influence_max.cpp.o" "gcc" "src/apps/CMakeFiles/fabsp_apps.dir/influence_max.cpp.o.d"
+  "/root/repo/src/apps/jaccard.cpp" "src/apps/CMakeFiles/fabsp_apps.dir/jaccard.cpp.o" "gcc" "src/apps/CMakeFiles/fabsp_apps.dir/jaccard.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/apps/CMakeFiles/fabsp_apps.dir/pagerank.cpp.o" "gcc" "src/apps/CMakeFiles/fabsp_apps.dir/pagerank.cpp.o.d"
+  "/root/repo/src/apps/randperm.cpp" "src/apps/CMakeFiles/fabsp_apps.dir/randperm.cpp.o" "gcc" "src/apps/CMakeFiles/fabsp_apps.dir/randperm.cpp.o.d"
+  "/root/repo/src/apps/toposort.cpp" "src/apps/CMakeFiles/fabsp_apps.dir/toposort.cpp.o" "gcc" "src/apps/CMakeFiles/fabsp_apps.dir/toposort.cpp.o.d"
+  "/root/repo/src/apps/triangle.cpp" "src/apps/CMakeFiles/fabsp_apps.dir/triangle.cpp.o" "gcc" "src/apps/CMakeFiles/fabsp_apps.dir/triangle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/actorprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/hclib_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fabsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/minishmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/papi/CMakeFiles/sim_papi.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fabsp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/conveyor/CMakeFiles/conveyor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

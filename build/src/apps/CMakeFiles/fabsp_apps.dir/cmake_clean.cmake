@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsp_apps.dir/bfs.cpp.o"
+  "CMakeFiles/fabsp_apps.dir/bfs.cpp.o.d"
+  "CMakeFiles/fabsp_apps.dir/histogram.cpp.o"
+  "CMakeFiles/fabsp_apps.dir/histogram.cpp.o.d"
+  "CMakeFiles/fabsp_apps.dir/index_gather.cpp.o"
+  "CMakeFiles/fabsp_apps.dir/index_gather.cpp.o.d"
+  "CMakeFiles/fabsp_apps.dir/influence_max.cpp.o"
+  "CMakeFiles/fabsp_apps.dir/influence_max.cpp.o.d"
+  "CMakeFiles/fabsp_apps.dir/jaccard.cpp.o"
+  "CMakeFiles/fabsp_apps.dir/jaccard.cpp.o.d"
+  "CMakeFiles/fabsp_apps.dir/pagerank.cpp.o"
+  "CMakeFiles/fabsp_apps.dir/pagerank.cpp.o.d"
+  "CMakeFiles/fabsp_apps.dir/randperm.cpp.o"
+  "CMakeFiles/fabsp_apps.dir/randperm.cpp.o.d"
+  "CMakeFiles/fabsp_apps.dir/toposort.cpp.o"
+  "CMakeFiles/fabsp_apps.dir/toposort.cpp.o.d"
+  "CMakeFiles/fabsp_apps.dir/triangle.cpp.o"
+  "CMakeFiles/fabsp_apps.dir/triangle.cpp.o.d"
+  "libfabsp_apps.a"
+  "libfabsp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

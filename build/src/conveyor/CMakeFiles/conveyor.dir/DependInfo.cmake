@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conveyor/conveyor.cpp" "src/conveyor/CMakeFiles/conveyor.dir/conveyor.cpp.o" "gcc" "src/conveyor/CMakeFiles/conveyor.dir/conveyor.cpp.o.d"
+  "/root/repo/src/conveyor/elastic.cpp" "src/conveyor/CMakeFiles/conveyor.dir/elastic.cpp.o" "gcc" "src/conveyor/CMakeFiles/conveyor.dir/elastic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shmem/CMakeFiles/minishmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/papi/CMakeFiles/sim_papi.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fabsp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conveyor.dir/conveyor.cpp.o"
+  "CMakeFiles/conveyor.dir/conveyor.cpp.o.d"
+  "CMakeFiles/conveyor.dir/elastic.cpp.o"
+  "CMakeFiles/conveyor.dir/elastic.cpp.o.d"
+  "libconveyor.a"
+  "libconveyor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conveyor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

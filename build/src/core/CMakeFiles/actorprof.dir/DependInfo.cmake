@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/actorprof.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/actorprof.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/aggregate.cpp" "src/core/CMakeFiles/actorprof.dir/aggregate.cpp.o" "gcc" "src/core/CMakeFiles/actorprof.dir/aggregate.cpp.o.d"
+  "/root/repo/src/core/chrome_trace.cpp" "src/core/CMakeFiles/actorprof.dir/chrome_trace.cpp.o" "gcc" "src/core/CMakeFiles/actorprof.dir/chrome_trace.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/actorprof.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/actorprof.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/actorprof.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/actorprof.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/actor/CMakeFiles/hclib_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/conveyor/CMakeFiles/conveyor.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/minishmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/papi/CMakeFiles/sim_papi.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fabsp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

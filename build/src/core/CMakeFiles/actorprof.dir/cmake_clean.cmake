@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actorprof.dir/advisor.cpp.o"
+  "CMakeFiles/actorprof.dir/advisor.cpp.o.d"
+  "CMakeFiles/actorprof.dir/aggregate.cpp.o"
+  "CMakeFiles/actorprof.dir/aggregate.cpp.o.d"
+  "CMakeFiles/actorprof.dir/chrome_trace.cpp.o"
+  "CMakeFiles/actorprof.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/actorprof.dir/profiler.cpp.o"
+  "CMakeFiles/actorprof.dir/profiler.cpp.o.d"
+  "CMakeFiles/actorprof.dir/trace_io.cpp.o"
+  "CMakeFiles/actorprof.dir/trace_io.cpp.o.d"
+  "libactorprof.a"
+  "libactorprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actorprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

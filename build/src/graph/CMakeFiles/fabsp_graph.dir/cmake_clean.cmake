@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsp_graph.dir/csr.cpp.o"
+  "CMakeFiles/fabsp_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/fabsp_graph.dir/distribution.cpp.o"
+  "CMakeFiles/fabsp_graph.dir/distribution.cpp.o.d"
+  "CMakeFiles/fabsp_graph.dir/rmat.cpp.o"
+  "CMakeFiles/fabsp_graph.dir/rmat.cpp.o.d"
+  "libfabsp_graph.a"
+  "libfabsp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

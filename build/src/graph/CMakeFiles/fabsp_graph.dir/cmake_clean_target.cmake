@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfabsp_graph.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_papi.dir/cycles.cpp.o"
+  "CMakeFiles/sim_papi.dir/cycles.cpp.o.d"
+  "CMakeFiles/sim_papi.dir/papi.cpp.o"
+  "CMakeFiles/sim_papi.dir/papi.cpp.o.d"
+  "libsim_papi.a"
+  "libsim_papi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_papi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

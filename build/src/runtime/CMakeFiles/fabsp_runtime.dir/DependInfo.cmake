@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/fiber.cpp" "src/runtime/CMakeFiles/fabsp_runtime.dir/fiber.cpp.o" "gcc" "src/runtime/CMakeFiles/fabsp_runtime.dir/fiber.cpp.o.d"
+  "/root/repo/src/runtime/finish.cpp" "src/runtime/CMakeFiles/fabsp_runtime.dir/finish.cpp.o" "gcc" "src/runtime/CMakeFiles/fabsp_runtime.dir/finish.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/fabsp_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/fabsp_runtime.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsp_runtime.dir/fiber.cpp.o"
+  "CMakeFiles/fabsp_runtime.dir/fiber.cpp.o.d"
+  "CMakeFiles/fabsp_runtime.dir/finish.cpp.o"
+  "CMakeFiles/fabsp_runtime.dir/finish.cpp.o.d"
+  "CMakeFiles/fabsp_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/fabsp_runtime.dir/scheduler.cpp.o.d"
+  "libfabsp_runtime.a"
+  "libfabsp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minishmem.dir/profiling_interface.cpp.o"
+  "CMakeFiles/minishmem.dir/profiling_interface.cpp.o.d"
+  "CMakeFiles/minishmem.dir/shmem.cpp.o"
+  "CMakeFiles/minishmem.dir/shmem.cpp.o.d"
+  "CMakeFiles/minishmem.dir/symmetric_heap.cpp.o"
+  "CMakeFiles/minishmem.dir/symmetric_heap.cpp.o.d"
+  "libminishmem.a"
+  "libminishmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minishmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

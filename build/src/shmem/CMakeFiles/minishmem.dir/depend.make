@@ -1,0 +1,2 @@
+# Empty dependencies file for minishmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actorprof_viz.dir/render.cpp.o"
+  "CMakeFiles/actorprof_viz.dir/render.cpp.o.d"
+  "CMakeFiles/actorprof_viz.dir/svg.cpp.o"
+  "CMakeFiles/actorprof_viz.dir/svg.cpp.o.d"
+  "libactorprof_viz.a"
+  "libactorprof_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actorprof_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

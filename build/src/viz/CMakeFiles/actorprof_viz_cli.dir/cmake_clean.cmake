@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actorprof_viz_cli.dir/cli.cpp.o"
+  "CMakeFiles/actorprof_viz_cli.dir/cli.cpp.o.d"
+  "actorprof_viz"
+  "actorprof_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actorprof_viz_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papi_test.dir/papi_test.cpp.o"
+  "CMakeFiles/papi_test.dir/papi_test.cpp.o.d"
+  "papi_test"
+  "papi_test.pdb"
+  "papi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

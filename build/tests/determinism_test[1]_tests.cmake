@@ -1,0 +1,3 @@
+add_test([=[Determinism.TraceFilesAreByteIdenticalAcrossRuns]=]  /root/repo/build/tests/determinism_test [==[--gtest_filter=Determinism.TraceFilesAreByteIdenticalAcrossRuns]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Determinism.TraceFilesAreByteIdenticalAcrossRuns]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  determinism_test_TESTS Determinism.TraceFilesAreByteIdenticalAcrossRuns)
