@@ -1,12 +1,31 @@
 // §IV-E: Overhead of ActorProf tracing. Runs the same FA-BSP histogram
-// kernel with profiling disabled, each trace kind alone, and everything
-// enabled, and reports wall time per configuration (google-benchmark).
+// kernel with profiling disabled, each trace kind alone, the live-metrics
+// subsystem, and everything enabled.
+//
+// Two front ends share the workload:
+//   * default             — google-benchmark micro harness (wall time per
+//                           configuration, human tables)
+//   * --json[=path]       — machine-readable mode: a few repetitions per
+//                           configuration, median wall time, overhead % vs
+//                           the profiling-off baseline, and the measured
+//                           self-overhead cycle breakdown of the metrics
+//                           observers. CI parses this to catch overhead
+//                           regressions.
 // The paper's claim to check: software tracing adds modest overhead, and
 // the rdtsc-based overall profile is the cheapest kind.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "apps/histogram.hpp"
 #include "core/profiler.hpp"
+#include "metrics/self_overhead.hpp"
 #include "shmem/shmem.hpp"
 
 namespace {
@@ -24,6 +43,7 @@ prof::Config config_for(const std::string& mode) {
   if (mode == "papi" || mode == "all") c.papi = true;
   if (mode == "overall" || mode == "all") c.overall = true;
   if (mode == "physical" || mode == "all") c.physical = true;
+  if (mode == "metrics" || mode == "all") c.metrics = true;
   return c;
 }
 
@@ -36,6 +56,8 @@ void run_histogram(prof::Profiler* profiler) {
     benchmark::DoNotOptimize(r.global_updates);
   });
 }
+
+// ------------------------------------------------------- google-benchmark
 
 void BM_TracingOverhead(benchmark::State& state, const std::string& mode) {
   for (auto _ : state) {
@@ -56,6 +78,7 @@ BENCHMARK_CAPTURE(BM_TracingOverhead, overall_only, std::string("overall"));
 BENCHMARK_CAPTURE(BM_TracingOverhead, logical_only, std::string("logical"));
 BENCHMARK_CAPTURE(BM_TracingOverhead, papi_only, std::string("papi"));
 BENCHMARK_CAPTURE(BM_TracingOverhead, physical_only, std::string("physical"));
+BENCHMARK_CAPTURE(BM_TracingOverhead, metrics_only, std::string("metrics"));
 BENCHMARK_CAPTURE(BM_TracingOverhead, all, std::string("all"));
 
 /// Per-event retention (what the paper's §VI trace-size worry is about):
@@ -73,6 +96,121 @@ void BM_TracingOverhead_KeepEvents(benchmark::State& state) {
 }
 BENCHMARK(BM_TracingOverhead_KeepEvents);
 
+// ------------------------------------------------------------- JSON mode
+
+struct ModeResult {
+  std::string mode;
+  double wall_ns = 0.0;  // median over reps
+  double overhead_pct = 0.0;
+  std::uint64_t self_overhead_cycles = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> by_category;
+};
+
+double median_ns(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+ModeResult measure_mode(const std::string& mode, int reps) {
+  ModeResult r;
+  r.mode = mode;
+  std::vector<double> samples;
+  for (int i = 0; i < reps; ++i) {
+    if (mode == "off") {
+      const auto t0 = std::chrono::steady_clock::now();
+      run_histogram(nullptr);
+      const auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    } else {
+      prof::Profiler profiler(config_for(mode));
+      const auto t0 = std::chrono::steady_clock::now();
+      run_histogram(&profiler);
+      const auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+      if (i == reps - 1 && profiler.config().metrics) {
+        const metrics::OverheadMeter& m = profiler.self_overhead();
+        r.self_overhead_cycles = m.grand_total();
+        for (int c = 0; c < metrics::kOverheadCategories; ++c) {
+          const auto cat = static_cast<metrics::OverheadCategory>(c);
+          std::uint64_t total = m.cycles(metrics::OverheadMeter::kGlobalSlot,
+                                         cat);
+          for (int pe = 0; pe < m.num_pes(); ++pe)
+            total += m.cycles(pe, cat);
+          r.by_category.emplace_back(std::string(metrics::to_string(cat)),
+                                     total);
+        }
+      }
+    }
+  }
+  r.wall_ns = median_ns(samples);
+  return r;
+}
+
+void write_json(std::ostream& os, const std::vector<ModeResult>& results,
+                double baseline_ns, int reps) {
+  os << "{\n"
+     << "  \"kernel\": \"histogram\",\n"
+     << "  \"updates_per_pe\": " << kUpdates << ",\n"
+     << "  \"num_pes\": " << kPes << ",\n"
+     << "  \"reps\": " << reps << ",\n"
+     << "  \"baseline_wall_ns\": " << baseline_ns << ",\n"
+     << "  \"modes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    os << "    {\"mode\": \"" << r.mode << "\", \"wall_ns\": " << r.wall_ns
+       << ", \"overhead_pct\": " << r.overhead_pct
+       << ", \"self_overhead_cycles\": " << r.self_overhead_cycles;
+    if (!r.by_category.empty()) {
+      os << ", \"self_overhead_by_category\": {";
+      for (std::size_t c = 0; c < r.by_category.size(); ++c)
+        os << (c ? ", " : "") << "\"" << r.by_category[c].first
+           << "\": " << r.by_category[c].second;
+      os << "}";
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+int run_json_mode(const std::string& path) {
+  constexpr int kReps = 5;
+  const std::vector<std::string> modes = {
+      "off", "overall", "logical", "papi", "physical", "metrics", "all"};
+  std::vector<ModeResult> results;
+  for (const std::string& mode : modes)
+    results.push_back(measure_mode(mode, kReps));
+  const double baseline = results.front().wall_ns;
+  for (ModeResult& r : results)
+    r.overhead_pct =
+        baseline > 0 ? (r.wall_ns - baseline) / baseline * 100.0 : 0.0;
+  if (path.empty()) {
+    write_json(std::cout, results, baseline, kReps);
+  } else {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "overhead_tracing: cannot open " << path << "\n";
+      return 1;
+    }
+    write_json(os, results, baseline, kReps);
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return run_json_mode("");
+    if (std::strncmp(argv[i], "--json=", 7) == 0)
+      return run_json_mode(argv[i] + 7);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

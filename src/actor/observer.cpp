@@ -4,9 +4,12 @@ namespace ap::actor {
 
 namespace {
 thread_local ActorObserver* g_observer = nullptr;
-}
+thread_local std::uint64_t g_next_flow = 0;
+}  // namespace
 
 void set_actor_observer(ActorObserver* obs) { g_observer = obs; }
 ActorObserver* actor_observer() { return g_observer; }
+
+std::uint64_t next_flow_id() { return ++g_next_flow; }
 
 }  // namespace ap::actor

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace ap::actor {
 
@@ -15,21 +16,41 @@ class ActorObserver {
   virtual ~ActorObserver() = default;
 
   /// An application send of `bytes` payload to `dst_pe` on mailbox `mb`
-  /// (fires before the message enters any aggregation buffer).
-  virtual void on_send(int mb, int dst_pe, std::size_t bytes) = 0;
+  /// (fires before the message enters any aggregation buffer). `flow_id`
+  /// is non-zero only when the observer asked for flow correlation
+  /// (wants_flow_ids); the same id reappears at on_handler_begin on the
+  /// destination PE and on the physical transfer that carried the message,
+  /// linking Send -> Transfer -> Proc across the stack.
+  virtual void on_send(int mb, int dst_pe, std::size_t bytes,
+                       std::uint64_t flow_id) = 0;
 
   /// The user message handler for mailbox `mb` is about to run / just ran
-  /// for a message of `bytes` payload from `src_pe`.
-  virtual void on_handler_begin(int mb, int src_pe, std::size_t bytes) = 0;
+  /// for a message of `bytes` payload from `src_pe`. `flow_id` is the id
+  /// assigned at the originating send (0 when flow ids are off).
+  virtual void on_handler_begin(int mb, int src_pe, std::size_t bytes,
+                                std::uint64_t flow_id) = 0;
   virtual void on_handler_end(int mb) = 0;
 
   /// The runtime entered/left conveyor progress work (advance, flush,
   /// delivery, termination detection) on the current PE.
   virtual void on_comm_begin() = 0;
   virtual void on_comm_end() = 0;
+
+  /// Opt in to per-message flow ids. When true, selectors allocate a
+  /// monotonically increasing id per send and conveyors carry it through
+  /// aggregation (8 extra wire bytes per record) so physical transfers and
+  /// remote handlers can be correlated with the logical send. Off by
+  /// default: the wire format — and its tested per-record overhead — is
+  /// unchanged unless a flow-aware observer is installed.
+  [[nodiscard]] virtual bool wants_flow_ids() const { return false; }
 };
 
 void set_actor_observer(ActorObserver* obs);
 ActorObserver* actor_observer();
+
+/// Next process-wide logical-send flow id (1-based; 0 means "no flow").
+/// Raw ids are only required to be unique — exporters renumber densely, so
+/// the counter is never reset.
+std::uint64_t next_flow_id();
 
 }  // namespace ap::actor

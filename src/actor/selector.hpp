@@ -103,6 +103,11 @@ class Selector {
     }
     {
       detail::CommRegion comm;
+      // Flow correlation is an observer decision made at conveyor-creation
+      // time: all PEs run the same profiler config, so this stays
+      // collective-consistent.
+      if (ActorObserver* o = actor_observer())
+        opts_.carry_flow_ids = o->wants_flow_ids();
       for (int k = 0; k < NMB; ++k)
         state_[static_cast<std::size_t>(k)].conveyor =
             convey::Conveyor::create(opts_);
@@ -124,11 +129,14 @@ class Selector {
     if (st.user_done)
       throw std::logic_error("Selector::send after done() on this mailbox");
 
-    if (ActorObserver* o = actor_observer())
-      o->on_send(mb_id, dst_pe, sizeof(MsgT));
+    std::uint64_t flow = 0;
+    if (ActorObserver* o = actor_observer()) {
+      if (st.conveyor->options().carry_flow_ids) flow = next_flow_id();
+      o->on_send(mb_id, dst_pe, sizeof(MsgT), flow);
+    }
     papi::account_message_construct(sizeof(MsgT));
 
-    while (!st.conveyor->push(&msg, dst_pe)) {
+    while (!st.conveyor->push(&msg, dst_pe, flow)) {
       {
         detail::CommRegion comm;
         // Progress EVERY mailbox, not just the blocked one: a peer may be
@@ -225,14 +233,15 @@ class Selector {
       if (!in_dispatch_) {
         MsgT msg;
         int from = -1;
+        std::uint64_t flow = 0;
         for (;;) {
           bool have;
           {
             detail::CommRegion comm;
-            have = st.conveyor->pull(&msg, &from);
+            have = st.conveyor->pull(&msg, &from, &flow);
           }
           if (!have) break;
-          dispatch(k, msg, from);
+          dispatch(k, msg, from, flow);
         }
       }
       if (!still_running) {
@@ -281,22 +290,23 @@ class Selector {
       if (!st.conveyor) continue;
       MsgT msg;
       int from = -1;
+      std::uint64_t flow = 0;
       for (;;) {
         bool have;
         {
           detail::CommRegion comm;
-          have = st.conveyor->pull(&msg, &from);
+          have = st.conveyor->pull(&msg, &from, &flow);
         }
         if (!have) break;
-        dispatch(k, msg, from);
+        dispatch(k, msg, from, flow);
       }
     }
   }
 
-  void dispatch(int mb_id, const MsgT& msg, int from) {
+  void dispatch(int mb_id, const MsgT& msg, int from, std::uint64_t flow = 0) {
     MailboxState& st = state_[static_cast<std::size_t>(mb_id)];
     if (ActorObserver* o = actor_observer())
-      o->on_handler_begin(mb_id, from, sizeof(MsgT));
+      o->on_handler_begin(mb_id, from, sizeof(MsgT), flow);
     papi::account_message_handle(sizeof(MsgT));
     in_dispatch_ = true;
     try {

@@ -12,8 +12,10 @@ namespace ap::convey {
 namespace {
 thread_local TransferObserver* g_observer = nullptr;
 
-void notify(SendType t, std::size_t bytes, int src, int dst) {
-  if (g_observer != nullptr) g_observer->on_transfer(t, bytes, src, dst);
+void notify(SendType t, std::size_t bytes, int src, int dst,
+            std::uint64_t first_flow) {
+  if (g_observer != nullptr)
+    g_observer->on_transfer(t, bytes, src, dst, first_flow);
 }
 }  // namespace
 
@@ -24,6 +26,9 @@ TransferObserver* transfer_observer() { return g_observer; }
 // Wire format: every item travels as a fixed-size record
 //   [int32 final_dst][int32 orig_src][payload item_bytes]
 // so intermediate hops can re-aggregate without understanding the payload.
+// With Options::carry_flow_ids a uint64 flow id rides between the header
+// and the payload:
+//   [int32 final_dst][int32 orig_src][uint64 flow][payload item_bytes]
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -79,6 +84,7 @@ struct Conveyor::Group {
   Options opts;
   shmem::Topology topo;
   Router router;
+  std::size_t flow_bytes;   // 0, or sizeof(uint64) when carrying flow ids
   std::size_t record_bytes;
   std::size_t records_per_buffer;
   std::size_t slot_stride;  // 8-byte length header + payload capacity
@@ -92,10 +98,11 @@ struct Conveyor::Group {
       : opts(o),
         topo(t),
         router(t, o.route),
-        record_bytes(kRecordHeader + o.item_bytes),
+        flow_bytes(o.carry_flow_ids ? sizeof(std::uint64_t) : 0),
+        record_bytes(kRecordHeader + flow_bytes + o.item_bytes),
         records_per_buffer(o.buffer_bytes / record_bytes),
         slot_stride(sizeof(std::int64_t) +
-                    (o.buffer_bytes / record_bytes) * record_bytes) {
+                    records_per_buffer * record_bytes) {
     if (o.item_bytes == 0)
       throw std::invalid_argument("Conveyor: item_bytes must be > 0");
     if (o.slots < 1)
@@ -117,7 +124,8 @@ std::shared_ptr<Conveyor> Conveyor::create(const Options& opts) {
       [&] { return std::make_shared<Group>(opts, topo); });
   if (group->opts.item_bytes != opts.item_bytes ||
       group->opts.buffer_bytes != opts.buffer_bytes ||
-      group->opts.slots != opts.slots)
+      group->opts.slots != opts.slots ||
+      group->opts.carry_flow_ids != opts.carry_flow_ids)
     throw std::logic_error("Conveyor::create: PEs disagree on options");
   return std::shared_ptr<Conveyor>(new Conveyor(group, shmem::my_pe()));
 }
@@ -213,7 +221,7 @@ bool Conveyor::route_into_buffer(const void* record, int dst_pe,
   return true;
 }
 
-bool Conveyor::push(const void* item, int dst_pe) {
+bool Conveyor::push(const void* item, int dst_pe, std::uint64_t flow_id) {
   Group& g = *group_;
   Endpoint& e = *self_;
   if (e.done_reported)
@@ -234,7 +242,9 @@ bool Conveyor::push(const void* item, int dst_pe) {
   const std::int32_t src32 = e.pe;
   std::memcpy(rec, &dst32, sizeof dst32);
   std::memcpy(rec + sizeof dst32, &src32, sizeof src32);
-  std::memcpy(rec + kRecordHeader, item, g.opts.item_bytes);
+  if (g.flow_bytes != 0)
+    std::memcpy(rec + kRecordHeader, &flow_id, sizeof flow_id);
+  std::memcpy(rec + kRecordHeader + g.flow_bytes, item, g.opts.item_bytes);
 
   if (!route_into_buffer(rec, dst_pe, /*is_forward=*/false)) return false;
   e.stats.pushed++;
@@ -273,6 +283,13 @@ bool Conveyor::try_flush(int next_hop) {
   // Never split a record across buffers.
   assert(chunk % g.record_bytes == 0);
 
+  // The flow id of the first aggregated record anchors this physical
+  // transfer to one logical send in the trace (0 when not carried).
+  std::uint64_t first_flow = 0;
+  if (g.flow_bytes != 0)
+    std::memcpy(&first_flow, ob.bytes.data() + ob.head + kRecordHeader,
+                sizeof first_flow);
+
   const std::int64_t seq = e.seq_flushed[hop_idx];  // 0-based buffer index
   const std::size_t slot =
       static_cast<std::size_t>(seq % g.opts.slots);
@@ -302,7 +319,7 @@ bool Conveyor::try_flush(int next_hop) {
     e.seq_published[hop_idx] = seq + 1;
     e.stats.local_sends++;
     e.stats.local_send_bytes += chunk;
-    notify(SendType::local_send, chunk, e.pe, next_hop);
+    notify(SendType::local_send, chunk, e.pe, next_hop, first_flow);
   } else {
     // nonblock_send: stage (nbi source must stay stable until quiet), then
     // shmem_putmem_nbi into the receiver's ring. NOT visible until the
@@ -321,7 +338,7 @@ bool Conveyor::try_flush(int next_hop) {
     e.seq_flushed[hop_idx] = seq + 1;
     e.stats.nonblock_sends++;
     e.stats.nonblock_send_bytes += chunk;
-    notify(SendType::nonblock_send, chunk, e.pe, next_hop);
+    notify(SendType::nonblock_send, chunk, e.pe, next_hop, first_flow);
   }
 
   ob.head += chunk;
@@ -368,7 +385,7 @@ void Conveyor::progress_pending() {
                hop);
     papi::account_signal_put();
     e.seq_published[h] = pub;
-    notify(SendType::nonblock_progress, sizeof pub, e.pe, hop);
+    notify(SendType::nonblock_progress, sizeof pub, e.pe, hop, 0);
   }
 }
 
@@ -424,10 +441,12 @@ void Conveyor::deliver_incoming() {
 
 // -------------------------------------------------------------------- pull
 
-bool Conveyor::pull(void* item, int* from_pe) {
+bool Conveyor::pull(void* item, int* from_pe, std::uint64_t* flow_id) {
   Group& g = *group_;
   Endpoint& e = *self_;
-  const std::size_t rec = sizeof(std::int32_t) + g.opts.item_bytes;
+  // Delivered records keep their wire layout minus the dst field:
+  // [int32 src][flow?][payload].
+  const std::size_t rec = sizeof(std::int32_t) + g.flow_bytes + g.opts.item_bytes;
   if (e.recv.size() - e.recv_head < rec) {
     if (e.recv_head == e.recv.size()) {
       e.recv.clear();
@@ -437,7 +456,10 @@ bool Conveyor::pull(void* item, int* from_pe) {
   }
   std::int32_t src32 = 0;
   std::memcpy(&src32, e.recv.data() + e.recv_head, sizeof src32);
-  std::memcpy(item, e.recv.data() + e.recv_head + sizeof src32,
+  std::uint64_t flow = 0;
+  if (g.flow_bytes != 0)
+    std::memcpy(&flow, e.recv.data() + e.recv_head + sizeof src32, sizeof flow);
+  std::memcpy(item, e.recv.data() + e.recv_head + sizeof src32 + g.flow_bytes,
               g.opts.item_bytes);
   e.stats.memcpys++;
   e.recv_head += rec;
@@ -446,6 +468,7 @@ bool Conveyor::pull(void* item, int* from_pe) {
     e.recv_head = 0;
   }
   if (from_pe != nullptr) *from_pe = src32;
+  if (flow_id != nullptr) *flow_id = flow;
   e.stats.pulled++;
   return true;
 }
@@ -457,6 +480,13 @@ bool Conveyor::advance(bool done) {
   Endpoint& e = *self_;
 
   papi::account_poll();
+  if (g_observer != nullptr) {
+    // Backpressure snapshot before this round moves anything: bytes queued
+    // toward all next hops plus bytes delivered here but not yet pulled.
+    std::size_t out_pending = 0;
+    for (const OutBuf& ob : e.out) out_pending += ob.pending();
+    g_observer->on_advance(out_pending, e.recv.size() - e.recv_head);
+  }
   deliver_incoming();
 
   if (done && !e.done_reported) {

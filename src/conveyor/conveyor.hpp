@@ -48,6 +48,11 @@ struct Options {
   /// Ring slots per directed pair; 2 == the double buffering the paper
   /// describes (quiet fires when the second buffer is needed again).
   int slots = 2;
+  /// Carry a 64-bit flow id per record through aggregation (8 extra wire
+  /// bytes each). Off by default so the baseline wire format — and every
+  /// byte-count users may depend on — is unchanged; the profiler turns it
+  /// on when flow-correlated traces are requested.
+  bool carry_flow_ids = false;
 };
 
 /// Per-endpoint statistics (this PE's view).
@@ -74,11 +79,15 @@ class Conveyor {
 
   /// Try to enqueue one item for PE `dst`. Returns false when aggregation
   /// buffers are full and back-pressure requires an advance() first.
-  bool push(const void* item, int dst_pe);
+  /// `flow_id` is carried with the record iff Options::carry_flow_ids
+  /// (ignored otherwise) and resurfaces at the destination's pull().
+  bool push(const void* item, int dst_pe, std::uint64_t flow_id = 0);
 
   /// Dequeue one delivered item. Returns false when none is available
-  /// right now. `from_pe` receives the original sender.
-  bool pull(void* item, int* from_pe);
+  /// right now. `from_pe` receives the original sender; `flow_id` (when
+  /// non-null) the id given to push, or 0 if the conveyor does not carry
+  /// flow ids.
+  bool pull(void* item, int* from_pe, std::uint64_t* flow_id = nullptr);
 
   /// Make communication progress. `done` declares that this PE will push
   /// no more items. Returns false once the conveyor is globally complete.

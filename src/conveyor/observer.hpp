@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 
 namespace ap::convey {
@@ -27,8 +28,21 @@ class TransferObserver {
  public:
   virtual ~TransferObserver() = default;
   /// A network-level transfer of `buffer_bytes` from `src_pe` to `dst_pe`.
+  /// `first_flow_id` is the flow id of the first aggregated record in the
+  /// buffer (0 when the conveyor is not carrying flow ids) — enough to
+  /// anchor a Send -> Transfer -> Proc chain without scanning the payload.
   virtual void on_transfer(SendType type, std::size_t buffer_bytes,
-                           int src_pe, int dst_pe) = 0;
+                           int src_pe, int dst_pe,
+                           std::uint64_t first_flow_id) = 0;
+  /// Called once per advance() on the calling PE with the bytes currently
+  /// sitting in its outgoing (unflushed + in-flight) and received
+  /// (undelivered) buffers — the backpressure signal the metrics sampler
+  /// tracks. Default no-op so transfer-only observers need no change.
+  virtual void on_advance(std::size_t out_pending_bytes,
+                          std::size_t recv_pending_bytes) {
+    (void)out_pending_bytes;
+    (void)recv_pending_bytes;
+  }
 };
 
 /// Install/read the process-wide (per-thread) observer. The profiler owns

@@ -1,7 +1,9 @@
 #include "core/advisor.hpp"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "core/profiler.hpp"
 
@@ -211,8 +213,98 @@ Report advise(const Profiler& prof, const AdvisorOptions& opts) {
   } catch (const std::invalid_argument&) {
     // TOT_INS not configured; proceed without instruction findings.
   }
-  return advise(prof.logical_matrix(), prof.physical_matrix(), prof.overall(),
-                ins, prof.topo(), opts);
+  Report rep = advise(prof.logical_matrix(), prof.physical_matrix(),
+                      prof.overall(), ins, prof.topo(), opts);
+
+  // Live-metrics findings (only the profiler overload can see them; the
+  // matrix-based core stays file-replayable).
+  if (prof.config().metrics) {
+    // Fold the anomaly stream into one finding per (kind, PE): report the
+    // count and the worst divergence rather than thousands of rows.
+    struct Agg {
+      int count = 0;
+      double worst_ratio = 0.0;
+      double value = 0.0, median = 0.0;
+    };
+    std::map<std::pair<metrics::AnomalyKind, int>, Agg> by_pe;
+    for (const metrics::Anomaly& a : prof.anomalies().items()) {
+      Agg& g = by_pe[{a.kind, a.pe}];
+      g.count++;
+      const double ratio =
+          a.fleet_median > 0 ? a.value / a.fleet_median : a.value;
+      if (ratio > g.worst_ratio) {
+        g.worst_ratio = ratio;
+        g.value = a.value;
+        g.median = a.fleet_median;
+      }
+    }
+    for (const auto& [key, g] : by_pe) {
+      const auto [kind, pe] = key;
+      Finding f;
+      f.subject = pe;
+      f.metric = g.worst_ratio;
+      f.severity = g.worst_ratio >= opts.imbalance_warning
+                       ? Finding::Severity::warning
+                       : Finding::Severity::notice;
+      std::ostringstream msg;
+      if (kind == metrics::AnomalyKind::ProcBacklog) {
+        f.kind = Finding::Kind::Straggler;
+        msg << "PE" << pe << " fell behind in " << g.count
+            << " sample(s): unprocessed backlog peaked at " << g.value
+            << " messages vs a fleet median of " << g.median;
+        f.recommendation =
+            "Rebalance the data distribution feeding this PE, or cut its "
+            "handler cost — the fleet is waiting on its PROC queue.";
+      } else {
+        f.kind = Finding::Kind::Backpressure;
+        msg << "PE" << pe << " was communication-bound in " << g.count
+            << " sample(s): COMM share peaked at " << g.value / 10.0
+            << "% vs a fleet median of " << g.median / 10.0 << "%";
+        f.recommendation =
+            "This PE stalls on aggregation buffers/quiet; grow "
+            "buffer_bytes or spread its destinations to relieve "
+            "backpressure.";
+      }
+      f.message = msg.str();
+      rep.findings.push_back(std::move(f));
+    }
+
+    // Self-overhead share relative to the busiest PE's measured cycles.
+    std::uint64_t max_total = 0;
+    for (const OverallRecord& r : prof.overall())
+      max_total = std::max(max_total, r.t_total);
+    const std::uint64_t own = prof.self_overhead().grand_total();
+    if (max_total > 0 && own > 0) {
+      const double share =
+          static_cast<double>(own) / static_cast<double>(max_total);
+      if (share >= opts.overhead_notice) {
+        Finding f;
+        f.kind = Finding::Kind::ProfilerOverhead;
+        f.severity = share >= opts.overhead_warning
+                         ? Finding::Severity::warning
+                         : Finding::Severity::notice;
+        f.metric = share;
+        std::ostringstream msg;
+        msg << "ActorProf itself consumed " << own << " cycles ("
+            << share * 100.0 << "% of the busiest PE)";
+        f.message = msg.str();
+        f.recommendation =
+            "Raise ACTORPROF_METRICS_INTERVAL_MS, disable per-event "
+            "retention (keep_*_events), or sample (sample_every) to cut "
+            "instrumentation cost.";
+        rep.findings.push_back(std::move(f));
+      }
+    }
+
+    std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                       if (a.severity != b.severity)
+                         return static_cast<int>(a.severity) >
+                                static_cast<int>(b.severity);
+                       return a.metric > b.metric;
+                     });
+  }
+  return rep;
 }
 
 std::string format_report(const Report& report) {

@@ -31,7 +31,11 @@ struct Finding {
     LowerTriangularShape,  ///< the "(L) observation" (range-style dist)
     NodeHotspot,        ///< one node sources/sinks most network traffic
     HeavySelfTraffic,   ///< self-sends dominate (conveyor still pays copies)
-    SmallBufferThrash   ///< many tiny physical transfers per message
+    SmallBufferThrash,  ///< many tiny physical transfers per message
+    // Live-metrics findings (Config::metrics; profiler overload only):
+    Straggler,          ///< online detector flagged a PROC backlog outlier
+    Backpressure,       ///< online detector flagged a COMM-share outlier
+    ProfilerOverhead    ///< ActorProf's own cost is a notable share of MAIN
   };
   Kind kind;
   Severity severity;
@@ -54,6 +58,10 @@ struct AdvisorOptions {
   /// Average messages per physical buffer below which aggregation is
   /// considered ineffective.
   double thrash_msgs_per_buffer = 4.0;
+  /// Self-overhead as a share of the busiest PE's total cycles: notice and
+  /// warning thresholds for the ProfilerOverhead finding.
+  double overhead_notice = 0.02;
+  double overhead_warning = 0.10;
 };
 
 struct Report {

@@ -1,10 +1,14 @@
 #include "core/chrome_trace.hpp"
 
+#include <cstdint>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <stdexcept>
+#include <vector>
 
 #include "core/profiler.hpp"
+#include "metrics/sampler.hpp"
 
 namespace ap::prof {
 
@@ -32,6 +36,41 @@ void instant_event(std::ostream& os, bool& first, const char* name,
   os << R"({"name":")" << name << R"(","ph":"i","s":"t","ts":)" << ts
      << R"(,"pid":)" << pid << R"(,"tid":)" << tid << R"(,"args":{"dst_pe":)"
      << dst << R"(,"bytes":)" << bytes << "}}";
+}
+
+/// One point of a flow chain: where (node/PE rows) and when it was seen.
+struct FlowPoint {
+  double ts = 0;
+  int node = 0;
+  int pe = 0;
+};
+
+void flow_event(std::ostream& os, bool& first, char phase, int id,
+                const FlowPoint& p) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"name":"msg","cat":"flow","ph":")" << phase << R"(","id":)" << id
+     << R"(,"ts":)" << p.ts << R"(,"pid":)" << p.node << R"(,"tid":)" << p.pe;
+  // Binding point "enclosing slice" lets the arrow land on the PROC box.
+  if (phase == 'f') os << R"(,"bp":"e")";
+  os << '}';
+}
+
+/// ph:"C" counter sample: one args key per PE of the node.
+void counter_event(std::ostream& os, bool& first, const char* name, double ts,
+                   int node, const std::vector<std::pair<int, std::int64_t>>&
+                                  pe_values) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"name":")" << name << R"(","ph":"C","ts":)" << ts
+     << R"(,"pid":)" << node << R"(,"tid":0,"args":{)";
+  bool f2 = true;
+  for (const auto& [pe, v] : pe_values) {
+    if (!f2) os << ',';
+    f2 = false;
+    os << "\"pe" << pe << "\":" << v;
+  }
+  os << "}}";
 }
 
 }  // namespace
@@ -77,6 +116,70 @@ void write_chrome_trace(std::ostream& os, const Profiler& prof) {
         case TimelineEvent::Kind::Transfer:
           instant_event(os, first, "transfer", ts, node, pe, e.arg0, e.arg1);
           break;
+      }
+    }
+  }
+
+  // ---- flow correlation: Send -> Transfer* -> Proc ------------------------
+  // Collect where each flow id was seen. Raw ids are process-wide and never
+  // reset, so renumber densely in send order — the exported file is then
+  // identical across runs of a deterministic workload.
+  std::map<std::uint64_t, FlowPoint> send_of, proc_of;
+  std::map<std::uint64_t, std::vector<FlowPoint>> steps_of;
+  std::vector<std::uint64_t> send_order;
+  for (int pe = 0; pe < prof.num_pes(); ++pe) {
+    const int node = prof.topo().node_of(pe);
+    for (const TimelineEvent& e : prof.timeline(pe)) {
+      if (e.flow == 0) continue;
+      const FlowPoint p{to_us(e.ts, t0), node, pe};
+      switch (e.kind) {
+        case TimelineEvent::Kind::Send:
+          if (send_of.emplace(e.flow, p).second) send_order.push_back(e.flow);
+          break;
+        case TimelineEvent::Kind::Transfer:
+          steps_of[e.flow].push_back(p);
+          break;
+        case TimelineEvent::Kind::BeginProc:
+          proc_of.emplace(e.flow, p);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  int dense_id = 0;
+  for (std::uint64_t flow : send_order) {
+    // Only complete chains: an s without its f renders as a dangling arrow.
+    auto proc = proc_of.find(flow);
+    if (proc == proc_of.end()) continue;
+    const int id = dense_id++;
+    flow_event(os, first, 's', id, send_of.at(flow));
+    if (auto steps = steps_of.find(flow); steps != steps_of.end())
+      for (const FlowPoint& p : steps->second) flow_event(os, first, 't', id, p);
+    flow_event(os, first, 'f', id, proc->second);
+  }
+
+  // ---- counter tracks from the metrics sampler ----------------------------
+  const metrics::SampleRing& ring = prof.metric_samples();
+  const int s_queue = prof.queue_depth_series();
+  const int s_flight = prof.bytes_in_flight_series();
+  if (ring.size() > 0 && s_queue >= 0) {
+    // Group PEs by node so each node gets one multi-series track.
+    std::map<int, std::vector<int>> pes_of_node;
+    for (int pe = 0; pe < ring.num_pes(); ++pe)
+      pes_of_node[prof.topo().node_of(pe)].push_back(pe);
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const double ts = to_us(ring.at(i).t_cycles, t0);
+      for (const auto& [node, pes] : pes_of_node) {
+        std::vector<std::pair<int, std::int64_t>> queue, flight;
+        for (int pe : pes) {
+          queue.emplace_back(
+              pe, ring.value(i, pe, static_cast<std::size_t>(s_queue)));
+          flight.emplace_back(
+              pe, ring.value(i, pe, static_cast<std::size_t>(s_flight)));
+        }
+        counter_event(os, first, "queue_depth", ts, node, queue);
+        counter_event(os, first, "bytes_in_flight", ts, node, flight);
       }
     }
   }

@@ -34,6 +34,11 @@ struct TimelineEvent {
   std::uint64_t ts;   ///< virtual cycles (or rdtsc) at the event
   std::int32_t arg0 = 0;  ///< dst PE for Send/Transfer; mailbox otherwise
   std::int32_t arg1 = 0;  ///< bytes for Transfer; 0 otherwise
+  /// Logical-send flow id (0 = none). Set on Send (the id allocated for
+  /// that send), Transfer (first aggregated record in the buffer) and
+  /// BeginProc (the id the handled message carried); the exporter turns
+  /// matching ids into ph:"s"/"t"/"f" flow events.
+  std::uint64_t flow = 0;
 };
 
 /// Serialize the timelines of every PE to trace-event JSON.

@@ -57,8 +57,28 @@ struct Config {
   std::size_t sample_every = 1;
 
   /// Record per-PE timelines (region transitions + instant send/transfer
-  /// events) for Google Trace Events export (§VI future work).
+  /// events) for Google Trace Events export (§VI future work). Also turns
+  /// on flow-id carriage so the Chrome trace links Send -> Transfer ->
+  /// Proc with ph:"s"/"t"/"f" flow events.
   bool timeline = false;
+
+  /// Live metrics registry + periodic sampler: per-PE counters/gauges/
+  /// histograms across the actor, conveyor, and shmem layers, snapshotted
+  /// every metrics_interval_virtual_ms of virtual time, with online
+  /// straggler/backpressure detection and Prometheus/JSON exposition via
+  /// Profiler::write_metrics(). Deliberately NOT part of all_enabled():
+  /// self-overhead metering uses wall-clock rdtsc, which would break the
+  /// byte-identical determinism the trace files guarantee.
+  bool metrics = false;
+  /// Sampler cadence in virtual milliseconds (1 virtual ms = 1e6 cycles of
+  /// the simulated cost model). Must be > 0.
+  double metrics_interval_virtual_ms = 1.0;
+  /// Bounded snapshot ring per metric series; the oldest samples are
+  /// overwritten once full. Must be > 0.
+  std::size_t metrics_ring_capacity = 256;
+  /// A PE is flagged as straggling/backpressured when its sampled value
+  /// exceeds this multiple of the fleet median. Must be >= 1.
+  double metrics_straggler_factor = 2.0;
 
   /// The PAPI events recorded per segment (≤ 4 — the PAPI limitation the
   /// paper calls out). The case study uses PAPI_TOT_INS + PAPI_LST_INS.
@@ -81,8 +101,18 @@ struct Config {
   }
 
   /// Defaults from the compile-time macros, then environment overrides:
-  /// ACTORPROF_TRACE, ACTORPROF_PAPI, ACTORPROF_TCOMM_PROFILING,
-  /// ACTORPROF_TRACE_PHYSICAL (0/1), ACTORPROF_TRACE_DIR (path).
+  ///   ACTORPROF_TRACE, ACTORPROF_PAPI, ACTORPROF_TCOMM_PROFILING,
+  ///   ACTORPROF_TRACE_PHYSICAL (0/1)      — trace kinds (lenient parse,
+  ///                                         kept for back-compat)
+  ///   ACTORPROF_TRACE_DIR (path)          — output directory
+  ///   ACTORPROF_TIMELINE (0/1)            — Chrome timeline + flow events
+  ///   ACTORPROF_METRICS (0/1)             — live metrics registry/sampler
+  ///   ACTORPROF_METRICS_INTERVAL_MS (>0)  — sampler cadence, virtual ms
+  ///   ACTORPROF_METRICS_RING (>0 int)     — snapshot ring capacity
+  ///   ACTORPROF_METRICS_STRAGGLER_FACTOR (>=1) — anomaly threshold
+  /// The ACTORPROF_METRICS*/ACTORPROF_TIMELINE variables are parsed
+  /// strictly: a malformed or out-of-range value throws
+  /// std::invalid_argument naming the variable and the offending text.
   static Config from_env();
 };
 

@@ -1,6 +1,9 @@
 #include "core/profiler.hpp"
 
-#include <cstdlib>
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
 #include <stdexcept>
 
 #include "core/trace_io.hpp"
@@ -11,33 +14,94 @@
 namespace ap::prof {
 
 namespace {
-bool env_flag(const char* name, bool fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  return v[0] != '0' && v[0] != '\0';
-}
-}  // namespace
+using metrics::OverheadCategory;
 
-Config Config::from_env() {
-  Config c;
-  c.logical = env_flag("ACTORPROF_TRACE", c.logical);
-  c.papi = env_flag("ACTORPROF_PAPI", c.papi);
-  c.overall = env_flag("ACTORPROF_TCOMM_PROFILING", c.overall);
-  c.physical = env_flag("ACTORPROF_TRACE_PHYSICAL", c.physical);
-  if (const char* dir = std::getenv("ACTORPROF_TRACE_DIR")) c.trace_dir = dir;
-  return c;
-}
+/// Detector floors: a PE is only flagged when it diverges by at least this
+/// much in absolute terms, so near-idle fleets do not spam findings.
+constexpr double kMinBacklogAbs = 8.0;    // messages
+constexpr double kMinCommShareAbs = 100.0;  // milli-units = 10 points
+}  // namespace
 
 Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {
   prev_actor_obs_ = actor::actor_observer();
   prev_transfer_obs_ = convey::transfer_observer();
   actor::set_actor_observer(this);
   convey::set_transfer_observer(this);
+  if (cfg_.metrics) {
+    register_metrics();
+    prev_rma_obs_ = shmem::rma_observer();
+    shmem::set_rma_observer(this);
+    prev_tick_ = rt::set_tick_hook([this] { tick(); });
+    tick_installed_ = true;
+  }
 }
 
 Profiler::~Profiler() {
   actor::set_actor_observer(prev_actor_obs_);
   convey::set_transfer_observer(prev_transfer_obs_);
+  if (cfg_.metrics) shmem::set_rma_observer(prev_rma_obs_);
+  if (tick_installed_) rt::set_tick_hook(std::move(prev_tick_));
+}
+
+void Profiler::register_metrics() {
+  // Registered once here, bound in ensure_world(); every hot-path update
+  // after that is an array write (see metrics/registry.hpp).
+  ids_.actor_sends = registry_.add_counter(
+      "actorprof_actor_sends_total", "Logical sends before aggregation");
+  ids_.actor_send_bytes = registry_.add_counter(
+      "actorprof_actor_send_bytes_total", "Payload bytes of logical sends");
+  ids_.actor_handlers = registry_.add_counter(
+      "actorprof_actor_handlers_total", "Messages handled (PROC entries)");
+  ids_.conveyor_advances = registry_.add_counter(
+      "actorprof_conveyor_advances_total", "Conveyor advance() calls");
+  ids_.conveyor_transfers = registry_.add_counter(
+      "actorprof_conveyor_transfers_total",
+      "Physical buffer transfers (local_send + nonblock_send)");
+  ids_.conveyor_transfer_bytes = registry_.add_counter(
+      "actorprof_conveyor_transfer_bytes_total",
+      "Bytes moved by physical buffer transfers");
+  ids_.shmem_puts = registry_.add_counter("actorprof_shmem_puts_total",
+                                          "Blocking shmem_put calls");
+  ids_.shmem_put_bytes = registry_.add_counter(
+      "actorprof_shmem_put_bytes_total", "Bytes moved by blocking puts");
+  ids_.shmem_nbi_puts = registry_.add_counter(
+      "actorprof_shmem_nbi_puts_total", "Non-blocking shmem_putmem_nbi calls");
+  ids_.shmem_nbi_put_bytes = registry_.add_counter(
+      "actorprof_shmem_nbi_put_bytes_total",
+      "Bytes staged by non-blocking puts");
+  ids_.shmem_gets = registry_.add_counter("actorprof_shmem_gets_total",
+                                          "shmem_get calls");
+  ids_.shmem_quiets = registry_.add_counter("actorprof_shmem_quiets_total",
+                                            "shmem_quiet calls");
+  ids_.shmem_barriers = registry_.add_counter(
+      "actorprof_shmem_barriers_total", "shmem_barrier_all calls");
+  ids_.shmem_atomics = registry_.add_counter("actorprof_shmem_atomics_total",
+                                             "shmem atomic operations");
+  ids_.queue_depth = registry_.add_gauge(
+      "actorprof_actor_queue_depth",
+      "Messages sent to this PE and not yet handled (PROC backlog)");
+  ids_.out_pending_bytes = registry_.add_gauge(
+      "actorprof_conveyor_out_pending_bytes",
+      "Bytes waiting in this PE's outgoing aggregation buffers");
+  ids_.recv_pending_bytes = registry_.add_gauge(
+      "actorprof_conveyor_recv_pending_bytes",
+      "Bytes delivered to this PE and not yet pulled");
+  ids_.bytes_in_flight = registry_.add_gauge(
+      "actorprof_shmem_put_bytes_in_flight",
+      "Bytes staged by putmem_nbi and not yet completed by quiet");
+  ids_.comm_share_milli = registry_.add_gauge(
+      "actorprof_comm_share_milli",
+      "COMM share of this PE's cycles so far, in 1/1000 units");
+  ids_.msg_bytes = registry_.add_histogram("actorprof_actor_msg_bytes",
+                                           "Logical message payload sizes");
+  ids_.transfer_bytes = registry_.add_histogram(
+      "actorprof_conveyor_transfer_bytes",
+      "Physical transfer buffer sizes");
+  // Scalar rows are laid out counters-first, then gauges.
+  const int num_counters =
+      static_cast<int>(registry_.num_scalars()) - 5 /* gauges above */;
+  ids_.s_queue_depth = num_counters + ids_.queue_depth.i;
+  ids_.s_bytes_in_flight = num_counters + ids_.bytes_in_flight.i;
 }
 
 void Profiler::ensure_world() {
@@ -46,6 +110,17 @@ void Profiler::ensure_world() {
     topo_known_ = true;
     pes_.clear();
     pes_.resize(static_cast<std::size_t>(topo_.num_pes()));
+    if (cfg_.metrics) {
+      const int n = topo_.num_pes();
+      registry_.bind(n);
+      ring_.bind(n, registry_.num_scalars(), cfg_.metrics_ring_capacity);
+      meter_.bind(n);
+      sample_scratch_.assign(
+          static_cast<std::size_t>(n) * registry_.num_scalars(), 0);
+      detect_scratch_.assign(static_cast<std::size_t>(n), 0.0);
+      have_sample_baseline_ = false;
+      last_sample_cycles_ = 0;
+    }
   }
 }
 
@@ -115,7 +190,9 @@ void Profiler::fold(PeData& d) {
   d.last_cycles = now;
 
   const Region r = d.region_stack.back();
-  if (cfg_.overall) {
+  // The metrics sampler derives COMM share from the same buckets, so keep
+  // them warm whenever either consumer is on.
+  if (cfg_.overall || cfg_.metrics) {
     switch (r) {
       case Region::Main: d.t_main += dt; break;
       case Region::Proc: d.t_proc += dt; break;
@@ -152,13 +229,24 @@ void Profiler::fold(PeData& d) {
 
 // ----------------------------------------------------------- ActorObserver
 
-void Profiler::on_send(int mb, int dst_pe, std::size_t bytes) {
+void Profiler::on_send(int mb, int dst_pe, std::size_t bytes,
+                       std::uint64_t flow_id) {
   if (!rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(cfg_.metrics ? &meter_ : nullptr,
+                                     OverheadCategory::actor_send,
+                                     rt::my_pe());
   PeData& d = pe_data();
   if (!d.in_epoch) return;
   fold(d);
 
   const int me = rt::my_pe();
+  if (cfg_.metrics) {
+    registry_.add(me, ids_.actor_sends);
+    registry_.add(me, ids_.actor_send_bytes, bytes);
+    registry_.observe(me, ids_.msg_bytes, bytes);
+    // The destination's backlog grows until its handler runs.
+    registry_.add(dst_pe, ids_.queue_depth, 1);
+  }
   if (cfg_.logical) {
     d.logical_row[static_cast<std::size_t>(dst_pe)]++;
     const bool sampled =
@@ -177,7 +265,8 @@ void Profiler::on_send(int mb, int dst_pe, std::size_t bytes) {
        d.events.size() < cfg_.max_events_per_pe)) {
     d.events.push_back(TimelineEvent{TimelineEvent::Kind::Send,
                                      d.last_cycles, dst_pe,
-                                     static_cast<std::int32_t>(bytes)});
+                                     static_cast<std::int32_t>(bytes),
+                                     flow_id});
   }
   if (cfg_.papi && d.region_stack.back() == Region::Main) {
     d.pending_main = MainRowKey{mb, dst_pe};
@@ -193,14 +282,23 @@ void Profiler::on_send(int mb, int dst_pe, std::size_t bytes) {
   }
 }
 
-void Profiler::on_handler_begin(int mb, int src_pe, std::size_t bytes) {
+void Profiler::on_handler_begin(int mb, int src_pe, std::size_t bytes,
+                                std::uint64_t flow_id) {
   (void)src_pe;
   if (!rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(cfg_.metrics ? &meter_ : nullptr,
+                                     OverheadCategory::actor_handler,
+                                     rt::my_pe());
   PeData& d = pe_data();
   if (!d.in_epoch) return;
   fold(d);
   d.region_stack.push_back(Region::Proc);
   d.cur_handler_mb = mb;
+  if (cfg_.metrics) {
+    const int me = rt::my_pe();
+    registry_.add(me, ids_.actor_handlers);
+    registry_.add(me, ids_.queue_depth, -1);
+  }
   if (cfg_.papi) {
     RowAgg& row = d.proc_rows[mb];
     row.num++;
@@ -209,13 +307,16 @@ void Profiler::on_handler_begin(int mb, int src_pe, std::size_t bytes) {
   if (cfg_.timeline &&
       (cfg_.max_events_per_pe == 0 ||
        d.events.size() < cfg_.max_events_per_pe))
-    d.events.push_back(
-        TimelineEvent{TimelineEvent::Kind::BeginProc, d.last_cycles, mb, 0});
+    d.events.push_back(TimelineEvent{TimelineEvent::Kind::BeginProc,
+                                     d.last_cycles, mb, 0, flow_id});
 }
 
 void Profiler::on_handler_end(int mb) {
   (void)mb;
   if (!rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(cfg_.metrics ? &meter_ : nullptr,
+                                     OverheadCategory::actor_handler,
+                                     rt::my_pe());
   PeData& d = pe_data();
   if (!d.in_epoch) return;
   fold(d);
@@ -231,6 +332,9 @@ void Profiler::on_handler_end(int mb) {
 
 void Profiler::on_comm_begin() {
   if (!rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(cfg_.metrics ? &meter_ : nullptr,
+                                     OverheadCategory::comm_region,
+                                     rt::my_pe());
   PeData& d = pe_data();
   if (!d.in_epoch) return;
   fold(d);
@@ -244,6 +348,9 @@ void Profiler::on_comm_begin() {
 
 void Profiler::on_comm_end() {
   if (!rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(cfg_.metrics ? &meter_ : nullptr,
+                                     OverheadCategory::comm_region,
+                                     rt::my_pe());
   PeData& d = pe_data();
   if (!d.in_epoch) return;
   fold(d);
@@ -259,11 +366,21 @@ void Profiler::on_comm_end() {
 // -------------------------------------------------------- TransferObserver
 
 void Profiler::on_transfer(convey::SendType type, std::size_t buffer_bytes,
-                           int src_pe, int dst_pe) {
-  if (!cfg_.physical && !cfg_.timeline) return;
+                           int src_pe, int dst_pe,
+                           std::uint64_t first_flow_id) {
+  if (!cfg_.physical && !cfg_.timeline && !cfg_.metrics) return;
   if (!rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(cfg_.metrics ? &meter_ : nullptr,
+                                     OverheadCategory::transfer,
+                                     rt::my_pe());
   PeData& d = pe_data();
   if (!d.in_epoch) return;
+  if (cfg_.metrics && type != convey::SendType::nonblock_progress) {
+    const int me = rt::my_pe();
+    registry_.add(me, ids_.conveyor_transfers);
+    registry_.add(me, ids_.conveyor_transfer_bytes, buffer_bytes);
+    registry_.observe(me, ids_.transfer_bytes, buffer_bytes);
+  }
   if (cfg_.physical) {
     switch (type) {
       case convey::SendType::local_send:
@@ -291,8 +408,160 @@ void Profiler::on_transfer(convey::SendType type, std::size_t buffer_bytes,
        d.events.size() < cfg_.max_events_per_pe)) {
     d.events.push_back(TimelineEvent{
         TimelineEvent::Kind::Transfer, papi::cycles_now(), dst_pe,
-        static_cast<std::int32_t>(buffer_bytes)});
+        static_cast<std::int32_t>(buffer_bytes), first_flow_id});
   }
+}
+
+void Profiler::on_advance(std::size_t out_pending_bytes,
+                          std::size_t recv_pending_bytes) {
+  if (!cfg_.metrics) return;
+  if (!rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::transfer,
+                                     rt::my_pe());
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  const int me = rt::my_pe();
+  registry_.add(me, ids_.conveyor_advances);
+  registry_.set(me, ids_.out_pending_bytes,
+                static_cast<std::int64_t>(out_pending_bytes));
+  registry_.set(me, ids_.recv_pending_bytes,
+                static_cast<std::int64_t>(recv_pending_bytes));
+}
+
+// ------------------------------------------------------------- RmaObserver
+
+void Profiler::on_put(int target_pe, std::size_t bytes) {
+  (void)target_pe;
+  if (!cfg_.metrics || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::rma,
+                                     rt::my_pe());
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  const int me = rt::my_pe();
+  registry_.add(me, ids_.shmem_puts);
+  registry_.add(me, ids_.shmem_put_bytes, bytes);
+}
+
+void Profiler::on_put_nbi(int target_pe, std::size_t bytes) {
+  (void)target_pe;
+  if (!cfg_.metrics || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::rma,
+                                     rt::my_pe());
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  const int me = rt::my_pe();
+  registry_.add(me, ids_.shmem_nbi_puts);
+  registry_.add(me, ids_.shmem_nbi_put_bytes, bytes);
+  registry_.add(me, ids_.bytes_in_flight,
+                static_cast<std::int64_t>(bytes));
+}
+
+void Profiler::on_get(int target_pe, std::size_t bytes) {
+  (void)target_pe;
+  (void)bytes;
+  if (!cfg_.metrics || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::rma,
+                                     rt::my_pe());
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  registry_.add(rt::my_pe(), ids_.shmem_gets);
+}
+
+void Profiler::on_quiet(std::size_t outstanding_puts) {
+  (void)outstanding_puts;
+  if (!cfg_.metrics || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::rma,
+                                     rt::my_pe());
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  const int me = rt::my_pe();
+  registry_.add(me, ids_.shmem_quiets);
+  // quiet() completes every outstanding non-blocking put of this PE.
+  registry_.set(me, ids_.bytes_in_flight, 0);
+}
+
+void Profiler::on_barrier() {
+  if (!cfg_.metrics || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::rma,
+                                     rt::my_pe());
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  registry_.add(rt::my_pe(), ids_.shmem_barriers);
+}
+
+void Profiler::on_atomic(int target_pe) {
+  (void)target_pe;
+  if (!cfg_.metrics || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::rma,
+                                     rt::my_pe());
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  registry_.add(rt::my_pe(), ids_.shmem_atomics);
+}
+
+// -------------------------------------------------------- sampler tick hook
+
+void Profiler::tick() {
+  // Chain whatever hook was installed before us (observer discipline).
+  if (prev_tick_) prev_tick_();
+  if (!cfg_.metrics || !registry_.bound()) return;
+
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::sampler,
+                                     metrics::OverheadMeter::kGlobalSlot);
+
+  // Fleet virtual time: the farthest any in-epoch PE has advanced. The
+  // tick runs outside PE context, so per-PE cycle stamps are the only
+  // clock available — exactly the data the fold keeps fresh.
+  std::uint64_t t = 0;
+  bool any_in_epoch = false;
+  for (const PeData& d : pes_) {
+    if (!d.in_epoch) continue;
+    any_in_epoch = true;
+    t = std::max(t, d.last_cycles);
+  }
+  if (!any_in_epoch) return;
+
+  if (!have_sample_baseline_) {
+    have_sample_baseline_ = true;
+    last_sample_cycles_ = t;
+    return;
+  }
+  const auto interval = static_cast<std::uint64_t>(
+      cfg_.metrics_interval_virtual_ms *
+      static_cast<double>(metrics::kCyclesPerVirtualMs));
+  if (t - last_sample_cycles_ < std::max<std::uint64_t>(interval, 1)) return;
+  last_sample_cycles_ = t;
+
+  // Refresh the derived COMM-share gauge from the fold buckets, then
+  // snapshot every scalar series into the ring.
+  const int n = registry_.num_pes();
+  for (int pe = 0; pe < n; ++pe) {
+    const PeData& d = pes_[static_cast<std::size_t>(pe)];
+    const std::uint64_t busy = d.t_main + d.t_proc + d.t_comm;
+    const std::int64_t share =
+        busy == 0 ? 0
+                  : static_cast<std::int64_t>(1000 * d.t_comm / busy);
+    registry_.set(pe, ids_.comm_share_milli, share);
+  }
+  registry_.snapshot_scalars(sample_scratch_.data());
+  ring_.push(t, sample_scratch_.data());
+
+  // Online detection against the fleet median, on the freshest values.
+  auto detect = [&](metrics::GaugeId g, metrics::AnomalyKind kind,
+                    double min_abs) {
+    for (int pe = 0; pe < n; ++pe)
+      detect_scratch_[static_cast<std::size_t>(pe)] =
+          static_cast<double>(registry_.value(pe, g));
+    const double med = metrics::median(detect_scratch_);
+    for (int pe : metrics::diverging_pes(
+             detect_scratch_, cfg_.metrics_straggler_factor, min_abs)) {
+      anomalies_.record(metrics::Anomaly{
+          kind, pe, t, detect_scratch_[static_cast<std::size_t>(pe)], med});
+    }
+  };
+  detect(ids_.queue_depth, metrics::AnomalyKind::ProcBacklog, kMinBacklogAbs);
+  detect(ids_.comm_share_milli, metrics::AnomalyKind::CommShare,
+         kMinCommShareAbs);
 }
 
 // ------------------------------------------------------------------ results
@@ -409,11 +678,103 @@ std::vector<PapiSegmentRecord> Profiler::papi_segments(int pe) const {
   return out;
 }
 
+// ------------------------------------------------------------ live metrics
+
+int Profiler::queue_depth_series() const {
+  return cfg_.metrics ? ids_.s_queue_depth : -1;
+}
+
+int Profiler::bytes_in_flight_series() const {
+  return cfg_.metrics ? ids_.s_bytes_in_flight : -1;
+}
+
+void Profiler::write_metrics_prometheus(std::ostream& os) const {
+  registry_.write_prometheus(os);
+  if (!meter_.bound()) return;
+  os << "# HELP actorprof_self_overhead_cycles_total Wall rdtsc cycles "
+        "spent inside ActorProf's own instrumentation\n"
+     << "# TYPE actorprof_self_overhead_cycles_total counter\n";
+  for (int pe = -1; pe < meter_.num_pes(); ++pe) {
+    const int slot = pe < 0 ? metrics::OverheadMeter::kGlobalSlot : pe;
+    for (int c = 0; c < metrics::kOverheadCategories; ++c) {
+      const auto cat = static_cast<metrics::OverheadCategory>(c);
+      const std::uint64_t v = meter_.cycles(slot, cat);
+      if (v == 0) continue;
+      os << "actorprof_self_overhead_cycles_total{pe=\""
+         << (pe < 0 ? std::string("fleet") : std::to_string(pe))
+         << "\",category=\"" << metrics::to_string(cat) << "\"} " << v
+         << "\n";
+    }
+  }
+}
+
+void Profiler::write_metrics_json(std::ostream& os) const {
+  os << "{\n\"metrics\": ";
+  registry_.write_json(os);
+  os << ",\n\"samples\": {\"count\": " << ring_.size()
+     << ", \"capacity\": " << ring_.capacity()
+     << ", \"overwritten\": " << ring_.overwritten()
+     << ", \"interval_virtual_ms\": " << cfg_.metrics_interval_virtual_ms
+     << "}";
+  os << ",\n\"anomalies\": [";
+  bool first = true;
+  for (const metrics::Anomaly& a : anomalies_.items()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"kind\": \"" << metrics::to_string(a.kind)
+       << "\", \"pe\": " << a.pe << ", \"t_cycles\": " << a.t_cycles
+       << ", \"value\": " << a.value
+       << ", \"fleet_median\": " << a.fleet_median << "}";
+  }
+  os << "]";
+  if (anomalies_.dropped() > 0)
+    os << ",\n\"anomalies_dropped\": " << anomalies_.dropped();
+  os << ",\n\"self_overhead_cycles\": {";
+  first = true;
+  for (int c = 0; c < metrics::kOverheadCategories; ++c) {
+    const auto cat = static_cast<metrics::OverheadCategory>(c);
+    std::uint64_t total = 0;
+    if (meter_.bound()) {
+      total = meter_.cycles(metrics::OverheadMeter::kGlobalSlot, cat);
+      for (int pe = 0; pe < meter_.num_pes(); ++pe)
+        total += meter_.cycles(pe, cat);
+    }
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << metrics::to_string(cat) << "\": " << total;
+  }
+  os << ", \"total\": " << meter_.grand_total() << "}\n}\n";
+}
+
+void Profiler::write_metrics() const {
+  std::filesystem::create_directories(cfg_.trace_dir);
+  {
+    std::ofstream os(cfg_.trace_dir / "metrics.prom");
+    if (!os)
+      throw std::runtime_error("write_metrics: cannot open metrics.prom");
+    write_metrics_prometheus(os);
+  }
+  {
+    std::ofstream os(cfg_.trace_dir / "metrics.json");
+    if (!os)
+      throw std::runtime_error("write_metrics: cannot open metrics.json");
+    write_metrics_json(os);
+  }
+}
+
 void Profiler::write_traces() const { io::write_all(*this, cfg_); }
 
 void Profiler::clear() {
   pes_.clear();
   topo_known_ = false;
+  if (cfg_.metrics) {
+    if (registry_.bound()) registry_.reset_values();
+    ring_.clear();
+    anomalies_.clear();
+    meter_.reset();
+    have_sample_baseline_ = false;
+    last_sample_cycles_ = 0;
+  }
 }
 
 }  // namespace ap::prof

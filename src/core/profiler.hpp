@@ -1,15 +1,23 @@
 // The ActorProf profiler (paper §III, Figure 2).
 //
 // One Profiler instance observes a whole SPMD launch. It implements the
-// two instrumentation seams of the stack —
-//   * actor::ActorObserver   : logical sends, MAIN/PROC/COMM regions,
-//                              per-segment PAPI deltas,
-//   * convey::TransferObserver: physical transfers
+// three instrumentation seams of the stack —
+//   * actor::ActorObserver    : logical sends, MAIN/PROC/COMM regions,
+//                               per-segment PAPI deltas,
+//   * convey::TransferObserver: physical transfers + buffer occupancy,
+//   * shmem::RmaObserver      : put/put_nbi/quiet counts (live metrics)
 // — and accumulates, per PE:
 //   1. the logical trace (§III-A)            -> PEi_send.csv
 //   2. PAPI segment records (§III-A)         -> PEi_PAPI.csv
 //   3. the overall rdtsc breakdown (§III-B)  -> overall.txt
 //   4. the physical trace (§III-C)           -> physical.txt
+//   5. live metrics (Config::metrics)        -> metrics.prom / metrics.json
+//
+// With Config::metrics the profiler additionally installs a scheduler tick
+// hook: every round-robin sweep it checks the fleet's virtual clock and,
+// once per metrics_interval_virtual_ms, snapshots the registry into a
+// bounded ring and runs the online straggler/backpressure detector. Its
+// own callback cost is metered per category (self-overhead accounting).
 //
 // Usage (SPMD):
 //   ap::prof::Profiler prof(cfg);        // installs observers
@@ -24,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <vector>
@@ -34,12 +43,18 @@
 #include "core/chrome_trace.hpp"
 #include "core/config.hpp"
 #include "core/records.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/sampler.hpp"
+#include "metrics/self_overhead.hpp"
+#include "runtime/scheduler.hpp"
+#include "shmem/profiling_interface.hpp"
 #include "shmem/topology.hpp"
 
 namespace ap::prof {
 
 class Profiler final : public actor::ActorObserver,
-                       public convey::TransferObserver {
+                       public convey::TransferObserver,
+                       public shmem::RmaObserver {
  public:
   explicit Profiler(Config cfg = Config::from_env());
   ~Profiler() override;
@@ -67,15 +82,31 @@ class Profiler final : public actor::ActorObserver,
   };
 
   // ---- ActorObserver ------------------------------------------------------
-  void on_send(int mb, int dst_pe, std::size_t bytes) override;
-  void on_handler_begin(int mb, int src_pe, std::size_t bytes) override;
+  void on_send(int mb, int dst_pe, std::size_t bytes,
+               std::uint64_t flow_id) override;
+  void on_handler_begin(int mb, int src_pe, std::size_t bytes,
+                        std::uint64_t flow_id) override;
   void on_handler_end(int mb) override;
   void on_comm_begin() override;
   void on_comm_end() override;
+  /// Flow ids are only worth their wire bytes when the Chrome timeline
+  /// that renders them is being recorded.
+  [[nodiscard]] bool wants_flow_ids() const override { return cfg_.timeline; }
 
   // ---- TransferObserver ---------------------------------------------------
   void on_transfer(convey::SendType type, std::size_t buffer_bytes,
-                   int src_pe, int dst_pe) override;
+                   int src_pe, int dst_pe,
+                   std::uint64_t first_flow_id) override;
+  void on_advance(std::size_t out_pending_bytes,
+                  std::size_t recv_pending_bytes) override;
+
+  // ---- RmaObserver (live metrics for the shmem layer) ---------------------
+  void on_put(int target_pe, std::size_t bytes) override;
+  void on_put_nbi(int target_pe, std::size_t bytes) override;
+  void on_get(int target_pe, std::size_t bytes) override;
+  void on_quiet(std::size_t outstanding_puts) override;
+  void on_barrier() override;
+  void on_atomic(int target_pe) override;
 
   // ---- results ------------------------------------------------------------
   [[nodiscard]] const Config& config() const { return cfg_; }
@@ -101,6 +132,36 @@ class Profiler final : public actor::ActorObserver,
   [[nodiscard]] const std::vector<TimelineEvent>& timeline(int pe) const;
   /// Topology captured at the first epoch (node ids for exports).
   [[nodiscard]] const shmem::Topology& topo() const { return topo_; }
+
+  // ---- live metrics (Config::metrics) -------------------------------------
+  /// The registry backing the live metrics (bound once the world is known).
+  [[nodiscard]] const metrics::Registry& registry() const { return registry_; }
+  /// Ring of periodic fleet snapshots taken by the scheduler tick hook.
+  [[nodiscard]] const metrics::SampleRing& metric_samples() const {
+    return ring_;
+  }
+  /// Stragglers/backpressure the online detector flagged so far.
+  [[nodiscard]] const metrics::AnomalyLog& anomalies() const {
+    return anomalies_;
+  }
+  /// Measured cost of the profiler's own instrumentation (wall rdtsc).
+  [[nodiscard]] const metrics::OverheadMeter& self_overhead() const {
+    return meter_;
+  }
+  /// Scalar-series index of the queue-depth / bytes-in-flight gauges in
+  /// metric_samples() rows (-1 when metrics are disabled). Used by the
+  /// Chrome exporter's counter tracks.
+  [[nodiscard]] int queue_depth_series() const;
+  [[nodiscard]] int bytes_in_flight_series() const;
+
+  /// Prometheus text exposition 0.0.4 of every metric (plus self-overhead
+  /// series) — what a scrape endpoint would serve.
+  void write_metrics_prometheus(std::ostream& os) const;
+  /// JSON exposition: metrics + sample-ring summary + anomalies +
+  /// self-overhead, one self-describing object.
+  void write_metrics_json(std::ostream& os) const;
+  /// Write metrics.prom and metrics.json into cfg.trace_dir.
+  void write_metrics() const;
 
   /// Write every enabled trace file into cfg.trace_dir (single process
   /// holds all PEs' data, so any PE — or post-run code — may call this).
@@ -147,12 +208,31 @@ class Profiler final : public actor::ActorObserver,
     std::vector<TimelineEvent> events;  // timeline (Config::timeline)
   };
 
+  /// Registered metric handles (valid iff cfg_.metrics).
+  struct MetricIds {
+    metrics::CounterId actor_sends, actor_send_bytes, actor_handlers;
+    metrics::CounterId conveyor_advances, conveyor_transfers,
+        conveyor_transfer_bytes;
+    metrics::CounterId shmem_puts, shmem_put_bytes, shmem_nbi_puts,
+        shmem_nbi_put_bytes, shmem_gets, shmem_quiets, shmem_barriers,
+        shmem_atomics;
+    metrics::GaugeId queue_depth, out_pending_bytes, recv_pending_bytes,
+        bytes_in_flight, comm_share_milli;
+    metrics::HistogramId msg_bytes, transfer_bytes;
+    /// Scalar-series indices (counters-then-gauges layout) of the gauges
+    /// the Chrome exporter renders as counter tracks.
+    int s_queue_depth = -1, s_bytes_in_flight = -1;
+  };
+
   PeData& pe_data();
   const PeData& pe_data(int pe) const;
   /// Fold cycle + PAPI deltas since the last boundary into the buckets of
   /// the current region, then re-stamp.
   void fold(PeData& d);
   void ensure_world();
+  void register_metrics();
+  /// Scheduler tick hook body: sample + detect when the interval elapsed.
+  void tick();
 
   Config cfg_;
   shmem::Topology topo_;
@@ -160,6 +240,19 @@ class Profiler final : public actor::ActorObserver,
   std::vector<PeData> pes_;
   actor::ActorObserver* prev_actor_obs_ = nullptr;
   convey::TransferObserver* prev_transfer_obs_ = nullptr;
+  shmem::RmaObserver* prev_rma_obs_ = nullptr;
+  rt::TickHook prev_tick_;
+  bool tick_installed_ = false;
+
+  metrics::Registry registry_;
+  MetricIds ids_{};
+  metrics::SampleRing ring_;
+  metrics::AnomalyLog anomalies_;
+  metrics::OverheadMeter meter_;
+  std::uint64_t last_sample_cycles_ = 0;
+  bool have_sample_baseline_ = false;
+  std::vector<std::int64_t> sample_scratch_;
+  std::vector<double> detect_scratch_;
 };
 
 }  // namespace ap::prof

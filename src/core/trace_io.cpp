@@ -109,6 +109,25 @@ void write_overall(std::ostream& os, const std::vector<OverallRecord>& recs) {
   }
 }
 
+void write_self_overhead(std::ostream& os, const metrics::OverheadMeter& m) {
+  if (!m.bound()) return;
+  os << "# Profiler self-overhead, wall rdtsc cycles per category (";
+  for (int c = 0; c < metrics::kOverheadCategories; ++c)
+    os << (c ? ", " : "")
+       << metrics::to_string(static_cast<metrics::OverheadCategory>(c));
+  os << ")\n";
+  auto row = [&](const std::string& who, int slot) {
+    os << "SelfOverhead [" << who << "] cycles = (";
+    for (int c = 0; c < metrics::kOverheadCategories; ++c)
+      os << (c ? ", " : "")
+         << m.cycles(slot, static_cast<metrics::OverheadCategory>(c));
+    os << ") total " << m.total(slot) << "\n";
+  };
+  for (int pe = 0; pe < m.num_pes(); ++pe) row("PE" + std::to_string(pe), pe);
+  row("fleet", metrics::OverheadMeter::kGlobalSlot);
+  os << "SelfOverhead total = " << m.grand_total() << " cycles\n";
+}
+
 void write_physical(std::ostream& os,
                     const std::vector<PhysicalRecord>& events) {
   os << "# send type, buffer size, source PE, destination PE\n";
@@ -138,6 +157,10 @@ void write_all(const Profiler& prof, const Config& cfg) {
   if (cfg.overall) {
     std::ofstream os(cfg.trace_dir / kOverallFile);
     write_overall(os, prof.overall());
+    // Self-overhead is rdtsc-based (nondeterministic), so it only appears
+    // when metrics were explicitly requested — determinism tests compare
+    // overall.txt byte-for-byte under Config::all_enabled().
+    if (cfg.metrics) write_self_overhead(os, prof.self_overhead());
   }
   if (cfg.physical && cfg.keep_physical_events) {
     std::ofstream os(cfg.trace_dir / kPhysicalFile);
@@ -148,6 +171,7 @@ void write_all(const Profiler& prof, const Config& cfg) {
     }
     write_physical(os, merged);
   }
+  if (cfg.metrics) prof.write_metrics();
 }
 
 // ------------------------------------------------------------------ parsers

@@ -15,6 +15,7 @@
 #include "core/aggregate.hpp"
 #include "core/config.hpp"
 #include "core/records.hpp"
+#include "metrics/self_overhead.hpp"
 
 namespace ap::prof {
 class Profiler;
@@ -35,6 +36,11 @@ void write_logical(std::ostream& os,
 void write_papi(std::ostream& os, const std::vector<PapiSegmentRecord>& rows,
                 const Config& cfg);
 void write_overall(std::ostream& os, const std::vector<OverallRecord>& recs);
+/// "SelfOverhead ..." lines appended to overall.txt when Config::metrics is
+/// on: the measured wall-rdtsc cost of ActorProf's own instrumentation,
+/// per PE and per category. parse_overall skips them (they are not
+/// "Absolute" lines), so existing consumers are unaffected.
+void write_self_overhead(std::ostream& os, const metrics::OverheadMeter& m);
 void write_physical(std::ostream& os,
                     const std::vector<PhysicalRecord>& events);
 

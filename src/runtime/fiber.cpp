@@ -5,6 +5,23 @@
 #include <stdexcept>
 #include <utility>
 
+// AddressSanitizer tracks one shadow region per thread stack; every
+// swapcontext must be announced so ASan switches its notion of the live
+// stack (and so exception unwinds on a fiber stack don't get flagged as
+// stack-buffer underflows on the main stack). See sanitizer
+// common_interface_defs.h and google/sanitizers#189.
+#if defined(__SANITIZE_ADDRESS__)
+#define AP_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define AP_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(AP_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace ap::rt {
 
 namespace {
@@ -28,12 +45,24 @@ Fiber::~Fiber() = default;
 void Fiber::trampoline() {
   Fiber* self = g_current_fiber;
   assert(self != nullptr);
+#if defined(AP_ASAN_FIBERS)
+  // First entry: no fake stack to restore; capture the resumer's stack so
+  // yield()/the final uc_link switch can announce the way back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_resumer_bottom_,
+                                  &self->asan_resumer_size_);
+#endif
   try {
     self->entry_();
   } catch (...) {
     self->pending_exception_ = std::current_exception();
   }
   self->state_ = State::Finished;
+#if defined(AP_ASAN_FIBERS)
+  // The fiber is done: null fake-stack save destroys its fake frames, and
+  // the uc_link transfer right after this return lands in resume().
+  __sanitizer_start_switch_fiber(nullptr, self->asan_resumer_bottom_,
+                                 self->asan_resumer_size_);
+#endif
   // Fall off the end: makecontext's uc_link returns to return_context_.
 }
 
@@ -55,7 +84,15 @@ void Fiber::resume() {
   Fiber* previous = g_current_fiber;
   g_current_fiber = this;
   state_ = State::Running;
+#if defined(AP_ASAN_FIBERS)
+  void* resumer_fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&resumer_fake_stack, stack_.get(),
+                                 stack_bytes_);
+#endif
   swapcontext(&return_context_, &context_);
+#if defined(AP_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(resumer_fake_stack, nullptr, nullptr);
+#endif
   g_current_fiber = previous;
   if (state_ == State::Running) state_ = State::Runnable;
 
@@ -68,7 +105,19 @@ void Fiber::resume() {
 void Fiber::yield() {
   Fiber* self = g_current_fiber;
   assert(self != nullptr && "Fiber::yield called outside any fiber");
+#if defined(AP_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&self->asan_fake_stack_,
+                                 self->asan_resumer_bottom_,
+                                 self->asan_resumer_size_);
+#endif
   swapcontext(&self->context_, &self->return_context_);
+#if defined(AP_ASAN_FIBERS)
+  // Back inside the fiber (a later resume); the resumer may differ, so
+  // re-capture its stack extents.
+  __sanitizer_finish_switch_fiber(self->asan_fake_stack_,
+                                  &self->asan_resumer_bottom_,
+                                  &self->asan_resumer_size_);
+#endif
 }
 
 Fiber* Fiber::current() { return g_current_fiber; }

@@ -61,6 +61,13 @@ class Fiber {
   ucontext_t return_context_{};
   std::exception_ptr pending_exception_;
   State state_ = State::Created;
+
+  // AddressSanitizer fiber-switch bookkeeping (see fiber.cpp; unused and
+  // zero-cost in non-sanitized builds): the fiber's saved fake stack and
+  // the resumer's stack extents, captured on each entry.
+  void* asan_fake_stack_ = nullptr;
+  const void* asan_resumer_bottom_ = nullptr;
+  std::size_t asan_resumer_size_ = 0;
 };
 
 }  // namespace ap::rt

@@ -8,7 +8,16 @@ namespace ap::rt {
 
 namespace {
 thread_local Scheduler* g_scheduler = nullptr;
+thread_local TickHook g_tick_hook;
 }  // namespace
+
+TickHook set_tick_hook(TickHook hook) {
+  TickHook prev = std::move(g_tick_hook);
+  g_tick_hook = std::move(hook);
+  return prev;
+}
+
+const TickHook& tick_hook() { return g_tick_hook; }
 
 Scheduler::Scheduler(LaunchConfig cfg, std::function<void(int)> body)
     : cfg_(cfg), body_(std::move(body)) {
@@ -66,6 +75,13 @@ void Scheduler::run() {
       if (slot.fiber->finished()) {
         // A finished PE must not leave a blocked-on predicate behind.
         slot.blocked_on = nullptr;
+      }
+    }
+    if (!failure && g_tick_hook) {
+      try {
+        g_tick_hook();
+      } catch (...) {
+        failure = std::current_exception();
       }
     }
     if (!all_done && !progressed && !failure) {

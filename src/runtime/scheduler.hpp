@@ -137,6 +137,16 @@ bool in_spmd_region();
 void yield();
 void wait_until(std::function<bool()> pred);
 
+/// Scheduler tick hook: invoked once per round-robin sweep (after every
+/// runnable PE got a turn), outside any PE context (my_pe() == -1). This
+/// is the seam the metrics sampler hangs off — it sees the whole fleet
+/// between fiber slices without instrumenting any PE's code path.
+/// Returns the previously installed hook so callers can chain/restore;
+/// pass an empty function to uninstall.
+using TickHook = std::function<void()>;
+TickHook set_tick_hook(TickHook hook);
+const TickHook& tick_hook();
+
 /// See Scheduler::collective.
 template <class T, class Factory>
 std::shared_ptr<T> collective(Factory&& make) {

@@ -290,8 +290,10 @@ TEST(Selector, HandlerMaySendToAnotherSelector) {
 struct CountingActorObserver : actor::ActorObserver {
   int sends = 0, handler_begins = 0, handler_ends = 0;
   int comm_begins = 0, comm_ends = 0;
-  void on_send(int, int, std::size_t) override { ++sends; }
-  void on_handler_begin(int, int, std::size_t) override { ++handler_begins; }
+  void on_send(int, int, std::size_t, std::uint64_t) override { ++sends; }
+  void on_handler_begin(int, int, std::size_t, std::uint64_t) override {
+    ++handler_begins;
+  }
   void on_handler_end(int) override { ++handler_ends; }
   void on_comm_begin() override { ++comm_begins; }
   void on_comm_end() override { ++comm_ends; }

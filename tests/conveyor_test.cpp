@@ -296,8 +296,8 @@ struct RecordingObserver : convey::TransferObserver {
     int src, dst;
   };
   std::vector<Rec> recs;
-  void on_transfer(convey::SendType t, std::size_t b, int s,
-                   int d) override {
+  void on_transfer(convey::SendType t, std::size_t b, int s, int d,
+                   std::uint64_t) override {
     recs.push_back({t, b, s, d});
   }
 };

@@ -16,6 +16,14 @@
 #include "runtime/scheduler.hpp"
 #include "shmem/shmem.hpp"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define AP_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define AP_TEST_ASAN 1
+#endif
+#endif
+
 namespace {
 
 namespace shmem = ap::shmem;
@@ -59,7 +67,12 @@ TEST(EdgeRuntime, WaitUntilAlreadyTrueDoesNotYield) {
 TEST(EdgeRuntime, DeepRecursionInsideFiberStack) {
   ap::rt::LaunchConfig cfg;
   cfg.num_pes = 1;
+#if defined(AP_TEST_ASAN)
+  // ASan redzones inflate every frame several-fold; same depth, more room.
+  cfg.stack_bytes = 8 << 20;
+#else
   cfg.stack_bytes = 1 << 20;
+#endif
   std::int64_t result = 0;
   ap::rt::launch(cfg, [&result] {
     // ~2000 frames of ~200 bytes: fine in 1 MiB, crashes if fibers
@@ -332,8 +345,8 @@ TEST(EdgeSelector, ZeroMessagesTerminatesInstantly) {
 TEST(EdgeSelector, ObserverRestoredAfterProfilerScope) {
   // The profiler must chain/restore whatever observer was installed.
   struct Noop : actor::ActorObserver {
-    void on_send(int, int, std::size_t) override {}
-    void on_handler_begin(int, int, std::size_t) override {}
+    void on_send(int, int, std::size_t, std::uint64_t) override {}
+    void on_handler_begin(int, int, std::size_t, std::uint64_t) override {}
     void on_handler_end(int) override {}
     void on_comm_begin() override {}
     void on_comm_end() override {}

@@ -219,9 +219,10 @@ TEST(Shmem, NbiSourceReadAtQuietNotAtCall) {
 TEST(Shmem, BarrierImpliesQuiet) {
   shmem::run(cfg_of(2), [] {
     shmem::SymmArray<long> a(1);
+    // The source of an nbi put must stay alive until the implied quiet.
+    const long v = 5;
     shmem::barrier_all();
     if (shmem::my_pe() == 0) {
-      const long v = 5;
       shmem::putmem_nbi(&a[0], &v, sizeof v, 1);
     }
     shmem::barrier_all();

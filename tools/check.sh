@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and test the default preset, then the
+# sanitizer preset (-fsanitize=address,undefined). Run from anywhere.
+#
+#   tools/check.sh            # both presets
+#   tools/check.sh default    # one preset only
+#   tools/check.sh asan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+  echo "==== preset: ${preset} ===="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "All presets green."
