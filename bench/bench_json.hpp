@@ -1,0 +1,96 @@
+// Shared --json=<path> reporting for the micro benches, consumed by
+// tools/bench.sh to assemble BENCH_conveyor.json. Each bench runs one
+// fixed, comparable configuration in this mode (no google-benchmark
+// harness) and reports the fast-path metrics docs/PERFORMANCE.md defines:
+// items/sec, wire bytes/sec, memcpys/item, allocs/item.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bench_json {
+
+struct Metrics {
+  double items_per_sec = 0;
+  double bytes_per_sec = 0;     // wire bytes actually transferred
+  double memcpys_per_item = 0;  // ConveyorStats.memcpys / items
+  double allocs_per_item = 0;   // heap allocations (whole run) / items
+};
+
+struct Section {
+  std::string name;
+  Metrics m;
+};
+
+/// Value of --json=<path>, or nullptr when absent (normal harness mode).
+inline const char* json_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  return nullptr;
+}
+
+/// Value of --msgs=<n> (smoke runs shrink the workload), or `dflt`.
+inline std::size_t arg_msgs(int argc, char** argv, std::size_t dflt) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--msgs=", 7) == 0)
+      return std::strtoull(argv[i] + 7, nullptr, 10);
+  return dflt;
+}
+
+/// Process-CPU-time timer. The simulator is single-threaded, so CPU time
+/// is the honest per-run cost; wall time on a shared (often single-core)
+/// box also charges us for whoever preempted the run — and it is what the
+/// google-benchmark counters the recorded baselines used are based on.
+class Timer {
+ public:
+  Timer() : start_(now()) {}
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+#endif
+  }
+
+  double start_;
+};
+
+inline bool write(const char* path, const char* bench,
+                  const std::string& config_json,
+                  const std::vector<Section>& sections) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"config\": %s,\n  \"results\": {\n",
+               bench, config_json.c_str());
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const Section& s = sections[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"items_per_sec\": %.1f, \"bytes_per_sec\": "
+                 "%.1f, \"memcpys_per_item\": %.4f, \"allocs_per_item\": "
+                 "%.6f}%s\n",
+                 s.name.c_str(), s.m.items_per_sec, s.m.bytes_per_sec,
+                 s.m.memcpys_per_item, s.m.allocs_per_item,
+                 i + 1 < sections.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace bench_json

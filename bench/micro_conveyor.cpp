@@ -6,9 +6,13 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "conveyor/conveyor.hpp"
+#include "core/alloc_probe.hpp"
 #include "runtime/scheduler.hpp"
 #include "shmem/shmem.hpp"
+
+ACTORPROF_ALLOC_PROBE_DEFINE()
 
 namespace {
 
@@ -98,6 +102,90 @@ void BM_ConveyorSelfSendCopies(benchmark::State& state) {
 }
 BENCHMARK(BM_ConveyorSelfSendCopies)->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------------------- --json mode
+
+/// One timed session at the comparable configuration (8 PEs / 8 per node /
+/// 1024-byte buffers — the BENCH_conveyor.json reference point), consumed
+/// either through pull() or through the batch drain() fast path.
+bench_json::Metrics measure(bool use_drain, std::size_t msgs) {
+  constexpr int kPes = 8;
+  rt::LaunchConfig lc;
+  lc.num_pes = kPes;
+  lc.pes_per_node = kPes;
+  convey::reset_lifetime_totals();
+  const std::uint64_t allocs0 = prof::AllocProbe::count();
+  const bench_json::Timer t;
+  shmem::run(lc, [&] {
+    convey::Options o;
+    o.buffer_bytes = 1024;
+    auto c = convey::Conveyor::create(o);
+    if (use_drain) {
+      std::size_t i = 0;
+      bool done = false;
+      const int me = shmem::my_pe();
+      std::int64_t sink = 0;
+      while (c->advance(done)) {
+        for (; i < msgs; ++i) {
+          const std::int64_t v = static_cast<std::int64_t>(i);
+          if (!c->push(&v, static_cast<int>((me + i) % kPes))) break;
+        }
+        c->drain([&](const convey::Delivered& d) {
+          std::int64_t v;
+          std::memcpy(&v, d.payload, sizeof v);
+          sink += v;
+        });
+        done = (i == msgs);
+        rt::yield();
+      }
+      benchmark::DoNotOptimize(sink);
+    } else {
+      drive(*c, msgs, kPes);
+    }
+  });
+  const double secs = t.seconds();
+  const std::uint64_t allocs = prof::AllocProbe::count() - allocs0;
+  const convey::ConveyorStats s = convey::lifetime_totals();
+  const auto items = static_cast<double>(s.pushed);
+  bench_json::Metrics m;
+  m.items_per_sec = items / secs;
+  m.bytes_per_sec =
+      static_cast<double>(s.local_send_bytes + s.nonblock_send_bytes) / secs;
+  m.memcpys_per_item = static_cast<double>(s.memcpys) / items;
+  m.allocs_per_item = static_cast<double>(allocs) / items;
+  return m;
+}
+
+/// Best of three timed sessions — one slow outlier (scheduler preemption,
+/// cold frequency) must not end up recorded as the machine's capability.
+bench_json::Metrics best_of_3(bool use_drain, std::size_t msgs) {
+  bench_json::Metrics best = measure(use_drain, msgs);
+  for (int r = 1; r < 3; ++r) {
+    const bench_json::Metrics m = measure(use_drain, msgs);
+    if (m.items_per_sec > best.items_per_sec) best = m;
+  }
+  return best;
+}
+
+int run_json(const char* path, std::size_t msgs) {
+  measure(false, msgs);  // warmup (first-touch, page faults, code paths)
+  std::vector<bench_json::Section> sections;
+  sections.push_back({"pull", best_of_3(false, msgs)});
+  sections.push_back({"drain", best_of_3(true, msgs)});
+  char config[160];
+  std::snprintf(config, sizeof config,
+                "{\"pes\": 8, \"ppn\": 8, \"buffer_bytes\": 1024, "
+                "\"item_bytes\": 8, \"msgs_per_pe\": %zu}",
+                msgs);
+  return bench_json::write(path, "micro_conveyor", config, sections) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const char* path = bench_json::json_path(argc, argv))
+    return run_json(path, bench_json::arg_msgs(argc, argv, 20000));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

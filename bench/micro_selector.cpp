@@ -4,9 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include "actor/selector.hpp"
+#include "bench_json.hpp"
+#include "core/alloc_probe.hpp"
 #include "core/profiler.hpp"
 #include "runtime/finish.hpp"
 #include "shmem/shmem.hpp"
+
+ACTORPROF_ALLOC_PROBE_DEFINE()
 
 namespace {
 
@@ -102,6 +106,52 @@ void BM_TwoMailboxRequestReply(benchmark::State& state) {
 }
 BENCHMARK(BM_TwoMailboxRequestReply)->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------------------- --json mode
+
+/// One timed ping-all session (8 PEs / 8 per node) through the full
+/// Selector stack; copy and message counts come from the conveyor
+/// lifetime totals the session's mailbox conveyors leave behind.
+bench_json::Metrics measure(std::size_t msgs) {
+  convey::reset_lifetime_totals();
+  const std::uint64_t allocs0 = prof::AllocProbe::count();
+  const bench_json::Timer t;
+  run_ping_all(msgs, 8, 8);
+  const double secs = t.seconds();
+  const std::uint64_t allocs = prof::AllocProbe::count() - allocs0;
+  const convey::ConveyorStats s = convey::lifetime_totals();
+  const auto items = static_cast<double>(s.pushed);
+  bench_json::Metrics m;
+  m.items_per_sec = items / secs;
+  m.bytes_per_sec =
+      static_cast<double>(s.local_send_bytes + s.nonblock_send_bytes) / secs;
+  m.memcpys_per_item = static_cast<double>(s.memcpys) / items;
+  m.allocs_per_item = static_cast<double>(allocs) / items;
+  return m;
+}
+
+int run_json(const char* path, std::size_t msgs) {
+  measure(msgs);  // warmup
+  // Best of three: one preempted run must not define the baseline.
+  bench_json::Metrics best = measure(msgs);
+  for (int r = 1; r < 3; ++r) {
+    const bench_json::Metrics m = measure(msgs);
+    if (m.items_per_sec > best.items_per_sec) best = m;
+  }
+  std::vector<bench_json::Section> sections;
+  sections.push_back({"ping_all", best});
+  char config[120];
+  std::snprintf(config, sizeof config,
+                "{\"pes\": 8, \"ppn\": 8, \"msgs_per_pe\": %zu}", msgs);
+  return bench_json::write(path, "micro_selector", config, sections) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const char* path = bench_json::json_path(argc, argv))
+    return run_json(path, bench_json::arg_msgs(argc, argv, 20000));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

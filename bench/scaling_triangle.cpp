@@ -12,10 +12,15 @@
 #include "apps/triangle.hpp"
 #include <cstdlib>
 
+#include "bench_json.hpp"
+#include "conveyor/conveyor.hpp"
+#include "core/alloc_probe.hpp"
 #include "core/profiler.hpp"
 #include "graph/distribution.hpp"
 #include "graph/rmat.hpp"
 #include "shmem/shmem.hpp"
+
+ACTORPROF_ALLOC_PROBE_DEFINE()
 
 namespace {
 
@@ -49,14 +54,45 @@ std::uint64_t run_cycles(const graph::Csr& lower, int pes, int ppn) {
   return mx;  // compute critical path = the busiest PE's user work
 }
 
+/// --json mode: one timed triangle-count run (8 PEs / 8 per node); items
+/// are the actor messages the app pushed through its conveyors.
+int run_json(const char* path, int scale) {
+  const graph::Csr lower = build(scale);
+  run_cycles(lower, 8, 8);  // warmup
+  convey::reset_lifetime_totals();
+  const std::uint64_t allocs0 = prof::AllocProbe::count();
+  const bench_json::Timer t;
+  run_cycles(lower, 8, 8);
+  const double secs = t.seconds();
+  const std::uint64_t allocs = prof::AllocProbe::count() - allocs0;
+  const convey::ConveyorStats s = convey::lifetime_totals();
+  const auto items = static_cast<double>(s.pushed);
+  bench_json::Metrics m;
+  m.items_per_sec = items / secs;
+  m.bytes_per_sec =
+      static_cast<double>(s.local_send_bytes + s.nonblock_send_bytes) / secs;
+  m.memcpys_per_item = static_cast<double>(s.memcpys) / items;
+  m.allocs_per_item = static_cast<double>(allocs) / items;
+  char config[120];
+  std::snprintf(config, sizeof config,
+                "{\"pes\": 8, \"ppn\": 8, \"scale\": %d, \"edge_factor\": 16}",
+                scale);
+  return bench_json::write(path, "scaling_triangle", config,
+                           {{"triangle_count", m}})
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ap;
   const int scale = [] {
     const char* v = std::getenv("AP_SCALE");
     return v != nullptr ? std::atoi(v) : 11;
   }();
+  if (const char* path = bench_json::json_path(argc, argv))
+    return run_json(path, scale);
 
   std::printf("[Scaling] strong scaling — triangle counting, 1D Range, "
               "scale %d, 8 PEs/node\n%8s %18s %12s\n",

@@ -36,6 +36,24 @@ class ActorObserver {
   virtual void on_comm_begin() = 0;
   virtual void on_comm_end() = 0;
 
+  /// Observers that only need aggregate counts (metrics, sampling) can
+  /// return false here: the selector then skips the per-message
+  /// on_handler_begin/on_handler_end pairs on the batch-drain path and
+  /// reports each delivered batch once via on_handler_batch with an
+  /// explicit count. Trace-producing observers keep the default (true) so
+  /// PROC segments, PAPI attribution, and Chrome traces stay exact.
+  [[nodiscard]] virtual bool wants_per_message_events() const { return true; }
+
+  /// A batch of `count` messages of `bytes_per_msg` payload each was
+  /// dispatched on mailbox `mb` (only called when
+  /// wants_per_message_events() is false). Default no-op.
+  virtual void on_handler_batch(int mb, std::size_t count,
+                                std::size_t bytes_per_msg) {
+    (void)mb;
+    (void)count;
+    (void)bytes_per_msg;
+  }
+
   /// Opt in to per-message flow ids. When true, selectors allocate a
   /// monotonically increasing id per send and conveyors carry it through
   /// aggregation (8 extra wire bytes per record) so physical transfers and

@@ -29,31 +29,65 @@ TransferObserver* transfer_observer() { return g_observer; }
 // With Options::carry_flow_ids a uint64 flow id rides between the header
 // and the payload:
 //   [int32 final_dst][int32 orig_src][uint64 flow][payload item_bytes]
+// Delivered records keep the full wire layout (final_dst included) so a
+// contiguous run of records for this PE moves from the landing buffer into
+// the receive queue with a single memcpy; pull()/drain() skip the header.
+// The copy budget per record is documented in docs/PERFORMANCE.md.
 // ---------------------------------------------------------------------------
 
 namespace {
 constexpr std::size_t kRecordHeader = 2 * sizeof(std::int32_t);
 
-struct RecordView {
-  std::int32_t dst;
-  std::int32_t src;
-  const std::byte* payload;
-};
+std::int32_t load_dst(const std::byte* record) {
+  std::int32_t d = 0;
+  std::memcpy(&d, record, sizeof d);
+  return d;
+}
 }  // namespace
 
-/// Outgoing aggregation buffer toward one next-hop PE. User pushes are
+/// Flat byte queue with a consumed prefix. Used for outgoing aggregation
+/// buffers (one per next-hop PE) and for the receive queue. Storage is
+/// reserved once (first use) and then recycled: append() writes in place,
+/// compact() reclaims the consumed prefix without freeing. User pushes are
 /// back-pressured at one buffer's worth; forwarded items may overflow
-/// (they must never be dropped or the route deadlocks).
+/// (they must never be dropped or the route deadlocks) and only that rare
+/// overflow can grow the storage.
 struct OutBuf {
-  std::vector<std::byte> bytes;
-  std::size_t head = 0;
+  std::vector<std::byte> bytes;  // storage; size() == capacity in use
+  std::size_t head = 0;          // start of unconsumed data
+  std::size_t tail = 0;          // end of valid data
 
-  [[nodiscard]] std::size_t pending() const { return bytes.size() - head; }
+  [[nodiscard]] std::size_t pending() const { return tail - head; }
+
+  /// Reclaim consumed space: cheap reset when fully drained, memmove the
+  /// live suffix down once the dead prefix exceeds half the storage (so
+  /// forwarded-overflow buffers on long routes stop growing monotonically).
   void compact() {
-    if (head == bytes.size()) {
-      bytes.clear();
+    if (head == tail) {
+      head = tail = 0;
+    } else if (head >= bytes.size() / 2) {
+      std::memmove(bytes.data(), bytes.data() + head, tail - head);
+      tail -= head;
       head = 0;
     }
+  }
+
+  /// Reserve a writable slot of `n` bytes at the tail and return it.
+  /// `capacity_hint` sizes the first allocation; afterwards the storage is
+  /// stable unless forwarded overflow outgrows it.
+  std::byte* append(std::size_t n, std::size_t capacity_hint) {
+    if (tail + n > bytes.size()) {
+      compact();
+      if (tail + n > bytes.size()) {
+        std::size_t want = bytes.size() * 2;
+        if (want < tail + n) want = tail + n;
+        if (want < capacity_hint) want = capacity_hint;
+        bytes.resize(want);
+      }
+    }
+    std::byte* slot = bytes.data() + tail;
+    tail += n;
+    return slot;
   }
 };
 
@@ -70,12 +104,14 @@ struct Conveyor::Endpoint {
 
   // --- plain per-PE state --------------------------------------------------
   std::vector<OutBuf> out;                 // per next-hop
+  std::vector<std::int32_t> hop_of;        // cached next-hop table, per dst
   std::vector<std::int64_t> seq_flushed;   // buffers flushed toward hop
   std::vector<std::int64_t> seq_published; // buffers published toward hop
   std::vector<std::vector<std::byte>> staging;  // nbi source stability, per hop*slot
   std::vector<std::int64_t> consumed_from; // buffers consumed per source
-  std::vector<std::byte> recv;             // delivered records (src+payload)
-  std::size_t recv_head = 0;
+  OutBuf recv;                             // delivered wire records
+  OutBuf drain_buf;                        // batch snapshot being drained
+  bool draining = false;
   bool done_reported = false;
   ConveyorStats stats;
 };
@@ -116,6 +152,13 @@ struct Conveyor::Group {
   [[nodiscard]] std::size_t payload_capacity() const {
     return records_per_buffer * record_bytes;
   }
+
+  /// First-allocation size of an out/recv buffer: two full buffers, so a
+  /// freshly flushed buffer (head == capacity) still leaves a whole
+  /// buffer's worth of tail room before compact() has anything to do.
+  [[nodiscard]] std::size_t outbuf_capacity() const {
+    return 2 * payload_capacity();
+  }
 };
 
 std::shared_ptr<Conveyor> Conveyor::create(const Options& opts) {
@@ -145,10 +188,14 @@ Conveyor::Conveyor(std::shared_ptr<Group> group, int pe)
   e.acked_by = shmem::calloc_n<std::int64_t>(static_cast<std::size_t>(n));
 
   e.out.resize(static_cast<std::size_t>(n));
+  e.hop_of = g.router.table_for(pe);
   e.seq_flushed.assign(static_cast<std::size_t>(n), 0);
   e.seq_published.assign(static_cast<std::size_t>(n), 0);
+  // Staging slots are preallocated at construction (nbi sources must stay
+  // stable until quiet; sizing them here keeps try_flush allocation-free).
   e.staging.resize(static_cast<std::size_t>(n) *
                    static_cast<std::size_t>(g.opts.slots));
+  for (auto& s : e.staging) s.resize(g.slot_stride);
   e.consumed_from.assign(static_cast<std::size_t>(n), 0);
 
   g.endpoints[static_cast<std::size_t>(pe)] = &e;
@@ -156,8 +203,29 @@ Conveyor::Conveyor(std::shared_ptr<Group> group, int pe)
   shmem::barrier_all();
 }
 
+namespace {
+ConveyorStats g_lifetime{};
+
+void accumulate(ConveyorStats& t, const ConveyorStats& s) {
+  t.pushed += s.pushed;
+  t.pulled += s.pulled;
+  t.forwarded += s.forwarded;
+  t.local_sends += s.local_sends;
+  t.nonblock_sends += s.nonblock_sends;
+  t.progress_calls += s.progress_calls;
+  t.local_send_bytes += s.local_send_bytes;
+  t.nonblock_send_bytes += s.nonblock_send_bytes;
+  t.memcpys += s.memcpys;
+  t.drains += s.drains;
+}
+}  // namespace
+
+ConveyorStats lifetime_totals() { return g_lifetime; }
+void reset_lifetime_totals() { g_lifetime = ConveyorStats{}; }
+
 Conveyor::~Conveyor() {
   Endpoint& e = *self_;
+  accumulate(g_lifetime, e.stats);
   if (group_ && e.pe >= 0 &&
       static_cast<std::size_t>(e.pe) < group_->endpoints.size())
     group_->endpoints[static_cast<std::size_t>(e.pe)] = nullptr;
@@ -173,20 +241,13 @@ Conveyor::~Conveyor() {
 const Options& Conveyor::options() const { return group_->opts; }
 const ConveyorStats& Conveyor::stats() const { return self_->stats; }
 const Router& Conveyor::router() const { return group_->router; }
+std::size_t Conveyor::record_bytes() const { return group_->record_bytes; }
 
 ConveyorStats Conveyor::total_stats() const {
   ConveyorStats t;
   for (const Endpoint* e : group_->endpoints) {
     if (e == nullptr) continue;
-    t.pushed += e->stats.pushed;
-    t.pulled += e->stats.pulled;
-    t.forwarded += e->stats.forwarded;
-    t.local_sends += e->stats.local_sends;
-    t.nonblock_sends += e->stats.nonblock_sends;
-    t.progress_calls += e->stats.progress_calls;
-    t.local_send_bytes += e->stats.local_send_bytes;
-    t.nonblock_send_bytes += e->stats.nonblock_send_bytes;
-    t.memcpys += e->stats.memcpys;
+    accumulate(t, e->stats);
   }
   return t;
 }
@@ -197,30 +258,6 @@ std::uint64_t Conveyor::items_in_flight() const {
 
 // --------------------------------------------------------------------- push
 
-bool Conveyor::route_into_buffer(const void* record, int dst_pe,
-                                 bool is_forward) {
-  Group& g = *group_;
-  Endpoint& e = *self_;
-  const int hop = g.router.next_hop(e.pe, dst_pe);
-  OutBuf& ob = e.out[static_cast<std::size_t>(hop)];
-
-  // Back-pressure: a user push never flushes — appending is MAIN-region
-  // work (paper §III-B); all buffer movement happens inside advance(),
-  // which the runtime attributes to COMM. Forwarded items may exceed the
-  // capacity (dropping them would deadlock the route); advance drains them.
-  if (!is_forward && ob.pending() >= g.payload_capacity()) return false;
-
-  const std::byte* rec = static_cast<const std::byte*>(record);
-  ob.bytes.insert(ob.bytes.end(), rec, rec + g.record_bytes);
-  e.stats.memcpys++;
-  if (is_forward) {
-    e.stats.forwarded++;
-    if (ob.pending() >= g.payload_capacity())
-      (void)try_flush(hop);  // opportunistic; failure is fine, advance retries
-  }
-  return true;
-}
-
 bool Conveyor::push(const void* item, int dst_pe, std::uint64_t flow_id) {
   Group& g = *group_;
   Endpoint& e = *self_;
@@ -229,15 +266,17 @@ bool Conveyor::push(const void* item, int dst_pe, std::uint64_t flow_id) {
   if (dst_pe < 0 || dst_pe >= g.topo.num_pes())
     throw std::out_of_range("Conveyor::push: destination PE out of range");
 
-  // Build the record in a small stack buffer (item sizes are tiny by
-  // design: the whole point of aggregation is 8..64-byte messages).
-  std::byte local[512];
-  std::vector<std::byte> heap;
-  std::byte* rec = local;
-  if (g.record_bytes > sizeof(local)) {
-    heap.resize(g.record_bytes);
-    rec = heap.data();
-  }
+  const int hop = e.hop_of[static_cast<std::size_t>(dst_pe)];
+  OutBuf& ob = e.out[static_cast<std::size_t>(hop)];
+
+  // Back-pressure: a user push never flushes — appending is MAIN-region
+  // work (paper §III-B); all buffer movement happens inside advance(),
+  // which the runtime attributes to COMM.
+  if (ob.pending() >= g.payload_capacity()) return false;
+
+  // Write the record in place: header + flow + payload land directly in
+  // the preallocated aggregation buffer (no scratch build, no heap).
+  std::byte* rec = ob.append(g.record_bytes, g.outbuf_capacity());
   const std::int32_t dst32 = dst_pe;
   const std::int32_t src32 = e.pe;
   std::memcpy(rec, &dst32, sizeof dst32);
@@ -245,8 +284,7 @@ bool Conveyor::push(const void* item, int dst_pe, std::uint64_t flow_id) {
   if (g.flow_bytes != 0)
     std::memcpy(rec + kRecordHeader, &flow_id, sizeof flow_id);
   std::memcpy(rec + kRecordHeader + g.flow_bytes, item, g.opts.item_bytes);
-
-  if (!route_into_buffer(rec, dst_pe, /*is_forward=*/false)) return false;
+  e.stats.memcpys++;
   e.stats.pushed++;
   g.injected++;
   return true;
@@ -323,17 +361,18 @@ bool Conveyor::try_flush(int next_hop) {
   } else {
     // nonblock_send: stage (nbi source must stay stable until quiet), then
     // shmem_putmem_nbi into the receiver's ring. NOT visible until the
-    // nonblock_progress below publishes it.
+    // nonblock_progress below publishes it. Staging slots were sized at
+    // construction; no allocation happens here.
     auto& stage = e.staging[hop_idx * static_cast<std::size_t>(g.opts.slots) +
                             slot];
-    stage.resize(sizeof(std::int64_t) + chunk);
+    assert(stage.size() >= sizeof(std::int64_t) + chunk);
     const std::int64_t len = static_cast<std::int64_t>(chunk);
     std::memcpy(stage.data(), &len, sizeof len);
     std::memcpy(stage.data() + sizeof len, ob.bytes.data() + ob.head, chunk);
     e.stats.memcpys++;
     papi::account_buffer_copy(chunk);
     shmem::putmem_nbi(static_cast<void*>(e.ring + slot_off), stage.data(),
-                      stage.size(), next_hop);
+                      sizeof len + chunk, next_hop);
     papi::account_remote_put(chunk);
     e.seq_flushed[hop_idx] = seq + 1;
     e.stats.nonblock_sends++;
@@ -395,6 +434,7 @@ void Conveyor::deliver_incoming() {
   Group& g = *group_;
   Endpoint& e = *self_;
   const int n = g.topo.num_pes();
+  const std::size_t rec_sz = g.record_bytes;
   for (int src = 0; src < n; ++src) {
     const auto s = static_cast<std::size_t>(src);
     const std::int64_t pub = e.published_from[s];
@@ -410,21 +450,45 @@ void Conveyor::deliver_incoming() {
       const std::byte* data = base + sizeof len;
       papi::account_buffer_copy(static_cast<std::size_t>(len));
       assert(len >= 0 &&
-             static_cast<std::size_t>(len) % g.record_bytes == 0);
-      for (std::size_t off = 0; off < static_cast<std::size_t>(len);
-           off += g.record_bytes) {
-        std::int32_t dst32 = 0;
-        std::memcpy(&dst32, data + off, sizeof dst32);
-        if (dst32 == e.pe) {
-          // Final destination: move [src|payload] into the recv queue.
-          e.recv.insert(e.recv.end(), data + off + sizeof(std::int32_t),
-                        data + off + g.record_bytes);
+             static_cast<std::size_t>(len) % rec_sz == 0);
+      // Scan the landing buffer for contiguous runs of records that share
+      // a fate — final delivery here, or forwarding toward one next hop —
+      // and move each run with a single memcpy instead of per-record
+      // inserts.
+      const std::size_t end = static_cast<std::size_t>(len);
+      std::size_t off = 0;
+      while (off < end) {
+        const std::int32_t dst = load_dst(data + off);
+        std::size_t run = rec_sz;
+        if (dst == e.pe) {
+          while (off + run < end && load_dst(data + off + run) == e.pe)
+            run += rec_sz;
+          // Final destination: wire records land verbatim in the recv
+          // queue (pull/drain skip the header fields).
+          std::memcpy(e.recv.append(run, g.outbuf_capacity()), data + off,
+                      run);
           e.stats.memcpys++;
-          g.delivered++;
+          g.delivered += run / rec_sz;
         } else {
-          // Intermediate hop: re-aggregate toward the next hop.
-          (void)route_into_buffer(data + off, dst32, /*is_forward=*/true);
+          const std::int32_t hop = e.hop_of[static_cast<std::size_t>(dst)];
+          while (off + run < end) {
+            const std::int32_t d2 = load_dst(data + off + run);
+            if (d2 == e.pe ||
+                e.hop_of[static_cast<std::size_t>(d2)] != hop) break;
+            run += rec_sz;
+          }
+          // Intermediate hop: re-aggregate the whole run toward the next
+          // hop. Forwarded records may exceed the buffer capacity (the
+          // route deadlocks if they are dropped); append() grows for them.
+          OutBuf& ob = e.out[static_cast<std::size_t>(hop)];
+          std::memcpy(ob.append(run, g.outbuf_capacity()), data + off, run);
+          e.stats.memcpys++;
+          e.stats.forwarded += run / rec_sz;
+          while (ob.pending() >= g.payload_capacity()) {
+            if (!try_flush(hop)) break;  // opportunistic; advance retries
+          }
         }
+        off += run;
       }
       e.consumed_from[s] = seq + 1;
       consumed_any = true;
@@ -439,38 +503,77 @@ void Conveyor::deliver_incoming() {
   }
 }
 
-// -------------------------------------------------------------------- pull
+// -------------------------------------------------------------- pull / drain
 
 bool Conveyor::pull(void* item, int* from_pe, std::uint64_t* flow_id) {
   Group& g = *group_;
   Endpoint& e = *self_;
-  // Delivered records keep their wire layout minus the dst field:
-  // [int32 src][flow?][payload].
-  const std::size_t rec = sizeof(std::int32_t) + g.flow_bytes + g.opts.item_bytes;
-  if (e.recv.size() - e.recv_head < rec) {
-    if (e.recv_head == e.recv.size()) {
-      e.recv.clear();
-      e.recv_head = 0;
-    }
+  if (e.recv.pending() < g.record_bytes) {
+    e.recv.compact();
     return false;
   }
+  const std::byte* rec = e.recv.bytes.data() + e.recv.head;
   std::int32_t src32 = 0;
-  std::memcpy(&src32, e.recv.data() + e.recv_head, sizeof src32);
+  std::memcpy(&src32, rec + sizeof(std::int32_t), sizeof src32);
   std::uint64_t flow = 0;
   if (g.flow_bytes != 0)
-    std::memcpy(&flow, e.recv.data() + e.recv_head + sizeof src32, sizeof flow);
-  std::memcpy(item, e.recv.data() + e.recv_head + sizeof src32 + g.flow_bytes,
-              g.opts.item_bytes);
+    std::memcpy(&flow, rec + kRecordHeader, sizeof flow);
+  std::memcpy(item, rec + kRecordHeader + g.flow_bytes, g.opts.item_bytes);
   e.stats.memcpys++;
-  e.recv_head += rec;
-  if (e.recv_head == e.recv.size()) {
-    e.recv.clear();
-    e.recv_head = 0;
-  }
+  e.recv.head += g.record_bytes;
+  if (e.recv.head == e.recv.tail) e.recv.compact();
   if (from_pe != nullptr) *from_pe = src32;
   if (flow_id != nullptr) *flow_id = flow;
   e.stats.pulled++;
   return true;
+}
+
+Conveyor::DrainBatch Conveyor::drain_begin() {
+  Group& g = *group_;
+  Endpoint& e = *self_;
+  if (e.draining || e.recv.pending() == 0)
+    return DrainBatch{nullptr, 0, 0, 0};
+  // Snapshot by swapping buffers: the callback may advance() and deliver
+  // new records, which land in the (now empty) recv queue without
+  // invalidating the views handed out over this batch. Both buffers keep
+  // their storage, so steady state allocates nothing.
+  std::swap(e.recv, e.drain_buf);
+  e.draining = true;
+  const std::size_t count = e.drain_buf.pending() / g.record_bytes;
+  return DrainBatch{e.drain_buf.bytes.data() + e.drain_buf.head, count,
+                    g.record_bytes, g.flow_bytes};
+}
+
+void Conveyor::drain_end(std::size_t count) {
+  Endpoint& e = *self_;
+  e.drain_buf.head = e.drain_buf.tail = 0;
+  e.draining = false;
+  e.stats.pulled += count;
+  e.stats.drains++;
+}
+
+void Conveyor::drain_abort(std::size_t consumed) {
+  Group& g = *group_;
+  Endpoint& e = *self_;
+  // The record the callback threw on counts as consumed (pull semantics:
+  // the message left the queue before the handler ran). Requeue the rest
+  // ahead of anything delivered meanwhile.
+  e.drain_buf.head += consumed * g.record_bytes;
+  const std::size_t rest = e.drain_buf.pending();
+  if (rest != 0) {
+    OutBuf merged;
+    merged.bytes.resize(rest + e.recv.pending());
+    std::memcpy(merged.bytes.data(),
+                e.drain_buf.bytes.data() + e.drain_buf.head, rest);
+    std::memcpy(merged.bytes.data() + rest,
+                e.recv.bytes.data() + e.recv.head, e.recv.pending());
+    merged.tail = merged.bytes.size();
+    std::swap(e.recv, merged);
+  }
+  e.drain_buf.head = e.drain_buf.tail = 0;
+  e.draining = false;
+  e.stats.pulled += consumed;
+  e.stats.drains++;
 }
 
 // ------------------------------------------------------------------ advance
@@ -485,7 +588,8 @@ bool Conveyor::advance(bool done) {
     // toward all next hops plus bytes delivered here but not yet pulled.
     std::size_t out_pending = 0;
     for (const OutBuf& ob : e.out) out_pending += ob.pending();
-    g_observer->on_advance(out_pending, e.recv.size() - e.recv_head);
+    g_observer->on_advance(out_pending,
+                           e.recv.pending() + e.drain_buf.pending());
   }
   deliver_incoming();
 
@@ -508,7 +612,8 @@ bool Conveyor::advance(bool done) {
 
   const bool globally_done =
       g.done_count == g.topo.num_pes() && g.injected == g.delivered;
-  const bool locally_drained = e.recv.size() == e.recv_head;
+  const bool locally_drained =
+      e.recv.pending() == 0 && e.drain_buf.pending() == 0;
   return !(globally_done && locally_drained);
 }
 

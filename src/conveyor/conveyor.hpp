@@ -7,6 +7,12 @@
 // by shmem_quiet + a signal put). Multi-hop routes (2D mesh / 3D cube)
 // re-aggregate at intermediate PEs.
 //
+// The data plane is zero-copy-per-item by design (docs/PERFORMANCE.md):
+// push() writes the wire record in place into a preallocated flat buffer,
+// next hops come from a per-endpoint lookup table, delivery moves
+// contiguous runs of records with one memcpy per run, and drain() hands
+// the application views into the receive queue without copying.
+//
 // Steady-state usage is the classic Conveyors loop — identical to the real
 // library's:
 //
@@ -16,20 +22,20 @@
 //   while (c->advance(done)) {
 //     for (; i < n; ++i)
 //       if (!c->push(&items[i], dest_of(i))) break;
-//     T item; int from;
-//     while (c->pull(&item, &from)) handle(item, from);
+//     c->drain([&](const ap::convey::Delivered& d) { handle(d); });
 //     done = (i == n);
 //     ap::rt::yield();                          // let other PEs progress
 //   }
 //
 // push() may refuse (buffer/back-pressure); the caller must then advance().
 // advance(done) keeps returning true until *every* PE passed done=true and
-// every in-flight item has been pulled.
+// every in-flight item has been drained. The per-item pull() remains as a
+// compatibility shim over the same receive queue.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -58,14 +64,31 @@ struct Options {
 /// Per-endpoint statistics (this PE's view).
 struct ConveyorStats {
   std::uint64_t pushed = 0;
-  std::uint64_t pulled = 0;
+  std::uint64_t pulled = 0;          // items consumed via pull() or drain()
   std::uint64_t forwarded = 0;       // items re-aggregated at this hop
   std::uint64_t local_sends = 0;
   std::uint64_t nonblock_sends = 0;
   std::uint64_t progress_calls = 0;  // quiet+signal rounds
   std::uint64_t local_send_bytes = 0;
   std::uint64_t nonblock_send_bytes = 0;
-  std::uint64_t memcpys = 0;         // per-item copies incl. self-sends
+  std::uint64_t memcpys = 0;         // copy operations (runs count once)
+  std::uint64_t drains = 0;          // drain() batches handed out
+};
+
+/// Process-wide stats accumulated from every endpoint at its destruction
+/// (the fiber simulator runs all PEs in one process). Lets harnesses report
+/// per-message copy costs for whole app runs without holding conveyor
+/// handles: snapshot, run, subtract.
+ConveyorStats lifetime_totals();
+void reset_lifetime_totals();
+
+/// One delivered record, viewed in place inside the receive queue. The
+/// payload pointer is only valid for the duration of the drain callback;
+/// it may be unaligned for types stricter than 4 bytes — memcpy out.
+struct Delivered {
+  int src;                 ///< originating PE
+  std::uint64_t flow;      ///< flow id given to push (0 when not carried)
+  const void* payload;     ///< item_bytes of payload, in the wire buffer
 };
 
 class Conveyor {
@@ -86,8 +109,44 @@ class Conveyor {
   /// Dequeue one delivered item. Returns false when none is available
   /// right now. `from_pe` receives the original sender; `flow_id` (when
   /// non-null) the id given to push, or 0 if the conveyor does not carry
-  /// flow ids.
+  /// flow ids. Compatibility shim: drain() is the batch fast path.
   bool pull(void* item, int* from_pe, std::uint64_t* flow_id = nullptr);
+
+  /// Batch-drain everything currently delivered: invokes `fn(Delivered)`
+  /// once per record, in arrival order, directly over the receive queue —
+  /// no per-item copy, no per-item queue bookkeeping. Returns the number
+  /// of records handled. The callback may push() (including to this
+  /// conveyor) and may call advance(); newly delivered records land in a
+  /// fresh queue and are picked up by the next drain() call. Do not mix
+  /// pull() into a drain callback — ordering across the two would be lost.
+  /// If the callback throws, the record it threw on counts as consumed and
+  /// the remainder of the batch is requeued ahead of later deliveries.
+  template <class Fn>
+  std::size_t drain(Fn&& fn) {
+    const DrainBatch b = drain_begin();
+    if (b.count == 0) return 0;
+    std::size_t consumed = 0;
+    try {
+      const std::byte* p = b.data;
+      for (std::size_t i = 0; i < b.count; ++i, p += b.stride) {
+        Delivered d;
+        std::int32_t src32 = 0;
+        std::memcpy(&src32, p + sizeof(std::int32_t), sizeof src32);
+        d.src = src32;
+        d.flow = 0;
+        if (b.flow_bytes != 0)
+          std::memcpy(&d.flow, p + 2 * sizeof(std::int32_t), sizeof d.flow);
+        d.payload = p + 2 * sizeof(std::int32_t) + b.flow_bytes;
+        ++consumed;
+        fn(static_cast<const Delivered&>(d));
+      }
+    } catch (...) {
+      drain_abort(consumed);
+      throw;
+    }
+    drain_end(b.count);
+    return b.count;
+  }
 
   /// Make communication progress. `done` declares that this PE will push
   /// no more items. Returns false once the conveyor is globally complete.
@@ -96,6 +155,8 @@ class Conveyor {
   [[nodiscard]] const Options& options() const;
   [[nodiscard]] const ConveyorStats& stats() const;
   [[nodiscard]] const Router& router() const;
+  /// Bytes of one wire record: header + optional flow id + payload.
+  [[nodiscard]] std::size_t record_bytes() const;
   /// Sum of stats over all PEs (any PE may call).
   [[nodiscard]] ConveyorStats total_stats() const;
   /// Items pushed but not yet pulled anywhere (global).
@@ -105,13 +166,25 @@ class Conveyor {
   struct Group;     // state shared by all endpoints
   struct Endpoint;  // this PE's state
 
+  /// One drained batch: `count` records of `stride` bytes each starting at
+  /// `data`, laid out [int32 dst][int32 src][flow?][payload].
+  struct DrainBatch {
+    const std::byte* data;
+    std::size_t count;
+    std::size_t stride;
+    std::size_t flow_bytes;
+  };
+
   Conveyor(std::shared_ptr<Group> group, int pe);
+
+  DrainBatch drain_begin();
+  void drain_end(std::size_t count);
+  void drain_abort(std::size_t consumed);
 
   void deliver_incoming();
   bool try_flush(int next_hop);
   void flush_all();
   void progress_pending();
-  bool route_into_buffer(const void* record, int dst_pe, bool is_forward);
 
   std::shared_ptr<Group> group_;
   std::unique_ptr<Endpoint> self_;

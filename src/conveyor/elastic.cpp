@@ -70,23 +70,23 @@ bool ElasticConveyor::epush(const void* data, std::size_t len, int dst_pe) {
 }
 
 void ElasticConveyor::drain_transport() {
-  std::vector<std::byte> record(sizeof(Fragment) + frag_payload_);
-  int from = -1;
-  while (inner_->pull(record.data(), &from)) {
+  // Batch-drain fragments in place: no per-fragment pull copy, no scratch
+  // record — reassembly reads straight out of the receive queue views.
+  inner_->drain([&](const Delivered& r) {
+    const auto* rec = static_cast<const std::byte*>(r.payload);
     Fragment h;
-    std::memcpy(&h, record.data(), sizeof h);
-    Partial& p = partial_[static_cast<std::size_t>(from)];
+    std::memcpy(&h, rec, sizeof h);
+    Partial& p = partial_[static_cast<std::size_t>(r.src)];
     if (p.expected == 0) p.expected = h.remaining;  // message start
-    p.data.insert(p.data.end(), record.data() + sizeof h,
-                  record.data() + sizeof h + h.used);
+    p.data.insert(p.data.end(), rec + sizeof h, rec + sizeof h + h.used);
     if (h.remaining == h.used) {
-      ready_.push_back(Ready{std::move(p.data), from});
+      ready_.push_back(Ready{std::move(p.data), r.src});
       p.data.clear();
       p.expected = 0;
     } else {
       p.expected -= h.used;
     }
-  }
+  });
 }
 
 bool ElasticConveyor::epull(std::vector<std::byte>& out, int* from_pe) {

@@ -8,7 +8,9 @@
 // network (nonblock_send), exactly the behaviour Figures 8–9 visualize.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "shmem/topology.hpp"
 
@@ -83,6 +85,16 @@ class Router {
         break;
     }
     throw std::logic_error("Router: unresolved route kind");
+  }
+
+  /// Dense next-hop table for one endpoint: table[d] == next_hop(me, d).
+  /// Computed once at conveyor construction so the per-item hot path does
+  /// one array load instead of the division-heavy topology math above.
+  [[nodiscard]] std::vector<std::int32_t> table_for(int me) const {
+    std::vector<std::int32_t> t(static_cast<std::size_t>(topo_.num_pes()));
+    for (int d = 0; d < topo_.num_pes(); ++d)
+      t[static_cast<std::size_t>(d)] = next_hop(me, d);
+    return t;
   }
 
   /// Number of hops the full route s->d takes.

@@ -1,0 +1,103 @@
+// Global heap-allocation probe for copy/allocation-budget regression tests
+// and the bench --json fast-path reports.
+//
+// Include the header anywhere to read the counters; expand
+// ACTORPROF_ALLOC_PROBE_DEFINE() at namespace scope in exactly ONE
+// translation unit of the binary to install the counting operator
+// new/delete replacements (C++ allows one replacement per program, so
+// binaries that never expand the macro are unaffected and the counters
+// just stay at zero).
+//
+// The counters are process-wide: snapshot around the region of interest
+// and compare deltas. In the fiber-based simulator all PEs share the
+// process, so a delta taken across a barrier-fenced phase covers every
+// PE's work in that phase — which is exactly what a "zero allocations in
+// steady state" budget wants to assert.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#if defined(__GLIBC__) || defined(__linux__)
+#include <execinfo.h>
+#define ACTORPROF_ALLOC_PROBE_HAVE_BACKTRACE 1
+#endif
+
+namespace ap::prof::detail {
+inline void dump_backtrace_if([[maybe_unused]] bool enabled) {
+#ifdef ACTORPROF_ALLOC_PROBE_HAVE_BACKTRACE
+  if (enabled) {
+    void* frames[32];
+    const int n = ::backtrace(frames, 32);
+    ::backtrace_symbols_fd(frames, n, 2);
+  }
+#endif
+}
+}  // namespace ap::prof::detail
+
+namespace ap::prof {
+
+struct AllocProbe {
+  static std::atomic<std::uint64_t> allocations;
+  static std::atomic<std::uint64_t> frees;
+  static std::atomic<std::uint64_t> bytes;
+  /// Debug aid: while true, every allocation dumps a raw backtrace to
+  /// stderr (backtrace_symbols_fd — itself allocation-free). Lets a failed
+  /// zero-alloc budget test point at the offending call site directly.
+  static std::atomic<bool> trap;
+
+  /// Number of operator-new calls so far (0 when the probe is not
+  /// installed in this binary).
+  static std::uint64_t count() {
+    return allocations.load(std::memory_order_relaxed);
+  }
+  static std::uint64_t bytes_allocated() {
+    return bytes.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace ap::prof
+
+#define ACTORPROF_ALLOC_PROBE_DEFINE()                                       \
+  std::atomic<std::uint64_t> ap::prof::AllocProbe::allocations{0};           \
+  std::atomic<std::uint64_t> ap::prof::AllocProbe::frees{0};                 \
+  std::atomic<std::uint64_t> ap::prof::AllocProbe::bytes{0};                 \
+  std::atomic<bool> ap::prof::AllocProbe::trap{false};                       \
+  static void* actorprof_probe_alloc(std::size_t n) {                        \
+    ap::prof::AllocProbe::allocations.fetch_add(1,                           \
+                                                std::memory_order_relaxed);  \
+    ap::prof::AllocProbe::bytes.fetch_add(n, std::memory_order_relaxed);     \
+    ap::prof::detail::dump_backtrace_if(                                     \
+        ap::prof::AllocProbe::trap.load(std::memory_order_relaxed));         \
+    if (void* p = std::malloc(n == 0 ? 1 : n)) return p;                     \
+    throw std::bad_alloc{};                                                  \
+  }                                                                          \
+  void* operator new(std::size_t n) { return actorprof_probe_alloc(n); }     \
+  void* operator new[](std::size_t n) { return actorprof_probe_alloc(n); }   \
+  void* operator new(std::size_t n, const std::nothrow_t&) noexcept {        \
+    ap::prof::AllocProbe::allocations.fetch_add(1,                           \
+                                                std::memory_order_relaxed);  \
+    ap::prof::AllocProbe::bytes.fetch_add(n, std::memory_order_relaxed);     \
+    return std::malloc(n == 0 ? 1 : n);                                      \
+  }                                                                          \
+  void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {    \
+    return operator new(n, t);                                               \
+  }                                                                          \
+  void operator delete(void* p) noexcept {                                   \
+    ap::prof::AllocProbe::frees.fetch_add(1, std::memory_order_relaxed);     \
+    std::free(p);                                                            \
+  }                                                                          \
+  void operator delete[](void* p) noexcept { operator delete(p); }           \
+  void operator delete(void* p, std::size_t) noexcept { operator delete(p); }\
+  void operator delete[](void* p, std::size_t) noexcept {                    \
+    operator delete(p);                                                      \
+  }                                                                          \
+  void operator delete(void* p, const std::nothrow_t&) noexcept {            \
+    operator delete(p);                                                      \
+  }                                                                          \
+  void operator delete[](void* p, const std::nothrow_t&) noexcept {          \
+    operator delete(p);                                                      \
+  }

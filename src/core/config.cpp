@@ -1,0 +1,86 @@
+#include "core/config.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ap::prof {
+
+namespace {
+
+/// Lenient 0/1 parse used by the four original trace toggles: any
+/// non-empty value other than "0" means on. Kept as-is for back-compat —
+/// scripts in the wild pass values like "yes".
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return v[0] != '0' && v[0] != '\0';
+}
+
+[[noreturn]] void bad_value(const char* name, const char* text,
+                            const char* expected) {
+  throw std::invalid_argument(std::string(name) + "=\"" + text +
+                              "\": expected " + expected);
+}
+
+/// Strict boolean: exactly "0" or "1".
+bool env_bool_strict(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const std::string s(v);
+  if (s == "0") return false;
+  if (s == "1") return true;
+  bad_value(name, v, "0 or 1");
+}
+
+/// Strict positive double (whole string must parse, value must be finite
+/// and >= min).
+double env_double_strict(const char* name, double fallback, double min,
+                         const char* expected) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE || !(parsed >= min))
+    bad_value(name, v, expected);
+  return parsed;
+}
+
+/// Strict positive integer (whole string must parse, value must be > 0).
+std::size_t env_size_strict(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || parsed <= 0)
+    bad_value(name, v, "a positive integer");
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+Config Config::from_env() {
+  Config c;
+  c.logical = env_flag("ACTORPROF_TRACE", c.logical);
+  c.papi = env_flag("ACTORPROF_PAPI", c.papi);
+  c.overall = env_flag("ACTORPROF_TCOMM_PROFILING", c.overall);
+  c.physical = env_flag("ACTORPROF_TRACE_PHYSICAL", c.physical);
+  if (const char* dir = std::getenv("ACTORPROF_TRACE_DIR")) c.trace_dir = dir;
+
+  c.timeline = env_bool_strict("ACTORPROF_TIMELINE", c.timeline);
+  c.metrics = env_bool_strict("ACTORPROF_METRICS", c.metrics);
+  c.metrics_interval_virtual_ms = env_double_strict(
+      "ACTORPROF_METRICS_INTERVAL_MS", c.metrics_interval_virtual_ms,
+      /*min=*/1e-9, "a positive number of virtual milliseconds");
+  c.metrics_ring_capacity =
+      env_size_strict("ACTORPROF_METRICS_RING", c.metrics_ring_capacity);
+  c.metrics_straggler_factor = env_double_strict(
+      "ACTORPROF_METRICS_STRAGGLER_FACTOR", c.metrics_straggler_factor,
+      /*min=*/1.0, "a factor >= 1.0");
+  return c;
+}
+
+}  // namespace ap::prof

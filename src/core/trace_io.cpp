@@ -2,8 +2,8 @@
 
 #include <charconv>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "core/profiler.hpp"
 
@@ -18,22 +18,31 @@ namespace {
                            "): " + line);
 }
 
-/// Split a CSV line into trimmed fields.
-std::vector<std::string> split_csv(const std::string& line) {
-  std::vector<std::string> out;
-  std::string field;
-  std::stringstream ss(line);
-  while (std::getline(ss, field, ',')) {
-    const auto a = field.find_first_not_of(" \t");
-    const auto b = field.find_last_not_of(" \t\r");
-    out.push_back(a == std::string::npos ? std::string{}
-                                         : field.substr(a, b - a + 1));
+/// Split a CSV line into trimmed fields without allocating: the scanner
+/// writes views over `line` into the caller-owned `out`, which parse
+/// loops reuse across lines. (The viz CLI reloads million-row
+/// PEi_send.csv files; a stringstream per line used to dominate.)
+void split_csv(std::string_view line, std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', pos);
+    const std::size_t end = comma == std::string_view::npos ? line.size()
+                                                            : comma;
+    std::string_view f = line.substr(pos, end - pos);
+    while (!f.empty() && (f.front() == ' ' || f.front() == '\t'))
+      f.remove_prefix(1);
+    while (!f.empty() &&
+           (f.back() == ' ' || f.back() == '\t' || f.back() == '\r'))
+      f.remove_suffix(1);
+    out.push_back(f);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
   }
-  return out;
 }
 
 template <class T>
-T to_num(const std::string& s, std::size_t line_no, const std::string& line) {
+T to_num(std::string_view s, std::size_t line_no, const std::string& line) {
   T value{};
   const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
   if (ec != std::errc{} || p != s.data() + s.size())
@@ -49,7 +58,7 @@ bool skippable(const std::string& line) {
   return true;  // blank
 }
 
-convey::SendType parse_send_type(const std::string& s, std::size_t line_no,
+convey::SendType parse_send_type(std::string_view s, std::size_t line_no,
                                  const std::string& line) {
   if (s == "local_send") return convey::SendType::local_send;
   if (s == "nonblock_send") return convey::SendType::nonblock_send;
@@ -178,12 +187,15 @@ void write_all(const Profiler& prof, const Config& cfg) {
 
 std::vector<LogicalSendRecord> parse_logical(std::istream& is) {
   std::vector<LogicalSendRecord> out;
+  out.reserve(1024);
+  std::vector<std::string_view> f;
+  f.reserve(8);
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
     if (skippable(line)) continue;
-    const auto f = split_csv(line);
+    split_csv(line, f);
     if (f.size() != 5) parse_fail(line_no, line, "expected 5 fields");
     LogicalSendRecord r;
     r.src_node = to_num<int>(f[0], line_no, line);
@@ -198,12 +210,15 @@ std::vector<LogicalSendRecord> parse_logical(std::istream& is) {
 
 std::vector<PapiSegmentRecord> parse_papi(std::istream& is) {
   std::vector<PapiSegmentRecord> out;
+  out.reserve(1024);
+  std::vector<std::string_view> f;
+  f.reserve(16);
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
     if (skippable(line)) continue;
-    const auto f = split_csv(line);
+    split_csv(line, f);
     if (f.size() < 8) parse_fail(line_no, line, "expected >= 8 fields");
     PapiSegmentRecord r;
     r.src_node = to_num<int>(f[0], line_no, line);
@@ -248,10 +263,13 @@ std::vector<OverallRecord> parse_overall(std::istream& is) {
         paren_close == std::string::npos)
       parse_fail(line_no, line, "malformed Absolute line");
     OverallRecord r;
-    r.pe = to_num<int>(line.substr(pe_open + 3, pe_close - pe_open - 3),
-                       line_no, line);
-    const auto nums =
-        split_csv(line.substr(paren + 1, paren_close - paren - 1));
+    r.pe = to_num<int>(
+        std::string_view(line).substr(pe_open + 3, pe_close - pe_open - 3),
+        line_no, line);
+    std::vector<std::string_view> nums;
+    split_csv(std::string_view(line).substr(paren + 1,
+                                            paren_close - paren - 1),
+              nums);
     if (nums.size() != 3) parse_fail(line_no, line, "expected 3 numbers");
     r.t_main = to_num<std::uint64_t>(nums[0], line_no, line);
     const auto t_comm = to_num<std::uint64_t>(nums[1], line_no, line);
@@ -264,12 +282,15 @@ std::vector<OverallRecord> parse_overall(std::istream& is) {
 
 std::vector<PhysicalRecord> parse_physical(std::istream& is) {
   std::vector<PhysicalRecord> out;
+  out.reserve(1024);
+  std::vector<std::string_view> f;
+  f.reserve(8);
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
     if (skippable(line)) continue;
-    const auto f = split_csv(line);
+    split_csv(line, f);
     if (f.size() != 4) parse_fail(line_no, line, "expected 4 fields");
     PhysicalRecord r;
     r.type = parse_send_type(f[0], line_no, line);

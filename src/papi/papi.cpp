@@ -55,27 +55,32 @@ int total_running_events(const PeCounters& pc) {
   return n;
 }
 
-void add_cycles_for(std::uint64_t ins, std::uint64_t l1_dcm,
-                    std::uint64_t l2_dcm) {
+/// Charge `n` identical operations in one call. Every per-event amount is
+/// the single-call rounded value multiplied by n, so one charge_n(n, ...)
+/// is byte-identical to n charge(...) calls — the property the runtime's
+/// once-per-batch accounting depends on.
+void charge_n(std::uint64_t n, std::uint64_t ins, std::uint64_t loads,
+              std::uint64_t stores, std::uint64_t branches,
+              std::uint64_t l1_dcm, std::uint64_t l2_dcm) {
+  raw(Event::TOT_INS) += n * ins;
+  raw(Event::LD_INS) += n * loads;
+  raw(Event::SR_INS) += n * stores;
+  raw(Event::LST_INS) += n * (loads + stores);
+  raw(Event::BR_INS) += n * branches;
+  raw(Event::BR_MSP) += n * (branches * g_model.br_msp_per_1024 / 1024);
+  raw(Event::L1_DCM) += n * l1_dcm;
+  raw(Event::L2_DCM) += n * l2_dcm;
   const CostModel& m = g_model;
   const std::uint64_t cyc = ins * 16 / (m.ipc_x16 == 0 ? 16 : m.ipc_x16) +
                             l1_dcm * m.l1_penalty_cycles +
                             l2_dcm * m.l2_penalty_cycles;
-  raw(Event::TOT_CYC) += cyc;
+  raw(Event::TOT_CYC) += n * cyc;
 }
 
 void charge(std::uint64_t ins, std::uint64_t loads, std::uint64_t stores,
             std::uint64_t branches, std::uint64_t l1_dcm,
             std::uint64_t l2_dcm) {
-  raw(Event::TOT_INS) += ins;
-  raw(Event::LD_INS) += loads;
-  raw(Event::SR_INS) += stores;
-  raw(Event::LST_INS) += loads + stores;
-  raw(Event::BR_INS) += branches;
-  raw(Event::BR_MSP) += branches * g_model.br_msp_per_1024 / 1024;
-  raw(Event::L1_DCM) += l1_dcm;
-  raw(Event::L2_DCM) += l2_dcm;
-  add_cycles_for(ins, l1_dcm, l2_dcm);
+  charge_n(1, ins, loads, stores, branches, l1_dcm, l2_dcm);
 }
 
 }  // namespace
@@ -112,22 +117,30 @@ void account(Event e, std::uint64_t n) {
   raw(e) += n;
 }
 
-void account_message_construct(std::size_t bytes) {
+void account_message_construct_n(std::size_t bytes, std::uint64_t n) {
   const CostModel& m = g_model;
   const std::uint64_t payload_ins =
       bytes * m.ins_per_payload_byte_num / m.ins_per_payload_byte_den;
   const std::uint64_t ins = m.ins_per_message_construct + payload_ins;
-  charge(ins, /*loads=*/2 + bytes / 16, /*stores=*/3 + bytes / 8,
-         m.branches_per_message, /*l1=*/0, /*l2=*/0);
+  charge_n(n, ins, /*loads=*/2 + bytes / 16, /*stores=*/3 + bytes / 8,
+           m.branches_per_message, /*l1=*/0, /*l2=*/0);
 }
 
-void account_message_handle(std::size_t bytes) {
+void account_message_construct(std::size_t bytes) {
+  account_message_construct_n(bytes, 1);
+}
+
+void account_message_handle_n(std::size_t bytes, std::uint64_t n) {
   const CostModel& m = g_model;
   const std::uint64_t payload_ins =
       bytes * m.ins_per_payload_byte_num / m.ins_per_payload_byte_den;
   const std::uint64_t ins = m.ins_per_message_handle + payload_ins;
-  charge(ins, /*loads=*/3 + bytes / 8, /*stores=*/1 + bytes / 16,
-         m.branches_per_message, /*l1=*/0, /*l2=*/0);
+  charge_n(n, ins, /*loads=*/3 + bytes / 8, /*stores=*/1 + bytes / 16,
+           m.branches_per_message, /*l1=*/0, /*l2=*/0);
+}
+
+void account_message_handle(std::size_t bytes) {
+  account_message_handle_n(bytes, 1);
 }
 
 void account_buffer_copy(std::size_t bytes) {

@@ -93,6 +93,12 @@ void account(Event e, std::uint64_t n);
 void account_message_construct(std::size_t bytes);
 /// A received message of `bytes` payload is handled by user code.
 void account_message_handle(std::size_t bytes);
+/// Batch forms: `n` messages accounted in one call. Charges are exactly
+/// n times the single-call charge (per-call rounding preserved), so the
+/// runtime's batch-drain path produces byte-identical counters to the
+/// per-item path it replaced.
+void account_message_construct_n(std::size_t bytes, std::uint64_t n);
+void account_message_handle_n(std::size_t bytes, std::uint64_t n);
 /// Bulk memcpy of `bytes` (buffer aggregation and delivery).
 void account_buffer_copy(std::size_t bytes);
 /// `n` iterations of scalar loop work.

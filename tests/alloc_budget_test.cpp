@@ -1,0 +1,269 @@
+// Fast-path regression tests for the flat-buffer conveyor data plane
+// (docs/PERFORMANCE.md): steady-state push/advance/pull cycles perform
+// zero heap allocations, and ConveyorStats.memcpys matches the documented
+// copy budget exactly — push 1/item, flush 1/buffer, delivery 1/run,
+// pull 1/item, drain 0/item.
+//
+// The global counting operator new/delete is installed in this binary
+// only; the probe counters are process-wide, which in the fiber simulator
+// means a fenced window covers every PE's work in that window.
+//
+// Phase separation never parks a PE in a blocking barrier mid-session: a
+// parked PE makes no conveyor progress, which both deadlocks multi-hop
+// routes (intermediate PEs must keep forwarding) and piles deliveries into
+// a burst that distorts steady-state buffer occupancy. Instead PEs pass a
+// cooperative fence — an arrival counter spun on while still advancing and
+// pulling. Two full warmup cycles grow every buffer to its steady capacity
+// (cycle 2 starts from the same mid-stream state cycle 3 does); cycle 3 is
+// the measured window.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "conveyor/conveyor.hpp"
+#include "core/alloc_probe.hpp"
+#include "runtime/scheduler.hpp"
+#include "shmem/shmem.hpp"
+
+ACTORPROF_ALLOC_PROBE_DEFINE()
+
+namespace {
+
+namespace convey = ap::convey;
+namespace shmem = ap::shmem;
+using ap::prof::AllocProbe;
+using ap::rt::LaunchConfig;
+
+LaunchConfig cfg_of(int pes, int ppn) {
+  LaunchConfig cfg;
+  cfg.num_pes = pes;
+  cfg.pes_per_node = ppn;
+  cfg.symm_heap_bytes = 16 << 20;
+  return cfg;
+}
+
+constexpr std::size_t kMsgs = 3000;  // per PE, per cycle
+
+/// Push `kMsgs` items round-robin, advancing and pulling as we go, without
+/// entering the endgame (no done=true): the steady-state inner loop only.
+void steady_rounds(convey::Conveyor& c, std::int64_t base) {
+  const int me = shmem::my_pe();
+  const int n = shmem::n_pes();
+  std::size_t i = 0;
+  while (i < kMsgs) {
+    for (; i < kMsgs; ++i) {
+      const std::int64_t v = base + static_cast<std::int64_t>(i);
+      const int dst = static_cast<int>((static_cast<std::size_t>(me) + i) %
+                                       static_cast<std::size_t>(n));
+      if (!c.push(&v, dst)) break;
+    }
+    (void)c.advance(false);
+    std::int64_t item;
+    int from;
+    while (c.pull(&item, &from)) {
+    }
+    ap::rt::yield();
+  }
+}
+
+/// Cooperative fence: announce arrival, then keep the conveyor moving until
+/// every PE arrived, plus a few settle rounds to drain in-flight tails.
+void fence(convey::Conveyor& c, std::atomic<int>& gate) {
+  gate.fetch_add(1, std::memory_order_relaxed);
+  std::int64_t item;
+  int from;
+  int settle = 8;
+  while (gate.load(std::memory_order_relaxed) < shmem::n_pes() ||
+         settle-- > 0) {
+    (void)c.advance(false);
+    while (c.pull(&item, &from)) {
+    }
+    ap::rt::yield();
+  }
+}
+
+/// Drive the endgame: declare done and drain until global completion.
+void finish(convey::Conveyor& c) {
+  while (c.advance(true)) {
+    std::int64_t item;
+    int from;
+    while (c.pull(&item, &from)) {
+    }
+    ap::rt::yield();
+  }
+}
+
+/// Runs two identical warmup cycles (buffers reach steady capacity), then
+/// asserts a third identical cycle allocates nothing anywhere.
+void expect_zero_steady_allocs(int pes, int ppn) {
+  std::atomic<int> gate1{0}, gate2{0}, gate3{0};
+  std::uint64_t before = 0;
+  shmem::run(cfg_of(pes, ppn), [&] {
+    convey::Options o;
+    o.item_bytes = sizeof(std::int64_t);
+    o.buffer_bytes = 512;
+    auto c = convey::Conveyor::create(o);
+
+    steady_rounds(*c, 0);  // cycle 1: first-touch growth
+    fence(*c, gate1);
+    steady_rounds(*c, 1 << 20);  // cycle 2: growth from mid-stream state
+    fence(*c, gate2);
+
+    if (shmem::my_pe() == 0) {
+      before = AllocProbe::count();
+      AllocProbe::trap = true;  // dump a backtrace per (unexpected) alloc
+    }
+
+    steady_rounds(*c, 2 << 20);  // cycle 3: measured
+    fence(*c, gate3);
+
+    if (shmem::my_pe() == 0) {
+      AllocProbe::trap = false;
+      const std::uint64_t after = AllocProbe::count();
+      EXPECT_EQ(after - before, 0u)
+          << "steady-state push/advance/pull allocated " << (after - before)
+          << " times on " << shmem::n_pes() << " PEs";
+    }
+    finish(*c);
+  });
+}
+
+TEST(AllocBudget, SteadyStateIsAllocationFreeSingleNode) {
+  ASSERT_GT(AllocProbe::count(), 0u) << "probe not installed in this binary";
+  expect_zero_steady_allocs(8, 8);  // local_send path only
+}
+
+TEST(AllocBudget, SteadyStateIsAllocationFreeMultiNode) {
+  expect_zero_steady_allocs(8, 4);  // nbi + quiet + signal path, 2D mesh
+}
+
+TEST(AllocBudget, SteadyStateDrainIsAllocationFree) {
+  std::atomic<int> gate1{0}, gate2{0}, gate3{0};
+  std::uint64_t before = 0;
+  shmem::run(cfg_of(8, 8), [&] {
+    convey::Options o;
+    o.item_bytes = sizeof(std::int64_t);
+    o.buffer_bytes = 512;
+    auto c = convey::Conveyor::create(o);
+    const int me = shmem::my_pe();
+    const int n = shmem::n_pes();
+    std::int64_t sink = 0;
+
+    auto drain_all = [&] {
+      c->drain([&](const convey::Delivered& d) {
+        std::int64_t v;
+        std::memcpy(&v, d.payload, sizeof v);
+        sink += v + d.src;
+      });
+    };
+    auto drain_rounds = [&](std::int64_t base) {
+      std::size_t i = 0;
+      while (i < kMsgs) {
+        for (; i < kMsgs; ++i) {
+          const std::int64_t v = base + static_cast<std::int64_t>(i);
+          const int dst = static_cast<int>((static_cast<std::size_t>(me) + i) %
+                                           static_cast<std::size_t>(n));
+          if (!c->push(&v, dst)) break;
+        }
+        (void)c->advance(false);
+        drain_all();
+        ap::rt::yield();
+      }
+    };
+    auto drain_fence = [&](std::atomic<int>& gate) {
+      gate.fetch_add(1, std::memory_order_relaxed);
+      int settle = 8;
+      while (gate.load(std::memory_order_relaxed) < n || settle-- > 0) {
+        (void)c->advance(false);
+        drain_all();
+        ap::rt::yield();
+      }
+    };
+
+    drain_rounds(0);
+    drain_fence(gate1);
+    drain_rounds(1 << 20);
+    drain_fence(gate2);
+
+    if (me == 0) {
+      before = AllocProbe::count();
+      AllocProbe::trap = true;
+    }
+
+    drain_rounds(2 << 20);
+    drain_fence(gate3);
+
+    if (me == 0) {
+      AllocProbe::trap = false;
+      const std::uint64_t after = AllocProbe::count();
+      EXPECT_EQ(after - before, 0u)
+          << "steady-state drain allocated " << (after - before) << " times";
+    }
+    while (c->advance(true)) {
+      drain_all();
+      ap::rt::yield();
+    }
+    EXPECT_NE(sink, 0);  // payloads really flowed through the callback
+  });
+}
+
+// On a single node routing is direct, so every delivered buffer is one
+// contiguous same-destination run: the documented budget is exact, not a
+// bound. Pull path: memcpys == pushed + pulled + 2*sends (flush + run per
+// buffer). Drain path drops the per-item pull copy entirely.
+TEST(AllocBudget, MemcpysMatchDocumentedBudgetPullPath) {
+  convey::ConveyorStats total{};
+  shmem::run(cfg_of(8, 8), [&total] {
+    convey::Options o;
+    o.item_bytes = sizeof(std::int64_t);
+    o.buffer_bytes = 256;
+    auto c = convey::Conveyor::create(o);
+    steady_rounds(*c, 0);
+    finish(*c);
+    shmem::barrier_all();
+    if (shmem::my_pe() == 0) total = c->total_stats();
+    shmem::barrier_all();
+  });
+  EXPECT_EQ(total.pushed, 8u * kMsgs);
+  EXPECT_EQ(total.pulled, total.pushed);
+  EXPECT_EQ(total.nonblock_sends, 0u);
+  EXPECT_EQ(total.memcpys,
+            total.pushed + total.pulled + 2 * total.local_sends);
+}
+
+TEST(AllocBudget, MemcpysMatchDocumentedBudgetDrainPath) {
+  convey::ConveyorStats total{};
+  shmem::run(cfg_of(8, 8), [&total] {
+    convey::Options o;
+    o.item_bytes = sizeof(std::int64_t);
+    o.buffer_bytes = 256;
+    auto c = convey::Conveyor::create(o);
+    const int me = shmem::my_pe();
+    const int n = shmem::n_pes();
+    std::size_t i = 0;
+    bool done = false;
+    while (c->advance(done)) {
+      for (; i < kMsgs; ++i) {
+        const std::int64_t v = static_cast<std::int64_t>(i);
+        const int dst = static_cast<int>((static_cast<std::size_t>(me) + i) %
+                                         static_cast<std::size_t>(n));
+        if (!c->push(&v, dst)) break;
+      }
+      c->drain([](const convey::Delivered&) {});
+      done = (i == kMsgs);
+      ap::rt::yield();
+    }
+    shmem::barrier_all();
+    if (me == 0) total = c->total_stats();
+    shmem::barrier_all();
+  });
+  EXPECT_EQ(total.pulled, total.pushed);
+  EXPECT_GT(total.drains, 0u);
+  // No per-item copy on the consume side: only push + flush + run copies.
+  EXPECT_EQ(total.memcpys, total.pushed + 2 * total.local_sends);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Conveyor fast-path bench baselines: builds the micro benches, runs each
+# in --json mode (fixed comparable configs, best-of-3 inside the binary),
+# and assembles BENCH_conveyor.json at the repo root next to the recorded
+# pre-optimization baseline. Run from anywhere; see docs/PERFORMANCE.md
+# for what the metrics mean and how the baseline was captured.
+#
+#   tools/bench.sh             # full run (~1 min)
+#   AP_SCALE=9 tools/bench.sh  # smaller triangle graph
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+cmake --preset default >/dev/null
+cmake --build --preset default -j "${jobs}" \
+  --target micro_conveyor micro_selector scaling_triangle
+
+bin=build/bench
+tmp=$(mktemp -d)
+trap 'rm -rf "${tmp}"' EXIT
+
+# Pin to one core when possible: the simulator is single-threaded and
+# wander between cores mostly adds noise.
+run() {
+  if command -v taskset >/dev/null 2>&1; then
+    taskset -c 0 "$@"
+  else
+    "$@"
+  fi
+}
+
+run "${bin}/micro_conveyor" --json="${tmp}/conveyor.json"
+run "${bin}/micro_selector" --json="${tmp}/selector.json"
+AP_SCALE="${AP_SCALE:-10}" run "${bin}/scaling_triangle" --json="${tmp}/triangle.json"
+
+# Pre-optimization baseline: micro_conveyor pull path at the same
+# 8 PEs / 8 per node / 1024-byte-buffer configuration, captured on this
+# machine at the commit before the flat-buffer data plane landed
+# (google-benchmark harness, taskset -c 0, RelWithDebInfo).
+baseline='{
+    "note": "pull path before the flat-buffer rewrite, same 8/8/1024 config",
+    "items_per_sec": 28280000.0,
+    "items_per_sec_256B": 14900000.0,
+    "items_per_sec_8192B": 27690000.0
+  }'
+
+{
+  echo '{'
+  echo '  "baseline_pre_rewrite": '"${baseline}"','
+  echo '  "micro_conveyor":'
+  sed 's/^/  /' "${tmp}/conveyor.json" | sed '$ s/$/,/'
+  echo '  "micro_selector":'
+  sed 's/^/  /' "${tmp}/selector.json" | sed '$ s/$/,/'
+  echo '  "scaling_triangle":'
+  sed 's/^/  /' "${tmp}/triangle.json"
+  echo '}'
+} > BENCH_conveyor.json
+
+echo "Wrote BENCH_conveyor.json:"
+cat BENCH_conveyor.json

@@ -23,4 +23,17 @@ for preset in "${presets[@]}"; do
   ctest --preset "${preset}" -j "${jobs}"
 done
 
+# Bench smoke: the benches must build, and the --json fast-path report
+# (what tools/bench.sh records into BENCH_conveyor.json) must still run.
+# One short iteration only — this is a does-it-work check, not a
+# measurement; see docs/PERFORMANCE.md for real baselines.
+echo "==== bench smoke ===="
+cmake --build --preset default -j "${jobs}" \
+  --target micro_conveyor micro_selector scaling_triangle
+smoke_json=$(mktemp)
+trap 'rm -f "${smoke_json}"' EXIT
+build/bench/micro_conveyor --json="${smoke_json}" --msgs=2000
+grep -q '"items_per_sec"' "${smoke_json}"
+echo "bench smoke OK"
+
 echo "All presets green."
