@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "faultinject/faultinject.hpp"
 #include "papi/papi.hpp"
 #include "runtime/scheduler.hpp"
 
@@ -127,7 +128,12 @@ struct Conveyor::Group {
 
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
+  /// Items dropped because a fault-injected PE died holding (or being the
+  /// destination of) them. Counted toward termination: a conveyor is
+  /// complete when injected == delivered + lost.
+  std::uint64_t lost = 0;
   int done_count = 0;
+  std::vector<char> done_flags;      // per-PE done (for dead-PE termination)
   std::vector<Endpoint*> endpoints;  // registered per PE (for stats)
 
   Group(const Options& o, const shmem::Topology& t)
@@ -147,6 +153,7 @@ struct Conveyor::Group {
       throw std::invalid_argument(
           "Conveyor: buffer_bytes too small for even one record");
     endpoints.assign(static_cast<std::size_t>(t.num_pes()), nullptr);
+    done_flags.assign(static_cast<std::size_t>(t.num_pes()), 0);
   }
 
   [[nodiscard]] std::size_t payload_capacity() const {
@@ -199,8 +206,19 @@ Conveyor::Conveyor(std::shared_ptr<Group> group, int pe)
   e.consumed_from.assign(static_cast<std::size_t>(n), 0);
 
   g.endpoints[static_cast<std::size_t>(pe)] = &e;
-  // Everyone must see everyone's rings allocated before any transfer.
-  shmem::barrier_all();
+  // Everyone must see everyone's rings allocated before any transfer. This
+  // barrier can throw fi::PeKilledError (a kill placed at conveyor setup);
+  // the destructor won't run for a throwing constructor, so deregister and
+  // free here or survivors' total_stats() would read the freed endpoint.
+  try {
+    shmem::barrier_all();
+  } catch (...) {
+    g.endpoints[static_cast<std::size_t>(pe)] = nullptr;
+    shmem::symm_free(e.ring);
+    shmem::symm_free(e.published_from);
+    shmem::symm_free(e.acked_by);
+    throw;
+  }
 }
 
 namespace {
@@ -226,6 +244,13 @@ void reset_lifetime_totals() { g_lifetime = ConveyorStats{}; }
 Conveyor::~Conveyor() {
   Endpoint& e = *self_;
   accumulate(g_lifetime, e.stats);
+  // A killed PE's endpoint is destroyed while its body unwinds (the PE is
+  // already marked dead at that point). Everything it still holds — queued,
+  // staged, or landed-but-unconsumed records — will never be delivered;
+  // account it as lost so the survivors' advance() loops can terminate.
+  if (group_ && rt::in_spmd_region() && fi::active() && e.pe >= 0 &&
+      !shmem::pe_alive(e.pe))
+    account_dead_endpoint();
   if (group_ && e.pe >= 0 &&
       static_cast<std::size_t>(e.pe) < group_->endpoints.size())
     group_->endpoints[static_cast<std::size_t>(e.pe)] = nullptr;
@@ -236,6 +261,44 @@ Conveyor::~Conveyor() {
     shmem::symm_free(e.published_from);
     shmem::symm_free(e.acked_by);
   }
+}
+
+void Conveyor::account_dead_endpoint() {
+  Group& g = *group_;
+  Endpoint& e = *self_;
+  const int n = g.topo.num_pes();
+  std::size_t bytes = e.recv.pending() + e.drain_buf.pending();
+  for (const OutBuf& ob : e.out) bytes += ob.pending();
+  std::uint64_t lost = bytes / g.record_bytes;
+  // Flushed into staging but never published: the staged nbi puts were
+  // dropped when the PE was marked dead, so these records are gone.
+  for (int hop = 0; hop < n; ++hop) {
+    const auto h = static_cast<std::size_t>(hop);
+    for (std::int64_t seq = e.seq_published[h]; seq < e.seq_flushed[h];
+         ++seq) {
+      const auto& stage =
+          e.staging[h * static_cast<std::size_t>(g.opts.slots) +
+                    static_cast<std::size_t>(seq % g.opts.slots)];
+      std::int64_t len = 0;
+      std::memcpy(&len, stage.data(), sizeof len);
+      lost += static_cast<std::uint64_t>(len) / g.record_bytes;
+    }
+  }
+  // Landed in this PE's ring (published by senders) but never consumed.
+  for (int src = 0; src < n; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    for (std::int64_t seq = e.consumed_from[s]; seq < e.published_from[s];
+         ++seq) {
+      const std::byte* base =
+          e.ring + (s * static_cast<std::size_t>(g.opts.slots) +
+                    static_cast<std::size_t>(seq % g.opts.slots)) *
+                       g.slot_stride;
+      std::int64_t len = 0;
+      std::memcpy(&len, base, sizeof len);
+      lost += static_cast<std::uint64_t>(len) / g.record_bytes;
+    }
+  }
+  g.lost += lost;
 }
 
 const Options& Conveyor::options() const { return group_->opts; }
@@ -253,7 +316,7 @@ ConveyorStats Conveyor::total_stats() const {
 }
 
 std::uint64_t Conveyor::items_in_flight() const {
-  return group_->injected - group_->delivered;
+  return group_->injected - group_->delivered - group_->lost;
 }
 
 // --------------------------------------------------------------------- push
@@ -298,6 +361,16 @@ bool Conveyor::try_flush(int next_hop) {
   OutBuf& ob = e.out[static_cast<std::size_t>(next_hop)];
   ob.compact();
   if (ob.pending() == 0) return true;
+
+  // A dead next hop consumes nothing ever again: drop everything queued
+  // toward it and account the records as lost (checked before the ring
+  // availability test — dead receivers stop acking too).
+  if (fi::active() && !shmem::pe_alive(next_hop)) {
+    g.lost += ob.pending() / g.record_bytes;
+    ob.head = ob.tail;
+    ob.compact();
+    return true;
+  }
 
   const auto hop_idx = static_cast<std::size_t>(next_hop);
   // Free ring slot available? Double buffering: with `slots` buffers per
@@ -419,6 +492,22 @@ void Conveyor::progress_pending() {
   for (int hop = 0; hop < n; ++hop) {
     const auto h = static_cast<std::size_t>(hop);
     if (e.seq_published[h] >= e.seq_flushed[h]) continue;
+    if (fi::active() && !shmem::pe_alive(hop)) {
+      // The receiver died between our flush and this publish: nobody will
+      // ever consume these buffers. Retire the slots and count the staged
+      // records as lost instead of signalling a corpse.
+      for (std::int64_t seq = e.seq_published[h]; seq < e.seq_flushed[h];
+           ++seq) {
+        const auto& stage =
+            e.staging[h * static_cast<std::size_t>(g.opts.slots) +
+                      static_cast<std::size_t>(seq % g.opts.slots)];
+        std::int64_t len = 0;
+        std::memcpy(&len, stage.data(), sizeof len);
+        g.lost += static_cast<std::uint64_t>(len) / g.record_bytes;
+      }
+      e.seq_published[h] = e.seq_flushed[h];
+      continue;
+    }
     const std::int64_t pub = e.seq_flushed[h];
     shmem::put(static_cast<void*>(e.published_from + e.pe), &pub, sizeof pub,
                hop);
@@ -460,7 +549,14 @@ void Conveyor::deliver_incoming() {
       while (off < end) {
         const std::int32_t dst = load_dst(data + off);
         std::size_t run = rec_sz;
-        if (dst == e.pe) {
+        if (fi::active() && dst != e.pe &&
+            !shmem::pe_alive(static_cast<int>(dst))) {
+          // Forwarding toward a dead destination would park the records in
+          // a queue nobody drains; drop the whole run here and account it.
+          while (off + run < end && load_dst(data + off + run) == dst)
+            run += rec_sz;
+          g.lost += run / rec_sz;
+        } else if (dst == e.pe) {
           while (off + run < end && load_dst(data + off + run) == e.pe)
             run += rec_sz;
           // Final destination: wire records land verbatim in the recv
@@ -582,6 +678,14 @@ bool Conveyor::advance(bool done) {
   Group& g = *group_;
   Endpoint& e = *self_;
 
+  if (fi::active() && fi::on_advance(e.pe)) {
+    // Stalled progress cycle: the fault plan decided this PE's progress
+    // loop "was not called" this round — no delivery, no flush, no
+    // publish. Windows are bounded, so termination is only delayed.
+    papi::account_poll();
+    return true;
+  }
+
   papi::account_poll();
   if (g_observer != nullptr) {
     // Backpressure snapshot before this round moves anything: bytes queued
@@ -595,6 +699,7 @@ bool Conveyor::advance(bool done) {
 
   if (done && !e.done_reported) {
     e.done_reported = true;
+    g.done_flags[static_cast<std::size_t>(e.pe)] = 1;
     g.done_count++;
   }
 
@@ -610,8 +715,21 @@ bool Conveyor::advance(bool done) {
 
   deliver_incoming();
 
+  bool all_done = g.done_count == g.topo.num_pes();
+  if (!all_done && fi::active()) {
+    // A killed PE never declares done; count it as done so the survivors'
+    // termination does not wait for a corpse.
+    all_done = true;
+    for (int pe = 0; pe < g.topo.num_pes(); ++pe) {
+      if (!g.done_flags[static_cast<std::size_t>(pe)] &&
+          shmem::pe_alive(pe)) {
+        all_done = false;
+        break;
+      }
+    }
+  }
   const bool globally_done =
-      g.done_count == g.topo.num_pes() && g.injected == g.delivered;
+      all_done && g.injected == g.delivered + g.lost;
   const bool locally_drained =
       e.recv.pending() == 0 && e.drain_buf.pending() == 0;
   return !(globally_done && locally_drained);

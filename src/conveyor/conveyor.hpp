@@ -185,6 +185,9 @@ class Conveyor {
   bool try_flush(int next_hop);
   void flush_all();
   void progress_pending();
+  /// Count everything a dying PE's endpoint still holds as lost (fault
+  /// injection; called from the destructor during the kill unwind).
+  void account_dead_endpoint();
 
   std::shared_ptr<Group> group_;
   std::unique_ptr<Endpoint> self_;

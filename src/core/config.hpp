@@ -80,6 +80,14 @@ struct Config {
   /// exceeds this multiple of the fleet median. Must be >= 1.
   double metrics_straggler_factor = 2.0;
 
+  /// Checkpoint traces at epoch boundaries: once every PE has closed an
+  /// epoch since the last flush, write_all() runs again, so a PE killed
+  /// later (fault injection) still leaves a loadable on-disk prefix.
+  /// write_all() is always atomic-rename crash-safe; this flag only adds
+  /// the periodic mid-run flushes. Defaults on when ACTORPROF_FI_KILL_PE
+  /// is set (see docs/FAULT_INJECTION.md).
+  bool crash_safe = false;
+
   /// The PAPI events recorded per segment (≤ 4 — the PAPI limitation the
   /// paper calls out). The case study uses PAPI_TOT_INS + PAPI_LST_INS.
   std::array<papi::Event, papi::kMaxEventsPerSet> papi_events{
@@ -110,6 +118,9 @@ struct Config {
   ///   ACTORPROF_METRICS_INTERVAL_MS (>0)  — sampler cadence, virtual ms
   ///   ACTORPROF_METRICS_RING (>0 int)     — snapshot ring capacity
   ///   ACTORPROF_METRICS_STRAGGLER_FACTOR (>=1) — anomaly threshold
+  ///   ACTORPROF_CRASH_SAFE (0/1)          — epoch-boundary trace
+  ///                                         checkpoints; defaults to 1
+  ///                                         when ACTORPROF_FI_KILL_PE set
   /// The ACTORPROF_METRICS*/ACTORPROF_TIMELINE variables are parsed
   /// strictly: a malformed or out-of-range value throws
   /// std::invalid_argument naming the variable and the offending text.

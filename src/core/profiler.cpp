@@ -174,6 +174,20 @@ void Profiler::epoch_end() {
     d.events.push_back(
         TimelineEvent{TimelineEvent::Kind::EndMain, d.last_cycles, 0, 0});
   d.in_epoch = false;
+
+  // Crash-safe checkpoint: once every live PE has closed an epoch since
+  // the last flush, persist what we have. A PE killed in a later epoch
+  // then leaves a loadable prefix on disk (write_all is atomic-rename, so
+  // a kill mid-checkpoint can only lose the file being replaced, never
+  // corrupt it).
+  if (cfg_.crash_safe) {
+    const int live =
+        rt::in_spmd_region() ? shmem::live_pes() : num_pes();
+    if (++epoch_ends_since_flush_ >= live && live > 0) {
+      epoch_ends_since_flush_ = 0;
+      io::write_all(*this, cfg_);
+    }
+  }
 }
 
 bool Profiler::epoch_active() const {

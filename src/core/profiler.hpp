@@ -251,6 +251,9 @@ class Profiler final : public actor::ActorObserver,
   metrics::OverheadMeter meter_;
   std::uint64_t last_sample_cycles_ = 0;
   bool have_sample_baseline_ = false;
+  /// Epoch-boundary checkpointing (Config::crash_safe): epoch_end() calls
+  /// since the last mid-run write_all() flush.
+  int epoch_ends_since_flush_ = 0;
   std::vector<std::int64_t> sample_scratch_;
   std::vector<double> detect_scratch_;
 };

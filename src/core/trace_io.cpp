@@ -2,20 +2,25 @@
 
 #include <charconv>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 
 #include "core/profiler.hpp"
+#include "faultinject/faultinject.hpp"
 
 namespace ap::prof::io {
+
+TraceParseError::TraceParseError(std::size_t line_no, const std::string& what)
+    : std::runtime_error(what), line_no_(line_no) {}
 
 namespace {
 
 [[noreturn]] void parse_fail(std::size_t line_no, const std::string& line,
                              const char* what) {
-  throw std::runtime_error("trace parse error at line " +
-                           std::to_string(line_no) + " (" + what +
-                           "): " + line);
+  throw TraceParseError(line_no, "trace parse error at line " +
+                                     std::to_string(line_no) + " (" + what +
+                                     "): " + line);
 }
 
 /// Split a CSV line into trimmed fields without allocating: the scanner
@@ -146,48 +151,152 @@ void write_physical(std::ostream& os,
   }
 }
 
+std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// Write `body` to dir/name via a ".tmp" sibling + atomic rename. Returns
+/// false (after cleaning up the tmp) when any step fails — the aggregated
+/// error in write_all reports it.
+bool atomic_write_file(const std::filesystem::path& dir,
+                       const std::string& name, const std::string& body) {
+  namespace fs = std::filesystem;
+  const fs::path tmp = dir / (name + ".tmp");
+  const fs::path dst = dir / name;
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::error_code ignore;
+      fs::remove(tmp, ignore);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, dst, ec);
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    return false;
+  }
+  return true;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  static const char* digits = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = digits[v & 0xf];
+    v >>= 4;
+  }
+  buf[16] = '\0';
+  return buf;
+}
+
+}  // namespace
+
 void write_all(const Profiler& prof, const Config& cfg) {
   namespace fs = std::filesystem;
-  fs::create_directories(cfg.trace_dir);
+  std::error_code ec;
+  fs::create_directories(cfg.trace_dir, ec);
+  if (ec)
+    throw std::runtime_error("write_all: cannot create trace dir " +
+                             cfg.trace_dir.string() + ": " + ec.message());
   const int n = prof.num_pes();
+
+  std::vector<ManifestEntry> written;
+  std::vector<std::string> failed;
+  const auto emit = [&](const std::string& name, const std::string& body,
+                        std::uint64_t records) {
+    if (atomic_write_file(cfg.trace_dir, name, body))
+      written.push_back(ManifestEntry{name, records, body.size(),
+                                      fnv1a64(body.data(), body.size())});
+    else
+      failed.push_back(name);
+  };
 
   if (cfg.logical && cfg.keep_logical_events) {
     for (int pe = 0; pe < n; ++pe) {
-      std::ofstream os(cfg.trace_dir / logical_file_name(pe));
+      std::ostringstream os;
       write_logical(os, prof.logical_events(pe));
+      emit(logical_file_name(pe), os.str(), prof.logical_events(pe).size());
     }
   }
   if (cfg.papi) {
     for (int pe = 0; pe < n; ++pe) {
-      std::ofstream os(cfg.trace_dir / papi_file_name(pe));
-      write_papi(os, prof.papi_segments(pe), cfg);
+      std::ostringstream os;
+      const auto rows = prof.papi_segments(pe);
+      write_papi(os, rows, cfg);
+      emit(papi_file_name(pe), os.str(), rows.size());
     }
   }
   if (cfg.overall) {
-    std::ofstream os(cfg.trace_dir / kOverallFile);
-    write_overall(os, prof.overall());
+    std::ostringstream os;
+    // A PE killed mid-epoch never reached epoch_end: its cycle buckets are
+    // inconsistent (t_total excludes the aborted epoch), so its overall
+    // lines are suppressed — the MANIFEST marks the PE dead instead.
+    std::vector<OverallRecord> recs;
+    for (const OverallRecord& r : prof.overall())
+      if (!fi::was_killed(r.pe)) recs.push_back(r);
+    write_overall(os, recs);
     // Self-overhead is rdtsc-based (nondeterministic), so it only appears
     // when metrics were explicitly requested — determinism tests compare
     // overall.txt byte-for-byte under Config::all_enabled().
     if (cfg.metrics) write_self_overhead(os, prof.self_overhead());
+    emit(kOverallFile, os.str(), recs.size());
   }
   if (cfg.physical && cfg.keep_physical_events) {
-    std::ofstream os(cfg.trace_dir / kPhysicalFile);
+    std::ostringstream os;
     std::vector<PhysicalRecord> merged;
     for (int pe = 0; pe < n; ++pe) {
       const auto& evs = prof.physical_events(pe);
       merged.insert(merged.end(), evs.begin(), evs.end());
     }
     write_physical(os, merged);
+    emit(kPhysicalFile, os.str(), merged.size());
+  }
+
+  {
+    // MANIFEST last: a loader that sees it knows every listed file was
+    // completely written (and can verify it with the checksum).
+    std::ostringstream os;
+    os << "# ActorProf trace manifest: file <name> records=<n> bytes=<n> "
+          "fnv1a=<hex64>\n";
+    os << "num_pes " << n << "\n";
+    for (const ManifestEntry& m : written)
+      os << "file " << m.file << " records=" << m.records
+         << " bytes=" << m.bytes << " fnv1a=" << hex64(m.fnv1a) << "\n";
+    for (int pe : fi::killed_pes()) os << "dead_pe " << pe << "\n";
+    if (!atomic_write_file(cfg.trace_dir, kManifestFile, os.str()))
+      failed.push_back(kManifestFile);
+  }
+
+  if (!failed.empty()) {
+    std::string msg = "write_all: failed to write " +
+                      std::to_string(failed.size()) + " file(s) in " +
+                      cfg.trace_dir.string() + ":";
+    for (const std::string& f : failed) msg += " " + f;
+    throw std::runtime_error(msg);
   }
   if (cfg.metrics) prof.write_metrics();
 }
 
 // ------------------------------------------------------------------ parsers
 
-std::vector<LogicalSendRecord> parse_logical(std::istream& is) {
-  std::vector<LogicalSendRecord> out;
-  out.reserve(1024);
+void parse_logical_into(std::istream& is,
+                        std::vector<LogicalSendRecord>& out) {
+  out.reserve(out.size() + 1024);
   std::vector<std::string_view> f;
   f.reserve(8);
   std::string line;
@@ -205,12 +314,10 @@ std::vector<LogicalSendRecord> parse_logical(std::istream& is) {
     r.msg_bytes = to_num<std::uint32_t>(f[4], line_no, line);
     out.push_back(r);
   }
-  return out;
 }
 
-std::vector<PapiSegmentRecord> parse_papi(std::istream& is) {
-  std::vector<PapiSegmentRecord> out;
-  out.reserve(1024);
+void parse_papi_into(std::istream& is, std::vector<PapiSegmentRecord>& out) {
+  out.reserve(out.size() + 1024);
   std::vector<std::string_view> f;
   f.reserve(16);
   std::string line;
@@ -241,11 +348,9 @@ std::vector<PapiSegmentRecord> parse_papi(std::istream& is) {
     }
     out.push_back(r);
   }
-  return out;
 }
 
-std::vector<OverallRecord> parse_overall(std::istream& is) {
-  std::vector<OverallRecord> out;
+void parse_overall_into(std::istream& is, std::vector<OverallRecord>& out) {
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
@@ -277,12 +382,10 @@ std::vector<OverallRecord> parse_overall(std::istream& is) {
     r.t_total = r.t_main + t_comm + r.t_proc;
     out.push_back(r);
   }
-  return out;
 }
 
-std::vector<PhysicalRecord> parse_physical(std::istream& is) {
-  std::vector<PhysicalRecord> out;
-  out.reserve(1024);
+void parse_physical_into(std::istream& is, std::vector<PhysicalRecord>& out) {
+  out.reserve(out.size() + 1024);
   std::vector<std::string_view> f;
   f.reserve(8);
   std::string line;
@@ -299,7 +402,77 @@ std::vector<PhysicalRecord> parse_physical(std::istream& is) {
     r.dst_pe = to_num<int>(f[3], line_no, line);
     out.push_back(r);
   }
+}
+
+std::vector<LogicalSendRecord> parse_logical(std::istream& is) {
+  std::vector<LogicalSendRecord> out;
+  parse_logical_into(is, out);
   return out;
+}
+
+std::vector<PapiSegmentRecord> parse_papi(std::istream& is) {
+  std::vector<PapiSegmentRecord> out;
+  parse_papi_into(is, out);
+  return out;
+}
+
+std::vector<OverallRecord> parse_overall(std::istream& is) {
+  std::vector<OverallRecord> out;
+  parse_overall_into(is, out);
+  return out;
+}
+
+std::vector<PhysicalRecord> parse_physical(std::istream& is) {
+  std::vector<PhysicalRecord> out;
+  parse_physical_into(is, out);
+  return out;
+}
+
+Manifest parse_manifest(std::istream& is) {
+  Manifest m;
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<std::string_view> f;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (skippable(line)) continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "num_pes") {
+      if (!(ls >> m.num_pes)) parse_fail(line_no, line, "bad num_pes");
+    } else if (key == "dead_pe") {
+      int pe = 0;
+      if (!(ls >> pe)) parse_fail(line_no, line, "bad dead_pe");
+      m.dead_pes.push_back(pe);
+    } else if (key == "file") {
+      ManifestEntry e;
+      std::string rec, bytes, sum;
+      if (!(ls >> e.file >> rec >> bytes >> sum))
+        parse_fail(line_no, line, "malformed file entry");
+      const auto kv = [&](const std::string& s, const char* prefix,
+                          int base) -> std::uint64_t {
+        const std::string_view sv(s);
+        const std::string_view pfx(prefix);
+        if (sv.substr(0, pfx.size()) != pfx)
+          parse_fail(line_no, line, "malformed file entry");
+        std::uint64_t v = 0;
+        const std::string_view num = sv.substr(pfx.size());
+        const auto [p, ec] =
+            std::from_chars(num.data(), num.data() + num.size(), v, base);
+        if (ec != std::errc{} || p != num.data() + num.size())
+          parse_fail(line_no, line, "malformed file entry");
+        return v;
+      };
+      e.records = kv(rec, "records=", 10);
+      e.bytes = kv(bytes, "bytes=", 10);
+      e.fnv1a = kv(sum, "fnv1a=", 16);
+      m.files.push_back(std::move(e));
+    } else {
+      parse_fail(line_no, line, "unknown manifest key");
+    }
+  }
+  return m;
 }
 
 // ---------------------------------------------------------------- TraceDir
@@ -321,20 +494,102 @@ CommMatrix TraceDir::physical_matrix(bool include_progress) const {
   return m;
 }
 
+namespace {
+
+/// Read an entire file into a string. Returns false when it cannot be
+/// opened (missing / unreadable).
+bool slurp(const std::filesystem::path& p, std::string& out) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
 TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes) {
+  return load_trace_dir(dir, num_pes, LoadOptions{});
+}
+
+TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes,
+                        const LoadOptions& opts) {
   TraceDir t;
   t.num_pes = num_pes;
   t.logical.resize(static_cast<std::size_t>(num_pes));
   t.papi.resize(static_cast<std::size_t>(num_pes));
-  for (int pe = 0; pe < num_pes; ++pe) {
-    if (std::ifstream is{dir / logical_file_name(pe)}; is)
-      t.logical[static_cast<std::size_t>(pe)] = parse_logical(is);
-    if (std::ifstream is{dir / papi_file_name(pe)}; is)
-      t.papi[static_cast<std::size_t>(pe)] = parse_papi(is);
+
+  // The MANIFEST (when present) supplies checksums and the dead-PE set.
+  // Its absence is not an error — pre-manifest trace dirs stay loadable.
+  Manifest manifest;
+  bool have_manifest = false;
+  if (std::string body; slurp(dir / kManifestFile, body)) {
+    std::istringstream is(body);
+    try {
+      manifest = parse_manifest(is);
+      have_manifest = true;
+    } catch (const TraceParseError& e) {
+      if (!opts.tolerate_partial) throw;
+      t.issues.push_back(FileIssue{kManifestFile, e.line_no(), e.what()});
+    }
   }
-  if (std::ifstream is{dir / kOverallFile}; is) t.overall = parse_overall(is);
-  if (std::ifstream is{dir / kPhysicalFile}; is)
-    t.physical = parse_physical(is);
+  if (have_manifest) t.dead_pes = manifest.dead_pes;
+
+  // Load one file: slurp, optionally checksum-verify against the MANIFEST,
+  // parse via the incremental parser so a truncated tail still yields its
+  // valid prefix. Returns true iff the file parsed completely clean.
+  const auto load_file = [&](const std::string& name, bool required,
+                             auto&& parse_into) {
+    std::string body;
+    if (!slurp(dir / name, body)) {
+      if (required || (have_manifest && [&] {
+            for (const ManifestEntry& m : manifest.files)
+              if (m.file == name) return true;
+            return false;
+          }())) {
+        if (!opts.tolerate_partial)
+          throw std::runtime_error(name + ": cannot open trace file in " +
+                                   dir.string());
+        t.issues.push_back(FileIssue{name, 0, "missing trace file"});
+      }
+      return;
+    }
+    if (have_manifest && opts.tolerate_partial) {
+      for (const ManifestEntry& m : manifest.files) {
+        if (m.file != name) continue;
+        if (m.bytes != body.size() ||
+            m.fnv1a != fnv1a64(body.data(), body.size()))
+          t.issues.push_back(FileIssue{
+              name, 0,
+              "checksum mismatch vs MANIFEST (file truncated or modified); "
+              "keeping the parsable prefix"});
+        break;
+      }
+    }
+    std::istringstream is(body);
+    try {
+      parse_into(is);
+    } catch (const TraceParseError& e) {
+      if (!opts.tolerate_partial)
+        throw TraceParseError(e.line_no(), name + ": " + e.what());
+      t.issues.push_back(FileIssue{name, e.line_no(), e.what()});
+    }
+  };
+
+  for (int pe = 0; pe < num_pes; ++pe) {
+    const auto idx = static_cast<std::size_t>(pe);
+    load_file(logical_file_name(pe), false, [&](std::istream& is) {
+      parse_logical_into(is, t.logical[idx]);
+    });
+    load_file(papi_file_name(pe), false, [&](std::istream& is) {
+      parse_papi_into(is, t.papi[idx]);
+    });
+  }
+  load_file(kOverallFile, false,
+            [&](std::istream& is) { parse_overall_into(is, t.overall); });
+  load_file(kPhysicalFile, false,
+            [&](std::istream& is) { parse_physical_into(is, t.physical); });
   return t;
 }
 

@@ -28,6 +28,18 @@ std::string logical_file_name(int pe);   // "PE<i>_send.csv"
 std::string papi_file_name(int pe);      // "PE<i>_PAPI.csv"
 inline constexpr const char* kOverallFile = "overall.txt";
 inline constexpr const char* kPhysicalFile = "physical.txt";
+inline constexpr const char* kManifestFile = "MANIFEST.txt";
+
+/// Parse failure carrying the 1-based line it happened on. Derives from
+/// std::runtime_error, so pre-existing catch sites keep working.
+class TraceParseError : public std::runtime_error {
+ public:
+  TraceParseError(std::size_t line_no, const std::string& what);
+  [[nodiscard]] std::size_t line_no() const { return line_no_; }
+
+ private:
+  std::size_t line_no_;
+};
 
 // ---- writers ---------------------------------------------------------------
 
@@ -46,16 +58,62 @@ void write_physical(std::ostream& os,
 
 /// Write every enabled trace of `prof` into cfg.trace_dir (created if
 /// missing). Called by Profiler::write_traces().
+///
+/// Crash-safe: each file is fully built in memory, written to a ".tmp"
+/// sibling, flushed, stream-checked, and atomically renamed into place —
+/// a reader (or a kill) never observes a half-written file. A MANIFEST.txt
+/// (file list, record counts, FNV-1a checksums, dead PEs) is written last.
+/// Failures are aggregated: one std::runtime_error naming every file that
+/// could not be written, thrown after all writable files landed.
 void write_all(const Profiler& prof, const Config& cfg);
 
 // ---- parsers ---------------------------------------------------------------
-// All parsers skip blank lines and '#' comments and throw std::runtime_error
-// with a line number on malformed input.
+// All parsers skip blank lines and '#' comments and throw TraceParseError
+// (a std::runtime_error) with a 1-based line number on malformed input.
 
 std::vector<LogicalSendRecord> parse_logical(std::istream& is);
 std::vector<PapiSegmentRecord> parse_papi(std::istream& is);
 std::vector<OverallRecord> parse_overall(std::istream& is);
 std::vector<PhysicalRecord> parse_physical(std::istream& is);
+
+// Incremental variants: records are appended to `out` as they parse, so
+// when a truncated/corrupt file throws mid-way the caller keeps the valid
+// prefix (what `tolerate_partial` loading renders).
+void parse_logical_into(std::istream& is, std::vector<LogicalSendRecord>& out);
+void parse_papi_into(std::istream& is, std::vector<PapiSegmentRecord>& out);
+void parse_overall_into(std::istream& is, std::vector<OverallRecord>& out);
+void parse_physical_into(std::istream& is, std::vector<PhysicalRecord>& out);
+
+/// One MANIFEST.txt entry, as written by write_all.
+struct ManifestEntry {
+  std::string file;
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t fnv1a = 0;
+};
+struct Manifest {
+  int num_pes = 0;
+  std::vector<ManifestEntry> files;
+  std::vector<int> dead_pes;
+};
+Manifest parse_manifest(std::istream& is);
+
+/// FNV-1a 64-bit over a byte buffer (the MANIFEST checksum).
+std::uint64_t fnv1a64(const void* data, std::size_t n);
+
+/// One per-file problem found while loading with tolerate_partial.
+struct FileIssue {
+  std::string file;        ///< file name relative to the trace dir
+  std::size_t line_no = 0; ///< 1-based, 0 when not line-specific
+  std::string message;
+};
+
+struct LoadOptions {
+  /// Report missing/truncated/corrupt per-PE files in TraceDir::issues and
+  /// keep every record that parsed, instead of throwing on the first bad
+  /// file. What the viz CLI uses to render what survived a crash.
+  bool tolerate_partial = false;
+};
 
 /// Load a whole trace directory produced by write_all.
 struct TraceDir {
@@ -64,6 +122,11 @@ struct TraceDir {
   std::vector<std::vector<PapiSegmentRecord>> papi;     // per PE
   std::vector<OverallRecord> overall;
   std::vector<PhysicalRecord> physical;
+  /// Problems found under LoadOptions::tolerate_partial (always empty for
+  /// strict loads, which throw instead).
+  std::vector<FileIssue> issues;
+  /// PEs the MANIFEST marks as killed mid-run (fault injection).
+  std::vector<int> dead_pes;
 
   /// Aggregate the logical events into a src-by-dst matrix.
   [[nodiscard]] CommMatrix logical_matrix() const;
@@ -73,5 +136,7 @@ struct TraceDir {
 };
 
 TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes);
+TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes,
+                        const LoadOptions& opts);
 
 }  // namespace ap::prof::io

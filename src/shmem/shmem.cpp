@@ -1,9 +1,11 @@
 #include "shmem/shmem.hpp"
 
+#include "faultinject/faultinject.hpp"
 #include "papi/papi.hpp"
 #include "shmem/profiling_interface.hpp"
 
 #include <array>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -22,12 +24,16 @@ struct PendingPut {
 
 /// Shared state for barrier/reduce/broadcast. All collectives are rounds of
 /// this one object; OpenSHMEM already requires identical collective call
-/// order on every PE, so a single arrival counter suffices.
+/// order on every PE, so a single arrival counter suffices. The round's
+/// combine callback is stored so that a PE dying mid-round (fault
+/// injection) can complete a round it left one arrival short.
 struct CollectiveState {
   int arrived = 0;
   std::uint64_t gen = 0;
   std::vector<unsigned char> contrib;                 // npes * elem_bytes
   std::array<std::vector<unsigned char>, 2> result;   // double-buffered
+  std::function<void(CollectiveState&)> combine;      // this round's combine
+  std::size_t out_bytes = 0;                          // this round's result size
 };
 
 struct World {
@@ -38,12 +44,16 @@ struct World {
       heaps.emplace_back(cfg.symm_heap_bytes);
     pending.resize(static_cast<std::size_t>(cfg.num_pes));
     stats.resize(static_cast<std::size_t>(cfg.num_pes));
+    alive.assign(static_cast<std::size_t>(cfg.num_pes), 1);
+    live = cfg.num_pes;
   }
 
   Topology topo;
   std::vector<SymmetricHeap> heaps;
   std::vector<std::vector<PendingPut>> pending;  // per source PE
   std::vector<PeStats> stats;
+  std::vector<char> alive;  // fault injection can kill PEs mid-run
+  int live = 0;
   CollectiveState coll;
 };
 
@@ -91,9 +101,60 @@ void apply_pending(int src_pe) {
   queue.clear();
 }
 
+/// Complete pending puts in an injected order: apply order[0..delayed_from),
+/// yield, apply the rest. Every index is applied at least once, so quiet()
+/// keeps its contract; reordering/duplication within one quiet is legal
+/// OpenSHMEM weak ordering.
+void apply_pending_scheduled(int src_pe, const fi::QuietSchedule& s) {
+  World& w = world();
+  auto& queue = w.pending[static_cast<std::size_t>(src_pe)];
+  auto apply_one = [&w, &queue](std::uint32_t idx) {
+    const PendingPut& p = queue[idx];
+    unsigned char* dst =
+        w.heaps[static_cast<std::size_t>(p.dst_pe)].base() + p.dst_offset;
+    std::memcpy(dst, p.src, p.nbytes);
+  };
+  for (std::size_t i = 0; i < s.delayed_from; ++i) apply_one(s.order[i]);
+  if (s.delayed_from < s.order.size())
+    for (int y = 0; y < s.yields; ++y) rt::yield();
+  for (std::size_t i = s.delayed_from; i < s.order.size(); ++i)
+    apply_one(s.order[i]);
+  queue.clear();
+}
+
+/// Finish the current collective round: run the stored combine (if any) and
+/// advance the generation, waking every waiter.
+void complete_round(World& w) {
+  CollectiveState& c = w.coll;
+  if (c.combine) {
+    auto& slot = c.result[c.gen % 2];
+    slot.assign(c.out_bytes, 0);
+    c.combine(c);
+  }
+  c.combine = nullptr;
+  c.out_bytes = 0;
+  c.arrived = 0;
+  ++c.gen;
+}
+
+/// Fault injection: take the calling PE out of the world. Its staged nbi
+/// puts are dropped (their source buffers are about to unwind) and a
+/// collective round it left one arrival short is completed so survivors
+/// do not deadlock.
+void mark_current_pe_dead() {
+  World& w = world();
+  const int me = require_pe();
+  if (!w.alive[static_cast<std::size_t>(me)]) return;
+  w.alive[static_cast<std::size_t>(me)] = 0;
+  --w.live;
+  w.pending[static_cast<std::size_t>(me)].clear();
+  CollectiveState& c = w.coll;
+  if (c.arrived > 0 && c.arrived >= w.live) complete_round(w);
+}
+
 /// Generic round of the shared collective: every PE contributes
-/// `elem_bytes` at contrib[me]; the last arriver runs `combine` which must
-/// fill result-slot bytes; every PE then copies the result out.
+/// `elem_bytes` at contrib[me]; the last *live* arriver runs `combine`
+/// which must fill result-slot bytes; every PE then copies the result out.
 void collective_round(const void* contribution, std::size_t elem_bytes,
                       void* out, std::size_t out_bytes,
                       const std::function<void(CollectiveState&)>& combine) {
@@ -109,14 +170,12 @@ void collective_round(const void* contribution, std::size_t elem_bytes,
     std::memcpy(c.contrib.data() + static_cast<std::size_t>(me) * elem_bytes,
                 contribution, elem_bytes);
   }
-  if (++c.arrived == n) {
-    if (combine) {
-      auto& slot = c.result[g % 2];
-      slot.assign(out_bytes, 0);
-      combine(c);
-    }
-    c.arrived = 0;
-    ++c.gen;
+  // Every arriver deposits the (identical) combine so whichever PE — or a
+  // dying PE's mark_current_pe_dead — completes the round can run it.
+  c.combine = combine;
+  c.out_bytes = out_bytes;
+  if (++c.arrived >= w.live) {
+    complete_round(w);
   } else {
     rt::wait_until([&c, g] { return c.gen != g; });
   }
@@ -131,13 +190,16 @@ void collective_round(const void* contribution, std::size_t elem_bytes,
 template <class T, class Op>
 T reduce_impl(T value, Op op, T identity) {
   World& w = world();
-  const int n = w.topo.num_pes();
   T out{};
   collective_round(
       &value, sizeof(T), &out, sizeof(T),
-      [n, op, identity](CollectiveState& c) {
+      [&w, op, identity](CollectiveState& c) {
+        // Dead PEs never arrived this round; their contrib slots hold stale
+        // bytes and are skipped.
         T acc = identity;
+        const int n = w.topo.num_pes();
         for (int i = 0; i < n; ++i) {
+          if (!w.alive[static_cast<std::size_t>(i)]) continue;
           T v;
           std::memcpy(&v, c.contrib.data() + static_cast<std::size_t>(i) *
                                                  sizeof(T),
@@ -151,6 +213,39 @@ T reduce_impl(T value, Op op, T identity) {
   return out;
 }
 
+/// barrier_all entry hook: the configured kill point. Marks the PE dead
+/// *before* throwing so destructors running during the unwind (conveyor
+/// endpoints, symmetric arrays) see a consistent dead state.
+void fi_on_barrier() {
+  const int me = require_pe();
+  if (fi::on_barrier(me) == fi::BarrierAction::kill) {
+    mark_current_pe_dead();
+    fi::note_killed(me);
+    throw fi::PeKilledError(me, fi::plan().kill_at_barrier);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Auto-install a fault plan from ACTORPROF_FI_* for the duration of one
+/// run() — any existing binary becomes injectable without code changes.
+/// A plan installed programmatically (fi::Session in tests) wins.
+struct FiEnvGuard {
+  bool installed = false;
+  FiEnvGuard() {
+    if (fi::active()) return;
+    const fi::Plan p = fi::Plan::from_env();
+    if (!p.enabled()) return;
+    fi::install(p);
+    installed = true;
+  }
+  ~FiEnvGuard() {
+    if (installed) fi::uninstall();
+  }
+};
+
 }  // namespace
 
 void run(const rt::LaunchConfig& cfg, const std::function<void()>& body) {
@@ -161,10 +256,22 @@ void run(const rt::LaunchConfig& cfg, const std::function<void()>& body) {
   // attribute waiting differently (and trace files would stop being
   // byte-reproducible).
   papi::reset_all();
+  FiEnvGuard fi_guard;
   World w(cfg);
   g_world = &w;
+  // A fault-injected kill unwinds one PE's body and is contained here; the
+  // PE was already marked dead at the kill point, so the launch continues
+  // with the survivors instead of aborting the whole SPMD program.
+  const std::function<void()> wrapped = fi::active()
+      ? std::function<void()>([&body] {
+          try {
+            body();
+          } catch (const fi::PeKilledError&) {
+          }
+        })
+      : body;
   try {
-    rt::launch(cfg, body);
+    rt::launch(cfg, wrapped);
   } catch (...) {
     g_world = nullptr;
     throw;
@@ -187,6 +294,17 @@ void* symm_malloc(std::size_t bytes) {
 
 void symm_free(void* p) {
   if (p == nullptr) return;
+  // A symmetric free after the world is torn down (a SymmArray outliving
+  // run(), or a fault-injected PE unwinding through teardown races) must
+  // not crash: the heaps are gone, so the block is already reclaimed.
+  // Warn and no-op instead of dereferencing a dead world.
+  if (g_world == nullptr || rt::my_pe() < 0) {
+    std::fprintf(stderr,
+                 "minishmem: warning: symm_free(%p) outside shmem::run() — "
+                 "the symmetric heap no longer exists; ignoring\n",
+                 p);
+    return;
+  }
   my_heap().deallocate(p);
 }
 
@@ -237,7 +355,11 @@ void quiet() {
   const int me = require_pe();
   const std::size_t outstanding =
       world().pending[static_cast<std::size_t>(me)].size();
-  apply_pending(me);
+  fi::QuietSchedule sched;
+  if (fi::active() && fi::plan_quiet(me, outstanding, sched))
+    apply_pending_scheduled(me, sched);
+  else
+    apply_pending(me);
   ++my_stats().quiets;
   if (RmaObserver* o = rma_observer()) o->on_quiet(outstanding);
 }
@@ -313,6 +435,7 @@ std::int64_t atomic_compare_swap(std::int64_t* target, std::int64_t cond,
 }
 
 void barrier_all() {
+  if (fi::active()) fi_on_barrier();  // kill/straggle point (may throw)
   quiet();  // shmem_barrier_all completes outstanding puts first
   collective_round(nullptr, 0, nullptr, 0, nullptr);
   ++my_stats().barriers;
@@ -361,9 +484,8 @@ void broadcast(void* buf, std::size_t nbytes, int root) {
     slot.resize(nbytes);
     std::memcpy(slot.data(), buf, nbytes);
   }
-  if (++c.arrived == n) {
-    c.arrived = 0;
-    ++c.gen;
+  if (++c.arrived >= w.live) {
+    complete_round(w);
   } else {
     rt::wait_until([&c, g] { return c.gen != g; });
   }
@@ -385,6 +507,23 @@ void alltoall64(std::int64_t* dest, const std::int64_t* source,
         nelems * sizeof(std::int64_t), j);
   }
   barrier_all();
+}
+
+bool pe_alive(int pe) {
+  World& w = world();
+  if (pe < 0 || pe >= w.topo.num_pes())
+    throw std::out_of_range("pe_alive: PE out of range");
+  return w.alive[static_cast<std::size_t>(pe)] != 0;
+}
+
+int live_pes() { return world().live; }
+
+std::vector<int> dead_pes() {
+  World& w = world();
+  std::vector<int> out;
+  for (int pe = 0; pe < w.topo.num_pes(); ++pe)
+    if (!w.alive[static_cast<std::size_t>(pe)]) out.push_back(pe);
+  return out;
 }
 
 const PeStats& stats() {

@@ -56,6 +56,15 @@ int node_of(int pe);
 int local_rank(int pe);
 int n_nodes();
 
+/// ---- Fault-injection liveness (docs/FAULT_INJECTION.md) -------------------
+/// A PE killed by the fault-injection layer is marked dead: it stops
+/// participating in collectives (they complete over the live PEs) and the
+/// conveyor layer accounts its in-flight items as lost. All PEs are alive
+/// unless an ACTORPROF_FI_KILL_PE plan fired.
+bool pe_alive(int pe);
+int live_pes();
+std::vector<int> dead_pes();
+
 /// ---- Symmetric memory -----------------------------------------------------
 /// Collective in the OpenSHMEM sense: every PE must perform the same
 /// allocation sequence. Memory is zero-initialized (like shmem_calloc).
@@ -133,7 +142,9 @@ const PeStats& stats();
 /// Aggregate statistics across all PEs (callable inside run()).
 PeStats total_stats();
 
-/// RAII helper for a symmetric array of trivially-copyable T.
+/// RAII helper for a symmetric array of trivially-copyable T. Safe to
+/// destroy after run() returned (or while a fault-injected PE unwinds past
+/// world teardown): the free becomes a warned no-op, not a crash.
 template <class T>
 class SymmArray {
  public:

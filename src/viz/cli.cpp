@@ -29,7 +29,8 @@ void usage(const char* argv0) {
   std::cerr
       << "Usage: " << argv0
       << " [-l] [-lp] [-s] [-p] [--violin] [--advise] [--by-node]\n"
-         "       [--ppn N] [--svg PREFIX] [--linear] --num-pes N <trace_dir>\n"
+         "       [--ppn N] [--svg PREFIX] [--linear] [--tolerate-partial]\n"
+         "       --num-pes N <trace_dir>\n"
          "  -l        logical trace heatmap (PEi_send.csv)\n"
          "  -lp       PAPI counter bar graphs (PEi_PAPI.csv)\n"
          "  -s        overall MAIN/COMM/PROC stacked bars (overall.txt)\n"
@@ -41,12 +42,19 @@ void usage(const char* argv0) {
          "on one node)\n"
          "  --svg P   also write SVG files with prefix P\n"
          "  --linear  linear (not log) color scale\n"
-         "  --num-pes total number of PEs in the trace (required)\n";
+         "  --num-pes total number of PEs in the trace (required)\n"
+         "  --tolerate-partial\n"
+         "            accept missing/truncated per-PE files (e.g. after a\n"
+         "            fault-injected kill): render every record that parsed,\n"
+         "            warn per damaged file, mark dead PEs in heatmaps, and\n"
+         "            exit 0. Without it, damaged files are still reported\n"
+         "            and rendered but the exit code is nonzero.\n";
 }
 
 struct Args {
   bool logical = false, papi = false, overall = false, physical = false;
   bool violin = false, linear = false, advise = false, by_node = false;
+  bool tolerate_partial = false;
   std::string svg_prefix;
   int num_pes = 0;
   int ppn = 0;
@@ -75,6 +83,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.ppn = std::atoi(argv[i]);
     } else if (arg == "--linear") {
       a.linear = true;
+    } else if (arg == "--tolerate-partial") {
+      a.tolerate_partial = true;
     } else if (arg == "--svg") {
       if (++i >= argc) return false;
       a.svg_prefix = argv[i];
@@ -112,14 +122,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Always load tolerantly: per-file parse errors become warnings and the
+  // surviving records still render. --tolerate-partial only decides the
+  // exit code (0 vs 1) when damage was found.
   ap::prof::io::TraceDir trace;
   try {
-    trace = ap::prof::io::load_trace_dir(a.dir, a.num_pes);
+    ap::prof::io::LoadOptions lo;
+    lo.tolerate_partial = true;
+    trace = ap::prof::io::load_trace_dir(a.dir, a.num_pes, lo);
   } catch (const std::exception& e) {
     std::cerr << "error loading traces from " << a.dir << ": " << e.what()
               << "\n";
     return 1;
   }
+  for (const auto& issue : trace.issues) {
+    std::cerr << "warning: " << issue.file;
+    if (issue.line_no > 0) std::cerr << ":" << issue.line_no;
+    std::cerr << ": " << issue.message
+              << " — continuing with remaining PEs\n";
+  }
+  for (int pe : trace.dead_pes)
+    std::cerr << "note: PE" << pe
+              << " was killed mid-run; its trace is a partial prefix\n";
 
   const bool log_scale = !a.linear;
   const ap::shmem::Topology topo(a.num_pes,
@@ -136,6 +160,7 @@ int main(int argc, char** argv) {
     ap::viz::HeatmapOptions ho;
     ho.title = "Logical Trace Heatmap (messages before aggregation)";
     ho.log_scale = log_scale;
+    if (!a.by_node) ho.dead_pes = trace.dead_pes;
     std::cout << ap::viz::render_heatmap(m, ho) << "\n";
     maybe_svg(a, "logical_heatmap",
               ap::viz::svg_heatmap(m, ho.title, log_scale));
@@ -217,6 +242,7 @@ int main(int argc, char** argv) {
         "Physical Trace Heatmap (aggregated buffers: local_send + "
         "nonblock_send)";
     ho.log_scale = log_scale;
+    if (!a.by_node) ho.dead_pes = trace.dead_pes;
     std::cout << ap::viz::render_heatmap(m, ho) << "\n";
     maybe_svg(a, "physical_heatmap",
               ap::viz::svg_heatmap(m, ho.title, log_scale));
@@ -245,5 +271,11 @@ int main(int argc, char** argv) {
     std::cout << ap::prof::format_report(report);
   }
 
+  if (!trace.issues.empty() && !a.tolerate_partial) {
+    std::cerr << "error: " << trace.issues.size()
+              << " damaged trace file(s); rerun with --tolerate-partial to "
+                 "accept a partial trace\n";
+    return 1;
+  }
   return 0;
 }

@@ -66,6 +66,17 @@ std::string render_heatmap(const prof::CommMatrix& m_in,
   if (bucketed)
     os << "(downsampled: each row/col aggregates "
        << (m_in.size() + n - 1) / n << " PEs)\n";
+  const auto is_dead = [&](int pe) {
+    for (int d : opts.dead_pes)
+      if (d == pe) return true;
+    return false;
+  };
+  if (!opts.dead_pes.empty()) {
+    os << "dead PEs (killed mid-run, trace is a partial prefix):";
+    for (int d : opts.dead_pes) os << " PE" << d;
+    if (!bucketed) os << "  — rows marked '!'";
+    os << '\n';
+  }
 
   // Column header.
   os << pad("", 6);
@@ -74,7 +85,8 @@ std::string render_heatmap(const prof::CommMatrix& m_in,
   os << '\n';
 
   for (int s = 0; s < n; ++s) {
-    os << pad("PE" + std::to_string(s), 5) << ' ';
+    const bool mark = !bucketed && is_dead(s);
+    os << pad("PE" + std::to_string(s) + (mark ? "!" : ""), 5) << ' ';
     for (int d = 0; d < n; ++d) {
       const char c = ramp_char(scale01(m.at(s, d), max, opts.log_scale));
       os << std::string(static_cast<std::size_t>(opts.cell_width - 1), ' ')

@@ -27,6 +27,11 @@ struct HeatmapOptions {
   /// Downsample matrices larger than this to PE buckets so the heatmap
   /// stays terminal-sized (0 disables).
   int max_cells = 64;
+  /// PEs killed mid-run (fault injection): their rows are marked with '!'
+  /// and a legend line names them, so a sparse row reads as "died", not
+  /// "idle". Marks are skipped when the matrix is bucketed (a bucket mixes
+  /// live and dead PEs); the legend still prints.
+  std::vector<int> dead_pes;
 };
 
 /// Render a src-by-dst matrix as an ASCII heatmap.

@@ -437,6 +437,156 @@ TEST(TraceIo, FullDirectoryRoundTrip) {
   }
 }
 
+// ------------------------------------------------- crash-safe write_all
+
+/// Give `prof` real (if tiny) per-PE data: a 2-PE launch with one empty
+/// epoch each, enough for write_all to emit every file kind.
+void tiny_profiled_run() {
+  shmem::run(cfg_of(2), [] {
+    auto* p = dynamic_cast<Profiler*>(ap::actor::actor_observer());
+    p->epoch_begin();
+    p->epoch_end();
+  });
+}
+
+TEST(TraceIoCrashSafe, UnwritableTraceDirThrowsNamedError) {
+  const fs::path blocker = fs::path(::testing::TempDir()) / "ts_blocker";
+  fs::remove_all(blocker);
+  { std::ofstream(blocker) << "not a directory"; }
+  Config c = Config::all_enabled();
+  c.trace_dir = blocker / "sub";  // create_directories must fail: parent is a file
+  Profiler prof(c);
+  tiny_profiled_run();
+  try {
+    io::write_all(prof, c);
+    FAIL() << "expected write_all to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot create trace dir"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find((blocker / "sub").string()),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIoCrashSafe, PerFileFailuresAreAggregatedIntoOneError) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "ts_aggfail";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // A directory squatting on the .tmp name makes that one file unwritable;
+  // everything else must still land, and the error must name every victim.
+  fs::create_directories(dir / "overall.txt.tmp");
+  fs::create_directories(dir / "physical.txt.tmp");
+  Config c = Config::all_enabled();
+  c.trace_dir = dir;
+  Profiler prof(c);
+  tiny_profiled_run();
+  try {
+    io::write_all(prof, c);
+    FAIL() << "expected write_all to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("failed to write 2 file(s)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("overall.txt"), std::string::npos);
+    EXPECT_NE(msg.find("physical.txt"), std::string::npos);
+  }
+  // The per-PE files were written despite the failures.
+  EXPECT_TRUE(fs::exists(dir / "PE0_send.csv"));
+  EXPECT_TRUE(fs::exists(dir / "PE1_PAPI.csv"));
+}
+
+TEST(TraceIoCrashSafe, ManifestRoundTripAndChecksums) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "ts_manifest";
+  fs::remove_all(dir);
+  Config c = Config::all_enabled();
+  c.trace_dir = dir;
+  Profiler prof(c);
+  tiny_profiled_run();
+  io::write_all(prof, c);
+
+  ASSERT_TRUE(fs::exists(dir / io::kManifestFile));
+  std::ifstream mis(dir / io::kManifestFile);
+  const io::Manifest m = io::parse_manifest(mis);
+  EXPECT_EQ(m.num_pes, 2);
+  EXPECT_TRUE(m.dead_pes.empty());
+  ASSERT_FALSE(m.files.empty());
+  for (const auto& e : m.files) {
+    std::ifstream is(dir / e.file, std::ios::binary);
+    ASSERT_TRUE(is) << e.file;
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string body = ss.str();
+    EXPECT_EQ(body.size(), e.bytes) << e.file;
+    EXPECT_EQ(io::fnv1a64(body.data(), body.size()), e.fnv1a) << e.file;
+  }
+  // No stray .tmp siblings after a clean write.
+  for (const auto& entry : fs::directory_iterator(dir))
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+}
+
+TEST(TraceIoCrashSafe, TolerantLoadKeepsPrefixOfTruncatedFile) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "ts_truncated";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream os(dir / "PE0_send.csv");
+    os << "# header\n0,0,0,1,8\n0,0,0,2,8\n0,0,0,3";  // truncated mid-line
+    std::ofstream o2(dir / "PE1_send.csv");
+    o2 << "# header\n0,1,0,0,8\n";
+  }
+  // Strict load reports the damaged file by name and line.
+  try {
+    (void)io::load_trace_dir(dir, 2);
+    FAIL() << "expected strict load to throw";
+  } catch (const io::TraceParseError& e) {
+    EXPECT_EQ(e.line_no(), 4u);
+    EXPECT_NE(std::string(e.what()).find("PE0_send.csv"), std::string::npos);
+  }
+  // Tolerant load keeps the two clean records and records the issue.
+  io::LoadOptions lo;
+  lo.tolerate_partial = true;
+  const io::TraceDir t = io::load_trace_dir(dir, 2, lo);
+  EXPECT_EQ(t.logical[0].size(), 2u);
+  EXPECT_EQ(t.logical[1].size(), 1u);
+  ASSERT_EQ(t.issues.size(), 1u);
+  EXPECT_EQ(t.issues[0].file, "PE0_send.csv");
+  EXPECT_EQ(t.issues[0].line_no, 4u);
+}
+
+TEST(TraceIoCrashSafe, TolerantLoadFlagsChecksumMismatchAndMissingFiles) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "ts_chksum";
+  fs::remove_all(dir);
+  Config c = Config::all_enabled();
+  c.trace_dir = dir;
+  Profiler prof(c);
+  tiny_profiled_run();
+  io::write_all(prof, c);
+
+  // Simulate a kill that caught PE1's files mid-write: truncate one file
+  // (checksum now disagrees with the MANIFEST) and delete another
+  // (MANIFEST-listed => reported missing).
+  fs::resize_file(dir / "PE1_send.csv",
+                  fs::file_size(dir / "PE1_send.csv") / 2);
+  fs::remove(dir / "PE1_PAPI.csv");
+
+  io::LoadOptions lo;
+  lo.tolerate_partial = true;
+  const io::TraceDir t = io::load_trace_dir(dir, 2, lo);
+  bool saw_checksum = false, saw_missing = false;
+  for (const auto& i : t.issues) {
+    if (i.file == "PE1_send.csv" &&
+        i.message.find("checksum mismatch") != std::string::npos)
+      saw_checksum = true;
+    if (i.file == "PE1_PAPI.csv" &&
+        i.message.find("missing") != std::string::npos)
+      saw_missing = true;
+  }
+  EXPECT_TRUE(saw_checksum);
+  EXPECT_TRUE(saw_missing);
+  // PE0's files are untouched: no issue may name them.
+  for (const auto& i : t.issues)
+    EXPECT_EQ(i.file.find("PE0"), std::string::npos) << i.file;
+}
+
 TEST(ConfigTest, EnvOverrides) {
   setenv("ACTORPROF_TRACE", "1", 1);
   setenv("ACTORPROF_TRACE_DIR", "/tmp/xyz_trace", 1);
@@ -446,6 +596,20 @@ TEST(ConfigTest, EnvOverrides) {
   unsetenv("ACTORPROF_TRACE");
   unsetenv("ACTORPROF_TRACE_DIR");
   EXPECT_EQ(Config::all_enabled().num_papi_events(), 2);
+}
+
+TEST(ConfigTest, CrashSafeDefaultsFollowKillEnv) {
+  EXPECT_FALSE(Config::from_env().crash_safe);
+  setenv("ACTORPROF_FI_KILL_PE", "1", 1);
+  EXPECT_TRUE(Config::from_env().crash_safe);
+  setenv("ACTORPROF_CRASH_SAFE", "0", 1);
+  EXPECT_FALSE(Config::from_env().crash_safe);
+  unsetenv("ACTORPROF_FI_KILL_PE");
+  setenv("ACTORPROF_CRASH_SAFE", "1", 1);
+  EXPECT_TRUE(Config::from_env().crash_safe);
+  setenv("ACTORPROF_CRASH_SAFE", "maybe", 1);
+  EXPECT_THROW((void)Config::from_env(), std::invalid_argument);
+  unsetenv("ACTORPROF_CRASH_SAFE");
 }
 
 }  // namespace

@@ -1,14 +1,22 @@
 // Seeded randomized property tests ("fuzz"): random traffic patterns,
 // message sizes, topologies and buffer sizes hammer the conveyor/selector
 // stack; the invariants (conservation, checksum, FIFO per pair,
-// termination) must hold for every seed.
+// termination) must hold for every seed. A second family mutilates trace
+// files (random truncation, junk-line injection) and checks every parser
+// either yields the clean prefix or throws TraceParseError with the right
+// line number — never hangs or reads out of bounds (run under ASan/UBSan
+// by tools/check.sh).
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "actor/selector.hpp"
 #include "conveyor/conveyor.hpp"
+#include "core/records.hpp"
+#include "core/trace_io.hpp"
 #include "graph/rmat.hpp"  // SplitMix64
 #include "runtime/finish.hpp"
 #include "shmem/shmem.hpp"
@@ -131,5 +139,181 @@ TEST_P(SelectorFuzz, RandomRequestReplyWorkloads) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SelectorFuzz,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// ------------------------------------------------------------ parser fuzz
+
+namespace io = ap::prof::io;
+
+/// Mirror of the parsers' comment/blank-line skipping.
+bool line_skippable(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Records encoded by the COMPLETE lines of `text` (a partial trailing
+/// line, if any, is not counted). In the overall format only "Absolute"
+/// lines carry records.
+std::size_t records_in_complete_lines(const std::string& text,
+                                      bool overall_fmt) {
+  std::size_t n = 0, pos = 0;
+  for (;;) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line_skippable(line)) continue;
+    if (overall_fmt) {
+      if (line.rfind("Absolute", 0) == 0) ++n;
+    } else {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t complete_lines(const std::string& text) {
+  std::size_t n = 0;
+  for (char c : text)
+    if (c == '\n') ++n;
+  return n;
+}
+
+/// The two mutation properties every parser must satisfy:
+///  * truncation at ANY byte: the incremental parser yields the records of
+///    the clean prefix (the cut line may itself still be one valid record);
+///    if it throws, the error names the partial line;
+///  * a junk line at ANY line boundary: the parser throws TraceParseError
+///    carrying exactly the junk line's number, after having produced every
+///    record that precedes it.
+template <class Rec, class ParseInto>
+void check_parser_mutations(const std::string& name, const std::string& body,
+                            const std::string& junk, bool overall_fmt,
+                            ParseInto parse_into, SplitMix64& rng) {
+  for (int t = 0; t < 8; ++t) {
+    const std::size_t cut = rng.next_below(body.size() + 1);
+    const std::string text = body.substr(0, cut);
+    std::vector<Rec> out;
+    std::istringstream is(text);
+    try {
+      parse_into(is, out);
+    } catch (const io::TraceParseError& e) {
+      EXPECT_EQ(e.line_no(), complete_lines(text) + 1)
+          << name << " cut at byte " << cut;
+    }
+    const std::size_t prefix = records_in_complete_lines(text, overall_fmt);
+    EXPECT_GE(out.size(), prefix) << name << " cut at byte " << cut;
+    EXPECT_LE(out.size(), prefix + 1) << name << " cut at byte " << cut;
+  }
+
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < body.size(); ++i)
+    if (body[i] == '\n') starts.push_back(i + 1);
+  for (int t = 0; t < 4; ++t) {
+    const std::size_t k = rng.next_below(starts.size());
+    const std::string text =
+        body.substr(0, starts[k]) + junk + "\n" + body.substr(starts[k]);
+    std::vector<Rec> out;
+    std::istringstream is(text);
+    try {
+      parse_into(is, out);
+      FAIL() << name << ": junk line at " << (k + 1) << " must throw";
+    } catch (const io::TraceParseError& e) {
+      EXPECT_EQ(e.line_no(), k + 1) << name;
+    }
+    EXPECT_EQ(out.size(),
+              records_in_complete_lines(body.substr(0, starts[k]),
+                                        overall_fmt))
+        << name << " junk at line " << (k + 1);
+  }
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, TruncationAndJunkNeverBreakInvariants) {
+  const std::uint64_t seed = GetParam();
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  const auto n = 3 + rng.next_below(40);
+
+  {
+    std::vector<ap::prof::LogicalSendRecord> recs;
+    for (std::uint64_t i = 0; i < n; ++i)
+      recs.push_back({static_cast<int>(rng.next_below(4)),
+                      static_cast<int>(rng.next_below(16)),
+                      static_cast<int>(rng.next_below(4)),
+                      static_cast<int>(rng.next_below(16)),
+                      static_cast<std::uint32_t>(8 + rng.next_below(4096))});
+    std::ostringstream os;
+    io::write_logical(os, recs);
+    check_parser_mutations<ap::prof::LogicalSendRecord>(
+        "logical", os.str(), "%%junk,###", false,
+        [](std::istream& is, auto& out) { io::parse_logical_into(is, out); },
+        rng);
+  }
+  {
+    const ap::prof::Config cfg = ap::prof::Config::all_enabled();
+    std::vector<ap::prof::PapiSegmentRecord> recs;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ap::prof::PapiSegmentRecord r;
+      r.src_node = static_cast<int>(rng.next_below(4));
+      r.src_pe = static_cast<int>(rng.next_below(16));
+      r.dst_node = static_cast<int>(rng.next_below(4));
+      r.dst_pe = static_cast<int>(rng.next_below(16));
+      r.pkt_bytes = static_cast<std::uint32_t>(8 + rng.next_below(64));
+      r.mailbox_id = static_cast<int>(rng.next_below(4));
+      r.num_sends = rng.next_below(1000);
+      r.counters[0] = rng.next_below(1 << 20);
+      r.counters[1] = rng.next_below(1 << 20);
+      r.is_proc = (rng.next_below(2) == 1);
+      recs.push_back(r);
+    }
+    std::ostringstream os;
+    io::write_papi(os, recs, cfg);
+    check_parser_mutations<ap::prof::PapiSegmentRecord>(
+        "papi", os.str(), "junk,###", false,
+        [](std::istream& is, auto& out) { io::parse_papi_into(is, out); },
+        rng);
+  }
+  {
+    std::vector<ap::prof::OverallRecord> recs;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ap::prof::OverallRecord r;
+      r.pe = static_cast<int>(i);
+      r.t_main = rng.next_below(1 << 30);
+      r.t_proc = rng.next_below(1 << 30);
+      r.t_total = r.t_main + r.t_proc + rng.next_below(1 << 30);
+      recs.push_back(r);
+    }
+    std::ostringstream os;
+    io::write_overall(os, recs);
+    check_parser_mutations<ap::prof::OverallRecord>(
+        "overall", os.str(), "Absolute garbage without the expected shape",
+        true,
+        [](std::istream& is, auto& out) { io::parse_overall_into(is, out); },
+        rng);
+  }
+  {
+    std::vector<ap::prof::PhysicalRecord> recs;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ap::prof::PhysicalRecord r;
+      r.type = static_cast<convey::SendType>(rng.next_below(3));
+      r.buffer_bytes = 8 + rng.next_below(4096);
+      r.src_pe = static_cast<int>(rng.next_below(16));
+      r.dst_pe = static_cast<int>(rng.next_below(16));
+      recs.push_back(r);
+    }
+    std::ostringstream os;
+    io::write_physical(os, recs);
+    check_parser_mutations<ap::prof::PhysicalRecord>(
+        "physical", os.str(), "weird_send,###,0,0", false,
+        [](std::istream& is, auto& out) { io::parse_physical_into(is, out); },
+        rng);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<std::uint64_t>(1, 26));
 
 }  // namespace

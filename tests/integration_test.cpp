@@ -167,6 +167,40 @@ TEST(Integration, CliUsageErrors) {
   EXPECT_NE(run_cli("-l /nonexistent", out), 0);        // missing num-pes
   EXPECT_NE(run_cli("--bogus -l --num-pes 4 x", out), 0);  // unknown flag
 }
+
+TEST(Integration, CliToleratesTruncatedTraceFiles) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "integration_partial";
+  const auto r = run_pipeline(dir, graph::DistKind::Cyclic1D);
+  ASSERT_EQ(r.triangles, r.expected);
+
+  // Damage PE0's logical trace the way a mid-write kill would: keep a
+  // prefix that ends mid-line.
+  const fs::path victim = dir / "PE0_send.csv";
+  fs::resize_file(victim, fs::file_size(victim) - 7);
+
+  const fs::path out = fs::path(::testing::TempDir()) / "cli_partial.txt";
+  // Without --tolerate-partial the damage is reported and the exit code is
+  // nonzero...
+  EXPECT_NE(run_cli("-l -s --num-pes " + std::to_string(kPes) + " " +
+                        dir.string(),
+                    out),
+            0);
+  std::string text = slurp(out);
+  EXPECT_NE(text.find("PE0_send.csv"), std::string::npos) << text;
+  EXPECT_NE(text.find("--tolerate-partial"), std::string::npos) << text;
+
+  // ...with it, the CLI warns per file, renders what survived, exits 0.
+  ASSERT_EQ(run_cli("-l -s --tolerate-partial --num-pes " +
+                        std::to_string(kPes) + " " + dir.string(),
+                    out),
+            0)
+      << slurp(out);
+  text = slurp(out);
+  EXPECT_NE(text.find("warning: PE0_send.csv"), std::string::npos) << text;
+  EXPECT_NE(text.find("continuing with remaining PEs"), std::string::npos);
+  EXPECT_NE(text.find("Logical Trace Heatmap"), std::string::npos);
+  EXPECT_NE(text.find("Overall Profiling"), std::string::npos);
+}
 #endif
 
 TEST(Integration, HeatmapRenderOfRealTraceIsStable) {

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Chaos smoke: run the triangle-counting example under five random
+# fault-injection plans (including a PE kill) and verify every run leaves a
+# loadable — possibly partial — trace directory behind that actorprof_viz
+# can render with --tolerate-partial. See docs/FAULT_INJECTION.md.
+#
+#   tools/chaos.sh [runs]     # default 5
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+runs=${1:-5}
+jobs=$(nproc 2>/dev/null || echo 4)
+pes=8
+
+cmake --preset default
+cmake --build --preset default -j "${jobs}" --target chaos_triangle actorprof_viz_cli
+
+workdir=$(mktemp -d)
+trap 'rm -rf "${workdir}"' EXIT
+
+# Seeded so reruns of chaos.sh chase the same schedules; override with
+# CHAOS_BASE_SEED to explore.
+base_seed=${CHAOS_BASE_SEED:-20240806}
+
+for i in $(seq 1 "${runs}"); do
+  seed=$((base_seed + i))
+  dir="${workdir}/run${i}"
+  echo "==== chaos run ${i}/${runs} (seed ${seed}) ===="
+
+  env_args=(
+    "ACTORPROF_FI_SEED=${seed}"
+    "ACTORPROF_TRACE_DIR=${dir}"
+  )
+  # Vary the plan: every run perturbs quiet() completions; runs 1 and 4
+  # also kill a PE, run 2 staggers, run 3 stalls.
+  case $((i % 4)) in
+    1) env_args+=("ACTORPROF_FI_KILL_PE=$((seed % pes))"
+                  "ACTORPROF_FI_KILL_AT_BARRIER=$((seed % 3))") ;;
+    2) env_args+=("ACTORPROF_FI_STRAGGLER_PE=$((seed % pes))"
+                  "ACTORPROF_FI_STRAGGLER_FACTOR=4.0") ;;
+    3) env_args+=("ACTORPROF_FI_STALL_PE=$((seed % pes))"
+                  "ACTORPROF_FI_STALL_EVERY=32"
+                  "ACTORPROF_FI_STALL_LEN=8") ;;
+    *) ;;
+  esac
+  env_args+=(
+    "ACTORPROF_FI_REORDER_PUTS=0.5"
+    "ACTORPROF_FI_DUP_PUTS=0.25"
+    "ACTORPROF_FI_DELAY_PUTS=0.5"
+  )
+
+  env "${env_args[@]}" build/examples/chaos_triangle 8 "${pes}" 4
+
+  test -f "${dir}/MANIFEST.txt"
+  build/src/viz/actorprof_viz -l -s --tolerate-partial \
+    --num-pes "${pes}" "${dir}" > "${dir}.render.txt"
+  echo "render OK (${dir})"
+done
+
+echo "All ${runs} chaos runs left loadable trace dirs."

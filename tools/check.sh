@@ -5,6 +5,11 @@
 #   tools/check.sh            # both presets
 #   tools/check.sh default    # one preset only
 #   tools/check.sh asan
+#
+# After the preset loop, the fault-injection harness and parser fuzz get a
+# dedicated run under the standalone UBSan preset (non-recoverable, so any
+# UB aborts the test) — together with the asan preset above, those suites
+# run under ASan AND UBSan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +27,12 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}" -j "${jobs}"
 done
+
+echo "==== ubsan: fault injection + parser fuzz ===="
+cmake --preset ubsan
+cmake --build --preset ubsan -j "${jobs}" --target faultinject_test fuzz_test
+build-ubsan/tests/faultinject_test
+build-ubsan/tests/fuzz_test --gtest_filter='*ParserFuzz*'
 
 # Bench smoke: the benches must build, and the --json fast-path report
 # (what tools/bench.sh records into BENCH_conveyor.json) must still run.
