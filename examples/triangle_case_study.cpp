@@ -11,9 +11,11 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "analysis/analysis.hpp"
 #include "apps/triangle.hpp"
 #include "core/advisor.hpp"
 #include "core/profiler.hpp"
+#include "core/trace_io.hpp"
 #include "graph/distribution.hpp"
 #include "graph/rmat.hpp"
 #include "shmem/shmem.hpp"
@@ -81,6 +83,15 @@ int main(int argc, char** argv) {
 
     profiler.write_traces();
     std::printf("traces -> ./%s\n\n", pc.trace_dir.string().c_str());
+
+    // Superstep-resolved analysis of the trace we just wrote — the same
+    // report `actorprof analyze <dir>` produces from the files on disk.
+    const prof::io::TraceDir trace = prof::io::load_trace_dir(pc.trace_dir, pes);
+    const auto an = prof::analysis::analyze(trace);
+    prof::analysis::write_text(std::cout, an);
+    prof::Report barrier_report;
+    barrier_report.findings = prof::analysis::barrier_wait_findings(an);
+    std::cout << prof::format_report(barrier_report) << '\n';
   }
   return 0;
 }

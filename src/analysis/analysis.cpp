@@ -1,0 +1,413 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace ap::prof::analysis {
+
+namespace {
+
+/// Fixed-width fractional formatting: JSON output must be byte-identical
+/// for identical inputs, so every double goes through snprintf.
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+Component dominant_component(const SuperstepRecord& r) {
+  // Ties resolve in MAIN, PROC, COMM order (deterministic).
+  Component c = Component::main;
+  std::uint64_t best = r.t_main;
+  if (r.t_proc > best) {
+    best = r.t_proc;
+    c = Component::proc;
+  }
+  if (r.t_comm > best) c = Component::comm;
+  return c;
+}
+
+std::uint64_t component_cycles(const SuperstepRecord& r, Component c) {
+  switch (c) {
+    case Component::main: return r.t_main;
+    case Component::proc: return r.t_proc;
+    case Component::comm: return r.t_comm;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view to_string(Component c) {
+  switch (c) {
+    case Component::main: return "MAIN";
+    case Component::proc: return "PROC";
+    case Component::comm: return "COMM";
+  }
+  return "?";
+}
+
+Analysis analyze(const io::TraceDir& t, const Options& opts) {
+  Analysis a;
+  a.num_pes = t.num_pes;
+  a.gated_cycles_by_pe.assign(static_cast<std::size_t>(t.num_pes), 0);
+
+  // Group every PE's records by (epoch, step). std::map keeps the global
+  // (epoch, step) order for free.
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::vector<SuperstepRecord>>
+      by_step;
+  for (const auto& per_pe : t.steps)
+    for (const SuperstepRecord& r : per_pe)
+      by_step[{r.epoch, r.step}].push_back(r);
+
+  std::uint64_t wall = 0;
+  for (auto& [key, recs] : by_step) {
+    std::sort(recs.begin(), recs.end(),
+              [](const SuperstepRecord& x, const SuperstepRecord& y) {
+                return x.pe < y.pe;
+              });
+    StepStat s;
+    s.epoch = key.first;
+    s.step = key.second;
+    s.recs = std::move(recs);
+    for (const SuperstepRecord& r : s.recs) {
+      if (r.work() > s.duration ||
+          (s.straggler_pe < 0 && r.work() == s.duration)) {
+        s.duration = r.work();
+        s.straggler_pe = r.pe;
+        s.gate = dominant_component(r);
+      }
+    }
+    wall += s.duration;
+    s.release = wall;
+    s.wait.reserve(s.recs.size());
+    for (const SuperstepRecord& r : s.recs) {
+      const std::uint64_t w = s.duration - r.work();
+      s.wait.push_back(w);
+      s.total_wait += w;
+    }
+    if (s.straggler_pe >= 0 &&
+        s.straggler_pe < static_cast<int>(a.gated_cycles_by_pe.size())) {
+      a.gated_cycles_by_pe[static_cast<std::size_t>(s.straggler_pe)] +=
+          s.duration;
+      a.gated_cycles_by_component[static_cast<std::size_t>(s.gate)] +=
+          s.duration;
+    }
+    a.steps.push_back(std::move(s));
+  }
+  a.total_cycles = wall;
+
+  // What-if ranking: for every (PE, component) with any cycles, re-run the
+  // per-step max with that component shaved by `factor` on that PE only.
+  if (a.total_cycles > 0 && opts.what_if_factor > 0) {
+    for (int pe = 0; pe < a.num_pes; ++pe) {
+      for (int ci = 0; ci < 3; ++ci) {
+        const auto comp = static_cast<Component>(ci);
+        std::uint64_t comp_total = 0;
+        for (const StepStat& s : a.steps)
+          for (const SuperstepRecord& r : s.recs)
+            if (r.pe == pe) comp_total += component_cycles(r, comp);
+        if (comp_total == 0) continue;
+        std::uint64_t new_total = 0;
+        for (const StepStat& s : a.steps) {
+          std::uint64_t dur = 0;
+          for (const SuperstepRecord& r : s.recs) {
+            std::uint64_t w = r.work();
+            if (r.pe == pe)
+              w -= static_cast<std::uint64_t>(
+                  opts.what_if_factor *
+                  static_cast<double>(component_cycles(r, comp)));
+            dur = std::max(dur, w);
+          }
+          new_total += dur;
+        }
+        WhatIf wi;
+        wi.pe = pe;
+        wi.component = comp;
+        wi.factor = opts.what_if_factor;
+        wi.new_total = new_total;
+        wi.speedup_pct = 100.0 *
+                         static_cast<double>(a.total_cycles - new_total) /
+                         static_cast<double>(a.total_cycles);
+        a.what_ifs.push_back(wi);
+      }
+    }
+    std::sort(a.what_ifs.begin(), a.what_ifs.end(),
+              [](const WhatIf& x, const WhatIf& y) {
+                if (x.new_total != y.new_total)
+                  return x.new_total < y.new_total;
+                if (x.pe != y.pe) return x.pe < y.pe;
+                return static_cast<int>(x.component) <
+                       static_cast<int>(y.component);
+              });
+    if (a.what_ifs.size() > opts.max_what_ifs)
+      a.what_ifs.resize(opts.max_what_ifs);
+  }
+  return a;
+}
+
+void write_text(std::ostream& os, const Analysis& a) {
+  os << "Superstep analysis — " << a.num_pes << " PE(s), " << a.steps.size()
+     << " superstep(s), reconstructed BSP makespan " << a.total_cycles
+     << " cycles\n";
+  if (a.steps.empty()) {
+    os << "  (no superstep records — was the run profiled with "
+          "Config::supersteps / ACTORPROF_SUPERSTEPS=1?)\n";
+    return;
+  }
+  os << "  epoch  step    duration     release  straggler  gate  fleet "
+        "wait\n";
+  for (const StepStat& s : a.steps) {
+    os << std::setw(7) << s.epoch << std::setw(6) << s.step << std::setw(12)
+       << s.duration << std::setw(12) << s.release << std::setw(9)
+       << ("PE" + std::to_string(s.straggler_pe)) << std::setw(6)
+       << to_string(s.gate) << std::setw(12) << s.total_wait << "\n";
+  }
+
+  os << "Critical path (chain of per-step stragglers):\n";
+  for (int pe = 0; pe < a.num_pes; ++pe) {
+    const std::uint64_t g = a.gated_cycles_by_pe[static_cast<std::size_t>(pe)];
+    if (g == 0) continue;
+    const double share =
+        a.total_cycles == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(g) /
+                  static_cast<double>(a.total_cycles);
+    os << "  PE" << pe << " gates " << g << " cycles (" << fixed(share, 1)
+       << "% of the run)\n";
+  }
+  os << "  by component: MAIN " << a.gated_cycles_by_component[0] << ", PROC "
+     << a.gated_cycles_by_component[1] << ", COMM "
+     << a.gated_cycles_by_component[2] << "\n";
+
+  if (!a.what_ifs.empty()) {
+    os << "What-if estimates (component "
+       << fixed(100.0 * a.what_ifs.front().factor, 0) << "% faster):\n";
+    for (const WhatIf& w : a.what_ifs) {
+      os << "  PE" << w.pe << " " << to_string(w.component) << " -> total "
+         << w.new_total << " cycles (-" << fixed(w.speedup_pct, 2) << "%)\n";
+    }
+  }
+}
+
+void write_json(std::ostream& os, const Analysis& a) {
+  os << "{\n\"num_pes\": " << a.num_pes
+     << ",\n\"total_cycles\": " << a.total_cycles << ",\n\"steps\": [";
+  bool first_step = true;
+  for (const StepStat& s : a.steps) {
+    if (!first_step) os << ",";
+    first_step = false;
+    os << "\n  {\"epoch\": " << s.epoch << ", \"step\": " << s.step
+       << ", \"duration\": " << s.duration << ", \"release\": " << s.release
+       << ", \"straggler_pe\": " << s.straggler_pe << ", \"gate\": \""
+       << to_string(s.gate) << "\", \"total_wait\": " << s.total_wait
+       << ", \"pes\": [";
+    for (std::size_t i = 0; i < s.recs.size(); ++i) {
+      const SuperstepRecord& r = s.recs[i];
+      if (i > 0) os << ",";
+      os << "\n    {\"pe\": " << r.pe << ", \"work\": " << r.work()
+         << ", \"wait\": " << s.wait[i] << ", \"t_main\": " << r.t_main
+         << ", \"t_proc\": " << r.t_proc << ", \"t_comm\": " << r.t_comm
+         << ", \"msgs_sent\": " << r.msgs_sent
+         << ", \"bytes_sent\": " << r.bytes_sent
+         << ", \"msgs_handled\": " << r.msgs_handled << "}";
+    }
+    os << "]}";
+  }
+  os << "\n],\n\"gated_cycles_by_pe\": [";
+  for (std::size_t pe = 0; pe < a.gated_cycles_by_pe.size(); ++pe)
+    os << (pe ? ", " : "") << a.gated_cycles_by_pe[pe];
+  os << "],\n\"gated_cycles_by_component\": {\"MAIN\": "
+     << a.gated_cycles_by_component[0]
+     << ", \"PROC\": " << a.gated_cycles_by_component[1]
+     << ", \"COMM\": " << a.gated_cycles_by_component[2] << "}";
+  os << ",\n\"what_ifs\": [";
+  for (std::size_t i = 0; i < a.what_ifs.size(); ++i) {
+    const WhatIf& w = a.what_ifs[i];
+    os << (i ? "," : "") << "\n  {\"pe\": " << w.pe << ", \"component\": \""
+       << to_string(w.component) << "\", \"factor\": " << fixed(w.factor, 4)
+       << ", \"new_total\": " << w.new_total
+       << ", \"speedup_pct\": " << fixed(w.speedup_pct, 4) << "}";
+  }
+  os << "\n]\n}\n";
+}
+
+// ------------------------------------------------------------------- diff
+
+std::vector<StepDelta> Diff::regressions() const {
+  std::vector<StepDelta> out;
+  for (const StepDelta& s : steps)
+    if (s.in_a && s.in_b && s.rel_change() > threshold) out.push_back(s);
+  return out;
+}
+
+bool Diff::any_regression() const {
+  if (total_a > 0 &&
+      static_cast<double>(total_b) / static_cast<double>(total_a) - 1.0 >
+          threshold)
+    return true;
+  for (const StepDelta& s : steps)
+    if (s.in_a && s.in_b && s.rel_change() > threshold) return true;
+  return false;
+}
+
+Diff diff(const Analysis& a, const Analysis& b, double threshold) {
+  Diff d;
+  d.threshold = threshold;
+  d.total_a = a.total_cycles;
+  d.total_b = b.total_cycles;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, StepDelta> merged;
+  for (const StepStat& s : a.steps) {
+    StepDelta& e = merged[{s.epoch, s.step}];
+    e.epoch = s.epoch;
+    e.step = s.step;
+    e.in_a = true;
+    e.duration_a = s.duration;
+  }
+  for (const StepStat& s : b.steps) {
+    StepDelta& e = merged[{s.epoch, s.step}];
+    e.epoch = s.epoch;
+    e.step = s.step;
+    e.in_b = true;
+    e.duration_b = s.duration;
+  }
+  d.steps.reserve(merged.size());
+  for (auto& [key, e] : merged) d.steps.push_back(e);
+  return d;
+}
+
+void write_diff_text(std::ostream& os, const Diff& d) {
+  const double total_change =
+      d.total_a == 0 ? 0.0
+                     : 100.0 * (static_cast<double>(d.total_b) /
+                                    static_cast<double>(d.total_a) -
+                                1.0);
+  os << "Superstep diff — total " << d.total_a << " -> " << d.total_b
+     << " cycles (" << (total_change >= 0 ? "+" : "")
+     << fixed(total_change, 2) << "%), threshold "
+     << fixed(100.0 * d.threshold, 1) << "%\n";
+  os << "  epoch  step  duration A  duration B    change\n";
+  for (const StepDelta& s : d.steps) {
+    os << std::setw(7) << s.epoch << std::setw(6) << s.step;
+    if (s.in_a)
+      os << std::setw(12) << s.duration_a;
+    else
+      os << std::setw(12) << "-";
+    if (s.in_b)
+      os << std::setw(12) << s.duration_b;
+    else
+      os << std::setw(12) << "-";
+    if (s.in_a && s.in_b) {
+      const double c = 100.0 * s.rel_change();
+      os << std::setw(9) << ((c >= 0 ? "+" : "") + fixed(c, 2)) << "%";
+      if (s.rel_change() > d.threshold) os << "  REGRESSED";
+    } else {
+      os << "  only in " << (s.in_a ? "A" : "B");
+    }
+    os << "\n";
+  }
+  const auto regs = d.regressions();
+  if (d.any_regression())
+    os << "REGRESSION: " << regs.size()
+       << " superstep(s) beyond the threshold"
+       << (d.total_a > 0 && static_cast<double>(d.total_b) /
+                                        static_cast<double>(d.total_a) -
+                                    1.0 >
+                                d.threshold
+               ? " (total regressed too)"
+               : "")
+       << "\n";
+  else
+    os << "no regression beyond the threshold\n";
+}
+
+void write_diff_json(std::ostream& os, const Diff& d) {
+  os << "{\n\"threshold\": " << fixed(d.threshold, 4)
+     << ",\n\"total_a\": " << d.total_a << ",\n\"total_b\": " << d.total_b
+     << ",\n\"any_regression\": " << (d.any_regression() ? "true" : "false")
+     << ",\n\"steps\": [";
+  for (std::size_t i = 0; i < d.steps.size(); ++i) {
+    const StepDelta& s = d.steps[i];
+    os << (i ? "," : "") << "\n  {\"epoch\": " << s.epoch
+       << ", \"step\": " << s.step << ", \"in_a\": "
+       << (s.in_a ? "true" : "false")
+       << ", \"in_b\": " << (s.in_b ? "true" : "false")
+       << ", \"duration_a\": " << s.duration_a
+       << ", \"duration_b\": " << s.duration_b
+       << ", \"rel_change\": " << fixed(s.rel_change(), 4)
+       << ", \"regressed\": "
+       << ((s.in_a && s.in_b && s.rel_change() > d.threshold) ? "true"
+                                                              : "false")
+       << "}";
+  }
+  os << "\n]\n}\n";
+}
+
+// --------------------------------------------------------------- advisor
+
+std::vector<Finding> barrier_wait_findings(const Analysis& a,
+                                           double notice_share,
+                                           double warning_share) {
+  std::vector<Finding> out;
+  if (a.total_cycles == 0 || a.steps.empty()) return out;
+  // Rank PEs by the share of the run they gate; report every PE past the
+  // notice threshold, worst first.
+  std::vector<int> pes;
+  for (int pe = 0; pe < a.num_pes; ++pe)
+    if (a.gated_cycles_by_pe[static_cast<std::size_t>(pe)] > 0)
+      pes.push_back(pe);
+  std::sort(pes.begin(), pes.end(), [&](int x, int y) {
+    const auto gx = a.gated_cycles_by_pe[static_cast<std::size_t>(x)];
+    const auto gy = a.gated_cycles_by_pe[static_cast<std::size_t>(y)];
+    if (gx != gy) return gx > gy;
+    return x < y;
+  });
+  bool first = true;
+  for (int pe : pes) {
+    const double share =
+        static_cast<double>(
+            a.gated_cycles_by_pe[static_cast<std::size_t>(pe)]) /
+        static_cast<double>(a.total_cycles);
+    // The single worst PE is always reported (someone must gate every
+    // step); the rest only past the notice threshold.
+    if (!first && share < notice_share) break;
+    // The worst step this PE gated: most fleet cycles burned waiting.
+    const StepStat* worst = nullptr;
+    for (const StepStat& s : a.steps)
+      if (s.straggler_pe == pe &&
+          (worst == nullptr || s.total_wait > worst->total_wait))
+        worst = &s;
+    if (worst == nullptr) continue;
+    Finding f;
+    f.kind = Finding::Kind::BarrierWait;
+    f.severity = share >= warning_share  ? Finding::Severity::warning
+                 : share >= notice_share ? Finding::Severity::notice
+                                         : Finding::Severity::info;
+    f.metric = share;
+    f.subject = pe;
+    std::ostringstream msg;
+    msg << "PE" << pe << " gates " << fixed(100.0 * share, 1)
+        << "% of the reconstructed runtime; worst at superstep "
+        << worst->epoch << "/" << worst->step << " (" << to_string(worst->gate)
+        << "-bound), where the fleet waited " << worst->total_wait
+        << " cycles on it";
+    f.message = msg.str();
+    f.recommendation =
+        "Rebalance that PE's " + std::string(to_string(worst->gate)) +
+        " work (try another data distribution) or overlap it with "
+        "communication; `actorprof analyze` ranks the expected gains "
+        "under \"What-if estimates\".";
+    out.push_back(std::move(f));
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace ap::prof::analysis

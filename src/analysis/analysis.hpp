@@ -1,0 +1,148 @@
+// Superstep analysis (the tentpole of the ActorProf "analyze"/"diff"
+// workflow; cf. Scalasca's wait-state and critical-path analyses).
+//
+// The recording side (Config::supersteps) stamps each PE's barrier arrival
+// with its *own* virtual busy clock — per-PE clocks only advance during
+// that PE's accounted work, never while it blocks in a barrier. Recorded
+// stamps therefore cannot be compared across PEs directly; this module
+// reconstructs the global bulk-synchronous timeline analytically:
+//
+//   W(0)      = 0
+//   W(k)      = W(k-1) + max_p work_p(k)          (barrier k's release)
+//   wait_p(k) = W(k) - (W(k-1) + work_p(k))       (PE p's wait at barrier k)
+//
+// where work_p(k) = t_main + t_proc + t_comm of PE p's step k. The PE with
+// the maximum work is the step's *straggler*: every other PE's wait is
+// attributed to it, and to whichever of its MAIN/PROC/COMM components is
+// largest (the *gate*). The critical path through the run is the chain of
+// stragglers — total runtime is exactly the sum of their per-step work —
+// and the what-if model re-evaluates that sum with one PE's component
+// scaled down, answering "PE 3's PROC 20% faster => total -x%".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/records.hpp"
+#include "core/trace_io.hpp"
+
+namespace ap::prof::analysis {
+
+/// The region a straggler's step cost (and hence the fleet's wait) is
+/// attributed to.
+enum class Component : int { main, proc, comm };
+[[nodiscard]] std::string_view to_string(Component c);
+
+/// One reconstructed superstep of the global timeline.
+struct StepStat {
+  std::uint32_t epoch = 0;
+  std::uint32_t step = 0;
+  /// Reconstructed step duration: max over present PEs of work().
+  std::uint64_t duration = 0;
+  /// Reconstructed release time W(k): cumulative duration up to and
+  /// including this step.
+  std::uint64_t release = 0;
+  /// The PE whose work equals `duration` (lowest PE wins ties) — the PE
+  /// every other PE waited on.
+  int straggler_pe = -1;
+  /// The dominant component of the straggler's work.
+  Component gate = Component::main;
+  /// Sum over non-straggler PEs of their reconstructed wait.
+  std::uint64_t total_wait = 0;
+  /// The PEs' records for this step, sorted by PE (a PE killed before this
+  /// barrier is absent), with `wait` parallel to `recs`.
+  std::vector<SuperstepRecord> recs;
+  std::vector<std::uint64_t> wait;
+};
+
+/// One entry of the what-if ranking: "shave `factor` off this PE's
+/// component, re-run the reconstruction".
+struct WhatIf {
+  int pe = -1;
+  Component component = Component::main;
+  double factor = 0.0;
+  std::uint64_t new_total = 0;
+  double speedup_pct = 0.0;  ///< 100 * (total - new_total) / total
+};
+
+struct Options {
+  /// Fractional reduction the what-if model applies (0.2 = "20% faster").
+  double what_if_factor = 0.2;
+  /// Keep only the most promising what-ifs.
+  std::size_t max_what_ifs = 5;
+};
+
+struct Analysis {
+  int num_pes = 0;
+  std::vector<StepStat> steps;  ///< global (epoch, step) order
+  /// Reconstructed BSP makespan: sum of step durations.
+  std::uint64_t total_cycles = 0;
+  /// Critical-path attribution: cycles of the run each PE gated (sum of
+  /// durations of the steps where it was the straggler).
+  std::vector<std::uint64_t> gated_cycles_by_pe;
+  /// Same, split by the gating component (indexed by Component).
+  std::array<std::uint64_t, 3> gated_cycles_by_component{};
+  std::vector<WhatIf> what_ifs;  ///< sorted by speedup, best first
+};
+
+/// Reconstruct the global superstep timeline from a loaded trace dir
+/// (uses TraceDir::steps; every other field is ignored).
+[[nodiscard]] Analysis analyze(const io::TraceDir& t,
+                               const Options& opts = {});
+
+/// Human-readable report: per-superstep table, barrier-wait attribution,
+/// the critical path, and the what-if ranking.
+void write_text(std::ostream& os, const Analysis& a);
+/// Machine-readable report. Byte-stable for identical inputs (fixed-width
+/// fractional formatting), so determinism tests can compare it verbatim.
+void write_json(std::ostream& os, const Analysis& a);
+
+// ---- run-to-run diff -------------------------------------------------------
+
+/// One (epoch, step)-aligned pair of step durations.
+struct StepDelta {
+  std::uint32_t epoch = 0;
+  std::uint32_t step = 0;
+  bool in_a = false, in_b = false;
+  std::uint64_t duration_a = 0, duration_b = 0;
+  /// b/a - 1 (0 when a is missing or zero); > threshold means regressed.
+  [[nodiscard]] double rel_change() const {
+    if (!in_a || !in_b || duration_a == 0) return 0.0;
+    return static_cast<double>(duration_b) /
+               static_cast<double>(duration_a) -
+           1.0;
+  }
+};
+
+struct Diff {
+  double threshold = 0.10;  ///< fractional regression gate
+  std::uint64_t total_a = 0, total_b = 0;
+  std::vector<StepDelta> steps;  ///< (epoch, step) order, union of both runs
+  /// Steps present in both runs whose duration grew beyond the threshold.
+  [[nodiscard]] std::vector<StepDelta> regressions() const;
+  /// True when any step — or the reconstructed total — regressed beyond
+  /// the threshold. What `actorprof diff` gates its exit code on.
+  [[nodiscard]] bool any_regression() const;
+};
+
+/// Epoch-align two analyses and compare per-superstep durations.
+[[nodiscard]] Diff diff(const Analysis& a, const Analysis& b,
+                        double threshold = 0.10);
+
+void write_diff_text(std::ostream& os, const Diff& d);
+void write_diff_json(std::ostream& os, const Diff& d);
+
+// ---- advisor bridge --------------------------------------------------------
+
+/// Advisor findings derived from the reconstruction: a BarrierWait finding
+/// for the worst gating (PE, superstep, component), plus one per further
+/// PE whose gated share of the run passes `notice_share`.
+[[nodiscard]] std::vector<Finding> barrier_wait_findings(
+    const Analysis& a, double notice_share = 0.10,
+    double warning_share = 0.25);
+
+}  // namespace ap::prof::analysis

@@ -35,7 +35,9 @@ struct Finding {
     // Live-metrics findings (Config::metrics; profiler overload only):
     Straggler,          ///< online detector flagged a PROC backlog outlier
     Backpressure,       ///< online detector flagged a COMM-share outlier
-    ProfilerOverhead    ///< ActorProf's own cost is a notable share of MAIN
+    ProfilerOverhead,   ///< ActorProf's own cost is a notable share of MAIN
+    // Superstep-analysis findings (analysis::barrier_wait_findings):
+    BarrierWait         ///< one PE gates a barrier, fleet waits on it
   };
   Kind kind;
   Severity severity;

@@ -38,6 +38,17 @@ void instant_event(std::ostream& os, bool& first, const char* name,
      << dst << R"(,"bytes":)" << bytes << "}}";
 }
 
+/// ph:"X" complete slice (used for reconstructed barrier waits).
+void complete_event(std::ostream& os, bool& first, const char* name, double ts,
+                    double dur, int pid, int tid, std::uint32_t epoch,
+                    std::uint32_t step) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"name":")" << name << R"(","ph":"X","ts":)" << ts
+     << R"(,"dur":)" << dur << R"(,"pid":)" << pid << R"(,"tid":)" << tid
+     << R"(,"args":{"epoch":)" << epoch << R"(,"step":)" << step << "}}";
+}
+
 /// One point of a flow chain: where (node/PE rows) and when it was seen.
 struct FlowPoint {
   double ts = 0;
@@ -117,6 +128,23 @@ void write_chrome_trace(std::ostream& os, const Profiler& prof) {
           instant_event(os, first, "transfer", ts, node, pe, e.arg0, e.arg1);
           break;
       }
+    }
+  }
+
+  // ---- barrier-wait spans from the superstep records ----------------------
+  // When Config::supersteps was on, each PE's reconstructed wait at a
+  // collective renders as a ph:"X" slice from its own arrival stamp to the
+  // fleet-wide release (the max arrival at that collective). The release is
+  // a cross-PE reconstruction — a lower bound, not a measured stamp — so
+  // the slice shows *attributed* wait, matching `actorprof analyze`.
+  for (int pe = 0; pe < prof.num_pes(); ++pe) {
+    const int node = prof.topo().node_of(pe);
+    for (const SuperstepRecord& r : prof.supersteps(pe)) {
+      if (r.barrier_release <= r.barrier_arrive) continue;
+      complete_event(os, first, "barrier_wait", to_us(r.barrier_arrive, t0),
+                     static_cast<double>(r.barrier_release - r.barrier_arrive) /
+                         1000.0,
+                     node, pe, r.epoch, r.step);
     }
   }
 

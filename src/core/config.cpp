@@ -70,6 +70,7 @@ Config Config::from_env() {
   c.physical = env_flag("ACTORPROF_TRACE_PHYSICAL", c.physical);
   if (const char* dir = std::getenv("ACTORPROF_TRACE_DIR")) c.trace_dir = dir;
 
+  c.supersteps = env_bool_strict("ACTORPROF_SUPERSTEPS", c.supersteps);
   c.timeline = env_bool_strict("ACTORPROF_TIMELINE", c.timeline);
   c.metrics = env_bool_strict("ACTORPROF_METRICS", c.metrics);
   c.metrics_interval_virtual_ms = env_double_strict(

@@ -41,6 +41,13 @@ struct Config {
   bool physical = false;
 #endif
 
+  /// Superstep-resolved profiling: per barrier-to-barrier interval, each
+  /// PE records its MAIN/PROC/COMM cycle split, message/byte counts and
+  /// barrier arrival stamp, emitted as PEi_steps.csv and consumed by the
+  /// `analyze` / `diff` CLI subcommands (docs/ANALYSIS.md). Deterministic
+  /// under the virtual cycle source, so part of all_enabled().
+  bool supersteps = false;
+
   /// Where write_traces() puts the files.
   std::filesystem::path trace_dir = "actorprof_trace";
 
@@ -104,7 +111,7 @@ struct Config {
   /// Convenience: everything on.
   static Config all_enabled() {
     Config c;
-    c.logical = c.papi = c.overall = c.physical = true;
+    c.logical = c.papi = c.overall = c.physical = c.supersteps = true;
     return c;
   }
 
@@ -113,6 +120,7 @@ struct Config {
   ///   ACTORPROF_TRACE_PHYSICAL (0/1)      — trace kinds (lenient parse,
   ///                                         kept for back-compat)
   ///   ACTORPROF_TRACE_DIR (path)          — output directory
+  ///   ACTORPROF_SUPERSTEPS (0/1)          — per-superstep PEi_steps.csv
   ///   ACTORPROF_TIMELINE (0/1)            — Chrome timeline + flow events
   ///   ACTORPROF_METRICS (0/1)             — live metrics registry/sampler
   ///   ACTORPROF_METRICS_INTERVAL_MS (>0)  — sampler cadence, virtual ms

@@ -27,10 +27,15 @@ Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {
   prev_transfer_obs_ = convey::transfer_observer();
   actor::set_actor_observer(this);
   convey::set_transfer_observer(this);
-  if (cfg_.metrics) {
-    register_metrics();
+  if (cfg_.metrics) register_metrics();
+  // The shmem seam feeds both the live metrics and the superstep boundary
+  // stamps, so either flag installs the RmaObserver.
+  if (cfg_.metrics || cfg_.supersteps) {
     prev_rma_obs_ = shmem::rma_observer();
     shmem::set_rma_observer(this);
+    rma_installed_ = true;
+  }
+  if (cfg_.metrics) {
     prev_tick_ = rt::set_tick_hook([this] { tick(); });
     tick_installed_ = true;
   }
@@ -39,7 +44,7 @@ Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {
 Profiler::~Profiler() {
   actor::set_actor_observer(prev_actor_obs_);
   convey::set_transfer_observer(prev_transfer_obs_);
-  if (cfg_.metrics) shmem::set_rma_observer(prev_rma_obs_);
+  if (rma_installed_) shmem::set_rma_observer(prev_rma_obs_);
   if (tick_installed_) rt::set_tick_hook(std::move(prev_tick_));
 }
 
@@ -151,6 +156,16 @@ void Profiler::epoch_begin() {
   d.in_epoch = true;
   d.region_stack.assign(1, Region::Main);
   d.t0 = d.last_cycles = papi::cycles_now();
+  if (cfg_.supersteps) {
+    d.cur_epoch = d.epochs_begun++;
+    d.cur_step = 0;
+    d.ss_main = d.t_main;
+    d.ss_proc = d.t_proc;
+    d.ss_comm = d.t_comm;
+    d.ss_msgs = d.msgs_sent_total;
+    d.ss_bytes = d.bytes_sent_total;
+    d.ss_handled = d.msgs_handled_total;
+  }
   if (cfg_.timeline)
     d.events.push_back(
         TimelineEvent{TimelineEvent::Kind::BeginMain, d.t0, 0, 0});
@@ -169,6 +184,15 @@ void Profiler::epoch_end() {
   if (!d.in_epoch)
     throw std::logic_error("Profiler::epoch_end: no epoch active");
   fold(d);
+  // Close the epoch's tail superstep (the work after the last in-epoch
+  // collective, or the whole epoch when there was none). epoch_end is not
+  // a barrier, so arrive == release == the epoch-end stamp.
+  if (cfg_.supersteps) {
+    const int pe = rt::my_pe();
+    metrics::OverheadMeter::Scope cost(cfg_.metrics ? &meter_ : nullptr,
+                                       OverheadCategory::superstep, pe);
+    close_superstep(d, pe, d.last_cycles);
+  }
   d.t_total += d.last_cycles - d.t0;
   if (cfg_.timeline)
     d.events.push_back(
@@ -204,9 +228,9 @@ void Profiler::fold(PeData& d) {
   d.last_cycles = now;
 
   const Region r = d.region_stack.back();
-  // The metrics sampler derives COMM share from the same buckets, so keep
-  // them warm whenever either consumer is on.
-  if (cfg_.overall || cfg_.metrics) {
+  // The metrics sampler and the superstep deltas derive from the same
+  // buckets, so keep them warm whenever any consumer is on.
+  if (cfg_.overall || cfg_.metrics || cfg_.supersteps) {
     switch (r) {
       case Region::Main: d.t_main += dt; break;
       case Region::Proc: d.t_proc += dt; break;
@@ -254,6 +278,10 @@ void Profiler::on_send(int mb, int dst_pe, std::size_t bytes,
   fold(d);
 
   const int me = rt::my_pe();
+  if (cfg_.supersteps) {
+    ++d.msgs_sent_total;
+    d.bytes_sent_total += bytes;
+  }
   if (cfg_.metrics) {
     registry_.add(me, ids_.actor_sends);
     registry_.add(me, ids_.actor_send_bytes, bytes);
@@ -308,6 +336,7 @@ void Profiler::on_handler_begin(int mb, int src_pe, std::size_t bytes,
   fold(d);
   d.region_stack.push_back(Region::Proc);
   d.cur_handler_mb = mb;
+  if (cfg_.supersteps) ++d.msgs_handled_total;
   if (cfg_.metrics) {
     const int me = rt::my_pe();
     registry_.add(me, ids_.actor_handlers);
@@ -513,6 +542,44 @@ void Profiler::on_atomic(int target_pe) {
   registry_.add(rt::my_pe(), ids_.shmem_atomics);
 }
 
+// --------------------------------------------------------------- supersteps
+
+void Profiler::close_superstep(PeData& d, int pe, std::uint64_t arrive) {
+  SuperstepRecord r;
+  r.pe = pe;
+  r.epoch = d.cur_epoch;
+  r.step = d.cur_step;
+  r.t_main = d.t_main - d.ss_main;
+  r.t_proc = d.t_proc - d.ss_proc;
+  r.t_comm = d.t_comm - d.ss_comm;
+  r.msgs_sent = d.msgs_sent_total - d.ss_msgs;
+  r.bytes_sent = d.bytes_sent_total - d.ss_bytes;
+  r.msgs_handled = d.msgs_handled_total - d.ss_handled;
+  r.barrier_arrive = arrive;
+  // The PE blocks here, so the true release is unknowable locally; the
+  // supersteps() accessor raises this to the fleet max arrival.
+  r.barrier_release = arrive;
+  d.steps.push_back(r);
+  ++d.cur_step;
+  d.ss_main = d.t_main;
+  d.ss_proc = d.t_proc;
+  d.ss_comm = d.t_comm;
+  d.ss_msgs = d.msgs_sent_total;
+  d.ss_bytes = d.bytes_sent_total;
+  d.ss_handled = d.msgs_handled_total;
+}
+
+void Profiler::on_collective_arrive() {
+  if (!cfg_.supersteps || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(cfg_.metrics ? &meter_ : nullptr,
+                                     OverheadCategory::superstep,
+                                     rt::my_pe());
+  PeData& d = pe_data();
+  if (!d.in_epoch) return;
+  fold(d);
+  close_superstep(d, rt::my_pe(), d.last_cycles);
+}
+
 // -------------------------------------------------------- sampler tick hook
 
 void Profiler::tick() {
@@ -657,6 +724,24 @@ const std::vector<PhysicalRecord>& Profiler::physical_events(int pe) const {
 
 const std::vector<TimelineEvent>& Profiler::timeline(int pe) const {
   return pe_data(pe).events;
+}
+
+std::vector<SuperstepRecord> Profiler::supersteps(int pe) const {
+  std::vector<SuperstepRecord> out = pe_data(pe).steps;
+  if (out.empty()) return out;
+  // Release of a step = the latest arrival among all PEs that reached the
+  // same (epoch, step) — all arrivals happen before any PE is released, so
+  // this is the fleet's recorded release stamp. A PE killed at the barrier
+  // never arrived and is simply absent from the max.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> release;
+  for (const PeData& d : pes_)
+    for (const SuperstepRecord& s : d.steps) {
+      auto& slot = release[{s.epoch, s.step}];
+      slot = std::max(slot, s.barrier_arrive);
+    }
+  for (SuperstepRecord& r : out)
+    r.barrier_release = release[{r.epoch, r.step}];
+  return out;
 }
 
 std::vector<PapiSegmentRecord> Profiler::papi_segments(int pe) const {

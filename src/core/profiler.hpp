@@ -107,6 +107,9 @@ class Profiler final : public actor::ActorObserver,
   void on_quiet(std::size_t outstanding_puts) override;
   void on_barrier() override;
   void on_atomic(int target_pe) override;
+  /// Superstep boundary (Config::supersteps): close the current step and
+  /// stamp the PE's arrival at the collective.
+  void on_collective_arrive() override;
 
   // ---- results ------------------------------------------------------------
   [[nodiscard]] const Config& config() const { return cfg_; }
@@ -128,6 +131,11 @@ class Profiler final : public actor::ActorObserver,
   [[nodiscard]] const std::vector<PhysicalRecord>& physical_events(
       int pe) const;
   [[nodiscard]] std::vector<PapiSegmentRecord> papi_segments(int pe) const;
+  /// Per-PE superstep records (empty unless Config::supersteps). The
+  /// returned copies carry barrier_release = max arrival stamp over every
+  /// PE that reached the same (epoch, step); raw in-memory records only
+  /// hold the PE's own arrival.
+  [[nodiscard]] std::vector<SuperstepRecord> supersteps(int pe) const;
   /// Per-PE timeline (empty unless Config::timeline).
   [[nodiscard]] const std::vector<TimelineEvent>& timeline(int pe) const;
   /// Topology captured at the first epoch (node ids for exports).
@@ -206,6 +214,17 @@ class Profiler final : public actor::ActorObserver,
     std::uint64_t physical_seen = 0;
     std::vector<std::uint64_t> phys_row_local, phys_row_nbi, phys_row_prog;
     std::vector<TimelineEvent> events;  // timeline (Config::timeline)
+
+    // Superstep recording (Config::supersteps). The ss_* members snapshot
+    // the cumulative buckets at the current step's open, so a step's cost
+    // is the delta when it closes.
+    std::uint32_t epochs_begun = 0;
+    std::uint32_t cur_epoch = 0, cur_step = 0;
+    std::uint64_t ss_main = 0, ss_proc = 0, ss_comm = 0;
+    std::uint64_t msgs_sent_total = 0, bytes_sent_total = 0,
+                  msgs_handled_total = 0;
+    std::uint64_t ss_msgs = 0, ss_bytes = 0, ss_handled = 0;
+    std::vector<SuperstepRecord> steps;
   };
 
   /// Registered metric handles (valid iff cfg_.metrics).
@@ -226,6 +245,9 @@ class Profiler final : public actor::ActorObserver,
 
   PeData& pe_data();
   const PeData& pe_data(int pe) const;
+  /// Emit the current superstep of `pe` (deltas since its open) with the
+  /// given arrival stamp, then open the next step.
+  void close_superstep(PeData& d, int pe, std::uint64_t arrive);
   /// Fold cycle + PAPI deltas since the last boundary into the buckets of
   /// the current region, then re-stamp.
   void fold(PeData& d);
@@ -241,6 +263,7 @@ class Profiler final : public actor::ActorObserver,
   actor::ActorObserver* prev_actor_obs_ = nullptr;
   convey::TransferObserver* prev_transfer_obs_ = nullptr;
   shmem::RmaObserver* prev_rma_obs_ = nullptr;
+  bool rma_installed_ = false;
   rt::TickHook prev_tick_;
   bool tick_installed_ = false;
 

@@ -59,6 +59,45 @@ struct PhysicalRecord {
                          const PhysicalRecord&) = default;
 };
 
+/// Per-PE, per-superstep breakdown (a line of PEi_steps.csv).
+///
+/// A superstep is a barrier-to-barrier interval inside an epoch: it opens
+/// at epoch_begin() or at the previous collective arrival and closes when
+/// the PE arrives at the next collective (barrier_all / sync_all / reduce /
+/// broadcast) or at epoch_end(). `barrier_arrive` is the PE's own virtual
+/// cycle stamp at arrival; `barrier_release` is the max arrival stamp over
+/// all PEs that reached the same (epoch, step) — a lower bound on the
+/// release under the per-PE busy clock (the analysis layer reconstructs
+/// true BSP wait times; see docs/ANALYSIS.md). Steps closed by epoch_end()
+/// have barrier_arrive == barrier_release == the epoch-end stamp.
+struct SuperstepRecord {
+  int pe = 0;
+  /// 0-based index of the epoch this step belongs to (epoch_begin count).
+  std::uint32_t epoch = 0;
+  /// 0-based index of the step within its epoch.
+  std::uint32_t step = 0;
+  std::uint64_t t_main = 0;
+  std::uint64_t t_proc = 0;
+  std::uint64_t t_comm = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_handled = 0;
+  std::uint64_t barrier_arrive = 0;
+  std::uint64_t barrier_release = 0;
+
+  /// Busy cycles of the step (what the PE actually computed/communicated).
+  [[nodiscard]] std::uint64_t work() const { return t_main + t_proc + t_comm; }
+  /// Recorded (stamp-based) wait: release minus own arrival.
+  [[nodiscard]] std::uint64_t barrier_wait() const {
+    return barrier_release > barrier_arrive
+               ? barrier_release - barrier_arrive
+               : 0;
+  }
+
+  friend bool operator==(const SuperstepRecord&,
+                         const SuperstepRecord&) = default;
+};
+
 /// Per-PE overall breakdown (two lines of overall.txt: Absolute, Relative).
 /// T_COMM is derived: T_TOTAL - T_MAIN - T_PROC (paper §III-B).
 struct OverallRecord {

@@ -81,6 +81,10 @@ std::string papi_file_name(int pe) {
   return "PE" + std::to_string(pe) + "_PAPI.csv";
 }
 
+std::string steps_file_name(int pe) {
+  return "PE" + std::to_string(pe) + "_steps.csv";
+}
+
 // ------------------------------------------------------------------ writers
 
 void write_logical(std::ostream& os,
@@ -148,6 +152,17 @@ void write_physical(std::ostream& os,
   for (const PhysicalRecord& r : events) {
     os << convey::to_string(r.type) << ',' << r.buffer_bytes << ',' << r.src_pe
        << ',' << r.dst_pe << '\n';
+  }
+}
+
+void write_steps(std::ostream& os, const std::vector<SuperstepRecord>& recs) {
+  os << "# pe, epoch, step, t_main, t_proc, t_comm, msgs_sent, bytes_sent, "
+        "msgs_handled, barrier_arrive, barrier_release\n";
+  for (const SuperstepRecord& r : recs) {
+    os << r.pe << ',' << r.epoch << ',' << r.step << ',' << r.t_main << ','
+       << r.t_proc << ',' << r.t_comm << ',' << r.msgs_sent << ','
+       << r.bytes_sent << ',' << r.msgs_handled << ',' << r.barrier_arrive
+       << ',' << r.barrier_release << '\n';
   }
 }
 
@@ -239,6 +254,16 @@ void write_all(const Profiler& prof, const Config& cfg) {
       const auto rows = prof.papi_segments(pe);
       write_papi(os, rows, cfg);
       emit(papi_file_name(pe), os.str(), rows.size());
+    }
+  }
+  if (cfg.supersteps) {
+    // Killed PEs keep their rows: each row closed at a collective the PE
+    // actually reached, so the prefix is exactly the post-mortem evidence.
+    for (int pe = 0; pe < n; ++pe) {
+      std::ostringstream os;
+      const auto rows = prof.supersteps(pe);
+      write_steps(os, rows);
+      emit(steps_file_name(pe), os.str(), rows.size());
     }
   }
   if (cfg.overall) {
@@ -422,9 +447,42 @@ std::vector<OverallRecord> parse_overall(std::istream& is) {
   return out;
 }
 
+void parse_steps_into(std::istream& is, std::vector<SuperstepRecord>& out) {
+  out.reserve(out.size() + 256);
+  std::vector<std::string_view> f;
+  f.reserve(12);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (skippable(line)) continue;
+    split_csv(line, f);
+    if (f.size() != 11) parse_fail(line_no, line, "expected 11 fields");
+    SuperstepRecord r;
+    r.pe = to_num<int>(f[0], line_no, line);
+    r.epoch = to_num<std::uint32_t>(f[1], line_no, line);
+    r.step = to_num<std::uint32_t>(f[2], line_no, line);
+    r.t_main = to_num<std::uint64_t>(f[3], line_no, line);
+    r.t_proc = to_num<std::uint64_t>(f[4], line_no, line);
+    r.t_comm = to_num<std::uint64_t>(f[5], line_no, line);
+    r.msgs_sent = to_num<std::uint64_t>(f[6], line_no, line);
+    r.bytes_sent = to_num<std::uint64_t>(f[7], line_no, line);
+    r.msgs_handled = to_num<std::uint64_t>(f[8], line_no, line);
+    r.barrier_arrive = to_num<std::uint64_t>(f[9], line_no, line);
+    r.barrier_release = to_num<std::uint64_t>(f[10], line_no, line);
+    out.push_back(r);
+  }
+}
+
 std::vector<PhysicalRecord> parse_physical(std::istream& is) {
   std::vector<PhysicalRecord> out;
   parse_physical_into(is, out);
+  return out;
+}
+
+std::vector<SuperstepRecord> parse_steps(std::istream& is) {
+  std::vector<SuperstepRecord> out;
+  parse_steps_into(is, out);
   return out;
 }
 
@@ -519,6 +577,7 @@ TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes,
   t.num_pes = num_pes;
   t.logical.resize(static_cast<std::size_t>(num_pes));
   t.papi.resize(static_cast<std::size_t>(num_pes));
+  t.steps.resize(static_cast<std::size_t>(num_pes));
 
   // The MANIFEST (when present) supplies checksums and the dead-PE set.
   // Its absence is not an error — pre-manifest trace dirs stay loadable.
@@ -585,12 +644,26 @@ TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes,
     load_file(papi_file_name(pe), false, [&](std::istream& is) {
       parse_papi_into(is, t.papi[idx]);
     });
+    load_file(steps_file_name(pe), false, [&](std::istream& is) {
+      parse_steps_into(is, t.steps[idx]);
+    });
   }
   load_file(kOverallFile, false,
             [&](std::istream& is) { parse_overall_into(is, t.overall); });
   load_file(kPhysicalFile, false,
             [&](std::istream& is) { parse_physical_into(is, t.physical); });
   return t;
+}
+
+int detect_num_pes(const std::filesystem::path& dir) {
+  std::string body;
+  if (!slurp(dir / kManifestFile, body)) return 0;
+  std::istringstream is(body);
+  try {
+    return parse_manifest(is).num_pes;
+  } catch (const TraceParseError&) {
+    return 0;
+  }
 }
 
 }  // namespace ap::prof::io

@@ -26,6 +26,7 @@ namespace ap::prof::io {
 /// File-name helpers (exactly the names the paper lists).
 std::string logical_file_name(int pe);   // "PE<i>_send.csv"
 std::string papi_file_name(int pe);      // "PE<i>_PAPI.csv"
+std::string steps_file_name(int pe);     // "PE<i>_steps.csv"
 inline constexpr const char* kOverallFile = "overall.txt";
 inline constexpr const char* kPhysicalFile = "physical.txt";
 inline constexpr const char* kManifestFile = "MANIFEST.txt";
@@ -55,6 +56,11 @@ void write_overall(std::ostream& os, const std::vector<OverallRecord>& recs);
 void write_self_overhead(std::ostream& os, const metrics::OverheadMeter& m);
 void write_physical(std::ostream& os,
                     const std::vector<PhysicalRecord>& events);
+/// Superstep rows (PEi_steps.csv, Config::supersteps). Unlike overall.txt,
+/// a killed PE's rows are NOT suppressed: every row was closed at a
+/// collective it actually reached, so the prefix is consistent and is what
+/// post-mortem analysis wants.
+void write_steps(std::ostream& os, const std::vector<SuperstepRecord>& recs);
 
 /// Write every enabled trace of `prof` into cfg.trace_dir (created if
 /// missing). Called by Profiler::write_traces().
@@ -75,6 +81,7 @@ std::vector<LogicalSendRecord> parse_logical(std::istream& is);
 std::vector<PapiSegmentRecord> parse_papi(std::istream& is);
 std::vector<OverallRecord> parse_overall(std::istream& is);
 std::vector<PhysicalRecord> parse_physical(std::istream& is);
+std::vector<SuperstepRecord> parse_steps(std::istream& is);
 
 // Incremental variants: records are appended to `out` as they parse, so
 // when a truncated/corrupt file throws mid-way the caller keeps the valid
@@ -83,6 +90,7 @@ void parse_logical_into(std::istream& is, std::vector<LogicalSendRecord>& out);
 void parse_papi_into(std::istream& is, std::vector<PapiSegmentRecord>& out);
 void parse_overall_into(std::istream& is, std::vector<OverallRecord>& out);
 void parse_physical_into(std::istream& is, std::vector<PhysicalRecord>& out);
+void parse_steps_into(std::istream& is, std::vector<SuperstepRecord>& out);
 
 /// One MANIFEST.txt entry, as written by write_all.
 struct ManifestEntry {
@@ -122,6 +130,7 @@ struct TraceDir {
   std::vector<std::vector<PapiSegmentRecord>> papi;     // per PE
   std::vector<OverallRecord> overall;
   std::vector<PhysicalRecord> physical;
+  std::vector<std::vector<SuperstepRecord>> steps;  // per PE (may be empty)
   /// Problems found under LoadOptions::tolerate_partial (always empty for
   /// strict loads, which throw instead).
   std::vector<FileIssue> issues;
@@ -138,5 +147,9 @@ struct TraceDir {
 TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes);
 TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes,
                         const LoadOptions& opts);
+
+/// Read the PE count from the trace dir's MANIFEST.txt. Returns 0 when the
+/// manifest is missing or unparsable — callers fall back to --num-pes.
+int detect_num_pes(const std::filesystem::path& dir);
 
 }  // namespace ap::prof::io

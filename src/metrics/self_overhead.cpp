@@ -12,6 +12,7 @@ std::string_view to_string(OverheadCategory c) {
     case OverheadCategory::transfer: return "transfer";
     case OverheadCategory::rma: return "rma";
     case OverheadCategory::sampler: return "sampler";
+    case OverheadCategory::superstep: return "superstep";
     case OverheadCategory::kCount: break;
   }
   return "unknown";

@@ -28,6 +28,7 @@ enum class OverheadCategory : int {
   transfer,       ///< TransferObserver::on_transfer/on_advance
   rma,            ///< RmaObserver callbacks (shmem layer metrics)
   sampler,        ///< periodic snapshot + straggler detection
+  superstep,      ///< on_collective_arrive superstep close/record
   kCount
 };
 

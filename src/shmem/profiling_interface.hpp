@@ -28,6 +28,11 @@ class RmaObserver {
   virtual void on_quiet(std::size_t outstanding_puts) = 0;
   virtual void on_barrier() = 0;
   virtual void on_atomic(int target_pe) = 0;
+  /// The calling PE arrived at a collective round (barrier_all, sync_all,
+  /// reductions, broadcast) and is about to block until release. Fires
+  /// *before* the PE waits — this is the superstep boundary the profiler
+  /// stamps. Default no-op so existing observers keep compiling.
+  virtual void on_collective_arrive() {}
 };
 
 /// Install/read the process-wide (per-thread) observer; nullptr disables.

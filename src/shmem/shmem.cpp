@@ -164,6 +164,10 @@ void collective_round(const void* contribution, std::size_t elem_bytes,
   const int n = w.topo.num_pes();
   const std::uint64_t g = c.gen;
 
+  // Superstep boundary: the PE is about to block until every live PE
+  // arrives. The profiler stamps its arrival here (before the wait).
+  if (RmaObserver* o = rma_observer()) o->on_collective_arrive();
+
   if (elem_bytes > 0) {
     if (c.contrib.size() < static_cast<std::size_t>(n) * elem_bytes)
       c.contrib.resize(static_cast<std::size_t>(n) * elem_bytes);
@@ -477,6 +481,8 @@ void broadcast(void* buf, std::size_t nbytes, int root) {
   if (root < 0 || root >= n)
     throw std::out_of_range("broadcast: root out of range");
   const std::uint64_t g = c.gen;
+  // broadcast runs its own inline round, so it is a superstep boundary too.
+  if (RmaObserver* o = rma_observer()) o->on_collective_arrive();
   if (me == root) {
     // The root publishes into the round's result slot before arriving, so
     // the bytes are there by the time the generation advances.

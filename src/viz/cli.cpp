@@ -12,11 +12,13 @@
 //   --num-pes N    number of PEs the trace was collected with (required)
 // The trace directory is the positional argument, as in the paper's
 // python scripts.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hpp"
 #include "core/advisor.hpp"
 #include "core/trace_io.hpp"
 #include "shmem/topology.hpp"
@@ -28,6 +30,24 @@ namespace {
 void usage(const char* argv0) {
   std::cerr
       << "Usage: " << argv0
+      << " <subcommand|flags> ...\n"
+         "\n"
+         "Subcommands:\n"
+         "  analyze [--json] [--what-if PCT] [--num-pes N]\n"
+         "          [--tolerate-partial] <trace_dir>\n"
+         "            reconstruct the superstep timeline (PEi_steps.csv):\n"
+         "            per-superstep MAIN/PROC/COMM/WAIT breakdown, barrier-\n"
+         "            wait attribution, critical path, what-if estimates\n"
+         "  diff    [--json] [--threshold PCT] [--num-pes N]\n"
+         "          [--tolerate-partial] <trace_dir_a> <trace_dir_b>\n"
+         "            epoch-align two runs and compare per-superstep\n"
+         "            durations; exits 3 when any superstep (or the total)\n"
+         "            regressed by more than PCT percent (default 10)\n"
+         "  --num-pes defaults to the MANIFEST.txt PE count for both\n"
+         "  subcommands; see docs/ANALYSIS.md for the full reference.\n"
+         "\n"
+         "Plot flags (no subcommand):\n"
+         "  " << argv0
       << " [-l] [-lp] [-s] [-p] [--violin] [--advise] [--by-node]\n"
          "       [--ppn N] [--svg PREFIX] [--linear] [--tolerate-partial]\n"
          "       --num-pes N <trace_dir>\n"
@@ -113,9 +133,172 @@ void maybe_svg(const Args& a, const std::string& name,
   std::cout << "[svg] wrote " << path << "\n";
 }
 
+// ------------------------------------------------------- analyze / diff
+
+/// Load one trace dir for analysis. num_pes <= 0 auto-detects from the
+/// MANIFEST. Returns 0 on success, the process exit code otherwise.
+/// Damage is warned about and tolerated for rendering (like the plot
+/// flags); without tolerate_partial it still fails the exit code.
+int load_analysis_dir(const std::string& dir, int num_pes,
+                      bool tolerate_partial, ap::prof::io::TraceDir& out) {
+  if (num_pes <= 0) num_pes = ap::prof::io::detect_num_pes(dir);
+  if (num_pes <= 0) {
+    std::cerr << "error: cannot determine the PE count of " << dir
+              << " (no readable MANIFEST.txt) — pass --num-pes N\n";
+    return 2;
+  }
+  try {
+    ap::prof::io::LoadOptions lo;
+    lo.tolerate_partial = true;
+    out = ap::prof::io::load_trace_dir(dir, num_pes, lo);
+  } catch (const std::exception& e) {
+    std::cerr << "error loading traces from " << dir << ": " << e.what()
+              << "\n";
+    return 1;
+  }
+  for (const auto& issue : out.issues) {
+    std::cerr << "warning: " << issue.file;
+    if (issue.line_no > 0) std::cerr << ":" << issue.line_no;
+    std::cerr << ": " << issue.message << " — continuing with remaining PEs\n";
+  }
+  for (int pe : out.dead_pes)
+    std::cerr << "note: PE" << pe
+              << " was killed mid-run; its trace is a partial prefix\n";
+  bool any_steps = false;
+  for (const auto& per_pe : out.steps) any_steps |= !per_pe.empty();
+  if (!any_steps) {
+    std::cerr << "error: no superstep records in " << dir
+              << " (PEi_steps.csv missing — record with Config::supersteps "
+                 "or ACTORPROF_SUPERSTEPS=1)\n";
+    return 1;
+  }
+  if (!out.issues.empty() && !tolerate_partial) {
+    std::cerr << "error: " << out.issues.size()
+              << " damaged trace file(s); rerun with --tolerate-partial to "
+                 "accept a partial trace\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  bool json = false, tolerate_partial = false;
+  int num_pes = 0;
+  ap::prof::analysis::Options opts;
+  std::string dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--tolerate-partial") {
+      tolerate_partial = true;
+    } else if (arg == "--num-pes") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      num_pes = std::atoi(argv[i]);
+    } else if (arg == "--what-if") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      opts.what_if_factor = std::atof(argv[i]) / 100.0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]), 2;
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      return usage(argv[0]), 2;
+    }
+  }
+  if (dir.empty()) return usage(argv[0]), 2;
+
+  ap::prof::io::TraceDir trace;
+  if (const int rc = load_analysis_dir(dir, num_pes, tolerate_partial, trace))
+    return rc;
+  const auto a = ap::prof::analysis::analyze(trace, opts);
+  if (json) {
+    ap::prof::analysis::write_json(std::cout, a);
+    return 0;
+  }
+  ap::prof::analysis::write_text(std::cout, a);
+
+  // Per-superstep stacked bars: fleet cycles per step, split into the
+  // three busy components plus the reconstructed barrier wait.
+  std::vector<std::string> labels;
+  std::vector<std::vector<std::uint64_t>> rows;
+  for (const auto& s : a.steps) {
+    labels.push_back("e" + std::to_string(s.epoch) + "/s" +
+                     std::to_string(s.step));
+    std::uint64_t m = 0, p = 0, c = 0;
+    for (const auto& r : s.recs) {
+      m += r.t_main;
+      p += r.t_proc;
+      c += r.t_comm;
+    }
+    rows.push_back({m, p, c, s.total_wait});
+  }
+  ap::viz::StackedBarOptions so;
+  so.title = "\nPer-superstep fleet cycles";
+  std::cout << ap::viz::render_stacked(labels, {"MAIN", "PROC", "COMM", "WAIT"},
+                                       rows, so);
+
+  const auto findings = ap::prof::analysis::barrier_wait_findings(a);
+  if (!findings.empty()) {
+    ap::prof::Report rep;
+    rep.findings = findings;
+    std::cout << "\n" << ap::prof::format_report(rep);
+  }
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  bool json = false, tolerate_partial = false;
+  int num_pes = 0;
+  double threshold_pct = 10.0;
+  std::vector<std::string> dirs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--tolerate-partial") {
+      tolerate_partial = true;
+    } else if (arg == "--num-pes") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      num_pes = std::atoi(argv[i]);
+    } else if (arg == "--threshold") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      threshold_pct = std::atof(argv[i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]), 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.size() != 2 || threshold_pct < 0) return usage(argv[0]), 2;
+
+  ap::prof::io::TraceDir ta, tb;
+  if (const int rc =
+          load_analysis_dir(dirs[0], num_pes, tolerate_partial, ta))
+    return rc;
+  if (const int rc =
+          load_analysis_dir(dirs[1], num_pes, tolerate_partial, tb))
+    return rc;
+  const auto aa = ap::prof::analysis::analyze(ta);
+  const auto ab = ap::prof::analysis::analyze(tb);
+  const auto d = ap::prof::analysis::diff(aa, ab, threshold_pct / 100.0);
+  if (json)
+    ap::prof::analysis::write_diff_json(std::cout, d);
+  else
+    ap::prof::analysis::write_diff_text(std::cout, d);
+  return d.any_regression() ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1) {
+    const std::string sub = argv[1];
+    if (sub == "analyze") return cmd_analyze(argc, argv);
+    if (sub == "diff") return cmd_diff(argc, argv);
+  }
   Args a;
   if (!parse_args(argc, argv, a)) {
     usage(argv[0]);

@@ -173,6 +173,53 @@ std::string render_overall_stacked(
   return os.str();
 }
 
+std::string render_stacked(
+    const std::vector<std::string>& labels,
+    const std::vector<std::string>& segment_names,
+    const std::vector<std::vector<std::uint64_t>>& values,
+    const StackedBarOptions& opts) {
+  constexpr std::string_view kGlyphs = "#~=+*o";
+  std::ostringstream os;
+  if (!opts.title.empty()) os << opts.title << "\n";
+  os << "legend:";
+  for (std::size_t s = 0; s < segment_names.size(); ++s)
+    os << (s ? "," : "") << " '" << kGlyphs[s % kGlyphs.size()] << "' = "
+       << segment_names[s];
+  os << " (" << (opts.relative ? "relative" : "absolute") << ")\n";
+
+  std::uint64_t max_total = 0;
+  for (const auto& row : values) {
+    std::uint64_t t = 0;
+    for (std::uint64_t v : row) t += v;
+    max_total = std::max(max_total, t);
+  }
+  std::size_t label_w = 5;
+  for (const auto& l : labels) label_w = std::max(label_w, l.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto& row = values[i];
+    std::uint64_t total = 0;
+    for (std::uint64_t v : row) total += v;
+    const std::uint64_t base = opts.relative ? total : max_total;
+    const double scale =
+        base == 0 ? 0.0
+                  : static_cast<double>(opts.width) /
+                        static_cast<double>(base);
+    os << pad(i < labels.size() ? labels[i] : "",
+              static_cast<int>(label_w))
+       << " |";
+    for (std::size_t s = 0; s < row.size(); ++s) {
+      const auto w = static_cast<std::size_t>(
+          static_cast<double>(row[s]) * scale + 0.5);
+      os << std::string(w, kGlyphs[s % kGlyphs.size()]);
+    }
+    os << "  (";
+    for (std::size_t s = 0; s < row.size(); ++s)
+      os << (s ? ", " : "") << row[s];
+    os << ")\n";
+  }
+  return os.str();
+}
+
 std::string quartile_line(const prof::QuartileStats& q) {
   std::ostringstream os;
   os << "min=" << q.min << " q1=" << q.q1 << " med=" << q.median

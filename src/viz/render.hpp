@@ -63,6 +63,15 @@ struct StackedBarOptions {
 std::string render_overall_stacked(const std::vector<prof::OverallRecord>& recs,
                                    const StackedBarOptions& opts = {});
 
+/// Generic stacked bars: one bar per row, one glyph per segment (cycled
+/// from "#~=+*o" when there are more segments than glyphs). Used by the
+/// `analyze` subcommand for per-superstep MAIN/PROC/COMM/WAIT bars.
+/// `values[row][seg]` must be rectangular with one column per segment.
+std::string render_stacked(const std::vector<std::string>& labels,
+                           const std::vector<std::string>& segment_names,
+                           const std::vector<std::vector<std::uint64_t>>& values,
+                           const StackedBarOptions& opts = {});
+
 struct ViolinOptions {
   std::string title;
   int width = 41;   // odd, so the spine is centered

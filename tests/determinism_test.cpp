@@ -59,9 +59,10 @@ TEST(Determinism, TraceFilesAreByteIdenticalAcrossRuns) {
     EXPECT_EQ(slurp(entry.path()), slurp(b / name)) << name;
     ++compared;
   }
-  // 8 PEi_send.csv + 8 PEi_PAPI.csv + overall.txt + physical.txt +
-  // MANIFEST.txt (itself deterministic: checksums of deterministic files)
-  EXPECT_EQ(compared, 19);
+  // 8 PEi_send.csv + 8 PEi_PAPI.csv + 8 PEi_steps.csv + overall.txt +
+  // physical.txt + MANIFEST.txt (itself deterministic: checksums of
+  // deterministic files)
+  EXPECT_EQ(compared, 27);
 }
 
 }  // namespace

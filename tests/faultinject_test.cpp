@@ -213,6 +213,16 @@ TEST(FaultInject, KillAtBarrierIsContainedAndSurvivorsFinish) {
   ASSERT_FALSE(trace.overall.empty());
   for (const auto& r : trace.overall) EXPECT_NE(r.pe, 2);
 
+  // Superstep rows are NOT suppressed for the killed PE (unlike overall):
+  // every row was closed at a boundary the PE actually reached, so its
+  // steps file is a loadable prefix — the 3 epochs PE2 finished before
+  // dying at barrier 3, vs the survivors' 4.
+  ASSERT_EQ(trace.steps.size(), 4u);
+  EXPECT_EQ(trace.steps[2].size(), 3u);
+  for (const auto& r : trace.steps[2]) EXPECT_EQ(r.pe, 2);
+  for (const std::size_t pe : {0u, 1u, 3u})
+    EXPECT_EQ(trace.steps[pe].size(), 4u) << "pe " << pe;
+
   // And the heatmap marks the dead PE for the reader.
   viz::HeatmapOptions ho;
   ho.dead_pes = trace.dead_pes;

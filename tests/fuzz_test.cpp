@@ -311,6 +311,30 @@ TEST_P(ParserFuzz, TruncationAndJunkNeverBreakInvariants) {
         [](std::istream& is, auto& out) { io::parse_physical_into(is, out); },
         rng);
   }
+  {
+    std::vector<ap::prof::SuperstepRecord> recs;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ap::prof::SuperstepRecord r;
+      r.pe = static_cast<int>(rng.next_below(16));
+      r.epoch = static_cast<std::uint32_t>(rng.next_below(4));
+      r.step = static_cast<std::uint32_t>(i);
+      r.t_main = rng.next_below(1 << 30);
+      r.t_proc = rng.next_below(1 << 30);
+      r.t_comm = rng.next_below(1 << 30);
+      r.msgs_sent = rng.next_below(1 << 20);
+      r.bytes_sent = rng.next_below(1 << 28);
+      r.msgs_handled = rng.next_below(1 << 20);
+      r.barrier_arrive = rng.next_below(1u << 30);
+      r.barrier_release = r.barrier_arrive + rng.next_below(1 << 20);
+      recs.push_back(r);
+    }
+    std::ostringstream os;
+    io::write_steps(os, recs);
+    check_parser_mutations<ap::prof::SuperstepRecord>(
+        "steps", os.str(), "0,zero,##,not_a_superstep", false,
+        [](std::istream& is, auto& out) { io::parse_steps_into(is, out); },
+        rng);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,

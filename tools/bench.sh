@@ -6,7 +6,13 @@
 # for what the metrics mean and how the baseline was captured.
 #
 #   tools/bench.sh             # full run (~1 min)
+#   tools/bench.sh --check     # regression gate vs committed baseline
 #   AP_SCALE=9 tools/bench.sh  # smaller triangle graph
+#
+# --check reruns micro_conveyor only and compares its pull/drain
+# items_per_sec against the committed BENCH_conveyor.json; a fresh number
+# more than AP_BENCH_TOLERANCE percent (default 15) below the committed
+# one fails the script. Used by CI as a cheap perf smoke.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,6 +35,43 @@ run() {
     "$@"
   fi
 }
+
+# Pull `"items_per_sec"` off the result line for one bench key ("pull",
+# "drain", ...). Works on both the committed aggregate file and a fresh
+# single-bench JSON, so no JSON tooling is assumed.
+items_per_sec() { # file key
+  awk -v key="\"$2\"" '
+    index($0, key ":") {
+      if (match($0, /"items_per_sec": *[0-9.eE+-]+/)) {
+        s = substr($0, RSTART, RLENGTH)
+        sub(/.*: */, "", s)
+        print s
+        exit
+      }
+    }' "$1"
+}
+
+if [[ "${1:-}" == "--check" ]]; then
+  tol="${AP_BENCH_TOLERANCE:-15}"
+  run "${bin}/micro_conveyor" --json="${tmp}/conveyor.json"
+  fail=0
+  for key in pull drain; do
+    old=$(items_per_sec BENCH_conveyor.json "${key}")
+    new=$(items_per_sec "${tmp}/conveyor.json" "${key}")
+    if [[ -z "${old}" || -z "${new}" ]]; then
+      echo "bench --check: missing items_per_sec for '${key}'" >&2
+      exit 1
+    fi
+    if awk -v n="${new}" -v o="${old}" -v t="${tol}" \
+         'BEGIN { exit !(n < o * (1 - t / 100)) }'; then
+      echo "REGRESSION ${key}: ${new} items/s vs committed ${old} (> ${tol}% slower)"
+      fail=1
+    else
+      echo "ok ${key}: ${new} items/s vs committed ${old} (tolerance ${tol}%)"
+    fi
+  done
+  exit "${fail}"
+fi
 
 run "${bin}/micro_conveyor" --json="${tmp}/conveyor.json"
 run "${bin}/micro_selector" --json="${tmp}/selector.json"
