@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   prof::Config pc = prof::Config::all_enabled();
   pc.keep_logical_events = false;
   pc.keep_physical_events = false;
+  pc.check = prof::Config::from_env().check;  // honor ACTORPROF_CHECK=1
   prof::Profiler profiler(pc);
 
   double max_err = 0, sum = 0;

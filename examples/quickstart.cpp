@@ -52,6 +52,7 @@ int main() {
   prof::Config cfg = prof::Config::all_enabled();
   cfg.trace_dir = "quickstart_trace";
   cfg.timeline = true;  // also record a Google Trace Events timeline
+  cfg.check = prof::Config::from_env().check;  // honor ACTORPROF_CHECK=1
   prof::Profiler profiler(cfg);
 
   rt::LaunchConfig lc;

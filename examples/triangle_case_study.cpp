@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     prof::Config pc = prof::Config::all_enabled();
     pc.keep_logical_events = false;  // aggregates are enough for plots
     pc.keep_physical_events = true;
+    pc.check = prof::Config::from_env().check;  // honor ACTORPROF_CHECK=1
     pc.trace_dir = std::string("triangle_trace_") +
                    (kind == graph::DistKind::Cyclic1D ? "cyclic" : "range");
     prof::Profiler profiler(pc);

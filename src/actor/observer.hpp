@@ -54,6 +54,12 @@ class ActorObserver {
     (void)bytes_per_msg;
   }
 
+  /// Actor API protocol misuse on the calling PE (send before start, send
+  /// after done on the same mailbox, double start). Fires *before* the
+  /// selector throws, so the conformance checker records the violation even
+  /// when a harness catches the exception. Default no-op.
+  virtual void on_actor_misuse(const char* what) { (void)what; }
+
   /// Opt in to per-message flow ids. When true, selectors allocate a
   /// monotonically increasing id per send and conveyors carry it through
   /// aggregation (8 extra wire bytes per record) so physical transfers and

@@ -96,7 +96,10 @@ class Selector {
   /// with the innermost finish scope. Must be called inside hclib::finish
   /// by every PE.
   void start() {
-    if (started_) throw std::logic_error("Selector::start called twice");
+    if (started_) {
+      report_misuse("actor: start() called twice on one selector");
+      throw std::logic_error("Selector::start called twice");
+    }
     for (int k = 0; k < NMB; ++k) {
       if (!mb[static_cast<std::size_t>(k)].process)
         throw std::logic_error(
@@ -125,10 +128,15 @@ class Selector {
   /// buffers are full — that interleaving IS the FA-BSP model.
   void send(int mb_id, const MsgT& msg, int dst_pe) {
     check_mailbox(mb_id);
-    if (!started_) throw std::logic_error("Selector::send before start()");
+    if (!started_) {
+      report_misuse("actor: send() before start()");
+      throw std::logic_error("Selector::send before start()");
+    }
     MailboxState& st = state_[static_cast<std::size_t>(mb_id)];
-    if (st.user_done)
+    if (st.user_done) {
+      report_misuse("actor: send() after done() on the same mailbox");
       throw std::logic_error("Selector::send after done() on this mailbox");
+    }
 
     std::uint64_t flow = 0;
     if (ActorObserver* o = actor_observer()) {
@@ -221,6 +229,12 @@ class Selector {
   void check_mailbox(int mb_id) const {
     if (mb_id < 0 || mb_id >= NMB)
       throw std::out_of_range("Selector: mailbox id out of range");
+  }
+
+  /// Conformance seam: hand protocol misuse to the observer (and through
+  /// it to the BSP checker) before the selector throws.
+  static void report_misuse(const char* what) {
+    if (ActorObserver* o = actor_observer()) o->on_actor_misuse(what);
   }
 
   /// One progress round over all mailboxes; returns true when the whole

@@ -18,6 +18,10 @@ void notify(SendType t, std::size_t bytes, int src, int dst,
   if (g_observer != nullptr)
     g_observer->on_transfer(t, bytes, src, dst, first_flow);
 }
+
+void notify_misuse(const char* what) {
+  if (g_observer != nullptr) g_observer->on_conveyor_misuse(what);
+}
 }  // namespace
 
 void set_transfer_observer(TransferObserver* obs) { g_observer = obs; }
@@ -114,6 +118,10 @@ struct Conveyor::Endpoint {
   OutBuf drain_buf;                        // batch snapshot being drained
   bool draining = false;
   bool done_reported = false;
+  /// Cached TransferObserver::wants_conformance_events() — refreshed at
+  /// construction and once per advance(), so the checker-off data plane
+  /// pays one bool test, not a virtual call, per annotated site.
+  bool check_events = false;
   ConveyorStats stats;
 };
 
@@ -186,6 +194,8 @@ Conveyor::Conveyor(std::shared_ptr<Group> group, int pe)
   const int n = g.topo.num_pes();
   Endpoint& e = *self_;
   e.pe = pe;
+  e.check_events =
+      g_observer != nullptr && g_observer->wants_conformance_events();
 
   const std::size_t ring_bytes =
       static_cast<std::size_t>(n) * static_cast<std::size_t>(g.opts.slots) *
@@ -324,8 +334,11 @@ std::uint64_t Conveyor::items_in_flight() const {
 bool Conveyor::push(const void* item, int dst_pe, std::uint64_t flow_id) {
   Group& g = *group_;
   Endpoint& e = *self_;
-  if (e.done_reported)
+  if (e.done_reported) {
+    if (e.check_events)
+      notify_misuse("conveyor: push() after done was declared");
     throw std::logic_error("Conveyor::push after done was declared");
+  }
   if (dst_pe < 0 || dst_pe >= g.topo.num_pes())
     throw std::out_of_range("Conveyor::push: destination PE out of range");
 
@@ -373,6 +386,10 @@ bool Conveyor::try_flush(int next_hop) {
   }
 
   const auto hop_idx = static_cast<std::size_t>(next_hop);
+  // The ack counter is written by the receiver via shmem::put; polling it
+  // is the acquire that lets us reuse the acked ring slots.
+  if (e.check_events)
+    shmem::annotate_acquire_read(e.acked_by + hop_idx, sizeof(std::int64_t));
   // Free ring slot available? Double buffering: with `slots` buffers per
   // pair, the (slots+1)-th flush needs the oldest one acked.
   if (e.seq_flushed[hop_idx] - e.acked_by[hop_idx] >=
@@ -422,10 +439,16 @@ bool Conveyor::try_flush(int next_hop) {
     e.stats.memcpys++;
     papi::account_buffer_copy(chunk);
     papi::account_local_flush(chunk);
+    if (e.check_events)
+      shmem::annotate_store(static_cast<void*>(e.ring + slot_off),
+                            sizeof len + chunk, next_hop);
     // Publish instantly (shared memory): bump receiver's published_from[me].
     auto* pub = static_cast<std::int64_t*>(shmem::ptr(
         static_cast<void*>(e.published_from + e.pe), next_hop));
     *pub = seq + 1;
+    if (e.check_events)
+      shmem::annotate_store(static_cast<void*>(e.published_from + e.pe),
+                            sizeof(std::int64_t), next_hop);
     e.seq_flushed[hop_idx] = seq + 1;
     e.seq_published[hop_idx] = seq + 1;
     e.stats.local_sends++;
@@ -527,6 +550,12 @@ void Conveyor::deliver_incoming() {
   for (int src = 0; src < n; ++src) {
     const auto s = static_cast<std::size_t>(src);
     const std::int64_t pub = e.published_from[s];
+    // Raw-polling the publication flag is the acquire edge that orders the
+    // sender's ring writes (memcpy or quiet-completed nbi put) before the
+    // slot reads below.
+    if (e.check_events && e.consumed_from[s] < pub)
+      shmem::annotate_acquire_read(e.published_from + s,
+                                   sizeof(std::int64_t));
     bool consumed_any = false;
     while (e.consumed_from[s] < pub) {
       const std::int64_t seq = e.consumed_from[s];
@@ -537,6 +566,9 @@ void Conveyor::deliver_incoming() {
       std::int64_t len = 0;
       std::memcpy(&len, base, sizeof len);
       const std::byte* data = base + sizeof len;
+      if (e.check_events)
+        shmem::annotate_local_read(
+            base, sizeof len + static_cast<std::size_t>(len));
       papi::account_buffer_copy(static_cast<std::size_t>(len));
       assert(len >= 0 &&
              static_cast<std::size_t>(len) % rec_sz == 0);
@@ -604,6 +636,11 @@ void Conveyor::deliver_incoming() {
 bool Conveyor::pull(void* item, int* from_pe, std::uint64_t* flow_id) {
   Group& g = *group_;
   Endpoint& e = *self_;
+  // Documented misuse (see drain() in conveyor.hpp): a pull inside a drain
+  // batch consumes from the swapped-in queue, losing ordering against the
+  // batch being handed out.
+  if (e.check_events && e.draining)
+    notify_misuse("conveyor: pull() inside a drain batch loses ordering");
   if (e.recv.pending() < g.record_bytes) {
     e.recv.compact();
     return false;
@@ -627,8 +664,12 @@ bool Conveyor::pull(void* item, int* from_pe, std::uint64_t* flow_id) {
 Conveyor::DrainBatch Conveyor::drain_begin() {
   Group& g = *group_;
   Endpoint& e = *self_;
-  if (e.draining || e.recv.pending() == 0)
+  if (e.draining) {
+    if (e.check_events)
+      notify_misuse("conveyor: nested drain_begin() while a batch is open");
     return DrainBatch{nullptr, 0, 0, 0};
+  }
+  if (e.recv.pending() == 0) return DrainBatch{nullptr, 0, 0, 0};
   // Snapshot by swapping buffers: the callback may advance() and deliver
   // new records, which land in the (now empty) recv queue without
   // invalidating the views handed out over this batch. Both buffers keep
@@ -661,8 +702,9 @@ void Conveyor::drain_abort(std::size_t consumed) {
     merged.bytes.resize(rest + e.recv.pending());
     std::memcpy(merged.bytes.data(),
                 e.drain_buf.bytes.data() + e.drain_buf.head, rest);
-    std::memcpy(merged.bytes.data() + rest,
-                e.recv.bytes.data() + e.recv.head, e.recv.pending());
+    if (e.recv.pending() != 0)  // empty recv has a null data()
+      std::memcpy(merged.bytes.data() + rest,
+                  e.recv.bytes.data() + e.recv.head, e.recv.pending());
     merged.tail = merged.bytes.size();
     std::swap(e.recv, merged);
   }
@@ -677,6 +719,8 @@ void Conveyor::drain_abort(std::size_t consumed) {
 bool Conveyor::advance(bool done) {
   Group& g = *group_;
   Endpoint& e = *self_;
+  e.check_events =
+      g_observer != nullptr && g_observer->wants_conformance_events();
 
   if (fi::active() && fi::on_advance(e.pe)) {
     // Stalled progress cycle: the fault plan decided this PE's progress

@@ -43,6 +43,15 @@ class TransferObserver {
     (void)out_pending_bytes;
     (void)recv_pending_bytes;
   }
+  /// Gate for the conformance instrumentation (docs/CHECKING.md): when
+  /// true, the conveyor annotates its raw heap accesses (intra-node ring
+  /// writes, publication-flag polls) through shmem::annotate_* and reports
+  /// protocol misuse below. Endpoints cache this per advance(), so the
+  /// default-false answer costs the data plane nothing.
+  virtual bool wants_conformance_events() const { return false; }
+  /// Conveyor API protocol misuse on the calling PE (pull() inside a drain
+  /// batch, nested drain_begin, push after done). Default no-op.
+  virtual void on_conveyor_misuse(const char* what) { (void)what; }
 };
 
 /// Install/read the process-wide (per-thread) observer. The profiler owns

@@ -304,6 +304,53 @@ Report advise(const Profiler& prof, const AdvisorOptions& opts) {
                        return a.metric > b.metric;
                      });
   }
+
+  // Conformance findings (Config::check): one finding per violation kind,
+  // carrying the count and the first instance — the full list lives in
+  // check.csv / `actorprof check`.
+  if (prof.config().check && !prof.bsp_violations().empty()) {
+    std::map<check::Violation::Kind, std::pair<int, const check::Violation*>>
+        by_kind;
+    for (const check::Violation& v : prof.bsp_violations()) {
+      auto& slot = by_kind[v.kind];
+      slot.first++;
+      if (slot.second == nullptr) slot.second = &v;
+    }
+    for (const auto& [kind, slot] : by_kind) {
+      const auto& [count, first] = slot;
+      Finding f;
+      f.kind = Finding::Kind::BspViolation;
+      f.severity = Finding::Severity::warning;
+      f.subject = first->pe;
+      f.metric = count;
+      std::ostringstream msg;
+      msg << count << " " << check::to_string(kind)
+          << " violation(s); first: pe " << first->pe << " superstep "
+          << first->superstep;
+      if (!first->callsite.empty()) msg << " at " << first->callsite;
+      if (!first->detail.empty()) msg << " (" << first->detail << ")";
+      f.message = msg.str();
+      f.recommendation =
+          "Run `actorprof check <trace_dir>` for the full report; each "
+          "violation names the PE, superstep and heap range — add the "
+          "missing quiet()/wait_until or move the access past the barrier.";
+      rep.findings.push_back(std::move(f));
+    }
+    if (prof.bsp_violations_dropped() > 0) {
+      Finding f;
+      f.kind = Finding::Kind::BspViolation;
+      f.severity = Finding::Severity::warning;
+      f.metric = static_cast<double>(prof.bsp_violations_dropped());
+      std::ostringstream msg;
+      msg << prof.bsp_violations_dropped()
+          << " further violation(s) dropped past the checker's report cap";
+      f.message = msg.str();
+      f.recommendation =
+          "Fix the reported violations first; the dropped ones are "
+          "usually repeats of the same sites.";
+      rep.findings.push_back(std::move(f));
+    }
+  }
   return rep;
 }
 

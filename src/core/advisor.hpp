@@ -37,7 +37,9 @@ struct Finding {
     Backpressure,       ///< online detector flagged a COMM-share outlier
     ProfilerOverhead,   ///< ActorProf's own cost is a notable share of MAIN
     // Superstep-analysis findings (analysis::barrier_wait_findings):
-    BarrierWait         ///< one PE gates a barrier, fleet waits on it
+    BarrierWait,        ///< one PE gates a barrier, fleet waits on it
+    // Conformance findings (Config::check; profiler overload only):
+    BspViolation        ///< happens-before checker flagged BSP-model breaks
   };
   Kind kind;
   Severity severity;

@@ -81,6 +81,7 @@ Config Config::from_env() {
   c.metrics_straggler_factor = env_double_strict(
       "ACTORPROF_METRICS_STRAGGLER_FACTOR", c.metrics_straggler_factor,
       /*min=*/1.0, "a factor >= 1.0");
+  c.check = env_bool_strict("ACTORPROF_CHECK", c.check);
   // A kill experiment is pointless without mid-run checkpoints, so the
   // kill variable flips the default; ACTORPROF_CRASH_SAFE still wins.
   const bool crash_default =

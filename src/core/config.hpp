@@ -87,6 +87,16 @@ struct Config {
   /// exceeds this multiple of the fleet median. Must be >= 1.
   double metrics_straggler_factor = 2.0;
 
+  /// BSP conformance checker (docs/CHECKING.md): vector-clock
+  /// happens-before validation of every RMA/collective against the FA-BSP
+  /// memory model, reported through the advisor, check.csv, and the
+  /// `actorprof check` CLI. Off by default — the checker subscribes to
+  /// per-access conformance events, which cost more than the one-branch
+  /// disabled path; its own cycles are accounted under the `check`
+  /// self-overhead category. NOT part of all_enabled(): checking is a
+  /// verification mode, not a trace kind.
+  bool check = false;
+
   /// Checkpoint traces at epoch boundaries: once every PE has closed an
   /// epoch since the last flush, write_all() runs again, so a PE killed
   /// later (fault injection) still leaves a loadable on-disk prefix.
@@ -126,6 +136,7 @@ struct Config {
   ///   ACTORPROF_METRICS_INTERVAL_MS (>0)  — sampler cadence, virtual ms
   ///   ACTORPROF_METRICS_RING (>0 int)     — snapshot ring capacity
   ///   ACTORPROF_METRICS_STRAGGLER_FACTOR (>=1) — anomaly threshold
+  ///   ACTORPROF_CHECK (0/1)               — BSP conformance checker
   ///   ACTORPROF_CRASH_SAFE (0/1)          — epoch-boundary trace
   ///                                         checkpoints; defaults to 1
   ///                                         when ACTORPROF_FI_KILL_PE set

@@ -28,9 +28,10 @@ Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {
   actor::set_actor_observer(this);
   convey::set_transfer_observer(this);
   if (cfg_.metrics) register_metrics();
-  // The shmem seam feeds both the live metrics and the superstep boundary
-  // stamps, so either flag installs the RmaObserver.
-  if (cfg_.metrics || cfg_.supersteps) {
+  // The shmem seam feeds the live metrics, the superstep boundary stamps,
+  // and the conformance checker, so any of those flags installs the
+  // RmaObserver.
+  if (cfg_.metrics || cfg_.supersteps || cfg_.check) {
     prev_rma_obs_ = shmem::rma_observer();
     shmem::set_rma_observer(this);
     rma_installed_ = true;
@@ -115,11 +116,14 @@ void Profiler::ensure_world() {
     topo_known_ = true;
     pes_.clear();
     pes_.resize(static_cast<std::size_t>(topo_.num_pes()));
+    const int n = topo_.num_pes();
+    // The meter backs both the metrics exposition and the checker's own
+    // `check` overhead category.
+    if (cfg_.metrics || cfg_.check) meter_.bind(n);
+    if (cfg_.check) checker_.bind(n);
     if (cfg_.metrics) {
-      const int n = topo_.num_pes();
       registry_.bind(n);
       ring_.bind(n, registry_.num_scalars(), cfg_.metrics_ring_capacity);
-      meter_.bind(n);
       sample_scratch_.assign(
           static_cast<std::size_t>(n) * registry_.num_scalars(), 0);
       detect_scratch_.assign(static_cast<std::size_t>(n), 0.0);
@@ -512,7 +516,16 @@ void Profiler::on_get(int target_pe, std::size_t bytes) {
 
 void Profiler::on_quiet(std::size_t outstanding_puts) {
   (void)outstanding_puts;
-  if (!cfg_.metrics || !rt::in_spmd_region()) return;
+  if (!rt::in_spmd_region()) return;
+  // This hook fires after the staged puts applied — the checker's quiet-end:
+  // staged ranges become visible writes carrying the initiator's tick.
+  if (cfg_.check) {
+    metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                       rt::my_pe());
+    ensure_world();
+    checker_.on_quiet_end(rt::my_pe());
+  }
+  if (!cfg_.metrics) return;
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::rma,
                                      rt::my_pe());
   PeData& d = pe_data();
@@ -570,7 +583,16 @@ void Profiler::close_superstep(PeData& d, int pe, std::uint64_t arrive) {
 }
 
 void Profiler::on_collective_arrive() {
-  if (!cfg_.supersteps || !rt::in_spmd_region()) return;
+  if (!rt::in_spmd_region()) return;
+  // Checker first: the arrival closes the vector-clock round regardless of
+  // epochs — conformance covers the whole run, not just the profiled kernel.
+  if (cfg_.check) {
+    metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                       rt::my_pe());
+    ensure_world();
+    checker_.on_collective_arrive(rt::my_pe());
+  }
+  if (!cfg_.supersteps) return;
   metrics::OverheadMeter::Scope cost(cfg_.metrics ? &meter_ : nullptr,
                                      OverheadCategory::superstep,
                                      rt::my_pe());
@@ -578,6 +600,134 @@ void Profiler::on_collective_arrive() {
   if (!d.in_epoch) return;
   fold(d);
   close_superstep(d, rt::my_pe(), d.last_cycles);
+}
+
+// ------------------------------------------------- conformance event intake
+//
+// Only fire when cfg_.check (the wants_conformance_events() gate), and are
+// deliberately NOT gated on the profiling epoch: a BSP violation outside
+// the profiled kernel is still a bug. Each forwards to the checker under
+// the `check` self-overhead category.
+
+void Profiler::on_put_range(int target_pe, std::size_t offset,
+                            std::size_t bytes, const shmem::Callsite& cs) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_store(rt::my_pe(), target_pe, offset, bytes, cs.file, cs.line);
+}
+
+void Profiler::on_get_range(int target_pe, std::size_t offset,
+                            std::size_t bytes, const shmem::Callsite& cs) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_plain_read(rt::my_pe(), target_pe, offset, bytes, cs.file,
+                         cs.line);
+}
+
+void Profiler::on_put_nbi_range(int target_pe, std::size_t offset,
+                                std::size_t bytes, const shmem::Callsite& cs) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_nbi_staged(rt::my_pe(), target_pe, offset, bytes, cs.file,
+                         cs.line);
+}
+
+void Profiler::on_quiet_begin(std::size_t outstanding) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_quiet_begin(rt::my_pe(), outstanding);
+}
+
+void Profiler::on_nbi_applied(std::size_t index) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_nbi_applied(rt::my_pe(), index);
+}
+
+void Profiler::on_quiet_suspend(std::size_t applied, std::size_t remaining) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_quiet_suspend(rt::my_pe(), applied, remaining);
+}
+
+void Profiler::on_atomic_range(int target_pe, std::size_t offset,
+                               const shmem::Callsite& cs) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_atomic(rt::my_pe(), target_pe, offset, cs.file, cs.line);
+}
+
+void Profiler::on_wait_satisfied(std::size_t offset, std::size_t bytes) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_acquire_read(rt::my_pe(), offset, bytes);
+}
+
+void Profiler::on_local_store(int target_pe, std::size_t offset,
+                              std::size_t bytes, const shmem::Callsite& cs) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_store(rt::my_pe(), target_pe, offset, bytes, cs.file, cs.line);
+}
+
+void Profiler::on_local_read(std::size_t offset, std::size_t bytes,
+                             const shmem::Callsite& cs) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  const int me = rt::my_pe();
+  checker_.on_plain_read(me, me, offset, bytes, cs.file, cs.line);
+}
+
+void Profiler::on_acquire_read(std::size_t offset, std::size_t bytes) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_acquire_read(rt::my_pe(), offset, bytes);
+}
+
+void Profiler::on_pe_dead(int pe) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_pe_dead(pe);
+}
+
+void Profiler::on_conveyor_misuse(const char* what) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_misuse(rt::my_pe(), what);
+}
+
+void Profiler::on_actor_misuse(const char* what) {
+  if (!cfg_.check || !rt::in_spmd_region()) return;
+  metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
+                                     rt::my_pe());
+  ensure_world();
+  checker_.on_misuse(rt::my_pe(), what);
 }
 
 // -------------------------------------------------------- sampler tick hook
@@ -866,11 +1016,12 @@ void Profiler::write_traces() const { io::write_all(*this, cfg_); }
 void Profiler::clear() {
   pes_.clear();
   topo_known_ = false;
+  if (cfg_.check) checker_.clear();
+  if (cfg_.metrics || cfg_.check) meter_.reset();
   if (cfg_.metrics) {
     if (registry_.bound()) registry_.reset_values();
     ring_.clear();
     anomalies_.clear();
-    meter_.reset();
     have_sample_baseline_ = false;
     last_sample_cycles_ = 0;
   }

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "actor/observer.hpp"
+#include "check/checker.hpp"
 #include "conveyor/observer.hpp"
 #include "core/aggregate.hpp"
 #include "core/chrome_trace.hpp"
@@ -92,6 +93,7 @@ class Profiler final : public actor::ActorObserver,
   /// Flow ids are only worth their wire bytes when the Chrome timeline
   /// that renders them is being recorded.
   [[nodiscard]] bool wants_flow_ids() const override { return cfg_.timeline; }
+  void on_actor_misuse(const char* what) override;
 
   // ---- TransferObserver ---------------------------------------------------
   void on_transfer(convey::SendType type, std::size_t buffer_bytes,
@@ -99,6 +101,7 @@ class Profiler final : public actor::ActorObserver,
                    std::uint64_t first_flow_id) override;
   void on_advance(std::size_t out_pending_bytes,
                   std::size_t recv_pending_bytes) override;
+  void on_conveyor_misuse(const char* what) override;
 
   // ---- RmaObserver (live metrics for the shmem layer) ---------------------
   void on_put(int target_pe, std::size_t bytes) override;
@@ -110,6 +113,32 @@ class Profiler final : public actor::ActorObserver,
   /// Superstep boundary (Config::supersteps): close the current step and
   /// stamp the PE's arrival at the collective.
   void on_collective_arrive() override;
+
+  // ---- conformance events (Config::check, docs/CHECKING.md) ---------------
+  /// One override gates the identically-named hook on both RmaObserver and
+  /// TransferObserver: the shmem and conveyor layers only emit per-access
+  /// conformance events when the checker is on.
+  [[nodiscard]] bool wants_conformance_events() const override {
+    return cfg_.check;
+  }
+  void on_put_range(int target_pe, std::size_t offset, std::size_t bytes,
+                    const shmem::Callsite& cs) override;
+  void on_get_range(int target_pe, std::size_t offset, std::size_t bytes,
+                    const shmem::Callsite& cs) override;
+  void on_put_nbi_range(int target_pe, std::size_t offset, std::size_t bytes,
+                        const shmem::Callsite& cs) override;
+  void on_quiet_begin(std::size_t outstanding) override;
+  void on_nbi_applied(std::size_t index) override;
+  void on_quiet_suspend(std::size_t applied, std::size_t remaining) override;
+  void on_atomic_range(int target_pe, std::size_t offset,
+                       const shmem::Callsite& cs) override;
+  void on_wait_satisfied(std::size_t offset, std::size_t bytes) override;
+  void on_local_store(int target_pe, std::size_t offset, std::size_t bytes,
+                      const shmem::Callsite& cs) override;
+  void on_local_read(std::size_t offset, std::size_t bytes,
+                     const shmem::Callsite& cs) override;
+  void on_acquire_read(std::size_t offset, std::size_t bytes) override;
+  void on_pe_dead(int pe) override;
 
   // ---- results ------------------------------------------------------------
   [[nodiscard]] const Config& config() const { return cfg_; }
@@ -155,6 +184,16 @@ class Profiler final : public actor::ActorObserver,
   /// Measured cost of the profiler's own instrumentation (wall rdtsc).
   [[nodiscard]] const metrics::OverheadMeter& self_overhead() const {
     return meter_;
+  }
+  /// BSP conformance violations detected so far (empty unless
+  /// Config::check). Surfaced through the advisor, check.csv, and the
+  /// `actorprof check` CLI.
+  [[nodiscard]] const std::vector<check::Violation>& bsp_violations() const {
+    return checker_.violations();
+  }
+  /// Violations suppressed after the checker's report cap was reached.
+  [[nodiscard]] std::uint64_t bsp_violations_dropped() const {
+    return checker_.dropped();
   }
   /// Scalar-series index of the queue-depth / bytes-in-flight gauges in
   /// metric_samples() rows (-1 when metrics are disabled). Used by the
@@ -272,6 +311,7 @@ class Profiler final : public actor::ActorObserver,
   metrics::SampleRing ring_;
   metrics::AnomalyLog anomalies_;
   metrics::OverheadMeter meter_;
+  check::Checker checker_;
   std::uint64_t last_sample_cycles_ = 0;
   bool have_sample_baseline_ = false;
   /// Epoch-boundary checkpointing (Config::crash_safe): epoch_end() calls

@@ -155,6 +155,19 @@ void write_physical(std::ostream& os,
   }
 }
 
+void write_check(std::ostream& os, const std::vector<check::Violation>& v,
+                 std::uint64_t dropped) {
+  os << "# kind, pe, other_pe, superstep, offset, bytes, callsite, detail\n";
+  // record() sanitized callsite/detail to comma-free text, so each row
+  // stays exactly 8 fields.
+  if (dropped != 0) os << "# dropped=" << dropped << "\n";
+  for (const check::Violation& x : v) {
+    os << check::to_string(x.kind) << ',' << x.pe << ',' << x.other_pe << ','
+       << x.superstep << ',' << x.offset << ',' << x.bytes << ','
+       << x.callsite << ',' << x.detail << '\n';
+  }
+}
+
 void write_steps(std::ostream& os, const std::vector<SuperstepRecord>& recs) {
   os << "# pe, epoch, step, t_main, t_proc, t_comm, msgs_sent, bytes_sent, "
         "msgs_handled, barrier_arrive, barrier_release\n";
@@ -280,6 +293,13 @@ void write_all(const Profiler& prof, const Config& cfg) {
     // overall.txt byte-for-byte under Config::all_enabled().
     if (cfg.metrics) write_self_overhead(os, prof.self_overhead());
     emit(kOverallFile, os.str(), recs.size());
+  }
+  if (cfg.check) {
+    // Always emitted under the checker, even with zero rows: an empty
+    // check.csv is the recorded proof the run was violation-free.
+    std::ostringstream os;
+    write_check(os, prof.bsp_violations(), prof.bsp_violations_dropped());
+    emit(kCheckFile, os.str(), prof.bsp_violations().size());
   }
   if (cfg.physical && cfg.keep_physical_events) {
     std::ostringstream os;
@@ -474,6 +494,36 @@ void parse_steps_into(std::istream& is, std::vector<SuperstepRecord>& out) {
   }
 }
 
+void parse_check_into(std::istream& is, std::vector<check::Violation>& out,
+                      std::uint64_t& dropped) {
+  std::vector<std::string_view> f;
+  f.reserve(8);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.rfind("# dropped=", 0) == 0) {
+      dropped = to_num<std::uint64_t>(
+          std::string_view(line).substr(10), line_no, line);
+      continue;
+    }
+    if (skippable(line)) continue;
+    split_csv(line, f);
+    if (f.size() != 8) parse_fail(line_no, line, "expected 8 fields");
+    check::Violation v;
+    if (!check::kind_from_string(f[0], v.kind))
+      parse_fail(line_no, line, "unknown violation kind");
+    v.pe = to_num<int>(f[1], line_no, line);
+    v.other_pe = to_num<int>(f[2], line_no, line);
+    v.superstep = to_num<std::uint32_t>(f[3], line_no, line);
+    v.offset = to_num<std::uint64_t>(f[4], line_no, line);
+    v.bytes = to_num<std::uint64_t>(f[5], line_no, line);
+    v.callsite = std::string(f[6]);
+    v.detail = std::string(f[7]);
+    out.push_back(std::move(v));
+  }
+}
+
 std::vector<PhysicalRecord> parse_physical(std::istream& is) {
   std::vector<PhysicalRecord> out;
   parse_physical_into(is, out);
@@ -652,6 +702,10 @@ TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes,
             [&](std::istream& is) { parse_overall_into(is, t.overall); });
   load_file(kPhysicalFile, false,
             [&](std::istream& is) { parse_physical_into(is, t.physical); });
+  load_file(kCheckFile, false, [&](std::istream& is) {
+    t.check_recorded = true;
+    parse_check_into(is, t.check, t.check_dropped);
+  });
   return t;
 }
 

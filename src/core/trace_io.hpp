@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "core/aggregate.hpp"
 #include "core/config.hpp"
 #include "core/records.hpp"
@@ -30,6 +31,7 @@ std::string steps_file_name(int pe);     // "PE<i>_steps.csv"
 inline constexpr const char* kOverallFile = "overall.txt";
 inline constexpr const char* kPhysicalFile = "physical.txt";
 inline constexpr const char* kManifestFile = "MANIFEST.txt";
+inline constexpr const char* kCheckFile = "check.csv";
 
 /// Parse failure carrying the 1-based line it happened on. Derives from
 /// std::runtime_error, so pre-existing catch sites keep working.
@@ -61,6 +63,12 @@ void write_physical(std::ostream& os,
 /// collective it actually reached, so the prefix is consistent and is what
 /// post-mortem analysis wants.
 void write_steps(std::ostream& os, const std::vector<SuperstepRecord>& recs);
+/// BSP conformance report (check.csv, Config::check). Written even when
+/// empty — a zero-row check.csv is the evidence a checked run was clean.
+/// `dropped` (violations past the checker's cap) rides in a parsable
+/// "# dropped=<n>" comment.
+void write_check(std::ostream& os, const std::vector<check::Violation>& v,
+                 std::uint64_t dropped);
 
 /// Write every enabled trace of `prof` into cfg.trace_dir (created if
 /// missing). Called by Profiler::write_traces().
@@ -91,6 +99,10 @@ void parse_papi_into(std::istream& is, std::vector<PapiSegmentRecord>& out);
 void parse_overall_into(std::istream& is, std::vector<OverallRecord>& out);
 void parse_physical_into(std::istream& is, std::vector<PhysicalRecord>& out);
 void parse_steps_into(std::istream& is, std::vector<SuperstepRecord>& out);
+/// Parses check.csv rows into `out` and the "# dropped=<n>" marker into
+/// `dropped` (left untouched when the marker is absent).
+void parse_check_into(std::istream& is, std::vector<check::Violation>& out,
+                      std::uint64_t& dropped);
 
 /// One MANIFEST.txt entry, as written by write_all.
 struct ManifestEntry {
@@ -131,6 +143,12 @@ struct TraceDir {
   std::vector<OverallRecord> overall;
   std::vector<PhysicalRecord> physical;
   std::vector<std::vector<SuperstepRecord>> steps;  // per PE (may be empty)
+  /// BSP conformance violations (check.csv; empty when the run was clean
+  /// or unchecked — check_recorded distinguishes the two).
+  std::vector<check::Violation> check;
+  std::uint64_t check_dropped = 0;
+  /// True when a check.csv was present: the run executed under the checker.
+  bool check_recorded = false;
   /// Problems found under LoadOptions::tolerate_partial (always empty for
   /// strict loads, which throw instead).
   std::vector<FileIssue> issues;

@@ -13,6 +13,7 @@ std::string_view to_string(OverheadCategory c) {
     case OverheadCategory::rma: return "rma";
     case OverheadCategory::sampler: return "sampler";
     case OverheadCategory::superstep: return "superstep";
+    case OverheadCategory::check: return "check";
     case OverheadCategory::kCount: break;
   }
   return "unknown";

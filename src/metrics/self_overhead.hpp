@@ -29,6 +29,7 @@ enum class OverheadCategory : int {
   rma,            ///< RmaObserver callbacks (shmem layer metrics)
   sampler,        ///< periodic snapshot + straggler detection
   superstep,      ///< on_collective_arrive superstep close/record
+  check,          ///< BSP conformance checker (docs/CHECKING.md)
   kCount
 };
 

@@ -22,6 +22,23 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer models each stack as a "fiber" with its own shadow
+// clock; like ASan, every swapcontext must be announced or TSan reports
+// wild data races between the stacks (and crashes on the context switch).
+// See sanitizer tsan_interface.h. Mirrors the ASan annotations above —
+// the tsan preset in CMakePresets.json builds with -fsanitize=thread.
+#if defined(__SANITIZE_THREAD__)
+#define AP_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AP_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(AP_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace ap::rt {
 
 namespace {
@@ -40,7 +57,11 @@ Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
     throw std::invalid_argument("Fiber: stack too small (< 16 KiB)");
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber() {
+#if defined(AP_TSAN_FIBERS)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+}
 
 void Fiber::trampoline() {
   Fiber* self = g_current_fiber;
@@ -63,7 +84,17 @@ void Fiber::trampoline() {
   __sanitizer_start_switch_fiber(nullptr, self->asan_resumer_bottom_,
                                  self->asan_resumer_size_);
 #endif
-  // Fall off the end: makecontext's uc_link returns to return_context_.
+#if defined(AP_TSAN_FIBERS)
+  // Announce the transfer back to the resumer.
+  __tsan_switch_to_fiber(self->tsan_from_, 0);
+#endif
+  // Swap out explicitly instead of falling off the end into uc_link: the
+  // fall-through would execute this function's instrumented epilogue
+  // *after* the switch announcements above, so under TSan each finished
+  // fiber would pop one frame from the resumer's shadow stack until it
+  // underflows. The fiber is Finished and never resumed, so control never
+  // returns here; uc_link stays set as a backstop.
+  swapcontext(&self->context_, &self->return_context_);
 }
 
 void Fiber::resume() {
@@ -89,6 +120,13 @@ void Fiber::resume() {
   __sanitizer_start_switch_fiber(&resumer_fake_stack, stack_.get(),
                                  stack_bytes_);
 #endif
+#if defined(AP_TSAN_FIBERS)
+  // Lazy creation keeps never-resumed fibers free; the resumer may differ
+  // between entries (nested schedulers), so re-capture it every time.
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = __tsan_create_fiber(0);
+  tsan_from_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   swapcontext(&return_context_, &context_);
 #if defined(AP_ASAN_FIBERS)
   __sanitizer_finish_switch_fiber(resumer_fake_stack, nullptr, nullptr);
@@ -109,6 +147,9 @@ void Fiber::yield() {
   __sanitizer_start_switch_fiber(&self->asan_fake_stack_,
                                  self->asan_resumer_bottom_,
                                  self->asan_resumer_size_);
+#endif
+#if defined(AP_TSAN_FIBERS)
+  __tsan_switch_to_fiber(self->tsan_from_, 0);
 #endif
   swapcontext(&self->context_, &self->return_context_);
 #if defined(AP_ASAN_FIBERS)

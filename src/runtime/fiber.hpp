@@ -68,6 +68,13 @@ class Fiber {
   void* asan_fake_stack_ = nullptr;
   const void* asan_resumer_bottom_ = nullptr;
   std::size_t asan_resumer_size_ = 0;
+
+  // ThreadSanitizer fiber-switch bookkeeping (see fiber.cpp; unused in
+  // non-TSan builds): the TSan fiber object backing this Fiber (created
+  // lazily on first resume, destroyed with the Fiber) and the resumer's
+  // TSan fiber, captured on each entry so yield()/exit can switch back.
+  void* tsan_fiber_ = nullptr;
+  void* tsan_from_ = nullptr;
 };
 
 }  // namespace ap::rt

@@ -90,13 +90,27 @@ unsigned char* translate(const void* local_sym_addr, int pe) {
   return w.heaps[static_cast<std::size_t>(pe)].base() + off;
 }
 
+/// The installed observer iff it subscribed to conformance events — the
+/// one cached gate every checker hook below hides behind.
+RmaObserver* conformance_observer() {
+  RmaObserver* o = rma_observer();
+  return (o != nullptr && o->wants_conformance_events()) ? o : nullptr;
+}
+
+Callsite to_callsite(const std::source_location& loc) {
+  return Callsite{loc.file_name(), static_cast<unsigned>(loc.line())};
+}
+
 void apply_pending(int src_pe) {
   World& w = world();
   auto& queue = w.pending[static_cast<std::size_t>(src_pe)];
-  for (const PendingPut& p : queue) {
+  RmaObserver* co = conformance_observer();
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const PendingPut& p = queue[i];
     unsigned char* dst =
         w.heaps[static_cast<std::size_t>(p.dst_pe)].base() + p.dst_offset;
     std::memcpy(dst, p.src, p.nbytes);
+    if (co != nullptr) co->on_nbi_applied(i);
   }
   queue.clear();
 }
@@ -108,15 +122,20 @@ void apply_pending(int src_pe) {
 void apply_pending_scheduled(int src_pe, const fi::QuietSchedule& s) {
   World& w = world();
   auto& queue = w.pending[static_cast<std::size_t>(src_pe)];
-  auto apply_one = [&w, &queue](std::uint32_t idx) {
+  RmaObserver* co = conformance_observer();
+  auto apply_one = [&w, &queue, co](std::uint32_t idx) {
     const PendingPut& p = queue[idx];
     unsigned char* dst =
         w.heaps[static_cast<std::size_t>(p.dst_pe)].base() + p.dst_offset;
     std::memcpy(dst, p.src, p.nbytes);
+    if (co != nullptr) co->on_nbi_applied(idx);
   };
   for (std::size_t i = 0; i < s.delayed_from; ++i) apply_one(s.order[i]);
-  if (s.delayed_from < s.order.size())
+  if (s.delayed_from < s.order.size()) {
+    if (co != nullptr)
+      co->on_quiet_suspend(s.delayed_from, s.order.size() - s.delayed_from);
     for (int y = 0; y < s.yields; ++y) rt::yield();
+  }
   for (std::size_t i = s.delayed_from; i < s.order.size(); ++i)
     apply_one(s.order[i]);
   queue.clear();
@@ -145,6 +164,7 @@ void mark_current_pe_dead() {
   World& w = world();
   const int me = require_pe();
   if (!w.alive[static_cast<std::size_t>(me)]) return;
+  if (RmaObserver* co = conformance_observer()) co->on_pe_dead(me);
   w.alive[static_cast<std::size_t>(me)] = 0;
   --w.live;
   w.pending[static_cast<std::size_t>(me)].clear();
@@ -319,27 +339,39 @@ void* ptr(void* target, int pe) {
   return translate(target, pe);
 }
 
-void put(void* dest, const void* src, std::size_t nbytes, int pe) {
+void put(void* dest, const void* src, std::size_t nbytes, int pe,
+         std::source_location loc) {
   if (nbytes == 0) return;
   unsigned char* remote = translate(dest, pe);
   std::memcpy(remote, src, nbytes);
   PeStats& s = my_stats();
   ++s.puts;
   s.put_bytes += nbytes;
-  if (RmaObserver* o = rma_observer()) o->on_put(pe, nbytes);
+  if (RmaObserver* o = rma_observer()) {
+    o->on_put(pe, nbytes);
+    if (o->wants_conformance_events())
+      o->on_put_range(pe, my_heap().offset_of(dest), nbytes,
+                      to_callsite(loc));
+  }
 }
 
-void get(void* dest, const void* src, std::size_t nbytes, int pe) {
+void get(void* dest, const void* src, std::size_t nbytes, int pe,
+         std::source_location loc) {
   if (nbytes == 0) return;
   const unsigned char* remote = translate(src, pe);
   std::memcpy(dest, remote, nbytes);
   PeStats& s = my_stats();
   ++s.gets;
   s.get_bytes += nbytes;
-  if (RmaObserver* o = rma_observer()) o->on_get(pe, nbytes);
+  if (RmaObserver* o = rma_observer()) {
+    o->on_get(pe, nbytes);
+    if (o->wants_conformance_events())
+      o->on_get_range(pe, my_heap().offset_of(src), nbytes, to_callsite(loc));
+  }
 }
 
-void putmem_nbi(void* dest, const void* src, std::size_t nbytes, int pe) {
+void putmem_nbi(void* dest, const void* src, std::size_t nbytes, int pe,
+                std::source_location loc) {
   if (nbytes == 0) return;
   World& w = world();
   const int me = require_pe();
@@ -352,13 +384,18 @@ void putmem_nbi(void* dest, const void* src, std::size_t nbytes, int pe) {
   PeStats& s = my_stats();
   ++s.nbi_puts;
   s.nbi_put_bytes += nbytes;
-  if (RmaObserver* o = rma_observer()) o->on_put_nbi(pe, nbytes);
+  if (RmaObserver* o = rma_observer()) {
+    o->on_put_nbi(pe, nbytes);
+    if (o->wants_conformance_events())
+      o->on_put_nbi_range(pe, off, nbytes, to_callsite(loc));
+  }
 }
 
 void quiet() {
   const int me = require_pe();
   const std::size_t outstanding =
       world().pending[static_cast<std::size_t>(me)].size();
+  if (RmaObserver* co = conformance_observer()) co->on_quiet_begin(outstanding);
   fi::QuietSchedule sched;
   if (fi::active() && fi::plan_quiet(me, outstanding, sched))
     apply_pending_scheduled(me, sched);
@@ -375,11 +412,12 @@ std::size_t pending_nbi_puts() {
 }
 
 void put_signal(void* dest, const void* src, std::size_t nbytes,
-                std::int64_t* sig_addr, std::int64_t signal, int pe) {
+                std::int64_t* sig_addr, std::int64_t signal, int pe,
+                std::source_location loc) {
   // Our blocking put is immediately visible, so data-then-signal ordering
   // holds trivially (real implementations fence between the two).
-  put(dest, src, nbytes, pe);
-  put(sig_addr, &signal, sizeof signal, pe);
+  put(dest, src, nbytes, pe, loc);
+  put(sig_addr, &signal, sizeof signal, pe, loc);
 }
 
 void wait_until(std::int64_t* ivar, Cmp cmp, std::int64_t value) {
@@ -398,44 +436,85 @@ void wait_until(std::int64_t* ivar, Cmp cmp, std::int64_t value) {
     }
     return false;
   });
+  // The awaited value arrived: the caller now legitimately observes the
+  // writes that produced it — an acquire edge for the checker.
+  if (RmaObserver* co = conformance_observer())
+    co->on_wait_satisfied(my_heap().offset_of(ivar), sizeof(std::int64_t));
 }
 
-std::int64_t atomic_fetch_add(std::int64_t* target, std::int64_t value,
-                              int pe) {
+std::int64_t atomic_fetch_add(std::int64_t* target, std::int64_t value, int pe,
+                              std::source_location loc) {
   auto* remote = reinterpret_cast<std::int64_t*>(translate(target, pe));
   ++my_stats().atomics;
-  if (RmaObserver* o = rma_observer()) o->on_atomic(pe);
+  if (RmaObserver* o = rma_observer()) {
+    o->on_atomic(pe);
+    if (o->wants_conformance_events())
+      o->on_atomic_range(pe, my_heap().offset_of(target), to_callsite(loc));
+  }
   const std::int64_t old = *remote;
   *remote = old + value;
   return old;
 }
 
-void atomic_add(std::int64_t* target, std::int64_t value, int pe) {
-  (void)atomic_fetch_add(target, value, pe);
+void atomic_add(std::int64_t* target, std::int64_t value, int pe,
+                std::source_location loc) {
+  (void)atomic_fetch_add(target, value, pe, loc);
 }
 
-void atomic_inc(std::int64_t* target, int pe) { atomic_add(target, 1, pe); }
+void atomic_inc(std::int64_t* target, int pe, std::source_location loc) {
+  atomic_add(target, 1, pe, loc);
+}
 
-std::int64_t atomic_fetch(const std::int64_t* target, int pe) {
+std::int64_t atomic_fetch(const std::int64_t* target, int pe,
+                          std::source_location loc) {
   const auto* remote = reinterpret_cast<const std::int64_t*>(
       translate(const_cast<std::int64_t*>(target), pe));
   ++my_stats().atomics;
+  if (RmaObserver* co = conformance_observer())
+    co->on_atomic_range(pe, my_heap().offset_of(target), to_callsite(loc));
   return *remote;
 }
 
-void atomic_set(std::int64_t* target, std::int64_t value, int pe) {
+void atomic_set(std::int64_t* target, std::int64_t value, int pe,
+                std::source_location loc) {
   auto* remote = reinterpret_cast<std::int64_t*>(translate(target, pe));
   ++my_stats().atomics;
+  if (RmaObserver* co = conformance_observer())
+    co->on_atomic_range(pe, my_heap().offset_of(target), to_callsite(loc));
   *remote = value;
 }
 
 std::int64_t atomic_compare_swap(std::int64_t* target, std::int64_t cond,
-                                 std::int64_t value, int pe) {
+                                 std::int64_t value, int pe,
+                                 std::source_location loc) {
   auto* remote = reinterpret_cast<std::int64_t*>(translate(target, pe));
   ++my_stats().atomics;
+  if (RmaObserver* co = conformance_observer())
+    co->on_atomic_range(pe, my_heap().offset_of(target), to_callsite(loc));
   const std::int64_t old = *remote;
   if (old == cond) *remote = value;
   return old;
+}
+
+void annotate_store(void* addr, std::size_t nbytes, int pe,
+                    std::source_location loc) {
+  if (nbytes == 0) return;
+  if (RmaObserver* co = conformance_observer())
+    co->on_local_store(pe, my_heap().offset_of(addr), nbytes,
+                       to_callsite(loc));
+}
+
+void annotate_local_read(const void* addr, std::size_t nbytes,
+                         std::source_location loc) {
+  if (nbytes == 0) return;
+  if (RmaObserver* co = conformance_observer())
+    co->on_local_read(my_heap().offset_of(addr), nbytes, to_callsite(loc));
+}
+
+void annotate_acquire_read(const void* addr, std::size_t nbytes) {
+  if (nbytes == 0) return;
+  if (RmaObserver* co = conformance_observer())
+    co->on_acquire_read(my_heap().offset_of(addr), nbytes);
 }
 
 void barrier_all() {

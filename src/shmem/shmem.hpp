@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <source_location>
 #include <vector>
 
 #include "runtime/scheduler.hpp"
@@ -87,13 +88,19 @@ T* ptr(T* target, int pe) {
 }
 
 /// ---- RMA -------------------------------------------------------------------
+/// Every RMA routine captures its callsite via std::source_location so the
+/// BSP conformance checker (docs/CHECKING.md) can attribute violations to
+/// the user-level call; the defaulted parameter is free for callers.
 /// Blocking put: visible at the target when the call returns.
-void put(void* dest, const void* src, std::size_t nbytes, int pe);
+void put(void* dest, const void* src, std::size_t nbytes, int pe,
+         std::source_location loc = std::source_location::current());
 /// Blocking get.
-void get(void* dest, const void* src, std::size_t nbytes, int pe);
+void get(void* dest, const void* src, std::size_t nbytes, int pe,
+         std::source_location loc = std::source_location::current());
 /// Non-blocking put: `src` must stay valid & unmodified until quiet().
 /// Data is NOT visible at the target before the initiator's quiet().
-void putmem_nbi(void* dest, const void* src, std::size_t nbytes, int pe);
+void putmem_nbi(void* dest, const void* src, std::size_t nbytes, int pe,
+                std::source_location loc = std::source_location::current());
 /// Complete all outstanding non-blocking puts from this PE.
 void quiet();
 /// Order puts from this PE to each destination (our model: implies quiet).
@@ -105,7 +112,8 @@ std::size_t pending_nbi_puts();
 /// then set the 8-byte `sig_addr` there to `signal` — both visible
 /// together at the target. The receiver pairs this with wait_until.
 void put_signal(void* dest, const void* src, std::size_t nbytes,
-                std::int64_t* sig_addr, std::int64_t signal, int pe);
+                std::int64_t* sig_addr, std::int64_t signal, int pe,
+                std::source_location loc = std::source_location::current());
 
 /// Comparison operators for wait_until (shmem_wait_until).
 enum class Cmp { eq, ne, gt, ge, lt, le };
@@ -115,13 +123,39 @@ enum class Cmp { eq, ne, gt, ge, lt, le };
 void wait_until(std::int64_t* ivar, Cmp cmp, std::int64_t value);
 
 /// ---- Atomics (target-side, any PE) ----------------------------------------
-std::int64_t atomic_fetch_add(std::int64_t* target, std::int64_t value, int pe);
-void atomic_add(std::int64_t* target, std::int64_t value, int pe);
-void atomic_inc(std::int64_t* target, int pe);
-std::int64_t atomic_fetch(const std::int64_t* target, int pe);
-void atomic_set(std::int64_t* target, std::int64_t value, int pe);
-std::int64_t atomic_compare_swap(std::int64_t* target, std::int64_t cond,
-                                 std::int64_t value, int pe);
+std::int64_t atomic_fetch_add(
+    std::int64_t* target, std::int64_t value, int pe,
+    std::source_location loc = std::source_location::current());
+void atomic_add(std::int64_t* target, std::int64_t value, int pe,
+                std::source_location loc = std::source_location::current());
+void atomic_inc(std::int64_t* target, int pe,
+                std::source_location loc = std::source_location::current());
+std::int64_t atomic_fetch(
+    const std::int64_t* target, int pe,
+    std::source_location loc = std::source_location::current());
+void atomic_set(std::int64_t* target, std::int64_t value, int pe,
+                std::source_location loc = std::source_location::current());
+std::int64_t atomic_compare_swap(
+    std::int64_t* target, std::int64_t cond, std::int64_t value, int pe,
+    std::source_location loc = std::source_location::current());
+
+/// ---- Conformance annotations (docs/CHECKING.md) ---------------------------
+/// The conveyor's zero-copy data plane bypasses put()/get() on the
+/// intra-node path (raw memcpy through ptr()) and raw-polls publication
+/// flags; these annotations tell the conformance checker about those
+/// accesses. All three are no-ops (one cached branch) unless an installed
+/// RmaObserver asks for conformance events. Addresses are local symmetric
+/// addresses, like put()'s `dest`.
+/// A raw store of [addr, addr+nbytes) into `pe`'s heap just happened.
+void annotate_store(void* addr, std::size_t nbytes, int pe,
+                    std::source_location loc = std::source_location::current());
+/// A plain local read of the caller's own heap (race-checked).
+void annotate_local_read(
+    const void* addr, std::size_t nbytes,
+    std::source_location loc = std::source_location::current());
+/// An acquiring local read: the caller legitimately observed a value
+/// another PE published into this range (synchronizes-with the writes).
+void annotate_acquire_read(const void* addr, std::size_t nbytes);
 
 /// ---- Collectives ------------------------------------------------------------
 /// All collectives must be called by every PE in the same program order.

@@ -14,9 +14,13 @@
 // python scripts.
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "check/checker.hpp"
 
 #include "analysis/analysis.hpp"
 #include "core/advisor.hpp"
@@ -43,6 +47,13 @@ void usage(const char* argv0) {
          "            epoch-align two runs and compare per-superstep\n"
          "            durations; exits 3 when any superstep (or the total)\n"
          "            regressed by more than PCT percent (default 10)\n"
+         "  check   [--json] <trace_dir>\n"
+         "            report the BSP conformance violations of a run\n"
+         "            recorded under ACTORPROF_CHECK=1 (check.csv): races,\n"
+         "            reads before quiet(), un-quiesced puts at barriers,\n"
+         "            API misuse — with PE/superstep/heap-range/callsite\n"
+         "            attribution; exits 4 when violations were recorded\n"
+         "            (see docs/CHECKING.md)\n"
          "  --num-pes defaults to the MANIFEST.txt PE count for both\n"
          "  subcommands; see docs/ANALYSIS.md for the full reference.\n"
          "\n"
@@ -248,6 +259,49 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
+int cmd_check(int argc, char** argv) {
+  bool json = false;
+  std::string dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]), 2;
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      return usage(argv[0]), 2;
+    }
+  }
+  if (dir.empty()) return usage(argv[0]), 2;
+
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / ap::prof::io::kCheckFile;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::cerr << "error: cannot open " << path.string()
+              << " — record the run with ACTORPROF_CHECK=1 (or "
+                 "Config::check) so write_traces() emits check.csv\n";
+    return 1;
+  }
+  std::vector<ap::check::Violation> violations;
+  std::uint64_t dropped = 0;
+  try {
+    ap::prof::io::parse_check_into(is, violations, dropped);
+  } catch (const std::exception& e) {
+    std::cerr << "error parsing " << path.string() << ": " << e.what()
+              << "\n";
+    return 1;
+  }
+  if (json)
+    ap::check::write_json(std::cout, violations, dropped);
+  else
+    ap::check::write_text(std::cout, violations, dropped);
+  return violations.empty() && dropped == 0 ? 0 : 4;
+}
+
 int cmd_diff(int argc, char** argv) {
   bool json = false, tolerate_partial = false;
   int num_pes = 0;
@@ -298,6 +352,7 @@ int main(int argc, char** argv) {
     const std::string sub = argv[1];
     if (sub == "analyze") return cmd_analyze(argc, argv);
     if (sub == "diff") return cmd_diff(argc, argv);
+    if (sub == "check") return cmd_check(argc, argv);
   }
   Args a;
   if (!parse_args(argc, argv, a)) {

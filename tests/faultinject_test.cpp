@@ -7,9 +7,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "apps/triangle.hpp"
+#include "check/checker.hpp"
 #include "core/profiler.hpp"
 #include "core/trace_io.hpp"
 #include "faultinject/faultinject.hpp"
@@ -288,6 +291,95 @@ TEST(FaultInject, RunAutoInstallsEnvPlan) {
   });
   EXPECT_FALSE(fi::active()) << "env guard must uninstall after run";
   EXPECT_TRUE(fi::was_killed(0));
+}
+
+// ------------------------------------------------ checker + fault plans
+//
+// The BSP conformance checker (docs/CHECKING.md) must deterministically
+// flag the ordering faults the injector plants in quiet(): a reorder plan
+// yields nbi_reordered diagnostics, a duplication plan nbi_duplicated,
+// and — because every violation field is a logical quantity — the JSON
+// report is byte-identical across runs of the same seed.
+
+prof::Config check_config() {
+  prof::Config c;
+  c.check = true;
+  return c;
+}
+
+std::string check_report_json(std::uint64_t seed, fi::Plan plan) {
+  plan.seed = seed;
+  prof::Profiler profiler(check_config());
+  fi::Session session(plan);
+  shmem::run(cfg_of(4, 2), ring_put_program);
+  std::ostringstream os;
+  check::write_json(os, profiler.bsp_violations(),
+                    profiler.bsp_violations_dropped());
+  return os.str();
+}
+
+TEST(CheckerFaultInject, ReorderPlanTriggersNbiReordered) {
+  fi::Plan p;
+  p.seed = 42;
+  p.reorder_put_prob = 1.0;
+  prof::Profiler profiler(check_config());
+  fi::Session session(p);
+  shmem::run(cfg_of(4, 2), ring_put_program);
+  const auto& v = profiler.bsp_violations();
+  ASSERT_FALSE(v.empty()) << "a certain-reorder plan must be flagged";
+  for (const auto& x : v) {
+    EXPECT_EQ(x.kind, check::Violation::Kind::NbiReordered);
+    EXPECT_GE(x.pe, 0);
+    EXPECT_LT(x.pe, 4);
+    EXPECT_GE(x.other_pe, 0);               // the staged put's target PE
+    EXPECT_EQ(x.bytes, sizeof(std::int64_t));
+    EXPECT_NE(x.callsite.find("faultinject_test.cpp"), std::string::npos)
+        << x.callsite;  // attribution points at the putmem_nbi above
+  }
+  // ring_put_program barriers each round, so later rounds' faults land in
+  // later supersteps.
+  EXPECT_GT(v.back().superstep, v.front().superstep);
+}
+
+TEST(CheckerFaultInject, DupPlanTriggersNbiDuplicated) {
+  fi::Plan p;
+  p.seed = 42;
+  p.dup_put_prob = 1.0;
+  prof::Profiler profiler(check_config());
+  fi::Session session(p);
+  shmem::run(cfg_of(4, 2), ring_put_program);
+  const auto& v = profiler.bsp_violations();
+  ASSERT_FALSE(v.empty()) << "a certain-dup plan must be flagged";
+  for (const auto& x : v) {
+    EXPECT_EQ(x.kind, check::Violation::Kind::NbiDuplicated);
+    EXPECT_NE(x.detail.find("more than once"), std::string::npos) << x.detail;
+  }
+  // One duplicate per quiet, 4 PEs x 4 rounds.
+  EXPECT_EQ(v.size(), 16u);
+}
+
+TEST(CheckerFaultInject, DelayPlanTriggersQuietInterrupted) {
+  fi::Plan p;
+  p.seed = 9;
+  p.delay_put_prob = 1.0;
+  p.delay_yields = 1;
+  prof::Profiler profiler(check_config());
+  fi::Session session(p);
+  shmem::run(cfg_of(4, 2), ring_put_program);
+  const auto& v = profiler.bsp_violations();
+  ASSERT_FALSE(v.empty());
+  bool saw_interrupt = false;
+  for (const auto& x : v)
+    saw_interrupt |= x.kind == check::Violation::Kind::QuietInterrupted;
+  EXPECT_TRUE(saw_interrupt);
+}
+
+TEST(CheckerFaultInject, ReportJsonIsByteIdenticalPerSeed) {
+  const std::string first = check_report_json(7, quiet_chaos_plan(0));
+  ASSERT_NE(first.find("\"violations\""), std::string::npos);
+  EXPECT_EQ(check_report_json(7, quiet_chaos_plan(0)), first);
+  EXPECT_NE(check_report_json(8, quiet_chaos_plan(0)), first)
+      << "a different seed must perturb the report";
 }
 
 // --------------------------------------------- symm_free after finalize

@@ -1,25 +1,24 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and test the default preset, then the
-# sanitizer preset (-fsanitize=address,undefined). Run from anywhere.
+# Full pre-merge check: lint gate, then build and test the default, asan
+# (-fsanitize=address,undefined) and ubsan (standalone, non-recoverable)
+# presets — each preset runs the FULL test suite. Run from anywhere.
 #
-#   tools/check.sh            # both presets
-#   tools/check.sh default    # one preset only
+#   tools/check.sh            # lint + all three presets + bench smoke
+#   tools/check.sh default    # one preset only (lint + smoke still run)
 #   tools/check.sh asan
-#
-# After the preset loop, the fault-injection harness and parser fuzz get a
-# dedicated run under the standalone UBSan preset (non-recoverable, so any
-# UB aborts the test) — together with the asan preset above, those suites
-# run under ASan AND UBSan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(default asan)
+  presets=(default asan ubsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "==== lint ===="
+tools/lint.sh
 
 for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
@@ -27,12 +26,6 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}" -j "${jobs}"
 done
-
-echo "==== ubsan: fault injection + parser fuzz ===="
-cmake --preset ubsan
-cmake --build --preset ubsan -j "${jobs}" --target faultinject_test fuzz_test
-build-ubsan/tests/faultinject_test
-build-ubsan/tests/fuzz_test --gtest_filter='*ParserFuzz*'
 
 # Bench smoke: the benches must build, and the --json fast-path report
 # (what tools/bench.sh records into BENCH_conveyor.json) must still run.
