@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
   pc.keep_logical_events = false;
   pc.keep_physical_events = false;
   pc.check = prof::Config::from_env().check;  // honor ACTORPROF_CHECK=1
+  pc.trace_format =
+      prof::Config::from_env().trace_format;  // ACTORPROF_TRACE_FORMAT
   prof::Profiler profiler(pc);
 
   double max_err = 0, sum = 0;

@@ -53,6 +53,8 @@ int main() {
   cfg.trace_dir = "quickstart_trace";
   cfg.timeline = true;  // also record a Google Trace Events timeline
   cfg.check = prof::Config::from_env().check;  // honor ACTORPROF_CHECK=1
+  cfg.trace_format =
+      prof::Config::from_env().trace_format;  // ACTORPROF_TRACE_FORMAT
   prof::Profiler profiler(cfg);
 
   rt::LaunchConfig lc;

@@ -9,6 +9,7 @@
 // paper's assertion-based validation.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 
 #include "analysis/analysis.hpp"
@@ -45,6 +46,8 @@ int main(int argc, char** argv) {
     pc.keep_logical_events = false;  // aggregates are enough for plots
     pc.keep_physical_events = true;
     pc.check = prof::Config::from_env().check;  // honor ACTORPROF_CHECK=1
+    pc.trace_format =
+        prof::Config::from_env().trace_format;  // ACTORPROF_TRACE_FORMAT
     pc.trace_dir = std::string("triangle_trace_") +
                    (kind == graph::DistKind::Cyclic1D ? "cyclic" : "range");
     prof::Profiler profiler(pc);
@@ -83,7 +86,14 @@ int main(int argc, char** argv) {
     std::cout << prof::format_report(prof::advise(profiler));
 
     profiler.write_traces();
-    std::printf("traces -> ./%s\n\n", pc.trace_dir.string().c_str());
+    std::uintmax_t trace_bytes = 0;
+    for (const auto& e :
+         std::filesystem::directory_iterator(pc.trace_dir))
+      if (e.is_regular_file()) trace_bytes += e.file_size();
+    std::printf("traces -> ./%s (%ju bytes, %s format)\n\n",
+                pc.trace_dir.string().c_str(), trace_bytes,
+                pc.trace_format == prof::TraceFormat::binary ? "binary .apt"
+                                                             : "csv");
 
     // Superstep-resolved analysis of the trace we just wrote — the same
     // report `actorprof analyze <dir>` produces from the files on disk.
@@ -94,5 +104,19 @@ int main(int argc, char** argv) {
     barrier_report.findings = prof::analysis::barrier_wait_findings(an);
     std::cout << prof::format_report(barrier_report) << '\n';
   }
+
+  // Both distributions are now on disk — the rest of the §IV comparison
+  // works from the files alone (docs/TRACE_FORMAT.md, OBSERVABILITY.md §8):
+  std::printf(
+      "next steps:\n"
+      "  ACTORPROF_TRACE_FORMAT=binary %s   # rerun with ~90x smaller "
+      ".apt shards\n"
+      "  actorprof serve triangle_trace_range        # live HTTP: "
+      "curl :7077/analyze\n"
+      "  curl -s 'localhost:7077/diff?base=triangle_trace_cyclic'  # "
+      "Range vs Cyclic\n"
+      "  actorprof export --csv triangle_trace_range -o csv_copy   # "
+      "CSV interchange\n",
+      argv[0]);
   return 0;
 }

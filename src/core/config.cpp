@@ -60,7 +60,21 @@ std::size_t env_size_strict(const char* name, std::size_t fallback) {
   return static_cast<std::size_t>(parsed);
 }
 
+/// Strict trace-format parse: exactly "csv" or "binary".
+TraceFormat env_format_strict(const char* name, TraceFormat fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const std::string s(v);
+  if (s == "csv") return TraceFormat::csv;
+  if (s == "binary") return TraceFormat::binary;
+  bad_value(name, v, "\"csv\" or \"binary\"");
+}
+
 }  // namespace
+
+const char* to_string(TraceFormat f) {
+  return f == TraceFormat::binary ? "binary" : "csv";
+}
 
 Config Config::from_env() {
   Config c;
@@ -69,6 +83,7 @@ Config Config::from_env() {
   c.overall = env_flag("ACTORPROF_TCOMM_PROFILING", c.overall);
   c.physical = env_flag("ACTORPROF_TRACE_PHYSICAL", c.physical);
   if (const char* dir = std::getenv("ACTORPROF_TRACE_DIR")) c.trace_dir = dir;
+  c.trace_format = env_format_strict("ACTORPROF_TRACE_FORMAT", c.trace_format);
 
   c.supersteps = env_bool_strict("ACTORPROF_SUPERSTEPS", c.supersteps);
   c.timeline = env_bool_strict("ACTORPROF_TIMELINE", c.timeline);

@@ -15,6 +15,17 @@
 
 namespace ap::prof {
 
+/// On-disk encoding of the trace files write_all() emits.
+///   csv    — the paper's line-oriented text files (PEi_send.csv, ...)
+///   binary — the columnar .apt container (docs/TRACE_FORMAT.md):
+///            delta+varint numeric columns, dictionary string columns,
+///            per-block CRC. ~5-10x smaller and faster to decode; the
+///            loader sniffs both, and `actorprof export --csv` converts
+///            back for interchange.
+enum class TraceFormat { csv, binary };
+
+[[nodiscard]] const char* to_string(TraceFormat f);
+
 struct Config {
   /// Logical trace (paper §III-A): PEi_send.csv + the in-memory comm matrix.
 #ifdef ENABLE_TRACE
@@ -50,6 +61,11 @@ struct Config {
 
   /// Where write_traces() puts the files.
   std::filesystem::path trace_dir = "actorprof_trace";
+
+  /// Encoding of the emitted trace files. CSV stays the default (and the
+  /// interchange format); binary is the production choice for large runs.
+  /// overall.txt and MANIFEST.txt are text in both formats.
+  TraceFormat trace_format = TraceFormat::csv;
 
   /// Keep individual records in memory (needed to write per-event files).
   /// The aggregated comm matrices are always maintained; disabling this
@@ -130,6 +146,8 @@ struct Config {
   ///   ACTORPROF_TRACE_PHYSICAL (0/1)      — trace kinds (lenient parse,
   ///                                         kept for back-compat)
   ///   ACTORPROF_TRACE_DIR (path)          — output directory
+  ///   ACTORPROF_TRACE_FORMAT (csv|binary) — on-disk trace encoding
+  ///                                         (strict parse)
   ///   ACTORPROF_SUPERSTEPS (0/1)          — per-superstep PEi_steps.csv
   ///   ACTORPROF_TIMELINE (0/1)            — Chrome timeline + flow events
   ///   ACTORPROF_METRICS (0/1)             — live metrics registry/sampler

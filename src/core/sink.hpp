@@ -1,0 +1,55 @@
+// Buffered text sink for trace emission.
+//
+// The CSV writers used to stream one `operator<<` per field into an
+// ostringstream — a virtual call plus locale machinery per number, which
+// dominated write_all() on million-row traces (bench_trace measures it).
+// Sink appends into one owned std::string with std::to_chars formatting;
+// write_all hands the finished buffer straight to the atomic-rename file
+// writer, so a trace file is formatted exactly once, contiguously.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace ap::prof::io {
+
+class Sink {
+ public:
+  Sink() { buf_.reserve(4096); }
+
+  void put(char c) { buf_.push_back(c); }
+  void append(std::string_view s) { buf_.append(s); }
+
+  /// Any integer type, formatted as base-10 via to_chars (locale-free).
+  template <class T>
+    requires std::is_integral_v<T>
+  void dec(T v) {
+    char tmp[24];
+    const auto [p, ec] = std::to_chars(tmp, tmp + sizeof tmp, v);
+    buf_.append(tmp, static_cast<std::size_t>(p - tmp));
+  }
+
+  /// Default-ostream-compatible double formatting (printf %g, precision
+  /// 6) — keeps overall.txt byte-identical to the streamed writer it
+  /// replaced.
+  void flt(double v) {
+    char tmp[32];
+    const int n = std::snprintf(tmp, sizeof tmp, "%g", v);
+    if (n > 0) buf_.append(tmp, static_cast<std::size_t>(n));
+  }
+
+  [[nodiscard]] const std::string& str() const& { return buf_; }
+  [[nodiscard]] std::string str() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace ap::prof::io

@@ -1,0 +1,679 @@
+#include "core/trace_binary.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <utility>
+
+#include "metrics/sampler.hpp"
+
+namespace ap::prof::io {
+
+namespace {
+
+constexpr std::size_t kRowsPerBlock = 4096;
+constexpr std::uint8_t kFlagCrc = 0x01;
+/// Column encodings (one byte per column per block).
+constexpr std::uint8_t kEncDeltaRle = 0;
+constexpr std::uint8_t kEncDict = 1;
+/// Decoder sanity caps: a fuzzed length field must not turn into a huge
+/// allocation. Real blocks hold kRowsPerBlock rows.
+constexpr std::uint64_t kMaxRowsSanity = 1u << 22;
+constexpr std::uint64_t kMaxValuesSanity = 1u << 26;
+
+// --------------------------------------------------------------- primitives
+
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t seed = 0xffffffffu) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+/// Zigzag over the wrapped u64 delta: reversible for any pair of u64
+/// values, small for small signed differences.
+std::uint64_t zigzag(std::uint64_t delta) {
+  const auto d = static_cast<std::int64_t>(delta);
+  return static_cast<std::uint64_t>((d << 1) ^ (d >> 63));
+}
+
+std::uint64_t unzigzag(std::uint64_t v) {
+  return (v >> 1) ^ (~(v & 1) + 1);
+}
+
+/// Bounded byte reader with exact error attribution. `base` is the
+/// absolute file offset of the view's first byte; `block` the 1-based
+/// block being decoded (0 = header).
+struct Cursor {
+  std::string_view body;
+  std::size_t pos = 0;
+  std::size_t base = 0;
+  std::size_t block = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw BinaryParseError(block, base + pos, what);
+  }
+  [[nodiscard]] bool done() const { return pos >= body.size(); }
+  std::uint8_t u8() {
+    if (pos >= body.size()) fail("truncated");
+    return static_cast<std::uint8_t>(body[pos++]);
+  }
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint64_t b = u8();
+      v |= (b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    fail("bad varint");
+  }
+  std::uint32_t u32le() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::string_view take(std::size_t n) {
+    if (body.size() - pos < n) fail("truncated");
+    const std::string_view s = body.substr(pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+// ------------------------------------------------------------ column codecs
+
+/// Delta + run-length: a stream of (zigzag delta, run count) pairs. A
+/// constant column — or one advancing by a constant stride — costs one
+/// pair per block.
+std::string encode_numeric(const std::vector<std::uint64_t>& v) {
+  std::string out;
+  std::uint64_t prev = 0;
+  std::size_t i = 0;
+  while (i < v.size()) {
+    const std::uint64_t d = v[i] - prev;
+    std::size_t run = 1;
+    while (i + run < v.size() && v[i + run] - v[i + run - 1] == d) ++run;
+    put_varint(out, zigzag(d));
+    put_varint(out, run);
+    prev = v[i + run - 1];
+    i += run;
+  }
+  return out;
+}
+
+void decode_numeric(Cursor c, std::uint64_t nrows,
+                    std::vector<std::uint64_t>& out) {
+  out.clear();
+  out.reserve(nrows);
+  std::uint64_t prev = 0;
+  while (out.size() < nrows) {
+    const std::uint64_t d = unzigzag(c.varint());
+    const std::uint64_t run = c.varint();
+    if (run == 0 || run > nrows - out.size()) c.fail("bad run length");
+    for (std::uint64_t k = 0; k < run; ++k) {
+      prev += d;
+      out.push_back(prev);
+    }
+  }
+  if (!c.done()) c.fail("trailing bytes in column");
+}
+
+/// Dictionary: varint entry count, entries (varint len + bytes), then the
+/// per-row indices as a delta-RLE stream.
+std::string encode_dict(const std::vector<std::string_view>& v) {
+  std::string out;
+  std::map<std::string_view, std::uint64_t> index;
+  std::vector<std::string_view> entries;
+  std::vector<std::uint64_t> idx;
+  idx.reserve(v.size());
+  for (const std::string_view s : v) {
+    const auto [it, inserted] = index.try_emplace(s, entries.size());
+    if (inserted) entries.push_back(s);
+    idx.push_back(it->second);
+  }
+  put_varint(out, entries.size());
+  for (const std::string_view e : entries) {
+    put_varint(out, e.size());
+    out.append(e);
+  }
+  out += encode_numeric(idx);
+  return out;
+}
+
+void decode_dict(Cursor c, std::uint64_t nrows,
+                 std::vector<std::string>& out) {
+  out.clear();
+  const std::uint64_t n_entries = c.varint();
+  if (n_entries > c.body.size()) c.fail("bad dictionary size");
+  std::vector<std::string_view> entries;
+  entries.reserve(n_entries);
+  for (std::uint64_t i = 0; i < n_entries; ++i) {
+    const std::uint64_t len = c.varint();
+    if (len > c.body.size() - c.pos) c.fail("bad dictionary entry");
+    entries.push_back(c.take(len));
+  }
+  std::vector<std::uint64_t> idx;
+  decode_numeric(c, nrows, idx);  // consumes the remainder exactly
+  out.reserve(nrows);
+  for (const std::uint64_t i : idx) {
+    if (i >= entries.size()) c.fail("dictionary index out of range");
+    out.emplace_back(entries[i]);
+  }
+}
+
+// ------------------------------------------------------------- file framing
+
+std::string header(BinKind kind, std::size_t ncols, std::string_view aux) {
+  std::string out;
+  out.append(kAptMagic);
+  out.push_back(static_cast<char>(kAptVersion));
+  out.push_back(static_cast<char>(kind));
+  out.push_back(static_cast<char>(kFlagCrc));
+  out.push_back(static_cast<char>(ncols));
+  put_varint(out, aux.size());
+  out.append(aux);
+  return out;
+}
+
+/// One encoded column of a block: encoding byte + payload.
+struct EncodedColumn {
+  std::uint8_t encoding = kEncDeltaRle;
+  std::string payload;
+};
+
+void emit_block(std::string& out, std::size_t nrows,
+                const std::vector<EncodedColumn>& cols) {
+  const std::size_t start = out.size();
+  out.push_back('B');
+  put_varint(out, nrows);
+  for (const EncodedColumn& c : cols) {
+    out.push_back(static_cast<char>(c.encoding));
+    put_varint(out, c.payload.size());
+    out.append(c.payload);
+  }
+  put_u32le(out, crc32(out.data() + start, out.size() - start));
+}
+
+/// Encode `rows` in kRowsPerBlock slices. `fill(row, dst)` writes the
+/// row's `ncols` u64 column values.
+template <class Rec, class Fill>
+std::string encode_rows(BinKind kind, std::string_view aux,
+                        const std::vector<Rec>& rows, std::size_t ncols,
+                        Fill&& fill) {
+  std::string out = header(kind, ncols, aux);
+  std::vector<std::vector<std::uint64_t>> cols(ncols);
+  std::vector<std::uint64_t> tmp(ncols);
+  std::vector<EncodedColumn> encoded(ncols);
+  for (std::size_t base = 0; base < rows.size(); base += kRowsPerBlock) {
+    const std::size_t n = std::min(kRowsPerBlock, rows.size() - base);
+    for (auto& c : cols) {
+      c.clear();
+      c.reserve(n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      fill(rows[base + i], tmp.data());
+      for (std::size_t k = 0; k < ncols; ++k) cols[k].push_back(tmp[k]);
+    }
+    for (std::size_t k = 0; k < ncols; ++k)
+      encoded[k] = {kEncDeltaRle, encode_numeric(cols[k])};
+    emit_block(out, n, encoded);
+  }
+  return out;
+}
+
+/// One structurally-parsed (and CRC-verified) block handed to a decoder.
+struct RawColumn {
+  std::uint8_t encoding = 0;
+  std::string_view payload;
+  std::size_t abs_offset = 0;  ///< file offset of the payload
+};
+
+/// Parse header + iterate blocks. For each block: verify the CRC, then
+/// call on_block(block_index, nrows, cols). Errors — structural, CRC, or
+/// thrown by on_block — carry (block, offset) attribution.
+template <class OnBlock>
+void decode_file(std::string_view body, BinKind expect, std::size_t ncols,
+                 std::string_view& aux_out, OnBlock&& on_block) {
+  Cursor c{body};
+  if (body.size() < 8 || body.substr(0, 4) != kAptMagic)
+    c.fail("bad .apt magic");
+  c.pos = 4;
+  const std::uint8_t version = c.u8();
+  if (version != kAptVersion) c.fail("unsupported .apt version");
+  if (static_cast<BinKind>(c.u8()) != expect) c.fail("wrong record kind");
+  const std::uint8_t flags = c.u8();
+  if (c.u8() != ncols) c.fail("unexpected column count");
+  const std::uint64_t aux_len = c.varint();
+  if (aux_len > body.size() - c.pos) c.fail("bad aux length");
+  aux_out = c.take(aux_len);
+
+  std::vector<RawColumn> cols(ncols);
+  std::size_t block = 0;
+  while (!c.done()) {
+    c.block = ++block;
+    const std::size_t block_start = c.pos;
+    if (c.u8() != 'B') {
+      c.pos = block_start;
+      c.fail("bad block marker");
+    }
+    const std::uint64_t nrows = c.varint();
+    if (nrows > kMaxRowsSanity) c.fail("implausible row count");
+    for (std::size_t k = 0; k < ncols; ++k) {
+      const std::uint8_t enc = c.u8();
+      const std::uint64_t len = c.varint();
+      if (len > body.size() - c.pos) c.fail("truncated column payload");
+      const std::size_t off = c.pos;
+      cols[k] = {enc, c.take(len), off};
+    }
+    if ((flags & kFlagCrc) != 0) {
+      const std::size_t crc_pos = c.pos;
+      const std::uint32_t stored = c.u32le();
+      const std::uint32_t fresh =
+          crc32(body.data() + block_start, crc_pos - block_start);
+      if (stored != fresh)
+        throw BinaryParseError(block, block_start, "block CRC mismatch");
+    }
+    on_block(block, nrows, cols);
+  }
+}
+
+/// Numeric-only kinds: decode every column, transpose, build records.
+/// Rows of each verified block land in `out` before the next block is
+/// read — the tolerant-load prefix guarantee.
+template <class Rec, class Build>
+void decode_numeric_kind(std::string_view body, BinKind kind,
+                         std::size_t ncols, std::vector<Rec>& out,
+                         std::string_view& aux_out, Build&& build) {
+  std::vector<std::vector<std::uint64_t>> vals(ncols);
+  decode_file(body, kind, ncols, aux_out,
+              [&](std::size_t block, std::uint64_t nrows,
+                  const std::vector<RawColumn>& cols) {
+                for (std::size_t k = 0; k < ncols; ++k) {
+                  Cursor cc{cols[k].payload, 0, cols[k].abs_offset, block};
+                  if (cols[k].encoding != kEncDeltaRle)
+                    cc.fail("unexpected column encoding");
+                  decode_numeric(cc, nrows, vals[k]);
+                }
+                out.reserve(out.size() + nrows);
+                std::vector<std::uint64_t> row(ncols);
+                for (std::uint64_t i = 0; i < nrows; ++i) {
+                  for (std::size_t k = 0; k < ncols; ++k) row[k] = vals[k][i];
+                  out.push_back(build(row.data()));
+                }
+              });
+}
+
+template <class T>
+std::uint64_t as_u64(T v) {
+  return static_cast<std::uint64_t>(v);
+}
+/// Sign-extending narrow for columns holding ints (stored as wrapped u64).
+int as_int(std::uint64_t v) {
+  return static_cast<int>(static_cast<std::int64_t>(v));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- public
+
+bool is_binary_trace(std::string_view body) {
+  return body.size() >= kAptMagic.size() &&
+         body.substr(0, kAptMagic.size()) == kAptMagic;
+}
+
+std::string binary_file_name(std::string_view csv_name) {
+  const std::size_t dot = csv_name.rfind('.');
+  std::string out(dot == std::string_view::npos ? csv_name
+                                                : csv_name.substr(0, dot));
+  out += ".apt";
+  return out;
+}
+
+BinaryParseError::BinaryParseError(std::size_t block, std::size_t offset,
+                                   const std::string& what)
+    : TraceParseError(block, "binary trace parse error at block " +
+                                 std::to_string(block) + " offset " +
+                                 std::to_string(offset) + ": " + what),
+      offset_(offset) {}
+
+// ---- send ------------------------------------------------------------------
+
+std::string encode_logical(const std::vector<LogicalSendRecord>& events) {
+  return encode_rows(BinKind::send, {}, events, 5,
+                     [](const LogicalSendRecord& r, std::uint64_t* d) {
+                       d[0] = as_u64(r.src_node);
+                       d[1] = as_u64(r.src_pe);
+                       d[2] = as_u64(r.dst_node);
+                       d[3] = as_u64(r.dst_pe);
+                       d[4] = as_u64(r.msg_bytes);
+                     });
+}
+
+void decode_logical_into(std::string_view body,
+                         std::vector<LogicalSendRecord>& out) {
+  std::string_view aux;
+  decode_numeric_kind(body, BinKind::send, 5, out, aux,
+                      [](const std::uint64_t* d) {
+                        LogicalSendRecord r;
+                        r.src_node = as_int(d[0]);
+                        r.src_pe = as_int(d[1]);
+                        r.dst_node = as_int(d[2]);
+                        r.dst_pe = as_int(d[3]);
+                        r.msg_bytes = static_cast<std::uint32_t>(d[4]);
+                        return r;
+                      });
+}
+
+// ---- papi ------------------------------------------------------------------
+
+std::string encode_papi(const std::vector<PapiSegmentRecord>& rows,
+                        const Config& cfg) {
+  std::string aux;
+  const int n_events = cfg.num_papi_events();
+  aux.push_back(static_cast<char>(n_events));
+  for (int i = 0; i < n_events; ++i)
+    aux.push_back(
+        static_cast<char>(cfg.papi_events[static_cast<std::size_t>(i)]));
+  return encode_rows(BinKind::papi, aux, rows, 12,
+                     [](const PapiSegmentRecord& r, std::uint64_t* d) {
+                       d[0] = as_u64(r.src_node);
+                       d[1] = as_u64(r.src_pe);
+                       d[2] = as_u64(r.dst_node);
+                       d[3] = as_u64(r.dst_pe);
+                       d[4] = as_u64(r.pkt_bytes);
+                       d[5] = as_u64(r.mailbox_id);
+                       d[6] = r.num_sends;
+                       d[7] = r.counters[0];
+                       d[8] = r.counters[1];
+                       d[9] = r.counters[2];
+                       d[10] = r.counters[3];
+                       d[11] = r.is_proc ? 1 : 0;
+                     });
+}
+
+void decode_papi_into(std::string_view body,
+                      std::vector<PapiSegmentRecord>& out,
+                      std::vector<papi::Event>* events_out) {
+  std::string_view aux;
+  decode_numeric_kind(body, BinKind::papi, 12, out, aux,
+                      [](const std::uint64_t* d) {
+                        PapiSegmentRecord r;
+                        r.src_node = as_int(d[0]);
+                        r.src_pe = as_int(d[1]);
+                        r.dst_node = as_int(d[2]);
+                        r.dst_pe = as_int(d[3]);
+                        r.pkt_bytes = static_cast<std::uint32_t>(d[4]);
+                        r.mailbox_id = as_int(d[5]);
+                        r.num_sends = d[6];
+                        r.counters[0] = d[7];
+                        r.counters[1] = d[8];
+                        r.counters[2] = d[9];
+                        r.counters[3] = d[10];
+                        r.is_proc = d[11] != 0;
+                        return r;
+                      });
+  if (events_out != nullptr) {
+    events_out->clear();
+    if (!aux.empty()) {
+      const auto n = static_cast<std::size_t>(
+          static_cast<unsigned char>(aux[0]));
+      for (std::size_t i = 0; i + 1 < aux.size() && i < n; ++i) {
+        const int e = static_cast<unsigned char>(aux[1 + i]);
+        if (e < static_cast<int>(papi::Event::kCount))
+          events_out->push_back(static_cast<papi::Event>(e));
+      }
+    }
+  }
+}
+
+// ---- steps -----------------------------------------------------------------
+
+std::string encode_steps(const std::vector<SuperstepRecord>& recs) {
+  return encode_rows(BinKind::steps, {}, recs, 11,
+                     [](const SuperstepRecord& r, std::uint64_t* d) {
+                       d[0] = as_u64(r.pe);
+                       d[1] = r.epoch;
+                       d[2] = r.step;
+                       d[3] = r.t_main;
+                       d[4] = r.t_proc;
+                       d[5] = r.t_comm;
+                       d[6] = r.msgs_sent;
+                       d[7] = r.bytes_sent;
+                       d[8] = r.msgs_handled;
+                       d[9] = r.barrier_arrive;
+                       d[10] = r.barrier_release;
+                     });
+}
+
+void decode_steps_into(std::string_view body,
+                       std::vector<SuperstepRecord>& out) {
+  std::string_view aux;
+  decode_numeric_kind(body, BinKind::steps, 11, out, aux,
+                      [](const std::uint64_t* d) {
+                        SuperstepRecord r;
+                        r.pe = as_int(d[0]);
+                        r.epoch = static_cast<std::uint32_t>(d[1]);
+                        r.step = static_cast<std::uint32_t>(d[2]);
+                        r.t_main = d[3];
+                        r.t_proc = d[4];
+                        r.t_comm = d[5];
+                        r.msgs_sent = d[6];
+                        r.bytes_sent = d[7];
+                        r.msgs_handled = d[8];
+                        r.barrier_arrive = d[9];
+                        r.barrier_release = d[10];
+                        return r;
+                      });
+}
+
+// ---- physical --------------------------------------------------------------
+
+std::string encode_physical(const std::vector<PhysicalRecord>& events) {
+  return encode_rows(BinKind::physical, {}, events, 4,
+                     [](const PhysicalRecord& r, std::uint64_t* d) {
+                       d[0] = as_u64(static_cast<int>(r.type));
+                       d[1] = r.buffer_bytes;
+                       d[2] = as_u64(r.src_pe);
+                       d[3] = as_u64(r.dst_pe);
+                     });
+}
+
+void decode_physical_into(std::string_view body,
+                          std::vector<PhysicalRecord>& out) {
+  std::string_view aux;
+  const std::size_t before = out.size();
+  decode_numeric_kind(body, BinKind::physical, 4, out, aux,
+                      [](const std::uint64_t* d) {
+                        PhysicalRecord r;
+                        r.type = static_cast<convey::SendType>(as_int(d[0]));
+                        r.buffer_bytes = d[1];
+                        r.src_pe = as_int(d[2]);
+                        r.dst_pe = as_int(d[3]);
+                        return r;
+                      });
+  for (std::size_t i = before; i < out.size(); ++i) {
+    const int t = static_cast<int>(out[i].type);
+    if (t < 0 || t > static_cast<int>(convey::SendType::nonblock_progress)) {
+      out.resize(before);
+      throw BinaryParseError(1, 0, "unknown send type value");
+    }
+  }
+}
+
+// ---- check -----------------------------------------------------------------
+
+std::string encode_check(const std::vector<check::Violation>& v,
+                         std::uint64_t dropped) {
+  std::string aux;
+  put_varint(aux, dropped);
+  std::string out = header(BinKind::check, 8, aux);
+  std::vector<std::uint64_t> num[6];
+  std::vector<std::string_view> callsites;
+  std::vector<std::string_view> details;
+  for (std::size_t base = 0; base < v.size(); base += kRowsPerBlock) {
+    const std::size_t n = std::min(kRowsPerBlock, v.size() - base);
+    for (auto& c : num) c.clear();
+    callsites.clear();
+    details.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const check::Violation& x = v[base + i];
+      num[0].push_back(as_u64(static_cast<int>(x.kind)));
+      num[1].push_back(as_u64(x.pe));
+      num[2].push_back(as_u64(x.other_pe));
+      num[3].push_back(x.superstep);
+      num[4].push_back(x.offset);
+      num[5].push_back(x.bytes);
+      callsites.push_back(x.callsite);
+      details.push_back(x.detail);
+    }
+    std::vector<EncodedColumn> cols;
+    cols.reserve(8);
+    for (const auto& c : num) cols.push_back({kEncDeltaRle, encode_numeric(c)});
+    cols.push_back({kEncDict, encode_dict(callsites)});
+    cols.push_back({kEncDict, encode_dict(details)});
+    emit_block(out, n, cols);
+  }
+  return out;
+}
+
+void decode_check_into(std::string_view body,
+                       std::vector<check::Violation>& out,
+                       std::uint64_t& dropped) {
+  std::string_view aux;
+  std::vector<std::uint64_t> num[6];
+  std::vector<std::string> callsites;
+  std::vector<std::string> details;
+  decode_file(
+      body, BinKind::check, 8, aux,
+      [&](std::size_t block, std::uint64_t nrows,
+          const std::vector<RawColumn>& cols) {
+        for (std::size_t k = 0; k < 6; ++k) {
+          Cursor cc{cols[k].payload, 0, cols[k].abs_offset, block};
+          if (cols[k].encoding != kEncDeltaRle)
+            cc.fail("unexpected column encoding");
+          decode_numeric(cc, nrows, num[k]);
+        }
+        for (std::size_t k = 6; k < 8; ++k) {
+          Cursor cc{cols[k].payload, 0, cols[k].abs_offset, block};
+          if (cols[k].encoding != kEncDict)
+            cc.fail("unexpected column encoding");
+          decode_dict(cc, nrows, k == 6 ? callsites : details);
+        }
+        out.reserve(out.size() + nrows);
+        for (std::uint64_t i = 0; i < nrows; ++i) {
+          check::Violation x;
+          const int kind_val = as_int(num[0][i]);
+          if (kind_val < 0 ||
+              kind_val > static_cast<int>(check::Violation::Kind::ApiMisuse)) {
+            Cursor cc{cols[0].payload, 0, cols[0].abs_offset, block};
+            cc.fail("unknown violation kind value");
+          }
+          x.kind = static_cast<check::Violation::Kind>(kind_val);
+          x.pe = as_int(num[1][i]);
+          x.other_pe = as_int(num[2][i]);
+          x.superstep = static_cast<std::uint32_t>(num[3][i]);
+          x.offset = num[4][i];
+          x.bytes = num[5][i];
+          x.callsite = std::move(callsites[i]);
+          x.detail = std::move(details[i]);
+          out.push_back(std::move(x));
+        }
+      });
+  Cursor ac{aux};
+  dropped = ac.varint();
+}
+
+// ---- metric samples --------------------------------------------------------
+
+std::string encode_metric_samples(const metrics::SampleRing& r) {
+  std::string aux;
+  put_varint(aux, static_cast<std::uint64_t>(r.num_pes()));
+  put_varint(aux, r.num_series());
+  std::string out = header(BinKind::metrics, 2, aux);
+  const std::size_t per_row =
+      static_cast<std::size_t>(r.num_pes()) * r.num_series();
+  std::vector<std::uint64_t> times;
+  std::vector<std::uint64_t> values;
+  for (std::size_t base = 0; base < r.size(); base += kRowsPerBlock) {
+    const std::size_t n = std::min(kRowsPerBlock, r.size() - base);
+    times.clear();
+    values.clear();
+    values.reserve(n * per_row);
+    for (std::size_t i = 0; i < n; ++i) {
+      const metrics::SampleRing::View v = r.at(base + i);
+      times.push_back(v.t_cycles);
+      for (std::size_t k = 0; k < per_row; ++k)
+        values.push_back(static_cast<std::uint64_t>(v.row[k]));
+    }
+    emit_block(out, n,
+               {{kEncDeltaRle, encode_numeric(times)},
+                {kEncDeltaRle, encode_numeric(values)}});
+  }
+  return out;
+}
+
+void decode_metric_samples_into(std::string_view body, MetricSamples& out) {
+  std::string_view aux;
+  std::vector<std::uint64_t> times;
+  std::vector<std::uint64_t> values;
+  bool have_aux = false;
+  std::uint64_t per_row = 0;
+  decode_file(
+      body, BinKind::metrics, 2, aux,
+      [&](std::size_t block, std::uint64_t nrows,
+          const std::vector<RawColumn>& cols) {
+        if (!have_aux) {
+          Cursor ac{aux};
+          out.num_pes = as_int(ac.varint());
+          out.num_series = ac.varint();
+          per_row = static_cast<std::uint64_t>(out.num_pes) * out.num_series;
+          have_aux = true;
+        }
+        if (nrows * per_row > kMaxValuesSanity) {
+          Cursor cc{cols[1].payload, 0, cols[1].abs_offset, block};
+          cc.fail("implausible sample volume");
+        }
+        Cursor ct{cols[0].payload, 0, cols[0].abs_offset, block};
+        decode_numeric(ct, nrows, times);
+        Cursor cv{cols[1].payload, 0, cols[1].abs_offset, block};
+        decode_numeric(cv, nrows * per_row, values);
+        out.t_cycles.insert(out.t_cycles.end(), times.begin(), times.end());
+        out.values.reserve(out.values.size() + values.size());
+        for (const std::uint64_t v : values)
+          out.values.push_back(static_cast<std::int64_t>(v));
+      });
+  if (!have_aux) {  // zero-block file: still surface the shape
+    Cursor ac{aux};
+    out.num_pes = as_int(ac.varint());
+    out.num_series = ac.varint();
+  }
+}
+
+}  // namespace ap::prof::io

@@ -1,0 +1,125 @@
+// The .apt binary columnar trace container (docs/TRACE_FORMAT.md).
+//
+// CSV traces will not survive millions of supersteps: a PEi_send.csv row
+// spends ~10 bytes on four near-constant coordinates. The .apt container
+// stores each record kind column-wise — run-length-encoded zigzag-varint
+// deltas for numeric columns, a dictionary for string columns — in blocks
+// of a few thousand rows, each guarded by a CRC32. A constant column costs
+// ~2 bytes per *block*, so real traces shrink 5-10x (bench_trace measures
+// it) and decode faster than the CSV scanner.
+//
+// Layout (all integers little-endian; varint = LEB128):
+//   header:  "APT1" | u8 version | u8 kind | u8 flags | u8 ncols
+//            | varint aux_len | aux bytes (kind-specific, see .cpp)
+//   blocks:  'B' | varint nrows
+//            | ncols x { u8 encoding | varint payload_len | payload }
+//            | u32 crc32 (flags bit0; over 'B'..end of last payload)
+//   ... blocks repeat until EOF.
+//
+// Decoding is block-tolerant: every fully-verified block's rows are
+// appended to the output before the next block is touched, so a truncated
+// or bit-flipped file yields its clean prefix plus a BinaryParseError
+// attributing the damage to an exact (block, byte offset) — the binary
+// analogue of the CSV parsers' line numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "core/config.hpp"
+#include "core/records.hpp"
+#include "core/trace_io.hpp"
+
+namespace ap::metrics {
+class SampleRing;
+}
+
+namespace ap::prof::io {
+
+/// Record kinds an .apt file can hold (the header's `kind` byte).
+enum class BinKind : std::uint8_t {
+  send = 1,
+  papi = 2,
+  steps = 3,
+  physical = 4,
+  check = 5,
+  metrics = 6,
+};
+
+inline constexpr std::string_view kAptMagic = "APT1";
+inline constexpr std::uint8_t kAptVersion = 1;
+
+/// True when `body` starts with the .apt magic — how the loader sniffs
+/// binary vs CSV content independent of the file name.
+[[nodiscard]] bool is_binary_trace(std::string_view body);
+
+/// The .apt sibling of a CSV/text trace file name:
+/// "PE0_send.csv" -> "PE0_send.apt", "physical.txt" -> "physical.apt".
+[[nodiscard]] std::string binary_file_name(std::string_view csv_name);
+
+/// Binary decode failure. line_no() carries the 1-based block index (0 for
+/// the file header); offset() the absolute byte offset of the damage.
+class BinaryParseError : public TraceParseError {
+ public:
+  BinaryParseError(std::size_t block, std::size_t offset,
+                   const std::string& what);
+  [[nodiscard]] std::size_t block() const { return line_no(); }
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+// ---- encoders --------------------------------------------------------------
+// Each returns a complete .apt file body (header + blocks + CRCs).
+
+[[nodiscard]] std::string encode_logical(
+    const std::vector<LogicalSendRecord>& events);
+/// The configured PAPI event ids ride in the header aux bytes, so a
+/// decoder (and `actorprof export --csv`) can rebuild the CSV header line.
+[[nodiscard]] std::string encode_papi(
+    const std::vector<PapiSegmentRecord>& rows, const Config& cfg);
+[[nodiscard]] std::string encode_steps(
+    const std::vector<SuperstepRecord>& recs);
+[[nodiscard]] std::string encode_physical(
+    const std::vector<PhysicalRecord>& events);
+/// `dropped` (the "# dropped=<n>" CSV marker) rides in the header aux.
+[[nodiscard]] std::string encode_check(
+    const std::vector<check::Violation>& v, std::uint64_t dropped);
+/// The live-metrics sample ring: one row per snapshot, a timestamp column
+/// plus one flattened PE-major values column (num_pes * num_series each).
+[[nodiscard]] std::string encode_metric_samples(const metrics::SampleRing& r);
+
+// ---- decoders --------------------------------------------------------------
+// Incremental: rows append to `out` block by block, so on a throw the
+// caller keeps the verified prefix (tolerant-load semantics).
+
+void decode_logical_into(std::string_view body,
+                         std::vector<LogicalSendRecord>& out);
+/// `events_out`, when non-null, receives the PAPI event ids recorded in
+/// the header aux (papi::Event values, in configuration order).
+void decode_papi_into(std::string_view body,
+                      std::vector<PapiSegmentRecord>& out,
+                      std::vector<papi::Event>* events_out = nullptr);
+void decode_steps_into(std::string_view body,
+                       std::vector<SuperstepRecord>& out);
+void decode_physical_into(std::string_view body,
+                          std::vector<PhysicalRecord>& out);
+void decode_check_into(std::string_view body,
+                       std::vector<check::Violation>& out,
+                       std::uint64_t& dropped);
+
+/// Decoded metric-sample rows (the SampleRing's retained snapshots).
+struct MetricSamples {
+  int num_pes = 0;
+  std::uint64_t num_series = 0;
+  std::vector<std::uint64_t> t_cycles;  ///< one per snapshot
+  /// snapshot-major, then PE-major: rows[i * num_pes * num_series + ...].
+  std::vector<std::int64_t> values;
+};
+void decode_metric_samples_into(std::string_view body, MetricSamples& out);
+
+}  // namespace ap::prof::io

@@ -5,8 +5,10 @@
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
+#include <type_traits>
 
 #include "core/profiler.hpp"
+#include "core/trace_binary.hpp"
 #include "faultinject/faultinject.hpp"
 
 namespace ap::prof::io {
@@ -86,97 +88,238 @@ std::string steps_file_name(int pe) {
 }
 
 // ------------------------------------------------------------------ writers
+// The Sink forms are the implementations; the ostream forms build into a
+// Sink and flush its buffer in one write (see core/sink.hpp).
+
+namespace {
+
+void flush_sink(std::ostream& os, const Sink& s) {
+  os.write(s.str().data(), static_cast<std::streamsize>(s.size()));
+}
+
+}  // namespace
+
+void write_logical(Sink& out, const std::vector<LogicalSendRecord>& events) {
+  out.reserve(events.size() * 12 + 64);
+  out.append("# source node, source PE, destination node, destination PE, "
+             "message size\n");
+  for (const LogicalSendRecord& r : events) {
+    out.dec(r.src_node);
+    out.put(',');
+    out.dec(r.src_pe);
+    out.put(',');
+    out.dec(r.dst_node);
+    out.put(',');
+    out.dec(r.dst_pe);
+    out.put(',');
+    out.dec(r.msg_bytes);
+    out.put('\n');
+  }
+}
 
 void write_logical(std::ostream& os,
                    const std::vector<LogicalSendRecord>& events) {
-  os << "# source node, source PE, destination node, destination PE, "
-        "message size\n";
-  for (const LogicalSendRecord& r : events) {
-    os << r.src_node << ',' << r.src_pe << ',' << r.dst_node << ','
-       << r.dst_pe << ',' << r.msg_bytes << '\n';
+  Sink s;
+  write_logical(s, events);
+  flush_sink(os, s);
+}
+
+void write_papi(Sink& out, const std::vector<PapiSegmentRecord>& rows,
+                const Config& cfg) {
+  out.reserve(rows.size() * 32 + 128);
+  out.append("# source node, source PE, dst node, dst PE, pkt size, "
+             "MAILBOXID, NUM_SENDS");
+  for (int i = 0; i < cfg.num_papi_events(); ++i) {
+    out.append(", ");
+    out.append(papi::name(cfg.papi_events[static_cast<std::size_t>(i)]));
+  }
+  out.append(", REGION\n");
+  for (const PapiSegmentRecord& r : rows) {
+    out.dec(r.src_node);
+    out.put(',');
+    out.dec(r.src_pe);
+    out.put(',');
+    out.dec(r.dst_node);
+    out.put(',');
+    out.dec(r.dst_pe);
+    out.put(',');
+    out.dec(r.pkt_bytes);
+    out.put(',');
+    out.dec(r.mailbox_id);
+    out.put(',');
+    out.dec(r.num_sends);
+    for (int i = 0; i < cfg.num_papi_events(); ++i) {
+      out.put(',');
+      out.dec(r.counters[static_cast<std::size_t>(i)]);
+    }
+    out.append(r.is_proc ? ",PROC\n" : ",MAIN\n");
   }
 }
 
 void write_papi(std::ostream& os, const std::vector<PapiSegmentRecord>& rows,
                 const Config& cfg) {
-  os << "# source node, source PE, dst node, dst PE, pkt size, MAILBOXID, "
-        "NUM_SENDS";
-  for (int i = 0; i < cfg.num_papi_events(); ++i)
-    os << ", " << papi::name(cfg.papi_events[static_cast<std::size_t>(i)]);
-  os << ", REGION\n";
-  for (const PapiSegmentRecord& r : rows) {
-    os << r.src_node << ',' << r.src_pe << ',' << r.dst_node << ','
-       << r.dst_pe << ',' << r.pkt_bytes << ',' << r.mailbox_id << ','
-       << r.num_sends;
-    for (int i = 0; i < cfg.num_papi_events(); ++i)
-      os << ',' << r.counters[static_cast<std::size_t>(i)];
-    os << ',' << (r.is_proc ? "PROC" : "MAIN") << '\n';
+  Sink s;
+  write_papi(s, rows, cfg);
+  flush_sink(os, s);
+}
+
+void write_overall(Sink& out, const std::vector<OverallRecord>& recs) {
+  for (const OverallRecord& r : recs) {
+    out.append("Absolute [PE");
+    out.dec(r.pe);
+    out.append("] TCOMM_PROFILING (T_MAIN, T_COMM, T_PROC) = (");
+    out.dec(r.t_main);
+    out.append(", ");
+    out.dec(r.t_comm());
+    out.append(", ");
+    out.dec(r.t_proc);
+    out.append(")\n");
+    out.append("Relative [PE");
+    out.dec(r.pe);
+    out.append("] TCOMM_PROFILING (T_MAIN/T_TOTAL, T_COMM/T_TOTAL, "
+               "T_PROC/T_TOTAL) = (");
+    out.flt(r.rel_main());
+    out.append(", ");
+    out.flt(r.rel_comm());
+    out.append(", ");
+    out.flt(r.rel_proc());
+    out.append(")\n");
   }
 }
 
 void write_overall(std::ostream& os, const std::vector<OverallRecord>& recs) {
-  for (const OverallRecord& r : recs) {
-    os << "Absolute [PE" << r.pe
-       << "] TCOMM_PROFILING (T_MAIN, T_COMM, T_PROC) = (" << r.t_main << ", "
-       << r.t_comm() << ", " << r.t_proc << ")\n";
-    os << "Relative [PE" << r.pe
-       << "] TCOMM_PROFILING (T_MAIN/T_TOTAL, T_COMM/T_TOTAL, "
-          "T_PROC/T_TOTAL) = ("
-       << r.rel_main() << ", " << r.rel_comm() << ", " << r.rel_proc()
-       << ")\n";
-  }
+  Sink s;
+  write_overall(s, recs);
+  flush_sink(os, s);
 }
 
-void write_self_overhead(std::ostream& os, const metrics::OverheadMeter& m) {
+void write_self_overhead(Sink& out, const metrics::OverheadMeter& m) {
   if (!m.bound()) return;
-  os << "# Profiler self-overhead, wall rdtsc cycles per category (";
-  for (int c = 0; c < metrics::kOverheadCategories; ++c)
-    os << (c ? ", " : "")
-       << metrics::to_string(static_cast<metrics::OverheadCategory>(c));
-  os << ")\n";
-  auto row = [&](const std::string& who, int slot) {
-    os << "SelfOverhead [" << who << "] cycles = (";
-    for (int c = 0; c < metrics::kOverheadCategories; ++c)
-      os << (c ? ", " : "")
-         << m.cycles(slot, static_cast<metrics::OverheadCategory>(c));
-    os << ") total " << m.total(slot) << "\n";
+  out.append("# Profiler self-overhead, wall rdtsc cycles per category (");
+  for (int c = 0; c < metrics::kOverheadCategories; ++c) {
+    if (c) out.append(", ");
+    out.append(metrics::to_string(static_cast<metrics::OverheadCategory>(c)));
+  }
+  out.append(")\n");
+  const auto row = [&](std::string_view who, int slot) {
+    out.append("SelfOverhead [");
+    out.append(who);
+    out.append("] cycles = (");
+    for (int c = 0; c < metrics::kOverheadCategories; ++c) {
+      if (c) out.append(", ");
+      out.dec(m.cycles(slot, static_cast<metrics::OverheadCategory>(c)));
+    }
+    out.append(") total ");
+    out.dec(m.total(slot));
+    out.put('\n');
   };
   for (int pe = 0; pe < m.num_pes(); ++pe) row("PE" + std::to_string(pe), pe);
   row("fleet", metrics::OverheadMeter::kGlobalSlot);
-  os << "SelfOverhead total = " << m.grand_total() << " cycles\n";
+  out.append("SelfOverhead total = ");
+  out.dec(m.grand_total());
+  out.append(" cycles\n");
+}
+
+void write_self_overhead(std::ostream& os, const metrics::OverheadMeter& m) {
+  Sink s;
+  write_self_overhead(s, m);
+  flush_sink(os, s);
+}
+
+void write_physical(Sink& out, const std::vector<PhysicalRecord>& events) {
+  out.reserve(events.size() * 24 + 64);
+  out.append("# send type, buffer size, source PE, destination PE\n");
+  for (const PhysicalRecord& r : events) {
+    out.append(convey::to_string(r.type));
+    out.put(',');
+    out.dec(r.buffer_bytes);
+    out.put(',');
+    out.dec(r.src_pe);
+    out.put(',');
+    out.dec(r.dst_pe);
+    out.put('\n');
+  }
 }
 
 void write_physical(std::ostream& os,
                     const std::vector<PhysicalRecord>& events) {
-  os << "# send type, buffer size, source PE, destination PE\n";
-  for (const PhysicalRecord& r : events) {
-    os << convey::to_string(r.type) << ',' << r.buffer_bytes << ',' << r.src_pe
-       << ',' << r.dst_pe << '\n';
+  Sink s;
+  write_physical(s, events);
+  flush_sink(os, s);
+}
+
+void write_check(Sink& out, const std::vector<check::Violation>& v,
+                 std::uint64_t dropped) {
+  out.append("# kind, pe, other_pe, superstep, offset, bytes, callsite, "
+             "detail\n");
+  // record() sanitized callsite/detail to comma-free text, so each row
+  // stays exactly 8 fields.
+  if (dropped != 0) {
+    out.append("# dropped=");
+    out.dec(dropped);
+    out.put('\n');
+  }
+  for (const check::Violation& x : v) {
+    out.append(check::to_string(x.kind));
+    out.put(',');
+    out.dec(x.pe);
+    out.put(',');
+    out.dec(x.other_pe);
+    out.put(',');
+    out.dec(x.superstep);
+    out.put(',');
+    out.dec(x.offset);
+    out.put(',');
+    out.dec(x.bytes);
+    out.put(',');
+    out.append(x.callsite);
+    out.put(',');
+    out.append(x.detail);
+    out.put('\n');
   }
 }
 
 void write_check(std::ostream& os, const std::vector<check::Violation>& v,
                  std::uint64_t dropped) {
-  os << "# kind, pe, other_pe, superstep, offset, bytes, callsite, detail\n";
-  // record() sanitized callsite/detail to comma-free text, so each row
-  // stays exactly 8 fields.
-  if (dropped != 0) os << "# dropped=" << dropped << "\n";
-  for (const check::Violation& x : v) {
-    os << check::to_string(x.kind) << ',' << x.pe << ',' << x.other_pe << ','
-       << x.superstep << ',' << x.offset << ',' << x.bytes << ','
-       << x.callsite << ',' << x.detail << '\n';
+  Sink s;
+  write_check(s, v, dropped);
+  flush_sink(os, s);
+}
+
+void write_steps(Sink& out, const std::vector<SuperstepRecord>& recs) {
+  out.reserve(recs.size() * 40 + 96);
+  out.append("# pe, epoch, step, t_main, t_proc, t_comm, msgs_sent, "
+             "bytes_sent, msgs_handled, barrier_arrive, barrier_release\n");
+  for (const SuperstepRecord& r : recs) {
+    out.dec(r.pe);
+    out.put(',');
+    out.dec(r.epoch);
+    out.put(',');
+    out.dec(r.step);
+    out.put(',');
+    out.dec(r.t_main);
+    out.put(',');
+    out.dec(r.t_proc);
+    out.put(',');
+    out.dec(r.t_comm);
+    out.put(',');
+    out.dec(r.msgs_sent);
+    out.put(',');
+    out.dec(r.bytes_sent);
+    out.put(',');
+    out.dec(r.msgs_handled);
+    out.put(',');
+    out.dec(r.barrier_arrive);
+    out.put(',');
+    out.dec(r.barrier_release);
+    out.put('\n');
   }
 }
 
 void write_steps(std::ostream& os, const std::vector<SuperstepRecord>& recs) {
-  os << "# pe, epoch, step, t_main, t_proc, t_comm, msgs_sent, bytes_sent, "
-        "msgs_handled, barrier_arrive, barrier_release\n";
-  for (const SuperstepRecord& r : recs) {
-    os << r.pe << ',' << r.epoch << ',' << r.step << ',' << r.t_main << ','
-       << r.t_proc << ',' << r.t_comm << ',' << r.msgs_sent << ','
-       << r.bytes_sent << ',' << r.msgs_handled << ',' << r.barrier_arrive
-       << ',' << r.barrier_release << '\n';
-  }
+  Sink s;
+  write_steps(s, recs);
+  flush_sink(os, s);
 }
 
 std::uint64_t fnv1a64(const void* data, std::size_t n) {
@@ -253,77 +396,129 @@ void write_all(const Profiler& prof, const Config& cfg) {
     else
       failed.push_back(name);
   };
+  // Binary (.apt) and CSV traces hold identical rows; only the container
+  // differs. The loader sniffs whichever is present, and `actorprof export
+  // --csv` converts back. overall.txt and MANIFEST.txt stay text in both.
+  const bool binary = cfg.trace_format == TraceFormat::binary;
 
   if (cfg.logical && cfg.keep_logical_events) {
     for (int pe = 0; pe < n; ++pe) {
-      std::ostringstream os;
-      write_logical(os, prof.logical_events(pe));
-      emit(logical_file_name(pe), os.str(), prof.logical_events(pe).size());
+      const auto& events = prof.logical_events(pe);
+      if (binary) {
+        emit(binary_file_name(logical_file_name(pe)), encode_logical(events),
+             events.size());
+      } else {
+        Sink out;
+        write_logical(out, events);
+        emit(logical_file_name(pe), std::move(out).str(), events.size());
+      }
     }
   }
   if (cfg.papi) {
     for (int pe = 0; pe < n; ++pe) {
-      std::ostringstream os;
       const auto rows = prof.papi_segments(pe);
-      write_papi(os, rows, cfg);
-      emit(papi_file_name(pe), os.str(), rows.size());
+      if (binary) {
+        emit(binary_file_name(papi_file_name(pe)), encode_papi(rows, cfg),
+             rows.size());
+      } else {
+        Sink out;
+        write_papi(out, rows, cfg);
+        emit(papi_file_name(pe), std::move(out).str(), rows.size());
+      }
     }
   }
   if (cfg.supersteps) {
     // Killed PEs keep their rows: each row closed at a collective the PE
     // actually reached, so the prefix is exactly the post-mortem evidence.
     for (int pe = 0; pe < n; ++pe) {
-      std::ostringstream os;
       const auto rows = prof.supersteps(pe);
-      write_steps(os, rows);
-      emit(steps_file_name(pe), os.str(), rows.size());
+      if (binary) {
+        emit(binary_file_name(steps_file_name(pe)), encode_steps(rows),
+             rows.size());
+      } else {
+        Sink out;
+        write_steps(out, rows);
+        emit(steps_file_name(pe), std::move(out).str(), rows.size());
+      }
     }
   }
   if (cfg.overall) {
-    std::ostringstream os;
+    Sink out;
     // A PE killed mid-epoch never reached epoch_end: its cycle buckets are
     // inconsistent (t_total excludes the aborted epoch), so its overall
     // lines are suppressed — the MANIFEST marks the PE dead instead.
     std::vector<OverallRecord> recs;
     for (const OverallRecord& r : prof.overall())
       if (!fi::was_killed(r.pe)) recs.push_back(r);
-    write_overall(os, recs);
+    write_overall(out, recs);
     // Self-overhead is rdtsc-based (nondeterministic), so it only appears
     // when metrics were explicitly requested — determinism tests compare
     // overall.txt byte-for-byte under Config::all_enabled().
-    if (cfg.metrics) write_self_overhead(os, prof.self_overhead());
-    emit(kOverallFile, os.str(), recs.size());
+    if (cfg.metrics) write_self_overhead(out, prof.self_overhead());
+    emit(kOverallFile, std::move(out).str(), recs.size());
   }
   if (cfg.check) {
     // Always emitted under the checker, even with zero rows: an empty
-    // check.csv is the recorded proof the run was violation-free.
-    std::ostringstream os;
-    write_check(os, prof.bsp_violations(), prof.bsp_violations_dropped());
-    emit(kCheckFile, os.str(), prof.bsp_violations().size());
+    // check file is the recorded proof the run was violation-free.
+    if (binary) {
+      emit(binary_file_name(kCheckFile),
+           encode_check(prof.bsp_violations(), prof.bsp_violations_dropped()),
+           prof.bsp_violations().size());
+    } else {
+      Sink out;
+      write_check(out, prof.bsp_violations(), prof.bsp_violations_dropped());
+      emit(kCheckFile, std::move(out).str(), prof.bsp_violations().size());
+    }
   }
   if (cfg.physical && cfg.keep_physical_events) {
-    std::ostringstream os;
     std::vector<PhysicalRecord> merged;
     for (int pe = 0; pe < n; ++pe) {
       const auto& evs = prof.physical_events(pe);
       merged.insert(merged.end(), evs.begin(), evs.end());
     }
-    write_physical(os, merged);
-    emit(kPhysicalFile, os.str(), merged.size());
+    if (binary) {
+      emit(binary_file_name(kPhysicalFile), encode_physical(merged),
+           merged.size());
+    } else {
+      Sink out;
+      write_physical(out, merged);
+      emit(kPhysicalFile, std::move(out).str(), merged.size());
+    }
+  }
+  if (binary && cfg.metrics && prof.metric_samples().bound()) {
+    // The sample ring has no CSV counterpart (metrics.json is its text
+    // view); the binary format can afford to persist every snapshot.
+    emit(kMetricSamplesFile, encode_metric_samples(prof.metric_samples()),
+         prof.metric_samples().size());
   }
 
   {
     // MANIFEST last: a loader that sees it knows every listed file was
     // completely written (and can verify it with the checksum).
-    std::ostringstream os;
-    os << "# ActorProf trace manifest: file <name> records=<n> bytes=<n> "
-          "fnv1a=<hex64>\n";
-    os << "num_pes " << n << "\n";
-    for (const ManifestEntry& m : written)
-      os << "file " << m.file << " records=" << m.records
-         << " bytes=" << m.bytes << " fnv1a=" << hex64(m.fnv1a) << "\n";
-    for (int pe : fi::killed_pes()) os << "dead_pe " << pe << "\n";
-    if (!atomic_write_file(cfg.trace_dir, kManifestFile, os.str()))
+    Sink out;
+    out.append(
+        "# ActorProf trace manifest: file <name> records=<n> bytes=<n> "
+        "fnv1a=<hex64>\n");
+    out.append("num_pes ");
+    out.dec(n);
+    out.put('\n');
+    for (const ManifestEntry& m : written) {
+      out.append("file ");
+      out.append(m.file);
+      out.append(" records=");
+      out.dec(m.records);
+      out.append(" bytes=");
+      out.dec(m.bytes);
+      out.append(" fnv1a=");
+      out.append(hex64(m.fnv1a));
+      out.put('\n');
+    }
+    for (int pe : fi::killed_pes()) {
+      out.append("dead_pe ");
+      out.dec(pe);
+      out.put('\n');
+    }
+    if (!atomic_write_file(cfg.trace_dir, kManifestFile, std::move(out).str()))
       failed.push_back(kManifestFile);
   }
 
@@ -645,67 +840,101 @@ TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes,
   }
   if (have_manifest) t.dead_pes = manifest.dead_pes;
 
-  // Load one file: slurp, optionally checksum-verify against the MANIFEST,
-  // parse via the incremental parser so a truncated tail still yields its
-  // valid prefix. Returns true iff the file parsed completely clean.
+  const auto in_manifest = [&](const std::string& name) {
+    for (const ManifestEntry& m : manifest.files)
+      if (m.file == name) return true;
+    return false;
+  };
+
+  // Load one record kind: resolve the .apt sibling first, then the CSV
+  // name, and dispatch on *content* (the .apt magic), so a renamed file
+  // still loads. Checksum-verify against the MANIFEST, then parse/decode
+  // via the incremental forms so a truncated or corrupt tail still yields
+  // its verified prefix. `decode_bin` may be null for text-only files
+  // (overall.txt has no binary form).
   const auto load_file = [&](const std::string& name, bool required,
-                             auto&& parse_into) {
+                             auto&& parse_into, auto&& decode_bin) {
+    const std::string bin_name = binary_file_name(name);
+    std::string actual = bin_name;
     std::string body;
-    if (!slurp(dir / name, body)) {
-      if (required || (have_manifest && [&] {
-            for (const ManifestEntry& m : manifest.files)
-              if (m.file == name) return true;
-            return false;
-          }())) {
-        if (!opts.tolerate_partial)
-          throw std::runtime_error(name + ": cannot open trace file in " +
-                                   dir.string());
-        t.issues.push_back(FileIssue{name, 0, "missing trace file"});
+    if (!slurp(dir / bin_name, body)) {
+      actual = name;
+      if (!slurp(dir / name, body)) {
+        if (required || (have_manifest && (in_manifest(name) ||
+                                           in_manifest(bin_name)))) {
+          if (!opts.tolerate_partial)
+            throw std::runtime_error(name + ": cannot open trace file in " +
+                                     dir.string());
+          t.issues.push_back(FileIssue{name, 0, "missing trace file"});
+        }
+        return;
       }
-      return;
     }
     if (have_manifest && opts.tolerate_partial) {
       for (const ManifestEntry& m : manifest.files) {
-        if (m.file != name) continue;
+        if (m.file != actual) continue;
         if (m.bytes != body.size() ||
             m.fnv1a != fnv1a64(body.data(), body.size()))
           t.issues.push_back(FileIssue{
-              name, 0,
+              actual, 0,
               "checksum mismatch vs MANIFEST (file truncated or modified); "
               "keeping the parsable prefix"});
         break;
       }
     }
-    std::istringstream is(body);
     try {
-      parse_into(is);
+      if (is_binary_trace(body)) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(decode_bin)>,
+                                     std::nullptr_t>)
+          throw BinaryParseError(0, 0, "binary content in a text-only file");
+        else
+          decode_bin(std::string_view(body));
+      } else {
+        std::istringstream is(body);
+        parse_into(is);
+      }
     } catch (const TraceParseError& e) {
       if (!opts.tolerate_partial)
-        throw TraceParseError(e.line_no(), name + ": " + e.what());
-      t.issues.push_back(FileIssue{name, e.line_no(), e.what()});
+        throw TraceParseError(e.line_no(), actual + ": " + e.what());
+      t.issues.push_back(FileIssue{actual, e.line_no(), e.what()});
     }
   };
 
   for (int pe = 0; pe < num_pes; ++pe) {
     const auto idx = static_cast<std::size_t>(pe);
-    load_file(logical_file_name(pe), false, [&](std::istream& is) {
-      parse_logical_into(is, t.logical[idx]);
-    });
-    load_file(papi_file_name(pe), false, [&](std::istream& is) {
-      parse_papi_into(is, t.papi[idx]);
-    });
-    load_file(steps_file_name(pe), false, [&](std::istream& is) {
-      parse_steps_into(is, t.steps[idx]);
-    });
+    load_file(
+        logical_file_name(pe), false,
+        [&](std::istream& is) { parse_logical_into(is, t.logical[idx]); },
+        [&](std::string_view b) { decode_logical_into(b, t.logical[idx]); });
+    load_file(
+        papi_file_name(pe), false,
+        [&](std::istream& is) { parse_papi_into(is, t.papi[idx]); },
+        [&](std::string_view b) {
+          decode_papi_into(b, t.papi[idx],
+                           t.papi_events.empty() ? &t.papi_events : nullptr);
+        });
+    load_file(
+        steps_file_name(pe), false,
+        [&](std::istream& is) { parse_steps_into(is, t.steps[idx]); },
+        [&](std::string_view b) { decode_steps_into(b, t.steps[idx]); });
   }
-  load_file(kOverallFile, false,
-            [&](std::istream& is) { parse_overall_into(is, t.overall); });
-  load_file(kPhysicalFile, false,
-            [&](std::istream& is) { parse_physical_into(is, t.physical); });
-  load_file(kCheckFile, false, [&](std::istream& is) {
-    t.check_recorded = true;
-    parse_check_into(is, t.check, t.check_dropped);
-  });
+  load_file(
+      kOverallFile, false,
+      [&](std::istream& is) { parse_overall_into(is, t.overall); }, nullptr);
+  load_file(
+      kPhysicalFile, false,
+      [&](std::istream& is) { parse_physical_into(is, t.physical); },
+      [&](std::string_view b) { decode_physical_into(b, t.physical); });
+  load_file(
+      kCheckFile, false,
+      [&](std::istream& is) {
+        t.check_recorded = true;
+        parse_check_into(is, t.check, t.check_dropped);
+      },
+      [&](std::string_view b) {
+        t.check_recorded = true;
+        decode_check_into(b, t.check, t.check_dropped);
+      });
   return t;
 }
 

@@ -16,6 +16,7 @@
 #include "core/aggregate.hpp"
 #include "core/config.hpp"
 #include "core/records.hpp"
+#include "core/sink.hpp"
 #include "metrics/self_overhead.hpp"
 
 namespace ap::prof {
@@ -32,6 +33,9 @@ inline constexpr const char* kOverallFile = "overall.txt";
 inline constexpr const char* kPhysicalFile = "physical.txt";
 inline constexpr const char* kManifestFile = "MANIFEST.txt";
 inline constexpr const char* kCheckFile = "check.csv";
+/// Live-metrics sample ring dump, emitted only by the binary trace format
+/// (there is no CSV counterpart; metrics.json carries the text view).
+inline constexpr const char* kMetricSamplesFile = "metric_samples.apt";
 
 /// Parse failure carrying the 1-based line it happened on. Derives from
 /// std::runtime_error, so pre-existing catch sites keep working.
@@ -45,28 +49,40 @@ class TraceParseError : public std::runtime_error {
 };
 
 // ---- writers ---------------------------------------------------------------
+// Every writer exists in two forms: the Sink form is the real
+// implementation (one contiguous buffered build, see core/sink.hpp); the
+// std::ostream form delegates to it and is kept for existing callers.
 
+void write_logical(Sink& out, const std::vector<LogicalSendRecord>& events);
 void write_logical(std::ostream& os,
                    const std::vector<LogicalSendRecord>& events);
+void write_papi(Sink& out, const std::vector<PapiSegmentRecord>& rows,
+                const Config& cfg);
 void write_papi(std::ostream& os, const std::vector<PapiSegmentRecord>& rows,
                 const Config& cfg);
+void write_overall(Sink& out, const std::vector<OverallRecord>& recs);
 void write_overall(std::ostream& os, const std::vector<OverallRecord>& recs);
 /// "SelfOverhead ..." lines appended to overall.txt when Config::metrics is
 /// on: the measured wall-rdtsc cost of ActorProf's own instrumentation,
 /// per PE and per category. parse_overall skips them (they are not
 /// "Absolute" lines), so existing consumers are unaffected.
+void write_self_overhead(Sink& out, const metrics::OverheadMeter& m);
 void write_self_overhead(std::ostream& os, const metrics::OverheadMeter& m);
+void write_physical(Sink& out, const std::vector<PhysicalRecord>& events);
 void write_physical(std::ostream& os,
                     const std::vector<PhysicalRecord>& events);
 /// Superstep rows (PEi_steps.csv, Config::supersteps). Unlike overall.txt,
 /// a killed PE's rows are NOT suppressed: every row was closed at a
 /// collective it actually reached, so the prefix is consistent and is what
 /// post-mortem analysis wants.
+void write_steps(Sink& out, const std::vector<SuperstepRecord>& recs);
 void write_steps(std::ostream& os, const std::vector<SuperstepRecord>& recs);
 /// BSP conformance report (check.csv, Config::check). Written even when
 /// empty — a zero-row check.csv is the evidence a checked run was clean.
 /// `dropped` (violations past the checker's cap) rides in a parsable
 /// "# dropped=<n>" comment.
+void write_check(Sink& out, const std::vector<check::Violation>& v,
+                 std::uint64_t dropped);
 void write_check(std::ostream& os, const std::vector<check::Violation>& v,
                  std::uint64_t dropped);
 
@@ -154,6 +170,10 @@ struct TraceDir {
   std::vector<FileIssue> issues;
   /// PEs the MANIFEST marks as killed mid-run (fault injection).
   std::vector<int> dead_pes;
+  /// PAPI event ids recovered from a binary PEi_PAPI.apt header (empty for
+  /// CSV traces) — what `actorprof export --csv` uses to rebuild the
+  /// PEi_PAPI.csv header line.
+  std::vector<papi::Event> papi_events;
 
   /// Aggregate the logical events into a src-by-dst matrix.
   [[nodiscard]] CommMatrix logical_matrix() const;

@@ -1,0 +1,143 @@
+#include "serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+
+namespace ap::serve {
+
+namespace {
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+/// Read until the end of the request head ("\r\n\r\n") or a size cap.
+/// GET requests have no body, so the head is the whole request.
+bool read_request_head(int fd, std::string& head) {
+  char buf[2048];
+  head.clear();
+  while (head.size() < 16 * 1024) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return !head.empty();
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos) return true;
+  }
+  return true;
+}
+
+void send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+void answer(int fd, const Response& r) {
+  std::string head = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                     reason_phrase(r.status) +
+                     "\r\nContent-Type: " + r.content_type +
+                     "\r\nContent-Length: " + std::to_string(r.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head);
+  send_all(fd, r.body);
+}
+
+}  // namespace
+
+int run_server(TraceService& svc, const ServerOptions& opts,
+               std::ostream& out, std::ostream& err) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    err << "serve: socket(): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+  if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+    err << "serve: bad --host " << opts.host << " (need an IPv4 address)\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    err << "serve: cannot bind " << opts.host << ":" << opts.port << ": "
+        << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  if (::listen(listen_fd, 16) < 0) {
+    err << "serve: listen(): " << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+  out << "actorprof serve: listening on http://" << opts.host << ":"
+      << ntohs(bound.sin_port) << "\n";
+  out.flush();
+  if (opts.bound_port != nullptr)
+    opts.bound_port->store(ntohs(bound.sin_port));
+
+  long served = 0;
+  while (opts.max_requests < 0 || served < opts.max_requests) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, opts.poll_interval_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      err << "serve: poll(): " << std::strerror(errno) << "\n";
+      break;
+    }
+    if (pr == 0) {
+      // Idle tick: pick up shards a running PE just flushed.
+      svc.refresh();
+      continue;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::string head;
+    if (read_request_head(fd, head)) {
+      // Request line: METHOD SP TARGET SP HTTP-VERSION CRLF ...
+      std::string_view line{head};
+      if (const std::size_t eol = line.find("\r\n");
+          eol != std::string_view::npos)
+        line = line.substr(0, eol);
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+      if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+        answer(fd, Response{400, "application/json",
+                            "{\"error\":\"malformed request line\"}\n"});
+      } else {
+        svc.refresh();
+        answer(fd, svc.handle(line.substr(0, sp1),
+                              line.substr(sp1 + 1, sp2 - sp1 - 1)));
+      }
+    }
+    ::close(fd);
+    ++served;
+  }
+  ::close(listen_fd);
+  return 0;
+}
+
+}  // namespace ap::serve

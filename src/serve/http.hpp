@@ -1,0 +1,36 @@
+// Dependency-free HTTP/1.1 front end for TraceService: one blocking
+// socket, a poll() loop that doubles as the trace-dir watch timer, one
+// request per connection (Connection: close). No threads, no third-party
+// libraries — the service is meant to sit next to a run on a login node.
+#pragma once
+
+#include <atomic>
+#include <iosfwd>
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace ap::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 7077;  ///< 0 = ephemeral; the bound port is printed either way
+  /// Exit 0 after answering this many requests; -1 = run forever. Lets
+  /// tests and CI drive a bounded server without signals.
+  long max_requests = -1;
+  /// poll() timeout; on every timeout the trace dir is re-scanned, so this
+  /// bounds how stale an answer can be between requests.
+  int poll_interval_ms = 200;
+  /// When non-null, receives the bound port once listening — how a test
+  /// running the server on another thread learns an ephemeral port.
+  std::atomic<int>* bound_port = nullptr;
+};
+
+/// Bind, print "listening on http://host:port" to `out`, and serve until
+/// max_requests is exhausted. Returns a process exit code (0 success,
+/// 1 socket/bind failure). The service is also refreshed before every
+/// request, so responses always reflect the shards on disk.
+int run_server(TraceService& svc, const ServerOptions& opts,
+               std::ostream& out, std::ostream& err);
+
+}  // namespace ap::serve

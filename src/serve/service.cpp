@@ -1,0 +1,376 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "analysis/analysis.hpp"
+#include "check/checker.hpp"
+#include "core/trace_binary.hpp"
+#include "viz/heatmap_json.hpp"
+
+namespace ap::serve {
+
+namespace io = ap::prof::io;
+namespace fs = std::filesystem;
+
+namespace {
+
+bool slurp(const fs::path& p, std::string& out) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20)
+      out.push_back(c);
+  }
+  return out;
+}
+
+Response json_error(int status, std::string_view msg) {
+  Response r;
+  r.status = status;
+  r.body = "{\"error\":\"" + json_escape(msg) + "\"}\n";
+  return r;
+}
+
+/// Minimal %XX + '+' decoding for query parameter values.
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]);
+      const int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// Value of `key` in an application/x-www-form-urlencoded query string.
+std::string query_param(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair = query.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key)
+      return url_decode(pair.substr(eq + 1));
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return {};
+}
+
+bool any_steps(const io::TraceDir& t) {
+  for (const auto& per_pe : t.steps)
+    if (!per_pe.empty()) return true;
+  return false;
+}
+
+}  // namespace
+
+TraceService::TraceService(fs::path dir, ServiceOptions opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  refresh();
+}
+
+TraceService::Sig TraceService::stat_file(const std::string& name) const {
+  Sig s;
+  std::error_code ec;
+  const fs::path p = dir_ / name;
+  const auto status = fs::status(p, ec);
+  if (ec || !fs::is_regular_file(status)) return s;
+  s.exists = true;
+  s.size = static_cast<std::uint64_t>(fs::file_size(p, ec));
+  const auto mtime = fs::last_write_time(p, ec);
+  s.mtime = static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          mtime.time_since_epoch())
+          .count());
+  return s;
+}
+
+void TraceService::scan(int num_pes, std::map<std::string, Sig>& out) const {
+  const auto add = [&](const std::string& name) {
+    out[name] = stat_file(name);
+    out[io::binary_file_name(name)] = stat_file(io::binary_file_name(name));
+  };
+  out[io::kManifestFile] = stat_file(io::kManifestFile);
+  out[io::kOverallFile] = stat_file(io::kOverallFile);
+  out["metrics.prom"] = stat_file("metrics.prom");
+  add(io::kPhysicalFile);
+  add(io::kCheckFile);
+  for (int pe = 0; pe < num_pes; ++pe) {
+    add(io::logical_file_name(pe));
+    add(io::papi_file_name(pe));
+    add(io::steps_file_name(pe));
+  }
+}
+
+void TraceService::full_reload() {
+  if (num_pes_ <= 0) {
+    trace_ = io::TraceDir{};
+    return;
+  }
+  io::LoadOptions lo;
+  lo.tolerate_partial = true;
+  trace_ = io::load_trace_dir(dir_, num_pes_, lo);
+}
+
+void TraceService::reload_shard(const std::string& csv_name, int pe) {
+  const auto idx = static_cast<std::size_t>(pe);
+  const std::string bin_name = io::binary_file_name(csv_name);
+  // Drop stale issues of this shard; a clean re-parse clears the warning.
+  std::erase_if(trace_.issues, [&](const io::FileIssue& i) {
+    return i.file == csv_name || i.file == bin_name;
+  });
+
+  std::string actual = bin_name;
+  std::string body;
+  if (!slurp(dir_ / bin_name, body)) {
+    actual = csv_name;
+    if (!slurp(dir_ / csv_name, body)) return;  // not flushed yet
+  }
+
+  const bool is_send = csv_name == io::logical_file_name(pe);
+  const bool is_papi = csv_name == io::papi_file_name(pe);
+  if (is_send)
+    trace_.logical[idx].clear();
+  else if (is_papi)
+    trace_.papi[idx].clear();
+  else
+    trace_.steps[idx].clear();
+  try {
+    if (io::is_binary_trace(body)) {
+      if (is_send) {
+        io::decode_logical_into(body, trace_.logical[idx]);
+      } else if (is_papi) {
+        io::decode_papi_into(
+            body, trace_.papi[idx],
+            trace_.papi_events.empty() ? &trace_.papi_events : nullptr);
+      } else {
+        io::decode_steps_into(body, trace_.steps[idx]);
+      }
+    } else {
+      std::istringstream is(body);
+      if (is_send)
+        io::parse_logical_into(is, trace_.logical[idx]);
+      else if (is_papi)
+        io::parse_papi_into(is, trace_.papi[idx]);
+      else
+        io::parse_steps_into(is, trace_.steps[idx]);
+    }
+  } catch (const io::TraceParseError& e) {
+    // Mid-flush shard: keep the verified prefix, record the damage — the
+    // next refresh re-parses the finished file and clears this issue.
+    trace_.issues.push_back(io::FileIssue{actual, e.line_no(), e.what()});
+  }
+}
+
+bool TraceService::refresh() {
+  const int np = opts_.num_pes > 0 ? opts_.num_pes : io::detect_num_pes(dir_);
+  std::map<std::string, Sig> cur;
+  scan(np, cur);
+  if (np == num_pes_ && cur == sigs_) return false;
+
+  // A shard that grew or appeared re-ingests alone; anything else — PE
+  // count learned, MANIFEST/overall/physical/check changed, a file gone or
+  // shrunk (rewritten dir) — reloads the whole directory.
+  bool full = np != num_pes_;
+  std::vector<std::pair<std::string, int>> changed_shards;
+  if (!full) {
+    for (const auto& [name, sig] : cur) {
+      const auto it = sigs_.find(name);
+      const Sig old = it == sigs_.end() ? Sig{} : it->second;
+      if (sig == old) continue;
+      if (old.exists && (!sig.exists || sig.size < old.size)) {
+        full = true;
+        break;
+      }
+      int pe = -1;
+      if (name.size() > 2 && name[0] == 'P' && name[1] == 'E')
+        pe = std::atoi(name.c_str() + 2);
+      if (pe < 0 || pe >= num_pes_) {
+        full = true;
+        break;
+      }
+      // Map either form back to the canonical CSV shard name.
+      std::string csv = name;
+      if (csv.size() > 4 && csv.substr(csv.size() - 4) == ".apt") {
+        if (csv.find("_send") != std::string::npos)
+          csv = io::logical_file_name(pe);
+        else if (csv.find("_PAPI") != std::string::npos)
+          csv = io::papi_file_name(pe);
+        else
+          csv = io::steps_file_name(pe);
+      }
+      changed_shards.emplace_back(csv, pe);
+    }
+  }
+
+  num_pes_ = np;
+  if (full) {
+    full_reload();
+  } else {
+    for (const auto& [csv, pe] : changed_shards) reload_shard(csv, pe);
+  }
+  sigs_ = std::move(cur);
+  ++version_;
+  return true;
+}
+
+Response TraceService::analyze_json() {
+  if (num_pes_ <= 0)
+    return json_error(503,
+                      "PE count unknown: no readable MANIFEST.txt yet; "
+                      "start serve with --num-pes N to analyze mid-run");
+  if (!any_steps(trace_))
+    return json_error(503,
+                      "no superstep records yet (PEi_steps missing — record "
+                      "with ACTORPROF_SUPERSTEPS=1)");
+  if (analyze_version_ != version_) {
+    const auto a = ap::prof::analysis::analyze(trace_);
+    std::ostringstream os;
+    ap::prof::analysis::write_json(os, a);
+    analyze_cache_ = os.str();
+    analyze_version_ = version_;
+  }
+  Response r;
+  r.body = analyze_cache_;
+  return r;
+}
+
+Response TraceService::diff_json(std::string_view query) {
+  const std::string base = query_param(query, "base");
+  if (base.empty())
+    return json_error(400, "missing query parameter: base=<trace_dir>");
+  if (num_pes_ <= 0 || !any_steps(trace_))
+    return json_error(503, "watched trace has no superstep records yet");
+  const int base_pes =
+      opts_.num_pes > 0 ? opts_.num_pes : io::detect_num_pes(base);
+  if (base_pes <= 0)
+    return json_error(404, "cannot determine the PE count of " + base);
+  io::TraceDir tb;
+  try {
+    io::LoadOptions lo;
+    lo.tolerate_partial = true;
+    tb = io::load_trace_dir(base, base_pes, lo);
+  } catch (const std::exception& e) {
+    return json_error(404, std::string("cannot load base trace: ") + e.what());
+  }
+  if (!any_steps(tb))
+    return json_error(404, "base trace has no superstep records");
+  const auto a_base = ap::prof::analysis::analyze(tb);
+  const auto a_cur = ap::prof::analysis::analyze(trace_);
+  const auto d = ap::prof::analysis::diff(a_base, a_cur,
+                                          opts_.diff_threshold_pct / 100.0);
+  std::ostringstream os;
+  ap::prof::analysis::write_diff_json(os, d);
+  Response r;
+  r.body = os.str();
+  return r;
+}
+
+Response TraceService::heatmap_json() {
+  if (num_pes_ <= 0)
+    return json_error(503, "PE count unknown: no readable MANIFEST.txt yet");
+  std::ostringstream os;
+  ap::viz::write_heatmap_json(os, trace_);
+  Response r;
+  r.body = os.str();
+  return r;
+}
+
+Response TraceService::check_json() {
+  if (!trace_.check_recorded)
+    return json_error(404,
+                      "no conformance report recorded (run with "
+                      "ACTORPROF_CHECK=1 so write_traces() emits check.csv)");
+  std::ostringstream os;
+  ap::check::write_json(os, trace_.check, trace_.check_dropped);
+  Response r;
+  r.body = os.str();
+  return r;
+}
+
+Response TraceService::metrics_text() {
+  std::string body;
+  if (!slurp(dir_ / "metrics.prom", body)) {
+    Response r;
+    r.status = 404;
+    r.content_type = "text/plain; charset=utf-8";
+    r.body = "no metrics.prom in the trace dir (enable ACTORPROF_METRICS=1)\n";
+    return r;
+  }
+  Response r;
+  r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+Response TraceService::healthz_json() {
+  std::ostringstream os;
+  std::size_t present = 0;
+  for (const auto& [name, sig] : sigs_)
+    if (sig.exists) ++present;
+  os << "{\"status\":\"" << (num_pes_ > 0 ? "ok" : "waiting")
+     << "\",\"dir\":\"" << json_escape(dir_.string())
+     << "\",\"num_pes\":" << num_pes_ << ",\"version\":" << version_
+     << ",\"files\":" << present << ",\"issues\":" << trace_.issues.size()
+     << ",\"check_recorded\":"
+     << (trace_.check_recorded ? "true" : "false") << "}\n";
+  Response r;
+  r.body = os.str();
+  return r;
+}
+
+Response TraceService::handle(std::string_view method,
+                              std::string_view target) {
+  if (method != "GET") {
+    Response r = json_error(405, "only GET is supported");
+    return r;
+  }
+  std::string_view path = target;
+  std::string_view query;
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    path = target.substr(0, q);
+    query = target.substr(q + 1);
+  }
+  if (path == "/healthz") return healthz_json();
+  if (path == "/analyze") return analyze_json();
+  if (path == "/diff") return diff_json(query);
+  if (path == "/heatmap") return heatmap_json();
+  if (path == "/check") return check_json();
+  if (path == "/metrics") return metrics_text();
+  return json_error(404,
+                    "unknown endpoint; try /healthz /analyze /diff?base=DIR "
+                    "/heatmap /check /metrics");
+}
+
+}  // namespace ap::serve

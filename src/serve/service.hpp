@@ -1,0 +1,97 @@
+// The always-on trace service behind `actorprof serve` (docs/OBSERVABILITY.md,
+// "Live service").
+//
+// TraceService watches one trace directory and keeps an in-memory TraceDir
+// loaded with the same tolerant-partial semantics the CLI uses, so a
+// directory being written by a live run — shards appearing one by one,
+// MANIFEST.txt last — is served continuously: refresh() re-stats the known
+// file names and re-ingests only the shards whose size/mtime changed
+// (a full reload happens only when the MANIFEST, the PE count, or a
+// non-per-PE file changes, or a file shrinks/disappears).
+//
+// handle() is pure request-in/response-out — no sockets — so endpoint
+// behavior is unit-testable; serve_http.hpp adds the HTTP/1.1 loop.
+// Endpoint bodies are byte-identical to what the CLI prints for the same
+// trace (`analyze --json`, `diff --json`, `check --json`,
+// `heatmap --json`), which CI verifies by diffing the two.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/trace_io.hpp"
+
+namespace ap::serve {
+
+struct ServiceOptions {
+  /// PE count of the watched trace. 0 = detect from MANIFEST.txt on every
+  /// refresh (mid-run, before the MANIFEST lands, endpoints answer 503).
+  int num_pes = 0;
+  /// GET /diff regression threshold, like the CLI's --threshold.
+  double diff_threshold_pct = 10.0;
+};
+
+/// One HTTP-shaped reply: status code, content type, body bytes.
+struct Response {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class TraceService {
+ public:
+  explicit TraceService(std::filesystem::path dir, ServiceOptions opts = {});
+
+  /// Re-scan the watched dir and re-ingest what changed. Returns true when
+  /// anything was reloaded (the version advanced). Called by the server
+  /// loop on every poll tick and before every request.
+  bool refresh();
+
+  /// Answer one request. Targets: /healthz /analyze /diff?base=DIR
+  /// /heatmap /check /metrics. Unknown targets get 404, non-GET 405.
+  Response handle(std::string_view method, std::string_view target);
+
+  /// Monotonic reload counter (bumped by every refresh that changed state).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] const ap::prof::io::TraceDir& trace() const { return trace_; }
+  [[nodiscard]] int num_pes() const { return num_pes_; }
+
+ private:
+  struct Sig {
+    std::uint64_t size = 0;
+    std::int64_t mtime = 0;
+    bool exists = false;
+    friend bool operator==(const Sig&, const Sig&) = default;
+  };
+
+  [[nodiscard]] Sig stat_file(const std::string& name) const;
+  /// Stat every known trace file name (CSV and .apt forms) for a trace of
+  /// `num_pes` PEs.
+  void scan(int num_pes, std::map<std::string, Sig>& out) const;
+  void full_reload();
+  /// Re-parse one per-PE shard in place (the incremental path).
+  void reload_shard(const std::string& csv_name, int pe);
+
+  Response analyze_json();
+  Response diff_json(std::string_view query);
+  Response heatmap_json();
+  Response check_json();
+  Response metrics_text();
+  Response healthz_json();
+
+  std::filesystem::path dir_;
+  ServiceOptions opts_;
+  int num_pes_ = 0;
+  ap::prof::io::TraceDir trace_;
+  std::map<std::string, Sig> sigs_;
+  std::uint64_t version_ = 0;
+  /// Cached /analyze body (analysis is the expensive endpoint); valid for
+  /// `analyze_version_ == version_`.
+  std::string analyze_cache_;
+  std::uint64_t analyze_version_ = ~0ull;
+};
+
+}  // namespace ap::serve

@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,12 +25,27 @@
 
 #include "analysis/analysis.hpp"
 #include "core/advisor.hpp"
+#include "core/sink.hpp"
+#include "core/trace_binary.hpp"
 #include "core/trace_io.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
 #include "shmem/topology.hpp"
+#include "viz/heatmap_json.hpp"
 #include "viz/render.hpp"
 #include "viz/svg.hpp"
 
 namespace {
+
+/// Read a whole file; false when it cannot be opened.
+bool slurp_file(const std::filesystem::path& p, std::string& out) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
 
 void usage(const char* argv0) {
   std::cerr
@@ -49,13 +65,34 @@ void usage(const char* argv0) {
          "            regressed by more than PCT percent (default 10)\n"
          "  check   [--json] <trace_dir>\n"
          "            report the BSP conformance violations of a run\n"
-         "            recorded under ACTORPROF_CHECK=1 (check.csv): races,\n"
-         "            reads before quiet(), un-quiesced puts at barriers,\n"
-         "            API misuse — with PE/superstep/heap-range/callsite\n"
-         "            attribution; exits 4 when violations were recorded\n"
-         "            (see docs/CHECKING.md)\n"
-         "  --num-pes defaults to the MANIFEST.txt PE count for both\n"
-         "  subcommands; see docs/ANALYSIS.md for the full reference.\n"
+         "            recorded under ACTORPROF_CHECK=1 (check.csv or\n"
+         "            check.apt): races, reads before quiet(), un-quiesced\n"
+         "            puts at barriers, API misuse — with PE/superstep/\n"
+         "            heap-range/callsite attribution; exits 4 when\n"
+         "            violations were recorded (see docs/CHECKING.md)\n"
+         "  heatmap [--json] [--num-pes N] [--tolerate-partial] <trace_dir>\n"
+         "            the -l/-p communication heatmaps as one report;\n"
+         "            --json emits the dense matrices (byte-identical to\n"
+         "            the trace service's GET /heatmap)\n"
+         "  export  --csv [--num-pes N] [-o OUTDIR] <trace_dir>\n"
+         "            convert binary (.apt) trace files back to the CSV/\n"
+         "            text layout the paper describes; with -o, OUTDIR\n"
+         "            becomes a complete CSV trace dir (MANIFEST included)\n"
+         "  serve   [--host A] [--port P] [--num-pes N] [--max-requests N]\n"
+         "          <trace_dir>\n"
+         "            watch a trace dir (works mid-run) and answer\n"
+         "            GET /healthz /analyze /diff?base=DIR /heatmap /check\n"
+         "            /metrics over HTTP (see docs/OBSERVABILITY.md)\n"
+         "  --num-pes defaults to the MANIFEST.txt PE count everywhere;\n"
+         "  see docs/ANALYSIS.md and docs/TRACE_FORMAT.md for reference.\n"
+         "\n"
+         "Exit codes:\n"
+         "  0  success\n"
+         "  1  trace load/parse failure (or damaged files without\n"
+         "     --tolerate-partial)\n"
+         "  2  usage error\n"
+         "  3  diff: a superstep (or the total) regressed past --threshold\n"
+         "  4  check: violations (or dropped violations) were recorded\n"
          "\n"
          "Plot flags (no subcommand):\n"
          "  " << argv0
@@ -277,19 +314,30 @@ int cmd_check(int argc, char** argv) {
   }
   if (dir.empty()) return usage(argv[0]), 2;
 
-  const std::filesystem::path path =
-      std::filesystem::path(dir) / ap::prof::io::kCheckFile;
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    std::cerr << "error: cannot open " << path.string()
-              << " — record the run with ACTORPROF_CHECK=1 (or "
-                 "Config::check) so write_traces() emits check.csv\n";
-    return 1;
+  // Prefer the binary shard, fall back to CSV, and dispatch on content:
+  // check.csv / check.apt hold the same rows, only the container differs.
+  namespace io = ap::prof::io;
+  const std::filesystem::path base = std::filesystem::path(dir);
+  std::filesystem::path path = base / io::binary_file_name(io::kCheckFile);
+  std::string body;
+  if (!slurp_file(path, body)) {
+    path = base / io::kCheckFile;
+    if (!slurp_file(path, body)) {
+      std::cerr << "error: cannot open " << path.string()
+                << " — record the run with ACTORPROF_CHECK=1 (or "
+                   "Config::check) so write_traces() emits check.csv\n";
+      return 1;
+    }
   }
   std::vector<ap::check::Violation> violations;
   std::uint64_t dropped = 0;
   try {
-    ap::prof::io::parse_check_into(is, violations, dropped);
+    if (io::is_binary_trace(body)) {
+      io::decode_check_into(body, violations, dropped);
+    } else {
+      std::istringstream is(body);
+      io::parse_check_into(is, violations, dropped);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error parsing " << path.string() << ": " << e.what()
               << "\n";
@@ -345,6 +393,360 @@ int cmd_diff(int argc, char** argv) {
   return d.any_regression() ? 3 : 0;
 }
 
+// ------------------------------------------------------ heatmap / export
+
+int cmd_heatmap(int argc, char** argv) {
+  bool json = false, tolerate_partial = false;
+  int num_pes = 0;
+  std::string dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--tolerate-partial") {
+      tolerate_partial = true;
+    } else if (arg == "--num-pes") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      num_pes = std::atoi(argv[i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]), 2;
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      return usage(argv[0]), 2;
+    }
+  }
+  if (dir.empty()) return usage(argv[0]), 2;
+  if (num_pes <= 0) num_pes = ap::prof::io::detect_num_pes(dir);
+  if (num_pes <= 0) {
+    std::cerr << "error: cannot determine the PE count of " << dir
+              << " (no readable MANIFEST.txt) — pass --num-pes N\n";
+    return 2;
+  }
+  ap::prof::io::TraceDir trace;
+  try {
+    ap::prof::io::LoadOptions lo;
+    lo.tolerate_partial = true;
+    trace = ap::prof::io::load_trace_dir(dir, num_pes, lo);
+  } catch (const std::exception& e) {
+    std::cerr << "error loading traces from " << dir << ": " << e.what()
+              << "\n";
+    return 1;
+  }
+  for (const auto& issue : trace.issues) {
+    std::cerr << "warning: " << issue.file;
+    if (issue.line_no > 0) std::cerr << ":" << issue.line_no;
+    std::cerr << ": " << issue.message << " — continuing with remaining PEs\n";
+  }
+  if (json) {
+    ap::viz::write_heatmap_json(std::cout, trace);
+  } else {
+    ap::viz::HeatmapOptions ho;
+    ho.title = "Logical Trace Heatmap (messages before aggregation)";
+    ho.dead_pes = trace.dead_pes;
+    std::cout << ap::viz::render_heatmap(trace.logical_matrix(), ho) << "\n";
+    ho.title =
+        "Physical Trace Heatmap (aggregated buffers: local_send + "
+        "nonblock_send)";
+    std::cout << ap::viz::render_heatmap(trace.physical_matrix(), ho) << "\n";
+  }
+  if (!trace.issues.empty() && !tolerate_partial) {
+    std::cerr << "error: " << trace.issues.size()
+              << " damaged trace file(s); rerun with --tolerate-partial to "
+                 "accept a partial trace\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// `export --csv`: decode every .apt shard back to the CSV/text files the
+/// paper describes. With -o OUTDIR the result is a complete, loadable CSV
+/// trace dir — text files are copied, the MANIFEST is regenerated (same
+/// entry order as write_all, so a deterministic workload recorded in both
+/// formats exports to byte-identical directories). Without -o the CSV
+/// siblings land next to the .apt files and the MANIFEST is left alone.
+int cmd_export(int argc, char** argv) {
+  namespace io = ap::prof::io;
+  namespace fs = std::filesystem;
+  bool csv = false;
+  int num_pes = 0;
+  std::string dir, outdir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--num-pes") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      num_pes = std::atoi(argv[i]);
+    } else if (arg == "-o" || arg == "--output") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      outdir = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]), 2;
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      return usage(argv[0]), 2;
+    }
+  }
+  if (dir.empty()) return usage(argv[0]), 2;
+  if (!csv) {
+    std::cerr << "error: export needs a target format (only --csv for now)\n";
+    return 2;
+  }
+  if (num_pes <= 0) num_pes = io::detect_num_pes(dir);
+  if (num_pes <= 0) {
+    std::cerr << "error: cannot determine the PE count of " << dir
+              << " (no readable MANIFEST.txt) — pass --num-pes N\n";
+    return 2;
+  }
+  const bool in_place = outdir.empty() || fs::path(outdir) == fs::path(dir);
+  const fs::path out = in_place ? fs::path(dir) : fs::path(outdir);
+  if (!in_place) {
+    std::error_code ec;
+    fs::create_directories(out, ec);
+    if (ec) {
+      std::cerr << "error: cannot create " << out.string() << ": "
+                << ec.message() << "\n";
+      return 1;
+    }
+  }
+
+  // Source MANIFEST (optional) supplies the dead-PE markers.
+  io::Manifest manifest;
+  if (std::string body; slurp_file(fs::path(dir) / io::kManifestFile, body)) {
+    std::istringstream is(body);
+    try {
+      manifest = io::parse_manifest(is);
+    } catch (const io::TraceParseError&) {
+    }
+  }
+
+  std::vector<io::ManifestEntry> written;
+  int failures = 0;
+  const auto put = [&](const std::string& name, const std::string& body,
+                       std::uint64_t records) {
+    std::ofstream os(out / name, std::ios::binary | std::ios::trunc);
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    os.flush();
+    if (!os.good()) {
+      std::cerr << "error: cannot write " << (out / name).string() << "\n";
+      ++failures;
+      return;
+    }
+    written.push_back(io::ManifestEntry{
+        name, records, body.size(), io::fnv1a64(body.data(), body.size())});
+  };
+  // Convert name.apt when present; otherwise carry the existing CSV/text
+  // file over (copy on -o). `records(body)` counts rows for the MANIFEST.
+  const auto convert = [&](const std::string& name, auto&& decode_to_csv,
+                           auto&& count_records) {
+    std::string body;
+    if (slurp_file(fs::path(dir) / io::binary_file_name(name), body) &&
+        io::is_binary_trace(body)) {
+      std::string csv_body;
+      try {
+        csv_body = decode_to_csv(body);
+      } catch (const std::exception& e) {
+        std::cerr << "error decoding " << io::binary_file_name(name) << ": "
+                  << e.what() << "\n";
+        ++failures;
+        return;
+      }
+      put(name, csv_body, count_records(csv_body));
+    } else if (slurp_file(fs::path(dir) / name, body)) {
+      if (!in_place) put(name, body, count_records(body));
+    }
+  };
+  const auto count_rows = [](auto&& parse) {
+    return [parse](const std::string& body) -> std::uint64_t {
+      std::istringstream is(body);
+      try {
+        return parse(is);
+      } catch (const std::exception&) {
+        return 0;
+      }
+    };
+  };
+
+  for (int pe = 0; pe < num_pes; ++pe) {
+    convert(
+        io::logical_file_name(pe),
+        [](std::string_view b) {
+          std::vector<ap::prof::LogicalSendRecord> rows;
+          io::decode_logical_into(b, rows);
+          ap::prof::io::Sink s;
+          io::write_logical(s, rows);
+          return std::move(s).str();
+        },
+        count_rows([](std::istream& is) {
+          return ap::prof::io::parse_logical(is).size();
+        }));
+  }
+  for (int pe = 0; pe < num_pes; ++pe) {
+    convert(
+        io::papi_file_name(pe),
+        [](std::string_view b) {
+          std::vector<ap::prof::PapiSegmentRecord> rows;
+          std::vector<ap::papi::Event> events;
+          io::decode_papi_into(b, rows, &events);
+          // Rebuild the CSV header from the event ids the .apt header
+          // carries.
+          ap::prof::Config cfg;
+          cfg.papi_events.fill(ap::papi::Event::kCount);
+          for (std::size_t i = 0;
+               i < events.size() && i < cfg.papi_events.size(); ++i)
+            cfg.papi_events[i] = events[i];
+          ap::prof::io::Sink s;
+          io::write_papi(s, rows, cfg);
+          return std::move(s).str();
+        },
+        count_rows(
+            [](std::istream& is) { return ap::prof::io::parse_papi(is).size(); }));
+  }
+  for (int pe = 0; pe < num_pes; ++pe) {
+    convert(
+        io::steps_file_name(pe),
+        [](std::string_view b) {
+          std::vector<ap::prof::SuperstepRecord> rows;
+          io::decode_steps_into(b, rows);
+          ap::prof::io::Sink s;
+          io::write_steps(s, rows);
+          return std::move(s).str();
+        },
+        count_rows([](std::istream& is) {
+          return ap::prof::io::parse_steps(is).size();
+        }));
+  }
+  convert(
+      io::kOverallFile, [](std::string_view) { return std::string{}; },
+      count_rows([](std::istream& is) {
+        return ap::prof::io::parse_overall(is).size();
+      }));
+  convert(
+      io::kCheckFile,
+      [](std::string_view b) {
+        std::vector<ap::check::Violation> rows;
+        std::uint64_t dropped = 0;
+        io::decode_check_into(b, rows, dropped);
+        ap::prof::io::Sink s;
+        io::write_check(s, rows, dropped);
+        return std::move(s).str();
+      },
+      [](const std::string& body) -> std::uint64_t {
+        std::istringstream is(body);
+        std::vector<ap::check::Violation> rows;
+        std::uint64_t dropped = 0;
+        try {
+          ap::prof::io::parse_check_into(is, rows, dropped);
+        } catch (const std::exception&) {
+        }
+        return rows.size();
+      });
+  convert(
+      io::kPhysicalFile,
+      [](std::string_view b) {
+        std::vector<ap::prof::PhysicalRecord> rows;
+        io::decode_physical_into(b, rows);
+        ap::prof::io::Sink s;
+        io::write_physical(s, rows);
+        return std::move(s).str();
+      },
+      count_rows([](std::istream& is) {
+        return ap::prof::io::parse_physical(is).size();
+      }));
+
+  if (!in_place) {
+    // Regenerate the MANIFEST over what landed, same shape as write_all.
+    ap::prof::io::Sink s;
+    s.append(
+        "# ActorProf trace manifest: file <name> records=<n> bytes=<n> "
+        "fnv1a=<hex64>\n");
+    s.append("num_pes ");
+    s.dec(num_pes);
+    s.put('\n');
+    for (const io::ManifestEntry& m : written) {
+      s.append("file ");
+      s.append(m.file);
+      s.append(" records=");
+      s.dec(m.records);
+      s.append(" bytes=");
+      s.dec(m.bytes);
+      s.append(" fnv1a=");
+      char buf[17];
+      static const char* digits = "0123456789abcdef";
+      std::uint64_t v = m.fnv1a;
+      for (int i = 15; i >= 0; --i) {
+        buf[i] = digits[v & 0xf];
+        v >>= 4;
+      }
+      buf[16] = '\0';
+      s.append(buf);
+      s.put('\n');
+    }
+    for (int pe : manifest.dead_pes) {
+      s.append("dead_pe ");
+      s.dec(pe);
+      s.put('\n');
+    }
+    std::ofstream os(out / io::kManifestFile,
+                     std::ios::binary | std::ios::trunc);
+    os << std::move(s).str();
+    if (!os.good()) {
+      std::cerr << "error: cannot write "
+                << (out / io::kManifestFile).string() << "\n";
+      ++failures;
+    }
+  }
+  std::cerr << "export: wrote " << written.size() << " file(s) to "
+            << out.string() << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+// --------------------------------------------------------------- serve
+
+int cmd_serve(int argc, char** argv) {
+  ap::serve::ServiceOptions so;
+  ap::serve::ServerOptions ho;
+  std::string dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      ho.host = argv[i];
+    } else if (arg == "--port") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      ho.port = std::atoi(argv[i]);
+    } else if (arg == "--num-pes") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      so.num_pes = std::atoi(argv[i]);
+    } else if (arg == "--max-requests") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      ho.max_requests = std::atol(argv[i]);
+    } else if (arg == "--threshold") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      so.diff_threshold_pct = std::atof(argv[i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]), 2;
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      return usage(argv[0]), 2;
+    }
+  }
+  if (dir.empty() || ho.port < 0 || ho.port > 65535)
+    return usage(argv[0]), 2;
+  ap::serve::TraceService svc(dir, so);
+  if (svc.num_pes() <= 0)
+    std::cerr << "serve: PE count unknown so far (no MANIFEST.txt yet); "
+                 "watching " << dir << " — pass --num-pes N to analyze "
+                 "mid-run\n";
+  return ap::serve::run_server(svc, ho, std::cout, std::cerr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,6 +755,18 @@ int main(int argc, char** argv) {
     if (sub == "analyze") return cmd_analyze(argc, argv);
     if (sub == "diff") return cmd_diff(argc, argv);
     if (sub == "check") return cmd_check(argc, argv);
+    if (sub == "heatmap") return cmd_heatmap(argc, argv);
+    if (sub == "export") return cmd_export(argc, argv);
+    if (sub == "serve") return cmd_serve(argc, argv);
+    // A non-flag first argument that is not a trace dir is a misspelled
+    // subcommand — name the real ones instead of dumping plot usage.
+    if (sub[0] != '-' && !std::filesystem::is_directory(sub)) {
+      std::cerr << "unknown subcommand '" << sub
+                << "'; available: analyze, diff, check, heatmap, export, "
+                   "serve\n";
+      usage(argv[0]);
+      return 2;
+    }
   }
   Args a;
   if (!parse_args(argc, argv, a)) {

@@ -1,0 +1,52 @@
+#include "viz/heatmap_json.hpp"
+
+#include <ostream>
+
+#include "core/aggregate.hpp"
+
+namespace ap::viz {
+
+namespace {
+
+void write_matrix(std::ostream& os, const ap::prof::CommMatrix& m) {
+  os << "{\"rows\":[";
+  for (int src = 0; src < m.size(); ++src) {
+    if (src > 0) os << ",";
+    os << "[";
+    for (int dst = 0; dst < m.size(); ++dst) {
+      if (dst > 0) os << ",";
+      os << m.at(src, dst);
+    }
+    os << "]";
+  }
+  os << "],\"send_totals\":[";
+  const auto rows = m.row_sums();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) os << ",";
+    os << rows[i];
+  }
+  os << "],\"recv_totals\":[";
+  const auto cols = m.col_sums();
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) os << ",";
+    os << cols[i];
+  }
+  os << "],\"total\":" << m.total() << "}";
+}
+
+}  // namespace
+
+void write_heatmap_json(std::ostream& os, const ap::prof::io::TraceDir& t) {
+  os << "{\"num_pes\":" << t.num_pes << ",\"dead_pes\":[";
+  for (std::size_t i = 0; i < t.dead_pes.size(); ++i) {
+    if (i > 0) os << ",";
+    os << t.dead_pes[i];
+  }
+  os << "],\"logical\":";
+  write_matrix(os, t.logical_matrix());
+  os << ",\"physical\":";
+  write_matrix(os, t.physical_matrix());
+  os << "}\n";
+}
+
+}  // namespace ap::viz

@@ -1,0 +1,19 @@
+// Deterministic JSON rendering of the communication heatmaps — the data
+// behind the paper's -l/-p plots, as machine-readable matrices. Shared by
+// `actorprof heatmap --json` and the trace service's GET /heatmap so both
+// produce byte-identical output for the same trace.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/trace_io.hpp"
+
+namespace ap::viz {
+
+/// Writes {"num_pes":N,"dead_pes":[...],"logical":{...},"physical":{...}}
+/// where each matrix object carries the dense src-by-dst counts plus the
+/// row/col totals the rendered heatmaps show as their last column/row.
+/// Byte-identical output for identical inputs (no floats, no locale).
+void write_heatmap_json(std::ostream& os, const ap::prof::io::TraceDir& t);
+
+}  // namespace ap::viz

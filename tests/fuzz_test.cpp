@@ -16,6 +16,7 @@
 #include "actor/selector.hpp"
 #include "conveyor/conveyor.hpp"
 #include "core/records.hpp"
+#include "core/trace_binary.hpp"
 #include "core/trace_io.hpp"
 #include "graph/rmat.hpp"  // SplitMix64
 #include "runtime/finish.hpp"
@@ -341,5 +342,111 @@ TEST_P(ParserFuzz, TruncationAndJunkNeverBreakInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
                          ::testing::Range<std::uint64_t>(1, 26));
+
+// ------------------------------------------------------- binary decoder fuzz
+
+/// The mutation properties every .apt decoder must satisfy: truncation at
+/// ANY byte and a single corrupted byte ANYWHERE must never crash, hang or
+/// read out of bounds; if the decoder throws it throws TraceParseError
+/// (BinaryParseError); and every record it does produce is an exact prefix
+/// of the originals (whole verified blocks — the per-block CRC makes a
+/// fabricated record essentially impossible).
+template <class Rec, class Decode>
+void check_binary_mutations(const std::string& name, const std::string& body,
+                            const std::vector<Rec>& recs, Decode decode,
+                            SplitMix64& rng) {
+  for (int t = 0; t < 8; ++t) {
+    const std::size_t cut = rng.next_below(body.size() + 1);
+    std::vector<Rec> out;
+    try {
+      decode(std::string_view(body).substr(0, cut), out);
+    } catch (const io::TraceParseError&) {
+      // expected for most cuts
+    }
+    ASSERT_LE(out.size(), recs.size()) << name << " cut at byte " << cut;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], recs[i]) << name << " cut at byte " << cut;
+  }
+  for (int t = 0; t < 8; ++t) {
+    const std::size_t pos = rng.next_below(body.size());
+    std::string mutated = body;
+    mutated[pos] = static_cast<char>(
+        mutated[pos] ^ static_cast<char>(1u << rng.next_below(8)));
+    std::vector<Rec> out;
+    try {
+      decode(std::string_view(mutated), out);
+    } catch (const io::TraceParseError&) {
+      // expected whenever the flip lands in a CRC-covered block
+    }
+    const std::size_t n = std::min(out.size(), recs.size());
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(out[i], recs[i]) << name << " flip at byte " << pos;
+  }
+}
+
+class BinaryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryFuzz, TruncationAndBitFlipsNeverBreakInvariants) {
+  const std::uint64_t seed = GetParam();
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ull + 3);
+  // Sometimes spans multiple 4096-row blocks, sometimes stays inside one.
+  const auto n = 3 + rng.next_below(6000);
+
+  {
+    std::vector<ap::prof::LogicalSendRecord> recs;
+    for (std::uint64_t i = 0; i < n; ++i)
+      recs.push_back({static_cast<int>(rng.next_below(4)),
+                      static_cast<int>(rng.next_below(16)),
+                      static_cast<int>(rng.next_below(4)),
+                      static_cast<int>(rng.next_below(16)),
+                      static_cast<std::uint32_t>(8 + rng.next_below(4096))});
+    check_binary_mutations(
+        "logical.apt", io::encode_logical(recs), recs,
+        [](std::string_view b, auto& out) { io::decode_logical_into(b, out); },
+        rng);
+  }
+  {
+    std::vector<ap::prof::SuperstepRecord> recs;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ap::prof::SuperstepRecord r;
+      r.pe = static_cast<int>(rng.next_below(16));
+      r.epoch = static_cast<std::uint32_t>(rng.next_below(4));
+      r.step = static_cast<std::uint32_t>(i);
+      r.t_main = rng.next_below(1 << 30);
+      r.t_proc = rng.next_below(1 << 30);
+      r.t_comm = rng.next_below(1 << 30);
+      r.msgs_sent = rng.next_below(1 << 20);
+      r.bytes_sent = rng.next_below(1 << 28);
+      r.msgs_handled = rng.next_below(1 << 20);
+      r.barrier_arrive = rng.next_below(1u << 30);
+      r.barrier_release = r.barrier_arrive + rng.next_below(1 << 20);
+      recs.push_back(r);
+    }
+    check_binary_mutations(
+        "steps.apt", io::encode_steps(recs), recs,
+        [](std::string_view b, auto& out) { io::decode_steps_into(b, out); },
+        rng);
+  }
+  {
+    std::vector<ap::prof::PhysicalRecord> recs;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ap::prof::PhysicalRecord r;
+      r.type = static_cast<convey::SendType>(rng.next_below(3));
+      r.buffer_bytes = 8 + rng.next_below(4096);
+      r.src_pe = static_cast<int>(rng.next_below(16));
+      r.dst_pe = static_cast<int>(rng.next_below(16));
+      recs.push_back(r);
+    }
+    check_binary_mutations(
+        "physical.apt", io::encode_physical(recs), recs,
+        [](std::string_view b, auto& out) {
+          io::decode_physical_into(b, out);
+        },
+        rng);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryFuzz,
+                         ::testing::Range<std::uint64_t>(1, 17));
 
 }  // namespace

@@ -1,0 +1,278 @@
+// The `actorprof serve` trace service (docs/OBSERVABILITY.md, "Live
+// service"): endpoint bodies must be byte-identical to the library writers
+// the CLI uses, a partially-written trace dir must serve the tolerant
+// analysis mid-run, refresh() must ingest newly-flushed shards
+// incrementally, and the HTTP loop must answer real sockets.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "analysis/analysis.hpp"
+#include "apps/triangle.hpp"
+#include "check/checker.hpp"
+#include "core/profiler.hpp"
+#include "core/trace_binary.hpp"
+#include "core/trace_io.hpp"
+#include "graph/distribution.hpp"
+#include "graph/rmat.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+#include "shmem/shmem.hpp"
+#include "viz/heatmap_json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace io = ap::prof::io;
+using ap::serve::Response;
+using ap::serve::TraceService;
+
+constexpr int kPes = 4;
+
+/// One profiled triangle run written in the binary trace format (with the
+/// conformance checker on, so /check has a report to serve).
+const fs::path& served_dir() {
+  static const fs::path dir = [] {
+    const fs::path d = fs::path(::testing::TempDir()) / "serve_trace";
+    fs::remove_all(d);
+    ap::graph::RmatParams gp;
+    gp.scale = 7;
+    gp.edge_factor = 8;
+    gp.permute_vertices = false;
+    const auto edges = ap::graph::rmat_edges(gp);
+    const auto lower = ap::graph::Csr::from_edges(
+        ap::graph::Vertex{1} << gp.scale, edges, true);
+
+    ap::prof::Config pc = ap::prof::Config::all_enabled();
+    pc.check = true;
+    pc.trace_dir = d;
+    pc.trace_format = ap::prof::TraceFormat::binary;
+    ap::prof::Profiler profiler(pc);
+    ap::rt::LaunchConfig lc;
+    lc.num_pes = kPes;
+    lc.pes_per_node = kPes;
+    ap::shmem::run(lc, [&] {
+      ap::graph::RangeDistribution dist(ap::shmem::n_pes(), lower);
+      ap::apps::count_triangles_actor(lower, dist, &profiler);
+    });
+    profiler.write_traces();
+    return d;
+  }();
+  return dir;
+}
+
+io::TraceDir load_tolerant(const fs::path& dir, int num_pes) {
+  io::LoadOptions lo;
+  lo.tolerate_partial = true;
+  return io::load_trace_dir(dir, num_pes, lo);
+}
+
+TEST(Serve, HealthzReportsReadyTrace) {
+  TraceService svc(served_dir());
+  const Response r = svc.handle("GET", "/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"status\":\"ok\""), std::string::npos) << r.body;
+  EXPECT_NE(r.body.find("\"num_pes\":4"), std::string::npos) << r.body;
+  EXPECT_NE(r.body.find("\"check_recorded\":true"), std::string::npos);
+}
+
+TEST(Serve, AnalyzeMatchesLibraryWriterBytes) {
+  TraceService svc(served_dir());
+  const Response r = svc.handle("GET", "/analyze");
+  ASSERT_EQ(r.status, 200);
+  const auto t = load_tolerant(served_dir(), kPes);
+  std::ostringstream os;
+  ap::prof::analysis::write_json(os, ap::prof::analysis::analyze(t));
+  EXPECT_EQ(r.body, os.str());
+  // The cache answers repeat requests with the same bytes.
+  EXPECT_EQ(svc.handle("GET", "/analyze").body, r.body);
+}
+
+TEST(Serve, HeatmapAndCheckMatchLibraryWriterBytes) {
+  TraceService svc(served_dir());
+  const auto t = load_tolerant(served_dir(), kPes);
+
+  const Response h = svc.handle("GET", "/heatmap");
+  ASSERT_EQ(h.status, 200);
+  std::ostringstream hs;
+  ap::viz::write_heatmap_json(hs, t);
+  EXPECT_EQ(h.body, hs.str());
+
+  const Response c = svc.handle("GET", "/check");
+  ASSERT_EQ(c.status, 200);
+  std::ostringstream cs;
+  ap::check::write_json(cs, t.check, t.check_dropped);
+  EXPECT_EQ(c.body, cs.str());
+}
+
+TEST(Serve, DiffAgainstItselfMatchesLibraryWriterBytes) {
+  TraceService svc(served_dir());
+  const Response r =
+      svc.handle("GET", "/diff?base=" + served_dir().string());
+  ASSERT_EQ(r.status, 200) << r.body;
+  const auto t = load_tolerant(served_dir(), kPes);
+  const auto a = ap::prof::analysis::analyze(t);
+  const auto d = ap::prof::analysis::diff(a, a, 0.10);
+  std::ostringstream os;
+  ap::prof::analysis::write_diff_json(os, d);
+  EXPECT_EQ(r.body, os.str());
+}
+
+TEST(Serve, ErrorsAndMethodHandling) {
+  TraceService svc(served_dir());
+  EXPECT_EQ(svc.handle("GET", "/nope").status, 404);
+  EXPECT_EQ(svc.handle("POST", "/analyze").status, 405);
+  EXPECT_EQ(svc.handle("GET", "/diff").status, 400);  // missing base=
+  // No metrics.prom in this run: /metrics explains instead of 500ing.
+  EXPECT_EQ(svc.handle("GET", "/metrics").status, 404);
+}
+
+TEST(Serve, MidRunPartialDirServesTolerantAnalysis) {
+  // A dir with only some shards flushed and no MANIFEST yet — what a
+  // watcher sees mid-run. With --num-pes the service answers from the
+  // tolerant partial load, byte-identical to the CLI on the same dir.
+  const fs::path dir = fs::path(::testing::TempDir()) / "serve_partial";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  for (int pe = 0; pe < kPes; ++pe)
+    fs::copy_file(served_dir() / io::binary_file_name(io::steps_file_name(pe)),
+                  dir / io::binary_file_name(io::steps_file_name(pe)));
+  // Logical shards of only half the PEs; PAPI/physical/check still missing.
+  for (int pe = 0; pe < 2; ++pe)
+    fs::copy_file(
+        served_dir() / io::binary_file_name(io::logical_file_name(pe)),
+        dir / io::binary_file_name(io::logical_file_name(pe)));
+
+  ap::serve::ServiceOptions opts;
+  opts.num_pes = kPes;
+  TraceService svc(dir, opts);
+  const Response r = svc.handle("GET", "/analyze");
+  ASSERT_EQ(r.status, 200) << r.body;
+  std::ostringstream os;
+  ap::prof::analysis::write_json(
+      os, ap::prof::analysis::analyze(load_tolerant(dir, kPes)));
+  EXPECT_EQ(r.body, os.str());
+}
+
+TEST(Serve, RefreshIngestsShardsIncrementally) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "serve_incremental";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  TraceService svc(dir);
+  // Empty dir: PE count unknown, analysis unavailable.
+  EXPECT_EQ(svc.handle("GET", "/analyze").status, 503);
+  EXPECT_NE(svc.handle("GET", "/healthz").body.find("\"status\":\"waiting\""),
+            std::string::npos);
+  EXPECT_FALSE(svc.refresh()) << "nothing changed";
+
+  // The full trace lands (MANIFEST last, as write_all orders it).
+  fs::remove_all(dir);
+  fs::copy(served_dir(), dir);
+  ASSERT_TRUE(svc.refresh());
+  const auto v1 = svc.version();
+  ASSERT_EQ(svc.handle("GET", "/analyze").status, 200);
+  EXPECT_FALSE(svc.refresh()) << "no further change";
+
+  // One shard grows (a PE flushed more rows): only that shard re-ingests.
+  const std::string shard = io::binary_file_name(io::logical_file_name(0));
+  auto rows = svc.trace().logical[0];
+  const auto before = rows.size();
+  ASSERT_GT(before, 0u);
+  rows.push_back(rows.back());
+  {
+    std::ofstream os(dir / shard, std::ios::binary | std::ios::trunc);
+    const std::string body = io::encode_logical(rows);
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+  }
+  ASSERT_TRUE(svc.refresh());
+  EXPECT_GT(svc.version(), v1);
+  EXPECT_EQ(svc.trace().logical[0].size(), before + 1);
+  // Other shards were not disturbed.
+  EXPECT_FALSE(svc.trace().logical[1].empty());
+
+  // A shard damaged mid-flush: the prefix serves, an issue is recorded.
+  fs::resize_file(dir / shard, fs::file_size(dir / shard) - 3);
+  ASSERT_TRUE(svc.refresh());
+  bool named = false;
+  for (const auto& i : svc.trace().issues)
+    if (i.file == shard) named = true;
+  EXPECT_TRUE(named);
+  EXPECT_EQ(svc.handle("GET", "/analyze").status, 200);
+}
+
+// ---------------------------------------------------------------- sockets
+
+std::string http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string reply;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    reply.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return reply;
+}
+
+TEST(Serve, HttpLoopAnswersRealSockets) {
+  TraceService svc(served_dir());
+  const std::string expect_analyze = svc.handle("GET", "/analyze").body;
+
+  std::atomic<int> port{0};
+  ap::serve::ServerOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.max_requests = 3;
+  opts.poll_interval_ms = 20;
+  opts.bound_port = &port;
+  std::ostringstream out, err;
+  int rc = -1;
+  std::thread server([&] { rc = ap::serve::run_server(svc, opts, out, err); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (port.load() == 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GT(port.load(), 0) << err.str();
+
+  const std::string health = http_get(port.load(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+
+  const std::string analyze = http_get(port.load(), "/analyze");
+  const std::size_t body_at = analyze.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_EQ(analyze.substr(body_at + 4), expect_analyze)
+      << "socket body must match the in-process handler byte for byte";
+
+  const std::string missing = http_get(port.load(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404 Not Found"), std::string::npos);
+
+  server.join();
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("listening on http://127.0.0.1:"),
+            std::string::npos);
+}
+
+}  // namespace

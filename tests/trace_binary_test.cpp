@@ -1,0 +1,458 @@
+// The .apt binary columnar trace format (docs/TRACE_FORMAT.md):
+// round-trip of every record kind, CSV <-> binary equivalence down to the
+// byte (the Sink writers applied to decoded rows reproduce the CSV of the
+// originals), block-tolerant decoding of truncated and bit-flipped files
+// with exact (block, offset) attribution, and write_all/load_trace_dir
+// producing identical analyses from either format.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "apps/triangle.hpp"
+#include "check/checker.hpp"
+#include "core/profiler.hpp"
+#include "core/sink.hpp"
+#include "core/trace_binary.hpp"
+#include "core/trace_io.hpp"
+#include "graph/distribution.hpp"
+#include "graph/rmat.hpp"
+#include "metrics/sampler.hpp"
+#include "shmem/shmem.hpp"
+#include "viz/heatmap_json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace io = ap::prof::io;
+using ap::graph::SplitMix64;
+
+// Rows per encoded block; mirrors kRowsPerBlock in trace_binary.cpp (the
+// truncation tests below assert prefix sizes in whole blocks).
+constexpr std::size_t kBlockRows = 4096;
+
+std::vector<ap::prof::LogicalSendRecord> random_logical(std::size_t n,
+                                                        std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<ap::prof::LogicalSendRecord> recs;
+  recs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    recs.push_back({static_cast<int>(rng.next_below(4)),
+                    static_cast<int>(rng.next_below(16)),
+                    static_cast<int>(rng.next_below(4)),
+                    static_cast<int>(rng.next_below(16)),
+                    static_cast<std::uint32_t>(8 + rng.next_below(4096))});
+  return recs;
+}
+
+std::vector<ap::prof::SuperstepRecord> random_steps(std::size_t n,
+                                                    std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<ap::prof::SuperstepRecord> recs;
+  for (std::size_t i = 0; i < n; ++i) {
+    ap::prof::SuperstepRecord r;
+    r.pe = static_cast<int>(rng.next_below(16));
+    r.epoch = static_cast<std::uint32_t>(rng.next_below(4));
+    r.step = static_cast<std::uint32_t>(i);
+    r.t_main = rng.next_below(1 << 30);
+    r.t_proc = rng.next_below(1 << 30);
+    r.t_comm = rng.next_below(1 << 30);
+    r.msgs_sent = rng.next_below(1 << 20);
+    r.bytes_sent = rng.next_below(1 << 28);
+    r.msgs_handled = rng.next_below(1 << 20);
+    r.barrier_arrive = rng.next_below(1u << 30);
+    r.barrier_release = r.barrier_arrive + rng.next_below(1 << 20);
+    recs.push_back(r);
+  }
+  return recs;
+}
+
+// ------------------------------------------------------------- round trips
+
+TEST(TraceBinary, LogicalRoundTripsAcrossBlocks) {
+  const auto recs = random_logical(3 * kBlockRows + 17, 42);
+  const std::string body = io::encode_logical(recs);
+  EXPECT_TRUE(io::is_binary_trace(body));
+  std::vector<ap::prof::LogicalSendRecord> out;
+  io::decode_logical_into(body, out);
+  EXPECT_EQ(out, recs);
+
+  // CSV -> binary -> CSV is byte-equivalent: the Sink writer applied to
+  // the decoded rows reproduces the CSV of the originals exactly.
+  io::Sink a, b;
+  io::write_logical(a, recs);
+  io::write_logical(b, out);
+  EXPECT_EQ(std::move(a).str(), std::move(b).str());
+}
+
+TEST(TraceBinary, PapiRoundTripsRowsAndEventHeader) {
+  const ap::prof::Config cfg = ap::prof::Config::all_enabled();
+  SplitMix64 rng(7);
+  std::vector<ap::prof::PapiSegmentRecord> recs;
+  for (int i = 0; i < 1000; ++i) {
+    ap::prof::PapiSegmentRecord r;
+    r.src_node = static_cast<int>(rng.next_below(4));
+    r.src_pe = static_cast<int>(rng.next_below(16));
+    r.dst_node = static_cast<int>(rng.next_below(4));
+    r.dst_pe = static_cast<int>(rng.next_below(16));
+    r.pkt_bytes = static_cast<std::uint32_t>(8 + rng.next_below(64));
+    r.mailbox_id = static_cast<int>(rng.next_below(4));
+    r.num_sends = rng.next_below(1000);
+    for (int k = 0; k < cfg.num_papi_events(); ++k)
+      r.counters[static_cast<std::size_t>(k)] = rng.next_below(1 << 20);
+    r.is_proc = (rng.next_below(2) == 1);
+    recs.push_back(r);
+  }
+  const std::string body = io::encode_papi(recs, cfg);
+  std::vector<ap::prof::PapiSegmentRecord> out;
+  std::vector<ap::papi::Event> events;
+  io::decode_papi_into(body, out, &events);
+  EXPECT_EQ(out, recs);
+  // The configured event ids ride in the header aux, in order.
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(cfg.num_papi_events()));
+  for (std::size_t k = 0; k < events.size(); ++k)
+    EXPECT_EQ(events[k], cfg.papi_events[k]);
+
+  io::Sink a, b;
+  io::write_papi(a, recs, cfg);
+  io::write_papi(b, out, cfg);
+  EXPECT_EQ(std::move(a).str(), std::move(b).str());
+}
+
+TEST(TraceBinary, StepsRoundTrip) {
+  const auto recs = random_steps(kBlockRows + 321, 11);
+  std::vector<ap::prof::SuperstepRecord> out;
+  io::decode_steps_into(io::encode_steps(recs), out);
+  EXPECT_EQ(out, recs);
+}
+
+TEST(TraceBinary, PhysicalRoundTrip) {
+  SplitMix64 rng(13);
+  std::vector<ap::prof::PhysicalRecord> recs;
+  for (int i = 0; i < 500; ++i) {
+    ap::prof::PhysicalRecord r;
+    r.type = static_cast<ap::convey::SendType>(rng.next_below(3));
+    r.buffer_bytes = 8 + rng.next_below(4096);
+    r.src_pe = static_cast<int>(rng.next_below(16));
+    r.dst_pe = static_cast<int>(rng.next_below(16));
+    recs.push_back(r);
+  }
+  std::vector<ap::prof::PhysicalRecord> out;
+  io::decode_physical_into(io::encode_physical(recs), out);
+  EXPECT_EQ(out, recs);
+
+  io::Sink a, b;
+  io::write_physical(a, recs);
+  io::write_physical(b, out);
+  EXPECT_EQ(std::move(a).str(), std::move(b).str());
+}
+
+TEST(TraceBinary, CheckRoundTripsStringsAndDroppedMarker) {
+  std::vector<ap::check::Violation> v;
+  for (int i = 0; i < 300; ++i) {
+    ap::check::Violation x;
+    x.kind = static_cast<ap::check::Violation::Kind>(i % 7);
+    x.pe = i % 8;
+    x.other_pe = (i % 3 == 0) ? -1 : (i % 8);
+    x.superstep = static_cast<std::uint32_t>(i / 10);
+    x.offset = static_cast<std::uint64_t>(i) * 64;
+    x.bytes = 8;
+    // Few distinct strings over many rows: the dictionary case.
+    x.callsite = (i % 2 != 0) ? "app.cpp:42" : "kernel.cpp:7";
+    x.detail = "range overlaps peer write";
+    v.push_back(x);
+  }
+  const std::string body = io::encode_check(v, 9);
+  std::vector<ap::check::Violation> out;
+  std::uint64_t dropped = 0;
+  io::decode_check_into(body, out, dropped);
+  EXPECT_EQ(dropped, 9u);
+  ASSERT_EQ(out.size(), v.size());
+
+  io::Sink a, b;
+  io::write_check(a, v, 9);
+  io::write_check(b, out, dropped);
+  EXPECT_EQ(std::move(a).str(), std::move(b).str());
+}
+
+TEST(TraceBinary, MetricSamplesRoundTripKeepsRetainedWindow) {
+  ap::metrics::SampleRing ring;
+  ring.bind(3, 2, 4);  // 3 PEs x 2 series, capacity 4
+  SplitMix64 rng(21);
+  for (int i = 0; i < 7; ++i) {  // 7 pushes: the first 3 are overwritten
+    std::int64_t row[6];
+    for (auto& x : row)
+      x = static_cast<std::int64_t>(rng.next_below(1 << 20)) - 1000;
+    ring.push(1000u * static_cast<std::uint64_t>(i + 1), row);
+  }
+  io::MetricSamples out;
+  io::decode_metric_samples_into(io::encode_metric_samples(ring), out);
+  EXPECT_EQ(out.num_pes, 3);
+  EXPECT_EQ(out.num_series, 2u);
+  ASSERT_EQ(out.t_cycles.size(), ring.size());
+  ASSERT_EQ(out.values.size(), ring.size() * 6);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const auto view = ring.at(i);
+    EXPECT_EQ(out.t_cycles[i], view.t_cycles);
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(out.values[i * 6 + j], view.row[j]);
+  }
+}
+
+TEST(TraceBinary, EmptyInputsRoundTrip) {
+  std::vector<ap::prof::LogicalSendRecord> lg;
+  io::decode_logical_into(io::encode_logical({}), lg);
+  EXPECT_TRUE(lg.empty());
+
+  std::vector<ap::check::Violation> cv;
+  std::uint64_t dropped = 0;
+  io::decode_check_into(io::encode_check({}, 0), cv, dropped);
+  EXPECT_TRUE(cv.empty());
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(TraceBinary, ExtremeValuesSurviveZigzagDelta) {
+  std::vector<ap::prof::SuperstepRecord> recs;
+  ap::prof::SuperstepRecord r;
+  r.t_main = ~0ull;  // max u64: the delta wraps, the zigzag must not
+  r.barrier_release = ~0ull;
+  recs.push_back(r);
+  r.t_main = 0;
+  r.barrier_release = 1;
+  recs.push_back(r);
+  r.t_main = ~0ull / 2;
+  recs.push_back(r);
+  std::vector<ap::prof::SuperstepRecord> out;
+  io::decode_steps_into(io::encode_steps(recs), out);
+  EXPECT_EQ(out, recs);
+}
+
+TEST(TraceBinary, FileNamesAndSniffing) {
+  EXPECT_EQ(io::binary_file_name("PE0_send.csv"), "PE0_send.apt");
+  EXPECT_EQ(io::binary_file_name("physical.txt"), "physical.apt");
+  EXPECT_EQ(io::binary_file_name("check.csv"), "check.apt");
+  EXPECT_FALSE(io::is_binary_trace("0,0,1,1,64\n"));
+  EXPECT_FALSE(io::is_binary_trace(""));
+  EXPECT_FALSE(io::is_binary_trace("APT"));  // shorter than the magic
+}
+
+// ------------------------------------------------- corruption and prefixes
+
+TEST(TraceBinary, TruncationKeepsWholeBlockPrefix) {
+  const auto recs = random_logical(2 * kBlockRows + 100, 99);
+  const std::string body = io::encode_logical(recs);
+
+  // Cut inside the last block: both complete blocks survive and the error
+  // names block 3.
+  std::vector<ap::prof::LogicalSendRecord> out;
+  try {
+    io::decode_logical_into(body.substr(0, body.size() - 3), out);
+    FAIL() << "truncated file must throw";
+  } catch (const io::BinaryParseError& e) {
+    EXPECT_EQ(e.block(), 3u);
+    EXPECT_GT(e.offset(), 0u);
+    EXPECT_LE(e.offset(), body.size());
+  }
+  ASSERT_EQ(out.size(), 2 * kBlockRows);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], recs[i]);
+
+  // Cut inside the header: nothing decodes, the error names "block 0".
+  out.clear();
+  try {
+    io::decode_logical_into(body.substr(0, 3), out);
+    FAIL() << "header-truncated file must throw";
+  } catch (const io::BinaryParseError& e) {
+    EXPECT_EQ(e.block(), 0u);
+  }
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TraceBinary, EveryByteFlipInBlockRegionIsDetected) {
+  // Two blocks (4096 + 5 rows). Every single-byte flip past the header
+  // must throw — that is the per-block CRC32 guarantee — after appending
+  // exactly the blocks that verified, and must attribute the damage to
+  // the right block.
+  const auto recs = random_logical(kBlockRows + 5, 1234);
+  const std::string body = io::encode_logical(recs);
+  // Header of a logical .apt: magic(4) version kind flags ncols aux_len.
+  const std::size_t header_len = 9;
+  ASSERT_EQ(body[header_len], 'B') << "block marker expected after header";
+
+  for (std::size_t pos = header_len; pos < body.size(); ++pos) {
+    std::string mutated = body;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x40);
+    std::vector<ap::prof::LogicalSendRecord> out;
+    try {
+      io::decode_logical_into(mutated, out);
+      FAIL() << "flip at byte " << pos << " must be detected";
+    } catch (const io::BinaryParseError& e) {
+      // Whole verified blocks precede the damage; the block index in the
+      // error matches what survived.
+      EXPECT_TRUE(out.empty() || out.size() == kBlockRows)
+          << "flip at byte " << pos;
+      EXPECT_EQ(e.block(), out.size() / kBlockRows + 1)
+          << "flip at byte " << pos;
+      EXPECT_LE(e.offset(), body.size()) << "flip at byte " << pos;
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], recs[i]);
+  }
+}
+
+TEST(TraceBinary, HeaderDamageNeverFabricatesRecords) {
+  const auto recs = random_logical(64, 5);
+  const std::string body = io::encode_logical(recs);
+  for (std::size_t pos = 0; pos < 9; ++pos) {
+    std::string mutated = body;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x10);
+    std::vector<ap::prof::LogicalSendRecord> out;
+    try {
+      io::decode_logical_into(mutated, out);
+    } catch (const io::TraceParseError&) {
+      // Damaged magic/version/kind/ncols throws; unknown flag bits are
+      // forward-compatible and may decode fine.
+    }
+    // Whatever happened, decoded rows are a prefix of the originals.
+    ASSERT_LE(out.size(), recs.size()) << "flip at header byte " << pos;
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], recs[i]);
+  }
+}
+
+TEST(TraceBinary, WrongKindIsRejected) {
+  const std::string body = io::encode_logical(random_logical(16, 3));
+  std::vector<ap::prof::SuperstepRecord> out;
+  EXPECT_THROW(io::decode_steps_into(body, out), io::BinaryParseError);
+  EXPECT_TRUE(out.empty());
+}
+
+// --------------------------------------------- write_all / load_trace_dir
+
+constexpr int kPes = 4;
+
+struct TwoFormatDirs {
+  fs::path csv_dir;
+  fs::path bin_dir;
+};
+
+/// One profiled triangle run, written once as CSV and once as binary.
+const TwoFormatDirs& triangle_dirs() {
+  static const TwoFormatDirs dirs = [] {
+    TwoFormatDirs d;
+    d.csv_dir = fs::path(::testing::TempDir()) / "trace_binary_csv";
+    d.bin_dir = fs::path(::testing::TempDir()) / "trace_binary_bin";
+    fs::remove_all(d.csv_dir);
+    fs::remove_all(d.bin_dir);
+
+    ap::graph::RmatParams gp;
+    gp.scale = 7;
+    gp.edge_factor = 8;
+    gp.permute_vertices = false;
+    const auto edges = ap::graph::rmat_edges(gp);
+    const auto lower = ap::graph::Csr::from_edges(
+        ap::graph::Vertex{1} << gp.scale, edges, true);
+
+    ap::prof::Config pc = ap::prof::Config::all_enabled();
+    pc.check = true;  // a check.csv/.apt in both dirs
+    ap::prof::Profiler profiler(pc);
+    ap::rt::LaunchConfig lc;
+    lc.num_pes = kPes;
+    lc.pes_per_node = kPes;
+    ap::shmem::run(lc, [&] {
+      ap::graph::RangeDistribution dist(ap::shmem::n_pes(), lower);
+      ap::apps::count_triangles_actor(lower, dist, &profiler);
+    });
+
+    pc.trace_dir = d.csv_dir;
+    pc.trace_format = ap::prof::TraceFormat::csv;
+    io::write_all(profiler, pc);
+    pc.trace_dir = d.bin_dir;
+    pc.trace_format = ap::prof::TraceFormat::binary;
+    io::write_all(profiler, pc);
+    return d;
+  }();
+  return dirs;
+}
+
+TEST(TraceBinaryDir, BinaryDirContainsAptShardsOnly) {
+  const auto& d = triangle_dirs();
+  EXPECT_TRUE(fs::exists(d.bin_dir / "PE0_send.apt"));
+  EXPECT_FALSE(fs::exists(d.bin_dir / "PE0_send.csv"));
+  EXPECT_TRUE(fs::exists(d.bin_dir / "physical.apt"));
+  EXPECT_TRUE(fs::exists(d.bin_dir / "check.apt"));
+  // overall.txt stays text in both formats (it is the paper's format).
+  EXPECT_TRUE(fs::exists(d.bin_dir / "overall.txt"));
+  EXPECT_TRUE(fs::exists(d.bin_dir / "MANIFEST.txt"));
+  EXPECT_TRUE(fs::exists(d.csv_dir / "PE0_send.csv"));
+}
+
+TEST(TraceBinaryDir, BothFormatsLoadIdenticalRecords) {
+  const auto& d = triangle_dirs();
+  const auto tc = io::load_trace_dir(d.csv_dir, kPes);
+  const auto tb = io::load_trace_dir(d.bin_dir, kPes);
+  ASSERT_EQ(tb.num_pes, tc.num_pes);
+  EXPECT_EQ(tb.logical, tc.logical);
+  EXPECT_EQ(tb.papi, tc.papi);
+  EXPECT_EQ(tb.steps, tc.steps);
+  EXPECT_EQ(tb.physical, tc.physical);
+  EXPECT_EQ(tb.overall, tc.overall);
+  EXPECT_EQ(tb.check_recorded, tc.check_recorded);
+  EXPECT_EQ(tb.check_dropped, tc.check_dropped);
+  io::Sink a, b;
+  io::write_check(a, tc.check, tc.check_dropped);
+  io::write_check(b, tb.check, tb.check_dropped);
+  EXPECT_EQ(std::move(a).str(), std::move(b).str());
+}
+
+TEST(TraceBinaryDir, BothFormatsAnalyzeToIdenticalBytes) {
+  const auto& d = triangle_dirs();
+  const auto tc = io::load_trace_dir(d.csv_dir, kPes);
+  const auto tb = io::load_trace_dir(d.bin_dir, kPes);
+  std::ostringstream ac, ab;
+  ap::prof::analysis::write_json(ac, ap::prof::analysis::analyze(tc));
+  ap::prof::analysis::write_json(ab, ap::prof::analysis::analyze(tb));
+  EXPECT_EQ(ac.str(), ab.str());
+  std::ostringstream hc, hb;
+  ap::viz::write_heatmap_json(hc, tc);
+  ap::viz::write_heatmap_json(hb, tb);
+  EXPECT_EQ(hc.str(), hb.str());
+}
+
+TEST(TraceBinaryDir, TruncatedShardIsToleratedWithIssue) {
+  const auto& d = triangle_dirs();
+  const fs::path dir = fs::path(::testing::TempDir()) / "trace_binary_trunc";
+  fs::remove_all(dir);
+  fs::copy(d.bin_dir, dir);
+
+  const fs::path shard = dir / "PE0_send.apt";
+  const auto full_size = fs::file_size(shard);
+  ASSERT_GT(full_size, 16u);
+  fs::resize_file(shard, full_size - 5);
+
+  io::LoadOptions lo;
+  lo.tolerate_partial = true;
+  const auto t = io::load_trace_dir(dir, kPes, lo);
+  ASSERT_FALSE(t.issues.empty());
+  bool named = false;
+  for (const auto& i : t.issues)
+    if (i.file == "PE0_send.apt") named = true;
+  EXPECT_TRUE(named) << "issue must name the damaged shard";
+
+  // The surviving rows are a whole-block prefix of the intact shard.
+  const auto intact = io::load_trace_dir(d.bin_dir, kPes);
+  ASSERT_LE(t.logical[0].size(), intact.logical[0].size());
+  EXPECT_EQ(t.logical[0].size() % kBlockRows, 0u);
+  for (std::size_t i = 0; i < t.logical[0].size(); ++i)
+    EXPECT_EQ(t.logical[0][i], intact.logical[0][i]);
+  // Undamaged PEs are complete.
+  EXPECT_EQ(t.logical[1], intact.logical[1]);
+
+  // A strict load of the damaged dir throws.
+  EXPECT_THROW(io::load_trace_dir(dir, kPes), io::TraceParseError);
+}
+
+}  // namespace

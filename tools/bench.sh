@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 cmake --preset default >/dev/null
 cmake --build --preset default -j "${jobs}" \
-  --target micro_conveyor micro_selector scaling_triangle
+  --target micro_conveyor micro_selector scaling_triangle bench_trace
 
 bin=build/bench
 tmp=$(mktemp -d)
@@ -51,6 +51,17 @@ items_per_sec() { # file key
     }' "$1"
 }
 
+# "size_ratio": N off the bench_trace config line.
+size_ratio() { # file
+  awk '
+    match($0, /"size_ratio": *[0-9.eE+-]+/) {
+      s = substr($0, RSTART, RLENGTH)
+      sub(/.*: */, "", s)
+      print s
+      exit
+    }' "$1"
+}
+
 if [[ "${1:-}" == "--check" ]]; then
   tol="${AP_BENCH_TOLERANCE:-15}"
   run "${bin}/micro_conveyor" --json="${tmp}/conveyor.json"
@@ -70,6 +81,38 @@ if [[ "${1:-}" == "--check" ]]; then
       echo "ok ${key}: ${new} items/s vs committed ${old} (tolerance ${tol}%)"
     fi
   done
+
+  # Trace-format gates (docs/TRACE_FORMAT.md): the binary format must stay
+  # >= 5x smaller than CSV on the scaling_triangle trace, decode at least
+  # as fast as the CSV scanner, and not regress vs the committed baseline.
+  run "${bin}/bench_trace" --json="${tmp}/trace.json" >/dev/null
+  ratio=$(size_ratio "${tmp}/trace.json")
+  if awk -v r="${ratio}" 'BEGIN { exit !(r < 5) }'; then
+    echo "REGRESSION trace size: binary only ${ratio}x smaller than CSV (gate: >= 5x)"
+    fail=1
+  else
+    echo "ok trace size: binary ${ratio}x smaller than CSV (gate: >= 5x)"
+  fi
+  csv_read=$(items_per_sec "${tmp}/trace.json" csv_read)
+  bin_read=$(items_per_sec "${tmp}/trace.json" bin_read)
+  if awk -v b="${bin_read}" -v c="${csv_read}" 'BEGIN { exit !(b < c) }'; then
+    echo "REGRESSION trace decode: binary ${bin_read} rows/s slower than CSV ${csv_read}"
+    fail=1
+  else
+    echo "ok trace decode: binary ${bin_read} rows/s >= CSV ${csv_read}"
+  fi
+  old=$(items_per_sec BENCH_trace.json bin_read)
+  if [[ -z "${old}" ]]; then
+    echo "bench --check: missing bin_read baseline in BENCH_trace.json" >&2
+    exit 1
+  fi
+  if awk -v n="${bin_read}" -v o="${old}" -v t="${tol}" \
+       'BEGIN { exit !(n < o * (1 - t / 100)) }'; then
+    echo "REGRESSION bin_read: ${bin_read} rows/s vs committed ${old} (> ${tol}% slower)"
+    fail=1
+  else
+    echo "ok bin_read: ${bin_read} rows/s vs committed ${old} (tolerance ${tol}%)"
+  fi
   exit "${fail}"
 fi
 
@@ -102,3 +145,8 @@ baseline='{
 
 echo "Wrote BENCH_conveyor.json:"
 cat BENCH_conveyor.json
+
+# Trace-format baseline (separate file: separate concern, separate gate).
+AP_SCALE="${AP_SCALE:-10}" run "${bin}/bench_trace" --json=BENCH_trace.json
+echo "Wrote BENCH_trace.json:"
+cat BENCH_trace.json

@@ -3,8 +3,8 @@
 # (-fsanitize=address,undefined) and ubsan (standalone, non-recoverable)
 # presets — each preset runs the FULL test suite. Run from anywhere.
 #
-#   tools/check.sh            # lint + all three presets + bench smoke
-#   tools/check.sh default    # one preset only (lint + smoke still run)
+#   tools/check.sh            # lint + all three presets + bench/serve smoke
+#   tools/check.sh default    # one preset only (lint + smokes still run)
 #   tools/check.sh asan
 set -euo pipefail
 
@@ -39,5 +39,10 @@ trap 'rm -f "${smoke_json}"' EXIT
 build/bench/micro_conveyor --json="${smoke_json}" --msgs=2000
 grep -q '"items_per_sec"' "${smoke_json}"
 echo "bench smoke OK"
+
+# Serve smoke: `actorprof serve` on a fresh binary-format trace must answer
+# /healthz and serve /analyze and /heatmap byte-identical to the CLI.
+echo "==== serve smoke ===="
+tools/serve_smoke.sh
 
 echo "All presets green."

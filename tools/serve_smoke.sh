@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Serve smoke: record a binary-format quickstart trace, start
+# `actorprof serve` on it (ephemeral port, bounded request count), hit the
+# endpoints over a real socket — bash /dev/tcp, so no curl dependency —
+# and require /analyze and /heatmap to be byte-identical to what the CLI
+# prints for the same directory. Run from anywhere; CI runs it in the
+# serve job next to a curl-based variant.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+cmake --preset default >/dev/null
+cmake --build --preset default -j "${jobs}" \
+  --target quickstart actorprof_viz_cli >/dev/null
+
+cli=$(pwd)/build/src/viz/actorprof
+tmp=$(mktemp -d)
+serve_pid=
+cleanup() {
+  [ -n "${serve_pid}" ] && kill "${serve_pid}" 2>/dev/null || true
+  rm -rf "${tmp}"
+}
+trap cleanup EXIT
+
+# A real trace in the binary columnar format (docs/TRACE_FORMAT.md).
+(cd "${tmp}" && ACTORPROF_TRACE_FORMAT=binary \
+  "${OLDPWD}/build/examples/quickstart" >/dev/null)
+dir="${tmp}/quickstart_trace"
+[ -f "${dir}/PE0_send.apt" ] || {
+  echo "serve_smoke: quickstart did not write binary shards" >&2
+  exit 1
+}
+
+"${cli}" analyze --json "${dir}" > "${tmp}/cli_analyze.json"
+"${cli}" heatmap --json "${dir}" > "${tmp}/cli_heatmap.json"
+
+"${cli}" serve "${dir}" --port 0 --max-requests 3 > "${tmp}/serve.log" 2>&1 &
+serve_pid=$!
+
+port=
+for _ in $(seq 1 100); do
+  port=$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+         "${tmp}/serve.log")
+  [ -n "${port}" ] && break
+  sleep 0.1
+done
+[ -n "${port}" ] || {
+  echo "serve_smoke: server did not start:" >&2
+  cat "${tmp}/serve.log" >&2
+  exit 1
+}
+
+# GET over bash's /dev/tcp; Connection: close makes EOF the body delimiter.
+http_get() { # target raw_outfile
+  exec 3<>"/dev/tcp/127.0.0.1/${port}"
+  printf 'GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n' \
+    "$1" >&3
+  cat <&3 > "$2"
+  exec 3<&- 3>&-
+}
+body_of() { # raw_file body_file  (drop the head up to the first blank line)
+  sed -e '1,/^\r*$/d' "$1" > "$2"
+}
+
+http_get /healthz "${tmp}/healthz.raw"
+head -1 "${tmp}/healthz.raw" | grep -q "200 OK"
+grep -q '"status":"ok"' "${tmp}/healthz.raw"
+
+http_get /analyze "${tmp}/analyze.raw"
+head -1 "${tmp}/analyze.raw" | grep -q "200 OK"
+body_of "${tmp}/analyze.raw" "${tmp}/analyze.json"
+cmp "${tmp}/analyze.json" "${tmp}/cli_analyze.json" || {
+  echo "serve_smoke: /analyze differs from 'actorprof analyze --json'" >&2
+  exit 1
+}
+
+http_get /heatmap "${tmp}/heatmap.raw"
+head -1 "${tmp}/heatmap.raw" | grep -q "200 OK"
+body_of "${tmp}/heatmap.raw" "${tmp}/heatmap.json"
+cmp "${tmp}/heatmap.json" "${tmp}/cli_heatmap.json" || {
+  echo "serve_smoke: /heatmap differs from 'actorprof heatmap --json'" >&2
+  exit 1
+}
+
+wait "${serve_pid}"
+serve_pid=
+echo "serve smoke OK (port ${port}, /analyze and /heatmap byte-identical)"
