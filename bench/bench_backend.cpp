@@ -1,0 +1,187 @@
+// Fiber vs. threads execution backend on the same workloads (triangle
+// counting and histogram, both at 8 PEs) — the measurement behind the
+// multithreaded backend's reason to exist: with real cores available,
+// running PEs concurrently behind the unchanged shmem::run should beat
+// the deterministic single-threaded fiber scheduler on wall time.
+//
+// Timing note: unlike the other --json benches this one measures WALL
+// time (steady_clock), not process CPU time. The threads backend spends
+// the same (or more) total CPU across workers; the win it claims is
+// elapsed time, which CPU-time clocks by construction cannot show.
+//
+// On a single-core host the two backends are expected to tie (threads
+// adds scheduling overhead for no parallelism); tools/bench.sh --check
+// therefore gates the speedup by the host's core count and records the
+// count in BENCH_backend.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "apps/histogram.hpp"
+#include "apps/triangle.hpp"
+#include "bench_json.hpp"
+#include "conveyor/conveyor.hpp"
+#include "graph/distribution.hpp"
+#include "graph/rmat.hpp"
+#include "runtime/backend.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+using namespace ap;
+
+constexpr int kPes = 8;
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+graph::Csr build(int scale) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 16;
+  p.seed = 0x5CA1E;
+  p.permute_vertices = false;
+  const auto edges = graph::rmat_edges(p);
+  return graph::Csr::from_edges(graph::Vertex{1} << scale, edges, true);
+}
+
+rt::LaunchConfig launch(rt::Backend backend) {
+  rt::LaunchConfig lc;
+  lc.num_pes = kPes;
+  lc.pes_per_node = kPes;
+  lc.symm_heap_bytes = 64 << 20;
+  lc.backend = backend;  // explicit — wins over ACTORPROF_BACKEND
+  return lc;
+}
+
+struct Run {
+  double secs = 0;        // wall seconds, best of the timed repetitions
+  std::uint64_t items = 0;  // conveyor pushes of one repetition
+  std::int64_t answer = 0;  // backend-invariant result (correctness tie)
+};
+
+Run run_triangle(rt::Backend backend, const graph::Csr& lower, int reps) {
+  Run r;
+  std::int64_t triangles = 0;
+  auto once = [&] {
+    shmem::run(launch(backend), [&] {
+      graph::RangeDistribution dist(shmem::n_pes(), lower);
+      const auto res = apps::count_triangles_actor(lower, dist, nullptr);
+      if (shmem::my_pe() == 0) triangles = res.triangles;
+    });
+  };
+  once();  // warmup (first-touch, page faults, lazy init)
+  for (int i = 0; i < reps; ++i) {
+    convey::reset_lifetime_totals();
+    const double t0 = wall_now();
+    once();
+    const double secs = wall_now() - t0;
+    if (r.secs == 0 || secs < r.secs) r.secs = secs;
+    r.items = convey::lifetime_totals().pushed;
+  }
+  r.answer = triangles;
+  return r;
+}
+
+Run run_histogram(rt::Backend backend, std::size_t updates_per_pe,
+                  int reps) {
+  Run r;
+  std::int64_t updates = 0;
+  auto once = [&] {
+    shmem::run(launch(backend), [&] {
+      const auto res =
+          apps::histogram_actor(std::size_t{1} << 12, updates_per_pe);
+      if (shmem::my_pe() == 0) updates = res.global_updates;
+    });
+  };
+  once();
+  for (int i = 0; i < reps; ++i) {
+    convey::reset_lifetime_totals();
+    const double t0 = wall_now();
+    once();
+    const double secs = wall_now() - t0;
+    if (r.secs == 0 || secs < r.secs) r.secs = secs;
+    r.items = convey::lifetime_totals().pushed;
+  }
+  r.answer = updates;
+  return r;
+}
+
+bench_json::Metrics metrics(const Run& r) {
+  bench_json::Metrics m;
+  m.items_per_sec = static_cast<double>(r.items) / r.secs;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ap;
+  const int scale = [] {
+    const char* v = std::getenv("AP_SCALE");
+    return v != nullptr ? std::atoi(v) : 11;
+  }();
+  const std::size_t updates =
+      bench_json::arg_msgs(argc, argv, 400'000) / kPes;
+  const int reps = 2;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  const graph::Csr lower = build(scale);
+  const Run tri_fiber = run_triangle(rt::Backend::fiber, lower, reps);
+  const Run tri_threads = run_triangle(rt::Backend::threads, lower, reps);
+  const Run his_fiber = run_histogram(rt::Backend::fiber, updates, reps);
+  const Run his_threads = run_histogram(rt::Backend::threads, updates, reps);
+
+  // The backends must agree on every logical result; a mismatch is a data
+  // race in the threads data plane, not a perf number.
+  if (tri_fiber.answer != tri_threads.answer ||
+      his_fiber.answer != his_threads.answer ||
+      tri_fiber.items != tri_threads.items) {
+    std::fprintf(stderr,
+                 "bench_backend: backend results diverge "
+                 "(triangles %lld vs %lld, updates %lld vs %lld, "
+                 "pushes %llu vs %llu)\n",
+                 static_cast<long long>(tri_fiber.answer),
+                 static_cast<long long>(tri_threads.answer),
+                 static_cast<long long>(his_fiber.answer),
+                 static_cast<long long>(his_threads.answer),
+                 static_cast<unsigned long long>(tri_fiber.items),
+                 static_cast<unsigned long long>(tri_threads.items));
+    return 1;
+  }
+
+  if (const char* path = bench_json::json_path(argc, argv)) {
+    char config[160];
+    std::snprintf(config, sizeof config,
+                  "{\"pes\": %d, \"scale\": %d, \"updates\": %zu, "
+                  "\"cores\": %u, \"threads\": %d}",
+                  kPes, scale, updates * kPes, cores,
+                  rt::resolve_num_threads(0, kPes));
+    return bench_json::write(path, "bench_backend", config,
+                             {{"triangle_fiber", metrics(tri_fiber)},
+                              {"triangle_threads", metrics(tri_threads)},
+                              {"histogram_fiber", metrics(his_fiber)},
+                              {"histogram_threads", metrics(his_threads)}})
+               ? 0
+               : 1;
+  }
+
+  std::printf("[Backend] fiber vs threads, %d PEs, %u core(s)\n%12s %12s %12s %9s\n",
+              kPes, cores, "workload", "fiber s", "threads s", "speedup");
+  auto row = [](const char* name, const Run& f, const Run& t) {
+    std::printf("%12s %12.3f %12.3f %8.2fx\n", name, f.secs, t.secs,
+                f.secs / t.secs);
+  };
+  row("triangle", tri_fiber, tri_threads);
+  row("histogram", his_fiber, his_threads);
+  std::printf(
+      "\nExpected: ~1x on a single core (threads adds scheduling overhead\n"
+      "for no parallelism), growing with core count; tools/bench.sh --check\n"
+      "gates the triangle speedup by the host's core count.\n");
+  return 0;
+}

@@ -263,8 +263,17 @@ class Selector {
       } else {
         all_complete = false;
       }
-      progress_stamp += st.conveyor->total_stats().pushed +
-                        st.conveyor->total_stats().pulled;
+      // Progress stamp for the livelock guard. Own-endpoint stats() is a
+      // plain single-writer read; delivered_total() is the group's relaxed
+      // atomic delivery counter and is what captures *remote* PEs'
+      // progress mid-run (total_stats() would race with their plain
+      // counter bumps under the threads backend). Remote pushes that have
+      // not yet delivered are bounded by buffer capacity before a flush
+      // publishes them, so any system-wide progress moves the stamp
+      // within a bounded number of rounds.
+      progress_stamp += st.conveyor->stats().pushed +
+                        st.conveyor->stats().pulled +
+                        st.conveyor->delivered_total();
     }
     if (all_complete) return true;
 

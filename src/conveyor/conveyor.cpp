@@ -1,7 +1,9 @@
 #include "conveyor/conveyor.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 #include "faultinject/faultinject.hpp"
@@ -11,7 +13,10 @@
 namespace ap::convey {
 
 namespace {
-thread_local TransferObserver* g_observer = nullptr;
+// Plain global (was thread_local): observers are installed on the
+// launching thread before a launch creates worker threads (threads
+// backend), so thread creation orders the pointer for every worker.
+TransferObserver* g_observer = nullptr;
 
 void notify(SendType t, std::size_t bytes, int src, int dst,
             std::uint64_t first_flow) {
@@ -47,6 +52,22 @@ std::int32_t load_dst(const std::byte* record) {
   std::int32_t d = 0;
   std::memcpy(&d, record, sizeof d);
   return d;
+}
+
+// ConveyorStats fields are single-writer: only the owning PE bumps its
+// endpoint's counters, and under the threads backend a PE's fiber is only
+// ever resumed on its owning worker. Increments stay plain on purpose —
+// even a relaxed atomic_ref load+store pair acts as a compiler
+// optimization barrier on the per-item hot paths and costs double-digit
+// percent on the micro_conveyor pull/drain gates. The price is a
+// quiescence contract on readers: total_stats() may only be called when
+// the caller is barrier-separated from every remote PE's conveyor
+// activity (e.g. after shmem::barrier_all(), or after advance() has
+// returned false on all PEs and a barrier followed). Mid-run progress
+// probes must use the owning endpoint's stats() or the group's atomic
+// delivered_total() instead (the selector pump does exactly that).
+void bump(std::uint64_t& counter, std::uint64_t delta = 1) {
+  counter += delta;
 }
 }  // namespace
 
@@ -116,6 +137,12 @@ struct Conveyor::Endpoint {
   std::vector<std::int64_t> consumed_from; // buffers consumed per source
   OutBuf recv;                             // delivered wire records
   OutBuf drain_buf;                        // batch snapshot being drained
+  /// Pushes not yet added to Group::injected. push() only bumps this plain
+  /// per-PE counter (no shared-cacheline RMW per item); advance() publishes
+  /// the batch into the group counter before anything else moves — in
+  /// particular before this PE can declare done — so the termination
+  /// equality below never reads a short injected count.
+  std::uint64_t injected_unpublished = 0;
   bool draining = false;
   bool done_reported = false;
   /// Cached TransferObserver::wants_conformance_events() — refreshed at
@@ -134,15 +161,26 @@ struct Conveyor::Group {
   std::size_t records_per_buffer;
   std::size_t slot_stride;  // 8-byte length header + payload capacity
 
-  std::uint64_t injected = 0;
-  std::uint64_t delivered = 0;
+  // Shared progress counters, updated from every PE's worker under the
+  // threads backend. injected is fed in per-advance batches (see
+  // Endpoint::injected_unpublished); delivered in per-run batches inside
+  // deliver_incoming() — neither takes a shared RMW per item.
+  std::atomic<std::uint64_t> injected{0};
+  std::atomic<std::uint64_t> delivered{0};
   /// Items dropped because a fault-injected PE died holding (or being the
   /// destination of) them. Counted toward termination: a conveyor is
-  /// complete when injected == delivered + lost.
-  std::uint64_t lost = 0;
-  int done_count = 0;
+  /// complete when injected == delivered + lost. (Fault injection is
+  /// fiber-backend-only, so these adds are never contended.)
+  std::atomic<std::uint64_t> lost{0};
+  std::atomic<int> done_count{0};
   std::vector<char> done_flags;      // per-PE done (for dead-PE termination)
   std::vector<Endpoint*> endpoints;  // registered per PE (for stats)
+  /// Serializes endpoint retirement against total_stats(): a destructor
+  /// folds its stats into `retired` and clears its endpoints[] slot under
+  /// this mutex, so a concurrent total_stats() never reads a freed
+  /// endpoint and never loses a retired PE's counts.
+  std::mutex retire_mu;
+  ConveyorStats retired;
 
   Group(const Options& o, const shmem::Topology& t)
       : opts(o),
@@ -232,8 +270,13 @@ Conveyor::Conveyor(std::shared_ptr<Group> group, int pe)
 }
 
 namespace {
+std::mutex g_lifetime_mu;
 ConveyorStats g_lifetime{};
 
+/// Fold `s` into `t`. Sources may belong to a PE running on another
+/// worker (total_stats); the plain reads are safe only under the
+/// quiescence contract documented at bump() above — callers must be
+/// barrier-separated from the remote writers.
 void accumulate(ConveyorStats& t, const ConveyorStats& s) {
   t.pushed += s.pushed;
   t.pulled += s.pulled;
@@ -248,12 +291,30 @@ void accumulate(ConveyorStats& t, const ConveyorStats& s) {
 }
 }  // namespace
 
-ConveyorStats lifetime_totals() { return g_lifetime; }
-void reset_lifetime_totals() { g_lifetime = ConveyorStats{}; }
+ConveyorStats lifetime_totals() {
+  std::lock_guard<std::mutex> lk(g_lifetime_mu);
+  return g_lifetime;
+}
+void reset_lifetime_totals() {
+  std::lock_guard<std::mutex> lk(g_lifetime_mu);
+  g_lifetime = ConveyorStats{};
+}
 
 Conveyor::~Conveyor() {
   Endpoint& e = *self_;
-  accumulate(g_lifetime, e.stats);
+  {
+    std::lock_guard<std::mutex> lk(g_lifetime_mu);
+    accumulate(g_lifetime, e.stats);
+  }
+  // Pushes never published through an advance() must still reach the group
+  // counter: a killed PE's unflushed records are counted as *lost* below,
+  // and the survivors' termination equality (injected == delivered + lost)
+  // would otherwise never balance.
+  if (group_ && e.injected_unpublished != 0) {
+    group_->injected.fetch_add(e.injected_unpublished,
+                               std::memory_order_release);
+    e.injected_unpublished = 0;
+  }
   // A killed PE's endpoint is destroyed while its body unwinds (the PE is
   // already marked dead at that point). Everything it still holds — queued,
   // staged, or landed-but-unconsumed records — will never be delivered;
@@ -262,8 +323,11 @@ Conveyor::~Conveyor() {
       !shmem::pe_alive(e.pe))
     account_dead_endpoint();
   if (group_ && e.pe >= 0 &&
-      static_cast<std::size_t>(e.pe) < group_->endpoints.size())
+      static_cast<std::size_t>(e.pe) < group_->endpoints.size()) {
+    std::lock_guard<std::mutex> lk(group_->retire_mu);
+    accumulate(group_->retired, e.stats);
     group_->endpoints[static_cast<std::size_t>(e.pe)] = nullptr;
+  }
   // Frees must run on the owning PE's fiber while the world is alive; the
   // SPMD structure of HClib-Actor programs guarantees that.
   if (rt::in_spmd_region()) {
@@ -297,8 +361,10 @@ void Conveyor::account_dead_endpoint() {
   // Landed in this PE's ring (published by senders) but never consumed.
   for (int src = 0; src < n; ++src) {
     const auto s = static_cast<std::size_t>(src);
-    for (std::int64_t seq = e.consumed_from[s]; seq < e.published_from[s];
-         ++seq) {
+    const std::int64_t pub =
+        std::atomic_ref<std::int64_t>(e.published_from[s])
+            .load(std::memory_order_acquire);
+    for (std::int64_t seq = e.consumed_from[s]; seq < pub; ++seq) {
       const std::byte* base =
           e.ring + (s * static_cast<std::size_t>(g.opts.slots) +
                     static_cast<std::size_t>(seq % g.opts.slots)) *
@@ -308,7 +374,7 @@ void Conveyor::account_dead_endpoint() {
       lost += static_cast<std::uint64_t>(len) / g.record_bytes;
     }
   }
-  g.lost += lost;
+  g.lost.fetch_add(lost, std::memory_order_relaxed);
 }
 
 const Options& Conveyor::options() const { return group_->opts; }
@@ -317,7 +383,8 @@ const Router& Conveyor::router() const { return group_->router; }
 std::size_t Conveyor::record_bytes() const { return group_->record_bytes; }
 
 ConveyorStats Conveyor::total_stats() const {
-  ConveyorStats t;
+  std::lock_guard<std::mutex> lk(group_->retire_mu);
+  ConveyorStats t = group_->retired;
   for (const Endpoint* e : group_->endpoints) {
     if (e == nullptr) continue;
     accumulate(t, e->stats);
@@ -325,8 +392,14 @@ ConveyorStats Conveyor::total_stats() const {
   return t;
 }
 
+std::uint64_t Conveyor::delivered_total() const {
+  return group_->delivered.load(std::memory_order_relaxed);
+}
+
 std::uint64_t Conveyor::items_in_flight() const {
-  return group_->injected - group_->delivered - group_->lost;
+  return group_->injected.load(std::memory_order_relaxed) -
+         group_->delivered.load(std::memory_order_relaxed) -
+         group_->lost.load(std::memory_order_relaxed);
 }
 
 // --------------------------------------------------------------------- push
@@ -360,9 +433,9 @@ bool Conveyor::push(const void* item, int dst_pe, std::uint64_t flow_id) {
   if (g.flow_bytes != 0)
     std::memcpy(rec + kRecordHeader, &flow_id, sizeof flow_id);
   std::memcpy(rec + kRecordHeader + g.flow_bytes, item, g.opts.item_bytes);
-  e.stats.memcpys++;
-  e.stats.pushed++;
-  g.injected++;
+  bump(e.stats.memcpys);
+  bump(e.stats.pushed);
+  e.injected_unpublished++;
   return true;
 }
 
@@ -379,7 +452,8 @@ bool Conveyor::try_flush(int next_hop) {
   // toward it and account the records as lost (checked before the ring
   // availability test — dead receivers stop acking too).
   if (fi::active() && !shmem::pe_alive(next_hop)) {
-    g.lost += ob.pending() / g.record_bytes;
+    g.lost.fetch_add(ob.pending() / g.record_bytes,
+                     std::memory_order_relaxed);
     ob.head = ob.tail;
     ob.compact();
     return true;
@@ -387,19 +461,25 @@ bool Conveyor::try_flush(int next_hop) {
 
   const auto hop_idx = static_cast<std::size_t>(next_hop);
   // The ack counter is written by the receiver via shmem::put; polling it
-  // is the acquire that lets us reuse the acked ring slots.
+  // (an acquire load — the receiver's put is a release store) is what lets
+  // us reuse the acked ring slots: the receiver read the slot before it
+  // released the ack, so our next write cannot race its read.
   if (e.check_events)
     shmem::annotate_acquire_read(e.acked_by + hop_idx, sizeof(std::int64_t));
+  const auto acked = [&] {
+    return std::atomic_ref<std::int64_t>(e.acked_by[hop_idx])
+        .load(std::memory_order_acquire);
+  };
   // Free ring slot available? Double buffering: with `slots` buffers per
   // pair, the (slots+1)-th flush needs the oldest one acked.
-  if (e.seq_flushed[hop_idx] - e.acked_by[hop_idx] >=
+  if (e.seq_flushed[hop_idx] - acked() >=
       static_cast<std::int64_t>(g.opts.slots)) {
     // Unpublished nbi buffers can never be acked: run the progress
     // protocol (quiet + signal) and re-check — this is exactly the
     // "second buffer full triggers shmem_quiet" behaviour from the paper.
     if (e.seq_published[hop_idx] < e.seq_flushed[hop_idx]) {
       progress_pending();
-      if (e.seq_flushed[hop_idx] - e.acked_by[hop_idx] >=
+      if (e.seq_flushed[hop_idx] - acked() >=
           static_cast<std::int64_t>(g.opts.slots))
         return false;
     } else {
@@ -436,23 +516,26 @@ bool Conveyor::try_flush(int next_hop) {
     const std::int64_t len = static_cast<std::int64_t>(chunk);
     std::memcpy(dst, &len, sizeof len);
     std::memcpy(dst + sizeof len, ob.bytes.data() + ob.head, chunk);
-    e.stats.memcpys++;
+    bump(e.stats.memcpys);
     papi::account_buffer_copy(chunk);
     papi::account_local_flush(chunk);
     if (e.check_events)
       shmem::annotate_store(static_cast<void*>(e.ring + slot_off),
                             sizeof len + chunk, next_hop);
     // Publish instantly (shared memory): bump receiver's published_from[me].
+    // Release store: orders the slot memcpy above before the flag for the
+    // receiver's acquire poll in deliver_incoming().
     auto* pub = static_cast<std::int64_t*>(shmem::ptr(
         static_cast<void*>(e.published_from + e.pe), next_hop));
-    *pub = seq + 1;
+    std::atomic_ref<std::int64_t>(*pub).store(seq + 1,
+                                              std::memory_order_release);
     if (e.check_events)
       shmem::annotate_store(static_cast<void*>(e.published_from + e.pe),
                             sizeof(std::int64_t), next_hop);
     e.seq_flushed[hop_idx] = seq + 1;
     e.seq_published[hop_idx] = seq + 1;
-    e.stats.local_sends++;
-    e.stats.local_send_bytes += chunk;
+    bump(e.stats.local_sends);
+    bump(e.stats.local_send_bytes, chunk);
     notify(SendType::local_send, chunk, e.pe, next_hop, first_flow);
   } else {
     // nonblock_send: stage (nbi source must stay stable until quiet), then
@@ -465,14 +548,14 @@ bool Conveyor::try_flush(int next_hop) {
     const std::int64_t len = static_cast<std::int64_t>(chunk);
     std::memcpy(stage.data(), &len, sizeof len);
     std::memcpy(stage.data() + sizeof len, ob.bytes.data() + ob.head, chunk);
-    e.stats.memcpys++;
+    bump(e.stats.memcpys);
     papi::account_buffer_copy(chunk);
     shmem::putmem_nbi(static_cast<void*>(e.ring + slot_off), stage.data(),
                       sizeof len + chunk, next_hop);
     papi::account_remote_put(chunk);
     e.seq_flushed[hop_idx] = seq + 1;
-    e.stats.nonblock_sends++;
-    e.stats.nonblock_send_bytes += chunk;
+    bump(e.stats.nonblock_sends);
+    bump(e.stats.nonblock_send_bytes, chunk);
     notify(SendType::nonblock_send, chunk, e.pe, next_hop, first_flow);
   }
 
@@ -511,7 +594,7 @@ void Conveyor::progress_pending() {
   const std::size_t outstanding = shmem::pending_nbi_puts();
   shmem::quiet();
   papi::account_quiet(outstanding);
-  e.stats.progress_calls++;
+  bump(e.stats.progress_calls);
   for (int hop = 0; hop < n; ++hop) {
     const auto h = static_cast<std::size_t>(hop);
     if (e.seq_published[h] >= e.seq_flushed[h]) continue;
@@ -526,7 +609,8 @@ void Conveyor::progress_pending() {
                       static_cast<std::size_t>(seq % g.opts.slots)];
         std::int64_t len = 0;
         std::memcpy(&len, stage.data(), sizeof len);
-        g.lost += static_cast<std::uint64_t>(len) / g.record_bytes;
+        g.lost.fetch_add(static_cast<std::uint64_t>(len) / g.record_bytes,
+                         std::memory_order_relaxed);
       }
       e.seq_published[h] = e.seq_flushed[h];
       continue;
@@ -549,10 +633,13 @@ void Conveyor::deliver_incoming() {
   const std::size_t rec_sz = g.record_bytes;
   for (int src = 0; src < n; ++src) {
     const auto s = static_cast<std::size_t>(src);
-    const std::int64_t pub = e.published_from[s];
-    // Raw-polling the publication flag is the acquire edge that orders the
-    // sender's ring writes (memcpy or quiet-completed nbi put) before the
+    // Polling the publication flag with an acquire load is the edge that
+    // orders the sender's ring writes (memcpy or quiet-completed nbi put,
+    // both sequenced before its release store of the flag) before the
     // slot reads below.
+    const std::int64_t pub =
+        std::atomic_ref<std::int64_t>(e.published_from[s])
+            .load(std::memory_order_acquire);
     if (e.check_events && e.consumed_from[s] < pub)
       shmem::annotate_acquire_read(e.published_from + s,
                                    sizeof(std::int64_t));
@@ -587,7 +674,7 @@ void Conveyor::deliver_incoming() {
           // a queue nobody drains; drop the whole run here and account it.
           while (off + run < end && load_dst(data + off + run) == dst)
             run += rec_sz;
-          g.lost += run / rec_sz;
+          g.lost.fetch_add(run / rec_sz, std::memory_order_relaxed);
         } else if (dst == e.pe) {
           while (off + run < end && load_dst(data + off + run) == e.pe)
             run += rec_sz;
@@ -595,8 +682,8 @@ void Conveyor::deliver_incoming() {
           // queue (pull/drain skip the header fields).
           std::memcpy(e.recv.append(run, g.outbuf_capacity()), data + off,
                       run);
-          e.stats.memcpys++;
-          g.delivered += run / rec_sz;
+          bump(e.stats.memcpys);
+          g.delivered.fetch_add(run / rec_sz, std::memory_order_relaxed);
         } else {
           const std::int32_t hop = e.hop_of[static_cast<std::size_t>(dst)];
           while (off + run < end) {
@@ -610,8 +697,8 @@ void Conveyor::deliver_incoming() {
           // route deadlocks if they are dropped); append() grows for them.
           OutBuf& ob = e.out[static_cast<std::size_t>(hop)];
           std::memcpy(ob.append(run, g.outbuf_capacity()), data + off, run);
-          e.stats.memcpys++;
-          e.stats.forwarded += run / rec_sz;
+          bump(e.stats.memcpys);
+          bump(e.stats.forwarded, run / rec_sz);
           while (ob.pending() >= g.payload_capacity()) {
             if (!try_flush(hop)) break;  // opportunistic; advance retries
           }
@@ -652,12 +739,12 @@ bool Conveyor::pull(void* item, int* from_pe, std::uint64_t* flow_id) {
   if (g.flow_bytes != 0)
     std::memcpy(&flow, rec + kRecordHeader, sizeof flow);
   std::memcpy(item, rec + kRecordHeader + g.flow_bytes, g.opts.item_bytes);
-  e.stats.memcpys++;
+  bump(e.stats.memcpys);
   e.recv.head += g.record_bytes;
   if (e.recv.head == e.recv.tail) e.recv.compact();
   if (from_pe != nullptr) *from_pe = src32;
   if (flow_id != nullptr) *flow_id = flow;
-  e.stats.pulled++;
+  bump(e.stats.pulled);
   return true;
 }
 
@@ -685,8 +772,8 @@ void Conveyor::drain_end(std::size_t count) {
   Endpoint& e = *self_;
   e.drain_buf.head = e.drain_buf.tail = 0;
   e.draining = false;
-  e.stats.pulled += count;
-  e.stats.drains++;
+  bump(e.stats.pulled, count);
+  bump(e.stats.drains);
 }
 
 void Conveyor::drain_abort(std::size_t consumed) {
@@ -710,8 +797,8 @@ void Conveyor::drain_abort(std::size_t consumed) {
   }
   e.drain_buf.head = e.drain_buf.tail = 0;
   e.draining = false;
-  e.stats.pulled += consumed;
-  e.stats.drains++;
+  bump(e.stats.pulled, consumed);
+  bump(e.stats.drains);
 }
 
 // ------------------------------------------------------------------ advance
@@ -742,9 +829,22 @@ bool Conveyor::advance(bool done) {
   deliver_incoming();
 
   if (done && !e.done_reported) {
+    // Publish this PE's injection count before its done declaration —
+    // push() throws after done, so the private counter is final here. The
+    // release done_count increment paired with the acquire done_count read
+    // in the termination check guarantees that once every PE is seen done,
+    // every injection is in the counter: the equality can never terminate
+    // the conveyor while records it has not counted are still in flight.
+    // (Keeping the group counter out of the steady-state advance path also
+    // keeps the per-round cost free of lock-prefixed instructions.)
+    if (e.injected_unpublished != 0) {
+      g.injected.fetch_add(e.injected_unpublished,
+                           std::memory_order_release);
+      e.injected_unpublished = 0;
+    }
     e.done_reported = true;
     g.done_flags[static_cast<std::size_t>(e.pe)] = 1;
-    g.done_count++;
+    g.done_count.fetch_add(1, std::memory_order_release);
   }
 
   if (e.done_reported) {
@@ -759,7 +859,13 @@ bool Conveyor::advance(bool done) {
 
   deliver_incoming();
 
-  bool all_done = g.done_count == g.topo.num_pes();
+  // The acquire here pairs with every PE's release increment: seeing the
+  // full count means seeing every injection published before each PE went
+  // done. Short-circuit order matters — test done_count FIRST, then the
+  // balance; read the other way a stale injected could equal a fresh
+  // delivered and terminate early.
+  bool all_done =
+      g.done_count.load(std::memory_order_acquire) == g.topo.num_pes();
   if (!all_done && fi::active()) {
     // A killed PE never declares done; count it as done so the survivors'
     // termination does not wait for a corpse.
@@ -773,7 +879,9 @@ bool Conveyor::advance(bool done) {
     }
   }
   const bool globally_done =
-      all_done && g.injected == g.delivered + g.lost;
+      all_done && g.injected.load(std::memory_order_relaxed) ==
+                      g.delivered.load(std::memory_order_relaxed) +
+                          g.lost.load(std::memory_order_relaxed);
   const bool locally_drained =
       e.recv.pending() == 0 && e.drain_buf.pending() == 0;
   return !(globally_done && locally_drained);

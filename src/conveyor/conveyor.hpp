@@ -157,8 +157,15 @@ class Conveyor {
   [[nodiscard]] const Router& router() const;
   /// Bytes of one wire record: header + optional flow id + payload.
   [[nodiscard]] std::size_t record_bytes() const;
-  /// Sum of stats over all PEs (any PE may call).
+  /// Sum of stats over all PEs (any PE may call). Under the threads
+  /// backend the per-endpoint counters are plain single-writer values:
+  /// call this only when barrier-separated from remote PEs' conveyor
+  /// activity (e.g. after shmem::barrier_all()). For a mid-run progress
+  /// probe use stats() (own endpoint) plus delivered_total().
   [[nodiscard]] ConveyorStats total_stats() const;
+  /// Items delivered group-wide so far (relaxed atomic — safe to poll
+  /// mid-run from any worker; captures remote PEs' progress).
+  [[nodiscard]] std::uint64_t delivered_total() const;
   /// Items pushed but not yet pulled anywhere (global).
   [[nodiscard]] std::uint64_t items_in_flight() const;
 

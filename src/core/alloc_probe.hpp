@@ -9,10 +9,12 @@
 // just stay at zero).
 //
 // The counters are process-wide: snapshot around the region of interest
-// and compare deltas. In the fiber-based simulator all PEs share the
-// process, so a delta taken across a barrier-fenced phase covers every
-// PE's work in that phase — which is exactly what a "zero allocations in
-// steady state" budget wants to assert.
+// and compare deltas. All PEs share the process, so a delta taken across
+// a barrier-fenced phase covers every PE's work in that phase — which is
+// exactly what a "zero allocations in steady state" budget wants to
+// assert. The counters are relaxed atomics, so they are equally valid
+// under the multithreaded execution backend (operator new may be called
+// from any worker thread concurrently).
 #pragma once
 
 #include <atomic>

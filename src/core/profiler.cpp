@@ -1,6 +1,7 @@
 #include "core/profiler.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -8,6 +9,7 @@
 
 #include "core/trace_io.hpp"
 #include "papi/cycles.hpp"
+#include "runtime/backend.hpp"
 #include "runtime/scheduler.hpp"
 #include "shmem/shmem.hpp"
 
@@ -20,6 +22,36 @@ using metrics::OverheadCategory;
 /// much in absolute terms, so near-idle fleets do not spam findings.
 constexpr double kMinBacklogAbs = 8.0;    // messages
 constexpr double kMinCommShareAbs = 100.0;  // milli-units = 10 points
+
+// A handful of PeData fields are written by the owning PE's worker and
+// read by the sampler tick on worker 0 (threads backend): in_epoch,
+// last_cycles, and the t_main/t_proc/t_comm buckets. These helpers make
+// both sides atomic without widening the fields; the fields stay
+// single-writer, so relaxed load+store pairs (two plain moves on x86)
+// suffice — byte-identical behaviour under the fiber backend.
+void store_u64(std::uint64_t& cell, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t>(cell).store(v, std::memory_order_relaxed);
+}
+
+void add_u64(std::uint64_t& cell, std::uint64_t delta) {
+  std::atomic_ref<std::uint64_t> c(cell);
+  c.store(c.load(std::memory_order_relaxed) + delta,
+          std::memory_order_relaxed);
+}
+
+std::uint64_t load_u64(const std::uint64_t& cell) {
+  return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(cell))
+      .load(std::memory_order_relaxed);
+}
+
+void store_flag(bool& cell, bool v) {
+  std::atomic_ref<bool>(cell).store(v, std::memory_order_relaxed);
+}
+
+bool load_flag(const bool& cell) {
+  return std::atomic_ref<bool>(const_cast<bool&>(cell))
+      .load(std::memory_order_relaxed);
+}
 }  // namespace
 
 Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {
@@ -111,26 +143,29 @@ void Profiler::register_metrics() {
 }
 
 void Profiler::ensure_world() {
-  if (!topo_known_) {
-    topo_ = shmem::topology();
-    topo_known_ = true;
-    pes_.clear();
-    pes_.resize(static_cast<std::size_t>(topo_.num_pes()));
-    const int n = topo_.num_pes();
-    // The meter backs both the metrics exposition and the checker's own
-    // `check` overhead category.
-    if (cfg_.metrics || cfg_.check) meter_.bind(n);
-    if (cfg_.check) checker_.bind(n);
-    if (cfg_.metrics) {
-      registry_.bind(n);
-      ring_.bind(n, registry_.num_scalars(), cfg_.metrics_ring_capacity);
-      sample_scratch_.assign(
-          static_cast<std::size_t>(n) * registry_.num_scalars(), 0);
-      detect_scratch_.assign(static_cast<std::size_t>(n), 0.0);
-      have_sample_baseline_ = false;
-      last_sample_cycles_ = 0;
-    }
+  if (topo_known_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(world_mu_);
+  if (topo_known_.load(std::memory_order_relaxed)) return;
+  topo_ = shmem::topology();
+  pes_.clear();
+  pes_.resize(static_cast<std::size_t>(topo_.num_pes()));
+  const int n = topo_.num_pes();
+  // The meter backs both the metrics exposition and the checker's own
+  // `check` overhead category.
+  if (cfg_.metrics || cfg_.check) meter_.bind(n);
+  if (cfg_.check) checker_.bind(n);
+  if (cfg_.metrics) {
+    registry_.bind(n);
+    ring_.bind(n, registry_.num_scalars(), cfg_.metrics_ring_capacity);
+    sample_scratch_.assign(
+        static_cast<std::size_t>(n) * registry_.num_scalars(), 0);
+    detect_scratch_.assign(static_cast<std::size_t>(n), 0.0);
+    have_sample_baseline_ = false;
+    last_sample_cycles_ = 0;
   }
+  // Release: every bind above is visible to any thread that observes the
+  // flag true on the fast path (and to the tick hook's gate).
+  topo_known_.store(true, std::memory_order_release);
 }
 
 Profiler::PeData& Profiler::pe_data() {
@@ -157,9 +192,11 @@ void Profiler::epoch_begin() {
     throw std::logic_error("Profiler::epoch_begin: epoch already active");
   // Repeated epochs accumulate (e.g. one epoch per BFS level or solver
   // iteration); clear() starts a fresh experiment.
-  d.in_epoch = true;
+  store_flag(d.in_epoch, true);
   d.region_stack.assign(1, Region::Main);
-  d.t0 = d.last_cycles = papi::cycles_now();
+  const std::uint64_t now = papi::cycles_now();
+  d.t0 = now;
+  store_u64(d.last_cycles, now);
   if (cfg_.supersteps) {
     d.cur_epoch = d.epochs_begun++;
     d.cur_step = 0;
@@ -201,18 +238,22 @@ void Profiler::epoch_end() {
   if (cfg_.timeline)
     d.events.push_back(
         TimelineEvent{TimelineEvent::Kind::EndMain, d.last_cycles, 0, 0});
-  d.in_epoch = false;
+  store_flag(d.in_epoch, false);
 
   // Crash-safe checkpoint: once every live PE has closed an epoch since
   // the last flush, persist what we have. A PE killed in a later epoch
   // then leaves a loadable prefix on disk (write_all is atomic-rename, so
   // a kill mid-checkpoint can only lose the file being replaced, never
-  // corrupt it).
-  if (cfg_.crash_safe) {
+  // corrupt it). Fiber backend only: a mid-run flush reads every PE's
+  // buffers, which other workers are still appending to under the threads
+  // backend — there the data is persisted by the post-run write_traces().
+  if (cfg_.crash_safe && rt::current_backend() == rt::Backend::fiber) {
     const int live =
         rt::in_spmd_region() ? shmem::live_pes() : num_pes();
-    if (++epoch_ends_since_flush_ >= live && live > 0) {
-      epoch_ends_since_flush_ = 0;
+    if (epoch_ends_since_flush_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+            live &&
+        live > 0) {
+      epoch_ends_since_flush_.store(0, std::memory_order_relaxed);
       io::write_all(*this, cfg_);
     }
   }
@@ -221,7 +262,7 @@ void Profiler::epoch_end() {
 bool Profiler::epoch_active() const {
   const int pe = rt::my_pe();
   if (pe < 0 || static_cast<std::size_t>(pe) >= pes_.size()) return false;
-  return pes_[static_cast<std::size_t>(pe)].in_epoch;
+  return load_flag(pes_[static_cast<std::size_t>(pe)].in_epoch);
 }
 
 // --------------------------------------------------------------- the fold
@@ -229,16 +270,16 @@ bool Profiler::epoch_active() const {
 void Profiler::fold(PeData& d) {
   const std::uint64_t now = papi::cycles_now();
   const std::uint64_t dt = now - d.last_cycles;
-  d.last_cycles = now;
+  store_u64(d.last_cycles, now);
 
   const Region r = d.region_stack.back();
   // The metrics sampler and the superstep deltas derive from the same
   // buckets, so keep them warm whenever any consumer is on.
   if (cfg_.overall || cfg_.metrics || cfg_.supersteps) {
     switch (r) {
-      case Region::Main: d.t_main += dt; break;
-      case Region::Proc: d.t_proc += dt; break;
-      case Region::Comm: d.t_comm += dt; break;
+      case Region::Main: add_u64(d.t_main, dt); break;
+      case Region::Proc: add_u64(d.t_proc, dt); break;
+      case Region::Comm: add_u64(d.t_comm, dt); break;
     }
   }
 
@@ -523,6 +564,7 @@ void Profiler::on_quiet(std::size_t outstanding_puts) {
     metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                        rt::my_pe());
     ensure_world();
+    std::lock_guard<std::mutex> lk(checker_mu_);
     checker_.on_quiet_end(rt::my_pe());
   }
   if (!cfg_.metrics) return;
@@ -590,6 +632,7 @@ void Profiler::on_collective_arrive() {
     metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                        rt::my_pe());
     ensure_world();
+    std::lock_guard<std::mutex> lk(checker_mu_);
     checker_.on_collective_arrive(rt::my_pe());
   }
   if (!cfg_.supersteps) return;
@@ -615,6 +658,7 @@ void Profiler::on_put_range(int target_pe, std::size_t offset,
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_store(rt::my_pe(), target_pe, offset, bytes, cs.file, cs.line);
 }
 
@@ -624,6 +668,7 @@ void Profiler::on_get_range(int target_pe, std::size_t offset,
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_plain_read(rt::my_pe(), target_pe, offset, bytes, cs.file,
                          cs.line);
 }
@@ -634,6 +679,7 @@ void Profiler::on_put_nbi_range(int target_pe, std::size_t offset,
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_nbi_staged(rt::my_pe(), target_pe, offset, bytes, cs.file,
                          cs.line);
 }
@@ -643,6 +689,7 @@ void Profiler::on_quiet_begin(std::size_t outstanding) {
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_quiet_begin(rt::my_pe(), outstanding);
 }
 
@@ -651,6 +698,7 @@ void Profiler::on_nbi_applied(std::size_t index) {
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_nbi_applied(rt::my_pe(), index);
 }
 
@@ -659,6 +707,7 @@ void Profiler::on_quiet_suspend(std::size_t applied, std::size_t remaining) {
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_quiet_suspend(rt::my_pe(), applied, remaining);
 }
 
@@ -668,6 +717,7 @@ void Profiler::on_atomic_range(int target_pe, std::size_t offset,
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_atomic(rt::my_pe(), target_pe, offset, cs.file, cs.line);
 }
 
@@ -676,6 +726,7 @@ void Profiler::on_wait_satisfied(std::size_t offset, std::size_t bytes) {
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_acquire_read(rt::my_pe(), offset, bytes);
 }
 
@@ -685,6 +736,7 @@ void Profiler::on_local_store(int target_pe, std::size_t offset,
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_store(rt::my_pe(), target_pe, offset, bytes, cs.file, cs.line);
 }
 
@@ -695,6 +747,7 @@ void Profiler::on_local_read(std::size_t offset, std::size_t bytes,
                                      rt::my_pe());
   ensure_world();
   const int me = rt::my_pe();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_plain_read(me, me, offset, bytes, cs.file, cs.line);
 }
 
@@ -703,6 +756,7 @@ void Profiler::on_acquire_read(std::size_t offset, std::size_t bytes) {
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_acquire_read(rt::my_pe(), offset, bytes);
 }
 
@@ -711,6 +765,7 @@ void Profiler::on_pe_dead(int pe) {
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_pe_dead(pe);
 }
 
@@ -719,6 +774,7 @@ void Profiler::on_conveyor_misuse(const char* what) {
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_misuse(rt::my_pe(), what);
 }
 
@@ -727,6 +783,7 @@ void Profiler::on_actor_misuse(const char* what) {
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::check,
                                      rt::my_pe());
   ensure_world();
+  std::lock_guard<std::mutex> lk(checker_mu_);
   checker_.on_misuse(rt::my_pe(), what);
 }
 
@@ -735,7 +792,12 @@ void Profiler::on_actor_misuse(const char* what) {
 void Profiler::tick() {
   // Chain whatever hook was installed before us (observer discipline).
   if (prev_tick_) prev_tick_();
-  if (!cfg_.metrics || !registry_.bound()) return;
+  // The topo_known_ acquire gates every bind: until a PE's first callback
+  // completed ensure_world(), the registry may still be mid-bind on
+  // another worker and must not be touched.
+  if (!cfg_.metrics || !topo_known_.load(std::memory_order_acquire) ||
+      !registry_.bound())
+    return;
 
   metrics::OverheadMeter::Scope cost(&meter_, OverheadCategory::sampler,
                                      metrics::OverheadMeter::kGlobalSlot);
@@ -746,9 +808,9 @@ void Profiler::tick() {
   std::uint64_t t = 0;
   bool any_in_epoch = false;
   for (const PeData& d : pes_) {
-    if (!d.in_epoch) continue;
+    if (!load_flag(d.in_epoch)) continue;
     any_in_epoch = true;
-    t = std::max(t, d.last_cycles);
+    t = std::max(t, load_u64(d.last_cycles));
   }
   if (!any_in_epoch) return;
 
@@ -768,10 +830,11 @@ void Profiler::tick() {
   const int n = registry_.num_pes();
   for (int pe = 0; pe < n; ++pe) {
     const PeData& d = pes_[static_cast<std::size_t>(pe)];
-    const std::uint64_t busy = d.t_main + d.t_proc + d.t_comm;
+    const std::uint64_t t_comm = load_u64(d.t_comm);
+    const std::uint64_t busy =
+        load_u64(d.t_main) + load_u64(d.t_proc) + t_comm;
     const std::int64_t share =
-        busy == 0 ? 0
-                  : static_cast<std::int64_t>(1000 * d.t_comm / busy);
+        busy == 0 ? 0 : static_cast<std::int64_t>(1000 * t_comm / busy);
     registry_.set(pe, ids_.comm_share_milli, share);
   }
   registry_.snapshot_scalars(sample_scratch_.data());

@@ -31,10 +31,12 @@
 //   });
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "actor/observer.hpp"
@@ -297,7 +299,12 @@ class Profiler final : public actor::ActorObserver,
 
   Config cfg_;
   shmem::Topology topo_;
-  bool topo_known_ = false;
+  /// Guards the one-time world setup in ensure_world(): under the threads
+  /// backend every PE's first observer callback races to initialize. The
+  /// flag is the double-checked fast path (acquire pairs with the release
+  /// store after setup completes); the mutex serializes the slow path.
+  std::atomic<bool> topo_known_{false};
+  std::mutex world_mu_;
   std::vector<PeData> pes_;
   actor::ActorObserver* prev_actor_obs_ = nullptr;
   convey::TransferObserver* prev_transfer_obs_ = nullptr;
@@ -312,11 +319,16 @@ class Profiler final : public actor::ActorObserver,
   metrics::AnomalyLog anomalies_;
   metrics::OverheadMeter meter_;
   check::Checker checker_;
+  /// The conformance checker keeps whole-fleet state (vector clocks,
+  /// shadow heap); under the threads backend its intake hooks arrive from
+  /// every worker concurrently, so each one takes this mutex.
+  std::mutex checker_mu_;
   std::uint64_t last_sample_cycles_ = 0;
   bool have_sample_baseline_ = false;
   /// Epoch-boundary checkpointing (Config::crash_safe): epoch_end() calls
-  /// since the last mid-run write_all() flush.
-  int epoch_ends_since_flush_ = 0;
+  /// since the last mid-run write_all() flush. Atomic: PEs close epochs
+  /// concurrently under the threads backend.
+  std::atomic<int> epoch_ends_since_flush_{0};
   std::vector<std::int64_t> sample_scratch_;
   std::vector<double> detect_scratch_;
 };

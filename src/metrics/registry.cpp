@@ -1,11 +1,36 @@
 #include "metrics/registry.hpp"
 
+#include <atomic>
 #include <bit>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
 
 namespace ap::metrics {
+
+namespace {
+// Metric cells are written concurrently under the threads backend — most
+// by the owning PE's worker, but some cross-PE (a sender bumps the
+// *destination's* queue-depth gauge) — and read by the sampler tick on
+// another worker. Relaxed atomic_ref operations make every access
+// race-free without widening the storage; counters are independent, so no
+// ordering between them is needed.
+template <class T>
+void cell_add(T& cell, T delta) {
+  std::atomic_ref<T>(cell).fetch_add(delta, std::memory_order_relaxed);
+}
+
+template <class T>
+void cell_set(T& cell, T value) {
+  std::atomic_ref<T>(cell).store(value, std::memory_order_relaxed);
+}
+
+template <class T>
+T cell_get(const T& cell) {
+  return std::atomic_ref<T>(const_cast<T&>(cell))
+      .load(std::memory_order_relaxed);
+}
+}  // namespace
 
 int histogram_bucket(std::uint64_t value) {
   if (value == 0) return 0;
@@ -60,41 +85,45 @@ void Registry::check_bound(int pe) const {
 
 void Registry::add(int pe, CounterId id, std::uint64_t delta) {
   check_bound(pe);
-  slabs_[static_cast<std::size_t>(pe)]
-      .counters[static_cast<std::size_t>(id.i)] += delta;
+  cell_add(slabs_[static_cast<std::size_t>(pe)]
+               .counters[static_cast<std::size_t>(id.i)],
+           delta);
 }
 
 void Registry::set(int pe, GaugeId id, std::int64_t value) {
   check_bound(pe);
-  slabs_[static_cast<std::size_t>(pe)].gauges[static_cast<std::size_t>(id.i)] =
-      value;
+  cell_set(
+      slabs_[static_cast<std::size_t>(pe)].gauges[static_cast<std::size_t>(id.i)],
+      value);
 }
 
 void Registry::add(int pe, GaugeId id, std::int64_t delta) {
   check_bound(pe);
-  slabs_[static_cast<std::size_t>(pe)].gauges[static_cast<std::size_t>(id.i)] +=
-      delta;
+  cell_add(
+      slabs_[static_cast<std::size_t>(pe)].gauges[static_cast<std::size_t>(id.i)],
+      delta);
 }
 
 void Registry::observe(int pe, HistogramId id, std::uint64_t value) {
   check_bound(pe);
   HistogramData& h =
       slabs_[static_cast<std::size_t>(pe)].hists[static_cast<std::size_t>(id.i)];
-  h.buckets[static_cast<std::size_t>(histogram_bucket(value))]++;
-  h.count++;
-  h.sum += value;
+  cell_add(h.buckets[static_cast<std::size_t>(histogram_bucket(value))],
+           std::uint64_t{1});
+  cell_add(h.count, std::uint64_t{1});
+  cell_add(h.sum, value);
 }
 
 std::uint64_t Registry::value(int pe, CounterId id) const {
   check_bound(pe);
-  return slabs_[static_cast<std::size_t>(pe)]
-      .counters[static_cast<std::size_t>(id.i)];
+  return cell_get(slabs_[static_cast<std::size_t>(pe)]
+                      .counters[static_cast<std::size_t>(id.i)]);
 }
 
 std::int64_t Registry::value(int pe, GaugeId id) const {
   check_bound(pe);
-  return slabs_[static_cast<std::size_t>(pe)]
-      .gauges[static_cast<std::size_t>(id.i)];
+  return cell_get(slabs_[static_cast<std::size_t>(pe)]
+                      .gauges[static_cast<std::size_t>(id.i)]);
 }
 
 const HistogramData& Registry::data(int pe, HistogramId id) const {
@@ -114,9 +143,9 @@ std::vector<std::string> Registry::scalar_names() const {
 void Registry::snapshot_scalars(std::int64_t* out) const {
   std::size_t k = 0;
   for (const PeSlab& s : slabs_) {
-    for (std::uint64_t v : s.counters)
-      out[k++] = static_cast<std::int64_t>(v);
-    for (std::int64_t v : s.gauges) out[k++] = v;
+    for (const std::uint64_t& v : s.counters)
+      out[k++] = static_cast<std::int64_t>(cell_get(v));
+    for (const std::int64_t& v : s.gauges) out[k++] = cell_get(v);
   }
 }
 
@@ -139,13 +168,13 @@ void Registry::write_prometheus(std::ostream& os) const {
     header(counters_[m], "counter");
     for (int pe = 0; pe < num_pes_; ++pe)
       os << counters_[m].name << "{pe=\"" << pe << "\"} "
-         << slabs_[static_cast<std::size_t>(pe)].counters[m] << '\n';
+         << cell_get(slabs_[static_cast<std::size_t>(pe)].counters[m]) << '\n';
   }
   for (std::size_t m = 0; m < gauges_.size(); ++m) {
     header(gauges_[m], "gauge");
     for (int pe = 0; pe < num_pes_; ++pe)
       os << gauges_[m].name << "{pe=\"" << pe << "\"} "
-         << slabs_[static_cast<std::size_t>(pe)].gauges[m] << '\n';
+         << cell_get(slabs_[static_cast<std::size_t>(pe)].gauges[m]) << '\n';
   }
   for (std::size_t m = 0; m < hists_.size(); ++m) {
     header(hists_[m], "histogram");
@@ -181,13 +210,14 @@ void Registry::write_json(std::ostream& os) const {
     key(counters_[m], "counter");
     for (int pe = 0; pe < num_pes_; ++pe)
       os << (pe ? "," : "")
-         << slabs_[static_cast<std::size_t>(pe)].counters[m];
+         << cell_get(slabs_[static_cast<std::size_t>(pe)].counters[m]);
     os << "]}";
   }
   for (std::size_t m = 0; m < gauges_.size(); ++m) {
     key(gauges_[m], "gauge");
     for (int pe = 0; pe < num_pes_; ++pe)
-      os << (pe ? "," : "") << slabs_[static_cast<std::size_t>(pe)].gauges[m];
+      os << (pe ? "," : "")
+         << cell_get(slabs_[static_cast<std::size_t>(pe)].gauges[m]);
     os << "]}";
   }
   for (std::size_t m = 0; m < hists_.size(); ++m) {

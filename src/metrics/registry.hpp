@@ -7,7 +7,11 @@
 // stack: metric handles are registered once at startup, per-PE storage is
 // allocated once when the world size is known (bind), and every hot-path
 // update is a bounds-checked array write — no allocation, no hashing, no
-// locks (each simulated PE is single-threaded by construction).
+// locks. Under the threads execution backend cells are updated with
+// relaxed atomics (updates may be cross-PE — e.g. a sender bumps the
+// destination's queue-depth gauge — and the sampler tick reads every PE's
+// cells from another worker); under the fiber backend those compile to the
+// same plain memory operations as before.
 //
 // Three instrument kinds:
 //   Counter   — monotonically increasing u64 (sends, bytes, quiets, ...)

@@ -3,7 +3,10 @@
 namespace ap::papi {
 
 namespace {
-thread_local CycleSource g_source = CycleSource::virtual_;
+// Plain global (was thread_local): the threads backend's workers must see
+// the source chosen on the launching thread. Always set before a launch
+// creates workers, so thread creation orders the write.
+CycleSource g_source = CycleSource::virtual_;
 }
 
 CycleSource cycle_source() { return g_source; }

@@ -1,6 +1,7 @@
 #include "papi/cycles.hpp"
 #include "papi/papi.hpp"
 
+#include <atomic>
 #include <string>
 #include <stdexcept>
 #include <vector>
@@ -33,8 +34,20 @@ struct PeCounters {
 };
 
 // Slot 0 holds the "outside any launch" counters; slot pe+1 holds PE pe.
+// Deliberately thread_local even under the threads backend: a PE's
+// counters live on the one worker that runs it (workers are created fresh
+// per launch), so the hot account_* paths never need atomics.
 thread_local std::vector<PeCounters> g_pes(1);
-thread_local CostModel g_model{};
+// The cost model is a plain global: set before a launch (tests, ablation)
+// and read-only inside one, so thread creation orders it for workers.
+CostModel g_model{};
+
+// Fleet-clock state for the threads backend: with PEs spread over worker
+// threads, the virtual clock sync cannot scan one thread's g_pes to find
+// the fleet max — workers publish their local max into a shared CAS-max
+// cell instead. Enabled by shmem::run around a threads-backend launch.
+bool g_shared_clock = false;
+std::atomic<std::uint64_t> g_fleet_max{0};
 
 PeCounters& pe_counters() {
   const int pe = rt::my_pe();
@@ -203,8 +216,23 @@ void sync_virtual_clock() {
   std::uint64_t mx = 0;
   for (const PeCounters& pc : g_pes)
     mx = std::max(mx, pc.raw[static_cast<std::size_t>(Event::TOT_CYC)]);
+  if (g_shared_clock) {
+    // Publish this worker's local max and adopt the fleet-wide one.
+    std::uint64_t cur = g_fleet_max.load(std::memory_order_relaxed);
+    while (mx > cur &&
+           !g_fleet_max.compare_exchange_weak(cur, mx,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+    }
+    mx = std::max(mx, g_fleet_max.load(std::memory_order_relaxed));
+  }
   std::uint64_t& mine = raw(Event::TOT_CYC);
   mine = std::max(mine, mx);
+}
+
+void set_shared_clock(bool on) {
+  g_shared_clock = on;
+  g_fleet_max.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t counter_value(Event e) {
@@ -216,6 +244,7 @@ std::array<std::uint64_t, kN> snapshot() { return pe_counters().raw; }
 void reset_all() {
   g_pes.clear();
   g_pes.resize(1);
+  g_fleet_max.store(0, std::memory_order_relaxed);
 }
 
 int library_init() { return PAPI_OK; }

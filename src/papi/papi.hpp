@@ -125,6 +125,12 @@ void account_poll();
 /// every PE leaves the epoch together.
 void sync_virtual_clock();
 
+/// Threads-backend fleet clock: when on, sync_virtual_clock() maxes
+/// through a process-global cell shared by all worker threads instead of
+/// (only) the calling thread's local PEs. Toggled by shmem::run around a
+/// threads-backend launch; off means the historical fiber behaviour.
+void set_shared_clock(bool on);
+
 /// Current PE's raw counter (monotone within a launch).
 std::uint64_t counter_value(Event e);
 /// Snapshot of all raw counters of the current PE.

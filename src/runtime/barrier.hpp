@@ -1,0 +1,160 @@
+// Generation-counting (sense-reversing) barriers for the threads backend.
+//
+// Both barriers split arrival from completion so they compose with the
+// cooperative scheduler: arrive() registers this PE and returns a ticket,
+// passed(ticket) is the predicate the PE hands to rt::wait_until. Under the
+// fiber backend the predicate flips within the same thread; under the
+// threads backend the last arriver's release store publishes the new
+// generation to every polling worker (acquire loads). The generation
+// counter is the generalized form of a sense-reversing flag: waiters of
+// round g poll for gen >= g+1, so reuse across rounds can never confuse a
+// late waiter from the previous round.
+//
+// SenseBarrier is the flat counter (one contended cache line — fine up to a
+// few dozen PEs); TreeBarrier fans arrivals into a fan_in-ary combining
+// tree so large fleets don't serialize on one line. make_barrier() picks
+// between them by participant count.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ap::rt {
+
+/// Flat centralized barrier: one arrival counter, one generation counter.
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(int participants) : participants_(participants) {}
+
+  /// Register one arrival; returns the generation to wait for. The caller
+  /// must not arrive again before passed(ticket) holds.
+  std::uint64_t arrive(int /*pe*/ = 0) {
+    // Our own arrival is part of this round, so the round cannot complete
+    // (and gen_ cannot advance past ticket-1) between the load and the
+    // fetch_add below.
+    const std::uint64_t ticket = gen_.load(std::memory_order_acquire) + 1;
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      // Reset before publishing: re-arrivals are gated on the gen_ release
+      // store, so no thread can touch arrived_ for the next round until
+      // the reset is visible.
+      arrived_.store(0, std::memory_order_relaxed);
+      gen_.store(ticket, std::memory_order_release);
+    }
+    return ticket;
+  }
+
+  [[nodiscard]] bool passed(std::uint64_t ticket) const {
+    return gen_.load(std::memory_order_acquire) >= ticket;
+  }
+
+  [[nodiscard]] int participants() const { return participants_; }
+
+ private:
+  int participants_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> gen_{0};
+};
+
+/// Combining-tree barrier: PEs arrive at a leaf; the last arriver of each
+/// node climbs to its parent; the final climber at the root publishes the
+/// new generation. Intermediate resets are ordered for the next round by
+/// the acq_rel arrival RMWs along the climb plus the root's release store.
+class TreeBarrier {
+ public:
+  explicit TreeBarrier(int participants, int fan_in = 4)
+      : participants_(participants), fan_in_(fan_in < 2 ? 2 : fan_in) {
+    // Level 0 holds the leaves; build parents until one root remains.
+    int level_begin = 0;
+    int level_count = (participants_ + fan_in_ - 1) / fan_in_;
+    append_level(level_count, participants_);
+    while (level_count > 1) {
+      const int parent_count = (level_count + fan_in_ - 1) / fan_in_;
+      const int parent_begin = static_cast<int>(nodes_.size());
+      append_level(parent_count, level_count);
+      for (int i = 0; i < level_count; ++i)
+        nodes_[static_cast<std::size_t>(level_begin + i)]->parent =
+            parent_begin + i / fan_in_;
+      level_begin = parent_begin;
+      level_count = parent_count;
+    }
+  }
+
+  std::uint64_t arrive(int pe) {
+    const std::uint64_t ticket = gen_.load(std::memory_order_acquire) + 1;
+    int n = pe / fan_in_;  // this PE's leaf
+    while (true) {
+      Node& node = *nodes_[static_cast<std::size_t>(n)];
+      if (node.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 !=
+          node.expected)
+        break;  // not last here; someone else carries the round upward
+      node.arrived.store(0, std::memory_order_relaxed);
+      if (node.parent < 0) {
+        gen_.store(ticket, std::memory_order_release);
+        break;
+      }
+      n = node.parent;
+    }
+    return ticket;
+  }
+
+  [[nodiscard]] bool passed(std::uint64_t ticket) const {
+    return gen_.load(std::memory_order_acquire) >= ticket;
+  }
+
+  [[nodiscard]] int participants() const { return participants_; }
+
+ private:
+  struct Node {
+    std::atomic<int> arrived{0};
+    int expected = 0;
+    int parent = -1;
+  };
+
+  void append_level(int count, int child_total) {
+    for (int i = 0; i < count; ++i) {
+      auto node = std::make_unique<Node>();
+      // The last node of a level may have fewer children.
+      node->expected = std::min(fan_in_, child_total - i * fan_in_);
+      nodes_.push_back(std::move(node));
+    }
+  }
+
+  int participants_;
+  int fan_in_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<std::uint64_t> gen_{0};
+};
+
+/// Arrival barrier behind one interface; picks the tree once the flat
+/// counter's single cache line would start to hurt.
+class ArrivalBarrier {
+ public:
+  static constexpr int kTreeThreshold = 32;
+
+  explicit ArrivalBarrier(int participants) {
+    if (participants >= kTreeThreshold)
+      tree_ = std::make_unique<TreeBarrier>(participants);
+    else
+      flat_ = std::make_unique<SenseBarrier>(participants);
+  }
+
+  std::uint64_t arrive(int pe) {
+    return tree_ ? tree_->arrive(pe) : flat_->arrive(pe);
+  }
+  [[nodiscard]] bool passed(std::uint64_t ticket) const {
+    return tree_ ? tree_->passed(ticket) : flat_->passed(ticket);
+  }
+  [[nodiscard]] int participants() const {
+    return tree_ ? tree_->participants() : flat_->participants();
+  }
+
+ private:
+  std::unique_ptr<SenseBarrier> flat_;
+  std::unique_ptr<TreeBarrier> tree_;
+};
+
+}  // namespace ap::rt

@@ -42,9 +42,10 @@
 namespace ap::rt {
 
 namespace {
-// The fiber currently running on this thread. The whole runtime is
-// single-threaded by design (see DESIGN.md: determinism), but thread_local
-// keeps independent launches on different threads from interfering.
+// The fiber currently running on this thread. thread_local both isolates
+// independent launches on different threads and lets the threads backend's
+// workers each run their own fiber concurrently — a fiber is only ever
+// created/resumed on the one thread that owns it.
 thread_local Fiber* g_current_fiber = nullptr;
 }  // namespace
 

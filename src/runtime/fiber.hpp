@@ -8,6 +8,7 @@
 // the role of one OpenSHMEM processing element (PE).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -48,8 +49,12 @@ class Fiber {
   /// in the scheduler/main context.
   static Fiber* current();
 
-  [[nodiscard]] State state() const { return state_; }
-  [[nodiscard]] bool finished() const { return state_ == State::Finished; }
+  [[nodiscard]] State state() const {
+    return state_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool finished() const {
+    return state() == State::Finished;
+  }
 
  private:
   static void trampoline();
@@ -60,7 +65,9 @@ class Fiber {
   ucontext_t context_{};
   ucontext_t return_context_{};
   std::exception_ptr pending_exception_;
-  State state_ = State::Created;
+  // Atomic so the threads backend's deadlock monitor may inspect fibers
+  // owned by other workers; all transitions stay on the owning thread.
+  std::atomic<State> state_{State::Created};
 
   // AddressSanitizer fiber-switch bookkeeping (see fiber.cpp; unused and
   // zero-cost in non-sanitized builds): the fiber's saved fake stack and

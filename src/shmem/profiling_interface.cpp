@@ -3,7 +3,10 @@
 namespace ap::shmem {
 
 namespace {
-thread_local RmaObserver* g_rma_observer = nullptr;
+// Plain global (was thread_local): installed on the launching thread
+// before any worker thread exists (threads backend), cleared after they
+// join — thread creation/join orders both transitions.
+RmaObserver* g_rma_observer = nullptr;
 }
 
 void set_rma_observer(RmaObserver* obs) { g_rma_observer = obs; }

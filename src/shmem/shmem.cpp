@@ -2,11 +2,15 @@
 
 #include "faultinject/faultinject.hpp"
 #include "papi/papi.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/barrier.hpp"
 #include "shmem/profiling_interface.hpp"
 
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 namespace ap::shmem {
@@ -22,14 +26,23 @@ struct PendingPut {
   std::size_t nbytes;
 };
 
-/// Shared state for barrier/reduce/broadcast. All collectives are rounds of
-/// this one object; OpenSHMEM already requires identical collective call
-/// order on every PE, so a single arrival counter suffices. The round's
-/// combine callback is stored so that a PE dying mid-round (fault
-/// injection) can complete a round it left one arrival short.
+/// Shared state for data-carrying collectives (reduce/broadcast — and any
+/// round fault injection may have to complete on a dying PE's behalf). All
+/// such collectives are rounds of this one object; OpenSHMEM already
+/// requires identical collective call order on every PE, so a single
+/// arrival counter suffices. The round's combine callback is stored so
+/// that a PE dying mid-round (fault injection) can complete a round it
+/// left one arrival short.
+///
+/// Thread safety (threads backend): every mutation happens under
+/// World::coll_mu; `gen` is additionally atomic because the per-PE wait
+/// predicate polls it lock-free from worker threads. The release store in
+/// complete_round / the acquire load in the predicate order the result
+/// bytes. Data-less barrier rounds take the dedicated arrival barrier
+/// below instead and never touch this object.
 struct CollectiveState {
   int arrived = 0;
-  std::uint64_t gen = 0;
+  std::atomic<std::uint64_t> gen{0};
   std::vector<unsigned char> contrib;                 // npes * elem_bytes
   std::array<std::vector<unsigned char>, 2> result;   // double-buffered
   std::function<void(CollectiveState&)> combine;      // this round's combine
@@ -55,9 +68,17 @@ struct World {
   std::vector<char> alive;  // fault injection can kill PEs mid-run
   int live = 0;
   CollectiveState coll;
+  std::mutex coll_mu;  // guards coll, alive, live
+  /// Sense-reversing (tree for large fleets) barrier for the data-less
+  /// collective rounds — barrier_all/sync_all never touch CollectiveState
+  /// unless fault injection is shrinking the fleet.
+  rt::ArrivalBarrier barrier{topo.num_pes()};
 };
 
-thread_local World* g_world = nullptr;
+// Plain global (not thread_local): the worker threads of the threads
+// backend must reach the same world. Written on the launching thread
+// before rt::launch creates any worker and cleared after they all joined.
+World* g_world = nullptr;
 
 World& world() {
   if (g_world == nullptr)
@@ -78,6 +99,31 @@ SymmetricHeap& my_heap() {
 
 PeStats& my_stats() {
   return world().stats[static_cast<std::size_t>(require_pe())];
+}
+
+/// Single-writer counter bump: each PeStats row is only ever written by the
+/// worker running that PE, but total_stats() reads every row from whatever
+/// thread calls it, so the accesses must be atomic. Relaxed load+store (not
+/// an RMW) keeps this two plain movs on x86 — zero cost on the fiber
+/// backend's hot paths.
+void bump(std::uint64_t& counter, std::uint64_t delta = 1) {
+  std::atomic_ref<std::uint64_t> a(counter);
+  a.store(a.load(std::memory_order_relaxed) + delta,
+          std::memory_order_relaxed);
+}
+
+std::uint64_t read_stat(const std::uint64_t& counter) {
+  return std::atomic_ref<const std::uint64_t>(counter).load(
+      std::memory_order_relaxed);
+}
+
+/// An 8-byte aligned transfer is the substrate's word-sized signalling
+/// unit (conveyor publication/ack counters, put_signal flags, wait_until
+/// ivars). Those become release stores / acquire loads so the plain bytes
+/// written before the flag are ordered for the PE that polls it — on x86
+/// both compile to the same movs the fiber backend always did.
+bool word_aligned(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & 7u) == 0;
 }
 
 /// Resolve a local symmetric address to the same offset on `pe`.
@@ -142,18 +188,21 @@ void apply_pending_scheduled(int src_pe, const fi::QuietSchedule& s) {
 }
 
 /// Finish the current collective round: run the stored combine (if any) and
-/// advance the generation, waking every waiter.
+/// advance the generation, waking every waiter. Caller holds w.coll_mu;
+/// the release store on gen publishes the result bytes to the lock-free
+/// waiter predicates.
 void complete_round(World& w) {
   CollectiveState& c = w.coll;
+  const std::uint64_t g = c.gen.load(std::memory_order_relaxed);
   if (c.combine) {
-    auto& slot = c.result[c.gen % 2];
+    auto& slot = c.result[g % 2];
     slot.assign(c.out_bytes, 0);
     c.combine(c);
   }
   c.combine = nullptr;
   c.out_bytes = 0;
   c.arrived = 0;
-  ++c.gen;
+  c.gen.store(g + 1, std::memory_order_release);
 }
 
 /// Fault injection: take the calling PE out of the world. Its staged nbi
@@ -163,6 +212,7 @@ void complete_round(World& w) {
 void mark_current_pe_dead() {
   World& w = world();
   const int me = require_pe();
+  std::lock_guard<std::mutex> lk(w.coll_mu);
   if (!w.alive[static_cast<std::size_t>(me)]) return;
   if (RmaObserver* co = conformance_observer()) co->on_pe_dead(me);
   w.alive[static_cast<std::size_t>(me)] = 0;
@@ -182,12 +232,23 @@ void collective_round(const void* contribution, std::size_t elem_bytes,
   CollectiveState& c = w.coll;
   const int me = require_pe();
   const int n = w.topo.num_pes();
-  const std::uint64_t g = c.gen;
 
   // Superstep boundary: the PE is about to block until every live PE
   // arrives. The profiler stamps its arrival here (before the wait).
   if (RmaObserver* o = rma_observer()) o->on_collective_arrive();
 
+  // Data-less round over a full fleet: take the sense-reversing/tree
+  // arrival barrier and skip CollectiveState entirely. Only fault
+  // injection (fiber-only, shrinking w.live) needs the slow path's
+  // complete-on-behalf-of-the-dead machinery.
+  if (elem_bytes == 0 && out == nullptr && !combine && !fi::active()) {
+    const std::uint64_t ticket = w.barrier.arrive(me);
+    rt::wait_until([&w, ticket] { return w.barrier.passed(ticket); });
+    return;
+  }
+
+  std::unique_lock<std::mutex> lk(w.coll_mu);
+  const std::uint64_t g = c.gen.load(std::memory_order_relaxed);
   if (elem_bytes > 0) {
     if (c.contrib.size() < static_cast<std::size_t>(n) * elem_bytes)
       c.contrib.resize(static_cast<std::size_t>(n) * elem_bytes);
@@ -200,10 +261,17 @@ void collective_round(const void* contribution, std::size_t elem_bytes,
   c.out_bytes = out_bytes;
   if (++c.arrived >= w.live) {
     complete_round(w);
+    lk.unlock();
   } else {
-    rt::wait_until([&c, g] { return c.gen != g; });
+    lk.unlock();
+    rt::wait_until(
+        [&c, g] { return c.gen.load(std::memory_order_acquire) != g; });
   }
   if (out != nullptr && out_bytes > 0) {
+    // Safe without the lock: gen's release/acquire ordered the result
+    // bytes, and the double-buffered slot cannot be overwritten before
+    // every PE of round g has arrived at rounds g+1 *and* g+2 — which is
+    // after this copy in every PE's program order.
     const auto& slot = c.result[g % 2];
     if (slot.size() < out_bytes)
       throw std::logic_error("minishmem: collective result size mismatch");
@@ -275,12 +343,24 @@ struct FiEnvGuard {
 void run(const rt::LaunchConfig& cfg, const std::function<void()>& body) {
   if (g_world != nullptr)
     throw std::logic_error("minishmem: shmem::run() cannot nest");
+  // Resolve here (rt::launch resolves identically from the same inputs) so
+  // backend-dependent gating happens before any state is built.
+  const rt::Backend backend = rt::resolve_backend(cfg.backend);
   // Fresh virtual counters per SPMD run: the fleet-max clock sync must see
   // launch-relative values, or back-to-back runs in one process would
   // attribute waiting differently (and trace files would stop being
   // byte-reproducible).
   papi::reset_all();
   FiEnvGuard fi_guard;
+  if (backend == rt::Backend::threads && fi::active())
+    throw std::invalid_argument(
+        "minishmem: fault-injection plans are fiber-backend-only — "
+        "kill_pe/straggler/quiet schedules rely on the deterministic "
+        "single-threaded scheduler; rerun with ACTORPROF_BACKEND=fiber");
+  // Worker threads each carry their own virtual cycle counters; the fleet
+  // clock sync must take the max across threads, not across one thread's
+  // local fleet. See papi::set_shared_clock.
+  papi::set_shared_clock(backend == rt::Backend::threads);
   World w(cfg);
   g_world = &w;
   // A fault-injected kill unwinds one PE's body and is contained here; the
@@ -298,9 +378,11 @@ void run(const rt::LaunchConfig& cfg, const std::function<void()>& body) {
     rt::launch(cfg, wrapped);
   } catch (...) {
     g_world = nullptr;
+    papi::set_shared_clock(false);
     throw;
   }
   g_world = nullptr;
+  papi::set_shared_clock(false);
 }
 
 int my_pe() { return require_pe(); }
@@ -343,10 +425,20 @@ void put(void* dest, const void* src, std::size_t nbytes, int pe,
          std::source_location loc) {
   if (nbytes == 0) return;
   unsigned char* remote = translate(dest, pe);
-  std::memcpy(remote, src, nbytes);
+  if (nbytes == 8 && word_aligned(remote)) {
+    // Word-sized symmetric put = a release store: the signalling idiom
+    // (conveyor publication counters, put_signal flags). Publishes every
+    // plain byte this PE wrote before it to whoever acquire-reads it.
+    std::uint64_t v;
+    std::memcpy(&v, src, sizeof v);
+    std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(remote))
+        .store(v, std::memory_order_release);
+  } else {
+    std::memcpy(remote, src, nbytes);
+  }
   PeStats& s = my_stats();
-  ++s.puts;
-  s.put_bytes += nbytes;
+  bump(s.puts);
+  bump(s.put_bytes, nbytes);
   if (RmaObserver* o = rma_observer()) {
     o->on_put(pe, nbytes);
     if (o->wants_conformance_events())
@@ -359,10 +451,18 @@ void get(void* dest, const void* src, std::size_t nbytes, int pe,
          std::source_location loc) {
   if (nbytes == 0) return;
   const unsigned char* remote = translate(src, pe);
-  std::memcpy(dest, remote, nbytes);
+  if (nbytes == 8 && word_aligned(remote)) {
+    const std::uint64_t v =
+        std::atomic_ref<const std::uint64_t>(
+            *reinterpret_cast<const std::uint64_t*>(remote))
+            .load(std::memory_order_acquire);
+    std::memcpy(dest, &v, sizeof v);
+  } else {
+    std::memcpy(dest, remote, nbytes);
+  }
   PeStats& s = my_stats();
-  ++s.gets;
-  s.get_bytes += nbytes;
+  bump(s.gets);
+  bump(s.get_bytes, nbytes);
   if (RmaObserver* o = rma_observer()) {
     o->on_get(pe, nbytes);
     if (o->wants_conformance_events())
@@ -382,8 +482,8 @@ void putmem_nbi(void* dest, const void* src, std::size_t nbytes, int pe,
   w.pending[static_cast<std::size_t>(me)].push_back(
       PendingPut{pe, off, src, nbytes});
   PeStats& s = my_stats();
-  ++s.nbi_puts;
-  s.nbi_put_bytes += nbytes;
+  bump(s.nbi_puts);
+  bump(s.nbi_put_bytes, nbytes);
   if (RmaObserver* o = rma_observer()) {
     o->on_put_nbi(pe, nbytes);
     if (o->wants_conformance_events())
@@ -401,7 +501,7 @@ void quiet() {
     apply_pending_scheduled(me, sched);
   else
     apply_pending(me);
-  ++my_stats().quiets;
+  bump(my_stats().quiets);
   if (RmaObserver* o = rma_observer()) o->on_quiet(outstanding);
 }
 
@@ -425,7 +525,11 @@ void wait_until(std::int64_t* ivar, Cmp cmp, std::int64_t value) {
   // Validate the address once (same check a real symmetric-wait has).
   (void)translate(ivar, require_pe());
   rt::wait_until([ivar, cmp, value] {
-    const std::int64_t v = *ivar;
+    // Acquire: the predicate polls from the owning worker thread while
+    // another PE's release-put flips the word; the acquire edge also
+    // publishes whatever data the writer stored before the signal.
+    const std::int64_t v = std::atomic_ref<const std::int64_t>(*ivar).load(
+        std::memory_order_acquire);
     switch (cmp) {
       case Cmp::eq: return v == value;
       case Cmp::ne: return v != value;
@@ -445,15 +549,14 @@ void wait_until(std::int64_t* ivar, Cmp cmp, std::int64_t value) {
 std::int64_t atomic_fetch_add(std::int64_t* target, std::int64_t value, int pe,
                               std::source_location loc) {
   auto* remote = reinterpret_cast<std::int64_t*>(translate(target, pe));
-  ++my_stats().atomics;
+  bump(my_stats().atomics);
   if (RmaObserver* o = rma_observer()) {
     o->on_atomic(pe);
     if (o->wants_conformance_events())
       o->on_atomic_range(pe, my_heap().offset_of(target), to_callsite(loc));
   }
-  const std::int64_t old = *remote;
-  *remote = old + value;
-  return old;
+  return std::atomic_ref<std::int64_t>(*remote).fetch_add(
+      value, std::memory_order_acq_rel);
 }
 
 void atomic_add(std::int64_t* target, std::int64_t value, int pe,
@@ -469,31 +572,36 @@ std::int64_t atomic_fetch(const std::int64_t* target, int pe,
                           std::source_location loc) {
   const auto* remote = reinterpret_cast<const std::int64_t*>(
       translate(const_cast<std::int64_t*>(target), pe));
-  ++my_stats().atomics;
+  bump(my_stats().atomics);
   if (RmaObserver* co = conformance_observer())
     co->on_atomic_range(pe, my_heap().offset_of(target), to_callsite(loc));
-  return *remote;
+  return std::atomic_ref<const std::int64_t>(*remote).load(
+      std::memory_order_acquire);
 }
 
 void atomic_set(std::int64_t* target, std::int64_t value, int pe,
                 std::source_location loc) {
   auto* remote = reinterpret_cast<std::int64_t*>(translate(target, pe));
-  ++my_stats().atomics;
+  bump(my_stats().atomics);
   if (RmaObserver* co = conformance_observer())
     co->on_atomic_range(pe, my_heap().offset_of(target), to_callsite(loc));
-  *remote = value;
+  std::atomic_ref<std::int64_t>(*remote).store(value,
+                                               std::memory_order_release);
 }
 
 std::int64_t atomic_compare_swap(std::int64_t* target, std::int64_t cond,
                                  std::int64_t value, int pe,
                                  std::source_location loc) {
   auto* remote = reinterpret_cast<std::int64_t*>(translate(target, pe));
-  ++my_stats().atomics;
+  bump(my_stats().atomics);
   if (RmaObserver* co = conformance_observer())
     co->on_atomic_range(pe, my_heap().offset_of(target), to_callsite(loc));
-  const std::int64_t old = *remote;
-  if (old == cond) *remote = value;
-  return old;
+  // compare_exchange_strong leaves the observed old value in `expected`
+  // whether or not the swap happened — exactly shmem's return contract.
+  std::int64_t expected = cond;
+  std::atomic_ref<std::int64_t>(*remote).compare_exchange_strong(
+      expected, value, std::memory_order_acq_rel, std::memory_order_acquire);
+  return expected;
 }
 
 void annotate_store(void* addr, std::size_t nbytes, int pe,
@@ -521,13 +629,13 @@ void barrier_all() {
   if (fi::active()) fi_on_barrier();  // kill/straggle point (may throw)
   quiet();  // shmem_barrier_all completes outstanding puts first
   collective_round(nullptr, 0, nullptr, 0, nullptr);
-  ++my_stats().barriers;
+  bump(my_stats().barriers);
   if (RmaObserver* o = rma_observer()) o->on_barrier();
 }
 
 void sync_all() {
   collective_round(nullptr, 0, nullptr, 0, nullptr);
-  ++my_stats().barriers;
+  bump(my_stats().barriers);
 }
 
 std::int64_t sum_reduce(std::int64_t value) {
@@ -559,9 +667,10 @@ void broadcast(void* buf, std::size_t nbytes, int root) {
   const int n = w.topo.num_pes();
   if (root < 0 || root >= n)
     throw std::out_of_range("broadcast: root out of range");
-  const std::uint64_t g = c.gen;
   // broadcast runs its own inline round, so it is a superstep boundary too.
   if (RmaObserver* o = rma_observer()) o->on_collective_arrive();
+  std::unique_lock<std::mutex> lk(w.coll_mu);
+  const std::uint64_t g = c.gen.load(std::memory_order_relaxed);
   if (me == root) {
     // The root publishes into the round's result slot before arriving, so
     // the bytes are there by the time the generation advances.
@@ -571,8 +680,11 @@ void broadcast(void* buf, std::size_t nbytes, int root) {
   }
   if (++c.arrived >= w.live) {
     complete_round(w);
+    lk.unlock();
   } else {
-    rt::wait_until([&c, g] { return c.gen != g; });
+    lk.unlock();
+    rt::wait_until(
+        [&c, g] { return c.gen.load(std::memory_order_acquire) != g; });
   }
   const auto& slot = c.result[g % 2];
   if (slot.size() < nbytes)
@@ -619,15 +731,15 @@ PeStats total_stats() {
   World& w = world();
   PeStats t;
   for (const PeStats& s : w.stats) {
-    t.puts += s.puts;
-    t.put_bytes += s.put_bytes;
-    t.nbi_puts += s.nbi_puts;
-    t.nbi_put_bytes += s.nbi_put_bytes;
-    t.gets += s.gets;
-    t.get_bytes += s.get_bytes;
-    t.quiets += s.quiets;
-    t.barriers += s.barriers;
-    t.atomics += s.atomics;
+    t.puts += read_stat(s.puts);
+    t.put_bytes += read_stat(s.put_bytes);
+    t.nbi_puts += read_stat(s.nbi_puts);
+    t.nbi_put_bytes += read_stat(s.nbi_put_bytes);
+    t.gets += read_stat(s.gets);
+    t.get_bytes += read_stat(s.get_bytes);
+    t.quiets += read_stat(s.quiets);
+    t.barriers += read_stat(s.barriers);
+    t.atomics += read_stat(s.atomics);
   }
   return t;
 }

@@ -40,6 +40,9 @@ void run_once(const fs::path& dir) {
   rt::LaunchConfig lc;
   lc.num_pes = 8;
   lc.pes_per_node = 4;
+  // Byte-identical traces are a fiber-backend guarantee; pin it so the
+  // suite also passes under ACTORPROF_BACKEND=threads.
+  lc.backend = rt::Backend::fiber;
   shmem::run(lc, [&] {
     graph::CyclicDistribution dist(shmem::n_pes());
     apps::count_triangles_actor(L, dist, &profiler);

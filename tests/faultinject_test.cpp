@@ -31,6 +31,9 @@ rt::LaunchConfig cfg_of(int pes, int ppn = 0) {
   cfg.num_pes = pes;
   cfg.pes_per_node = ppn;
   cfg.symm_heap_bytes = 4 << 20;
+  // Fault injection is fiber-backend-only (shmem::run rejects plans under
+  // threads); pin it so the suite also passes with ACTORPROF_BACKEND=threads.
+  cfg.backend = rt::Backend::fiber;
   return cfg;
 }
 

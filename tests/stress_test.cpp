@@ -235,10 +235,13 @@ TEST(Stress, ConveyorWithPureRouterPes) {
     } else {
       EXPECT_EQ(got, 0);
     }
-    // The intermediates saw forwarded items.
+    shmem::barrier_all();
+    // The intermediates saw forwarded items. Read after the barrier:
+    // total_stats() requires barrier separation from remote PEs' conveyor
+    // activity (a straggler may still be bumping its plain counters in
+    // its final advance() rounds when our loop exits).
     const auto total = c->total_stats();
     EXPECT_EQ(total.forwarded, 800u);
-    shmem::barrier_all();
   });
 }
 

@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 cmake --preset default >/dev/null
 cmake --build --preset default -j "${jobs}" \
-  --target micro_conveyor micro_selector scaling_triangle bench_trace
+  --target micro_conveyor micro_selector scaling_triangle bench_trace bench_backend
 
 bin=build/bench
 tmp=$(mktemp -d)
@@ -113,6 +113,35 @@ if [[ "${1:-}" == "--check" ]]; then
   else
     echo "ok bin_read: ${bin_read} rows/s vs committed ${old} (tolerance ${tol}%)"
   fi
+
+  # Threads-backend speedup gate. Compared within the fresh run (fiber vs
+  # threads on this host), never against the committed BENCH_backend.json
+  # (a wall-clock number from a different machine is meaningless here), and
+  # scaled to the cores actually present: the threads backend cannot beat
+  # the fiber scheduler without parallel hardware. Deliberately NOT run
+  # under taskset — pinning to one core is exactly what it must not do.
+  cores=$(nproc 2>/dev/null || echo 1)
+  if [[ "${cores}" -lt 2 ]]; then
+    echo "skip backend speedup: host has ${cores} core(s); threads backend needs >= 2 to show a win"
+  else
+    if [[ "${cores}" -ge 8 ]]; then want=2.0
+    elif [[ "${cores}" -ge 4 ]]; then want=1.6
+    else want=1.2; fi
+    "${bin}/bench_backend" --json="${tmp}/backend.json"
+    fib=$(items_per_sec "${tmp}/backend.json" triangle_fiber)
+    thr=$(items_per_sec "${tmp}/backend.json" triangle_threads)
+    if [[ -z "${fib}" || -z "${thr}" ]]; then
+      echo "bench --check: bench_backend produced no triangle numbers" >&2
+      exit 1
+    fi
+    speedup=$(awk -v f="${fib}" -v t="${thr}" 'BEGIN { printf "%.2f", t / f }')
+    if awk -v s="${speedup}" -v w="${want}" 'BEGIN { exit !(s < w) }'; then
+      echo "REGRESSION backend speedup: threads ${speedup}x vs fiber on scaling_triangle (gate: >= ${want}x at ${cores} cores)"
+      fail=1
+    else
+      echo "ok backend speedup: threads ${speedup}x vs fiber on scaling_triangle (gate: >= ${want}x at ${cores} cores)"
+    fi
+  fi
   exit "${fail}"
 fi
 
@@ -150,3 +179,10 @@ cat BENCH_conveyor.json
 AP_SCALE="${AP_SCALE:-10}" run "${bin}/bench_trace" --json=BENCH_trace.json
 echo "Wrote BENCH_trace.json:"
 cat BENCH_trace.json
+
+# Execution-backend baseline (fiber vs threads wall time; records the core
+# count it was captured on — the speedup is only meaningful relative to
+# it). No taskset: the threads backend needs all the cores it can get.
+AP_SCALE="${AP_SCALE:-10}" "${bin}/bench_backend" --json=BENCH_backend.json
+echo "Wrote BENCH_backend.json:"
+cat BENCH_backend.json
