@@ -1,0 +1,176 @@
+// PE-count scaling bench: runs the two workhorse kernels (histogram and
+// triangle counting) at 256 / 1024 / 2048 simulated PEs on the fiber
+// backend and reports, per run:
+//
+//   items_per_sec      — actor messages through the conveyors / CPU second
+//   alloc_bytes_per_pe — heap bytes allocated during the run / PE count
+//   peak_rss_mb        — process high-watermark RSS after the run (MiB;
+//                        monotone, so runs go in ascending PE order and the
+//                        number is informational, not a gate)
+//
+// alloc_bytes_per_pe is the metric docs/PERFORMANCE.md ("Memory at scale")
+// gates on: with lazy per-destination buffers and sparse aggregation it
+// stays flat as P grows, while any O(P^2) structure makes it grow linearly
+// in P — tools/bench.sh --check fails if 2048 PEs costs more than 2x the
+// per-PE bytes of 256 PEs, or regresses vs the committed BENCH_scaling.json.
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/histogram.hpp"
+#include "apps/triangle.hpp"
+#include "bench_json.hpp"
+#include "conveyor/conveyor.hpp"
+#include "core/alloc_probe.hpp"
+#include "graph/distribution.hpp"
+#include "graph/rmat.hpp"
+#include "runtime/scheduler.hpp"
+#include "shmem/shmem.hpp"
+
+ACTORPROF_ALLOC_PROBE_DEFINE()
+
+namespace {
+
+using namespace ap;
+
+constexpr int kPeCounts[] = {256, 1024, 2048};
+constexpr int kPpn = 32;
+constexpr std::size_t kUpdatesPerPe = 256;
+constexpr int kGraphScale = 11;
+
+struct RunResult {
+  double items_per_sec = 0;
+  double alloc_bytes_per_pe = 0;
+  double peak_rss_mb = 0;
+};
+
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+rt::LaunchConfig config_for(int pes, int ppn) {
+  rt::LaunchConfig lc;
+  lc.num_pes = pes;
+  lc.pes_per_node = ppn;
+  // Thousands of fibers: the 1 MiB default stack would dominate the
+  // per-PE byte count with pure stack memory; both kernels run shallow.
+  lc.stack_bytes = 128 * 1024;
+  return lc;
+}
+
+template <typename Fn>
+RunResult measure(int pes, int ppn, Fn&& body) {
+  convey::reset_lifetime_totals();
+  const std::uint64_t bytes0 = prof::AllocProbe::bytes_allocated();
+  const bench_json::Timer t;
+  shmem::run(config_for(pes, ppn), body);
+  const double secs = t.seconds();
+  const std::uint64_t bytes = prof::AllocProbe::bytes_allocated() - bytes0;
+  RunResult r;
+  r.items_per_sec =
+      static_cast<double>(convey::lifetime_totals().pushed) / secs;
+  r.alloc_bytes_per_pe = static_cast<double>(bytes) / pes;
+  r.peak_rss_mb = peak_rss_mb();
+  return r;
+}
+
+// Single node => direct (Linear1D) routing: each PE's buffers follow the
+// destinations its sends actually touch, which the fixed per-PE update
+// count bounds — exactly the first-touch contract, so bytes/PE must stay
+// flat as the fleet grows.
+RunResult run_histogram(int pes) {
+  return measure(pes, /*ppn=*/0, [] {
+    apps::histogram_actor(/*buckets_per_pe=*/64, kUpdatesPerPe,
+                          /*seed=*/0x5CA1E);
+  });
+}
+
+// 32 PEs/node => Mesh2D routing with inter-node staging: per-PE buffers
+// follow the route's O(ppn + num_nodes) hop fan-out, and the fixed graph
+// spreads over more PEs, so bytes/PE must not grow either.
+RunResult run_triangle(const graph::Csr& lower, int pes) {
+  return measure(pes, kPpn, [&] {
+    const auto dist =
+        graph::make_distribution(graph::DistKind::Cyclic1D, shmem::n_pes(),
+                                 lower);
+    apps::count_triangles_actor(lower, *dist);
+  });
+}
+
+graph::Csr build_graph() {
+  graph::RmatParams p;
+  p.scale = kGraphScale;
+  p.edge_factor = 8;
+  p.seed = 0x5CA1E;
+  p.permute_vertices = false;
+  const auto edges = graph::rmat_edges(p);
+  return graph::Csr::from_edges(graph::Vertex{1} << kGraphScale, edges, true);
+}
+
+int write_json(const char* path,
+               const std::vector<std::pair<std::string, RunResult>>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "scaling_pe_count: cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"scaling_pe_count\",\n"
+               "  \"config\": {\"pe_counts\": [256, 1024, 2048], "
+               "\"histogram_ppn\": 0, \"triangle_ppn\": %d, "
+               "\"updates_per_pe\": %zu, "
+               "\"graph_scale\": %d, \"edge_factor\": 8},\n"
+               "  \"results\": {\n",
+               kPpn, kUpdatesPerPe, kGraphScale);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& [name, r] = rows[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"items_per_sec\": %.1f, "
+                 "\"alloc_bytes_per_pe\": %.1f, \"peak_rss_mb\": %.1f}%s\n",
+                 name.c_str(), r.items_per_sec, r.alloc_bytes_per_pe,
+                 r.peak_rss_mb, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The fiber scheduler is what thousands of PEs exercise; a threads run
+  // at these counts only measures oversubscription.
+  setenv("ACTORPROF_BACKEND", "fiber", 1);
+
+  const graph::Csr lower = build_graph();
+  std::vector<std::pair<std::string, RunResult>> rows;
+  // Ascending PE order so peak_rss_mb (a high-watermark) tracks the
+  // largest fleet of each kernel.
+  for (const int pes : kPeCounts)
+    rows.emplace_back("histogram_" + std::to_string(pes), run_histogram(pes));
+  for (const int pes : kPeCounts)
+    rows.emplace_back("triangle_" + std::to_string(pes),
+                      run_triangle(lower, pes));
+
+  if (const char* path = bench_json::json_path(argc, argv))
+    return write_json(path, rows);
+
+  std::printf("[Scaling] PE-count scaling — fiber backend (histogram:\n"
+              "1 node/direct route; triangle: %d PEs/node/Mesh2D)\n"
+              "%-16s %14s %20s %12s\n",
+              kPpn, "run", "items/sec", "alloc bytes/PE", "peak RSS MB");
+  for (const auto& [name, r] : rows)
+    std::printf("%-16s %14.0f %20.0f %12.1f\n", name.c_str(), r.items_per_sec,
+                r.alloc_bytes_per_pe, r.peak_rss_mb);
+  std::printf(
+      "\nExpected: alloc bytes/PE stays flat (within 2x) from 256 to 2048\n"
+      "PEs on both kernels — per-destination buffers are first-touch lazy\n"
+      "and aggregation is sparse, so per-PE heap tracks the hops a PE\n"
+      "actually sends through, not the fleet size.\n");
+  return 0;
+}

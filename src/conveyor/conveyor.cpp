@@ -48,6 +48,15 @@ TransferObserver* transfer_observer() { return g_observer; }
 namespace {
 constexpr std::size_t kRecordHeader = 2 * sizeof(std::int32_t);
 
+/// Endpoint bookkeeping mode switch: up to this many PEs every per-hop /
+/// per-source structure is a dense array indexed by PE id (one array load
+/// on the hot paths — the layout every micro-bench baseline was recorded
+/// against). Above it the endpoint goes *compact*: per-hop state is
+/// created on first send toward that hop and per-source state on first
+/// announced transfer, so a P-PE fleet costs O(P * touched-destinations)
+/// instead of O(P^2) (docs/PERFORMANCE.md, "Memory at scale").
+constexpr int kCompactThreshold = 64;
+
 std::int32_t load_dst(const std::byte* record) {
   std::int32_t d = 0;
   std::memcpy(&d, record, sizeof d);
@@ -69,6 +78,72 @@ std::int32_t load_dst(const std::byte* record) {
 void bump(std::uint64_t& counter, std::uint64_t delta = 1) {
   counter += delta;
 }
+
+/// Minimal open-addressed int32 -> int32 map for the compact mode's
+/// hop-id -> hops[] slot lookup. Touched-hop counts under the mesh routes
+/// are O(sqrt P), so the table stays a few cache lines; linear probing
+/// with a power-of-two size keeps the hot-path probe branch-light.
+class FlatMap32 {
+ public:
+  [[nodiscard]] std::int32_t get(std::int32_t key) const {
+    if (slots_.empty()) return -1;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.key == kEmpty) return -1;
+      if (s.key == key) return s.value;
+    }
+  }
+
+  void put(std::int32_t key, std::int32_t value) {
+    if (slots_.empty()) slots_.assign(16, Slot{});
+    if ((size_ + 1) * 4 >= slots_.size() * 3) grow();
+    insert(key, value);
+  }
+
+ private:
+  static constexpr std::int32_t kEmpty = -1;
+  struct Slot {
+    std::int32_t key = kEmpty;
+    std::int32_t value = 0;
+  };
+
+  static std::size_t hash(std::int32_t key) {
+    auto x = static_cast<std::uint32_t>(key);
+    x ^= x >> 16;
+    x *= 0x45d9f3bu;
+    x ^= x >> 16;
+    return x;
+  }
+
+  void insert(std::int32_t key, std::int32_t value) {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.key == kEmpty) {
+        s.key = key;
+        s.value = value;
+        ++size_;
+        return;
+      }
+      if (s.key == key) {
+        s.value = value;
+        return;
+      }
+    }
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    size_ = 0;
+    for (const Slot& s : old)
+      if (s.key != kEmpty) insert(s.key, s.value);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
 }  // namespace
 
 /// Flat byte queue with a consumed prefix. Used for outgoing aggregation
@@ -115,41 +190,6 @@ struct OutBuf {
     tail += n;
     return slot;
   }
-};
-
-struct Conveyor::Endpoint {
-  int pe = -1;
-
-  // --- symmetric-heap communication state --------------------------------
-  /// Landing rings: slots * n_pes buffers, indexed [src][slot].
-  std::byte* ring = nullptr;
-  /// published_from[s]: number of buffers PE s has made visible to me.
-  std::int64_t* published_from = nullptr;
-  /// acked_by[r]: number of my buffers PE r has consumed (r writes it here).
-  std::int64_t* acked_by = nullptr;
-
-  // --- plain per-PE state --------------------------------------------------
-  std::vector<OutBuf> out;                 // per next-hop
-  std::vector<std::int32_t> hop_of;        // cached next-hop table, per dst
-  std::vector<std::int64_t> seq_flushed;   // buffers flushed toward hop
-  std::vector<std::int64_t> seq_published; // buffers published toward hop
-  std::vector<std::vector<std::byte>> staging;  // nbi source stability, per hop*slot
-  std::vector<std::int64_t> consumed_from; // buffers consumed per source
-  OutBuf recv;                             // delivered wire records
-  OutBuf drain_buf;                        // batch snapshot being drained
-  /// Pushes not yet added to Group::injected. push() only bumps this plain
-  /// per-PE counter (no shared-cacheline RMW per item); advance() publishes
-  /// the batch into the group counter before anything else moves — in
-  /// particular before this PE can declare done — so the termination
-  /// equality below never reads a short injected count.
-  std::uint64_t injected_unpublished = 0;
-  bool draining = false;
-  bool done_reported = false;
-  /// Cached TransferObserver::wants_conformance_events() — refreshed at
-  /// construction and once per advance(), so the checker-off data plane
-  /// pays one bool test, not a virtual call, per annotated site.
-  bool check_events = false;
-  ConveyorStats stats;
 };
 
 struct Conveyor::Group {
@@ -214,6 +254,114 @@ struct Conveyor::Group {
   }
 };
 
+namespace {
+/// Per-next-hop state, created on first send toward that hop (compact
+/// mode) or eagerly for every PE (dense mode, small fleets). The out
+/// buffer's storage and the nbi staging block are both first-touch lazy
+/// either way: a hop that is never flushed inter-node never allocates its
+/// staging, so per-endpoint memory follows the hops actually used.
+struct HopState {
+  int hop = -1;
+  OutBuf out;
+  std::int64_t seq_flushed = 0;    // buffers flushed toward this hop
+  std::int64_t seq_published = 0;  // buffers published toward this hop
+  /// Compact mode: whether this endpoint has announced itself to the
+  /// hop's landing ring (see the announcement protocol in try_flush).
+  bool announced = false;
+  /// nbi source-stability block, slots * slot_stride bytes, sized on the
+  /// first inter-node flush and stable afterwards (pending putmem_nbi
+  /// reads it until quiet; vector moves keep the heap block alive).
+  std::vector<std::byte> staging;
+};
+
+/// Per-source delivery cursor (compact mode): appended when the source
+/// announces itself, in announcement order.
+struct SrcState {
+  int src = -1;
+  std::int64_t consumed = 0;  // buffers consumed from this source
+};
+}  // namespace
+
+struct Conveyor::Endpoint {
+  int pe = -1;
+  /// True above kCompactThreshold PEs: per-hop/per-source state is lazy
+  /// and keyed, not dense (see kCompactThreshold).
+  bool compact = false;
+
+  // --- symmetric-heap communication state --------------------------------
+  /// Landing rings: slots * n_pes buffers, indexed [src][slot]. Dense in
+  /// *address space*; the symmetric heap's demand-zero arena keeps slots
+  /// nobody writes from ever becoming resident.
+  std::byte* ring = nullptr;
+  /// published_from[s]: number of buffers PE s has made visible to me.
+  std::int64_t* published_from = nullptr;
+  /// acked_by[r]: number of my buffers PE r has consumed (r writes it here).
+  std::int64_t* acked_by = nullptr;
+  /// Compact mode announcement ring (MPSC, wait-free): a sender's first
+  /// transfer toward me reserves a slot via atomic_fetch_add(ann_head) and
+  /// release-stores (its PE id + 1) into ann_slots[slot]. deliver_incoming
+  /// scans forward from ann_cursor and stops at the first empty slot, so
+  /// my per-advance poll covers announced sources only — O(touched), not
+  /// O(P). A reserved-but-unwritten slot is simply retried next round.
+  std::int64_t* ann_head = nullptr;
+  std::int64_t* ann_slots = nullptr;
+
+  // --- plain per-PE state --------------------------------------------------
+  /// Dense mode: hops[h] is next-hop h, hop_of_dense is the routing table,
+  /// consumed_dense[s] the per-source cursor — all index-by-PE arrays.
+  /// Compact mode: hops holds touched next-hops in first-touch order
+  /// (hop_slot maps hop id -> index), srcs holds announced sources in
+  /// announcement order; the dense vectors stay empty.
+  std::vector<HopState> hops;
+  std::vector<std::int32_t> hop_of_dense;
+  std::vector<std::int64_t> consumed_dense;
+  FlatMap32 hop_slot;
+  std::vector<SrcState> srcs;
+  int ann_cursor = 0;  // next ann_slots index to scan
+
+  OutBuf recv;       // delivered wire records
+  OutBuf drain_buf;  // batch snapshot being drained
+  /// Pushes not yet added to Group::injected. push() only bumps this plain
+  /// per-PE counter (no shared-cacheline RMW per item); advance() publishes
+  /// the batch into the group counter before anything else moves — in
+  /// particular before this PE can declare done — so the termination
+  /// equality below never reads a short injected count.
+  std::uint64_t injected_unpublished = 0;
+  bool draining = false;
+  bool done_reported = false;
+  /// Cached TransferObserver::wants_conformance_events() — refreshed at
+  /// construction and once per advance(), so the checker-off data plane
+  /// pays one bool test, not a virtual call, per annotated site.
+  bool check_events = false;
+  ConveyorStats stats;
+
+  /// Next hop toward `dst`: one array load in dense mode; the router's
+  /// topology math in compact mode (no O(P) table per endpoint).
+  [[nodiscard]] int hop_for(const Group& g, int dst) const {
+    return compact ? g.router.next_hop(pe, dst)
+                   : hop_of_dense[static_cast<std::size_t>(dst)];
+  }
+
+  /// State for `hop`, or nullptr when this endpoint never sent toward it.
+  [[nodiscard]] HopState* find_hop(int hop) {
+    if (!compact) return &hops[static_cast<std::size_t>(hop)];
+    const std::int32_t idx = hop_slot.get(hop);
+    return idx < 0 ? nullptr : &hops[static_cast<std::size_t>(idx)];
+  }
+
+  /// State for `hop`, created on first touch in compact mode. May grow
+  /// `hops` — callers must not hold HopState references across a call.
+  [[nodiscard]] HopState& hop_state(int hop) {
+    if (!compact) return hops[static_cast<std::size_t>(hop)];
+    const std::int32_t idx = hop_slot.get(hop);
+    if (idx >= 0) return hops[static_cast<std::size_t>(idx)];
+    hops.emplace_back();
+    hops.back().hop = hop;
+    hop_slot.put(hop, static_cast<std::int32_t>(hops.size() - 1));
+    return hops.back();
+  }
+};
+
 std::shared_ptr<Conveyor> Conveyor::create(const Options& opts) {
   const shmem::Topology& topo = shmem::topology();
   auto group = rt::collective<Group>(
@@ -232,26 +380,33 @@ Conveyor::Conveyor(std::shared_ptr<Group> group, int pe)
   const int n = g.topo.num_pes();
   Endpoint& e = *self_;
   e.pe = pe;
+  e.compact = n > kCompactThreshold;
   e.check_events =
       g_observer != nullptr && g_observer->wants_conformance_events();
 
+  // Symmetric structures are allocated dense over P for addressability
+  // (remote offsets must be computable without coordination) but cost
+  // virtual memory only: the heap's demand-zero arena makes untouched
+  // ring slots and counters free. Every PE takes the same branch (same n),
+  // so the allocation sequence stays symmetric.
   const std::size_t ring_bytes =
       static_cast<std::size_t>(n) * static_cast<std::size_t>(g.opts.slots) *
       g.slot_stride;
   e.ring = static_cast<std::byte*>(shmem::symm_malloc(ring_bytes));
   e.published_from = shmem::calloc_n<std::int64_t>(static_cast<std::size_t>(n));
   e.acked_by = shmem::calloc_n<std::int64_t>(static_cast<std::size_t>(n));
-
-  e.out.resize(static_cast<std::size_t>(n));
-  e.hop_of = g.router.table_for(pe);
-  e.seq_flushed.assign(static_cast<std::size_t>(n), 0);
-  e.seq_published.assign(static_cast<std::size_t>(n), 0);
-  // Staging slots are preallocated at construction (nbi sources must stay
-  // stable until quiet; sizing them here keeps try_flush allocation-free).
-  e.staging.resize(static_cast<std::size_t>(n) *
-                   static_cast<std::size_t>(g.opts.slots));
-  for (auto& s : e.staging) s.resize(g.slot_stride);
-  e.consumed_from.assign(static_cast<std::size_t>(n), 0);
+  if (e.compact) {
+    e.ann_head = shmem::calloc_n<std::int64_t>(1);
+    e.ann_slots = shmem::calloc_n<std::int64_t>(static_cast<std::size_t>(n));
+  } else {
+    // Dense heap-side bookkeeping for small fleets: identical hot-path
+    // cost to the recorded micro-bench baselines.
+    e.hop_of_dense = g.router.table_for(pe);
+    e.hops.resize(static_cast<std::size_t>(n));
+    for (int h = 0; h < n; ++h)
+      e.hops[static_cast<std::size_t>(h)].hop = h;
+    e.consumed_dense.assign(static_cast<std::size_t>(n), 0);
+  }
 
   g.endpoints[static_cast<std::size_t>(pe)] = &e;
   // Everyone must see everyone's rings allocated before any transfer. This
@@ -265,6 +420,8 @@ Conveyor::Conveyor(std::shared_ptr<Group> group, int pe)
     shmem::symm_free(e.ring);
     shmem::symm_free(e.published_from);
     shmem::symm_free(e.acked_by);
+    if (e.ann_head != nullptr) shmem::symm_free(e.ann_head);
+    if (e.ann_slots != nullptr) shmem::symm_free(e.ann_slots);
     throw;
   }
 }
@@ -334,37 +491,38 @@ Conveyor::~Conveyor() {
     shmem::symm_free(e.ring);
     shmem::symm_free(e.published_from);
     shmem::symm_free(e.acked_by);
+    if (e.ann_head != nullptr) shmem::symm_free(e.ann_head);
+    if (e.ann_slots != nullptr) shmem::symm_free(e.ann_slots);
   }
 }
 
 void Conveyor::account_dead_endpoint() {
   Group& g = *group_;
   Endpoint& e = *self_;
-  const int n = g.topo.num_pes();
   std::size_t bytes = e.recv.pending() + e.drain_buf.pending();
-  for (const OutBuf& ob : e.out) bytes += ob.pending();
+  for (const HopState& hs : e.hops) bytes += hs.out.pending();
   std::uint64_t lost = bytes / g.record_bytes;
   // Flushed into staging but never published: the staged nbi puts were
   // dropped when the PE was marked dead, so these records are gone.
-  for (int hop = 0; hop < n; ++hop) {
-    const auto h = static_cast<std::size_t>(hop);
-    for (std::int64_t seq = e.seq_published[h]; seq < e.seq_flushed[h];
-         ++seq) {
-      const auto& stage =
-          e.staging[h * static_cast<std::size_t>(g.opts.slots) +
-                    static_cast<std::size_t>(seq % g.opts.slots)];
+  for (const HopState& hs : e.hops) {
+    for (std::int64_t seq = hs.seq_published; seq < hs.seq_flushed; ++seq) {
+      // flushed > published implies at least one inter-node flush, which
+      // sized the staging block.
+      const std::byte* stage =
+          hs.staging.data() +
+          static_cast<std::size_t>(seq % g.opts.slots) * g.slot_stride;
       std::int64_t len = 0;
-      std::memcpy(&len, stage.data(), sizeof len);
+      std::memcpy(&len, stage, sizeof len);
       lost += static_cast<std::uint64_t>(len) / g.record_bytes;
     }
   }
   // Landed in this PE's ring (published by senders) but never consumed.
-  for (int src = 0; src < n; ++src) {
+  const auto count_landed = [&](int src, std::int64_t consumed) {
     const auto s = static_cast<std::size_t>(src);
     const std::int64_t pub =
         std::atomic_ref<std::int64_t>(e.published_from[s])
             .load(std::memory_order_acquire);
-    for (std::int64_t seq = e.consumed_from[s]; seq < pub; ++seq) {
+    for (std::int64_t seq = consumed; seq < pub; ++seq) {
       const std::byte* base =
           e.ring + (s * static_cast<std::size_t>(g.opts.slots) +
                     static_cast<std::size_t>(seq % g.opts.slots)) *
@@ -373,6 +531,24 @@ void Conveyor::account_dead_endpoint() {
       std::memcpy(&len, base, sizeof len);
       lost += static_cast<std::uint64_t>(len) / g.record_bytes;
     }
+  };
+  if (e.compact) {
+    // Drain announcements not yet scanned; fault injection is fiber-only,
+    // so no half-made announcement can be in flight here.
+    const int n = g.topo.num_pes();
+    while (e.ann_cursor < n) {
+      const std::int64_t v =
+          std::atomic_ref<std::int64_t>(e.ann_slots[e.ann_cursor])
+              .load(std::memory_order_acquire);
+      if (v == 0) break;
+      e.srcs.push_back(SrcState{static_cast<int>(v - 1), 0});
+      ++e.ann_cursor;
+    }
+    for (const SrcState& ss : e.srcs) count_landed(ss.src, ss.consumed);
+  } else {
+    const int n = g.topo.num_pes();
+    for (int src = 0; src < n; ++src)
+      count_landed(src, e.consumed_dense[static_cast<std::size_t>(src)]);
   }
   g.lost.fetch_add(lost, std::memory_order_relaxed);
 }
@@ -415,8 +591,8 @@ bool Conveyor::push(const void* item, int dst_pe, std::uint64_t flow_id) {
   if (dst_pe < 0 || dst_pe >= g.topo.num_pes())
     throw std::out_of_range("Conveyor::push: destination PE out of range");
 
-  const int hop = e.hop_of[static_cast<std::size_t>(dst_pe)];
-  OutBuf& ob = e.out[static_cast<std::size_t>(hop)];
+  const int hop = e.hop_for(g, dst_pe);
+  OutBuf& ob = e.hop_state(hop).out;
 
   // Back-pressure: a user push never flushes — appending is MAIN-region
   // work (paper §III-B); all buffer movement happens inside advance(),
@@ -444,7 +620,10 @@ bool Conveyor::push(const void* item, int dst_pe, std::uint64_t flow_id) {
 bool Conveyor::try_flush(int next_hop) {
   Group& g = *group_;
   Endpoint& e = *self_;
-  OutBuf& ob = e.out[static_cast<std::size_t>(next_hop)];
+  HopState* hsp = e.find_hop(next_hop);
+  if (hsp == nullptr) return true;  // never sent toward this hop
+  HopState& hs = *hsp;
+  OutBuf& ob = hs.out;
   ob.compact();
   if (ob.pending() == 0) return true;
 
@@ -472,19 +651,31 @@ bool Conveyor::try_flush(int next_hop) {
   };
   // Free ring slot available? Double buffering: with `slots` buffers per
   // pair, the (slots+1)-th flush needs the oldest one acked.
-  if (e.seq_flushed[hop_idx] - acked() >=
-      static_cast<std::int64_t>(g.opts.slots)) {
+  if (hs.seq_flushed - acked() >= static_cast<std::int64_t>(g.opts.slots)) {
     // Unpublished nbi buffers can never be acked: run the progress
     // protocol (quiet + signal) and re-check — this is exactly the
     // "second buffer full triggers shmem_quiet" behaviour from the paper.
-    if (e.seq_published[hop_idx] < e.seq_flushed[hop_idx]) {
+    if (hs.seq_published < hs.seq_flushed) {
       progress_pending();
-      if (e.seq_flushed[hop_idx] - acked() >=
-          static_cast<std::int64_t>(g.opts.slots))
+      if (hs.seq_flushed - acked() >= static_cast<std::int64_t>(g.opts.slots))
         return false;
     } else {
       return false;  // receiver has not consumed yet; retry later
     }
+  }
+
+  // Compact mode: the receiver polls announced sources only, so the first
+  // transfer toward this hop must announce *before* anything is published
+  // (program order on our side; the receiver's acquire scan of ann_slots
+  // stops at the first empty slot and retries later, so a concurrently
+  // reserved slot is never skipped, only deferred).
+  if (e.compact && !hs.announced) {
+    const std::int64_t idx = shmem::atomic_fetch_add(e.ann_head, 1, next_hop);
+    assert(idx >= 0 && idx < g.topo.num_pes());
+    const std::int64_t tagged = e.pe + 1;
+    shmem::put(static_cast<void*>(e.ann_slots + idx), &tagged, sizeof tagged,
+               next_hop);
+    hs.announced = true;
   }
 
   const std::size_t chunk = std::min(ob.pending(), g.payload_capacity());
@@ -498,7 +689,7 @@ bool Conveyor::try_flush(int next_hop) {
     std::memcpy(&first_flow, ob.bytes.data() + ob.head + kRecordHeader,
                 sizeof first_flow);
 
-  const std::int64_t seq = e.seq_flushed[hop_idx];  // 0-based buffer index
+  const std::int64_t seq = hs.seq_flushed;  // 0-based buffer index
   const std::size_t slot =
       static_cast<std::size_t>(seq % g.opts.slots);
   // The landing slot inside the *receiver's* ring for source `e.pe`:
@@ -532,28 +723,30 @@ bool Conveyor::try_flush(int next_hop) {
     if (e.check_events)
       shmem::annotate_store(static_cast<void*>(e.published_from + e.pe),
                             sizeof(std::int64_t), next_hop);
-    e.seq_flushed[hop_idx] = seq + 1;
-    e.seq_published[hop_idx] = seq + 1;
+    hs.seq_flushed = seq + 1;
+    hs.seq_published = seq + 1;
     bump(e.stats.local_sends);
     bump(e.stats.local_send_bytes, chunk);
     notify(SendType::local_send, chunk, e.pe, next_hop, first_flow);
   } else {
     // nonblock_send: stage (nbi source must stay stable until quiet), then
     // shmem_putmem_nbi into the receiver's ring. NOT visible until the
-    // nonblock_progress below publishes it. Staging slots were sized at
-    // construction; no allocation happens here.
-    auto& stage = e.staging[hop_idx * static_cast<std::size_t>(g.opts.slots) +
-                            slot];
-    assert(stage.size() >= sizeof(std::int64_t) + chunk);
+    // nonblock_progress below publishes it. The staging block is sized on
+    // the hop's first inter-node flush (first touch) and recycled after —
+    // steady state allocates nothing.
+    if (hs.staging.empty())
+      hs.staging.resize(static_cast<std::size_t>(g.opts.slots) *
+                        g.slot_stride);
+    std::byte* stage = hs.staging.data() + slot * g.slot_stride;
     const std::int64_t len = static_cast<std::int64_t>(chunk);
-    std::memcpy(stage.data(), &len, sizeof len);
-    std::memcpy(stage.data() + sizeof len, ob.bytes.data() + ob.head, chunk);
+    std::memcpy(stage, &len, sizeof len);
+    std::memcpy(stage + sizeof len, ob.bytes.data() + ob.head, chunk);
     bump(e.stats.memcpys);
     papi::account_buffer_copy(chunk);
-    shmem::putmem_nbi(static_cast<void*>(e.ring + slot_off), stage.data(),
+    shmem::putmem_nbi(static_cast<void*>(e.ring + slot_off), stage,
                       sizeof len + chunk, next_hop);
     papi::account_remote_put(chunk);
-    e.seq_flushed[hop_idx] = seq + 1;
+    hs.seq_flushed = seq + 1;
     bump(e.stats.nonblock_sends);
     bump(e.stats.nonblock_send_bytes, chunk);
     notify(SendType::nonblock_send, chunk, e.pe, next_hop, first_flow);
@@ -565,10 +758,11 @@ bool Conveyor::try_flush(int next_hop) {
 }
 
 void Conveyor::flush_all() {
-  const int n = group_->topo.num_pes();
-  for (int hop = 0; hop < n; ++hop) {
-    // Flush as much as slot availability allows toward each hop.
-    while (self_->out[static_cast<std::size_t>(hop)].pending() > 0) {
+  Endpoint& e = *self_;
+  // Flush as much as slot availability allows toward each touched hop.
+  for (std::size_t i = 0; i < e.hops.size(); ++i) {
+    const int hop = e.hops[i].hop;
+    while (e.hops[i].out.pending() > 0) {
       if (!try_flush(hop)) break;
     }
   }
@@ -578,10 +772,8 @@ void Conveyor::progress_pending() {
   Group& g = *group_;
   Endpoint& e = *self_;
   bool any = false;
-  const int n = g.topo.num_pes();
-  for (int hop = 0; hop < n; ++hop) {
-    if (e.seq_published[static_cast<std::size_t>(hop)] <
-        e.seq_flushed[static_cast<std::size_t>(hop)]) {
+  for (const HopState& hs : e.hops) {
+    if (hs.seq_published < hs.seq_flushed) {
       any = true;
       break;
     }
@@ -595,31 +787,30 @@ void Conveyor::progress_pending() {
   shmem::quiet();
   papi::account_quiet(outstanding);
   bump(e.stats.progress_calls);
-  for (int hop = 0; hop < n; ++hop) {
-    const auto h = static_cast<std::size_t>(hop);
-    if (e.seq_published[h] >= e.seq_flushed[h]) continue;
+  for (HopState& hs : e.hops) {
+    if (hs.seq_published >= hs.seq_flushed) continue;
+    const int hop = hs.hop;
     if (fi::active() && !shmem::pe_alive(hop)) {
       // The receiver died between our flush and this publish: nobody will
       // ever consume these buffers. Retire the slots and count the staged
       // records as lost instead of signalling a corpse.
-      for (std::int64_t seq = e.seq_published[h]; seq < e.seq_flushed[h];
-           ++seq) {
-        const auto& stage =
-            e.staging[h * static_cast<std::size_t>(g.opts.slots) +
-                      static_cast<std::size_t>(seq % g.opts.slots)];
+      for (std::int64_t seq = hs.seq_published; seq < hs.seq_flushed; ++seq) {
+        const std::byte* stage =
+            hs.staging.data() +
+            static_cast<std::size_t>(seq % g.opts.slots) * g.slot_stride;
         std::int64_t len = 0;
-        std::memcpy(&len, stage.data(), sizeof len);
+        std::memcpy(&len, stage, sizeof len);
         g.lost.fetch_add(static_cast<std::uint64_t>(len) / g.record_bytes,
                          std::memory_order_relaxed);
       }
-      e.seq_published[h] = e.seq_flushed[h];
+      hs.seq_published = hs.seq_flushed;
       continue;
     }
-    const std::int64_t pub = e.seq_flushed[h];
+    const std::int64_t pub = hs.seq_flushed;
     shmem::put(static_cast<void*>(e.published_from + e.pe), &pub, sizeof pub,
                hop);
     papi::account_signal_put();
-    e.seq_published[h] = pub;
+    hs.seq_published = pub;
     notify(SendType::nonblock_progress, sizeof pub, e.pe, hop, 0);
   }
 }
@@ -629,9 +820,9 @@ void Conveyor::progress_pending() {
 void Conveyor::deliver_incoming() {
   Group& g = *group_;
   Endpoint& e = *self_;
-  const int n = g.topo.num_pes();
   const std::size_t rec_sz = g.record_bytes;
-  for (int src = 0; src < n; ++src) {
+
+  const auto deliver_from = [&](int src, std::int64_t& consumed) {
     const auto s = static_cast<std::size_t>(src);
     // Polling the publication flag with an acquire load is the edge that
     // orders the sender's ring writes (memcpy or quiet-completed nbi put,
@@ -640,12 +831,12 @@ void Conveyor::deliver_incoming() {
     const std::int64_t pub =
         std::atomic_ref<std::int64_t>(e.published_from[s])
             .load(std::memory_order_acquire);
-    if (e.check_events && e.consumed_from[s] < pub)
+    if (e.check_events && consumed < pub)
       shmem::annotate_acquire_read(e.published_from + s,
                                    sizeof(std::int64_t));
     bool consumed_any = false;
-    while (e.consumed_from[s] < pub) {
-      const std::int64_t seq = e.consumed_from[s];
+    while (consumed < pub) {
+      const std::int64_t seq = consumed;
       const std::size_t slot = static_cast<std::size_t>(seq % g.opts.slots);
       const std::byte* base =
           e.ring +
@@ -685,17 +876,16 @@ void Conveyor::deliver_incoming() {
           bump(e.stats.memcpys);
           g.delivered.fetch_add(run / rec_sz, std::memory_order_relaxed);
         } else {
-          const std::int32_t hop = e.hop_of[static_cast<std::size_t>(dst)];
+          const std::int32_t hop = e.hop_for(g, dst);
           while (off + run < end) {
             const std::int32_t d2 = load_dst(data + off + run);
-            if (d2 == e.pe ||
-                e.hop_of[static_cast<std::size_t>(d2)] != hop) break;
+            if (d2 == e.pe || e.hop_for(g, d2) != hop) break;
             run += rec_sz;
           }
           // Intermediate hop: re-aggregate the whole run toward the next
           // hop. Forwarded records may exceed the buffer capacity (the
           // route deadlocks if they are dropped); append() grows for them.
-          OutBuf& ob = e.out[static_cast<std::size_t>(hop)];
+          OutBuf& ob = e.hop_state(hop).out;
           std::memcpy(ob.append(run, g.outbuf_capacity()), data + off, run);
           bump(e.stats.memcpys);
           bump(e.stats.forwarded, run / rec_sz);
@@ -705,16 +895,38 @@ void Conveyor::deliver_incoming() {
         }
         off += run;
       }
-      e.consumed_from[s] = seq + 1;
+      consumed = seq + 1;
       consumed_any = true;
     }
     if (consumed_any) {
       // Ack so the sender can reuse its ring slots. acked_by[r] on the
       // sender holds what receiver r consumed; we are r, the sender is src.
-      const std::int64_t acked = e.consumed_from[s];
+      const std::int64_t acked = consumed;
       shmem::put(static_cast<void*>(e.acked_by + e.pe), &acked, sizeof acked,
                  src);
     }
+  };
+
+  if (e.compact) {
+    // Pick up newly announced sources, then poll only those: the per-
+    // advance delivery scan is O(sources that ever sent here), not O(P).
+    const int n = g.topo.num_pes();
+    while (e.ann_cursor < n) {
+      const std::int64_t v =
+          std::atomic_ref<std::int64_t>(e.ann_slots[e.ann_cursor])
+              .load(std::memory_order_acquire);
+      if (v == 0) break;  // first empty slot: later slots retried next round
+      if (e.check_events)
+        shmem::annotate_acquire_read(e.ann_slots + e.ann_cursor,
+                                     sizeof(std::int64_t));
+      e.srcs.push_back(SrcState{static_cast<int>(v - 1), 0});
+      ++e.ann_cursor;
+    }
+    for (SrcState& ss : e.srcs) deliver_from(ss.src, ss.consumed);
+  } else {
+    const int n = g.topo.num_pes();
+    for (int src = 0; src < n; ++src)
+      deliver_from(src, e.consumed_dense[static_cast<std::size_t>(src)]);
   }
 }
 
@@ -820,9 +1032,10 @@ bool Conveyor::advance(bool done) {
   papi::account_poll();
   if (g_observer != nullptr) {
     // Backpressure snapshot before this round moves anything: bytes queued
-    // toward all next hops plus bytes delivered here but not yet pulled.
+    // toward all touched next hops plus bytes delivered here but not yet
+    // pulled.
     std::size_t out_pending = 0;
-    for (const OutBuf& ob : e.out) out_pending += ob.pending();
+    for (const HopState& hs : e.hops) out_pending += hs.out.pending();
     g_observer->on_advance(out_pending,
                            e.recv.pending() + e.drain_buf.pending());
   }

@@ -53,6 +53,17 @@ CommMatrix collapse_to_nodes(const CommMatrix& m,
   return out;
 }
 
+CommMatrix collapse_to_nodes(const SparseCommMatrix& m,
+                             const shmem::Topology& topo) {
+  // O(nonzero cells): large-P callers collapse without ever holding the
+  // dense PE-level matrix (the node-level result is small by definition).
+  CommMatrix out(topo.num_nodes());
+  m.for_each([&](int s, int d, std::uint64_t v) {
+    out.add(topo.node_of(s), topo.node_of(d), v);
+  });
+  return out;
+}
+
 Report advise(const CommMatrix& logical, const CommMatrix& physical,
               const std::vector<OverallRecord>& overall,
               const std::vector<std::uint64_t>& papi_tot_ins,

@@ -97,7 +97,10 @@ Report advise(const Profiler& prof, const AdvisorOptions& opts = {});
 std::string format_report(const Report& report);
 
 /// Collapse a PE-level matrix to node granularity (the paper's "hotspots
-/// of node from the network sends").
+/// of node from the network sends"). The sparse overload never densifies
+/// at PE granularity — use it for large fleets.
 CommMatrix collapse_to_nodes(const CommMatrix& m, const shmem::Topology& topo);
+CommMatrix collapse_to_nodes(const SparseCommMatrix& m,
+                             const shmem::Topology& topo);
 
 }  // namespace ap::prof

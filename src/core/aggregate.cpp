@@ -46,6 +46,86 @@ bool CommMatrix::is_lower_triangular() const {
   return true;
 }
 
+std::vector<std::uint64_t> SparseCommMatrix::row_sums() const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(n_), 0);
+  for_each([&](int s, int, std::uint64_t v) {
+    out[static_cast<std::size_t>(s)] += v;
+  });
+  return out;
+}
+
+std::vector<std::uint64_t> SparseCommMatrix::col_sums() const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(n_), 0);
+  for_each([&](int, int d, std::uint64_t v) {
+    out[static_cast<std::size_t>(d)] += v;
+  });
+  return out;
+}
+
+std::uint64_t SparseCommMatrix::total() const {
+  std::uint64_t t = 0;
+  for (const auto& [k, v] : cells_) t += v;
+  return t;
+}
+
+std::uint64_t SparseCommMatrix::max_cell() const {
+  std::uint64_t m = 0;
+  for (const auto& [k, v] : cells_) m = std::max(m, v);
+  return m;
+}
+
+bool SparseCommMatrix::is_lower_triangular() const {
+  for (const auto& [k, v] : cells_) {
+    const auto s = k / static_cast<std::uint64_t>(n_);
+    const auto d = k % static_cast<std::uint64_t>(n_);
+    if (v != 0 && d > s) return false;
+  }
+  return true;
+}
+
+SparseCommMatrix& SparseCommMatrix::operator+=(const SparseCommMatrix& other) {
+  if (other.n_ != n_)
+    throw std::invalid_argument("SparseCommMatrix += size mismatch");
+  for (const auto& [k, v] : other.cells_) cells_[k] += v;
+  return *this;
+}
+
+CommMatrix SparseCommMatrix::bucketed(int target) const {
+  if (target <= 0)
+    throw std::invalid_argument("SparseCommMatrix::bucketed: target <= 0");
+  if (n_ <= target) return dense();
+  CommMatrix out(bucket_count(n_, target));
+  for_each([&](int s, int d, std::uint64_t v) {
+    out.add(bucket_of(s, n_, target), bucket_of(d, n_, target), v);
+  });
+  return out;
+}
+
+CommMatrix SparseCommMatrix::dense() const {
+  CommMatrix out(n_);
+  for_each([&](int s, int d, std::uint64_t v) { out.add(s, d, v); });
+  return out;
+}
+
+int bucket_count(int n, int target) {
+  if (target <= 0) throw std::invalid_argument("bucket_count: target <= 0");
+  if (n <= target) return n;
+  const int per = (n + target - 1) / target;
+  return (n + per - 1) / per;
+}
+
+int bucket_of(int pe, int n, int target) {
+  if (n <= target) return pe;
+  const int per = (n + target - 1) / target;
+  return pe / per;
+}
+
+BucketRange bucket_range(int bucket, int n, int target) {
+  if (n <= target) return BucketRange{bucket, bucket + 1};
+  const int per = (n + target - 1) / target;
+  return BucketRange{bucket * per, std::min((bucket + 1) * per, n)};
+}
+
 QuartileStats quartiles(std::vector<double> v) {
   QuartileStats q;
   q.n = v.size();
@@ -81,12 +161,11 @@ CommMatrix bucket_matrix(const CommMatrix& m, int target) {
   if (target <= 0) throw std::invalid_argument("bucket_matrix: target <= 0");
   const int n = m.size();
   if (n <= target) return m;
-  const int per = (n + target - 1) / target;
-  const int out_n = (n + per - 1) / per;
-  CommMatrix out(out_n);
+  CommMatrix out(bucket_count(n, target));
   for (int s = 0; s < n; ++s)
     for (int d = 0; d < n; ++d)
-      if (m.at(s, d) > 0) out.add(s / per, d / per, m.at(s, d));
+      if (m.at(s, d) > 0)
+        out.add(bucket_of(s, n, target), bucket_of(d, n, target), m.at(s, d));
   return out;
 }
 

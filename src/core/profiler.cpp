@@ -211,13 +211,7 @@ void Profiler::epoch_begin() {
     d.events.push_back(
         TimelineEvent{TimelineEvent::Kind::BeginMain, d.t0, 0, 0});
   d.last_papi = papi::snapshot();
-  const auto n = static_cast<std::size_t>(topo_.num_pes());
-  if (d.logical_row.size() != n) {
-    d.logical_row.assign(n, 0);
-    d.phys_row_local.assign(n, 0);
-    d.phys_row_nbi.assign(n, 0);
-    d.phys_row_prog.assign(n, 0);
-  }
+  if (!d.rows.sized_for(topo_.num_pes())) d.rows.reset(topo_.num_pes());
 }
 
 void Profiler::epoch_end() {
@@ -335,7 +329,7 @@ void Profiler::on_send(int mb, int dst_pe, std::size_t bytes,
     registry_.add(dst_pe, ids_.queue_depth, 1);
   }
   if (cfg_.logical) {
-    d.logical_row[static_cast<std::size_t>(dst_pe)]++;
+    d.rows.at(dst_pe).logical++;
     const bool sampled =
         cfg_.sample_every <= 1 || d.logical_seen % cfg_.sample_every == 0;
     ++d.logical_seen;
@@ -470,15 +464,16 @@ void Profiler::on_transfer(convey::SendType type, std::size_t buffer_bytes,
     registry_.observe(me, ids_.transfer_bytes, buffer_bytes);
   }
   if (cfg_.physical) {
+    CommRows::Counts& row = d.rows.at(dst_pe);
     switch (type) {
       case convey::SendType::local_send:
-        d.phys_row_local[static_cast<std::size_t>(dst_pe)]++;
+        row.local++;
         break;
       case convey::SendType::nonblock_send:
-        d.phys_row_nbi[static_cast<std::size_t>(dst_pe)]++;
+        row.nbi++;
         break;
       case convey::SendType::nonblock_progress:
-        d.phys_row_prog[static_cast<std::size_t>(dst_pe)]++;
+        row.prog++;
         break;
     }
     const bool sampled =
@@ -860,36 +855,48 @@ void Profiler::tick() {
 
 // ------------------------------------------------------------------ results
 
-CommMatrix Profiler::logical_matrix() const {
-  CommMatrix m(num_pes());
-  for (int s = 0; s < num_pes(); ++s) {
-    const PeData& d = pe_data(s);
-    for (std::size_t dst = 0; dst < d.logical_row.size(); ++dst)
-      m.add(s, static_cast<int>(dst), d.logical_row[dst]);
-  }
+SparseCommMatrix Profiler::logical_sparse() const {
+  SparseCommMatrix m(num_pes());
+  for (int s = 0; s < num_pes(); ++s)
+    pe_data(s).rows.for_each([&](int dst, const CommRows::Counts& c) {
+      m.add(s, dst, c.logical);
+    });
   return m;
 }
 
-CommMatrix Profiler::physical_matrix() const {
-  CommMatrix m = physical_matrix(convey::SendType::local_send);
-  m += physical_matrix(convey::SendType::nonblock_send);
+SparseCommMatrix Profiler::physical_sparse() const {
+  SparseCommMatrix m(num_pes());
+  for (int s = 0; s < num_pes(); ++s)
+    pe_data(s).rows.for_each([&](int dst, const CommRows::Counts& c) {
+      m.add(s, dst, c.local + c.nbi);
+    });
   return m;
+}
+
+SparseCommMatrix Profiler::physical_sparse(convey::SendType type) const {
+  SparseCommMatrix m(num_pes());
+  for (int s = 0; s < num_pes(); ++s)
+    pe_data(s).rows.for_each([&](int dst, const CommRows::Counts& c) {
+      switch (type) {
+        case convey::SendType::local_send: m.add(s, dst, c.local); break;
+        case convey::SendType::nonblock_send: m.add(s, dst, c.nbi); break;
+        case convey::SendType::nonblock_progress: m.add(s, dst, c.prog); break;
+      }
+    });
+  return m;
+}
+
+// Dense forms densify the sparse accumulation: fine for the small fleets
+// the advisor and tests use, O(P^2) by definition — large-P callers go
+// through *_sparse() and bucket first.
+CommMatrix Profiler::logical_matrix() const { return logical_sparse().dense(); }
+
+CommMatrix Profiler::physical_matrix() const {
+  return physical_sparse().dense();
 }
 
 CommMatrix Profiler::physical_matrix(convey::SendType type) const {
-  CommMatrix m(num_pes());
-  for (int s = 0; s < num_pes(); ++s) {
-    const PeData& d = pe_data(s);
-    const std::vector<std::uint64_t>* row = nullptr;
-    switch (type) {
-      case convey::SendType::local_send: row = &d.phys_row_local; break;
-      case convey::SendType::nonblock_send: row = &d.phys_row_nbi; break;
-      case convey::SendType::nonblock_progress: row = &d.phys_row_prog; break;
-    }
-    for (std::size_t dst = 0; dst < row->size(); ++dst)
-      m.add(s, static_cast<int>(dst), (*row)[dst]);
-  }
-  return m;
+  return physical_sparse(type).dense();
 }
 
 std::vector<OverallRecord> Profiler::overall() const {

@@ -37,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "actor/observer.hpp"
@@ -147,10 +148,16 @@ class Profiler final : public actor::ActorObserver,
   [[nodiscard]] int num_pes() const;
 
   /// Messages sent src->dst before aggregation (Fig. 3/4 heatmap data).
+  /// The dense accessors materialize P^2 cells — for large fleets use the
+  /// *_sparse forms and bucket before densifying (SparseCommMatrix::
+  /// bucketed).
   [[nodiscard]] CommMatrix logical_matrix() const;
+  [[nodiscard]] SparseCommMatrix logical_sparse() const;
   /// Buffers transferred src->dst (Fig. 8/9), optionally by type.
   [[nodiscard]] CommMatrix physical_matrix() const;
   [[nodiscard]] CommMatrix physical_matrix(convey::SendType type) const;
+  [[nodiscard]] SparseCommMatrix physical_sparse() const;
+  [[nodiscard]] SparseCommMatrix physical_sparse(convey::SendType type) const;
   /// Per-PE MAIN/PROC/COMM cycle breakdown (Fig. 12/13).
   [[nodiscard]] std::vector<OverallRecord> overall() const;
   /// Per-PE total of one configured PAPI event over the MAIN and PROC
@@ -233,6 +240,50 @@ class Profiler final : public actor::ActorObserver,
     std::array<std::uint64_t, papi::kMaxEventsPerSet> counters{};
   };
 
+  /// Per-destination send counters for one PE, one slot per channel
+  /// (logical sends plus the three physical transfer kinds). Hybrid
+  /// storage: up to kDensePes destinations a dense index-by-destination
+  /// array (one array bump on the per-send hot path); above it a hash of
+  /// touched destinations, so a P-PE fleet costs O(P * touched) total
+  /// instead of the O(P^2) four dense rows per PE used to pin
+  /// (docs/PERFORMANCE.md, "Memory at scale").
+  class CommRows {
+   public:
+    static constexpr int kDensePes = 256;
+
+    struct Counts {
+      std::uint64_t logical = 0, local = 0, nbi = 0, prog = 0;
+    };
+
+    void reset(int n) {
+      n_ = n;
+      map_.clear();
+      if (n <= kDensePes)
+        dense_.assign(static_cast<std::size_t>(n), Counts{});
+      else
+        dense_.clear();
+    }
+    [[nodiscard]] bool sized_for(int n) const { return n_ == n; }
+
+    [[nodiscard]] Counts& at(int dst) {
+      if (!dense_.empty()) return dense_[static_cast<std::size_t>(dst)];
+      return map_[dst];
+    }
+
+    /// Visit every touched destination as f(dst, counts).
+    template <class F>
+    void for_each(F&& f) const {
+      for (std::size_t d = 0; d < dense_.size(); ++d)
+        f(static_cast<int>(d), dense_[d]);
+      for (const auto& [d, c] : map_) f(d, c);
+    }
+
+   private:
+    int n_ = -1;
+    std::vector<Counts> dense_;
+    std::unordered_map<int, Counts> map_;
+  };
+
   struct PeData {
     bool in_epoch = false;
     std::vector<Region> region_stack;
@@ -249,11 +300,10 @@ class Profiler final : public actor::ActorObserver,
     int cur_handler_mb = -1;
 
     std::vector<LogicalSendRecord> logical_events;
-    std::vector<std::uint64_t> logical_row;  // per-dst counts
-    std::uint64_t logical_seen = 0;          // for sampling
+    CommRows rows;                   // per-dst counts, all four channels
+    std::uint64_t logical_seen = 0;  // for sampling
     std::vector<PhysicalRecord> physical_events;
     std::uint64_t physical_seen = 0;
-    std::vector<std::uint64_t> phys_row_local, phys_row_nbi, phys_row_prog;
     std::vector<TimelineEvent> events;  // timeline (Config::timeline)
 
     // Superstep recording (Config::supersteps). The ss_* members snapshot

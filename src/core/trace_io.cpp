@@ -797,6 +797,23 @@ CommMatrix TraceDir::physical_matrix(bool include_progress) const {
   return m;
 }
 
+SparseCommMatrix TraceDir::logical_sparse() const {
+  SparseCommMatrix m(num_pes);
+  for (const auto& per_pe : logical)
+    for (const LogicalSendRecord& r : per_pe) m.add(r.src_pe, r.dst_pe);
+  return m;
+}
+
+SparseCommMatrix TraceDir::physical_sparse(bool include_progress) const {
+  SparseCommMatrix m(num_pes);
+  for (const PhysicalRecord& r : physical) {
+    if (!include_progress && r.type == convey::SendType::nonblock_progress)
+      continue;
+    m.add(r.src_pe, r.dst_pe);
+  }
+  return m;
+}
+
 namespace {
 
 /// Read an entire file into a string. Returns false when it cannot be

@@ -180,6 +180,12 @@ struct TraceDir {
   /// Aggregate physical transfers (excluding progress signals by default,
   /// matching the paper's buffer heatmaps).
   [[nodiscard]] CommMatrix physical_matrix(bool include_progress = false) const;
+  /// Sparse forms of the same aggregations: O(nonzero cells), the only
+  /// accessors the rendering paths should use at large P (they bucket
+  /// before densifying; the dense forms above materialize P^2 cells).
+  [[nodiscard]] SparseCommMatrix logical_sparse() const;
+  [[nodiscard]] SparseCommMatrix physical_sparse(
+      bool include_progress = false) const;
 };
 
 TraceDir load_trace_dir(const std::filesystem::path& dir, int num_pes);

@@ -51,6 +51,20 @@ class SenseBarrier {
     return gen_.load(std::memory_order_acquire) >= ticket;
   }
 
+  /// Permanently remove one participant (a fault-injected kill). Kills are
+  /// fiber-backend-only, so this is never concurrent with an arrive(); if
+  /// every remaining participant had already arrived, complete the round
+  /// on the dead PE's behalf so the waiters are released.
+  void deactivate(int /*pe*/ = 0) {
+    --participants_;
+    if (participants_ > 0 &&
+        arrived_.load(std::memory_order_relaxed) >= participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      gen_.store(gen_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+    }
+  }
+
   [[nodiscard]] int participants() const { return participants_; }
 
  private:
@@ -105,6 +119,46 @@ class TreeBarrier {
     return gen_.load(std::memory_order_acquire) >= ticket;
   }
 
+  /// Permanently remove `pe` (a fault-injected kill; fiber-backend-only,
+  /// so never concurrent with arrive()). Walk the PE's leaf-to-root path:
+  /// shrink each node's expected count, prune subtrees that become empty,
+  /// and — if the dead PE was the only arrival a node was still waiting
+  /// for — complete the node exactly as its last arriver would have,
+  /// climbing and ultimately publishing the generation at the root. A
+  /// kill can therefore never strand the survivors of an open round.
+  void deactivate(int pe) {
+    --participants_;
+    int n = pe / fan_in_;
+    bool removing = true;  // first shrink expected; then climb as arrival
+    while (n >= 0) {
+      Node& node = *nodes_[static_cast<std::size_t>(n)];
+      if (removing) {
+        --node.expected;
+        if (node.expected == 0) {
+          // Subtree has no live PEs left: prune it from the parent too.
+          // (Its arrived count is necessarily 0 — a sole live child that
+          // had arrived would already have completed and reset the node.)
+          n = node.parent;
+          continue;
+        }
+        if (node.arrived.load(std::memory_order_relaxed) < node.expected)
+          return;  // round still open here; a live arriver will finish it
+      } else if (node.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 !=
+                 node.expected) {
+        return;
+      }
+      // Node completed: behave like its last arriver.
+      node.arrived.store(0, std::memory_order_relaxed);
+      if (node.parent < 0) {
+        gen_.store(gen_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+        return;
+      }
+      n = node.parent;
+      removing = false;
+    }
+  }
+
   [[nodiscard]] int participants() const { return participants_; }
 
  private:
@@ -147,6 +201,9 @@ class ArrivalBarrier {
   }
   [[nodiscard]] bool passed(std::uint64_t ticket) const {
     return tree_ ? tree_->passed(ticket) : flat_->passed(ticket);
+  }
+  void deactivate(int pe) {
+    tree_ ? tree_->deactivate(pe) : flat_->deactivate(pe);
   }
   [[nodiscard]] int participants() const {
     return tree_ ? tree_->participants() : flat_->participants();

@@ -218,6 +218,11 @@ void mark_current_pe_dead() {
   w.alive[static_cast<std::size_t>(me)] = 0;
   --w.live;
   w.pending[static_cast<std::size_t>(me)].clear();
+  // The arrival barrier (data-less fast path) tracks the live set too:
+  // deactivate completes a round the dead PE was the last holdout of, so
+  // survivors parked in barrier_all are released. Kills fire at barrier
+  // entry *before* arrive(), so the dead PE never holds a pending ticket.
+  w.barrier.deactivate(me);
   CollectiveState& c = w.coll;
   if (c.arrived > 0 && c.arrived >= w.live) complete_round(w);
 }
@@ -237,11 +242,12 @@ void collective_round(const void* contribution, std::size_t elem_bytes,
   // arrives. The profiler stamps its arrival here (before the wait).
   if (RmaObserver* o = rma_observer()) o->on_collective_arrive();
 
-  // Data-less round over a full fleet: take the sense-reversing/tree
-  // arrival barrier and skip CollectiveState entirely. Only fault
-  // injection (fiber-only, shrinking w.live) needs the slow path's
-  // complete-on-behalf-of-the-dead machinery.
-  if (elem_bytes == 0 && out == nullptr && !combine && !fi::active()) {
+  // Data-less round: take the sense-reversing/tree arrival barrier and
+  // skip CollectiveState entirely — O(1) contended lines flat, O(log P)
+  // hops in the tree, no mutex. The barrier tracks the live set under
+  // fault injection too (mark_current_pe_dead deactivates the dying PE),
+  // so this stays the fast path even while PEs are being killed.
+  if (elem_bytes == 0 && out == nullptr && !combine) {
     const std::uint64_t ticket = w.barrier.arrive(me);
     rt::wait_until([&w, ticket] { return w.barrier.passed(ticket); });
     return;
@@ -393,9 +399,10 @@ int local_rank(int pe) { return world().topo.local_rank(pe); }
 int n_nodes() { return world().topo.num_nodes(); }
 
 void* symm_malloc(std::size_t bytes) {
-  void* p = my_heap().allocate(bytes);
-  std::memset(p, 0, bytes);
-  return p;
+  // allocate() guarantees the block reads as zero without touching virgin
+  // arena pages, so a huge symmetric allocation costs address space until
+  // it is actually written (docs/PERFORMANCE.md, "Memory at scale").
+  return my_heap().allocate(bytes);
 }
 
 void symm_free(void* p) {

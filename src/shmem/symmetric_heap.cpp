@@ -1,7 +1,14 @@
 #include "shmem/symmetric_heap.hpp"
 
+#include <cstring>
 #include <new>
 #include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define AP_SYMM_HEAP_HAVE_MMAP 1
+#endif
 
 namespace ap::shmem {
 
@@ -12,10 +19,67 @@ std::size_t round_up(std::size_t n, std::size_t align) {
 }  // namespace
 
 SymmetricHeap::SymmetricHeap(std::size_t capacity_bytes)
-    : capacity_(round_up(capacity_bytes, kAlignment)),
-      arena_(new unsigned char[capacity_ > 0 ? capacity_ : kAlignment]) {
+    : capacity_(round_up(capacity_bytes, kAlignment)) {
   if (capacity_ == 0) capacity_ = kAlignment;
+#ifdef AP_SYMM_HEAP_HAVE_MMAP
+  void* p = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p != MAP_FAILED) {
+    arena_ = static_cast<unsigned char*>(p);
+    mmapped_ = true;  // demand-zero pages: virgin blocks need no memset
+  }
+#endif
+  if (arena_ == nullptr) {
+    // Fallback arena may recycle dirty process heap; treating every byte
+    // as touched restores the always-memset behaviour.
+    arena_ = new unsigned char[capacity_];
+    touched_ = capacity_;
+  }
   free_blocks_.emplace(0, capacity_);
+}
+
+void SymmetricHeap::release_arena() noexcept {
+  if (arena_ == nullptr) return;
+#ifdef AP_SYMM_HEAP_HAVE_MMAP
+  if (mmapped_) {
+    ::munmap(arena_, capacity_);
+    arena_ = nullptr;
+    return;
+  }
+#endif
+  delete[] arena_;
+  arena_ = nullptr;
+}
+
+SymmetricHeap::~SymmetricHeap() { release_arena(); }
+
+SymmetricHeap::SymmetricHeap(SymmetricHeap&& other) noexcept
+    : capacity_(other.capacity_),
+      arena_(other.arena_),
+      mmapped_(other.mmapped_),
+      touched_(other.touched_),
+      free_blocks_(std::move(other.free_blocks_)),
+      allocated_(std::move(other.allocated_)),
+      in_use_(other.in_use_) {
+  other.arena_ = nullptr;
+  other.capacity_ = 0;
+  other.in_use_ = 0;
+}
+
+SymmetricHeap& SymmetricHeap::operator=(SymmetricHeap&& other) noexcept {
+  if (this == &other) return *this;
+  release_arena();
+  capacity_ = other.capacity_;
+  arena_ = other.arena_;
+  mmapped_ = other.mmapped_;
+  touched_ = other.touched_;
+  free_blocks_ = std::move(other.free_blocks_);
+  allocated_ = std::move(other.allocated_);
+  in_use_ = other.in_use_;
+  other.arena_ = nullptr;
+  other.capacity_ = 0;
+  other.in_use_ = 0;
+  return *this;
 }
 
 void* SymmetricHeap::allocate(std::size_t bytes) {
@@ -29,7 +93,12 @@ void* SymmetricHeap::allocate(std::size_t bytes) {
     if (size > need) free_blocks_.emplace(offset + need, size - need);
     allocated_.emplace(offset, need);
     in_use_ += need;
-    return arena_.get() + offset;
+    // Zero only the recycled prefix; bytes past the high-water mark have
+    // never been written and read as zero straight from the kernel.
+    if (offset < touched_)
+      std::memset(arena_ + offset, 0, std::min(offset + need, touched_) - offset);
+    if (offset + need > touched_) touched_ = offset + need;
+    return arena_ + offset;
   }
   throw std::bad_alloc();
 }
@@ -68,14 +137,14 @@ void SymmetricHeap::deallocate(void* p) {
 
 bool SymmetricHeap::contains(const void* p) const {
   const auto* b = static_cast<const unsigned char*>(p);
-  return b >= arena_.get() && b < arena_.get() + capacity_;
+  return b >= arena_ && b < arena_ + capacity_;
 }
 
 std::size_t SymmetricHeap::offset_of(const void* p) const {
   if (!contains(p))
     throw std::invalid_argument("SymmetricHeap: pointer outside arena");
   return static_cast<std::size_t>(static_cast<const unsigned char*>(p) -
-                                  arena_.get());
+                                  arena_);
 }
 
 }  // namespace ap::shmem

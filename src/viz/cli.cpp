@@ -445,11 +445,13 @@ int cmd_heatmap(int argc, char** argv) {
     ap::viz::HeatmapOptions ho;
     ho.title = "Logical Trace Heatmap (messages before aggregation)";
     ho.dead_pes = trace.dead_pes;
-    std::cout << ap::viz::render_heatmap(trace.logical_matrix(), ho) << "\n";
+    // Sparse accessors + the sparse renderer: bucketing happens before any
+    // densification, so no P^2 matrix exists even for thousands of PEs.
+    std::cout << ap::viz::render_heatmap(trace.logical_sparse(), ho) << "\n";
     ho.title =
         "Physical Trace Heatmap (aggregated buffers: local_send + "
         "nonblock_send)";
-    std::cout << ap::viz::render_heatmap(trace.physical_matrix(), ho) << "\n";
+    std::cout << ap::viz::render_heatmap(trace.physical_sparse(), ho) << "\n";
   }
   if (!trace.issues.empty() && !tolerate_partial) {
     std::cerr << "error: " << trace.issues.size()
@@ -800,32 +802,49 @@ int main(int argc, char** argv) {
   const bool log_scale = !a.linear;
   const ap::shmem::Topology topo(a.num_pes,
                                  a.ppn > 0 ? a.ppn : a.num_pes);
-  const auto maybe_by_node = [&](ap::prof::CommMatrix m) {
-    return a.by_node ? ap::prof::collapse_to_nodes(m, topo) : m;
+
+  // Both heatmap families run off the sparse accumulations: with --by-node
+  // the collapse is sparse-to-small-dense, otherwise the sparse renderer
+  // buckets before densifying. Either way no P^2 object is built.
+  const auto plot_heatmap = [&](const ap::prof::SparseCommMatrix& sm,
+                                const std::string& file_stem,
+                                ap::viz::HeatmapOptions ho,
+                                std::vector<std::uint64_t>& sends,
+                                std::vector<std::uint64_t>& recvs) {
+    if (a.by_node) {
+      const auto m = ap::prof::collapse_to_nodes(sm, topo);
+      std::cout << ap::viz::render_heatmap(m, ho) << "\n";
+      maybe_svg(a, file_stem, ap::viz::svg_heatmap(m, ho.title, log_scale));
+      sends = m.row_sums();
+      recvs = m.col_sums();
+    } else {
+      ho.dead_pes = trace.dead_pes;
+      std::cout << ap::viz::render_heatmap(sm, ho) << "\n";
+      maybe_svg(a, file_stem, ap::viz::svg_heatmap(sm, ho.title, log_scale));
+      sends = sm.row_sums();
+      recvs = sm.col_sums();
+    }
   };
 
   if (a.logical) {
-    const auto m = maybe_by_node(trace.logical_matrix());
-    if (m.total() == 0)
+    const auto sm = trace.logical_sparse();
+    if (sm.total() == 0)
       std::cerr << "warning: no logical events found (PEi_send.csv missing "
                    "or empty)\n";
     ap::viz::HeatmapOptions ho;
     ho.title = "Logical Trace Heatmap (messages before aggregation)";
     ho.log_scale = log_scale;
-    if (!a.by_node) ho.dead_pes = trace.dead_pes;
-    std::cout << ap::viz::render_heatmap(m, ho) << "\n";
-    maybe_svg(a, "logical_heatmap",
-              ap::viz::svg_heatmap(m, ho.title, log_scale));
+    std::vector<std::uint64_t> sends, recvs;
+    plot_heatmap(sm, "logical_heatmap", ho, sends, recvs);
     if (a.violin) {
       ap::viz::ViolinOptions vo;
       vo.title = "Logical Trace Violin (total send/recv per PE)";
       const std::string v =
-          ap::viz::render_violins({"sends", "recvs"},
-                                  {m.row_sums(), m.col_sums()}, vo);
+          ap::viz::render_violins({"sends", "recvs"}, {sends, recvs}, vo);
       std::cout << v << "\n";
       maybe_svg(a, "logical_violin",
-                ap::viz::svg_violins({"sends", "recvs"},
-                                     {m.row_sums(), m.col_sums()}, vo.title));
+                ap::viz::svg_violins({"sends", "recvs"}, {sends, recvs},
+                                     vo.title));
     }
   }
 
@@ -885,8 +904,8 @@ int main(int argc, char** argv) {
   }
 
   if (a.physical) {
-    const auto m = maybe_by_node(trace.physical_matrix());
-    if (m.total() == 0)
+    const auto sm = trace.physical_sparse();
+    if (sm.total() == 0)
       std::cerr << "warning: no physical events found (physical.txt "
                    "missing or empty)\n";
     ap::viz::HeatmapOptions ho;
@@ -894,19 +913,17 @@ int main(int argc, char** argv) {
         "Physical Trace Heatmap (aggregated buffers: local_send + "
         "nonblock_send)";
     ho.log_scale = log_scale;
-    if (!a.by_node) ho.dead_pes = trace.dead_pes;
-    std::cout << ap::viz::render_heatmap(m, ho) << "\n";
-    maybe_svg(a, "physical_heatmap",
-              ap::viz::svg_heatmap(m, ho.title, log_scale));
+    std::vector<std::uint64_t> sends, recvs;
+    plot_heatmap(sm, "physical_heatmap", ho, sends, recvs);
     if (a.violin) {
       ap::viz::ViolinOptions vo;
       vo.title = "Physical Trace Violin (total buffers per PE)";
       std::cout << ap::viz::render_violins({"sends", "recvs"},
-                                           {m.row_sums(), m.col_sums()}, vo)
+                                           {sends, recvs}, vo)
                 << "\n";
       maybe_svg(a, "physical_violin",
-                ap::viz::svg_violins({"sends", "recvs"},
-                                     {m.row_sums(), m.col_sums()}, vo.title));
+                ap::viz::svg_violins({"sends", "recvs"}, {sends, recvs},
+                                     vo.title));
     }
   }
 
@@ -917,6 +934,8 @@ int main(int argc, char** argv) {
         ins[static_cast<std::size_t>(pe)] += row.counters[0];
     bool any_ins = false;
     for (auto v : ins) any_ins |= (v != 0);
+    // The advisor's per-PE diagnostics stay dense on purpose: its findings
+    // quote individual PEs, and its callers run it at report-sized fleets.
     const auto report = ap::prof::advise(
         trace.logical_matrix(), trace.physical_matrix(), trace.overall,
         any_ins ? ins : std::vector<std::uint64_t>{}, topo);

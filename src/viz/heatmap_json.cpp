@@ -8,6 +8,10 @@ namespace ap::viz {
 
 namespace {
 
+/// Matrices above this many PEs are bucketed before serialization; a JSON
+/// consumer should treat each row/col as a PE range (see bucket_ranges).
+constexpr int kMaxJsonCells = 64;
+
 void write_matrix(std::ostream& os, const ap::prof::CommMatrix& m) {
   os << "{\"rows\":[";
   for (int src = 0; src < m.size(); ++src) {
@@ -42,10 +46,26 @@ void write_heatmap_json(std::ostream& os, const ap::prof::io::TraceDir& t) {
     if (i > 0) os << ",";
     os << t.dead_pes[i];
   }
-  os << "],\"logical\":";
-  write_matrix(os, t.logical_matrix());
+  os << "]";
+  // Large fleets are bucketed while still sparse — the serialized rows
+  // (and the in-memory objects building them) are at most 64x64 whatever
+  // num_pes is. The extra keys only appear when bucketing happened, so
+  // small-trace output is byte-identical to the unbucketed format.
+  const bool bucketed = t.num_pes > kMaxJsonCells;
+  if (bucketed) {
+    const int buckets = prof::bucket_count(t.num_pes, kMaxJsonCells);
+    os << ",\"bucketed\":true,\"bucket_ranges\":[";
+    for (int b = 0; b < buckets; ++b) {
+      const prof::BucketRange r = prof::bucket_range(b, t.num_pes, kMaxJsonCells);
+      if (b > 0) os << ",";
+      os << "[" << r.begin << "," << r.end << "]";
+    }
+    os << "]";
+  }
+  os << ",\"logical\":";
+  write_matrix(os, t.logical_sparse().bucketed(kMaxJsonCells));
   os << ",\"physical\":";
-  write_matrix(os, t.physical_matrix());
+  write_matrix(os, t.physical_sparse().bucketed(kMaxJsonCells));
   os << "}\n";
 }
 

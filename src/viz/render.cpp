@@ -44,15 +44,20 @@ std::string human(std::uint64_t v) {
   return os.str();
 }
 
-}  // namespace
-
-std::string render_heatmap(const prof::CommMatrix& m_in,
-                           const HeatmapOptions& opts) {
-  const bool bucketed = opts.max_cells > 0 && m_in.size() > opts.max_cells;
-  const prof::CommMatrix m =
-      bucketed ? prof::bucket_matrix(m_in, opts.max_cells) : m_in;
+/// Shared body of the dense and sparse entry points: `m` is already at
+/// renderable size (bucketed if the original was larger), `orig_n` is the
+/// pre-bucketing PE count the labels must describe.
+std::string render_heatmap_impl(const prof::CommMatrix& m, int orig_n,
+                                bool bucketed, const HeatmapOptions& opts) {
   std::ostringstream os;
   const int n = m.size();
+  if (n <= 0) {
+    // 0-PE / fully-unparsable trace: emit a stub instead of dereferencing
+    // max_element(end()) on the empty totals below.
+    if (!opts.title.empty()) os << opts.title << "\n";
+    os << "(empty matrix: no PEs)\n";
+    return os.str();
+  }
   const std::uint64_t max = m.max_cell();
   const auto sends = m.row_sums();
   const auto recvs = m.col_sums();
@@ -63,9 +68,19 @@ std::string render_heatmap(const prof::CommMatrix& m_in,
   if (!opts.title.empty()) os << opts.title << "\n";
   os << "rows = source PE, cols = destination PE; ramp \"" << kRamp
      << "\" (max cell = " << max << ")\n";
-  if (bucketed)
-    os << "(downsampled: each row/col aggregates "
-       << (m_in.size() + n - 1) / n << " PEs)\n";
+  if (bucketed) {
+    // bucket_range is the attribution's source of truth; when the bucket
+    // width does not divide the PE count the last bucket is short and the
+    // label must say so (a uniform "aggregates K PEs" would double-count).
+    const prof::BucketRange first =
+        prof::bucket_range(0, orig_n, opts.max_cells);
+    const prof::BucketRange last =
+        prof::bucket_range(n - 1, orig_n, opts.max_cells);
+    os << "(downsampled: each row/col aggregates " << first.width() << " PEs";
+    if (last.width() != first.width())
+      os << "; last bucket " << last.width() << " PEs";
+    os << ")\n";
+  }
   const auto is_dead = [&](int pe) {
     for (int d : opts.dead_pes)
       if (d == pe) return true;
@@ -108,6 +123,28 @@ std::string render_heatmap(const prof::CommMatrix& m_in,
     os << "  | " << pad(human(m.total()), 8) << '\n';
   }
   return os.str();
+}
+
+}  // namespace
+
+std::string render_heatmap(const prof::CommMatrix& m,
+                           const HeatmapOptions& opts) {
+  const bool bucketed = opts.max_cells > 0 && m.size() > opts.max_cells;
+  if (!bucketed) return render_heatmap_impl(m, m.size(), false, opts);
+  return render_heatmap_impl(prof::bucket_matrix(m, opts.max_cells), m.size(),
+                             true, opts);
+}
+
+std::string render_heatmap(const prof::SparseCommMatrix& m,
+                           const HeatmapOptions& opts) {
+  if (m.size() <= 0)
+    return render_heatmap_impl(prof::CommMatrix{}, 0, false, opts);
+  const bool bucketed = opts.max_cells > 0 && m.size() > opts.max_cells;
+  // Bucket while still sparse: the dense object that reaches the renderer
+  // is at most max_cells^2, never P^2.
+  return render_heatmap_impl(
+      bucketed ? m.bucketed(opts.max_cells) : m.dense(), m.size(), bucketed,
+      opts);
 }
 
 std::string render_bars(const std::vector<std::string>& labels,

@@ -34,8 +34,13 @@ struct HeatmapOptions {
   std::vector<int> dead_pes;
 };
 
-/// Render a src-by-dst matrix as an ASCII heatmap.
+/// Render a src-by-dst matrix as an ASCII heatmap. An empty matrix (0 PEs,
+/// e.g. a fully-unparsable trace dir) renders as a stub, not UB. The
+/// sparse overload buckets before densifying, so it never materializes
+/// P^2 cells — use it for large fleets.
 std::string render_heatmap(const prof::CommMatrix& m,
+                           const HeatmapOptions& opts = {});
+std::string render_heatmap(const prof::SparseCommMatrix& m,
                            const HeatmapOptions& opts = {});
 
 struct BarOptions {

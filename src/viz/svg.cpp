@@ -92,6 +92,28 @@ std::string svg_heatmap(const prof::CommMatrix& m, const std::string& title,
   return os.str();
 }
 
+std::string svg_heatmap(const prof::SparseCommMatrix& m,
+                        const std::string& title, bool log_scale,
+                        int max_cells) {
+  // Bucket while still sparse so the dense object (and the SVG itself)
+  // stays at most max_cells^2 whatever the fleet size.
+  const bool bucketed = max_cells > 0 && m.size() > max_cells;
+  std::string t = title;
+  if (bucketed) {
+    const prof::BucketRange first = prof::bucket_range(0, m.size(), max_cells);
+    const prof::BucketRange last = prof::bucket_range(
+        prof::bucket_count(m.size(), max_cells) - 1, m.size(), max_cells);
+    std::ostringstream note;
+    note << t << " (bucketed: " << first.width() << " PEs/cell";
+    if (last.width() != first.width())
+      note << ", last " << last.width();
+    note << ")";
+    t = note.str();
+  }
+  return svg_heatmap(bucketed ? m.bucketed(max_cells) : m.dense(), t,
+                     log_scale);
+}
+
 std::string svg_bars(const std::vector<std::string>& labels,
                      const std::vector<double>& values,
                      const std::string& title) {

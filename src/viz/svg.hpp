@@ -13,6 +13,12 @@ namespace ap::viz {
 
 std::string svg_heatmap(const prof::CommMatrix& m, const std::string& title,
                         bool log_scale = true);
+/// Sparse form: buckets to at most `max_cells` rows/cols *before*
+/// densifying, so no P^2 object exists for large fleets. The title gains
+/// a "(bucketed: K PEs/cell)" note when downsampling happened.
+std::string svg_heatmap(const prof::SparseCommMatrix& m,
+                        const std::string& title, bool log_scale = true,
+                        int max_cells = 64);
 
 std::string svg_bars(const std::vector<std::string>& labels,
                      const std::vector<double>& values,

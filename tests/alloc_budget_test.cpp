@@ -4,6 +4,13 @@
 // copy budget exactly — push 1/item, flush 1/buffer, delivery 1/run,
 // pull 1/item, drain 0/item.
 //
+// Allocation contract (docs/PERFORMANCE.md, "Memory at scale"): a
+// destination's out-buffer — and, inter-node, its staging slots — is
+// allocated on the *first send toward it*, never at create(). Untouched
+// destinations cost nothing, so total conveyor allocation scales with
+// PEs x touched-destinations rather than PEs^2. The steady-state tests
+// below pin the "and never again" half; FirstTouch pins the lazy half.
+//
 // The global counting operator new/delete is installed in this binary
 // only; the probe counters are process-wide, which in the fiber simulator
 // means a fenced window covers every PE's work in that window.
@@ -208,6 +215,90 @@ TEST(AllocBudget, SteadyStateDrainIsAllocationFree) {
     }
     EXPECT_NE(sink, 0);  // payloads really flowed through the callback
   });
+}
+
+// Pins the lazy per-destination half of the allocation contract: the first
+// sends toward a destination allocate its buffers, re-touching it is free
+// after warmup, and a brand-new destination is a fresh (one-time) cost.
+// Single node on purpose: direct routing means no forwarded-overflow
+// growth on intermediate hops, so the re-touch windows are deterministic
+// (the multi-node steady-state test above covers staging laziness).
+TEST(AllocBudget, AllocationHappensOnFirstTouchOfADestinationOnly) {
+  std::atomic<int> gate1{0}, gate2{0}, gate2b{0}, gate3{0}, gate4{0},
+      gate5{0}, gate5b{0}, gate6{0};
+  std::uint64_t first_touch = 0, retouch = 0, fresh_touch = 0, refresh = 0;
+  shmem::run(cfg_of(8, 8), [&] {
+    convey::Options o;
+    o.item_bytes = sizeof(std::int64_t);
+    o.buffer_bytes = 512;
+    auto c = convey::Conveyor::create(o);
+    const int me = shmem::my_pe();
+    const int n = shmem::n_pes();
+
+    // Like steady_rounds, but every item goes to the single destination
+    // me+offset — so each cycle touches exactly one (new or old) dst.
+    auto rounds_to = [&](int offset, std::int64_t base) {
+      const int dst = (me + offset) % n;
+      std::size_t i = 0;
+      while (i < kMsgs) {
+        for (; i < kMsgs; ++i) {
+          const std::int64_t v = base + static_cast<std::int64_t>(i);
+          if (!c->push(&v, dst)) break;
+        }
+        (void)c->advance(false);
+        std::int64_t item;
+        int from;
+        while (c->pull(&item, &from)) {
+        }
+        ap::rt::yield();
+      }
+    };
+    std::uint64_t before = 0;
+    const auto mark = [&] {
+      if (me == 0) before = AllocProbe::count();
+    };
+    const auto delta = [&] { return AllocProbe::count() - before; };
+
+    // Every zero-window below is closed *before* its fence: while PE0 sits
+    // in a fence's settle rounds, faster PEs have already passed the gate
+    // and may be first-touching the next cycle's destination — reading the
+    // counter after the fence would blame those allocations on this
+    // window. Closing before the fence is sound because no PE can pass the
+    // *next* gate until PE0 (still pre-fence) increments it, so everything
+    // running inside the window is the same non-allocating cycle. The >0
+    // windows need no such care — PE0's own first touch is always inside.
+    mark();
+    rounds_to(1, 0);  // first touch of me+1: must allocate its buffers
+    if (me == 0) first_touch = delta();
+    fence(*c, gate1);
+    rounds_to(1, 1 << 20);  // two warmups from mid-stream state
+    fence(*c, gate2);
+    rounds_to(1, 6 << 20);
+    fence(*c, gate2b);
+    mark();
+    rounds_to(1, 2 << 20);  // re-touch: free
+    if (me == 0) retouch = delta();
+    fence(*c, gate3);
+
+    mark();
+    rounds_to(2, 3 << 20);  // brand-new destination: fresh one-time cost
+    if (me == 0) fresh_touch = delta();
+    fence(*c, gate4);
+    rounds_to(2, 4 << 20);
+    fence(*c, gate5);
+    rounds_to(2, 7 << 20);
+    fence(*c, gate5b);
+    mark();
+    rounds_to(2, 5 << 20);  // ... itself free once touched
+    if (me == 0) refresh = delta();
+    fence(*c, gate6);
+
+    finish(*c);
+  });
+  EXPECT_GT(first_touch, 0u) << "first sends should build dst buffers";
+  EXPECT_EQ(retouch, 0u) << "re-touching a destination must be free";
+  EXPECT_GT(fresh_touch, 0u) << "a new destination is a fresh first touch";
+  EXPECT_EQ(refresh, 0u);
 }
 
 // On a single node routing is direct, so every delivered buffer is one

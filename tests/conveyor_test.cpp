@@ -489,7 +489,14 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{12, 2, 32, convey::RouteKind::Cube3D, 150},
         SweepParam{8, 4, 4096, convey::RouteKind::Auto, 64},
         SweepParam{5, 2, 64, convey::RouteKind::Mesh2D, 211},
-        SweepParam{16, 8, 72, convey::RouteKind::Auto, 333}));
+        SweepParam{16, 8, 72, convey::RouteKind::Auto, 333},
+        // Above kCompactThreshold (64) endpoints switch to lazy keyed
+        // per-hop/per-source state with the announcement protocol; these
+        // shapes cover compact mode over every route family.
+        SweepParam{80, 16, 96, convey::RouteKind::Mesh2D, 60},
+        SweepParam{96, 96, 64, convey::RouteKind::Linear1D, 50},
+        SweepParam{72, 8, 64, convey::RouteKind::Cube3D, 40},
+        SweepParam{100, 10, 128, convey::RouteKind::Auto, 50}));
 
 TEST(Conveyor, LargeItems) {
   shmem::run(cfg_of(4, 2), [] {

@@ -72,6 +72,113 @@ TEST(CommMatrix, PlusEquals) {
   EXPECT_THROW(a += c, std::invalid_argument);
 }
 
+TEST(SparseCommMatrix, MirrorsDenseSemantics) {
+  SparseCommMatrix s(5);
+  CommMatrix d(5);
+  const auto put = [&](int src, int dst, std::uint64_t v) {
+    s.add(src, dst, v);
+    d.add(src, dst, v);
+  };
+  put(0, 1, 5);
+  put(0, 1, 2);  // accumulates into one cell
+  put(4, 0, 9);
+  put(3, 3, 1);
+  EXPECT_EQ(s.total(), d.total());
+  EXPECT_EQ(s.max_cell(), d.max_cell());
+  EXPECT_EQ(s.row_sums(), d.row_sums());
+  EXPECT_EQ(s.col_sums(), d.col_sums());
+  EXPECT_EQ(s.nonzero_cells(), 3u);
+  EXPECT_EQ(s.at(0, 1), 7u);
+  EXPECT_EQ(s.at(1, 0), 0u);  // absent cell reads as zero
+  EXPECT_EQ(s.dense(), d);
+  EXPECT_TRUE(SparseCommMatrix(3).is_lower_triangular());
+  EXPECT_FALSE(s.is_lower_triangular());  // (0,1) is above the diagonal
+  SparseCommMatrix lower(4);
+  lower.add(3, 1, 2);
+  lower.add(2, 2, 2);
+  EXPECT_TRUE(lower.is_lower_triangular());
+
+  SparseCommMatrix other(5);
+  other.add(0, 1, 1);
+  other.add(2, 2, 4);
+  s += other;
+  EXPECT_EQ(s.at(0, 1), 8u);
+  EXPECT_EQ(s.at(2, 2), 4u);
+  SparseCommMatrix wrong(6);
+  EXPECT_THROW(s += wrong, std::invalid_argument);
+}
+
+TEST(SparseCommMatrix, BucketedMatchesDenseBucketing) {
+  // Non-divisible on purpose: 10 PEs into 4 buckets (per = 3, last = 1).
+  SparseCommMatrix s(10);
+  CommMatrix d(10);
+  for (int src = 0; src < 10; ++src)
+    for (int dst = 0; dst < 10; ++dst) {
+      const auto v = static_cast<std::uint64_t>(src * 10 + dst + 1);
+      s.add(src, dst, v);
+      d.add(src, dst, v);
+    }
+  EXPECT_EQ(s.bucketed(4), bucket_matrix(d, 4));
+  EXPECT_EQ(s.bucketed(16), d);  // small enough: dense passthrough
+  EXPECT_THROW(s.bucketed(0), std::invalid_argument);
+}
+
+// Property test for the bucket helpers over non-divisible PE counts: the
+// bucket ranges must partition [0, n) exactly — every PE in exactly one
+// bucket, bucket_of consistent with bucket_range, widths never exceeding
+// ceil(n/target) — or bucketed rows/labels misattribute the tail PEs.
+TEST(BucketHelpers, RangesPartitionAllPesExactlyOnce) {
+  const int cases[][2] = {{1000, 48}, {130, 64}, {1, 64},   {64, 64},
+                          {65, 64},   {127, 64}, {2048, 64}, {97, 13}};
+  for (const auto& c : cases) {
+    const int n = c[0], target = c[1];
+    const int buckets = bucket_count(n, target);
+    ASSERT_LE(buckets, target) << "n=" << n;
+    int covered = 0;
+    for (int b = 0; b < buckets; ++b) {
+      const BucketRange r = bucket_range(b, n, target);
+      ASSERT_EQ(r.begin, covered) << "gap/overlap at bucket " << b
+                                  << " for n=" << n << " target=" << target;
+      ASSERT_GT(r.width(), 0);
+      covered = r.end;
+      for (int pe = r.begin; pe < r.end; ++pe)
+        ASSERT_EQ(bucket_of(pe, n, target), b)
+            << "PE" << pe << " misattributed for n=" << n;
+    }
+    ASSERT_EQ(covered, n) << "ranges do not cover [0," << n << ")";
+  }
+}
+
+TEST(BucketHelpers, BucketMatrixAttributionMatchesBucketOf) {
+  // 1000 PEs into 48 buckets (per = 21, 48 buckets, last bucket 13 PEs):
+  // every cell must land in the bucket bucket_of names, and totals hold.
+  const int n = 1000, target = 48;
+  CommMatrix m(n);
+  SparseCommMatrix s(n);
+  // A sparse diagonal-ish pattern including the very last PE.
+  for (int src = 0; src < n; src += 37) {
+    const int dst = (src * 13 + 5) % n;
+    m.add(src, dst, 3);
+    s.add(src, dst, 3);
+  }
+  m.add(n - 1, 0, 11);
+  s.add(n - 1, 0, 11);
+  const CommMatrix bm = bucket_matrix(m, target);
+  const CommMatrix bs = s.bucketed(target);
+  EXPECT_EQ(bm, bs);
+  EXPECT_EQ(bm.size(), bucket_count(n, target));
+  EXPECT_EQ(bm.total(), m.total());
+  // Rebuild the expected bucketed matrix straight from bucket_of.
+  CommMatrix expect(bucket_count(n, target));
+  s.for_each([&](int src, int dst, std::uint64_t v) {
+    expect.add(bucket_of(src, n, target),
+               bucket_of(dst, n, target), v);
+  });
+  EXPECT_EQ(bm, expect);
+  // The last PE's traffic lands in the final (short) bucket's row.
+  EXPECT_GE(bm.at(bucket_count(n, target) - 1, 0), 11u);
+}
+
 TEST(Quartiles, KnownValues) {
   const auto q = quartiles({1, 2, 3, 4, 5});
   EXPECT_DOUBLE_EQ(q.min, 1);
@@ -396,6 +503,51 @@ TEST(TraceIo, MalformedInputThrowsWithLineNumber) {
   EXPECT_THROW(io::parse_physical(bad_phys), std::runtime_error);
   std::stringstream bad_num("a,b,c,d,e\n");
   EXPECT_THROW(io::parse_logical(bad_num), std::runtime_error);
+}
+
+// Shards are mapped to PE indexes by *constructing* each expected name
+// (PE<i>_send.csv), never by sorting a directory listing — at 4-digit PE
+// counts "PE1000" sorts lexicographically before "PE2", so a sort-order
+// assumption would misattribute shards. Sparse 1005-PE fixture: only a
+// handful of shards exist, each carrying a destination that names its PE.
+TEST(TraceIo, FourDigitShardNamesMapToTheRightPes) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "actorprof_4digit";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto write_shard = [&](int pe, int dst) {
+    std::ofstream os(dir / io::logical_file_name(pe));
+    io::write_logical(os, {{0, pe, 0, dst, 8}});
+  };
+  write_shard(2, 3);
+  write_shard(10, 4);     // "PE10" sorts before "PE2"
+  write_shard(1000, 5);   // ... and so does "PE1000"
+  write_shard(1004, 6);
+  {
+    std::ofstream os(dir / io::kManifestFile);
+    os << "num_pes 1005\n";
+  }
+  EXPECT_EQ(io::detect_num_pes(dir), 1005);
+
+  io::LoadOptions lo;
+  lo.tolerate_partial = true;  // most shards are absent on purpose
+  const auto t = io::load_trace_dir(dir, 1005, lo);
+  EXPECT_EQ(t.num_pes, 1005);
+  ASSERT_EQ(t.logical.size(), 1005u);
+  ASSERT_EQ(t.logical[2].size(), 1u);
+  EXPECT_EQ(t.logical[2][0].dst_pe, 3);
+  ASSERT_EQ(t.logical[10].size(), 1u);
+  EXPECT_EQ(t.logical[10][0].dst_pe, 4);
+  ASSERT_EQ(t.logical[1000].size(), 1u);
+  EXPECT_EQ(t.logical[1000][0].dst_pe, 5);
+  ASSERT_EQ(t.logical[1004].size(), 1u);
+  EXPECT_EQ(t.logical[1004][0].dst_pe, 6);
+  EXPECT_TRUE(t.logical[100].empty());  // a PE with no shard stays empty
+  // The sparse aggregation sees the same attribution.
+  const auto m = t.logical_sparse();
+  EXPECT_EQ(m.size(), 1005);
+  EXPECT_EQ(m.at(1000, 5), 1u);
+  EXPECT_EQ(m.at(2, 3), 1u);
+  EXPECT_EQ(m.total(), 4u);
 }
 
 TEST(TraceIo, FullDirectoryRoundTrip) {

@@ -249,6 +249,45 @@ TEST(FaultInject, KillDuringConveyorRunIsContained) {
   EXPECT_TRUE(fi::was_killed(1));
 }
 
+TEST(FaultInject, KillAtBarrierOnTreeBarrierPathReleasesSurvivors) {
+  // 40 PEs puts barrier_all's data-less fast path on the combining-tree
+  // arrival barrier (ArrivalBarrier::kTreeThreshold = 32). The kill fires
+  // at barrier entry before arrive(), so mark_current_pe_dead must
+  // deactivate the dead PE's leaf-to-root path or every survivor of that
+  // round — and of all later rounds — parks forever.
+  fi::Plan p;
+  p.seed = 11;
+  p.kill_pe = 17;
+  p.kill_at_barrier = 2;
+  fi::Session session(p);
+  shmem::run(cfg_of(40, 8), [] {
+    const int me = shmem::my_pe();
+    for (int iter = 0; iter < 5; ++iter) shmem::barrier_all();
+    EXPECT_NE(me, 17) << "killed PE body must not run past its barrier";
+    EXPECT_EQ(shmem::live_pes(), 39);
+    // Data-carrying collectives keep working over the shrunken live set.
+    EXPECT_EQ(shmem::sum_reduce(std::int64_t{1}), 39);
+  });
+  EXPECT_TRUE(fi::was_killed(17));
+}
+
+TEST(FaultInject, KillLastHoldoutOfOpenTreeBarrierRound) {
+  // Same tree-path shape, but the kill lands on the PE the scheduler
+  // resumes *last* in the round-robin order (PE 39): every other PE has
+  // already arrived at the open round when the kill fires, so deactivate
+  // itself must complete the round on the dead PE's behalf.
+  fi::Plan p;
+  p.seed = 13;
+  p.kill_pe = 39;
+  p.kill_at_barrier = 1;
+  fi::Session session(p);
+  shmem::run(cfg_of(40, 40), [] {
+    for (int iter = 0; iter < 3; ++iter) shmem::barrier_all();
+    EXPECT_EQ(shmem::live_pes(), 39);
+  });
+  EXPECT_TRUE(fi::was_killed(39));
+}
+
 // ------------------------------------------------- env plan + auto-install
 
 struct EnvVar {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/barrier.hpp"
 #include "runtime/fiber.hpp"
 #include "runtime/finish.hpp"
 #include "runtime/scheduler.hpp"
@@ -327,5 +328,87 @@ TEST_P(SchedulerPeSweep, BarrierStyleHandshakeAcrossPeCounts) {
 
 INSTANTIATE_TEST_SUITE_P(PeCounts, SchedulerPeSweep,
                          ::testing::Values(1, 2, 3, 4, 8, 16, 32, 64));
+
+// ------------------------------------------------- barrier deactivation
+
+TEST(Barrier, SenseDeactivateCompletesOpenRound) {
+  ap::rt::SenseBarrier b(4);
+  const auto t0 = b.arrive(0);
+  const auto t1 = b.arrive(1);
+  const auto t2 = b.arrive(2);
+  EXPECT_FALSE(b.passed(t0));
+  b.deactivate(3);  // last holdout dies: round completes on its behalf
+  EXPECT_TRUE(b.passed(t0) && b.passed(t1) && b.passed(t2));
+  EXPECT_EQ(b.participants(), 3);
+  // Later rounds run over the shrunken set.
+  (void)b.arrive(0);
+  (void)b.arrive(1);
+  const auto t = b.arrive(2);
+  EXPECT_TRUE(b.passed(t));
+}
+
+TEST(Barrier, SenseDeactivateWithNoArrivalsLeavesRoundOpen) {
+  ap::rt::SenseBarrier b(3);
+  b.deactivate(2);
+  const auto t = b.arrive(0);
+  EXPECT_FALSE(b.passed(t));
+  (void)b.arrive(1);
+  EXPECT_TRUE(b.passed(t));
+}
+
+TEST(Barrier, TreeDeactivateLastHoldoutCompletesRound) {
+  // 40 participants, fan-in 4: a three-level tree. Every PE but 17
+  // arrives; deactivating 17 must complete its leaf and climb to the
+  // root like the last arriver would.
+  ap::rt::TreeBarrier b(40);
+  std::vector<std::uint64_t> tickets;
+  for (int pe = 0; pe < 40; ++pe)
+    if (pe != 17) tickets.push_back(b.arrive(pe));
+  for (const auto t : tickets) EXPECT_FALSE(b.passed(t));
+  b.deactivate(17);
+  for (const auto t : tickets) EXPECT_TRUE(b.passed(t));
+  EXPECT_EQ(b.participants(), 39);
+}
+
+TEST(Barrier, TreeDeactivateBeforeArrivalsShrinksLaterRounds) {
+  ap::rt::TreeBarrier b(40);
+  b.deactivate(17);
+  std::uint64_t last = 0;
+  for (int pe = 0; pe < 40; ++pe)
+    if (pe != 17) last = b.arrive(pe);
+  EXPECT_TRUE(b.passed(last));
+}
+
+TEST(Barrier, TreeDeactivateWholeLeafSubtreePrunesIt) {
+  // Kill PEs 16..19 — an entire fan-in-4 leaf. The empty leaf must be
+  // pruned from its parent's expected count across any mix of kill
+  // orderings and open arrivals.
+  ap::rt::TreeBarrier b(40);
+  std::vector<std::uint64_t> tickets;
+  for (int pe = 0; pe < 16; ++pe) tickets.push_back(b.arrive(pe));
+  b.deactivate(16);
+  b.deactivate(17);
+  b.deactivate(18);
+  b.deactivate(19);
+  for (const auto t : tickets) EXPECT_FALSE(b.passed(t));
+  for (int pe = 20; pe < 40; ++pe) tickets.push_back(b.arrive(pe));
+  for (const auto t : tickets) EXPECT_TRUE(b.passed(t));
+  // Two more rounds over the 36 survivors still complete.
+  for (int round = 0; round < 2; ++round) {
+    std::uint64_t last = 0;
+    for (int pe = 0; pe < 40; ++pe)
+      if (pe < 16 || pe >= 20) last = b.arrive(pe);
+    EXPECT_TRUE(b.passed(last));
+  }
+}
+
+TEST(Barrier, TreeDeactivateDownToOneParticipant) {
+  ap::rt::TreeBarrier b(33);
+  for (int pe = 1; pe < 33; ++pe) b.deactivate(pe);
+  EXPECT_EQ(b.participants(), 1);
+  const auto t = b.arrive(0);
+  EXPECT_TRUE(b.passed(t));
+  EXPECT_TRUE(b.passed(b.arrive(0)));
+}
 
 }  // namespace

@@ -212,6 +212,53 @@ TEST(Serve, RefreshIngestsShardsIncrementally) {
   EXPECT_EQ(svc.handle("GET", "/analyze").status, 200);
 }
 
+// 4-digit shard names: the daemon's scan constructs the expected name for
+// every PE index and its incremental path parses the index back out of the
+// name ("PE1000..." -> 1000) — neither may rely on directory sort order,
+// where PE1000 lands before PE2. A grown PE1000 shard must re-ingest into
+// logical[1000], not whatever slot a lexicographic walk would assign.
+TEST(Serve, RefreshMapsFourDigitShardsToTheRightPes) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "serve_4digit";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto write_shard = [&](int pe, std::vector<ap::prof::LogicalSendRecord> rows) {
+    std::ofstream os(dir / io::logical_file_name(pe));
+    io::write_logical(os, rows);
+  };
+  write_shard(2, {{0, 2, 0, 3, 8}});
+  write_shard(10, {{0, 10, 0, 4, 8}});
+  write_shard(1000, {{0, 1000, 0, 5, 8}});
+  {
+    std::ofstream os(dir / io::kManifestFile);
+    os << "num_pes 1005\n";
+  }
+
+  TraceService svc(dir);
+  ASSERT_EQ(svc.trace().num_pes, 1005);
+  ASSERT_EQ(svc.trace().logical.size(), 1005u);
+  ASSERT_EQ(svc.trace().logical[1000].size(), 1u);
+  EXPECT_EQ(svc.trace().logical[1000][0].dst_pe, 5);
+  ASSERT_EQ(svc.trace().logical[10].size(), 1u);
+  EXPECT_EQ(svc.trace().logical[10][0].dst_pe, 4);
+
+  // PE1000's shard grows: the incremental path must map the name back to
+  // PE index 1000 (std::atoi past the "PE" prefix, all four digits).
+  write_shard(1000, {{0, 1000, 0, 5, 8}, {0, 1000, 0, 7, 8}});
+  ASSERT_TRUE(svc.refresh());
+  ASSERT_EQ(svc.trace().logical[1000].size(), 2u);
+  EXPECT_EQ(svc.trace().logical[1000][1].dst_pe, 7);
+  // Neighbors in lexicographic order were not disturbed.
+  EXPECT_EQ(svc.trace().logical[2].size(), 1u);
+  EXPECT_EQ(svc.trace().logical[10].size(), 1u);
+  EXPECT_TRUE(svc.trace().logical[100].empty());
+
+  // The heatmap endpoint buckets the 1005-PE matrix sparsely and answers.
+  const Response h = svc.handle("GET", "/heatmap");
+  ASSERT_EQ(h.status, 200);
+  EXPECT_NE(h.body.find("\"bucketed\":true"), std::string::npos);
+  EXPECT_NE(h.body.find("\"num_pes\":1005"), std::string::npos);
+}
+
 // ---------------------------------------------------------------- sockets
 
 std::string http_get(int port, const std::string& target) {

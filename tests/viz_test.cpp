@@ -186,4 +186,54 @@ TEST(BucketMatrix, SumsPreserved) {
   EXPECT_THROW(prof::bucket_matrix(m, 0), std::invalid_argument);
 }
 
+// Regression: a 0-PE matrix (empty or fully-unparsable trace dir) used to
+// dereference max_element(end()) — render_heatmap must return a stub.
+TEST(RenderHeatmap, ZeroPeMatrixReturnsStubNotUb) {
+  viz::HeatmapOptions o;
+  o.title = "empty trace";
+  const std::string dense = viz::render_heatmap(prof::CommMatrix{}, o);
+  EXPECT_NE(dense.find("empty trace"), std::string::npos);
+  EXPECT_NE(dense.find("(empty matrix: no PEs)"), std::string::npos);
+  const std::string sparse =
+      viz::render_heatmap(prof::SparseCommMatrix{}, o);
+  EXPECT_EQ(sparse, dense);
+}
+
+TEST(RenderHeatmap, SparseOverloadMatchesDense) {
+  const prof::CommMatrix dense = sample_matrix();
+  prof::SparseCommMatrix sparse(dense.size());
+  for (int s = 0; s < dense.size(); ++s)
+    for (int d = 0; d < dense.size(); ++d)
+      if (dense.at(s, d) != 0) sparse.add(s, d, dense.at(s, d));
+  viz::HeatmapOptions o;
+  o.title = "parity";
+  EXPECT_EQ(viz::render_heatmap(sparse, o), viz::render_heatmap(dense, o));
+}
+
+TEST(RenderHeatmap, SparseNonDivisibleBucketingLabelsShortLastBucket) {
+  // 130 PEs into 64 cells: per = ceil(130/64) = 3, 44 buckets, last = 1 PE.
+  prof::SparseCommMatrix m(130);
+  for (int s = 0; s < 130; ++s) m.add(s, (s + 1) % 130, 5);
+  viz::HeatmapOptions o;
+  o.max_cells = 64;
+  const std::string s = viz::render_heatmap(m, o);
+  EXPECT_NE(s.find("downsampled"), std::string::npos);
+  EXPECT_NE(s.find("aggregates 3 PEs"), std::string::npos);
+  EXPECT_NE(s.find("last bucket 1 PEs"), std::string::npos);
+}
+
+TEST(Svg, SparseHeatmapBucketsAndNotesTitle) {
+  prof::SparseCommMatrix m(1000);
+  for (int s = 0; s < 1000; ++s) m.add(s, (s * 7) % 1000, 2);
+  const std::string s = viz::svg_heatmap(m, "big fleet");
+  EXPECT_EQ(s.rfind("<svg", 0), 0u);
+  EXPECT_NE(s.find("bucketed:"), std::string::npos);
+  // Small sparse matrices pass through unbucketed with a plain title.
+  prof::SparseCommMatrix small(4);
+  small.add(0, 1, 3);
+  const std::string t = viz::svg_heatmap(small, "small fleet");
+  EXPECT_NE(t.find("small fleet"), std::string::npos);
+  EXPECT_EQ(t.find("bucketed:"), std::string::npos);
+}
+
 }  // namespace

@@ -20,7 +20,8 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 cmake --preset default >/dev/null
 cmake --build --preset default -j "${jobs}" \
-  --target micro_conveyor micro_selector scaling_triangle bench_trace bench_backend
+  --target micro_conveyor micro_selector scaling_triangle scaling_pe_count \
+           bench_trace bench_backend
 
 bin=build/bench
 tmp=$(mktemp -d)
@@ -43,6 +44,19 @@ items_per_sec() { # file key
   awk -v key="\"$2\"" '
     index($0, key ":") {
       if (match($0, /"items_per_sec": *[0-9.eE+-]+/)) {
+        s = substr($0, RSTART, RLENGTH)
+        sub(/.*: */, "", s)
+        print s
+        exit
+      }
+    }' "$1"
+}
+
+# Same idea for "alloc_bytes_per_pe" (scaling_pe_count sections).
+alloc_bytes_per_pe() { # file key
+  awk -v key="\"$2\"" '
+    index($0, key ":") {
+      if (match($0, /"alloc_bytes_per_pe": *[0-9.eE+-]+/)) {
         s = substr($0, RSTART, RLENGTH)
         sub(/.*: */, "", s)
         print s
@@ -114,6 +128,40 @@ if [[ "${1:-}" == "--check" ]]; then
     echo "ok bin_read: ${bin_read} rows/s vs committed ${old} (tolerance ${tol}%)"
   fi
 
+  # Memory-at-scale gates (docs/PERFORMANCE.md, "Memory at scale"): per-PE
+  # heap bytes must stay flat — within 2x — from 256 to 2048 PEs on both
+  # kernels within the fresh run (an O(P^2) structure multiplies it by 8x
+  # per line), and the 2048-PE numbers must not regress vs the committed
+  # BENCH_scaling.json. Bytes, not wall time: allocation counts are
+  # machine-independent, so the committed baseline is comparable here.
+  run "${bin}/scaling_pe_count" --json="${tmp}/scaling.json" >/dev/null
+  for kernel in histogram triangle; do
+    small=$(alloc_bytes_per_pe "${tmp}/scaling.json" "${kernel}_256")
+    big=$(alloc_bytes_per_pe "${tmp}/scaling.json" "${kernel}_2048")
+    if [[ -z "${small}" || -z "${big}" ]]; then
+      echo "bench --check: missing alloc_bytes_per_pe for '${kernel}'" >&2
+      exit 1
+    fi
+    if awk -v b="${big}" -v s="${small}" 'BEGIN { exit !(b > 2 * s) }'; then
+      echo "REGRESSION ${kernel} scaling: ${big} B/PE at 2048 PEs vs ${small} at 256 (gate: <= 2x)"
+      fail=1
+    else
+      echo "ok ${kernel} scaling: ${big} B/PE at 2048 PEs vs ${small} at 256 (gate: <= 2x)"
+    fi
+    old=$(alloc_bytes_per_pe BENCH_scaling.json "${kernel}_2048")
+    if [[ -z "${old}" ]]; then
+      echo "bench --check: missing ${kernel}_2048 baseline in BENCH_scaling.json" >&2
+      exit 1
+    fi
+    if awk -v n="${big}" -v o="${old}" -v t="${tol}" \
+         'BEGIN { exit !(n > o * (1 + t / 100)) }'; then
+      echo "REGRESSION ${kernel}_2048 bytes: ${big} B/PE vs committed ${old} (> ${tol}% more)"
+      fail=1
+    else
+      echo "ok ${kernel}_2048 bytes: ${big} B/PE vs committed ${old} (tolerance ${tol}%)"
+    fi
+  done
+
   # Threads-backend speedup gate. Compared within the fresh run (fiber vs
   # threads on this host), never against the committed BENCH_backend.json
   # (a wall-clock number from a different machine is meaningless here), and
@@ -179,6 +227,13 @@ cat BENCH_conveyor.json
 AP_SCALE="${AP_SCALE:-10}" run "${bin}/bench_trace" --json=BENCH_trace.json
 echo "Wrote BENCH_trace.json:"
 cat BENCH_trace.json
+
+# PE-count scaling baseline (per-PE allocation at 256/1024/2048 PEs; the
+# --check gate compares alloc_bytes_per_pe only — allocation is
+# machine-independent, throughput and RSS are informational).
+run "${bin}/scaling_pe_count" --json=BENCH_scaling.json >/dev/null
+echo "Wrote BENCH_scaling.json:"
+cat BENCH_scaling.json
 
 # Execution-backend baseline (fiber vs threads wall time; records the core
 # count it was captured on — the speedup is only meaningful relative to
