@@ -1,0 +1,169 @@
+// Live-publisher overhead on the profiled run (docs/OBSERVABILITY.md,
+// "Live streaming"): the same 8-PE triangle workload, fully profiled,
+// with Config::publish off vs streaming into a real in-process serve
+// daemon over loopback sockets. The publisher's contract is that staging
+// is cheap and every socket operation lives on its own thread, so the
+// profiled run's wall time must not move by more than a few percent —
+// tools/bench.sh --check gates overhead_pct < 5 within this fresh run
+// (never against the committed BENCH_publish.json: wall-clock numbers
+// from another machine are not comparable).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "apps/triangle.hpp"
+#include "bench_json.hpp"
+#include "core/profiler.hpp"
+#include "graph/distribution.hpp"
+#include "graph/rmat.hpp"
+#include "serve/http.hpp"
+#include "serve/publisher.hpp"
+#include "serve/registry.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+using namespace ap;
+namespace fs = std::filesystem;
+
+constexpr int kPes = 8;
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+graph::Csr build(int scale) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 16;
+  p.seed = 0x5CA1E;
+  p.permute_vertices = false;
+  const auto edges = graph::rmat_edges(p);
+  return graph::Csr::from_edges(graph::Vertex{1} << scale, edges, true);
+}
+
+struct Run {
+  double secs = 0;  // wall seconds of the profiled run, best of reps
+  std::uint64_t items = 0;
+  serve::Publisher::Stats pub;
+};
+
+/// One profiled triangle run per rep; only the shmem::run section is
+/// timed (write_traces + flush drain the queue between reps, untimed —
+/// the gate is about the run the PEs experience, not the final upload).
+Run run_once(const graph::Csr& lower, const fs::path& dir, int port,
+             const std::string& run_id, int reps) {
+  Run r;
+  for (int i = 0; i <= reps; ++i) {  // rep 0 is warmup
+    prof::Config pc = prof::Config::all_enabled();
+    pc.trace_dir = dir;
+    pc.trace_format = prof::TraceFormat::binary;
+    if (port > 0) {
+      pc.publish = "127.0.0.1:" + std::to_string(port);
+      pc.publish_run = run_id;
+    }
+    prof::Profiler profiler(pc);
+    convey::reset_lifetime_totals();
+    const double t0 = wall_now();
+    shmem::run(
+        [&] {
+          rt::LaunchConfig lc;
+          lc.num_pes = kPes;
+          lc.pes_per_node = kPes;
+          lc.symm_heap_bytes = 64 << 20;
+          return lc;
+        }(),
+        [&] {
+          graph::RangeDistribution dist(shmem::n_pes(), lower);
+          apps::count_triangles_actor(lower, dist, &profiler);
+        });
+    const double secs = wall_now() - t0;
+    profiler.write_traces();
+    if (i == 0) continue;
+    if (r.secs == 0 || secs < r.secs) r.secs = secs;
+    r.items = convey::lifetime_totals().pushed;
+    if (profiler.publisher() != nullptr) r.pub = profiler.publisher()->stats();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int scale = [] {
+    const char* v = std::getenv("AP_SCALE");
+    return v != nullptr ? std::atoi(v) : 10;
+  }();
+  const int reps = 3;
+  const graph::Csr lower = build(scale);
+  const fs::path dir =
+      fs::temp_directory_path() / "actorprof_bench_publish_trace";
+
+  // A real daemon on an ephemeral loopback port, pure push mode.
+  serve::ServiceRegistry reg({});
+  std::atomic<int> port{0};
+  std::atomic<bool> stop{false};
+  serve::ServerOptions so;
+  so.port = 0;
+  so.poll_interval_ms = 10;
+  so.bound_port = &port;
+  so.stop = &stop;
+  std::ostringstream sink;
+  std::thread daemon([&] { serve::run_server(reg, so, sink, sink); });
+  while (port.load() == 0) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+
+  const Run off = run_once(lower, dir, 0, "", reps);
+  const Run on = run_once(lower, dir, port.load(), "bench", reps);
+
+  stop.store(true);
+  daemon.join();
+  fs::remove_all(dir);
+
+  const double overhead_pct = (on.secs / off.secs - 1.0) * 100.0;
+  std::printf(
+      "publish off: %.3fs   on: %.3fs   overhead: %.2f%%   "
+      "(%llu segments, %llu bytes, %llu dropped, %llu failed posts)\n",
+      off.secs, on.secs, overhead_pct,
+      static_cast<unsigned long long>(on.pub.segments_published),
+      static_cast<unsigned long long>(on.pub.bytes_published),
+      static_cast<unsigned long long>(on.pub.segments_dropped),
+      static_cast<unsigned long long>(on.pub.posts_failed));
+
+  if (const char* path = bench_json::json_path(argc, argv)) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_publish: cannot open %s\n", path);
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"bench_publish\",\n"
+        "  \"config\": {\"pes\": %d, \"scale\": %d, \"reps\": %d},\n"
+        "  \"results\": {\n"
+        "    \"publish_off\": {\"secs\": %.4f, \"items_per_sec\": %.1f},\n"
+        "    \"publish_on\": {\"secs\": %.4f, \"items_per_sec\": %.1f, "
+        "\"segments_published\": %llu, \"bytes_published\": %llu, "
+        "\"segments_dropped\": %llu, \"posts_failed\": %llu},\n"
+        "    \"overhead_pct\": %.2f\n"
+        "  }\n"
+        "}\n",
+        kPes, scale, reps, off.secs,
+        static_cast<double>(off.items) / off.secs, on.secs,
+        static_cast<double>(on.items) / on.secs,
+        static_cast<unsigned long long>(on.pub.segments_published),
+        static_cast<unsigned long long>(on.pub.bytes_published),
+        static_cast<unsigned long long>(on.pub.segments_dropped),
+        static_cast<unsigned long long>(on.pub.posts_failed), overhead_pct);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -52,9 +52,12 @@ int main() {
   prof::Config cfg = prof::Config::all_enabled();
   cfg.trace_dir = "quickstart_trace";
   cfg.timeline = true;  // also record a Google Trace Events timeline
-  cfg.check = prof::Config::from_env().check;  // honor ACTORPROF_CHECK=1
-  cfg.trace_format =
-      prof::Config::from_env().trace_format;  // ACTORPROF_TRACE_FORMAT
+  const prof::Config env = prof::Config::from_env();
+  cfg.check = env.check;                  // honor ACTORPROF_CHECK=1
+  cfg.trace_format = env.trace_format;    // ACTORPROF_TRACE_FORMAT
+  cfg.trace_compress = env.trace_compress;  // ACTORPROF_TRACE_COMPRESS=1
+  cfg.publish = env.publish;              // ACTORPROF_PUBLISH=host:port
+  cfg.publish_run = env.publish_run;      // ACTORPROF_PUBLISH_RUN
   prof::Profiler profiler(cfg);
 
   rt::LaunchConfig lc;

@@ -45,11 +45,18 @@ int main(int argc, char** argv) {
     prof::Config pc = prof::Config::all_enabled();
     pc.keep_logical_events = false;  // aggregates are enough for plots
     pc.keep_physical_events = true;
-    pc.check = prof::Config::from_env().check;  // honor ACTORPROF_CHECK=1
-    pc.trace_format =
-        prof::Config::from_env().trace_format;  // ACTORPROF_TRACE_FORMAT
-    pc.trace_dir = std::string("triangle_trace_") +
-                   (kind == graph::DistKind::Cyclic1D ? "cyclic" : "range");
+    const prof::Config env = prof::Config::from_env();
+    pc.check = env.check;                  // honor ACTORPROF_CHECK=1
+    pc.trace_format = env.trace_format;    // ACTORPROF_TRACE_FORMAT
+    pc.trace_compress = env.trace_compress;  // ACTORPROF_TRACE_COMPRESS=1
+    const char* tag = kind == graph::DistKind::Cyclic1D ? "cyclic" : "range";
+    pc.trace_dir = std::string("triangle_trace_") + tag;
+    if (!env.publish.empty()) {  // ACTORPROF_PUBLISH=host:port live-streams
+      pc.publish = env.publish;  // each distribution as its own run id
+      pc.publish_run =
+          (env.publish_run.empty() ? "triangle_" : env.publish_run + "_") +
+          std::string(tag);
+    }
     prof::Profiler profiler(pc);
 
     std::int64_t got = 0;
@@ -116,7 +123,16 @@ int main(int argc, char** argv) {
       "  curl -s 'localhost:7077/diff?base=triangle_trace_cyclic'  # "
       "Range vs Cyclic\n"
       "  actorprof export --csv triangle_trace_range -o csv_copy   # "
-      "CSV interchange\n",
-      argv[0]);
+      "CSV interchange\n"
+      "live streaming (docs/OBSERVABILITY.md, \"Live streaming\"):\n"
+      "  actorprof serve triangle_trace_range --port 7077 &   # the "
+      "collector daemon\n"
+      "  ACTORPROF_PUBLISH=127.0.0.1:7077 %s        # streams both runs "
+      "into it\n"
+      "  actorprof tail 127.0.0.1:7077 --run triangle_range   # "
+      "superstep deltas as they close\n"
+      "  curl -s 'localhost:7077/analyze?run=triangle_range'  # same "
+      "bytes as the file-based report\n",
+      argv[0], argv[0]);
   return 0;
 }

@@ -60,6 +60,25 @@ std::size_t env_size_strict(const char* name, std::size_t fallback) {
   return static_cast<std::size_t>(parsed);
 }
 
+/// Strict "host:port" parse: exactly one colon, a non-empty host, and an
+/// all-digits port in 1..65535.
+std::string env_hostport_strict(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const std::string s(v);
+  const std::size_t colon = s.find(':');
+  if (colon == 0 || colon == std::string::npos ||
+      s.find(':', colon + 1) != std::string::npos)
+    bad_value(name, v, "host:port");
+  const std::string port = s.substr(colon + 1);
+  if (port.empty() || port.size() > 5 ||
+      port.find_first_not_of("0123456789") != std::string::npos)
+    bad_value(name, v, "host:port");
+  const long p = std::strtol(port.c_str(), nullptr, 10);
+  if (p < 1 || p > 65535) bad_value(name, v, "host:port with port 1-65535");
+  return s;
+}
+
 /// Strict trace-format parse: exactly "csv" or "binary".
 TraceFormat env_format_strict(const char* name, TraceFormat fallback) {
   const char* v = std::getenv(name);
@@ -84,6 +103,11 @@ Config Config::from_env() {
   c.physical = env_flag("ACTORPROF_TRACE_PHYSICAL", c.physical);
   if (const char* dir = std::getenv("ACTORPROF_TRACE_DIR")) c.trace_dir = dir;
   c.trace_format = env_format_strict("ACTORPROF_TRACE_FORMAT", c.trace_format);
+  c.trace_compress =
+      env_bool_strict("ACTORPROF_TRACE_COMPRESS", c.trace_compress);
+  c.publish = env_hostport_strict("ACTORPROF_PUBLISH", c.publish);
+  if (const char* run = std::getenv("ACTORPROF_PUBLISH_RUN"))
+    c.publish_run = run;
 
   c.supersteps = env_bool_strict("ACTORPROF_SUPERSTEPS", c.supersteps);
   c.timeline = env_bool_strict("ACTORPROF_TIMELINE", c.timeline);

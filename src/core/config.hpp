@@ -67,6 +67,24 @@ struct Config {
   /// overall.txt and MANIFEST.txt are text in both formats.
   TraceFormat trace_format = TraceFormat::csv;
 
+  /// Re-frame binary trace files into the version-2 compressed .apt
+  /// container (per-block LZ, docs/TRACE_FORMAT.md "Compression") before
+  /// they hit disk or the publisher. No effect on CSV output.
+  bool trace_compress = false;
+
+  /// Live streaming target, "host:port" of a running `actorprof serve`
+  /// daemon (empty = off). When set, the profiler starts a background
+  /// publisher thread that pushes closed supersteps, metric-ring
+  /// snapshots, and advisor findings to POST /ingest as they happen, and
+  /// the full trace at write_traces() time (docs/OBSERVABILITY.md, "Live
+  /// streaming"). Bounded drop-oldest queue: a slow or dead collector
+  /// never stalls PEs.
+  std::string publish;
+
+  /// Run id the publisher registers under on the serve daemon (the
+  /// `?run=` key). Empty = "push" (the daemon's default push-run id).
+  std::string publish_run;
+
   /// Keep individual records in memory (needed to write per-event files).
   /// The aggregated comm matrices are always maintained; disabling this
   /// bounds memory on runs with billions of sends (paper §IV-E / §VI).
@@ -148,6 +166,13 @@ struct Config {
   ///   ACTORPROF_TRACE_DIR (path)          — output directory
   ///   ACTORPROF_TRACE_FORMAT (csv|binary) — on-disk trace encoding
   ///                                         (strict parse)
+  ///   ACTORPROF_TRACE_COMPRESS (0/1)      — version-2 compressed .apt
+  ///                                         container (strict parse)
+  ///   ACTORPROF_PUBLISH (host:port)       — live-stream to a serve
+  ///                                         daemon (strict parse: one
+  ///                                         colon, non-empty host, port
+  ///                                         1-65535)
+  ///   ACTORPROF_PUBLISH_RUN (run id)      — run id to publish under
   ///   ACTORPROF_SUPERSTEPS (0/1)          — per-superstep PEi_steps.csv
   ///   ACTORPROF_TIMELINE (0/1)            — Chrome timeline + flow events
   ///   ACTORPROF_METRICS (0/1)             — live metrics registry/sampler

@@ -7,10 +7,12 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/trace_binary.hpp"
 #include "core/trace_io.hpp"
 #include "papi/cycles.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/scheduler.hpp"
+#include "serve/publisher.hpp"
 #include "shmem/shmem.hpp"
 
 namespace ap::prof {
@@ -71,6 +73,21 @@ Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {
   if (cfg_.metrics) {
     prev_tick_ = rt::set_tick_hook([this] { tick(); });
     tick_installed_ = true;
+  }
+  if (!cfg_.publish.empty()) {
+    serve::Publisher::Options po;
+    if (!serve::Publisher::parse_endpoint(cfg_.publish, po.host, po.port))
+      throw std::invalid_argument("Config::publish=\"" + cfg_.publish +
+                                  "\": expected host:port");
+    if (!cfg_.publish_run.empty()) {
+      // Reject here, not with a 400 on every POST the collector answers.
+      if (!serve::valid_run_id(cfg_.publish_run))
+        throw std::invalid_argument("Config::publish_run=\"" +
+                                    cfg_.publish_run +
+                                    "\": expected [A-Za-z0-9._-]{1,64}");
+      po.run = cfg_.publish_run;
+    }
+    publisher_ = std::make_unique<serve::Publisher>(std::move(po));
   }
 }
 
@@ -163,6 +180,13 @@ void Profiler::ensure_world() {
     have_sample_baseline_ = false;
     last_sample_cycles_ = 0;
   }
+  // A live collector needs the PE count before any shard frame makes
+  // sense; the minimal manifest is enough for parse_manifest() and is
+  // replaced by the full one at write_all() time.
+  if (publisher_)
+    publisher_->publish_file(io::kManifestFile,
+                             "num_pes " + std::to_string(n) + "\n",
+                             /*append=*/false);
   // Release: every bind above is visible to any thread that observes the
   // flag true on the fast path (and to the tick hook's gate).
   topo_known_.store(true, std::memory_order_release);
@@ -610,6 +634,16 @@ void Profiler::close_superstep(PeData& d, int pe, std::uint64_t arrive) {
   // supersteps() accessor raises this to the fleet max arrival.
   r.barrier_release = arrive;
   d.steps.push_back(r);
+  // Live streaming: every closed superstep becomes an append frame on the
+  // PE's binary steps shard, so a collector sees progress mid-run. The
+  // frame carries the local arrival as its release; write_all()'s replace
+  // frames later supersede it with the fleet-max values.
+  if (publisher_) {
+    metrics::OverheadMeter::Scope cost(meter_.bound() ? &meter_ : nullptr,
+                                       OverheadCategory::publish, pe);
+    publisher_->publish_file(io::binary_file_name(io::steps_file_name(pe)),
+                             io::encode_steps({r}), /*append=*/true);
+  }
   ++d.cur_step;
   d.ss_main = d.t_main;
   d.ss_proc = d.t_proc;
@@ -851,6 +885,33 @@ void Profiler::tick() {
   detect(ids_.queue_depth, metrics::AnomalyKind::ProcBacklog, kMinBacklogAbs);
   detect(ids_.comm_share_milli, metrics::AnomalyKind::CommShare,
          kMinCommShareAbs);
+
+  // Live streaming: the freshly-pushed ring snapshot replaces the
+  // collector's metric_samples shard, and any findings the detector just
+  // produced ride along as text lines (the /live SSE anomaly feed). The
+  // tick runs on one thread, so published_anomalies_ needs no atomics.
+  if (publisher_) {
+    metrics::OverheadMeter::Scope pcost(&meter_, OverheadCategory::publish,
+                                        metrics::OverheadMeter::kGlobalSlot);
+    publisher_->publish_file(io::kMetricSamplesFile,
+                             io::encode_metric_samples(ring_),
+                             /*append=*/false);
+    const auto& items = anomalies_.items();
+    if (items.size() > published_anomalies_) {
+      std::string lines;
+      for (std::size_t i = published_anomalies_; i < items.size(); ++i) {
+        const metrics::Anomaly& a = items[i];
+        lines += std::string(metrics::to_string(a.kind)) +
+                 " pe=" + std::to_string(a.pe) +
+                 " t_cycles=" + std::to_string(a.t_cycles) +
+                 " value=" + std::to_string(a.value) +
+                 " fleet_median=" + std::to_string(a.fleet_median) + "\n";
+      }
+      published_anomalies_ = items.size();
+      publisher_->publish_file("anomalies.txt", std::move(lines),
+                               /*append=*/true);
+    }
+  }
 }
 
 // ------------------------------------------------------------------ results
@@ -1025,6 +1086,25 @@ void Profiler::write_metrics_prometheus(std::ostream& os) const {
          << "\n";
     }
   }
+  if (publisher_ != nullptr) {
+    const serve::Publisher::Stats s = publisher_->stats();
+    os << "# HELP actorprof_publish_segments_total Trace segments POSTed "
+          "to the live collector\n"
+       << "# TYPE actorprof_publish_segments_total counter\n"
+       << "actorprof_publish_segments_total " << s.segments_published << "\n"
+       << "# HELP actorprof_publish_bytes_total Push-frame bytes POSTed to "
+          "the live collector\n"
+       << "# TYPE actorprof_publish_bytes_total counter\n"
+       << "actorprof_publish_bytes_total " << s.bytes_published << "\n"
+       << "# HELP actorprof_publish_dropped_total Segments dropped by the "
+          "bounded publish queue or failed posts\n"
+       << "# TYPE actorprof_publish_dropped_total counter\n"
+       << "actorprof_publish_dropped_total " << s.segments_dropped << "\n"
+       << "# HELP actorprof_publish_posts_failed_total POST /ingest "
+          "attempts that did not return 200\n"
+       << "# TYPE actorprof_publish_posts_failed_total counter\n"
+       << "actorprof_publish_posts_failed_total " << s.posts_failed << "\n";
+  }
 }
 
 void Profiler::write_metrics_json(std::ostream& os) const {
@@ -1095,6 +1175,7 @@ void Profiler::clear() {
     have_sample_baseline_ = false;
     last_sample_cycles_ = 0;
   }
+  published_anomalies_ = 0;
 }
 
 }  // namespace ap::prof

@@ -54,6 +54,10 @@
 #include "shmem/profiling_interface.hpp"
 #include "shmem/topology.hpp"
 
+namespace ap::serve {
+class Publisher;
+}
+
 namespace ap::prof {
 
 class Profiler final : public actor::ActorObserver,
@@ -223,6 +227,11 @@ class Profiler final : public actor::ActorObserver,
   /// holds all PEs' data, so any PE — or post-run code — may call this).
   void write_traces() const;
 
+  /// The live-stream publisher (Config::publish), or nullptr when live
+  /// streaming is off. write_all() pushes final file bodies through it so
+  /// a pushed run converges to the on-disk bytes.
+  [[nodiscard]] serve::Publisher* publisher() const { return publisher_.get(); }
+
   /// Drop all collected data (between experiments).
   void clear();
 
@@ -381,6 +390,13 @@ class Profiler final : public actor::ActorObserver,
   std::atomic<int> epoch_ends_since_flush_{0};
   std::vector<std::int64_t> sample_scratch_;
   std::vector<double> detect_scratch_;
+  /// Live-stream publisher (Config::publish). Owned here so superstep
+  /// closes and metric ticks can stage push frames without the serve
+  /// daemon being linked in.
+  std::unique_ptr<serve::Publisher> publisher_;
+  /// Anomalies already staged as push frames by tick() (tick runs on one
+  /// thread, so no atomics needed).
+  std::size_t published_anomalies_ = 0;
 };
 
 }  // namespace ap::prof

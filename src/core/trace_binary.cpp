@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <map>
+#include <stdexcept>
 #include <utility>
 
 #include "metrics/sampler.hpp"
@@ -13,6 +15,14 @@ namespace {
 
 constexpr std::size_t kRowsPerBlock = 4096;
 constexpr std::uint8_t kFlagCrc = 0x01;
+/// Header flag bit of the version-2 container: blocks carry a flag byte.
+constexpr std::uint8_t kFlagCompressed = 0x02;
+/// Version-2 per-block flag byte values.
+constexpr std::uint8_t kBlockStored = 0;
+constexpr std::uint8_t kBlockLz = 1;
+/// Cap on a compressed block's declared uncompressed size: fuzzed frames
+/// must not turn into huge allocations. Real blocks stay far below this.
+constexpr std::uint64_t kMaxRawBlockSanity = 1u << 28;
 /// Column encodings (one byte per column per block).
 constexpr std::uint8_t kEncDeltaRle = 0;
 constexpr std::uint8_t kEncDict = 1;
@@ -266,7 +276,8 @@ void decode_file(std::string_view body, BinKind expect, std::size_t ncols,
     c.fail("bad .apt magic");
   c.pos = 4;
   const std::uint8_t version = c.u8();
-  if (version != kAptVersion) c.fail("unsupported .apt version");
+  if (version != kAptVersion && version != kAptVersionCompressed)
+    c.fail("unsupported .apt version");
   if (static_cast<BinKind>(c.u8()) != expect) c.fail("wrong record kind");
   const std::uint8_t flags = c.u8();
   if (c.u8() != ncols) c.fail("unexpected column count");
@@ -275,6 +286,7 @@ void decode_file(std::string_view body, BinKind expect, std::size_t ncols,
   aux_out = c.take(aux_len);
 
   std::vector<RawColumn> cols(ncols);
+  std::string scratch;  // decompressed column sections; reused per block
   std::size_t block = 0;
   while (!c.done()) {
     c.block = ++block;
@@ -285,12 +297,28 @@ void decode_file(std::string_view body, BinKind expect, std::size_t ncols,
     }
     const std::uint64_t nrows = c.varint();
     if (nrows > kMaxRowsSanity) c.fail("implausible row count");
-    for (std::size_t k = 0; k < ncols; ++k) {
-      const std::uint8_t enc = c.u8();
-      const std::uint64_t len = c.varint();
-      if (len > body.size() - c.pos) c.fail("truncated column payload");
-      const std::size_t off = c.pos;
-      cols[k] = {enc, c.take(len), off};
+    std::uint8_t bflag = kBlockStored;
+    if (version == kAptVersionCompressed) bflag = c.u8();
+    std::uint64_t raw_len = 0;
+    std::size_t comp_off = 0;
+    std::string_view comp;
+    if (bflag == kBlockLz) {
+      raw_len = c.varint();
+      const std::uint64_t comp_len = c.varint();
+      if (raw_len > kMaxRawBlockSanity) c.fail("implausible block size");
+      if (comp_len > body.size() - c.pos) c.fail("truncated compressed block");
+      comp_off = c.pos;
+      comp = c.take(comp_len);
+    } else if (bflag == kBlockStored) {
+      for (std::size_t k = 0; k < ncols; ++k) {
+        const std::uint8_t enc = c.u8();
+        const std::uint64_t len = c.varint();
+        if (len > body.size() - c.pos) c.fail("truncated column payload");
+        const std::size_t off = c.pos;
+        cols[k] = {enc, c.take(len), off};
+      }
+    } else {
+      c.fail("unknown block flag");
     }
     if ((flags & kFlagCrc) != 0) {
       const std::size_t crc_pos = c.pos;
@@ -299,6 +327,28 @@ void decode_file(std::string_view body, BinKind expect, std::size_t ncols,
           crc32(body.data() + block_start, crc_pos - block_start);
       if (stored != fresh)
         throw BinaryParseError(block, block_start, "block CRC mismatch");
+    }
+    if (bflag == kBlockLz) {
+      // CRC already vouched for the stored bytes; a decompression failure
+      // here means the frame itself was encoded wrong.
+      try {
+        scratch = lz_decompress(comp, raw_len);
+      } catch (const std::exception& e) {
+        throw BinaryParseError(block, comp_off,
+                               std::string("bad compressed block: ") +
+                                   e.what());
+      }
+      // Column offsets inside a compressed block cannot map to file bytes;
+      // attribute them to the block start.
+      Cursor sc{scratch, 0, block_start, block};
+      for (std::size_t k = 0; k < ncols; ++k) {
+        const std::uint8_t enc = sc.u8();
+        const std::uint64_t len = sc.varint();
+        if (len > scratch.size() - sc.pos)
+          sc.fail("truncated column payload");
+        cols[k] = {enc, sc.take(len), block_start};
+      }
+      if (!sc.done()) sc.fail("trailing bytes in compressed block");
     }
     on_block(block, nrows, cols);
   }
@@ -346,6 +396,282 @@ int as_int(std::uint64_t v) {
 bool is_binary_trace(std::string_view body) {
   return body.size() >= kAptMagic.size() &&
          body.substr(0, kAptMagic.size()) == kAptMagic;
+}
+
+std::uint32_t crc32_bytes(std::string_view data) {
+  return crc32(data.data(), data.size());
+}
+
+bool is_compressed_trace(std::string_view body) {
+  return is_binary_trace(body) && body.size() > kAptMagic.size() &&
+         static_cast<std::uint8_t>(body[kAptMagic.size()]) ==
+             kAptVersionCompressed;
+}
+
+// ---- LZ codec --------------------------------------------------------------
+// Greedy LZ77 over a 64 KiB window with an 8K-entry position hash, emitted
+// as an LZ4-style token stream: per sequence one token byte (high nibble =
+// literal length, low nibble = match length - 4, 15 meaning "255-run
+// extension bytes follow"), the literals, then a 2-byte little-endian
+// back-offset. The final sequence may be literals only. Decompression
+// needs the exact uncompressed size, which the block frame records.
+
+namespace {
+
+constexpr std::size_t kLzMinMatch = 4;
+constexpr std::size_t kLzHashBits = 13;
+
+std::uint32_t lz_read32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+void lz_put_ext(std::string& out, std::size_t rest) {
+  while (rest >= 255) {
+    out.push_back(static_cast<char>(0xff));
+    rest -= 255;
+  }
+  out.push_back(static_cast<char>(rest));
+}
+
+void lz_emit(std::string& out, std::string_view in, std::size_t lit_start,
+             std::size_t lit_len, std::size_t match_len, std::size_t offset) {
+  const std::size_t lit_nib = std::min<std::size_t>(lit_len, 15);
+  const std::size_t match_nib =
+      match_len == 0 ? 0 : std::min<std::size_t>(match_len - kLzMinMatch, 15);
+  out.push_back(static_cast<char>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) lz_put_ext(out, lit_len - 15);
+  out.append(in.substr(lit_start, lit_len));
+  if (match_len > 0) {
+    out.push_back(static_cast<char>(offset & 0xff));
+    out.push_back(static_cast<char>((offset >> 8) & 0xff));
+    if (match_nib == 15) lz_put_ext(out, match_len - kLzMinMatch - 15);
+  }
+}
+
+}  // namespace
+
+std::string lz_compress(std::string_view in) {
+  std::string out;
+  out.reserve(in.size() / 2 + 16);
+  const std::size_t n = in.size();
+  std::vector<std::uint32_t> table(std::size_t{1} << kLzHashBits, 0);
+  const auto hash = [](std::uint32_t v) {
+    return (v * 2654435761u) >> (32 - kLzHashBits);
+  };
+  std::size_t anchor = 0;
+  std::size_t i = 0;
+  while (n >= kLzMinMatch && i + kLzMinMatch <= n) {
+    const std::uint32_t h = hash(lz_read32(in.data() + i));
+    const std::uint32_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(i + 1);
+    if (cand != 0 && i - (cand - 1) <= 0xffff &&
+        lz_read32(in.data() + (cand - 1)) == lz_read32(in.data() + i)) {
+      const std::size_t m = cand - 1;
+      std::size_t len = kLzMinMatch;
+      while (i + len < n && in[m + len] == in[i + len]) ++len;
+      lz_emit(out, in, anchor, i - anchor, len, i - m);
+      i += len;
+      anchor = i;
+    } else {
+      ++i;
+    }
+  }
+  if (anchor < n) lz_emit(out, in, anchor, n - anchor, 0, 0);
+  return out;
+}
+
+std::string lz_decompress(std::string_view comp, std::size_t raw_len) {
+  std::string out;
+  out.reserve(raw_len);
+  std::size_t pos = 0;
+  const auto need = [&](std::size_t k) {
+    if (comp.size() - pos < k) throw std::runtime_error("truncated LZ stream");
+  };
+  const auto read_len = [&](std::size_t nibble) {
+    std::size_t len = nibble;
+    if (nibble == 15) {
+      std::uint8_t b = 0;
+      do {
+        need(1);
+        b = static_cast<std::uint8_t>(comp[pos++]);
+        len += b;
+      } while (b == 0xff);
+    }
+    return len;
+  };
+  while (pos < comp.size()) {
+    const std::uint8_t token = static_cast<std::uint8_t>(comp[pos++]);
+    const std::size_t lit_len = read_len(token >> 4);
+    need(lit_len);
+    if (raw_len - out.size() < lit_len)
+      throw std::runtime_error("LZ output overrun");
+    out.append(comp.substr(pos, lit_len));
+    pos += lit_len;
+    if (pos >= comp.size()) break;  // final literal-only sequence
+    need(2);
+    const std::size_t offset =
+        static_cast<std::size_t>(static_cast<std::uint8_t>(comp[pos])) |
+        (static_cast<std::size_t>(static_cast<std::uint8_t>(comp[pos + 1]))
+         << 8);
+    pos += 2;
+    if (offset == 0 || offset > out.size())
+      throw std::runtime_error("bad LZ match offset");
+    const std::size_t match_len = read_len(token & 0x0f) + kLzMinMatch;
+    if (raw_len - out.size() < match_len)
+      throw std::runtime_error("LZ output overrun");
+    const std::size_t src = out.size() - offset;
+    for (std::size_t k = 0; k < match_len; ++k)
+      out.push_back(out[src + k]);  // may overlap the bytes just written
+  }
+  if (out.size() != raw_len) throw std::runtime_error("LZ size mismatch");
+  return out;
+}
+
+// ---- container re-framing --------------------------------------------------
+
+std::string compress_trace(std::string_view body) {
+  if (is_compressed_trace(body)) return std::string(body);
+  Cursor c{body};
+  if (body.size() < 8 || body.substr(0, 4) != kAptMagic)
+    c.fail("bad .apt magic");
+  c.pos = 4;
+  if (c.u8() != kAptVersion) c.fail("unsupported .apt version");
+  const std::uint8_t kind = c.u8();
+  const std::uint8_t flags = c.u8();
+  const std::uint8_t ncols = c.u8();
+  const std::uint64_t aux_len = c.varint();
+  if (aux_len > body.size() - c.pos) c.fail("bad aux length");
+  const std::string_view aux = c.take(aux_len);
+
+  std::string out;
+  out.reserve(body.size());
+  out.append(kAptMagic);
+  out.push_back(static_cast<char>(kAptVersionCompressed));
+  out.push_back(static_cast<char>(kind));
+  out.push_back(static_cast<char>(flags | kFlagCompressed));
+  out.push_back(static_cast<char>(ncols));
+  put_varint(out, aux.size());
+  out.append(aux);
+
+  std::size_t block = 0;
+  while (!c.done()) {
+    c.block = ++block;
+    const std::size_t block_start = c.pos;
+    if (c.u8() != 'B') {
+      c.pos = block_start;
+      c.fail("bad block marker");
+    }
+    const std::uint64_t nrows = c.varint();
+    const std::size_t cols_start = c.pos;
+    for (std::size_t k = 0; k < ncols; ++k) {
+      c.u8();  // encoding
+      const std::uint64_t len = c.varint();
+      if (len > body.size() - c.pos) c.fail("truncated column payload");
+      c.take(len);
+    }
+    const std::string_view raw =
+        body.substr(cols_start, c.pos - cols_start);
+    if ((flags & kFlagCrc) != 0) {
+      const std::size_t crc_pos = c.pos;
+      const std::uint32_t stored = c.u32le();
+      if (stored != crc32(body.data() + block_start, crc_pos - block_start))
+        throw BinaryParseError(block, block_start, "block CRC mismatch");
+    }
+    const std::string comp = lz_compress(raw);
+    const std::size_t start = out.size();
+    out.push_back('B');
+    put_varint(out, nrows);
+    if (comp.size() < raw.size()) {
+      out.push_back(static_cast<char>(kBlockLz));
+      put_varint(out, raw.size());
+      put_varint(out, comp.size());
+      out.append(comp);
+    } else {  // incompressible: store verbatim rather than grow the file
+      out.push_back(static_cast<char>(kBlockStored));
+      out.append(raw);
+    }
+    if ((flags & kFlagCrc) != 0)
+      put_u32le(out, crc32(out.data() + start, out.size() - start));
+  }
+  return out;
+}
+
+std::string decompress_trace(std::string_view body) {
+  Cursor c{body};
+  if (body.size() < 8 || body.substr(0, 4) != kAptMagic)
+    c.fail("bad .apt magic");
+  if (!is_compressed_trace(body)) return std::string(body);
+  c.pos = 5;  // past magic + version
+  const std::uint8_t kind = c.u8();
+  const std::uint8_t flags = c.u8();
+  const std::uint8_t ncols = c.u8();
+  const std::uint64_t aux_len = c.varint();
+  if (aux_len > body.size() - c.pos) c.fail("bad aux length");
+  const std::string_view aux = c.take(aux_len);
+
+  std::string out;
+  out.reserve(body.size() * 2);
+  out.append(kAptMagic);
+  out.push_back(static_cast<char>(kAptVersion));
+  out.push_back(static_cast<char>(kind));
+  out.push_back(static_cast<char>(flags & ~kFlagCompressed));
+  out.push_back(static_cast<char>(ncols));
+  put_varint(out, aux.size());
+  out.append(aux);
+
+  std::size_t block = 0;
+  while (!c.done()) {
+    c.block = ++block;
+    const std::size_t block_start = c.pos;
+    if (c.u8() != 'B') {
+      c.pos = block_start;
+      c.fail("bad block marker");
+    }
+    const std::uint64_t nrows = c.varint();
+    const std::uint8_t bflag = c.u8();
+    std::string raw;
+    if (bflag == kBlockLz) {
+      const std::uint64_t raw_len = c.varint();
+      const std::uint64_t comp_len = c.varint();
+      if (raw_len > kMaxRawBlockSanity) c.fail("implausible block size");
+      if (comp_len > body.size() - c.pos) c.fail("truncated compressed block");
+      const std::size_t comp_off = c.pos;
+      const std::string_view comp = c.take(comp_len);
+      try {
+        raw = lz_decompress(comp, raw_len);
+      } catch (const std::exception& e) {
+        throw BinaryParseError(block, comp_off,
+                               std::string("bad compressed block: ") +
+                                   e.what());
+      }
+    } else if (bflag == kBlockStored) {
+      const std::size_t cols_start = c.pos;
+      for (std::size_t k = 0; k < ncols; ++k) {
+        c.u8();  // encoding
+        const std::uint64_t len = c.varint();
+        if (len > body.size() - c.pos) c.fail("truncated column payload");
+        c.take(len);
+      }
+      raw = std::string(body.substr(cols_start, c.pos - cols_start));
+    } else {
+      c.fail("unknown block flag");
+    }
+    if ((flags & kFlagCrc) != 0) {
+      const std::size_t crc_pos = c.pos;
+      const std::uint32_t stored = c.u32le();
+      if (stored != crc32(body.data() + block_start, crc_pos - block_start))
+        throw BinaryParseError(block, block_start, "block CRC mismatch");
+    }
+    const std::size_t start = out.size();
+    out.push_back('B');
+    put_varint(out, nrows);
+    out.append(raw);
+    if ((flags & kFlagCrc) != 0)
+      put_u32le(out, crc32(out.data() + start, out.size() - start));
+  }
+  return out;
 }
 
 std::string binary_file_name(std::string_view csv_name) {

@@ -51,10 +51,44 @@ enum class BinKind : std::uint8_t {
 
 inline constexpr std::string_view kAptMagic = "APT1";
 inline constexpr std::uint8_t kAptVersion = 1;
+/// Version byte of the compressed container (docs/TRACE_FORMAT.md,
+/// "Compression"): same header and column codecs, but every block carries
+/// a flag byte selecting stored vs LZ-compressed column sections. Readers
+/// that predate compression reject such files with the existing
+/// "unsupported .apt version" error.
+inline constexpr std::uint8_t kAptVersionCompressed = 2;
 
 /// True when `body` starts with the .apt magic — how the loader sniffs
 /// binary vs CSV content independent of the file name.
 [[nodiscard]] bool is_binary_trace(std::string_view body);
+
+/// True when `body` is a version-2 (compressed-container) .apt file.
+[[nodiscard]] bool is_compressed_trace(std::string_view body);
+
+/// Re-frame a version-1 .apt body into the version-2 compressed container:
+/// each block's column sections are LZ-compressed (kept stored when
+/// compression would not shrink them). Lossless: decompress_trace() gives
+/// back the input byte-identically, and all decoders read both versions.
+/// Passing an already-compressed body returns it unchanged.
+[[nodiscard]] std::string compress_trace(std::string_view body);
+
+/// Inverse of compress_trace(): version-2 -> version-1, byte-identical to
+/// the original uncompressed encoding. Version-1 input is returned
+/// unchanged. Throws BinaryParseError on damage.
+[[nodiscard]] std::string decompress_trace(std::string_view body);
+
+/// CRC-32 (IEEE — the .apt block checksum) over a byte buffer. Exposed
+/// for the push-ingest framing and tests.
+[[nodiscard]] std::uint32_t crc32_bytes(std::string_view data);
+
+/// The dependency-free LZ byte codec behind the version-2 container
+/// (greedy hash-chain LZ77, 64 KiB window, LZ4-style token stream).
+/// Exposed for tests and benches.
+[[nodiscard]] std::string lz_compress(std::string_view raw);
+/// Throws std::runtime_error when `comp` is corrupt or does not expand to
+/// exactly `raw_len` bytes.
+[[nodiscard]] std::string lz_decompress(std::string_view comp,
+                                        std::size_t raw_len);
 
 /// The .apt sibling of a CSV/text trace file name:
 /// "PE0_send.csv" -> "PE0_send.apt", "physical.txt" -> "physical.apt".

@@ -10,6 +10,7 @@
 #include "core/profiler.hpp"
 #include "core/trace_binary.hpp"
 #include "faultinject/faultinject.hpp"
+#include "serve/publisher.hpp"
 
 namespace ap::prof::io {
 
@@ -388,13 +389,23 @@ void write_all(const Profiler& prof, const Config& cfg) {
 
   std::vector<ManifestEntry> written;
   std::vector<std::string> failed;
-  const auto emit = [&](const std::string& name, const std::string& body,
+  serve::Publisher* pub = prof.publisher();
+  const auto emit = [&](const std::string& name, std::string body,
                         std::uint64_t records) {
+    // Compression is a container transform applied here, at persist time:
+    // the encoders stay version-1 and the manifest describes the on-disk
+    // (possibly compressed) bytes.
+    if (cfg.trace_compress && is_binary_trace(body))
+      body = compress_trace(body);
     if (atomic_write_file(cfg.trace_dir, name, body))
       written.push_back(ManifestEntry{name, records, body.size(),
                                       fnv1a64(body.data(), body.size())});
     else
       failed.push_back(name);
+    // Live streaming: the final on-disk body replaces whatever incremental
+    // frames were pushed mid-run, so the pushed run converges to the same
+    // bytes a file-based serve would load.
+    if (pub != nullptr) pub->publish_file(name, std::move(body), false);
   };
   // Binary (.apt) and CSV traces hold identical rows; only the container
   // differs. The loader sniffs whichever is present, and `actorprof export
@@ -518,8 +529,11 @@ void write_all(const Profiler& prof, const Config& cfg) {
       out.dec(pe);
       out.put('\n');
     }
-    if (!atomic_write_file(cfg.trace_dir, kManifestFile, std::move(out).str()))
+    std::string manifest = std::move(out).str();
+    if (!atomic_write_file(cfg.trace_dir, kManifestFile, manifest))
       failed.push_back(kManifestFile);
+    if (pub != nullptr)
+      pub->publish_file(kManifestFile, std::move(manifest), false);
   }
 
   if (!failed.empty()) {
@@ -530,6 +544,16 @@ void write_all(const Profiler& prof, const Config& cfg) {
     throw std::runtime_error(msg);
   }
   if (cfg.metrics) prof.write_metrics();
+  if (pub != nullptr) {
+    if (cfg.metrics) {
+      std::ostringstream os;
+      prof.write_metrics_prometheus(os);
+      pub->publish_file("metrics.prom", os.str(), false);
+    }
+    // Bounded wait so "/analyze?run= right after write_traces()" sees the
+    // final bytes; a dead collector costs at most the flush timeout.
+    pub->flush();
+  }
 }
 
 // ------------------------------------------------------------------ parsers

@@ -14,6 +14,7 @@ std::string_view to_string(OverheadCategory c) {
     case OverheadCategory::sampler: return "sampler";
     case OverheadCategory::superstep: return "superstep";
     case OverheadCategory::check: return "check";
+    case OverheadCategory::publish: return "publish";
     case OverheadCategory::kCount: break;
   }
   return "unknown";

@@ -30,6 +30,7 @@ enum class OverheadCategory : int {
   sampler,        ///< periodic snapshot + straggler detection
   superstep,      ///< on_collective_arrive superstep close/record
   check,          ///< BSP conformance checker (docs/CHECKING.md)
+  publish,        ///< live-stream publisher staging (docs/OBSERVABILITY.md)
   kCount
 };
 

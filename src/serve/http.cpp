@@ -9,42 +9,87 @@
 #include <cerrno>
 #include <cstring>
 #include <ostream>
+#include <vector>
 
 namespace ap::serve {
 
 namespace {
 
+/// POST bodies (push ingest batches) are bounded well above anything the
+/// publisher coalesces, but low enough that a hostile Content-Length
+/// cannot balloon the daemon.
+constexpr std::size_t kMaxBodyBytes = 64u << 20;
+
 const char* reason_phrase(int status) {
   switch (status) {
     case 200: return "OK";
     case 400: return "Bad Request";
+    case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
     case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
 
-/// Read until the end of the request head ("\r\n\r\n") or a size cap.
-/// GET requests have no body, so the head is the whole request.
-bool read_request_head(int fd, std::string& head) {
-  char buf[2048];
+/// Read one full request: head until "\r\n\r\n", then Content-Length body
+/// bytes (if any). Returns false on a dead/oversized connection.
+bool read_request(int fd, std::string& head, std::string& body,
+                  bool& too_large) {
+  char buf[4096];
   head.clear();
-  while (head.size() < 16 * 1024) {
+  body.clear();
+  too_large = false;
+  std::string data;
+  std::size_t head_end = std::string::npos;
+  while (head_end == std::string::npos) {
+    if (data.size() > 64 * 1024) return !data.empty();
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) return !head.empty();
-    head.append(buf, static_cast<std::size_t>(n));
-    if (head.find("\r\n\r\n") != std::string::npos) return true;
+    if (n <= 0) return !data.empty();
+    data.append(buf, static_cast<std::size_t>(n));
+    head_end = data.find("\r\n\r\n");
   }
+  head = data.substr(0, head_end);
+  std::string rest = data.substr(head_end + 4);
+
+  // Content-Length (case-insensitive name match, GETs simply have none).
+  std::size_t want = 0;
+  {
+    std::string lower = head;
+    for (char& c : lower)
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    const std::size_t pos = lower.find("content-length:");
+    if (pos != std::string::npos) {
+      std::size_t i = pos + 15;
+      while (i < lower.size() && lower[i] == ' ') ++i;
+      while (i < lower.size() && lower[i] >= '0' && lower[i] <= '9') {
+        want = want * 10 + static_cast<std::size_t>(lower[i] - '0');
+        ++i;
+        if (want > kMaxBodyBytes) {
+          too_large = true;
+          return true;
+        }
+      }
+    }
+  }
+  while (rest.size() < want) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    rest.append(buf, static_cast<std::size_t>(n));
+  }
+  body = std::move(rest);
+  if (body.size() > want) body.resize(want);
   return true;
 }
 
-void send_all(int fd, std::string_view data) {
+bool send_all(int fd, std::string_view data) {
   while (!data.empty()) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n <= 0) return;
+    if (n <= 0) return false;
     data.remove_prefix(static_cast<std::size_t>(n));
   }
+  return true;
 }
 
 void answer(int fd, const Response& r) {
@@ -57,9 +102,33 @@ void answer(int fd, const Response& r) {
   send_all(fd, r.body);
 }
 
+/// One open GET /live connection.
+struct LiveClient {
+  int fd = -1;
+  ServiceRegistry::LiveCursor cur;
+};
+
+/// Push pending SSE events to every live subscriber; drops the ones whose
+/// run vanished or whose socket died.
+void pump_live(ServiceRegistry& reg, std::vector<LiveClient>& clients) {
+  for (std::size_t i = 0; i < clients.size();) {
+    std::string out;
+    const bool alive = reg.live_poll(clients[i].cur, out);
+    bool keep = alive;
+    if (keep && !out.empty()) keep = send_all(clients[i].fd, out);
+    if (keep) {
+      ++i;
+    } else {
+      ::close(clients[i].fd);
+      clients[i] = clients.back();
+      clients.pop_back();
+    }
+  }
+}
+
 }  // namespace
 
-int run_server(TraceService& svc, const ServerOptions& opts,
+int run_server(ServiceRegistry& reg, const ServerOptions& opts,
                std::ostream& out, std::ostream& err) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
@@ -98,8 +167,10 @@ int run_server(TraceService& svc, const ServerOptions& opts,
   if (opts.bound_port != nullptr)
     opts.bound_port->store(ntohs(bound.sin_port));
 
+  std::vector<LiveClient> live;
   long served = 0;
   while (opts.max_requests < 0 || served < opts.max_requests) {
+    if (opts.stop != nullptr && opts.stop->load()) break;
     pollfd pfd{listen_fd, POLLIN, 0};
     const int pr = ::poll(&pfd, 1, opts.poll_interval_ms);
     if (pr < 0) {
@@ -108,14 +179,17 @@ int run_server(TraceService& svc, const ServerOptions& opts,
       break;
     }
     if (pr == 0) {
-      // Idle tick: pick up shards a running PE just flushed.
-      svc.refresh();
+      // Idle tick: pick up shards a running PE just flushed, then push
+      // whatever that changed to the /live subscribers.
+      reg.refresh();
+      pump_live(reg, live);
       continue;
     }
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) continue;
-    std::string head;
-    if (read_request_head(fd, head)) {
+    std::string head, body;
+    bool too_large = false;
+    if (read_request(fd, head, body, too_large)) {
       // Request line: METHOD SP TARGET SP HTTP-VERSION CRLF ...
       std::string_view line{head};
       if (const std::size_t eol = line.find("\r\n");
@@ -127,15 +201,51 @@ int run_server(TraceService& svc, const ServerOptions& opts,
       if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
         answer(fd, Response{400, "application/json",
                             "{\"error\":\"malformed request line\"}\n"});
+      } else if (too_large) {
+        answer(fd, Response{413, "application/json",
+                            "{\"error\":\"body exceeds the 64 MiB cap\"}\n"});
       } else {
-        svc.refresh();
-        answer(fd, svc.handle(line.substr(0, sp1),
-                              line.substr(sp1 + 1, sp2 - sp1 - 1)));
+        const std::string_view method = line.substr(0, sp1);
+        const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        reg.refresh();
+        std::string_view path = target;
+        if (const std::size_t q = path.find('?');
+            q != std::string_view::npos)
+          path = path.substr(0, q);
+        if (method == "GET" && path == "/live") {
+          std::string_view query;
+          if (const std::size_t q = target.find('?');
+              q != std::string_view::npos)
+            query = target.substr(q + 1);
+          ServiceRegistry::LiveCursor cur;
+          const Response hello = reg.live_open(query, cur);
+          if (hello.status != 200) {
+            answer(fd, hello);
+            ::close(fd);
+          } else {
+            // SSE: headers without Content-Length, connection stays open.
+            const std::string h =
+                "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\nConnection: close\r\n\r\n" +
+                hello.body;
+            if (send_all(fd, h)) {
+              live.push_back(LiveClient{fd, std::move(cur)});
+              pump_live(reg, live);  // deliver the current state at once
+            } else {
+              ::close(fd);
+            }
+          }
+          ++served;
+          continue;  // skip the close below
+        }
+        answer(fd, reg.handle(method, target, body));
+        pump_live(reg, live);
       }
     }
     ::close(fd);
     ++served;
   }
+  for (const LiveClient& c : live) ::close(c.fd);
   ::close(listen_fd);
   return 0;
 }

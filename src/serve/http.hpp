@@ -1,14 +1,16 @@
-// Dependency-free HTTP/1.1 front end for TraceService: one blocking
-// socket, a poll() loop that doubles as the trace-dir watch timer, one
-// request per connection (Connection: close). No threads, no third-party
-// libraries — the service is meant to sit next to a run on a login node.
+// Dependency-free HTTP/1.1 front end for the trace-service registry: one
+// blocking listen socket, a poll() loop that doubles as the trace-dir
+// watch timer, one request per connection (Connection: close) — except
+// GET /live, whose connections stay open and receive Server-Sent Events
+// as runs change. No threads, no third-party libraries — the service is
+// meant to sit next to a run on a login node.
 #pragma once
 
 #include <atomic>
 #include <iosfwd>
 #include <string>
 
-#include "serve/service.hpp"
+#include "serve/registry.hpp"
 
 namespace ap::serve {
 
@@ -16,21 +18,27 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 7077;  ///< 0 = ephemeral; the bound port is printed either way
   /// Exit 0 after answering this many requests; -1 = run forever. Lets
-  /// tests and CI drive a bounded server without signals.
+  /// tests and CI drive a bounded server without signals. /live
+  /// subscriptions count as one request when they are accepted.
   long max_requests = -1;
   /// poll() timeout; on every timeout the trace dir is re-scanned, so this
-  /// bounds how stale an answer can be between requests.
+  /// bounds how stale an answer can be between requests (and how delayed
+  /// an SSE event can be).
   int poll_interval_ms = 200;
   /// When non-null, receives the bound port once listening — how a test
   /// running the server on another thread learns an ephemeral port.
   std::atomic<int>* bound_port = nullptr;
+  /// When non-null and set true, the loop exits 0 at the next poll tick —
+  /// how tests and benches stop an unbounded server cleanly.
+  std::atomic<bool>* stop = nullptr;
 };
 
 /// Bind, print "listening on http://host:port" to `out`, and serve until
-/// max_requests is exhausted. Returns a process exit code (0 success,
-/// 1 socket/bind failure). The service is also refreshed before every
-/// request, so responses always reflect the shards on disk.
-int run_server(TraceService& svc, const ServerOptions& opts,
+/// max_requests is exhausted (or *stop turns true). Returns a process exit
+/// code (0 success, 1 socket/bind failure). The watched run is refreshed
+/// on every idle tick and before every request, so responses always
+/// reflect the shards on disk.
+int run_server(ServiceRegistry& reg, const ServerOptions& opts,
                std::ostream& out, std::ostream& err);
 
 }  // namespace ap::serve

@@ -1,0 +1,303 @@
+#include "serve/publisher.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/trace_binary.hpp"
+
+namespace ap::serve {
+
+namespace {
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Framing sanity caps — a fuzzed length field must fail fast, not turn
+/// into a giant allocation or a near-infinite scan.
+constexpr std::uint64_t kMaxSegmentName = 256;
+constexpr std::uint64_t kMaxSegmentBody = 1u << 30;
+
+struct FrameCursor {
+  std::string_view body;
+  std::size_t pos = 0;
+  std::size_t segment = 0;  // 1-based, for error attribution
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("bad push frame at segment " +
+                             std::to_string(segment) + " offset " +
+                             std::to_string(pos) + ": " + what);
+  }
+  std::uint8_t u8() {
+    if (pos >= body.size()) fail("truncated");
+    return static_cast<std::uint8_t>(body[pos++]);
+  }
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint64_t b = u8();
+      v |= (b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    fail("bad varint");
+  }
+  std::uint32_t u32le() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::string_view take(std::uint64_t n) {
+    if (body.size() - pos < n) fail("truncated");
+    const std::string_view s = body.substr(pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+void append_push_segment(std::string& out, std::string_view name, bool append,
+                         std::string_view body) {
+  put_varint(out, name.size());
+  out.append(name);
+  out.push_back(append ? '\1' : '\0');
+  put_varint(out, body.size());
+  out.append(body);
+  const std::uint32_t crc = ap::prof::io::crc32_bytes(body);
+  out.push_back(static_cast<char>(crc & 0xff));
+  out.push_back(static_cast<char>((crc >> 8) & 0xff));
+  out.push_back(static_cast<char>((crc >> 16) & 0xff));
+  out.push_back(static_cast<char>((crc >> 24) & 0xff));
+}
+
+std::vector<PushSegment> parse_push_segments(std::string_view body) {
+  std::vector<PushSegment> out;
+  FrameCursor c{body};
+  while (c.pos < body.size()) {
+    ++c.segment;
+    const std::uint64_t name_len = c.varint();
+    if (name_len == 0 || name_len > kMaxSegmentName) c.fail("bad name length");
+    const std::string_view name = c.take(name_len);
+    const std::uint8_t mode = c.u8();
+    if (mode > 1) c.fail("bad mode byte");
+    const std::uint64_t body_len = c.varint();
+    if (body_len > kMaxSegmentBody) c.fail("implausible body length");
+    const std::string_view seg = c.take(body_len);
+    const std::uint32_t stored = c.u32le();
+    if (stored != ap::prof::io::crc32_bytes(seg))
+      c.fail("segment CRC mismatch");
+    out.push_back(PushSegment{name, mode == 1, seg});
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- Publisher
+
+Publisher::Publisher(Options opts) : opts_(std::move(opts)) {
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+Publisher::~Publisher() {
+  flush(opts_.io_timeout_ms);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool valid_run_id(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool Publisher::parse_endpoint(std::string_view spec, std::string& host,
+                               int& port) {
+  const std::size_t colon = spec.find(':');
+  if (colon == 0 || colon == std::string_view::npos ||
+      spec.find(':', colon + 1) != std::string_view::npos)
+    return false;
+  const std::string_view p = spec.substr(colon + 1);
+  if (p.empty() || p.size() > 5 ||
+      p.find_first_not_of("0123456789") != std::string_view::npos)
+    return false;
+  int v = 0;
+  for (const char ch : p) v = v * 10 + (ch - '0');
+  if (v < 1 || v > 65535) return false;
+  host = std::string(spec.substr(0, colon));
+  port = v;
+  return true;
+}
+
+void Publisher::publish_file(std::string_view name, std::string body,
+                             bool append) {
+  Frame f;
+  f.name = std::string(name);
+  f.append = append;
+  f.body = std::move(body);
+  // The run's PE count travels in MANIFEST frames; everything pushed
+  // after one is useless without it, so it is the one frame the
+  // drop-oldest policy skips.
+  f.droppable = f.name != "MANIFEST.txt";
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_bytes_ += f.body.size();
+    queue_.push_back(std::move(f));
+    while (queue_bytes_ > opts_.max_queue_bytes && queue_.size() > 1) {
+      auto victim = queue_.end();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->droppable) {
+          victim = it;
+          break;
+        }
+      }
+      if (victim == queue_.end()) break;  // nothing droppable left
+      queue_bytes_ -= victim->body.size();
+      ++stats_.segments_dropped;
+      queue_.erase(victim);
+    }
+  }
+  cv_.notify_all();
+}
+
+bool Publisher::flush(int timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.notify_all();
+  return drained_.wait_for(lk, std::chrono::milliseconds(timeout_ms), [this] {
+    return queue_.empty() && !in_flight_;
+  });
+}
+
+Publisher::Stats Publisher::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void Publisher::worker_main() {
+  for (;;) {
+    std::vector<Frame> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait_for(lk, std::chrono::milliseconds(opts_.flush_interval_ms),
+                   [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      queue_bytes_ = 0;
+      in_flight_ = true;
+    }
+    std::string body;
+    for (const Frame& f : batch)
+      append_push_segment(body, f.name, f.append, f.body);
+    const bool ok = post_batch(body);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (ok) {
+        stats_.segments_published += batch.size();
+        stats_.bytes_published += body.size();
+      } else {
+        // The batch is gone either way — dropping beats blocking PEs.
+        stats_.segments_dropped += batch.size();
+        ++stats_.posts_failed;
+      }
+      in_flight_ = false;
+    }
+    drained_.notify_all();
+  }
+}
+
+bool Publisher::post_batch(const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+
+  // Bounded connect: non-blocking + poll, so a dead daemon costs at most
+  // io_timeout_ms on the publisher thread (and nothing on any PE).
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, opts_.io_timeout_ms) <= 0) {
+      ::close(fd);
+      return false;
+    }
+    int soerr = 0;
+    socklen_t slen = sizeof soerr;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen);
+    if (soerr != 0) {
+      ::close(fd);
+      return false;
+    }
+  }
+  ::fcntl(fd, F_SETFL, fl);
+  timeval tv{};
+  tv.tv_sec = opts_.io_timeout_ms / 1000;
+  tv.tv_usec = (opts_.io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+  std::string req = "POST /ingest?run=" + opts_.run +
+                    " HTTP/1.1\r\nHost: " + opts_.host +
+                    "\r\nContent-Type: application/octet-stream"
+                    "\r\nContent-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  req += body;
+  std::string_view rest = req;
+  while (!rest.empty()) {
+    const ssize_t n = ::send(fd, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    rest.remove_prefix(static_cast<std::size_t>(n));
+  }
+  // Read the status line; anything but 200 counts as a failed post.
+  char buf[256];
+  std::string head;
+  while (head.find("\r\n") == std::string::npos && head.size() < 4096) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return head.find(" 200 ") != std::string::npos;
+}
+
+}  // namespace ap::serve

@@ -1,0 +1,129 @@
+// In-process live-trace publisher (docs/OBSERVABILITY.md, "Live
+// streaming").
+//
+// When Config::publish (ACTORPROF_PUBLISH=host:port) is set, the profiler
+// owns one Publisher: a background thread that batches framed trace
+// segments and POSTs them to a running `actorprof serve` daemon's
+// /ingest?run=<id> endpoint. Segment bodies reuse the .apt encoders —
+// every binary payload carries the container's own per-block CRCs — so
+// there is no second wire format to maintain; the daemon feeds pushed
+// segments through the same ingest path its file watcher uses.
+//
+// The queue is bounded and drops oldest first (MANIFEST frames excepted —
+// a run is unusable without its PE count), and every socket operation
+// happens on the publisher thread: a slow, wedged, or absent collector can
+// never stall a PE. Staging cost on the caller's thread is metered under
+// the `publish` self-overhead category by the profiler hooks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace ap::serve {
+
+/// POST /ingest body framing: a sequence of segments, each
+///   varint name_len | name bytes | u8 mode (0=replace, 1=append)
+///   | varint body_len | body bytes | u32le crc32(body)
+/// Replace swaps the named file's content wholesale (what write_all's
+/// final snapshot pushes); append adds the segment's decoded rows/lines to
+/// what the run already holds (mid-run superstep and anomaly deltas).
+struct PushSegment {
+  std::string_view name;
+  bool append = false;
+  std::string_view body;
+};
+
+/// Append one framed segment to a POST body under construction.
+void append_push_segment(std::string& out, std::string_view name, bool append,
+                         std::string_view body);
+
+/// Parse a whole POST body into segments. Throws std::runtime_error naming
+/// the 1-based segment and absolute byte offset of the damage (truncated
+/// frame, bad mode byte, CRC mismatch). The returned views alias `body`.
+std::vector<PushSegment> parse_push_segments(std::string_view body);
+
+/// Run ids name registry map keys and appear in URLs and log lines, so
+/// they are restricted to [A-Za-z0-9._-], 1..64 chars. Shared by the
+/// daemon's ?run= routing and the profiler's Config::publish_run check
+/// (reject at construction, not with a 400 on every POST).
+[[nodiscard]] bool valid_run_id(std::string_view id);
+
+/// Background push channel to one serve daemon.
+class Publisher {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;
+    /// Run id the daemon files the segments under (?run=<id>).
+    std::string run = "push";
+    /// Queue cap: staged-but-unsent segment bytes beyond this drop the
+    /// oldest droppable segment (never a MANIFEST).
+    std::size_t max_queue_bytes = 8u << 20;
+    /// How long the worker coalesces staged segments before a POST.
+    int flush_interval_ms = 25;
+    /// Per-POST connect/send budget before the batch is counted failed.
+    int io_timeout_ms = 1000;
+  };
+
+  struct Stats {
+    std::uint64_t segments_published = 0;
+    std::uint64_t bytes_published = 0;
+    std::uint64_t segments_dropped = 0;
+    std::uint64_t posts_failed = 0;
+  };
+
+  explicit Publisher(Options opts);
+  ~Publisher();  ///< Final flush attempt, then stops and joins the worker.
+
+  Publisher(const Publisher&) = delete;
+  Publisher& operator=(const Publisher&) = delete;
+
+  /// Stage one file segment. Never blocks on the network; drops oldest
+  /// staged segments when the queue cap is hit.
+  void publish_file(std::string_view name, std::string body, bool append);
+
+  /// Block (up to `timeout_ms`) until everything staged so far was POSTed
+  /// or dropped. Returns true when the queue fully drained. What
+  /// write_traces() calls so a final snapshot reaches the daemon before
+  /// the process exits.
+  bool flush(int timeout_ms = 2000);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::string& run() const { return opts_.run; }
+
+  /// Parse "host:port". Returns false (and leaves outputs untouched) on a
+  /// malformed spec — the strict-parse sibling of Config::from_env's
+  /// ACTORPROF_PUBLISH handling.
+  static bool parse_endpoint(std::string_view spec, std::string& host,
+                             int& port);
+
+ private:
+  struct Frame {
+    std::string name;
+    bool append = false;
+    std::string body;
+    bool droppable = true;
+  };
+
+  void worker_main();
+  bool post_batch(const std::string& body);
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       ///< wakes the worker
+  std::condition_variable drained_;  ///< wakes flush()
+  std::deque<Frame> queue_;
+  std::size_t queue_bytes_ = 0;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  Stats stats_;
+  std::thread worker_;
+};
+
+}  // namespace ap::serve

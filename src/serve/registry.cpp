@@ -1,0 +1,310 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "serve/publisher.hpp"  // valid_run_id
+
+namespace ap::serve {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20)
+      out.push_back(c);
+  }
+  return out;
+}
+
+Response json_error(int status, std::string_view msg) {
+  Response r;
+  r.status = status;
+  r.body = "{\"error\":\"" + json_escape(msg) + "\"}\n";
+  return r;
+}
+
+/// Value of `key` in a query string (no %-decoding: run ids are restricted
+/// to characters that never need escaping).
+std::string_view raw_query_param(std::string_view query,
+                                 std::string_view key) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair = query.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key)
+      return pair.substr(eq + 1);
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return {};
+}
+
+void split_target(std::string_view target, std::string_view& path,
+                  std::string_view& query) {
+  path = target;
+  query = {};
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    path = target.substr(0, q);
+    query = target.substr(q + 1);
+  }
+}
+
+}  // namespace
+
+ServiceRegistry::ServiceRegistry(std::filesystem::path dir,
+                                 RegistryOptions opts)
+    : opts_(opts),
+      watched_(std::make_unique<TraceService>(std::move(dir), opts.service)) {}
+
+ServiceRegistry::ServiceRegistry(RegistryOptions opts) : opts_(opts) {}
+
+bool ServiceRegistry::refresh() {
+  return watched_ != nullptr && watched_->refresh();
+}
+
+TraceService* ServiceRegistry::find(std::string_view run_id) {
+  if (run_id.empty() || run_id == kDefaultRun) return watched_.get();
+  const auto it = push_runs_.find(std::string(run_id));
+  return it == push_runs_.end() ? nullptr : it->second.get();
+}
+
+std::size_t ServiceRegistry::num_runs() const {
+  return push_runs_.size() + (watched_ != nullptr ? 1 : 0);
+}
+
+TraceService& ServiceRegistry::push_run(const std::string& id) {
+  auto it = push_runs_.find(id);
+  if (it == push_runs_.end()) {
+    ServiceOptions so = opts_.service;
+    so.num_pes = 0;  // pushed MANIFEST segments carry the PE count
+    it = push_runs_.emplace(id, std::make_unique<TraceService>(so)).first;
+  }
+  return *it->second;
+}
+
+Response ServiceRegistry::ingest(std::string_view query,
+                                 std::string_view body) {
+  const std::string_view id = raw_query_param(query, "run");
+  if (id.empty()) {
+    ++ingest_rejected_;
+    return json_error(400, "missing query parameter: run=<id>");
+  }
+  if (!valid_run_id(id) || id == kDefaultRun) {
+    ++ingest_rejected_;
+    return json_error(400,
+                      "bad run id (1-64 chars of [A-Za-z0-9._-], not "
+                      "\"default\")");
+  }
+  Response r = push_run(std::string(id)).ingest(body);
+  if (r.status != 200) ++ingest_rejected_;
+  apply_retention();
+  return r;
+}
+
+void ServiceRegistry::apply_retention() {
+  const auto over = [&] {
+    if (opts_.retain_runs > 0 && push_runs_.size() > opts_.retain_runs)
+      return true;
+    if (opts_.retain_bytes > 0) {
+      std::uint64_t total = 0;
+      for (const auto& [id, svc] : push_runs_) total += svc->bytes();
+      if (total > opts_.retain_bytes) return true;
+    }
+    return false;
+  };
+  while (push_runs_.size() > 1 && over()) {
+    // Oldest-updated run goes first; the most recently updated one is
+    // always kept (it is the run someone is streaming into right now).
+    auto victim = push_runs_.end();
+    for (auto it = push_runs_.begin(); it != push_runs_.end(); ++it) {
+      if (victim == push_runs_.end() ||
+          it->second->last_update_ms() < victim->second->last_update_ms())
+        victim = it;
+    }
+    if (victim == push_runs_.end()) break;
+    evicted_segments_ += victim->second->ingested_segments();
+    evicted_bytes_ += victim->second->ingested_bytes();
+    ++evictions_;
+    if (log_ != nullptr)
+      *log_ << "serve: retention evicted run '" << victim->first << "' ("
+            << victim->second->bytes() << " bytes, "
+            << victim->second->ingested_segments() << " segments)\n";
+    push_runs_.erase(victim);
+  }
+}
+
+Response ServiceRegistry::runs_json() {
+  std::string out = "{\"runs\":[";
+  bool first = true;
+  const auto one = [&](std::string_view id, TraceService& svc) {
+    if (!first) out += ",";
+    first = false;
+    const auto p = svc.progress();
+    out += "{\"id\":\"" + json_escape(id) + "\",\"source\":\"" +
+           svc.source() + "\",\"num_pes\":" + std::to_string(svc.num_pes()) +
+           ",\"version\":" + std::to_string(svc.version()) +
+           ",\"bytes\":" + std::to_string(svc.bytes()) +
+           ",\"steps_rows\":" + std::to_string(p.steps_rows) +
+           ",\"last_update_ms\":" + std::to_string(svc.last_update_ms()) +
+           "}";
+  };
+  if (watched_ != nullptr) one(kDefaultRun, *watched_);
+  for (const auto& [id, svc] : push_runs_) one(id, *svc);
+  out += "],\"evictions\":" + std::to_string(evictions_) + "}\n";
+  Response r;
+  r.body = std::move(out);
+  return r;
+}
+
+void ServiceRegistry::append_self_metrics(std::string& out) const {
+  out +=
+      "# HELP actorprof_serve_requests_total Requests answered, by "
+      "endpoint\n# TYPE actorprof_serve_requests_total counter\n";
+  for (const auto& [endpoint, n] : requests_by_endpoint_)
+    out += "actorprof_serve_requests_total{endpoint=\"" +
+           json_escape(endpoint) + "\"} " + std::to_string(n) + "\n";
+  std::uint64_t segments = evicted_segments_, bytes = evicted_bytes_;
+  std::uint64_t reloads = 0, hits = 0, misses = 0;
+  const auto fold = [&](const TraceService& svc) {
+    segments += svc.ingested_segments();
+    bytes += svc.ingested_bytes();
+    reloads += svc.reloads();
+    hits += svc.analyze_hits();
+    misses += svc.analyze_misses();
+  };
+  if (watched_ != nullptr) fold(*watched_);
+  for (const auto& [id, svc] : push_runs_) fold(*svc);
+  const auto counter = [&](const char* name, const char* help,
+                           std::uint64_t v) {
+    out += std::string("# HELP ") + name + " " + help + "\n# TYPE " + name +
+           " counter\n" + name + " " + std::to_string(v) + "\n";
+  };
+  counter("actorprof_serve_ingest_segments_total",
+          "Push segments applied via POST /ingest", segments);
+  counter("actorprof_serve_ingest_bytes_total",
+          "Push segment bytes applied via POST /ingest", bytes);
+  counter("actorprof_serve_ingest_rejected_total",
+          "POST /ingest requests rejected", ingest_rejected_);
+  counter("actorprof_serve_reloads_total",
+          "File-watcher refreshes that reloaded trace state", reloads);
+  counter("actorprof_serve_analyze_cache_hits_total",
+          "GET /analyze answered from the cached body", hits);
+  counter("actorprof_serve_analyze_cache_misses_total",
+          "GET /analyze that recomputed the analysis", misses);
+  counter("actorprof_serve_evictions_total",
+          "Push runs evicted by the retention policy", evictions_);
+  out +=
+      "# HELP actorprof_serve_runs Runs currently held (watched + push)\n"
+      "# TYPE actorprof_serve_runs gauge\n"
+      "actorprof_serve_runs " +
+      std::to_string(num_runs()) + "\n";
+}
+
+Response ServiceRegistry::metrics_with_self(TraceService& svc) {
+  Response r = svc.handle("GET", "/metrics");
+  // The run's exposition may 404 (no metrics.prom); the service
+  // self-metrics exist regardless, so /metrics always answers 200.
+  std::string out = r.status == 200 ? std::move(r.body) : std::string();
+  append_self_metrics(out);
+  Response ok;
+  ok.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  ok.body = std::move(out);
+  return ok;
+}
+
+Response ServiceRegistry::live_open(std::string_view query, LiveCursor& cur) {
+  std::string_view id = raw_query_param(query, "run");
+  if (id.empty()) id = kDefaultRun;
+  if (!valid_run_id(id)) return json_error(400, "bad run id");
+  TraceService* svc = find(id);
+  if (svc == nullptr) {
+    if (id == kDefaultRun)
+      return json_error(404, "no watched run (daemon started without a dir)");
+    // Creating the run on subscribe lets `actorprof tail` start before the
+    // profiled run's first POST arrives.
+    svc = &push_run(std::string(id));
+  }
+  ++requests_by_endpoint_["/live"];
+  cur = LiveCursor{};
+  cur.run = std::string(id);
+  Response r;
+  r.content_type = "text/event-stream";
+  r.body = "event: hello\ndata: {\"run\":\"" + json_escape(id) +
+           "\",\"source\":\"" + svc->source() +
+           "\",\"num_pes\":" + std::to_string(svc->num_pes()) + "}\n\n";
+  return r;
+}
+
+bool ServiceRegistry::live_poll(LiveCursor& cur, std::string& out) {
+  TraceService* svc = find(cur.run);
+  if (svc == nullptr) return false;  // evicted since the subscribe
+  if (svc->version() != cur.version) {
+    cur.version = svc->version();
+    const auto p = svc->progress();
+    out += "event: superstep\ndata: {\"run\":\"" + json_escape(cur.run) +
+           "\",\"version\":" + std::to_string(svc->version()) +
+           ",\"num_pes\":" + std::to_string(svc->num_pes()) +
+           ",\"steps_rows\":" + std::to_string(p.steps_rows) +
+           ",\"max_epoch\":" + std::to_string(p.max_epoch) +
+           ",\"max_step\":" + std::to_string(p.max_step) + "}\n\n";
+  }
+  const auto& lines = svc->anomaly_lines();
+  for (; cur.anomalies < lines.size(); ++cur.anomalies)
+    out += "event: anomaly\ndata: " + lines[cur.anomalies] + "\n\n";
+  return true;
+}
+
+Response ServiceRegistry::handle(std::string_view method,
+                                 std::string_view target,
+                                 std::string_view body) {
+  std::string_view path, query;
+  split_target(target, path, query);
+  // /live subscriptions count in live_open (the HTTP loop calls it
+  // directly, without coming through here).
+  if (path != "/live") ++requests_by_endpoint_[std::string(path)];
+
+  if (path == "/ingest") {
+    if (method != "POST")
+      return json_error(405, "/ingest takes POST (push framing body)");
+    return ingest(query, body);
+  }
+  if (path == "/runs") {
+    if (method != "GET") return json_error(405, "only GET is supported");
+    return runs_json();
+  }
+  if (path == "/live") {
+    // The SSE stream itself lives in the HTTP loop (live_open/live_poll);
+    // a plain handle() call — unit tests, curl without streaming — gets
+    // the hello event snapshot.
+    LiveCursor cur;
+    return live_open(query, cur);
+  }
+
+  std::string_view id = raw_query_param(query, "run");
+  if (id.empty()) id = kDefaultRun;
+  if (!valid_run_id(id)) return json_error(400, "bad run id");
+  TraceService* svc = find(id);
+  if (svc == nullptr) {
+    // A pure-push daemon has no default run, but the service self-metrics
+    // exist regardless: /metrics always answers 200.
+    if (path == "/metrics" && method == "GET" && id == kDefaultRun) {
+      std::string out;
+      append_self_metrics(out);
+      Response ok;
+      ok.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      ok.body = std::move(out);
+      return ok;
+    }
+    return json_error(404, "unknown run '" + std::string(id) +
+                               "'; GET /runs lists the known ones");
+  }
+  if (path == "/metrics" && method == "GET") return metrics_with_self(*svc);
+  return svc->handle(method, target);
+}
+
+}  // namespace ap::serve

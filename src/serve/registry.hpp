@@ -1,0 +1,111 @@
+// Multi-run routing for the trace service (docs/OBSERVABILITY.md, "Live
+// streaming").
+//
+// A ServiceRegistry keys TraceServices by run id. The watched trace dir
+// (when the daemon was started with one) is the run "default", so every
+// pre-existing URL — GET /analyze, /heatmap, ... without a ?run= — keeps
+// answering byte-identically. Push-backed runs are created on demand by
+// POST /ingest?run=<id> (or a /live subscription) and feed the framed
+// segments of serve/publisher.hpp through the same decode paths the file
+// watcher uses.
+//
+// The registry also owns what no single run can: the /runs listing, the
+// retention policy over push runs (--retain-bytes / --retain-runs,
+// oldest-updated evicted first, with a log line per eviction), the /live
+// SSE event source, and the service self-metrics appended to /metrics.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "serve/service.hpp"
+
+namespace ap::serve {
+
+/// Run id of the watched trace dir (requests without ?run=).
+inline constexpr std::string_view kDefaultRun = "default";
+
+struct RegistryOptions {
+  ServiceOptions service;
+  /// Evict oldest-updated push runs when their byte total exceeds this
+  /// (0 = unlimited). The watched run is never evicted.
+  std::uint64_t retain_bytes = 0;
+  /// Keep at most this many push runs (0 = unlimited).
+  std::size_t retain_runs = 0;
+};
+
+class ServiceRegistry {
+ public:
+  /// With a watched dir: that dir becomes run "default".
+  ServiceRegistry(std::filesystem::path dir, RegistryOptions opts);
+  /// Push-only daemon: every run arrives over POST /ingest.
+  explicit ServiceRegistry(RegistryOptions opts);
+
+  /// Refresh the watched run (no-op for push-only daemons). Returns true
+  /// when anything changed.
+  bool refresh();
+
+  /// Route one request. GETs carry an optional ?run=<id> (default:
+  /// "default"); POST /ingest?run=<id> feeds push frames. /runs lists all
+  /// runs; /metrics appends registry self-metrics to the run's exposition.
+  Response handle(std::string_view method, std::string_view target,
+                  std::string_view body = {});
+
+  /// The watched service, or nullptr for a push-only daemon.
+  [[nodiscard]] TraceService* watched() { return watched_.get(); }
+  /// Look up a run by id (nullptr when absent).
+  [[nodiscard]] TraceService* find(std::string_view run_id);
+  [[nodiscard]] std::size_t num_runs() const;
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  /// Where eviction log lines go (nullptr = silent).
+  void set_log(std::ostream* log) { log_ = log; }
+
+  // ---- /live (SSE) ---------------------------------------------------------
+  /// Progress position of one SSE subscriber. Starts at zero so the first
+  /// poll delivers the run's current state as the initial delta.
+  struct LiveCursor {
+    std::string run;
+    std::uint64_t version = 0;
+    std::size_t anomalies = 0;
+  };
+
+  /// Open a /live subscription: resolves ?run= (creating a push run on an
+  /// unknown id, so tailing can start before the first ingest), fills
+  /// `cur`, and returns the SSE hello event (status 200,
+  /// text/event-stream) or a JSON error.
+  Response live_open(std::string_view query, LiveCursor& cur);
+
+  /// Append any new SSE events ("superstep" deltas, "anomaly" lines) for
+  /// `cur`'s run to `out` and advance the cursor. Returns false when the
+  /// run no longer exists (subscriber should be disconnected).
+  bool live_poll(LiveCursor& cur, std::string& out);
+
+ private:
+  Response runs_json();
+  Response ingest(std::string_view query, std::string_view body);
+  /// The run's /metrics body with registry self-metrics appended (always
+  /// 200: a run without metrics.prom still exposes the service series).
+  Response metrics_with_self(TraceService& svc);
+  void append_self_metrics(std::string& out) const;
+  void apply_retention();
+  /// Find or create the push run `id`.
+  TraceService& push_run(const std::string& id);
+
+  RegistryOptions opts_;
+  std::unique_ptr<TraceService> watched_;
+  std::map<std::string, std::unique_ptr<TraceService>> push_runs_;
+  std::map<std::string, std::uint64_t> requests_by_endpoint_;
+  std::uint64_t ingest_rejected_ = 0;
+  std::uint64_t evictions_ = 0;
+  /// Bytes/segments of evicted runs (so totals stay monotonic counters).
+  std::uint64_t evicted_segments_ = 0, evicted_bytes_ = 0;
+  std::ostream* log_ = nullptr;
+};
+
+}  // namespace ap::serve

@@ -93,12 +93,46 @@ bool any_steps(const io::TraceDir& t) {
   return false;
 }
 
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Kind of a per-PE shard name; accepts both the CSV and .apt spellings.
+enum class ShardKind { send, papi, steps, none };
+
+ShardKind parse_shard_name(std::string_view name, int& pe) {
+  pe = -1;
+  if (name.size() < 3 || name[0] != 'P' || name[1] != 'E') return ShardKind::none;
+  std::size_t i = 2;
+  int v = 0;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    v = v * 10 + (name[i] - '0');
+    ++i;
+  }
+  if (i == 2) return ShardKind::none;
+  pe = v;
+  const std::string_view rest = name.substr(i);
+  if (rest == "_send.csv" || rest == "_send.apt") return ShardKind::send;
+  if (rest == "_PAPI.csv" || rest == "_PAPI.apt") return ShardKind::papi;
+  if (rest == "_steps.csv" || rest == "_steps.apt") return ShardKind::steps;
+  return ShardKind::none;
+}
+
 }  // namespace
 
 TraceService::TraceService(fs::path dir, ServiceOptions opts)
     : dir_(std::move(dir)), opts_(opts) {
   refresh();
 }
+
+TraceService::TraceService(ServiceOptions opts)
+    : opts_(opts), push_mode_(true) {
+  if (opts_.num_pes > 0) resize_world(opts_.num_pes);
+}
+
+void TraceService::touch() { last_update_ms_ = now_ms(); }
 
 TraceService::Sig TraceService::stat_file(const std::string& name) const {
   Sig s;
@@ -113,6 +147,29 @@ TraceService::Sig TraceService::stat_file(const std::string& name) const {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           mtime.time_since_epoch())
           .count());
+  // Content signature over the file's head and tail: an atomically renamed
+  // rewrite can keep size and (at coarse filesystem granularity) mtime, so
+  // the stat pair alone misses it. 128 bytes cover the .apt header/flags
+  // at the front and the final block's CRC at the back.
+  std::ifstream is(p, std::ios::binary);
+  if (is) {
+    char head[64];
+    is.read(head, sizeof head);
+    const auto head_n = static_cast<std::size_t>(is.gcount());
+    std::uint64_t h = io::fnv1a64(head, head_n);
+    if (s.size > sizeof head) {
+      char tail[64];
+      const auto tail_n =
+          static_cast<std::streamoff>(std::min<std::uint64_t>(s.size, 64));
+      is.clear();
+      is.seekg(-tail_n, std::ios::end);
+      is.read(tail, tail_n);
+      if (is.gcount() == tail_n)
+        h = h * 1099511628211ull ^
+            io::fnv1a64(tail, static_cast<std::size_t>(tail_n));
+    }
+    s.content = h;
+  }
   return s;
 }
 
@@ -194,6 +251,7 @@ void TraceService::reload_shard(const std::string& csv_name, int pe) {
 }
 
 bool TraceService::refresh() {
+  if (push_mode_) return false;
   const int np = opts_.num_pes > 0 ? opts_.num_pes : io::detect_num_pes(dir_);
   std::map<std::string, Sig> cur;
   scan(np, cur);
@@ -242,8 +300,242 @@ bool TraceService::refresh() {
   }
   sigs_ = std::move(cur);
   ++version_;
+  ++reloads_;
+  touch();
   return true;
 }
+
+// ------------------------------------------------------------- push ingest
+
+void TraceService::resize_world(int np) {
+  num_pes_ = np;
+  trace_ = io::TraceDir{};
+  trace_.num_pes = np;
+  trace_.logical.resize(static_cast<std::size_t>(np));
+  trace_.papi.resize(static_cast<std::size_t>(np));
+  trace_.steps.resize(static_cast<std::size_t>(np));
+}
+
+void TraceService::apply_segment(const PushSegment& seg) {
+  const std::string name(seg.name);
+  if (name.empty() || name.find('/') != std::string::npos ||
+      name.find("..") != std::string::npos)
+    throw std::runtime_error("bad segment file name");
+  const std::string_view body = seg.body;
+
+  const auto account = [&] {
+    if (seg.append)
+      file_bytes_[name] += body.size();
+    else
+      file_bytes_[name] = body.size();
+  };
+
+  if (name == io::kManifestFile) {
+    std::istringstream is{std::string(body)};
+    const io::Manifest m = io::parse_manifest(is);
+    if (m.num_pes <= 0) throw std::runtime_error("manifest has no PE count");
+    // A PE-count change resets the run: every shard indexed by the old
+    // world is meaningless (the publisher always sends the MANIFEST before
+    // any shard of a new world, so nothing real is lost).
+    if (m.num_pes != num_pes_) resize_world(m.num_pes);
+    trace_.dead_pes = m.dead_pes;
+    account();
+    return;
+  }
+  if (name == "metrics.prom") {
+    if (seg.append)
+      metrics_prom_ += body;
+    else
+      metrics_prom_ = std::string(body);
+    account();
+    return;
+  }
+  if (name == "anomalies.txt") {
+    if (!seg.append) anomaly_lines_.clear();
+    std::string_view rest = body;
+    while (!rest.empty()) {
+      const std::size_t nl = rest.find('\n');
+      const std::string_view line = rest.substr(0, nl);
+      if (!line.empty()) anomaly_lines_.emplace_back(line);
+      if (nl == std::string_view::npos) break;
+      rest.remove_prefix(nl + 1);
+    }
+    account();
+    return;
+  }
+  if (name == io::kOverallFile) {
+    std::istringstream is{std::string(body)};
+    std::vector<ap::prof::OverallRecord> scratch;
+    io::parse_overall_into(is, scratch);
+    trace_.overall = std::move(scratch);
+    account();
+    return;
+  }
+  if (name == io::kMetricSamplesFile) {
+    // Nothing in the endpoints renders the ring yet, but the segment is
+    // still fully validated so damage is rejected, not stored.
+    io::MetricSamples scratch;
+    io::decode_metric_samples_into(body, scratch);
+    account();
+    return;
+  }
+  if (name == io::kPhysicalFile || name == io::binary_file_name(io::kPhysicalFile)) {
+    std::vector<ap::prof::PhysicalRecord> scratch;
+    if (io::is_binary_trace(body)) {
+      io::decode_physical_into(body, scratch);
+    } else {
+      std::istringstream is{std::string(body)};
+      io::parse_physical_into(is, scratch);
+    }
+    if (seg.append)
+      trace_.physical.insert(trace_.physical.end(), scratch.begin(),
+                             scratch.end());
+    else
+      trace_.physical = std::move(scratch);
+    account();
+    return;
+  }
+  if (name == io::kCheckFile || name == io::binary_file_name(io::kCheckFile)) {
+    std::vector<ap::check::Violation> scratch;
+    std::uint64_t dropped = 0;
+    if (io::is_binary_trace(body)) {
+      io::decode_check_into(body, scratch, dropped);
+    } else {
+      std::istringstream is{std::string(body)};
+      io::parse_check_into(is, scratch, dropped);
+    }
+    trace_.check = std::move(scratch);
+    trace_.check_dropped = dropped;
+    trace_.check_recorded = true;
+    account();
+    return;
+  }
+
+  int pe = -1;
+  const ShardKind kind = parse_shard_name(name, pe);
+  if (kind == ShardKind::none)
+    throw std::runtime_error("unknown trace file name");
+  if (pe < 0 || pe >= num_pes_)
+    throw std::runtime_error(
+        "PE " + std::to_string(pe) +
+        " out of range (is the MANIFEST segment missing?)");
+  const auto idx = static_cast<std::size_t>(pe);
+
+  // Decode into scratch first: a BinaryParseError mid-body must not leave
+  // the run with half a segment spliced in.
+  switch (kind) {
+    case ShardKind::send: {
+      std::vector<ap::prof::LogicalSendRecord> scratch;
+      if (io::is_binary_trace(body)) {
+        io::decode_logical_into(body, scratch);
+      } else {
+        std::istringstream is{std::string(body)};
+        io::parse_logical_into(is, scratch);
+      }
+      if (seg.append)
+        trace_.logical[idx].insert(trace_.logical[idx].end(), scratch.begin(),
+                                   scratch.end());
+      else
+        trace_.logical[idx] = std::move(scratch);
+      break;
+    }
+    case ShardKind::papi: {
+      std::vector<ap::prof::PapiSegmentRecord> scratch;
+      std::vector<ap::papi::Event> events;
+      if (io::is_binary_trace(body)) {
+        io::decode_papi_into(body, scratch, &events);
+      } else {
+        std::istringstream is{std::string(body)};
+        io::parse_papi_into(is, scratch);
+      }
+      if (seg.append)
+        trace_.papi[idx].insert(trace_.papi[idx].end(), scratch.begin(),
+                                scratch.end());
+      else
+        trace_.papi[idx] = std::move(scratch);
+      if (trace_.papi_events.empty() && !events.empty())
+        trace_.papi_events = std::move(events);
+      break;
+    }
+    case ShardKind::steps: {
+      std::vector<ap::prof::SuperstepRecord> scratch;
+      if (io::is_binary_trace(body)) {
+        io::decode_steps_into(body, scratch);
+      } else {
+        std::istringstream is{std::string(body)};
+        io::parse_steps_into(is, scratch);
+      }
+      if (seg.append)
+        trace_.steps[idx].insert(trace_.steps[idx].end(), scratch.begin(),
+                                 scratch.end());
+      else
+        trace_.steps[idx] = std::move(scratch);
+      break;
+    }
+    case ShardKind::none: break;
+  }
+  account();
+}
+
+Response TraceService::ingest(std::string_view body) {
+  if (!push_mode_)
+    return json_error(403,
+                      "run is file-backed; POST /ingest targets push runs");
+  std::vector<PushSegment> segs;
+  try {
+    segs = parse_push_segments(body);
+  } catch (const std::exception& e) {
+    return json_error(400, e.what());
+  }
+  std::size_t applied = 0;
+  for (const PushSegment& s : segs) {
+    try {
+      apply_segment(s);
+      ++applied;
+      ++ingested_segments_;
+      ingested_bytes_ += s.body.size();
+    } catch (const std::exception& e) {
+      // Segments already applied were individually validated, so the run
+      // stays consistent; report which one failed and why.
+      if (applied > 0) ++version_;
+      touch();
+      return json_error(400, "segment " + std::to_string(applied + 1) + " (" +
+                                 std::string(s.name) + "): " + e.what());
+    }
+  }
+  if (applied > 0) {
+    ++version_;
+    touch();
+  }
+  Response r;
+  r.body = "{\"applied\":" + std::to_string(applied) + "}\n";
+  return r;
+}
+
+std::uint64_t TraceService::bytes() const {
+  std::uint64_t total = 0;
+  if (push_mode_) {
+    for (const auto& [name, sz] : file_bytes_) total += sz;
+  } else {
+    for (const auto& [name, sig] : sigs_)
+      if (sig.exists) total += sig.size;
+  }
+  return total;
+}
+
+TraceService::Progress TraceService::progress() const {
+  Progress p;
+  for (const auto& per_pe : trace_.steps) {
+    p.steps_rows += per_pe.size();
+    for (const auto& r : per_pe) {
+      p.max_epoch = std::max(p.max_epoch, r.epoch);
+      p.max_step = std::max(p.max_step, r.step);
+    }
+  }
+  return p;
+}
+
+// --------------------------------------------------------------- endpoints
 
 Response TraceService::analyze_json() {
   if (num_pes_ <= 0)
@@ -255,11 +547,14 @@ Response TraceService::analyze_json() {
                       "no superstep records yet (PEi_steps missing — record "
                       "with ACTORPROF_SUPERSTEPS=1)");
   if (analyze_version_ != version_) {
+    ++analyze_misses_;
     const auto a = ap::prof::analysis::analyze(trace_);
     std::ostringstream os;
     ap::prof::analysis::write_json(os, a);
     analyze_cache_ = os.str();
     analyze_version_ = version_;
+  } else {
+    ++analyze_hits_;
   }
   Response r;
   r.body = analyze_cache_;
@@ -321,7 +616,11 @@ Response TraceService::check_json() {
 
 Response TraceService::metrics_text() {
   std::string body;
-  if (!slurp(dir_ / "metrics.prom", body)) {
+  if (push_mode_)
+    body = metrics_prom_;
+  else
+    slurp(dir_ / "metrics.prom", body);
+  if (body.empty()) {
     Response r;
     r.status = 404;
     r.content_type = "text/plain; charset=utf-8";
@@ -339,8 +638,9 @@ Response TraceService::healthz_json() {
   std::size_t present = 0;
   for (const auto& [name, sig] : sigs_)
     if (sig.exists) ++present;
+  if (push_mode_) present = file_bytes_.size();
   os << "{\"status\":\"" << (num_pes_ > 0 ? "ok" : "waiting")
-     << "\",\"dir\":\"" << json_escape(dir_.string())
+     << "\",\"dir\":\"" << json_escape(push_mode_ ? "<push>" : dir_.string())
      << "\",\"num_pes\":" << num_pes_ << ",\"version\":" << version_
      << ",\"files\":" << present << ",\"issues\":" << trace_.issues.size()
      << ",\"check_recorded\":"

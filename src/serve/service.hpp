@@ -1,19 +1,27 @@
 // The always-on trace service behind `actorprof serve` (docs/OBSERVABILITY.md,
 // "Live service").
 //
-// TraceService watches one trace directory and keeps an in-memory TraceDir
-// loaded with the same tolerant-partial semantics the CLI uses, so a
-// directory being written by a live run — shards appearing one by one,
-// MANIFEST.txt last — is served continuously: refresh() re-stats the known
-// file names and re-ingests only the shards whose size/mtime changed
-// (a full reload happens only when the MANIFEST, the PE count, or a
-// non-per-PE file changes, or a file shrinks/disappears).
+// TraceService holds one run. It comes in two flavours:
+//   * file-backed — watches one trace directory and keeps an in-memory
+//     TraceDir loaded with the same tolerant-partial semantics the CLI
+//     uses, so a directory being written by a live run — shards appearing
+//     one by one, MANIFEST.txt last — is served continuously: refresh()
+//     re-stats the known file names and re-ingests only the shards whose
+//     signature (size/mtime/content) changed (a full reload happens only
+//     when the MANIFEST, the PE count, or a non-per-PE file changes, or a
+//     file shrinks/disappears).
+//   * push-backed — no directory: trace content arrives as framed
+//     segments over POST /ingest (serve/publisher.hpp), each validated
+//     against its CRC and decoded into a scratch buffer before it is
+//     spliced into the run, so a damaged segment 400s without corrupting
+//     anything already ingested.
 //
 // handle() is pure request-in/response-out — no sockets — so endpoint
-// behavior is unit-testable; serve_http.hpp adds the HTTP/1.1 loop.
-// Endpoint bodies are byte-identical to what the CLI prints for the same
-// trace (`analyze --json`, `diff --json`, `check --json`,
-// `heatmap --json`), which CI verifies by diffing the two.
+// behavior is unit-testable; registry.hpp keys many TraceServices by run
+// id and http.hpp adds the HTTP/1.1 loop. Endpoint bodies are
+// byte-identical to what the CLI prints for the same trace
+// (`analyze --json`, `diff --json`, `check --json`, `heatmap --json`),
+// which CI verifies by diffing the two.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +29,10 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/trace_io.hpp"
+#include "serve/publisher.hpp"
 
 namespace ap::serve {
 
@@ -43,26 +53,78 @@ struct Response {
 
 class TraceService {
  public:
+  /// File-backed run: watch `dir`.
   explicit TraceService(std::filesystem::path dir, ServiceOptions opts = {});
+  /// Push-backed run: content arrives via ingest().
+  explicit TraceService(ServiceOptions opts);
 
   /// Re-scan the watched dir and re-ingest what changed. Returns true when
   /// anything was reloaded (the version advanced). Called by the server
-  /// loop on every poll tick and before every request.
+  /// loop on every poll tick and before every request. No-op (false) for
+  /// push-backed runs.
   bool refresh();
 
   /// Answer one request. Targets: /healthz /analyze /diff?base=DIR
   /// /heatmap /check /metrics. Unknown targets get 404, non-GET 405.
   Response handle(std::string_view method, std::string_view target);
 
-  /// Monotonic reload counter (bumped by every refresh that changed state).
+  /// Apply one POST /ingest body (push framing, serve/publisher.hpp).
+  /// Each segment is fully validated (CRC + decode) before being spliced
+  /// in; the first bad segment 400s with segment/offset attribution and
+  /// everything already applied stays intact. Push-backed runs only.
+  Response ingest(std::string_view body);
+
+  /// Monotonic reload counter (bumped by every refresh/ingest that changed
+  /// state).
   [[nodiscard]] std::uint64_t version() const { return version_; }
   [[nodiscard]] const ap::prof::io::TraceDir& trace() const { return trace_; }
   [[nodiscard]] int num_pes() const { return num_pes_; }
+  [[nodiscard]] bool push_mode() const { return push_mode_; }
+  /// "file" or "push" — how this run's bytes arrive (the /runs listing).
+  [[nodiscard]] const char* source() const {
+    return push_mode_ ? "push" : "file";
+  }
+  /// Total trace bytes this run currently holds (on-disk sizes for a
+  /// file-backed run, ingested segment totals for a push run). The
+  /// retention policy evicts by this.
+  [[nodiscard]] std::uint64_t bytes() const;
+  /// steady-clock ms stamp of the last state change (0 = never).
+  [[nodiscard]] std::int64_t last_update_ms() const { return last_update_ms_; }
+  /// refresh() calls that actually reloaded something (self-metrics).
+  [[nodiscard]] std::uint64_t reloads() const { return reloads_; }
+  /// /analyze cache hit/miss counters (self-metrics).
+  [[nodiscard]] std::uint64_t analyze_hits() const { return analyze_hits_; }
+  [[nodiscard]] std::uint64_t analyze_misses() const {
+    return analyze_misses_;
+  }
+  /// Push segments/bytes successfully applied by ingest() (self-metrics).
+  [[nodiscard]] std::uint64_t ingested_segments() const {
+    return ingested_segments_;
+  }
+  [[nodiscard]] std::uint64_t ingested_bytes() const {
+    return ingested_bytes_;
+  }
+  /// Straggler/backpressure lines pushed by a live run ("anomalies.txt"
+  /// append segments) — the /live SSE anomaly feed.
+  [[nodiscard]] const std::vector<std::string>& anomaly_lines() const {
+    return anomaly_lines_;
+  }
+
+  /// Superstep progress summary, the payload of /live "superstep" events.
+  struct Progress {
+    std::uint64_t steps_rows = 0;  ///< total rows over all PEs
+    std::uint32_t max_epoch = 0, max_step = 0;
+  };
+  [[nodiscard]] Progress progress() const;
 
  private:
   struct Sig {
     std::uint64_t size = 0;
     std::int64_t mtime = 0;
+    /// FNV-1a over the first and last 64 bytes. Catches the rewrite the
+    /// size/mtime pair misses: an atomic-rename replacing a shard with a
+    /// same-size body inside the filesystem's mtime granularity.
+    std::uint64_t content = 0;
     bool exists = false;
     friend bool operator==(const Sig&, const Sig&) = default;
   };
@@ -74,6 +136,12 @@ class TraceService {
   void full_reload();
   /// Re-parse one per-PE shard in place (the incremental path).
   void reload_shard(const std::string& csv_name, int pe);
+  /// Reset the run to `np` empty PEs (push mode, on a PE-count change).
+  void resize_world(int np);
+  /// Splice one validated push segment into the run; throws on bad data
+  /// before any state is touched.
+  void apply_segment(const PushSegment& seg);
+  void touch();
 
   Response analyze_json();
   Response diff_json(std::string_view query);
@@ -84,6 +152,7 @@ class TraceService {
 
   std::filesystem::path dir_;
   ServiceOptions opts_;
+  bool push_mode_ = false;
   int num_pes_ = 0;
   ap::prof::io::TraceDir trace_;
   std::map<std::string, Sig> sigs_;
@@ -92,6 +161,14 @@ class TraceService {
   /// `analyze_version_ == version_`.
   std::string analyze_cache_;
   std::uint64_t analyze_version_ = ~0ull;
+  /// Push-backed state: per-file ingested byte totals (bytes()), the
+  /// pushed metrics.prom text, and the pushed anomaly lines.
+  std::map<std::string, std::uint64_t> file_bytes_;
+  std::string metrics_prom_;
+  std::vector<std::string> anomaly_lines_;
+  std::int64_t last_update_ms_ = 0;
+  std::uint64_t reloads_ = 0, analyze_hits_ = 0, analyze_misses_ = 0;
+  std::uint64_t ingested_segments_ = 0, ingested_bytes_ = 0;
 };
 
 }  // namespace ap::serve

@@ -12,11 +12,18 @@
 //   --num-pes N    number of PEs the trace was collected with (required)
 // The trace directory is the positional argument, as in the paper's
 // python scripts.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +36,8 @@
 #include "core/trace_binary.hpp"
 #include "core/trace_io.hpp"
 #include "serve/http.hpp"
+#include "serve/publisher.hpp"
+#include "serve/registry.hpp"
 #include "serve/service.hpp"
 #include "shmem/topology.hpp"
 #include "viz/heatmap_json.hpp"
@@ -79,10 +88,21 @@ void usage(const char* argv0) {
          "            text layout the paper describes; with -o, OUTDIR\n"
          "            becomes a complete CSV trace dir (MANIFEST included)\n"
          "  serve   [--host A] [--port P] [--num-pes N] [--max-requests N]\n"
-         "          <trace_dir>\n"
+         "          [--retain-bytes B] [--retain-runs N] <trace_dir>\n"
          "            watch a trace dir (works mid-run) and answer\n"
          "            GET /healthz /analyze /diff?base=DIR /heatmap /check\n"
-         "            /metrics over HTTP (see docs/OBSERVABILITY.md)\n"
+         "            /metrics /runs /live over HTTP; every endpoint takes\n"
+         "            ?run=<id> and POST /ingest?run=<id> accepts pushed\n"
+         "            runs (ACTORPROF_PUBLISH=host:port on the profiled\n"
+         "            run); --retain-* bound the pushed-run store\n"
+         "            (see docs/OBSERVABILITY.md)\n"
+         "  tail    [--run ID] [--max-events N] <host:port>\n"
+         "            subscribe to a serve daemon's GET /live SSE stream\n"
+         "            and print superstep/anomaly events as text\n"
+         "  compact [--num-pes N] <trace_dir>\n"
+         "            re-encode the directory's .apt shards into dense\n"
+         "            blocks (merging incremental/multi-epoch appends) and\n"
+         "            rewrite the MANIFEST atomically\n"
          "  --num-pes defaults to the MANIFEST.txt PE count everywhere;\n"
          "  see docs/ANALYSIS.md and docs/TRACE_FORMAT.md for reference.\n"
          "\n"
@@ -710,7 +730,7 @@ int cmd_export(int argc, char** argv) {
 // --------------------------------------------------------------- serve
 
 int cmd_serve(int argc, char** argv) {
-  ap::serve::ServiceOptions so;
+  ap::serve::RegistryOptions ro;
   ap::serve::ServerOptions ho;
   std::string dir;
   for (int i = 2; i < argc; ++i) {
@@ -723,13 +743,19 @@ int cmd_serve(int argc, char** argv) {
       ho.port = std::atoi(argv[i]);
     } else if (arg == "--num-pes") {
       if (++i >= argc) return usage(argv[0]), 2;
-      so.num_pes = std::atoi(argv[i]);
+      ro.service.num_pes = std::atoi(argv[i]);
     } else if (arg == "--max-requests") {
       if (++i >= argc) return usage(argv[0]), 2;
       ho.max_requests = std::atol(argv[i]);
     } else if (arg == "--threshold") {
       if (++i >= argc) return usage(argv[0]), 2;
-      so.diff_threshold_pct = std::atof(argv[i]);
+      ro.service.diff_threshold_pct = std::atof(argv[i]);
+    } else if (arg == "--retain-bytes") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      ro.retain_bytes = std::strtoull(argv[i], nullptr, 10);
+    } else if (arg == "--retain-runs") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      ro.retain_runs = static_cast<std::size_t>(std::atol(argv[i]));
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag: " << arg << "\n";
       return usage(argv[0]), 2;
@@ -741,12 +767,322 @@ int cmd_serve(int argc, char** argv) {
   }
   if (dir.empty() || ho.port < 0 || ho.port > 65535)
     return usage(argv[0]), 2;
-  ap::serve::TraceService svc(dir, so);
-  if (svc.num_pes() <= 0)
+  ap::serve::ServiceRegistry reg(dir, ro);
+  reg.set_log(&std::cerr);
+  if (reg.watched()->num_pes() <= 0)
     std::cerr << "serve: PE count unknown so far (no MANIFEST.txt yet); "
                  "watching " << dir << " — pass --num-pes N to analyze "
                  "mid-run\n";
-  return ap::serve::run_server(svc, ho, std::cout, std::cerr);
+  return ap::serve::run_server(reg, ho, std::cout, std::cerr);
+}
+
+// ---------------------------------------------------------------- tail
+
+/// Minimal SSE client for GET /live: prints each event as one text line,
+/// which is all a terminal next to a running job needs.
+int cmd_tail(int argc, char** argv) {
+  std::string endpoint, run = "default";
+  long max_events = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--run") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      run = argv[i];
+    } else if (arg == "--max-events") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      max_events = std::atol(argv[i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]), 2;
+    } else if (endpoint.empty()) {
+      endpoint = arg;
+    } else {
+      return usage(argv[0]), 2;
+    }
+  }
+  std::string host;
+  int port = 0;
+  if (endpoint.empty() ||
+      !ap::serve::Publisher::parse_endpoint(endpoint, host, port)) {
+    std::cerr << "tail: expected <host:port> (e.g. 127.0.0.1:7077)\n";
+    return 2;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "tail: socket(): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    std::cerr << "tail: cannot connect to " << endpoint << ": "
+              << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+  const std::string req = "GET /live?run=" + run +
+                          " HTTP/1.1\r\nHost: " + host +
+                          "\r\nAccept: text/event-stream\r\n"
+                          "Connection: close\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), MSG_NOSIGNAL) < 0) {
+    std::cerr << "tail: send(): " << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+
+  // Stream line by line: remember the last "event:" name, print each
+  // "data:" payload as "<event> <data>".
+  std::string buf, event;
+  long printed = 0;
+  bool headers_done = false;
+  char chunk[4096];
+  int status = 0;
+  while (max_events < 0 || printed < max_events) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos &&
+           (max_events < 0 || printed < max_events)) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!headers_done) {
+        if (status == 0 && line.rfind("HTTP/", 0) == 0)
+          status = std::atoi(line.c_str() + line.find(' ') + 1);
+        if (line.empty()) headers_done = true;
+        continue;
+      }
+      if (line.rfind("event: ", 0) == 0) {
+        event = line.substr(7);
+      } else if (line.rfind("data: ", 0) == 0) {
+        std::cout << (event.empty() ? "message" : event) << " "
+                  << line.substr(6) << "\n";
+        std::cout.flush();
+        ++printed;
+      }
+    }
+    if (status != 0 && status != 200) break;
+  }
+  ::close(fd);
+  if (status != 200) {
+    std::cerr << "tail: server answered HTTP " << status << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------- compact
+
+/// `compact <dir>`: re-encode every .apt shard through its decoder and
+/// encoder, merging the small blocks left by incremental/multi-epoch
+/// appends into dense kRowsPerBlock runs. Compression state is preserved
+/// per file (a version-2 shard stays compressed). Each rewrite goes
+/// through a ".tmp" sibling + rename; the MANIFEST is rewritten last with
+/// the new byte counts and checksums, so a reader (or a kill) never sees
+/// a half-compacted directory.
+int cmd_compact(int argc, char** argv) {
+  namespace io = ap::prof::io;
+  namespace fs = std::filesystem;
+  int num_pes = 0;
+  std::string dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--num-pes") {
+      if (++i >= argc) return usage(argv[0]), 2;
+      num_pes = std::atoi(argv[i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]), 2;
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      return usage(argv[0]), 2;
+    }
+  }
+  if (dir.empty()) return usage(argv[0]), 2;
+  if (num_pes <= 0) num_pes = io::detect_num_pes(dir);
+  if (num_pes <= 0) {
+    std::cerr << "error: cannot determine the PE count of " << dir
+              << " (no readable MANIFEST.txt) — pass --num-pes N\n";
+    return 2;
+  }
+  const fs::path base(dir);
+
+  // The existing MANIFEST supplies entry order, record counts of files we
+  // do not touch, and the dead-PE markers.
+  io::Manifest manifest;
+  bool have_manifest = false;
+  if (std::string body; slurp_file(base / io::kManifestFile, body)) {
+    std::istringstream is(body);
+    try {
+      manifest = io::parse_manifest(is);
+      have_manifest = true;
+    } catch (const io::TraceParseError&) {
+    }
+  }
+
+  int failures = 0;
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> rewritten;
+  // Decode rows, re-encode densely, and atomically swap the file when the
+  // bytes changed; missing/CSV files are silently skipped.
+  const auto compact_file = [&](const std::string& name,
+                                auto&& reencode) -> void {
+    const fs::path path = base / name;
+    std::string body;
+    if (!slurp_file(path, body) || !io::is_binary_trace(body)) return;
+    const bool was_compressed = io::is_compressed_trace(body);
+    std::string dense;
+    std::uint64_t records = 0;
+    try {
+      dense = reencode(body, records);
+    } catch (const std::exception& e) {
+      std::cerr << "compact: cannot re-encode " << name << ": " << e.what()
+                << "\n";
+      ++failures;
+      return;
+    }
+    if (was_compressed) dense = io::compress_trace(dense);
+    if (dense == body) return;  // already dense
+    const fs::path tmp = base / (name + ".tmp");
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      os.write(dense.data(), static_cast<std::streamsize>(dense.size()));
+      os.flush();
+      if (!os.good()) {
+        std::cerr << "compact: cannot write " << tmp.string() << "\n";
+        ++failures;
+        return;
+      }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      std::cerr << "compact: cannot replace " << name << ": " << ec.message()
+                << "\n";
+      fs::remove(tmp, ec);
+      ++failures;
+      return;
+    }
+    std::cout << "compact: " << name << " " << body.size() << " -> "
+              << dense.size() << " bytes\n";
+    rewritten[name] = {records, dense.size()};
+  };
+
+  for (int pe = 0; pe < num_pes; ++pe) {
+    compact_file(io::binary_file_name(io::logical_file_name(pe)),
+                 [](std::string_view b, std::uint64_t& records) {
+                   std::vector<ap::prof::LogicalSendRecord> rows;
+                   io::decode_logical_into(b, rows);
+                   records = rows.size();
+                   return io::encode_logical(rows);
+                 });
+    compact_file(io::binary_file_name(io::papi_file_name(pe)),
+                 [](std::string_view b, std::uint64_t& records) {
+                   std::vector<ap::prof::PapiSegmentRecord> rows;
+                   std::vector<ap::papi::Event> events;
+                   io::decode_papi_into(b, rows, &events);
+                   records = rows.size();
+                   ap::prof::Config cfg;
+                   cfg.papi_events.fill(ap::papi::Event::kCount);
+                   for (std::size_t i = 0;
+                        i < events.size() && i < cfg.papi_events.size(); ++i)
+                     cfg.papi_events[i] = events[i];
+                   return io::encode_papi(rows, cfg);
+                 });
+    compact_file(io::binary_file_name(io::steps_file_name(pe)),
+                 [](std::string_view b, std::uint64_t& records) {
+                   std::vector<ap::prof::SuperstepRecord> rows;
+                   io::decode_steps_into(b, rows);
+                   records = rows.size();
+                   return io::encode_steps(rows);
+                 });
+  }
+  compact_file(io::binary_file_name(io::kPhysicalFile),
+               [](std::string_view b, std::uint64_t& records) {
+                 std::vector<ap::prof::PhysicalRecord> rows;
+                 io::decode_physical_into(b, rows);
+                 records = rows.size();
+                 return io::encode_physical(rows);
+               });
+  compact_file(io::binary_file_name(io::kCheckFile),
+               [](std::string_view b, std::uint64_t& records) {
+                 std::vector<ap::check::Violation> rows;
+                 std::uint64_t dropped = 0;
+                 io::decode_check_into(b, rows, dropped);
+                 records = rows.size();
+                 return io::encode_check(rows, dropped);
+               });
+
+  // MANIFEST rewrite: entries of rewritten files get the new byte counts
+  // and checksums (write_all's exact line format); everything else is
+  // carried over. Without a readable MANIFEST there is nothing to rewrite.
+  if (have_manifest && !rewritten.empty()) {
+    ap::prof::io::Sink s;
+    s.append(
+        "# ActorProf trace manifest: file <name> records=<n> bytes=<n> "
+        "fnv1a=<hex64>\n");
+    s.append("num_pes ");
+    s.dec(num_pes);
+    s.put('\n');
+    for (const io::ManifestEntry& m : manifest.files) {
+      std::uint64_t records = m.records;
+      std::uint64_t fnv = m.fnv1a;
+      std::uint64_t bytes = m.bytes;
+      if (const auto it = rewritten.find(m.file); it != rewritten.end()) {
+        records = it->second.first;
+        bytes = it->second.second;
+        std::string body;
+        slurp_file(base / m.file, body);
+        fnv = io::fnv1a64(body.data(), body.size());
+      }
+      s.append("file ");
+      s.append(m.file);
+      s.append(" records=");
+      s.dec(records);
+      s.append(" bytes=");
+      s.dec(bytes);
+      s.append(" fnv1a=");
+      char buf[17];
+      static const char* digits = "0123456789abcdef";
+      std::uint64_t v = fnv;
+      for (int i = 15; i >= 0; --i) {
+        buf[i] = digits[v & 0xf];
+        v >>= 4;
+      }
+      buf[16] = '\0';
+      s.append(buf);
+      s.put('\n');
+    }
+    for (int pe : manifest.dead_pes) {
+      s.append("dead_pe ");
+      s.dec(pe);
+      s.put('\n');
+    }
+    const fs::path tmp = base / (std::string(io::kManifestFile) + ".tmp");
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      os << std::move(s).str();
+      os.flush();
+      if (!os.good()) {
+        std::cerr << "compact: cannot write " << tmp.string() << "\n";
+        return 1;
+      }
+    }
+    std::error_code ec;
+    fs::rename(tmp, base / io::kManifestFile, ec);
+    if (ec) {
+      std::cerr << "compact: cannot replace MANIFEST.txt: " << ec.message()
+                << "\n";
+      return 1;
+    }
+  }
+  if (rewritten.empty() && failures == 0)
+    std::cout << "compact: nothing to do (shards already dense)\n";
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -760,12 +1096,14 @@ int main(int argc, char** argv) {
     if (sub == "heatmap") return cmd_heatmap(argc, argv);
     if (sub == "export") return cmd_export(argc, argv);
     if (sub == "serve") return cmd_serve(argc, argv);
+    if (sub == "tail") return cmd_tail(argc, argv);
+    if (sub == "compact") return cmd_compact(argc, argv);
     // A non-flag first argument that is not a trace dir is a misspelled
     // subcommand — name the real ones instead of dumping plot usage.
     if (sub[0] != '-' && !std::filesystem::is_directory(sub)) {
       std::cerr << "unknown subcommand '" << sub
                 << "'; available: analyze, diff, check, heatmap, export, "
-                   "serve\n";
+                   "serve, tail, compact\n";
       usage(argv[0]);
       return 2;
     }

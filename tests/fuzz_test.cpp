@@ -20,6 +20,9 @@
 #include "core/trace_io.hpp"
 #include "graph/rmat.hpp"  // SplitMix64
 #include "runtime/finish.hpp"
+#include "serve/publisher.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
 #include "shmem/shmem.hpp"
 
 namespace {
@@ -448,5 +451,115 @@ TEST_P(BinaryFuzz, TruncationAndBitFlipsNeverBreakInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BinaryFuzz,
                          ::testing::Range<std::uint64_t>(1, 17));
+
+// ----------------------------------------------------------- ingest fuzz
+
+/// POST /ingest mutation properties: truncating the framed body at ANY
+/// byte or flipping ANY bit must either still apply cleanly (flips in
+/// slack the CRC does not cover simply don't exist — every body byte is
+/// covered — but a flip may land in a frame of a later segment) or answer
+/// 400 with segment+offset attribution; it must NEVER crash, hang, or
+/// corrupt the run — rows already ingested stay intact and a follow-up
+/// good push still lands.
+TEST_P(BinaryFuzz, IngestFramingSurvivesTruncationAndBitFlips) {
+  const std::uint64_t seed = GetParam();
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ull + 17);
+
+  std::vector<ap::prof::SuperstepRecord> rows;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ap::prof::SuperstepRecord r;
+    r.pe = 0;
+    r.epoch = 0;
+    r.step = static_cast<std::uint32_t>(i);
+    r.t_main = rng.next_below(1 << 20);
+    rows.push_back(r);
+  }
+  const std::string steps_name =
+      io::binary_file_name(io::steps_file_name(0));
+  std::string frame;
+  ap::serve::append_push_segment(frame, io::kManifestFile, false,
+                                 "num_pes 1\n");
+  ap::serve::append_push_segment(
+      frame, steps_name,
+      true, io::encode_steps({rows.begin(), rows.begin() + 32}));
+  ap::serve::append_push_segment(
+      frame, steps_name, true,
+      io::encode_steps({rows.begin() + 32, rows.end()}));
+
+  ap::serve::ServiceRegistry reg({});
+  ASSERT_EQ(reg.handle("POST", "/ingest?run=base", frame).status, 200);
+  ap::serve::TraceService* base = reg.find("base");
+  ASSERT_NE(base, nullptr);
+  ASSERT_EQ(base->trace().steps[0].size(), 64u);
+  const auto version_before = base->version();
+
+  const auto rows_of = [&](const char* run) -> std::size_t {
+    ap::serve::TraceService* svc = reg.find(run);
+    if (svc == nullptr || svc->trace().steps.empty()) return 0;
+    return svc->trace().steps[0].size();
+  };
+
+  for (int t = 0; t < 16; ++t) {
+    const std::size_t cut = rng.next_below(frame.size());  // strict prefix
+    const ap::serve::Response r =
+        reg.handle("POST", "/ingest?run=mut", frame.substr(0, cut));
+    if (r.status != 200) {
+      EXPECT_EQ(r.status, 400) << r.body;
+      EXPECT_NE(r.body.find("segment"), std::string::npos)
+          << "attribution missing, cut at " << cut << ": " << r.body;
+    }
+    ASSERT_LE(rows_of("mut"), 64u) << "cut at " << cut;
+  }
+  for (int t = 0; t < 16; ++t) {
+    const std::size_t pos = rng.next_below(frame.size());
+    std::string mutated = frame;
+    mutated[pos] = static_cast<char>(
+        mutated[pos] ^ static_cast<char>(1u << rng.next_below(8)));
+    const ap::serve::Response r =
+        reg.handle("POST", "/ingest?run=mut", mutated);
+    if (r.status != 200) {
+      EXPECT_EQ(r.status, 400) << r.body;
+      EXPECT_NE(r.body.find("segment"), std::string::npos)
+          << "attribution missing, flip at " << pos << ": " << r.body;
+    }
+    ASSERT_LE(rows_of("mut"), 128u) << "flip at " << pos;
+  }
+
+  // The pre-existing run was never disturbed, and a clean push still works.
+  EXPECT_EQ(base->version(), version_before);
+  EXPECT_EQ(base->trace().steps[0].size(), 64u);
+  ASSERT_EQ(reg.handle("POST", "/ingest?run=base", frame).status, 200);
+  EXPECT_EQ(base->trace().steps[0].size(), 128u);
+}
+
+/// Same properties for a COMPRESSED container pushed as a segment body:
+/// the decompressor is the first thing that touches attacker-shaped
+/// bytes, so flips inside the LZ stream must surface as a 400, not UB.
+TEST_P(BinaryFuzz, CompressedSegmentMutationsAreRejectedNotCrashed) {
+  const std::uint64_t seed = GetParam();
+  SplitMix64 rng(seed * 0x2545F4914F6CDD1Dull + 5);
+  std::vector<ap::prof::LogicalSendRecord> recs;
+  for (std::uint64_t i = 0; i < 2000; ++i)
+    recs.push_back({0, 0, 0, static_cast<int>(rng.next_below(8)),
+                    static_cast<std::uint32_t>(8 + rng.next_below(64))});
+  const std::string comp = io::compress_trace(io::encode_logical(recs));
+  ASSERT_TRUE(io::is_compressed_trace(comp));
+
+  ap::serve::ServiceRegistry reg({});
+  const std::string name = io::binary_file_name(io::logical_file_name(0));
+  for (int t = 0; t < 24; ++t) {
+    const std::size_t pos = rng.next_below(comp.size());
+    std::string mutated = comp;
+    mutated[pos] = static_cast<char>(
+        mutated[pos] ^ static_cast<char>(1u << rng.next_below(8)));
+    std::string frame;
+    ap::serve::append_push_segment(frame, io::kManifestFile, false,
+                                   "num_pes 1\n");
+    ap::serve::append_push_segment(frame, name, false, mutated);
+    const ap::serve::Response r =
+        reg.handle("POST", "/ingest?run=c", frame);
+    if (r.status != 200) EXPECT_EQ(r.status, 400) << r.body;
+  }
+}
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -17,6 +18,8 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "analysis/analysis.hpp"
 #include "apps/triangle.hpp"
@@ -27,6 +30,8 @@
 #include "graph/distribution.hpp"
 #include "graph/rmat.hpp"
 #include "serve/http.hpp"
+#include "serve/publisher.hpp"
+#include "serve/registry.hpp"
 #include "serve/service.hpp"
 #include "shmem/shmem.hpp"
 #include "viz/heatmap_json.hpp"
@@ -36,6 +41,7 @@ namespace {
 namespace fs = std::filesystem;
 namespace io = ap::prof::io;
 using ap::serve::Response;
+using ap::serve::ServiceRegistry;
 using ap::serve::TraceService;
 
 constexpr int kPes = 4;
@@ -44,7 +50,10 @@ constexpr int kPes = 4;
 /// conformance checker on, so /check has a report to serve).
 const fs::path& served_dir() {
   static const fs::path dir = [] {
-    const fs::path d = fs::path(::testing::TempDir()) / "serve_trace";
+    // Unique per process: ctest -j runs each TEST as its own process, and
+    // several of them rebuild this fixture — a shared path would race.
+    const fs::path d = fs::path(::testing::TempDir()) /
+                       ("serve_trace_" + std::to_string(::getpid()));
     fs::remove_all(d);
     ap::graph::RmatParams gp;
     gp.scale = 7;
@@ -134,8 +143,246 @@ TEST(Serve, ErrorsAndMethodHandling) {
   EXPECT_EQ(svc.handle("GET", "/nope").status, 404);
   EXPECT_EQ(svc.handle("POST", "/analyze").status, 405);
   EXPECT_EQ(svc.handle("GET", "/diff").status, 400);  // missing base=
-  // No metrics.prom in this run: /metrics explains instead of 500ing.
+  // No metrics.prom in this run: the bare service explains instead of
+  // 500ing (the registry layer upgrades /metrics to always-200 below).
   EXPECT_EQ(svc.handle("GET", "/metrics").status, 404);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(Serve, RegistryDefaultRunBytesMatchBareService) {
+  TraceService svc(served_dir());
+  ServiceRegistry reg(served_dir(), {});
+  // URLs without ?run= must stay byte-identical to the pre-registry
+  // service — existing dashboards and scripts keep working unchanged.
+  for (const char* target : {"/analyze", "/heatmap", "/check", "/healthz"}) {
+    const Response a = reg.handle("GET", target, {});
+    const Response b = svc.handle("GET", target);
+    EXPECT_EQ(a.status, b.status) << target;
+    EXPECT_EQ(a.body, b.body) << target;
+  }
+  // ?run=default and ?run=<unknown> route explicitly.
+  EXPECT_EQ(reg.handle("GET", "/analyze?run=default", {}).body,
+            svc.handle("GET", "/analyze").body);
+  EXPECT_EQ(reg.handle("GET", "/analyze?run=nope", {}).status, 404);
+  EXPECT_EQ(reg.handle("GET", "/analyze?run=bad%2Fid", {}).status, 400);
+}
+
+TEST(Serve, RegistryMetricsAlwaysAnswersWithSelfMetrics) {
+  ServiceRegistry reg(served_dir(), {});
+  reg.handle("GET", "/analyze", {});
+  reg.handle("GET", "/analyze", {});  // second hit comes from the cache
+  const Response m = reg.handle("GET", "/metrics", {});
+  ASSERT_EQ(m.status, 200) << m.body;
+  EXPECT_NE(m.body.find("actorprof_serve_requests_total{endpoint=\"/analyze\"} 2"),
+            std::string::npos)
+      << m.body;
+  EXPECT_NE(m.body.find("actorprof_serve_analyze_cache_hits_total 1"),
+            std::string::npos)
+      << m.body;
+  EXPECT_NE(m.body.find("actorprof_serve_analyze_cache_misses_total 1"),
+            std::string::npos)
+      << m.body;
+  EXPECT_NE(m.body.find("actorprof_serve_runs 1"), std::string::npos);
+}
+
+/// Frame every file of `dir` as replace segments. The MANIFEST goes first:
+/// its num_pes line sizes the run, and per-PE shards are rejected until
+/// the PE count is known (the live publisher pushes it first, too).
+std::string frame_dir(const fs::path& dir) {
+  std::string frame;
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    std::ifstream is(e.path(), std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    files.emplace_back(e.path().filename().string(), ss.str());
+  }
+  std::sort(files.begin(), files.end(), [](const auto& a, const auto& b) {
+    return (a.first != io::kManifestFile) < (b.first != io::kManifestFile);
+  });
+  for (const auto& [name, body] : files)
+    ap::serve::append_push_segment(frame, name, /*append=*/false, body);
+  return frame;
+}
+
+TEST(Serve, IngestRoundTripsToFileServedBytes) {
+  ServiceRegistry reg(served_dir(), {});
+  const Response ok =
+      reg.handle("POST", "/ingest?run=push1", frame_dir(served_dir()));
+  ASSERT_EQ(ok.status, 200) << ok.body;
+
+  // The pushed run's analysis and heatmap are byte-identical to the
+  // file-watched run's — the promise `actorprof tail` + CI diffing rely on.
+  for (const char* path : {"/analyze", "/heatmap", "/check"}) {
+    const Response file_r = reg.handle("GET", std::string(path), {});
+    const Response push_r =
+        reg.handle("GET", std::string(path) + "?run=push1", {});
+    ASSERT_EQ(push_r.status, 200) << path << ": " << push_r.body;
+    EXPECT_EQ(push_r.body, file_r.body) << path;
+  }
+
+  // /runs lists both, with sources attributed.
+  const Response runs = reg.handle("GET", "/runs", {});
+  ASSERT_EQ(runs.status, 200);
+  EXPECT_NE(runs.body.find("\"id\":\"default\",\"source\":\"file\""),
+            std::string::npos)
+      << runs.body;
+  EXPECT_NE(runs.body.find("\"id\":\"push1\",\"source\":\"push\""),
+            std::string::npos)
+      << runs.body;
+
+  // Ingest guards: missing/invalid run ids, and the reserved default run.
+  EXPECT_EQ(reg.handle("POST", "/ingest", "x").status, 400);
+  EXPECT_EQ(reg.handle("POST", "/ingest?run=default", "x").status, 400);
+  EXPECT_EQ(reg.handle("POST", "/ingest?run=bad/id", "x").status, 400);
+  EXPECT_EQ(reg.handle("GET", "/ingest?run=push1", {}).status, 405);
+}
+
+TEST(Serve, IngestAppendAccumulatesRows) {
+  ServiceRegistry reg({});
+  // Stream a steps shard in two append halves plus a manifest, the shape
+  // the in-process publisher produces mid-run.
+  const auto rows = [] {
+    std::vector<ap::prof::SuperstepRecord> v;
+    for (int i = 0; i < 6; ++i) {
+      ap::prof::SuperstepRecord r{};
+      r.pe = 0;
+      r.epoch = 0;
+      r.step = static_cast<std::uint32_t>(i);
+      v.push_back(r);
+    }
+    return v;
+  }();
+  const std::string name = io::binary_file_name(io::steps_file_name(0));
+  std::string frame;
+  ap::serve::append_push_segment(frame, io::kManifestFile, /*append=*/false,
+                                 "num_pes 1\n");
+  ap::serve::append_push_segment(
+      frame, name, /*append=*/true,
+      io::encode_steps({rows.begin(), rows.begin() + 3}));
+  ASSERT_EQ(reg.handle("POST", "/ingest?run=r", frame).status, 200);
+  TraceService* svc = reg.find("r");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(svc->trace().steps[0].size(), 3u);
+
+  std::string more;
+  ap::serve::append_push_segment(
+      more, name, /*append=*/true,
+      io::encode_steps({rows.begin() + 3, rows.end()}));
+  ASSERT_EQ(reg.handle("POST", "/ingest?run=r", more).status, 200);
+  EXPECT_EQ(svc->trace().steps[0].size(), 6u);
+  // A replace frame supersedes the appended rows (write_all's final push).
+  std::string final_frame;
+  ap::serve::append_push_segment(final_frame, name, /*append=*/false,
+                                 io::encode_steps(rows));
+  ASSERT_EQ(reg.handle("POST", "/ingest?run=r", final_frame).status, 200);
+  EXPECT_EQ(svc->trace().steps[0].size(), 6u);
+}
+
+TEST(Serve, LiveHandleDeliversHelloAndPollDeliversDeltas) {
+  ServiceRegistry reg({});
+  // Subscribing before the first POST lazily creates the push run.
+  const Response hello = reg.handle("GET", "/live?run=r", {});
+  ASSERT_EQ(hello.status, 200);
+  EXPECT_EQ(hello.content_type, "text/event-stream");
+  EXPECT_NE(hello.body.find("event: hello"), std::string::npos);
+
+  ServiceRegistry::LiveCursor cur;
+  ASSERT_EQ(reg.live_open("run=r", cur).status, 200);
+  std::string out;
+  ASSERT_TRUE(reg.live_poll(cur, out));
+  EXPECT_EQ(out, "") << "no data yet, no events";
+
+  std::string frame;
+  ap::serve::append_push_segment(frame, io::kManifestFile, false,
+                                 "num_pes 2\n");
+  ap::prof::SuperstepRecord r{};
+  r.pe = 1;
+  r.epoch = 2;
+  r.step = 7;
+  ap::serve::append_push_segment(
+      frame, io::binary_file_name(io::steps_file_name(1)), true,
+      io::encode_steps({r}));
+  ap::serve::append_push_segment(frame, "anomalies.txt", true,
+                                 "straggler pe=1 t_cycles=5 value=9 "
+                                 "fleet_median=3\n");
+  ASSERT_EQ(reg.handle("POST", "/ingest?run=r", frame).status, 200);
+  out.clear();
+  ASSERT_TRUE(reg.live_poll(cur, out));
+  EXPECT_NE(out.find("event: superstep"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"max_epoch\":2"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"max_step\":7"), std::string::npos) << out;
+  EXPECT_NE(out.find("event: anomaly"), std::string::npos) << out;
+  EXPECT_NE(out.find("straggler pe=1"), std::string::npos) << out;
+  // Nothing new on the next poll.
+  out.clear();
+  ASSERT_TRUE(reg.live_poll(cur, out));
+  EXPECT_EQ(out, "");
+}
+
+TEST(Serve, RetentionEvictsOldestPushRun) {
+  ap::serve::RegistryOptions ro;
+  ro.retain_runs = 2;
+  ServiceRegistry reg(ro);
+  std::ostringstream log;
+  reg.set_log(&log);
+  const auto push_one = [&](const std::string& id) {
+    std::string frame;
+    ap::serve::append_push_segment(frame, io::kManifestFile, false,
+                                   "num_pes 1\n");
+    ASSERT_EQ(reg.handle("POST", "/ingest?run=" + id, frame).status, 200)
+        << id;
+  };
+  push_one("a");
+  push_one("b");
+  push_one("c");  // evicts the oldest-updated run, a
+  EXPECT_EQ(reg.find("a"), nullptr);
+  EXPECT_NE(reg.find("b"), nullptr);
+  EXPECT_NE(reg.find("c"), nullptr);
+  EXPECT_EQ(reg.evictions(), 1u);
+  EXPECT_NE(log.str().find("retention evicted run 'a'"), std::string::npos)
+      << log.str();
+  // The /metrics counter survives the eviction (monotonic).
+  const Response m = reg.handle("GET", "/metrics", {});
+  EXPECT_NE(m.body.find("actorprof_serve_evictions_total 1"),
+            std::string::npos)
+      << m.body;
+}
+
+// A rewritten shard with the same size (and restored mtime) must still be
+// picked up: the file signature includes a content hash of the first/last
+// bytes, not just size+mtime.
+TEST(Serve, RefreshSeesSameSizeSameMtimeRewrite) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "serve_samesize";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string shard = io::binary_file_name(io::logical_file_name(0));
+  const auto write_rows = [&](int dst) {
+    std::ofstream os(dir / shard, std::ios::binary | std::ios::trunc);
+    const std::string body =
+        io::encode_logical({ap::prof::LogicalSendRecord{0, 0, 0, dst, 8}});
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+  };
+  write_rows(5);
+  {
+    std::ofstream os(dir / io::kManifestFile);
+    os << "num_pes 1\n";
+  }
+  TraceService svc(dir);
+  ASSERT_EQ(svc.trace().logical[0].size(), 1u);
+  ASSERT_EQ(svc.trace().logical[0][0].dst_pe, 5);
+
+  const auto size_before = fs::file_size(dir / shard);
+  const auto mtime_before = fs::last_write_time(dir / shard);
+  write_rows(7);  // same encoded size, different payload
+  ASSERT_EQ(fs::file_size(dir / shard), size_before)
+      << "test premise: the rewrite must not change the size";
+  fs::last_write_time(dir / shard, mtime_before);
+  ASSERT_TRUE(svc.refresh())
+      << "content signature must catch a same-size same-mtime rewrite";
+  EXPECT_EQ(svc.trace().logical[0][0].dst_pe, 7);
 }
 
 TEST(Serve, MidRunPartialDirServesTolerantAnalysis) {
@@ -287,6 +534,7 @@ std::string http_get(int port, const std::string& target) {
 TEST(Serve, HttpLoopAnswersRealSockets) {
   TraceService svc(served_dir());
   const std::string expect_analyze = svc.handle("GET", "/analyze").body;
+  ServiceRegistry reg(served_dir(), {});
 
   std::atomic<int> port{0};
   ap::serve::ServerOptions opts;
@@ -296,7 +544,7 @@ TEST(Serve, HttpLoopAnswersRealSockets) {
   opts.bound_port = &port;
   std::ostringstream out, err;
   int rc = -1;
-  std::thread server([&] { rc = ap::serve::run_server(svc, opts, out, err); });
+  std::thread server([&] { rc = ap::serve::run_server(reg, opts, out, err); });
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(10);
   while (port.load() == 0 && std::chrono::steady_clock::now() < deadline)

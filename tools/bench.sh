@@ -21,7 +21,7 @@ jobs=$(nproc 2>/dev/null || echo 4)
 cmake --preset default >/dev/null
 cmake --build --preset default -j "${jobs}" \
   --target micro_conveyor micro_selector scaling_triangle scaling_pe_count \
-           bench_trace bench_backend
+           bench_trace bench_backend bench_publish
 
 bin=build/bench
 tmp=$(mktemp -d)
@@ -190,6 +190,30 @@ if [[ "${1:-}" == "--check" ]]; then
       echo "ok backend speedup: threads ${speedup}x vs fiber on scaling_triangle (gate: >= ${want}x at ${cores} cores)"
     fi
   fi
+
+  # Live-publisher overhead gate (docs/OBSERVABILITY.md): streaming into a
+  # real loopback daemon must not slow the profiled run by >= 5%. Compared
+  # within the fresh run (wall time; the committed BENCH_publish.json is a
+  # record, not a cross-machine baseline) and not pinned with taskset —
+  # the publisher worker and the daemon are meant to ride other cores.
+  "${bin}/bench_publish" --json="${tmp}/publish.json"
+  overhead=$(awk '
+    match($0, /"overhead_pct": *-?[0-9.eE+-]+/) {
+      s = substr($0, RSTART, RLENGTH)
+      sub(/.*: */, "", s)
+      print s
+      exit
+    }' "${tmp}/publish.json")
+  if [[ -z "${overhead}" ]]; then
+    echo "bench --check: bench_publish produced no overhead_pct" >&2
+    exit 1
+  fi
+  if awk -v o="${overhead}" 'BEGIN { exit !(o >= 5) }'; then
+    echo "REGRESSION publish overhead: ${overhead}% run slowdown with the publisher on (gate: < 5%)"
+    fail=1
+  else
+    echo "ok publish overhead: ${overhead}% run slowdown with the publisher on (gate: < 5%)"
+  fi
   exit "${fail}"
 fi
 
@@ -241,3 +265,10 @@ cat BENCH_scaling.json
 AP_SCALE="${AP_SCALE:-10}" "${bin}/bench_backend" --json=BENCH_backend.json
 echo "Wrote BENCH_backend.json:"
 cat BENCH_backend.json
+
+# Live-publisher overhead record (wall time on this machine; --check
+# gates overhead_pct < 5 within its own fresh run). No taskset, same
+# reason as the backend bench.
+"${bin}/bench_publish" --json=BENCH_publish.json
+echo "Wrote BENCH_publish.json:"
+cat BENCH_publish.json

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Serve smoke: record a binary-format quickstart trace, start
-# `actorprof serve` on it (ephemeral port, bounded request count), hit the
-# endpoints over a real socket — bash /dev/tcp, so no curl dependency —
-# and require /analyze and /heatmap to be byte-identical to what the CLI
-# prints for the same directory. Run from anywhere; CI runs it in the
-# serve job next to a curl-based variant.
+# `actorprof serve` on it (ephemeral port), hit the endpoints over a real
+# socket — bash /dev/tcp, so no curl dependency — and require /analyze
+# and /heatmap to be byte-identical to what the CLI prints for the same
+# directory. Then the live path: re-run quickstart with
+# ACTORPROF_PUBLISH pointed at the same daemon and require the pushed
+# run's /analyze to be byte-identical to the file-based answer for the
+# run's own trace directory, watch it with `actorprof tail`, and round-
+# trip a compressed directory through `actorprof compact`. Run from
+# anywhere; CI runs it in the serve job next to a curl-based variant.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,6 +19,7 @@ cmake --build --preset default -j "${jobs}" \
   --target quickstart actorprof_viz_cli >/dev/null
 
 cli=$(pwd)/build/src/viz/actorprof
+qs=$(pwd)/build/examples/quickstart
 tmp=$(mktemp -d)
 serve_pid=
 cleanup() {
@@ -24,8 +29,7 @@ cleanup() {
 trap cleanup EXIT
 
 # A real trace in the binary columnar format (docs/TRACE_FORMAT.md).
-(cd "${tmp}" && ACTORPROF_TRACE_FORMAT=binary \
-  "${OLDPWD}/build/examples/quickstart" >/dev/null)
+(cd "${tmp}" && ACTORPROF_TRACE_FORMAT=binary "${qs}" >/dev/null)
 dir="${tmp}/quickstart_trace"
 [ -f "${dir}/PE0_send.apt" ] || {
   echo "serve_smoke: quickstart did not write binary shards" >&2
@@ -35,7 +39,7 @@ dir="${tmp}/quickstart_trace"
 "${cli}" analyze --json "${dir}" > "${tmp}/cli_analyze.json"
 "${cli}" heatmap --json "${dir}" > "${tmp}/cli_heatmap.json"
 
-"${cli}" serve "${dir}" --port 0 --max-requests 3 > "${tmp}/serve.log" 2>&1 &
+"${cli}" serve "${dir}" --port 0 > "${tmp}/serve.log" 2>&1 &
 serve_pid=$!
 
 port=
@@ -83,6 +87,66 @@ cmp "${tmp}/heatmap.json" "${tmp}/cli_heatmap.json" || {
   exit 1
 }
 
-wait "${serve_pid}"
+# ------------------------------------------------------------ live push
+# Re-run quickstart streaming into the same daemon under run id "push"
+# (docs/OBSERVABILITY.md, "Live streaming"). The pushed run's /analyze
+# must be byte-identical to the file-based answer for the trace directory
+# that very run wrote to disk.
+mkdir "${tmp}/push"
+(cd "${tmp}/push" && ACTORPROF_TRACE_FORMAT=binary \
+  ACTORPROF_PUBLISH="127.0.0.1:${port}" ACTORPROF_PUBLISH_RUN=push \
+  "${qs}" >/dev/null)
+
+"${cli}" analyze --json "${tmp}/push/quickstart_trace" \
+  > "${tmp}/cli_push_analyze.json"
+http_get "/analyze?run=push" "${tmp}/push_analyze.raw"
+head -1 "${tmp}/push_analyze.raw" | grep -q "200 OK"
+body_of "${tmp}/push_analyze.raw" "${tmp}/push_analyze.json"
+cmp "${tmp}/push_analyze.json" "${tmp}/cli_push_analyze.json" || {
+  echo "serve_smoke: /analyze?run=push differs from the file-based run" >&2
+  exit 1
+}
+
+http_get /runs "${tmp}/runs.raw"
+grep -q '"id":"push"' "${tmp}/runs.raw" || {
+  echo "serve_smoke: /runs does not list the pushed run" >&2
+  cat "${tmp}/runs.raw" >&2
+  exit 1
+}
+
+# `actorprof tail` renders the SSE /live stream; a fresh subscriber gets
+# the hello event plus one superstep delta for the completed run.
+"${cli}" tail "127.0.0.1:${port}" --run push --max-events 2 \
+  > "${tmp}/tail.txt"
+grep -q '^hello ' "${tmp}/tail.txt" || {
+  echo "serve_smoke: tail did not print the hello event" >&2
+  cat "${tmp}/tail.txt" >&2
+  exit 1
+}
+grep -q '^superstep ' "${tmp}/tail.txt" || {
+  echo "serve_smoke: tail did not print a superstep delta" >&2
+  cat "${tmp}/tail.txt" >&2
+  exit 1
+}
+
+# ----------------------------------------------- compression + compact
+# A compressed directory (version-2 shards) must analyze identically,
+# and `actorprof compact` must round-trip it byte-identically at the
+# analysis level.
+mkdir "${tmp}/comp"
+(cd "${tmp}/comp" && ACTORPROF_TRACE_FORMAT=binary \
+  ACTORPROF_TRACE_COMPRESS=1 "${qs}" >/dev/null)
+cdir="${tmp}/comp/quickstart_trace"
+"${cli}" analyze --json "${cdir}" > "${tmp}/comp_before.json"
+"${cli}" compact "${cdir}" > "${tmp}/compact.log"
+"${cli}" analyze --json "${cdir}" > "${tmp}/comp_after.json"
+cmp "${tmp}/comp_before.json" "${tmp}/comp_after.json" || {
+  echo "serve_smoke: analysis changed across 'actorprof compact'" >&2
+  exit 1
+}
+
+kill "${serve_pid}" 2>/dev/null || true
+wait "${serve_pid}" 2>/dev/null || true
 serve_pid=
-echo "serve smoke OK (port ${port}, /analyze and /heatmap byte-identical)"
+echo "serve smoke OK (port ${port}: file + pushed runs byte-identical," \
+     "tail streamed, compact round-tripped)"
